@@ -1,0 +1,118 @@
+// Command samhita-bench regenerates the paper's evaluation: every
+// result figure (3-13) and the design-choice ablations, printed as
+// aligned text tables (and optionally CSV files for plotting).
+//
+// Usage:
+//
+//	samhita-bench -figure 12            # one figure at paper scale
+//	samhita-bench -all                  # all figures
+//	samhita-bench -ablation prefetch    # one ablation
+//	samhita-bench -ablations            # all ablations
+//	samhita-bench -all -quick           # reduced scale (seconds, not minutes)
+//	samhita-bench -all -csv out/        # also write out/figNN.csv
+//
+// Reported times are virtual-model times (see DESIGN.md), so the output
+// is deterministic up to scheduling of symmetric lock acquisitions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 0, "regenerate one figure (3-13)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		ablation  = flag.String("ablation", "", "run one ablation: "+strings.Join(bench.AblationNames(), ", "))
+		ablations = flag.Bool("ablations", false, "run every ablation")
+		scenario  = flag.Bool("scenario", false, "run the Figure-1 heterogeneous-node projection (host vs coprocessor)")
+		quick     = flag.Bool("quick", false, "reduced problem sizes")
+		csvDir    = flag.String("csv", "", "directory to write CSV files into")
+	)
+	flag.Parse()
+
+	opts := bench.Options{}.WithDefaults()
+	if *quick {
+		opts = bench.Quick()
+	}
+
+	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var figIDs []int
+	if *all {
+		figIDs = bench.FigureIDs()
+	} else if *figure != 0 {
+		figIDs = []int{*figure}
+	}
+	for _, id := range figIDs {
+		start := time.Now()
+		f, err := bench.Run(id, opts)
+		if err != nil {
+			fatalf("figure %d: %v", id, err)
+		}
+		fmt.Print(f.Table())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			writeCSV(*csvDir, f.ID, f.CSV())
+		}
+	}
+
+	if *scenario {
+		start := time.Now()
+		f, err := bench.ScenarioHeterogeneous(opts)
+		if err != nil {
+			fatalf("scenario: %v", err)
+		}
+		fmt.Print(f.Table())
+		fmt.Printf("(ran in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			writeCSV(*csvDir, f.ID, f.CSV())
+		}
+	}
+
+	var ablNames []string
+	if *ablations {
+		ablNames = bench.AblationNames()
+	} else if *ablation != "" {
+		ablNames = []string{*ablation}
+	}
+	for _, name := range ablNames {
+		run, ok := bench.AblationRunners[name]
+		if !ok {
+			fatalf("unknown ablation %q (have %s)", name, strings.Join(bench.AblationNames(), ", "))
+		}
+		start := time.Now()
+		a, err := run(opts)
+		if err != nil {
+			fatalf("ablation %s: %v", name, err)
+		}
+		fmt.Print(a.Table())
+		fmt.Printf("(ran in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, id, csv string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("csv dir: %v", err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samhita-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

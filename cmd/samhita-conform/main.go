@@ -1,0 +1,87 @@
+// Command samhita-conform fuzzes the DSM's consistency contract: it
+// generates random data-race-free programs, runs them on Samhita under
+// randomized runtime configurations, and checks every observed value
+// against a sequential model. Any violation is a consistency bug.
+//
+// Usage:
+//
+//	samhita-conform -runs 200          # 200 random (program, config) pairs
+//	samhita-conform -seed 42 -v        # replay one seed with details
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		runs    = flag.Int("runs", 100, "number of random (program, config) pairs")
+		seed    = flag.Int64("seed", -1, "replay a single seed instead of sweeping")
+		verbose = flag.Bool("v", false, "print every program/config")
+	)
+	flag.Parse()
+
+	seeds := make([]int64, 0, *runs)
+	if *seed >= 0 {
+		seeds = append(seeds, *seed)
+	} else {
+		for i := 0; i < *runs; i++ {
+			seeds = append(seeds, int64(i))
+		}
+	}
+
+	start := time.Now()
+	failures := 0
+	for _, sd := range seeds {
+		prog := conformance.Generate(sd)
+		cfg := randomConfig(sd * 31)
+		if *verbose {
+			fmt.Printf("seed %d: threads=%d rounds=%d slots=%d accums=%d locks=%d | lines=%d cache=%d servers=%d prefetch=%v finegrain=%v\n",
+				sd, prog.Threads, prog.Rounds, prog.Slots, prog.Accums, prog.Locks,
+				cfg.Geo.LinePages, cfg.CacheLines, cfg.Geo.NumServers, cfg.Prefetch, !cfg.DisableFineGrain)
+		}
+		rt, err := core.New(cfg)
+		if err != nil {
+			fatalf("seed %d: boot: %v", sd, err)
+		}
+		viols, err := conformance.Run(rt, prog)
+		rt.Close()
+		if err != nil {
+			failures++
+			fmt.Printf("seed %d: RUN ERROR: %v\n", sd, err)
+			continue
+		}
+		if len(viols) > 0 {
+			failures++
+			fmt.Printf("seed %d: %d consistency violations, e.g. %s\n", sd, len(viols), viols[0])
+		}
+	}
+	fmt.Printf("\n%d/%d passed in %v\n", len(seeds)-failures, len(seeds), time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// randomConfig mirrors the conformance test's configuration fuzzing.
+func randomConfig(seed int64) core.Config {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := core.DefaultConfig()
+	cfg.Geo.LinePages = []int{1, 2, 4, 8}[rng.Intn(4)]
+	cfg.Geo.NumServers = 1 + rng.Intn(3)
+	cfg.CacheLines = []int{2, 4, 16, 64, 1024}[rng.Intn(5)]
+	cfg.Prefetch = rng.Intn(2) == 0
+	cfg.DisableFineGrain = rng.Intn(4) == 0
+	return cfg
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samhita-conform: "+format+"\n", args...)
+	os.Exit(1)
+}

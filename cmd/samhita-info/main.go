@@ -1,0 +1,47 @@
+// Command samhita-info prints the reproduction's configuration surface:
+// the default geometry, the cost-model presets, and the experiment
+// index — a quick orientation for someone exploring the repository.
+package main
+
+import (
+	"fmt"
+
+	samhita "repro"
+	"repro/internal/bench"
+	"repro/internal/vtime"
+)
+
+func main() {
+	cfg := samhita.DefaultConfig()
+	fmt.Println("Samhita / RegC reproduction — configuration")
+	fmt.Println()
+	fmt.Printf("geometry: %d B pages, %d pages/line (%d B lines), %d memory server(s), striped=%v\n",
+		cfg.Geo.PageSize, cfg.Geo.LinePages, cfg.Geo.LineSize(), cfg.Geo.NumServers, cfg.Geo.Striped)
+	fmt.Printf("cache:    %d lines/thread, prefetch=%v\n", cfg.CacheLines, cfg.Prefetch)
+	fmt.Printf("alloc:    arena chunk %d KiB, striping threshold %d KiB\n",
+		cfg.ArenaChunk/1024, cfg.StripeMin/1024)
+	fmt.Println()
+
+	fmt.Println("interconnect presets:")
+	for _, l := range []vtime.LinkModel{vtime.QDRInfiniBand, vtime.PCIeSCIF, vtime.IntraNode} {
+		fmt.Printf("  %-11s latency=%-7v bw=%.1f GB/s send-ovh=%v svc=%v\n",
+			l.Name, l.Latency, l.BytesPerSec/1e9, l.SendOverhead, l.ServiceTime)
+	}
+	fmt.Println()
+
+	cpu := vtime.DefaultCPU
+	fmt.Println("compute cost model (Samhita threads):")
+	fmt.Printf("  flop=%v access=%v fault=%v twin=%v invalidate=%v lock=%v\n",
+		cpu.FlopTime, cpu.AccessTime, cpu.FaultOverhead, cpu.TwinTime, cpu.InvalidateTime, cpu.LockTime)
+	fmt.Printf("  diff=%.1f GB/s apply=%.1f GB/s copy=%.1f GB/s\n",
+		cpu.DiffBytesPerSec/1e9, cpu.ApplyBytesPerSec/1e9, cpu.CopyBytesPerSec/1e9)
+	hw := vtime.DefaultHW
+	fmt.Println("hardware baseline model (Pthreads threads):")
+	fmt.Printf("  flop=%v access=%v lock=%v barrier=%v+%v/thread coherence-miss=%v\n",
+		hw.FlopTime, hw.AccessTime, hw.LockTime, hw.BarrierBase, hw.BarrierPerThread, hw.CoherenceMiss)
+	fmt.Println()
+
+	fmt.Println("experiments (regenerate with samhita-bench):")
+	fmt.Println("  figures:  ", bench.FigureIDs())
+	fmt.Println("  ablations:", bench.AblationNames())
+}

@@ -1,0 +1,117 @@
+// Command samhita-micro runs one configuration of the paper's
+// micro-benchmark (Figure 2) on either backend and prints the
+// measurement record: per-thread compute and synchronization time plus
+// the protocol event counters that explain them.
+//
+// Usage:
+//
+//	samhita-micro -backend samhita -p 16 -mode strided -M 10 -S 4
+//	samhita-micro -backend pthreads -p 8 -mode local -M 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	samhita "repro"
+	"repro/internal/apps/kernels"
+)
+
+func main() {
+	var (
+		backend   = flag.String("backend", "samhita", "samhita or pthreads")
+		p         = flag.Int("p", 8, "compute threads")
+		mode      = flag.String("mode", "local", "allocation mode: local, global, strided")
+		n         = flag.Int("N", 10, "outer iterations")
+		m         = flag.Int("M", 10, "inner iterations")
+		s         = flag.Int("S", 2, "rows per thread")
+		bw        = flag.Int("B", 256, "doubles per row")
+		servers   = flag.Int("servers", 1, "memory servers (samhita)")
+		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
+		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	)
+	flag.Parse()
+
+	var allocMode kernels.AllocMode
+	switch *mode {
+	case "local":
+		allocMode = kernels.AllocLocal
+	case "global":
+		allocMode = kernels.AllocGlobal
+	case "strided":
+		allocMode = kernels.AllocStrided
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	var collector *samhita.TraceCollector
+	var v samhita.VM
+	switch *backend {
+	case "samhita":
+		cfg := samhita.DefaultConfig()
+		cfg.Geo.NumServers = *servers
+		switch *link {
+		case "qdr-ib":
+			cfg.Link = samhita.QDRInfiniBand
+		case "pcie-scif":
+			cfg.Link = samhita.PCIeSCIF
+		case "intra-node":
+			cfg.Link = samhita.IntraNode
+		default:
+			fatalf("unknown link %q", *link)
+		}
+		switch *transport {
+		case "sim":
+		case "tcp":
+			cfg.Transport = samhita.NewTCPTransport(cfg.Link)
+		default:
+			fatalf("unknown transport %q", *transport)
+		}
+		if *traceOut != "" {
+			collector = samhita.NewTraceCollector(0)
+			cfg.Trace = collector
+		}
+		rt, err := samhita.New(cfg)
+		if err != nil {
+			fatalf("boot: %v", err)
+		}
+		defer rt.Close()
+		v = rt
+	case "pthreads":
+		v = samhita.NewPthreads(samhita.PthreadsConfig{MaxCores: *p})
+	default:
+		fatalf("unknown backend %q", *backend)
+	}
+
+	prm := kernels.MicroParams{N: *n, M: *m, S: *s, B: *bw, Mode: allocMode}
+	res, err := kernels.RunMicro(v, *p, prm)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+
+	fmt.Printf("micro-benchmark (%s), P=%d mode=%s N=%d M=%d S=%d B=%d\n",
+		v.Name(), *p, allocMode, *n, *m, *s, *bw)
+	fmt.Printf("gsum = %.6f (analytic %.6f)\n", res.GSum, res.Expected)
+	fmt.Printf("compute time (per thread, max): %v\n", res.Run.MaxComputeTime())
+	fmt.Printf("sync time    (per thread, max): %v\n", res.Run.MaxSyncTime())
+	fmt.Print(res.Run.Summary())
+	if collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("trace file: %v", err)
+		}
+		defer f.Close()
+		if err := collector.WriteChromeTrace(f); err != nil {
+			fatalf("trace write: %v", err)
+		}
+		fmt.Printf("\ntrace (%d events) written to %s; open in chrome://tracing\n", collector.Len(), *traceOut)
+		fmt.Print(collector.Summary())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "samhita-micro: "+format+"\n", args...)
+	os.Exit(1)
+}

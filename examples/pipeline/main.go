@@ -1,0 +1,99 @@
+// Pipeline: a bounded producer/consumer queue built entirely from
+// Samhita's Pthreads-like primitives — mutex, condition variable and
+// shared global memory — demonstrating the synchronization surface the
+// paper lists (mutual exclusion locks, condition variable signaling,
+// barriers) on threads that share no hardware memory.
+//
+// Run with: go run ./examples/pipeline [-items 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	samhita "repro"
+)
+
+const queueCap = 8
+
+// The queue lives in the shared global address space:
+//
+//	[0]  head index
+//	[1]  tail index
+//	[2]  producers-done flag
+//	[3+] ring buffer of queueCap values
+func main() {
+	items := flag.Int("items", 64, "items to push through the pipeline")
+	flag.Parse()
+
+	rt, err := samhita.New(samhita.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	mu := rt.NewMutex()
+	notEmpty := rt.NewCond()
+	notFull := rt.NewCond()
+	bar := rt.NewBarrier(2)
+	var qAddr atomic.Uint64
+	var consumed atomic.Int64
+
+	_, err = rt.Run(2, func(t samhita.Thread) {
+		if t.ID() == 0 {
+			qAddr.Store(uint64(t.GlobalAlloc((3 + queueCap) * 8)))
+		}
+		bar.Wait(t)
+		q := samhita.I64{Base: samhita.Addr(qAddr.Load())}
+		head := func() int64 { return q.At(t, 0) }
+		tail := func() int64 { return q.At(t, 1) }
+
+		if t.ID() == 0 { // producer
+			for i := 1; i <= *items; i++ {
+				mu.Lock(t)
+				for tail()-head() == queueCap {
+					notFull.Wait(t, mu)
+				}
+				q.Set(t, 3+int(tail()%queueCap), int64(i*i))
+				q.Set(t, 1, tail()+1)
+				mu.Unlock(t)
+				notEmpty.Signal(t)
+			}
+			mu.Lock(t)
+			q.Set(t, 2, 1) // done
+			mu.Unlock(t)
+			notEmpty.Signal(t)
+		} else { // consumer
+			var sum int64
+			for {
+				mu.Lock(t)
+				for tail() == head() && q.At(t, 2) == 0 {
+					notEmpty.Wait(t, mu)
+				}
+				if tail() == head() && q.At(t, 2) == 1 {
+					mu.Unlock(t)
+					break
+				}
+				v := q.At(t, 3+int(head()%queueCap))
+				q.Set(t, 0, head()+1)
+				mu.Unlock(t)
+				notFull.Signal(t)
+				sum += v
+				consumed.Add(1)
+			}
+			fmt.Printf("consumer drained %d items, sum of squares = %d\n", consumed.Load(), sum)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := int64(*items) * (int64(*items) + 1) * (2*int64(*items) + 1) / 6
+	fmt.Printf("expected sum of squares      = %d\n", want)
+	if consumed.Load() != int64(*items) {
+		log.Fatalf("lost items: %d of %d", consumed.Load(), *items)
+	}
+	fmt.Println("pipeline check ✓ (every item crossed the DSM through a cond-var handoff)")
+}

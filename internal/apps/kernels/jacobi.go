@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// JacobiParams parameterizes the Jacobi application kernel (Section
+// III, Figure 12): the Jacobi iteration for the linear system of a
+// discrete Laplacian. The memory access pattern is a nearest-neighbour
+// stencil — the update of a grid point depends on a small number of
+// near neighbours — and each outer iteration uses one mutex-protected
+// global (the residual) and three barrier synchronizations, exactly as
+// the paper describes.
+type JacobiParams struct {
+	// N is the grid edge (N x N interior points plus a boundary ring).
+	N int
+	// Iters is the number of Jacobi sweeps.
+	Iters int
+}
+
+// DefaultJacobiParams is sized so runs finish quickly while still
+// spanning many pages per thread.
+func DefaultJacobiParams() JacobiParams { return JacobiParams{N: 256, Iters: 10} }
+
+// JacobiResult reports the outcome of a run.
+type JacobiResult struct {
+	// Residual is the global residual (sum of squared updates)
+	// accumulated over all sweeps under the mutex.
+	Residual float64
+	// Checksum is the sum of the final grid, for cross-backend
+	// verification (deterministic: grid updates are barrier-ordered).
+	Checksum float64
+	// Run carries the per-thread measurements.
+	Run *stats.Run
+}
+
+// RunJacobi executes the kernel on p threads.
+//
+// Layout: two (N+2) x (N+2) grids (u and v) in one large shared
+// allocation (striped across memory servers), row-major. The boundary
+// is held at a fixed profile; the interior starts at zero; each sweep
+// writes v[i][j] = (u[i-1][j]+u[i+1][j]+u[i][j-1]+u[i][j+1])/4 for the
+// thread's block of rows, then the roles of u and v swap.
+//
+// Per outer iteration: sweep, barrier; accumulate the local residual
+// into the global under the mutex, barrier; (logical) pointer swap,
+// barrier.
+func RunJacobi(v vm.VM, p int, prm JacobiParams) (*JacobiResult, error) {
+	if prm.N == 0 {
+		prm = DefaultJacobiParams()
+	}
+	n := prm.N
+	rows := n + 2
+	gridBytes := rows * rows * 8
+
+	mu := v.NewMutex()
+	bar := v.NewBarrier(p)
+	var base, resBase atomic.Uint64
+	var out JacobiResult
+
+	run, err := v.Run(p, func(t vm.Thread) {
+		if t.ID() == 0 {
+			base.Store(uint64(t.GlobalAlloc(2 * gridBytes)))
+			resBase.Store(uint64(t.GlobalAlloc(8)))
+		}
+		bar.Wait(t)
+		grids := [2]vm.Addr{vm.Addr(base.Load()), vm.Addr(base.Load()) + vm.Addr(gridBytes)}
+		residual := vm.F64{Base: vm.Addr(resBase.Load())}
+		rowAddr := func(g int, i int) vm.Addr { return grids[g] + vm.Addr(i*rows*8) }
+
+		lo, hi := blockRange(n, p, t.ID()) // interior rows [lo+1, hi+1)
+		bufs := [3]*rowBuf{newRowBuf(rows), newRowBuf(rows), newRowBuf(rows)}
+		outBuf := newRowBuf(rows)
+
+		// Initialize: thread 0 writes the boundary profile into both
+		// grids; every thread zeroes its own interior rows. The backing
+		// store is already zero, but the explicit init touches every
+		// page the thread will write, so — as in the paper's runs — the
+		// timed region starts with a warm cache.
+		if t.ID() == 0 {
+			edge := make([]float64, rows)
+			for j := 0; j < rows; j++ {
+				edge[j] = math.Sin(math.Pi * float64(j) / float64(rows-1))
+			}
+			for g := 0; g < 2; g++ {
+				outBuf.store(t, rowAddr(g, 0), edge)
+				outBuf.store(t, rowAddr(g, rows-1), edge)
+			}
+		}
+		init := make([]float64, rows)
+		for i := lo + 1; i <= hi; i++ {
+			for j := 0; j < rows; j++ {
+				// A smooth nonzero bump: every sweep then changes real
+				// bytes everywhere, so diff traffic is representative
+				// from the first iteration.
+				init[j] = math.Sin(math.Pi*float64(i)/float64(rows-1)) *
+					math.Sin(math.Pi*float64(j)/float64(rows-1))
+			}
+			for g := 0; g < 2; g++ {
+				outBuf.store(t, rowAddr(g, i), init)
+			}
+		}
+		bar.Wait(t)
+		t.ResetMeasurement()
+
+		interior := make([]float64, rows)
+		for it := 0; it < prm.Iters; it++ {
+			src, dst := it%2, (it+1)%2
+			localRes := 0.0
+			// Sweep this thread's rows. Rows are streamed through three
+			// input buffers (above, current, below).
+			for i := lo + 1; i <= hi; i++ {
+				up := bufs[0].load(t, rowAddr(src, i-1), rows)
+				cur := bufs[1].load(t, rowAddr(src, i), rows)
+				down := bufs[2].load(t, rowAddr(src, i+1), rows)
+				interior[0], interior[rows-1] = cur[0], cur[rows-1]
+				for j := 1; j <= n; j++ {
+					nv := 0.25 * (up[j] + down[j] + cur[j-1] + cur[j+1])
+					d := nv - cur[j]
+					localRes += d * d
+					interior[j] = nv
+				}
+				t.Compute(7 * n) // 4 adds + mul + diff + square-accumulate
+				outBuf.store(t, rowAddr(dst, i), interior)
+			}
+			bar.Wait(t)
+
+			// Accumulate the global residual under the mutex (the
+			// paper's protected global variable), then two more barriers
+			// — three per outer iteration, as in the paper's kernel (the
+			// third synchronizes the logical grid swap).
+			mu.Lock(t)
+			residual.Add(t, 0, localRes)
+			mu.Unlock(t)
+			bar.Wait(t)
+			bar.Wait(t)
+		}
+		t.StopMeasurement()
+
+		if t.ID() == 0 {
+			out.Residual = residual.At(t, 0)
+			// Checksum the final grid.
+			g := prm.Iters % 2
+			sum := 0.0
+			for i := 0; i < rows; i++ {
+				row := bufs[0].load(t, rowAddr(g, i), rows)
+				for _, x := range row {
+					sum += x
+				}
+			}
+			out.Checksum = sum
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Run = run
+	return &out, nil
+}

@@ -1,0 +1,51 @@
+// Package kernels contains the benchmark applications of the paper's
+// evaluation (Section III), written once against the backend-neutral
+// vm.VM interface — the Go analogue of the paper's single m4-macro code
+// base that expands to either Pthreads or Samhita:
+//
+//   - Micro: the synthetic kernel of Figure 2, with the three memory
+//     allocation / work distribution strategies (local, global, global
+//     strided) that control the degree of false sharing. Drives
+//     Figures 3-11.
+//   - Jacobi: the Jacobi iteration for the discrete Laplacian — a
+//     nearest-neighbour stencil with one mutex-protected global and
+//     three barriers per outer iteration. Drives Figure 12.
+//   - MD: a velocity-Verlet n-body molecular dynamics simulation with
+//     O(n) work per particle, a mutex protecting the energy
+//     accumulators and three barriers per step. Drives Figure 13.
+package kernels
+
+import (
+	"repro/internal/vm"
+)
+
+// rowBuf is a scratch row used to move float64 rows through the byte
+// accessors.
+type rowBuf struct {
+	vals []float64
+	raw  []byte
+}
+
+func newRowBuf(n int) *rowBuf {
+	return &rowBuf{vals: make([]float64, n), raw: make([]byte, 8*n)}
+}
+
+// load reads n float64s at addr into the buffer.
+func (b *rowBuf) load(t vm.Thread, addr vm.Addr, n int) []float64 {
+	t.ReadBytes(addr, b.raw[:8*n])
+	for i := 0; i < n; i++ {
+		b.vals[i] = vm.GetFloat64(b.raw[8*i:])
+	}
+	return b.vals[:n]
+}
+
+// store writes vals to addr.
+func (b *rowBuf) store(t vm.Thread, addr vm.Addr, vals []float64) {
+	for i, v := range vals {
+		vm.PutFloat64(b.raw[8*i:], v)
+	}
+	t.WriteBytes(addr, b.raw[:8*len(vals)])
+}
+
+// blockRange splits n items across p threads; thread id gets [lo, hi).
+func blockRange(n, p, id int) (lo, hi int) { return vm.BlockRange(n, p, id) }

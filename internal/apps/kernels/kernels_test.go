@@ -1,0 +1,244 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pthreads"
+	"repro/internal/vm"
+)
+
+func newSamhita(t *testing.T) vm.VM {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CacheLines = 512
+	rt, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*denom
+}
+
+func TestBlockRangeCoversAll(t *testing.T) {
+	for _, n := range []int{1, 7, 16, 100} {
+		for _, p := range []int{1, 2, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for id := 0; id < p; id++ {
+				lo, hi := blockRange(n, p, id)
+				if lo != prevHi {
+					t.Fatalf("n=%d p=%d id=%d: gap (lo=%d prevHi=%d)", n, p, id, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("n=%d p=%d: covered %d", n, p, covered)
+			}
+		}
+	}
+}
+
+func TestMicroMatchesAnalyticOnPthreads(t *testing.T) {
+	p := pthreads.New(pthreads.Config{})
+	res, err := RunMicro(p, 4, MicroParams{N: 3, M: 5, S: 2, B: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(res.GSum, res.Expected, 1e-9) {
+		t.Fatalf("GSum = %v, expected %v", res.GSum, res.Expected)
+	}
+}
+
+func TestMicroAllModesMatchAcrossBackends(t *testing.T) {
+	for _, mode := range AllModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			prm := MicroParams{N: 3, M: 4, S: 2, B: 64, Mode: mode}
+			const p = 4
+
+			pth := pthreads.New(pthreads.Config{})
+			pres, err := RunMicro(pth, p, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smh := newSamhita(t)
+			sres, err := RunMicro(smh, p, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relClose(pres.GSum, sres.GSum, 1e-9) {
+				t.Fatalf("mode %v: pthreads %v vs samhita %v", mode, pres.GSum, sres.GSum)
+			}
+			if !relClose(sres.GSum, sres.Expected, 1e-9) {
+				t.Fatalf("mode %v: samhita %v vs analytic %v", mode, sres.GSum, sres.Expected)
+			}
+		})
+	}
+}
+
+func TestMicroStridedExhibitsMoreSharingTraffic(t *testing.T) {
+	const p = 8
+	prm := MicroParams{N: 4, M: 2, S: 2, B: 256}
+
+	run := func(mode AllocMode) (invalidations int64) {
+		smh := newSamhita(t)
+		prm := prm
+		prm.Mode = mode
+		res, err := RunMicro(smh, p, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Run.Totals().Invalidations
+	}
+	local := run(AllocLocal)
+	strided := run(AllocStrided)
+	if strided <= local {
+		t.Errorf("strided invalidations (%d) should exceed local (%d)", strided, local)
+	}
+}
+
+func TestJacobiMatchesAcrossBackends(t *testing.T) {
+	prm := JacobiParams{N: 64, Iters: 4}
+	const p = 4
+
+	pth := pthreads.New(pthreads.Config{})
+	pres, err := RunJacobi(pth, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smh := newSamhita(t)
+	sres, err := RunJacobi(smh, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid evolution is barrier-deterministic: checksums must match
+	// bit for bit. The residual is accumulated in lock order, so allow
+	// rounding slack.
+	if pres.Checksum != sres.Checksum {
+		t.Errorf("checksums differ: %v vs %v", pres.Checksum, sres.Checksum)
+	}
+	if !relClose(pres.Residual, sres.Residual, 1e-9) {
+		t.Errorf("residuals differ: %v vs %v", pres.Residual, sres.Residual)
+	}
+	if pres.Checksum == 0 || sres.Residual == 0 {
+		t.Errorf("degenerate results: checksum=%v residual=%v", pres.Checksum, sres.Residual)
+	}
+}
+
+func TestJacobiSequentialConsistencyAcrossP(t *testing.T) {
+	// The checksum must not depend on the thread count.
+	prm := JacobiParams{N: 32, Iters: 3}
+	pth := pthreads.New(pthreads.Config{})
+	r1, err := RunJacobi(pth, 1, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunJacobi(pth, 4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum != r4.Checksum {
+		t.Fatalf("checksum depends on p: %v vs %v", r1.Checksum, r4.Checksum)
+	}
+}
+
+func TestMDMatchesAcrossBackends(t *testing.T) {
+	prm := MDParams{NParticles: 64, Steps: 3, Dt: 1e-4, Mass: 1}
+	const p = 4
+
+	pth := pthreads.New(pthreads.Config{})
+	pres, err := RunMD(pth, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smh := newSamhita(t)
+	sres, err := RunMD(smh, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Checksum != sres.Checksum {
+		t.Errorf("position checksums differ: %v vs %v", pres.Checksum, sres.Checksum)
+	}
+	if !relClose(pres.Potential, sres.Potential, 1e-9) {
+		t.Errorf("potential differs: %v vs %v", pres.Potential, sres.Potential)
+	}
+	if !relClose(pres.Kinetic, sres.Kinetic, 1e-9) {
+		t.Errorf("kinetic differs: %v vs %v", pres.Kinetic, sres.Kinetic)
+	}
+	if pres.Potential == 0 {
+		t.Error("degenerate potential")
+	}
+}
+
+func TestKernelsSingleThread(t *testing.T) {
+	// Everything must also run at p=1 (the normalization baseline).
+	pth := pthreads.New(pthreads.Config{})
+	if _, err := RunMicro(pth, 1, MicroParams{N: 2, M: 2, S: 1, B: 32}); err != nil {
+		t.Errorf("micro p=1: %v", err)
+	}
+	if _, err := RunJacobi(pth, 1, JacobiParams{N: 16, Iters: 2}); err != nil {
+		t.Errorf("jacobi p=1: %v", err)
+	}
+	if _, err := RunMD(pth, 1, MDParams{NParticles: 16, Steps: 2, Dt: 1e-4, Mass: 1}); err != nil {
+		t.Errorf("md p=1: %v", err)
+	}
+}
+
+func TestStreamMatchesAcrossBackends(t *testing.T) {
+	prm := StreamParams{Elements: 1 << 14, Iters: 3, Alpha: 3}
+	const p = 4
+
+	pth := pthreads.New(pthreads.Config{})
+	pres, err := RunStream(pth, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache far smaller than the 3x128KB working set forces streaming
+	// eviction on the DSM side.
+	cfg := core.DefaultConfig()
+	cfg.CacheLines = 2
+	smh, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer smh.Close()
+	sres, err := RunStream(smh, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Checksum != sres.Checksum {
+		t.Fatalf("checksums differ: %v vs %v", pres.Checksum, sres.Checksum)
+	}
+	if pres.Checksum == 0 {
+		t.Fatal("degenerate checksum")
+	}
+	if sres.Run.Totals().Evictions == 0 {
+		t.Error("out-of-core stream never evicted")
+	}
+}
+
+func TestStreamSingleThreadAndUneven(t *testing.T) {
+	pth := pthreads.New(pthreads.Config{})
+	r1, err := RunStream(pth, 1, StreamParams{Elements: 1000, Iters: 2, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunStream(pth, 3, StreamParams{Elements: 1000, Iters: 2, Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum != r3.Checksum {
+		t.Fatalf("checksum depends on p: %v vs %v", r1.Checksum, r3.Checksum)
+	}
+}

@@ -1,0 +1,126 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pthreads"
+	"repro/internal/vm"
+)
+
+// randomConfig builds a Samhita configuration that stresses a different
+// protocol corner per seed.
+func randomConfig(seed int64) core.Config {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := core.DefaultConfig()
+	cfg.Geo.LinePages = []int{1, 2, 4}[rng.Intn(3)]
+	cfg.Geo.NumServers = 1 + rng.Intn(3)
+	cfg.CacheLines = []int{2, 4, 16, 64}[rng.Intn(4)] // down to thrash
+	cfg.Prefetch = rng.Intn(2) == 0
+	cfg.DisableFineGrain = rng.Intn(4) == 0
+	return cfg
+}
+
+func TestModelSelfConsistency(t *testing.T) {
+	p := Generate(1)
+	// The model's slot values must be stable and half-aware.
+	if p.Slots%2 != 0 {
+		t.Fatal("odd slot count")
+	}
+	for s := 0; s < p.Slots; s++ {
+		if p.expectedSlot(s) != p.expectedSlot(s) {
+			t.Fatal("nondeterministic model")
+		}
+	}
+	if p.expectedAccum(0) == 0 {
+		t.Fatal("degenerate accumulator model")
+	}
+	for s := 0; s < p.Slots; s++ {
+		for r := 0; r < p.Rounds; r++ {
+			w := p.writer(s, r)
+			if w < 0 || w >= p.Threads {
+				t.Fatalf("writer(%d,%d) = %d", s, r, w)
+			}
+		}
+	}
+}
+
+func TestMalformedProgramRejected(t *testing.T) {
+	pth := pthreads.New(pthreads.Config{})
+	if _, err := Run(pth, Program{Threads: 0}); err == nil {
+		t.Fatal("zero-thread program accepted")
+	}
+	if _, err := Run(pth, Program{Threads: 1, Rounds: 1, Slots: 3}); err == nil {
+		t.Fatal("odd slot count accepted")
+	}
+}
+
+// The baseline must pass trivially: it IS sequentially consistent
+// hardware.
+func TestPthreadsBackendConforms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := Generate(seed)
+		pth := pthreads.New(pthreads.Config{MaxCores: p.Threads})
+		viols, err := Run(pth, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(viols) > 0 {
+			t.Fatalf("seed %d: baseline violated SC: %v", seed, viols[0])
+		}
+	}
+}
+
+// The headline check: the Samhita DSM must give data-race-free programs
+// sequentially consistent results under every randomized configuration.
+func TestSamhitaConformsUnderRandomConfigs(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			p := Generate(seed)
+			cfg := randomConfig(seed * 31)
+			rt, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			viols, err := Run(rt, p)
+			if err != nil {
+				t.Fatalf("seed %d (%+v, cfg lines=%d cache=%d srv=%d fg=%v): %v",
+					seed, p, cfg.Geo.LinePages, cfg.CacheLines, cfg.Geo.NumServers, !cfg.DisableFineGrain, err)
+			}
+			for _, viol := range viols {
+				t.Errorf("seed %d (cfg lines=%d cache=%d srv=%d prefetch=%v fg=%v): %s",
+					seed, cfg.Geo.LinePages, cfg.CacheLines, cfg.Geo.NumServers, cfg.Prefetch, !cfg.DisableFineGrain, viol)
+			}
+		})
+	}
+}
+
+// Reusing one runtime across several programs must stay consistent
+// (writer ids and interval tags must not collide).
+func TestSamhitaConformsAcrossRuns(t *testing.T) {
+	rt, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for seed := int64(100); seed < 104; seed++ {
+		p := Generate(seed)
+		viols, err := Run(rt, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, viol := range viols {
+			t.Errorf("seed %d: %s", seed, viol)
+		}
+	}
+}
+
+var _ = vm.VM(nil) // keep the import for documentation clarity

@@ -1,0 +1,400 @@
+// Package core is the Samhita runtime: it assembles the manager, the
+// memory servers, the simulated fabric and the per-thread software
+// caches into the virtual shared memory system of the paper, and exposes
+// it through the backend-neutral vm.VM interface.
+//
+// Topology follows Figure 1 and the evaluation setup of Section III: one
+// node runs the manager, one or more nodes run memory servers, and
+// compute threads execute on the remaining nodes (8 cores per node,
+// matching the dual quad-core Harpertown compute nodes — or the cores of
+// a coprocessor in the heterogeneous mapping). Every component-to-
+// component message crosses the fabric's link model.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+
+	"repro/internal/layout"
+	"repro/internal/manager"
+	"repro/internal/memserver"
+	"repro/internal/scl"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+// Node-id plan for the fabric.
+const (
+	managerNode     scl.NodeID = 1
+	firstServerNode scl.NodeID = 10
+	firstThreadNode scl.NodeID = 100
+)
+
+// Transport abstracts how component endpoints attach to the
+// interconnect. The default is the in-process simulated fabric; a
+// scl.TCPFactory runs the identical protocol over real sockets — the
+// SCL portability the paper designs for (IB verbs today, SCIF
+// tomorrow).
+type Transport interface {
+	NewEndpoint(id scl.NodeID) (scl.Endpoint, error)
+	Close() error
+}
+
+// Config parameterizes a Samhita instance.
+type Config struct {
+	// Geo is the address-space geometry (page size, line pages, memory
+	// servers, striping).
+	Geo layout.Geometry
+	// Link is the interconnect model between components (QDR InfiniBand
+	// in the paper's testbed; PCIe/SCIF in its future-work target).
+	Link vtime.LinkModel
+	// CPU is the compute-side cost model.
+	CPU vtime.CPUModel
+	// CacheLines bounds each thread's software cache (0 = default).
+	CacheLines int
+	// Prefetch enables one-line-ahead anticipatory paging.
+	Prefetch bool
+	// ArenaChunk is the size of the chunks threads request for their
+	// local arenas (0 = 256 KiB).
+	ArenaChunk int
+	// StripeMin is the size at (and above) which GlobalAlloc uses the
+	// striped strategy instead of the shared zone (0 = 1 MiB).
+	StripeMin int
+	// ThreadsPerNode controls placement (0 = 8, the paper's core count
+	// per node).
+	ThreadsPerNode int
+	// DisableFineGrain turns off RegC's consistency-region store
+	// instrumentation: stores under a lock are treated like ordinary
+	// stores (page diffs + invalidation), degrading the protocol to
+	// plain page-grained lazy release consistency. Used by the ablation
+	// benchmarks to isolate what the fine-grained update path buys.
+	DisableFineGrain bool
+	// Transport selects the communication substrate (nil = the
+	// simulated fabric priced by Link).
+	Transport Transport
+	// Trace, if non-nil, records protocol events (faults, fetches,
+	// lock/barrier spans) in virtual time for Chrome-trace export.
+	Trace *trace.Collector
+	// ManagerLink, if non-nil, overrides the link model for traffic to
+	// and from the manager. The paper's Section V observes that routing
+	// every synchronization through the manager over the slow fabric
+	// adds avoidable overhead on a single node; pointing this at
+	// vtime.IntraNode models that proposed optimization (see the
+	// "mgrlink" ablation). Only honoured by the simulated-fabric
+	// transport.
+	ManagerLink *vtime.LinkModel
+}
+
+// DefaultConfig returns the configuration matching the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Geo:            layout.DefaultGeometry(),
+		Link:           vtime.QDRInfiniBand,
+		CPU:            vtime.DefaultCPU,
+		CacheLines:     pagecacheDefaultLines,
+		Prefetch:       true,
+		ArenaChunk:     256 << 10,
+		StripeMin:      1 << 20,
+		ThreadsPerNode: 8,
+	}
+}
+
+const pagecacheDefaultLines = 4096
+
+// HeterogeneousConfig returns the configuration of the paper's Figure-1
+// scenario — the system the whole paper is arguing for: compute threads
+// on a Xeon-Phi-class coprocessor (many slow cores, small memory used
+// purely as cache), with the manager and memory server on the host
+// processor whose large DRAM backs the global address space, connected
+// by the PCI Express bus through a SCIF-class SCL implementation.
+func HeterogeneousConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Link = vtime.PCIeSCIF
+	cfg.CPU = vtime.XeonPhiCPU
+	cfg.ThreadsPerNode = 60 // one KNC-class coprocessor
+	cfg.CacheLines = 2048   // the card's memory is smaller than the host's
+	return cfg
+}
+
+func (c *Config) fillDefaults() {
+	if c.Geo.PageSize == 0 {
+		c.Geo = layout.DefaultGeometry()
+	}
+	if c.Link.Name == "" {
+		c.Link = vtime.QDRInfiniBand
+	}
+	if c.CPU.FlopTime == 0 {
+		c.CPU = vtime.DefaultCPU
+	}
+	if c.CacheLines <= 0 {
+		c.CacheLines = pagecacheDefaultLines
+	}
+	if c.ArenaChunk <= 0 {
+		c.ArenaChunk = 256 << 10
+	}
+	if c.StripeMin <= 0 {
+		c.StripeMin = 1 << 20
+	}
+	if c.ThreadsPerNode <= 0 {
+		c.ThreadsPerNode = 8
+	}
+}
+
+// Runtime is a running Samhita instance.
+type Runtime struct {
+	cfg       Config
+	fabric    *simnet.Fabric // nil when a custom Transport is used
+	transport Transport
+
+	mgr     *manager.Manager
+	servers []*memserver.Server
+	wg      sync.WaitGroup
+
+	nextSync   atomic.Uint32 // lock/barrier/cond id allocator
+	nextThread atomic.Uint32
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ vm.VM = (*Runtime)(nil)
+
+// New boots a Samhita instance: it creates the fabric, starts the
+// manager and the memory servers, and returns the runtime ready to Run
+// threads.
+func New(cfg Config) (*Runtime, error) {
+	cfg.fillDefaults()
+	if err := cfg.Geo.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, transport: cfg.Transport}
+	if rt.transport == nil {
+		rt.fabric = simnet.NewFabric(cfg.Link)
+		if cfg.ManagerLink != nil {
+			mgrLink := *cfg.ManagerLink
+			base := cfg.Link
+			rt.fabric.SetLinkFn(func(src, dst scl.NodeID) vtime.LinkModel {
+				if src == managerNode || dst == managerNode {
+					return mgrLink
+				}
+				return base
+			})
+		}
+		rt.transport = simTransport{fabric: rt.fabric}
+	}
+	mgrEP, err := rt.transport.NewEndpoint(managerNode)
+	if err != nil {
+		return nil, fmt.Errorf("core: manager endpoint: %w", err)
+	}
+	rt.mgr = manager.New(mgrEP, cfg.Geo)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.mgr.Run()
+	}()
+	agentAddr := func(writer uint32) scl.NodeID { return firstThreadNode + scl.NodeID(writer) }
+	for i := 0; i < cfg.Geo.NumServers; i++ {
+		srvEP, err := rt.transport.NewEndpoint(firstServerNode + scl.NodeID(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: memory server %d endpoint: %w", i, err)
+		}
+		srv := memserver.New(srvEP, i, cfg.Geo, cfg.CPU, agentAddr)
+		rt.servers = append(rt.servers, srv)
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			srv.Run()
+		}()
+	}
+	return rt, nil
+}
+
+// simTransport is the default transport: the in-process virtual-time
+// fabric.
+type simTransport struct{ fabric *simnet.Fabric }
+
+func (s simTransport) NewEndpoint(id scl.NodeID) (scl.Endpoint, error) {
+	return scl.NewSimEndpoint(s.fabric, id), nil
+}
+
+func (s simTransport) Close() error { return nil }
+
+// Name implements vm.VM.
+func (rt *Runtime) Name() string { return "samhita" }
+
+// Config returns the runtime's (default-filled) configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Manager exposes the manager for stats inspection.
+func (rt *Runtime) Manager() *manager.Manager { return rt.mgr }
+
+// Servers exposes the memory servers for stats inspection.
+func (rt *Runtime) Servers() []*memserver.Server { return rt.servers }
+
+// Fabric exposes the simulated fabric for traffic accounting; it is
+// nil when the runtime uses a custom transport.
+func (rt *Runtime) Fabric() *simnet.Fabric { return rt.fabric }
+
+func (rt *Runtime) serverNode(home int) scl.NodeID {
+	return firstServerNode + scl.NodeID(home)
+}
+
+// Run implements vm.VM: it spawns p compute threads, registers them with
+// the manager, executes body on each and gathers statistics.
+func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("core: need at least one thread, got %d", p)
+	}
+	threads := make([]*Thread, p)
+	for i := 0; i < p; i++ {
+		th, err := rt.newThread(i, p)
+		if err != nil {
+			return nil, err
+		}
+		threads[i] = th
+	}
+	// Register every thread before any body starts, so the manager's
+	// notice-pruning horizon covers them all from the first release.
+	for _, th := range threads {
+		if err := th.register(); err != nil {
+			return nil, fmt.Errorf("core: registering thread %d: %w", th.id, err)
+		}
+	}
+
+	// Each thread gets a cache agent: a goroutine answering DiffPull
+	// requests from homes while the thread computes (the runtime-side
+	// helper thread of the real system).
+	for _, th := range threads {
+		go th.agentLoop()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		reg      stats.Registry
+		panicMu  sync.Mutex
+		panicked error
+	)
+	for _, th := range threads {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Errorf("core: thread %d: %v", th.id, r)
+					}
+					panicMu.Unlock()
+				}
+				th.finish()
+				reg.Add(&th.st)
+			}()
+			body(th)
+		}(th)
+	}
+	wg.Wait()
+	// Retire the threads in three phases. (1) Flush any still-retained
+	// owned diffs so the homes become self-sufficient. (2) Drain every
+	// memory server with a synchronous ping: each inbox is a FIFO, so
+	// the ack proves all queued batches — whose processing may still
+	// pull from the threads' cache agents — are done. (3) Only then
+	// release the endpoints, which stops the agents.
+	for _, th := range threads {
+		th.flushOwned()
+	}
+	if err := rt.drainServers(); err != nil {
+		return nil, err
+	}
+	for _, th := range threads {
+		th.ep.Close()
+	}
+	if panicked != nil {
+		return nil, panicked
+	}
+	return reg.Run(), nil
+}
+
+// newThread builds a thread handle placed on a compute node. The
+// protocol writer id comes from a runtime-wide counter, never reused,
+// so interval tags stay unique even when one Runtime executes several
+// Run calls (each with thread ids restarting at zero).
+func (rt *Runtime) newThread(id, p int) (*Thread, error) {
+	seq := rt.nextThread.Add(1)
+	ep, err := rt.transport.NewEndpoint(firstThreadNode + scl.NodeID(seq))
+	if err != nil {
+		return nil, fmt.Errorf("core: thread %d endpoint: %w", id, err)
+	}
+	th := &Thread{
+		rt:    rt,
+		id:    id,
+		p:     p,
+		node:  uint32(id / rt.cfg.ThreadsPerNode),
+		ep:    ep,
+		clock: vtime.NewClock(0),
+	}
+	th.st = stats.Thread{ID: id}
+	th.writer = seq // writer 0 is reserved for "no writer"
+	th.actor = fmt.Sprintf("thread %d", id)
+	th.initCache()
+	return th, nil
+}
+
+// drainServers round-trips a ping through every memory server.
+func (rt *Runtime) drainServers() error {
+	ctl, err := rt.transport.NewEndpoint(firstThreadNode - 2 - scl.NodeID(rt.nextThread.Add(1)))
+	if err != nil {
+		return fmt.Errorf("core: drain endpoint: %w", err)
+	}
+	defer ctl.Close()
+	for i := range rt.servers {
+		var ack proto.Ack
+		if _, err := ctl.Call(rt.serverNode(i), &proto.Ping{}, &ack, 0); err != nil {
+			return fmt.Errorf("core: draining memory server %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewMutex implements vm.VM. Lock state lives in the manager; the id is
+// allocated here.
+func (rt *Runtime) NewMutex() vm.Mutex { return &smhMutex{rt: rt, id: rt.nextSync.Add(1)} }
+
+// NewBarrier implements vm.VM.
+func (rt *Runtime) NewBarrier(n int) vm.Barrier {
+	return &smhBarrier{rt: rt, id: rt.nextSync.Add(1), n: uint32(n)}
+}
+
+// NewCond implements vm.VM.
+func (rt *Runtime) NewCond() vm.Cond { return &smhCond{rt: rt, id: rt.nextSync.Add(1)} }
+
+// Close shuts the manager and memory servers down.
+func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() {
+		ctl, err := rt.transport.NewEndpoint(firstThreadNode - 1)
+		if err != nil {
+			rt.closeErr = err
+			return
+		}
+		targets := []scl.NodeID{managerNode}
+		for i := range rt.servers {
+			targets = append(targets, rt.serverNode(i))
+		}
+		for _, dst := range targets {
+			if _, err := ctl.Post(dst, &shutdownMsg, 0); err != nil && rt.closeErr == nil {
+				rt.closeErr = err
+			}
+		}
+		rt.wg.Wait()
+		ctl.Close()
+		if err := rt.transport.Close(); err != nil && rt.closeErr == nil {
+			rt.closeErr = err
+		}
+	})
+	return rt.closeErr
+}

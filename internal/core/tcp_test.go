@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/scl"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+// TestWholeRuntimeOverTCP boots a complete Samhita instance — manager,
+// memory server, compute threads and cache agents — over real loopback
+// TCP sockets and runs a sharing workload through it. This is the
+// end-to-end proof of the SCL abstraction: the consistency protocol is
+// byte-identical over the simulated fabric and over a real network.
+func TestWholeRuntimeOverTCP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transport = scl.NewTCPFactory(vtime.QDRInfiniBand)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Fabric() != nil {
+		t.Fatal("TCP runtime should have no simulated fabric")
+	}
+
+	const p = 4
+	mu := rt.NewMutex()
+	bar := rt.NewBarrier(p)
+	var base atomic.Uint64
+	run, err := rt.Run(p, func(th vm.Thread) {
+		if th.ID() == 0 {
+			base.Store(uint64(th.GlobalAlloc(8192)))
+		}
+		bar.Wait(th)
+		arr := vm.F64{Base: vm.Addr(base.Load())}
+		// Ordinary writes (one page region per thread => lazy ownership
+		// and pulls over TCP), plus a lock-protected counter (records
+		// over TCP).
+		for i := 0; i < 32; i++ {
+			arr.Set(th, th.ID()*32+i, float64(th.ID()*1000+i))
+		}
+		mu.Lock(th)
+		arr.Add(th, p*32, 1)
+		mu.Unlock(th)
+		bar.Wait(th)
+		for w := 0; w < p; w++ {
+			for i := 0; i < 32; i++ {
+				if got := arr.At(th, w*32+i); got != float64(w*1000+i) {
+					t.Errorf("thread %d: [%d,%d] = %v", th.ID(), w, i, got)
+					return
+				}
+			}
+		}
+		if got := arr.At(th, p*32); got != p {
+			t.Errorf("thread %d: counter = %v", th.ID(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := run.Totals()
+	if tot.NoticesReceived == 0 || run.MaxSyncTime() == 0 {
+		t.Errorf("TCP run shows no protocol activity: %+v", tot)
+	}
+}
+
+// TestTCPAndSimProduceSameResults runs the same deterministic program on
+// both transports and compares the computed data (virtual times differ
+// only by the fixed frame-header size difference).
+func TestTCPAndSimProduceSameResults(t *testing.T) {
+	prog := func(rt *Runtime) []float64 {
+		t.Helper()
+		const p = 2
+		bar := rt.NewBarrier(p)
+		var base atomic.Uint64
+		out := make([]float64, 16)
+		_, err := rt.Run(p, func(th vm.Thread) {
+			if th.ID() == 0 {
+				base.Store(uint64(th.GlobalAlloc(4096)))
+			}
+			bar.Wait(th)
+			arr := vm.F64{Base: vm.Addr(base.Load())}
+			for i := 0; i < 8; i++ {
+				arr.Set(th, th.ID()*8+i, float64((th.ID()+1)*(i+1)))
+			}
+			bar.Wait(th)
+			if th.ID() == 0 {
+				for i := range out {
+					out[i] = arr.At(th, i)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	simRT, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer simRT.Close()
+	simOut := prog(simRT)
+
+	cfg := DefaultConfig()
+	cfg.Transport = scl.NewTCPFactory(vtime.QDRInfiniBand)
+	tcpRT, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpRT.Close()
+	tcpOut := prog(tcpRT)
+
+	for i := range simOut {
+		if simOut[i] != tcpOut[i] {
+			t.Fatalf("transports disagree at %d: sim=%v tcp=%v", i, simOut[i], tcpOut[i])
+		}
+	}
+}

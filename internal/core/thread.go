@@ -1,0 +1,586 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/manager"
+	"repro/internal/pagecache"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+var shutdownMsg proto.Shutdown
+
+// Thread is one Samhita compute thread: a goroutine with its own fabric
+// endpoint, virtual clock and local software cache. (As in the paper,
+// each "thread" is really an independent process with no hardware-
+// coherent memory shared with its peers; everything flows through the
+// global address space.)
+type Thread struct {
+	rt     *Runtime
+	id     int
+	p      int
+	node   uint32 // compute node (placement)
+	writer uint32 // protocol writer id (thread id + 1)
+
+	ep    scl.Endpoint
+	clock *vtime.Clock
+	st    stats.Thread
+	cache *pagecache.Cache
+
+	// mark is the virtual time up to which the clock has been attributed
+	// to a bucket; everything between mark and Now() is unattributed.
+	mark vtime.Time
+	// frozen, when set by StopMeasurement, is the record reported
+	// instead of whatever accumulates afterwards.
+	frozen *stats.Thread
+
+	// lockDepth tracks consistency-region nesting: stores while >0 are
+	// instrumented into the fine-grained log.
+	lockDepth int
+	// lastSeen is the highest manager notice sequence applied.
+	lastSeen uint64
+
+	// arena is the thread-local allocator (strategy one).
+	arenaNext      layout.Addr
+	arenaRemaining int
+
+	// actor is the trace label ("thread 3").
+	actor string
+}
+
+var _ vm.Thread = (*Thread)(nil)
+
+func (t *Thread) initCache() {
+	t.cache = pagecache.New(pagecache.Config{
+		Geo:           t.rt.cfg.Geo,
+		CPU:           t.rt.cfg.CPU,
+		CapacityLines: t.rt.cfg.CacheLines,
+		Prefetch:      t.rt.cfg.Prefetch,
+		Writer:        t.writer,
+	}, (*threadBackend)(t), t.clock, &t.st)
+}
+
+// ID implements vm.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// P implements vm.Thread.
+func (t *Thread) P() int { return t.p }
+
+// Clock implements vm.Thread.
+func (t *Thread) Clock() vtime.Time { return t.clock.Now() }
+
+// Stats implements vm.Thread.
+func (t *Thread) Stats() *stats.Thread { return &t.st }
+
+// Cache exposes the thread's software cache (used by tests and the
+// bench harness).
+func (t *Thread) Cache() *pagecache.Cache { return t.cache }
+
+// register announces the thread to the manager before the run starts.
+func (t *Thread) register() error {
+	var ack proto.Ack
+	at, err := t.ep.Call(managerNode, &proto.RegisterReq{Thread: t.writer, Node: t.node}, &ack, t.clock.Now())
+	if err != nil {
+		return err
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.mark = t.clock.Now() // registration is setup, not measured time
+	return nil
+}
+
+// finish attributes any trailing unmeasured time to the compute bucket
+// and quiesces the thread's traffic. The endpoint stays open — the
+// cache agent keeps serving diff pulls until the Runtime retires the
+// thread after every body has returned.
+func (t *Thread) finish() {
+	t.settleCompute()
+	if t.frozen != nil {
+		t.st = *t.frozen
+	}
+	t.cache.DrainPrefetches()
+}
+
+// agentLoop is the thread's cache agent: it answers DiffPull requests
+// from home servers out of the retained-diff store while the thread
+// itself computes (the asynchronous runtime helper of the real system).
+// It exits when the endpoint closes.
+func (t *Thread) agentLoop() {
+	for {
+		req, ok := t.ep.Recv()
+		if !ok {
+			return
+		}
+		// Each pull is priced independently from its own arrival: the
+		// agent's work is a trivial store lookup, so there is no
+		// queueing to model, and a shared monotone clock would let one
+		// late-stamped request inflate every later (but virtually
+		// earlier) reply — the out-of-order poisoning the memory
+		// server's calendar exists to prevent.
+		switch req.Kind() {
+		case proto.KDiffPullReq:
+			var m proto.DiffPullReq
+			if err := req.Decode(&m); err != nil {
+				req.ReplyError(err, req.Arrive()+req.Svc())
+				continue
+			}
+			diffs := t.cache.Owned().TakeMany(m.Pages)
+			payload := 0
+			for i := range diffs {
+				payload += diffs[i].PayloadBytes()
+			}
+			req.Reply(&proto.DiffPullResp{Diffs: diffs},
+				req.Arrive()+req.Svc()+t.rt.cfg.CPU.CopyTime(payload))
+		default:
+			if !req.OneWay() {
+				req.ReplyError(fmt.Errorf("core: agent got unexpected %v", req.Kind()), req.Arrive()+req.Svc())
+			}
+		}
+	}
+}
+
+// flushOwned pushes every still-retained owned diff to its home so the
+// homes are self-sufficient once this thread's agent goes away. Called
+// by the Runtime after the thread's body has returned.
+func (t *Thread) flushOwned() {
+	diffs := t.cache.Owned().DrainAll()
+	if len(diffs) == 0 {
+		return
+	}
+	byHome := make(map[int][]proto.PageDiff)
+	for _, d := range diffs {
+		home := t.rt.cfg.Geo.HomeOf(layout.PageID(d.Page))
+		byHome[home] = append(byHome[home], d)
+	}
+	at := t.clock.Now()
+	for home, ds := range byHome {
+		var err error
+		at, err = t.ep.Post(t.rt.serverNode(home), &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		if err != nil {
+			panic(fmt.Sprintf("core: final owned flush for thread %d: %v", t.id, err))
+		}
+	}
+	t.clock.AdvanceTo(at)
+}
+
+// ResetMeasurement implements vm.Thread.
+func (t *Thread) ResetMeasurement() {
+	t.st = stats.Thread{ID: t.id}
+	t.frozen = nil
+	t.mark = t.clock.Now()
+}
+
+// StopMeasurement implements vm.Thread.
+func (t *Thread) StopMeasurement() {
+	t.settleCompute()
+	snap := t.st.Snapshot()
+	t.frozen = &snap
+}
+
+// settleCompute attributes [mark, now) to compute time.
+func (t *Thread) settleCompute() {
+	now := t.clock.Now()
+	t.st.ComputeTime += now - t.mark
+	t.mark = now
+}
+
+// settleSync attributes [mark, now) to synchronization time.
+func (t *Thread) settleSync() {
+	now := t.clock.Now()
+	t.st.SyncTime += now - t.mark
+	t.mark = now
+}
+
+// fail aborts the thread; accessor errors are the DSM equivalent of a
+// fatal segmentation fault.
+func (t *Thread) fail(op string, err error) {
+	panic(fmt.Sprintf("samhita thread %d: %s: %v", t.id, op, err))
+}
+
+// ---------------------------------------------------------------------
+// Memory accessors (vm.Thread).
+
+// Compute charges pure arithmetic to the virtual clock.
+func (t *Thread) Compute(flops int) {
+	if flops > 0 {
+		t.clock.Advance(vtime.Time(flops) * t.rt.cfg.CPU.FlopTime)
+	}
+}
+
+// ReadBytes implements vm.Thread.
+func (t *Thread) ReadBytes(a vm.Addr, buf []byte) {
+	if err := t.cache.Read(a, buf); err != nil {
+		t.fail("read", err)
+	}
+}
+
+// WriteBytes implements vm.Thread.
+func (t *Thread) WriteBytes(a vm.Addr, data []byte) {
+	region := t.lockDepth > 0 && !t.rt.cfg.DisableFineGrain
+	if err := t.cache.Write(a, data, region); err != nil {
+		t.fail("write", err)
+	}
+}
+
+// ReadFloat64 implements vm.Thread.
+func (t *Thread) ReadFloat64(a vm.Addr) float64 {
+	var b [8]byte
+	t.ReadBytes(a, b[:])
+	return vm.GetFloat64(b[:])
+}
+
+// WriteFloat64 implements vm.Thread.
+func (t *Thread) WriteFloat64(a vm.Addr, v float64) {
+	var b [8]byte
+	vm.PutFloat64(b[:], v)
+	t.WriteBytes(a, b[:])
+}
+
+// ReadInt64 implements vm.Thread.
+func (t *Thread) ReadInt64(a vm.Addr) int64 {
+	var b [8]byte
+	t.ReadBytes(a, b[:])
+	return vm.GetInt64(b[:])
+}
+
+// WriteInt64 implements vm.Thread.
+func (t *Thread) WriteInt64(a vm.Addr, v int64) {
+	var b [8]byte
+	vm.PutInt64(b[:], v)
+	t.WriteBytes(a, b[:])
+}
+
+// ---------------------------------------------------------------------
+// Allocation (vm.Thread).
+
+// Malloc implements vm.Thread: the thread-local arena path (allocation
+// strategy one). Arena chunks come from the manager rarely; the common
+// case is a pure-local bump allocation with no communication, and arena
+// chunks are cache-line aligned so threads never false-share them.
+func (t *Thread) Malloc(n int) vm.Addr {
+	if n <= 0 {
+		t.fail("malloc", fmt.Errorf("non-positive size %d", n))
+	}
+	n = int(layout.AlignUp(layout.Addr(n), 16))
+	if n > t.arenaRemaining {
+		chunk := t.rt.cfg.ArenaChunk
+		if n > chunk {
+			chunk = int(layout.AlignUp(layout.Addr(n), t.rt.cfg.Geo.LineSize()))
+		}
+		addr := t.managerAlloc(uint64(chunk), proto.AllocArenaChunk)
+		t.arenaNext = addr
+		t.arenaRemaining = chunk
+	}
+	a := t.arenaNext
+	t.arenaNext += layout.Addr(n)
+	t.arenaRemaining -= n
+	t.st.ArenaAllocs++
+	return a
+}
+
+// GlobalAlloc implements vm.Thread: manager-served allocation, using the
+// shared zone for medium requests and striping across memory servers for
+// large ones (strategies two and three).
+func (t *Thread) GlobalAlloc(n int) vm.Addr {
+	if n <= 0 {
+		t.fail("global alloc", fmt.Errorf("non-positive size %d", n))
+	}
+	strategy := proto.AllocShared
+	if n >= t.rt.cfg.StripeMin {
+		strategy = proto.AllocStriped
+	}
+	t.st.SharedAllocs++
+	return t.managerAlloc(uint64(n), strategy)
+}
+
+func (t *Thread) managerAlloc(size uint64, strategy uint8) vm.Addr {
+	start := t.clock.Now()
+	var resp proto.AllocResp
+	at, err := t.ep.Call(managerNode, &proto.AllocReq{
+		Thread: t.writer, Size: size, Align: 16, Strategy: strategy,
+	}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("alloc", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.rt.cfg.Trace.Span(t.actor, trace.CatAlloc, "alloc", start, at, map[string]any{"bytes": size})
+	t.st.MsgsSent++
+	return layout.Addr(resp.Addr)
+}
+
+// Free implements vm.Thread. Arena memory is reclaimed wholesale when
+// the arena chunk itself is released, so arena frees are no-ops (the
+// paper's arenas behave the same way); manager-served allocations are
+// returned to their zone.
+func (t *Thread) Free(a vm.Addr) {
+	if a < manager.SharedZoneBase {
+		return
+	}
+	var ack proto.Ack
+	at, err := t.ep.Call(managerNode, &proto.FreeReq{Thread: t.writer, Addr: uint64(a)}, &ack, t.clock.Now())
+	if err != nil {
+		t.fail("free", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+}
+
+// ---------------------------------------------------------------------
+// Release/acquire plumbing shared by the synchronization objects.
+
+// postRelease closes the current interval: it ships the DiffBatches to
+// the home servers (asynchronously, before the manager hears about the
+// release) and returns the notice content for the manager call.
+func (t *Thread) postRelease() *pagecache.ReleaseSet {
+	start := t.clock.Now()
+	rs := t.cache.CollectRelease()
+	defer func() {
+		if t.rt.cfg.Trace != nil && (len(rs.Pages) > 0 || len(rs.Records) > 0) {
+			t.rt.cfg.Trace.Span(t.actor, trace.CatRelease, "release", start, t.clock.Now(),
+				map[string]any{"pages": len(rs.Pages), "records": len(rs.Records)})
+		}
+	}()
+	for home, batch := range rs.ByHome {
+		at, err := t.ep.Post(t.rt.serverNode(home), batch, t.clock.Now())
+		if err != nil {
+			t.fail("diff batch", err)
+		}
+		t.clock.AdvanceTo(at)
+		t.st.MsgsSent++
+	}
+	return rs
+}
+
+// applyNotices consumes acquire-side notices and advances the seen
+// horizon.
+func (t *Thread) applyNotices(seq uint64, notices []proto.Notice) {
+	if err := t.cache.ApplyNotices(notices); err != nil {
+		t.fail("apply notices", err)
+	}
+	if seq > t.lastSeen {
+		t.lastSeen = seq
+	}
+}
+
+// ---------------------------------------------------------------------
+// Synchronization objects.
+
+// smhMutex is a Samhita mutual-exclusion lock. Lock is an acquire point;
+// Unlock is a release point carrying the interval's write notice; the
+// span between them is a consistency region whose stores are propagated
+// as fine-grained updates.
+type smhMutex struct {
+	rt *Runtime
+	id uint32
+}
+
+// Lock implements vm.Mutex.
+func (m *smhMutex) Lock(th vm.Thread) {
+	t := th.(*Thread)
+	t.settleCompute()
+	start := t.clock.Now()
+	defer func() {
+		t.rt.cfg.Trace.Span(t.actor, trace.CatLock, fmt.Sprintf("lock %d", m.id), start, t.clock.Now(), nil)
+	}()
+	t.clock.Advance(t.rt.cfg.CPU.LockTime)
+	var resp proto.LockResp
+	at, err := t.ep.Call(managerNode, &proto.LockReq{
+		Lock: m.id, Thread: t.writer, LastSeen: t.lastSeen,
+	}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("lock", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.LockOps++
+	t.applyNotices(resp.Seq, resp.Notices)
+	t.lockDepth++
+	t.settleSync()
+}
+
+// Unlock implements vm.Mutex.
+func (m *smhMutex) Unlock(th vm.Thread) {
+	t := th.(*Thread)
+	if t.lockDepth <= 0 {
+		t.fail("unlock", fmt.Errorf("unlock without matching lock"))
+	}
+	t.settleCompute()
+	start := t.clock.Now()
+	defer func() {
+		t.rt.cfg.Trace.Span(t.actor, trace.CatLock, fmt.Sprintf("unlock %d", m.id), start, t.clock.Now(), nil)
+	}()
+	t.clock.Advance(t.rt.cfg.CPU.LockTime)
+	rs := t.postRelease()
+	var ack proto.Ack
+	at, err := t.ep.Call(managerNode, &proto.UnlockReq{
+		Lock: m.id, Thread: t.writer, Interval: rs.Tag.Interval,
+		Pages: rs.Pages, Records: rs.Records,
+	}, &ack, t.clock.Now())
+	if err != nil {
+		t.fail("unlock", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.LockOps++
+	t.lockDepth--
+	t.settleSync()
+}
+
+// smhBarrier is a Samhita barrier: a release followed by an acquire for
+// all n participants, mediated by the manager.
+type smhBarrier struct {
+	rt *Runtime
+	id uint32
+	n  uint32
+}
+
+// Wait implements vm.Barrier.
+func (b *smhBarrier) Wait(th vm.Thread) {
+	t := th.(*Thread)
+	t.settleCompute()
+	start := t.clock.Now()
+	defer func() {
+		t.rt.cfg.Trace.Span(t.actor, trace.CatBarrier, fmt.Sprintf("barrier %d", b.id), start, t.clock.Now(), nil)
+	}()
+	t.clock.Advance(t.rt.cfg.CPU.LockTime)
+	rs := t.postRelease()
+	var resp proto.BarrierResp
+	at, err := t.ep.Call(managerNode, &proto.BarrierReq{
+		Barrier: b.id, Count: b.n, Thread: t.writer,
+		LastSeen: t.lastSeen, Interval: rs.Tag.Interval,
+		Pages: rs.Pages, Records: rs.Records,
+	}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("barrier", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.BarrierOps++
+	t.applyNotices(resp.Seq, resp.Notices)
+	t.settleSync()
+}
+
+// smhCond is a Samhita condition variable.
+type smhCond struct {
+	rt *Runtime
+	id uint32
+}
+
+// Wait implements vm.Cond: release the interval and the mutex, sleep
+// until signalled, re-acquire the mutex (with fresh notices).
+func (c *smhCond) Wait(th vm.Thread, mu vm.Mutex) {
+	t := th.(*Thread)
+	m, ok := mu.(*smhMutex)
+	if !ok {
+		t.fail("cond wait", fmt.Errorf("mutex is not a Samhita mutex"))
+	}
+	if t.lockDepth <= 0 {
+		t.fail("cond wait", fmt.Errorf("cond wait without holding the mutex"))
+	}
+	t.settleCompute()
+	t.clock.Advance(t.rt.cfg.CPU.LockTime)
+	rs := t.postRelease()
+	var resp proto.CondWaitResp
+	at, err := t.ep.Call(managerNode, &proto.CondWaitReq{
+		Cond: c.id, Lock: m.id, Thread: t.writer,
+		LastSeen: t.lastSeen, Interval: rs.Tag.Interval,
+		Pages: rs.Pages, Records: rs.Records,
+	}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("cond wait", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.CondOps++
+	t.applyNotices(resp.Seq, resp.Notices)
+	t.settleSync()
+}
+
+// Signal implements vm.Cond.
+func (c *smhCond) Signal(th vm.Thread) { c.signal(th, false) }
+
+// Broadcast implements vm.Cond.
+func (c *smhCond) Broadcast(th vm.Thread) { c.signal(th, true) }
+
+func (c *smhCond) signal(th vm.Thread, broadcast bool) {
+	t := th.(*Thread)
+	t.settleCompute()
+	var ack proto.Ack
+	at, err := t.ep.Call(managerNode, &proto.CondSignalReq{
+		Cond: c.id, Thread: t.writer, Broadcast: broadcast,
+	}, &ack, t.clock.Now())
+	if err != nil {
+		t.fail("cond signal", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.CondOps++
+	t.settleSync()
+}
+
+// ---------------------------------------------------------------------
+// pagecache.Backend implementation.
+
+// threadBackend adapts a Thread to the cache's Backend interface.
+type threadBackend Thread
+
+func (b *threadBackend) thread() *Thread { return (*Thread)(b) }
+
+// FetchLine implements pagecache.Backend.
+func (b *threadBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error) {
+	t := b.thread()
+	home := t.rt.cfg.Geo.HomeOf(t.rt.cfg.Geo.FirstPage(line))
+	var resp proto.FetchLineResp
+	doneAt, err := t.ep.Call(t.rt.serverNode(home), &proto.FetchLineReq{
+		Line: uint64(line), Needs: needs,
+	}, &resp, at)
+	if err != nil {
+		return nil, at, err
+	}
+	t.rt.cfg.Trace.Span(t.actor, trace.CatFetch, fmt.Sprintf("fetch line %d", line), at, doneAt,
+		map[string]any{"home": home, "needs": len(needs)})
+	t.st.MsgsSent++
+	return resp.Data, doneAt, nil
+}
+
+// StartPrefetch implements pagecache.Backend: the asynchronous
+// adjacent-line request of Samhita's anticipatory paging.
+func (b *threadBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan pagecache.PrefetchResult {
+	t := b.thread()
+	home := t.rt.cfg.Geo.HomeOf(t.rt.cfg.Geo.FirstPage(line))
+	ch := make(chan pagecache.PrefetchResult, 1)
+	t.st.MsgsSent++
+	go func() {
+		var resp proto.FetchLineResp
+		doneAt, err := t.ep.Call(t.rt.serverNode(home), &proto.FetchLineReq{
+			Line: uint64(line), Needs: needs,
+		}, &resp, at)
+		ch <- pagecache.PrefetchResult{Data: resp.Data, ReadyAt: doneAt, Err: err}
+	}()
+	return ch
+}
+
+// FlushEvict implements pagecache.Backend.
+func (b *threadBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error) {
+	t := b.thread()
+	byHome := make(map[int][]proto.PageDiff)
+	for _, d := range diffs {
+		home := t.rt.cfg.Geo.HomeOf(layout.PageID(d.Page))
+		byHome[home] = append(byHome[home], d)
+	}
+	for home, ds := range byHome {
+		var err error
+		at, err = t.ep.Post(t.rt.serverNode(home), &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		if err != nil {
+			return at, err
+		}
+		t.st.MsgsSent++
+	}
+	return at, nil
+}

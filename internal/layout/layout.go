@@ -1,0 +1,120 @@
+// Package layout defines the global-address-space geometry shared by the
+// compute-side cache, the memory servers and the allocator: page size,
+// cache-line size (in pages), and the striping function that assigns each
+// page a home memory server.
+//
+// Samhita divides the shared global address space into pages and moves
+// data in cache lines of multiple pages to exploit spatial locality
+// (Section II). Large allocations are striped across memory servers to
+// avoid hot spots; here striping is part of the address geometry itself:
+// consecutive cache lines round-robin across servers, so a single-server
+// configuration degenerates to "everything on server 0" and the hot-spot
+// ablation can toggle striping off explicitly.
+package layout
+
+import "fmt"
+
+// Addr is a byte offset in the shared global address space.
+type Addr uint64
+
+// PageID numbers pages from the base of the address space.
+type PageID uint64
+
+// LineID numbers cache lines (groups of LinePages consecutive pages).
+type LineID uint64
+
+// Default geometry parameters, matching the implementation the paper
+// evaluates (4 KiB OS pages; multi-page cache lines).
+const (
+	DefaultPageSize  = 4096
+	DefaultLinePages = 4
+)
+
+// Geometry captures one configuration of the address space.
+type Geometry struct {
+	// PageSize is the page size in bytes; must be a power of two.
+	PageSize int
+	// LinePages is the number of consecutive pages in a cache line.
+	LinePages int
+	// NumServers is the number of memory servers the space is striped
+	// over.
+	NumServers int
+	// Striped selects the home-assignment policy: if true, consecutive
+	// cache lines round-robin across servers; if false every page homes
+	// on server 0 (used by the hot-spot ablation).
+	Striped bool
+}
+
+// DefaultGeometry returns the geometry used throughout the paper's
+// experiments: 4 KiB pages, 4-page cache lines, one memory server.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		PageSize:   DefaultPageSize,
+		LinePages:  DefaultLinePages,
+		NumServers: 1,
+		Striped:    true,
+	}
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 || g.PageSize&(g.PageSize-1) != 0 {
+		return fmt.Errorf("layout: page size %d is not a positive power of two", g.PageSize)
+	}
+	if g.LinePages <= 0 {
+		return fmt.Errorf("layout: line pages %d must be positive", g.LinePages)
+	}
+	if g.NumServers <= 0 {
+		return fmt.Errorf("layout: need at least one memory server, got %d", g.NumServers)
+	}
+	return nil
+}
+
+// LineSize is the cache-line size in bytes.
+func (g Geometry) LineSize() int { return g.PageSize * g.LinePages }
+
+// PageOf returns the page containing addr.
+func (g Geometry) PageOf(a Addr) PageID { return PageID(uint64(a) / uint64(g.PageSize)) }
+
+// PageBase returns the address of the first byte of page p.
+func (g Geometry) PageBase(p PageID) Addr { return Addr(uint64(p) * uint64(g.PageSize)) }
+
+// PageOffset returns addr's offset within its page.
+func (g Geometry) PageOffset(a Addr) int { return int(uint64(a) % uint64(g.PageSize)) }
+
+// LineOf returns the cache line containing page p.
+func (g Geometry) LineOf(p PageID) LineID { return LineID(uint64(p) / uint64(g.LinePages)) }
+
+// LineOfAddr returns the cache line containing addr.
+func (g Geometry) LineOfAddr(a Addr) LineID { return g.LineOf(g.PageOf(a)) }
+
+// FirstPage returns the first page of line l.
+func (g Geometry) FirstPage(l LineID) PageID { return PageID(uint64(l) * uint64(g.LinePages)) }
+
+// HomeOf returns the memory server that owns page p.
+func (g Geometry) HomeOf(p PageID) int {
+	if !g.Striped || g.NumServers == 1 {
+		return 0
+	}
+	return int(uint64(g.LineOf(p)) % uint64(g.NumServers))
+}
+
+// PagesSpanned returns the pages overlapped by [a, a+n).
+func (g Geometry) PagesSpanned(a Addr, n int) []PageID {
+	if n <= 0 {
+		return nil
+	}
+	first := g.PageOf(a)
+	last := g.PageOf(a + Addr(n) - 1)
+	out := make([]PageID, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AlignUp rounds a up to the next multiple of align (a power of two).
+func AlignUp(a Addr, align int) Addr {
+	m := Addr(align) - 1
+	return (a + m) &^ m
+}

@@ -1,0 +1,158 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []Geometry{
+		{PageSize: 0, LinePages: 1, NumServers: 1},
+		{PageSize: 3000, LinePages: 1, NumServers: 1}, // not a power of two
+		{PageSize: 4096, LinePages: 0, NumServers: 1},
+		{PageSize: 4096, LinePages: 4, NumServers: 0},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.PageOf(0); got != 0 {
+		t.Errorf("PageOf(0) = %d", got)
+	}
+	if got := g.PageOf(4095); got != 0 {
+		t.Errorf("PageOf(4095) = %d", got)
+	}
+	if got := g.PageOf(4096); got != 1 {
+		t.Errorf("PageOf(4096) = %d", got)
+	}
+	if got := g.PageBase(3); got != 12288 {
+		t.Errorf("PageBase(3) = %d", got)
+	}
+	if got := g.PageOffset(4100); got != 4 {
+		t.Errorf("PageOffset(4100) = %d", got)
+	}
+	if got := g.LineSize(); got != 16384 {
+		t.Errorf("LineSize = %d", got)
+	}
+}
+
+func TestLineArithmetic(t *testing.T) {
+	g := DefaultGeometry() // 4 pages per line
+	if got := g.LineOf(0); got != 0 {
+		t.Errorf("LineOf(0) = %d", got)
+	}
+	if got := g.LineOf(3); got != 0 {
+		t.Errorf("LineOf(3) = %d", got)
+	}
+	if got := g.LineOf(4); got != 1 {
+		t.Errorf("LineOf(4) = %d", got)
+	}
+	if got := g.FirstPage(2); got != 8 {
+		t.Errorf("FirstPage(2) = %d", got)
+	}
+	if got := g.LineOfAddr(Addr(5 * 4096)); got != 1 {
+		t.Errorf("LineOfAddr = %d", got)
+	}
+}
+
+func TestHomeOfStriping(t *testing.T) {
+	g := Geometry{PageSize: 4096, LinePages: 4, NumServers: 3, Striped: true}
+	// Pages 0-3 are line 0 -> server 0; pages 4-7 line 1 -> server 1; etc.
+	wants := map[PageID]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 12: 0}
+	for p, want := range wants {
+		if got := g.HomeOf(p); got != want {
+			t.Errorf("HomeOf(%d) = %d, want %d", p, got, want)
+		}
+	}
+	g.Striped = false
+	for p := PageID(0); p < 20; p++ {
+		if got := g.HomeOf(p); got != 0 {
+			t.Errorf("unstriped HomeOf(%d) = %d, want 0", p, got)
+		}
+	}
+}
+
+func TestPagesSpanned(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.PagesSpanned(100, 0); got != nil {
+		t.Errorf("zero-length span = %v", got)
+	}
+	if got := g.PagesSpanned(100, 8); len(got) != 1 || got[0] != 0 {
+		t.Errorf("span within page = %v", got)
+	}
+	got := g.PagesSpanned(4090, 10) // crosses page 0 -> 1
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("cross-page span = %v", got)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		a     Addr
+		align int
+		want  Addr
+	}{
+		{0, 16, 0}, {1, 16, 16}, {16, 16, 16}, {17, 16, 32}, {4095, 4096, 4096},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.a, c.align); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.a, c.align, got, c.want)
+		}
+	}
+}
+
+// Property: PageOf and PageBase are consistent, and every address maps
+// into exactly one page whose home server is stable and in range.
+func TestGeometryProperties(t *testing.T) {
+	g := Geometry{PageSize: 4096, LinePages: 4, NumServers: 4, Striped: true}
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		p := g.PageOf(a)
+		if g.PageBase(p) > a || a >= g.PageBase(p)+Addr(g.PageSize) {
+			return false
+		}
+		h := g.HomeOf(p)
+		if h < 0 || h >= g.NumServers {
+			return false
+		}
+		// All pages in the same line share a home (lines never split).
+		return g.HomeOf(g.FirstPage(g.LineOf(p))) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PagesSpanned covers exactly ceil(((a%page)+n)/page) pages and
+// they are consecutive.
+func TestPagesSpannedProperty(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(raw uint16, nRaw uint16) bool {
+		a, n := Addr(raw), int(nRaw%9000)+1
+		got := g.PagesSpanned(a, n)
+		wantLen := (g.PageOffset(a)+n+g.PageSize-1)/g.PageSize - 0
+		if len(got) != wantLen {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[i-1]+1 {
+				return false
+			}
+		}
+		return got[0] == g.PageOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,523 @@
+// Package manager implements the Samhita manager: the component
+// responsible for memory allocation, synchronization and the
+// write-notice directory that drives regional consistency (Section II).
+// In the heterogeneous-node mapping of Figure 1 the manager runs on the
+// host processor alongside the memory servers.
+//
+// The manager is a single-goroutine event loop over its SCL endpoint.
+// Every synchronization operation in Samhita goes through it — the paper
+// explicitly calls out the resulting overhead (Section V) — so its
+// virtual clock is a genuine serialization point: contended locks and
+// wide barriers queue here, exactly as they do in the measured system.
+//
+// Consistency bookkeeping: each release (unlock, barrier arrival,
+// condition wait) carries the releasing interval's write notice — the
+// pages dirtied in ordinary regions plus the fine-grained store records
+// logged in consistency regions. The manager stamps it with a global
+// sequence number and stores it. Each acquire (lock grant, barrier
+// departure, condition wakeup) returns every notice the acquiring thread
+// has not yet seen. Notices older than every thread's horizon are
+// pruned.
+package manager
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/vtime"
+)
+
+// Address-space plan. The zones are disjoint so that a Free can be
+// routed by address alone.
+const (
+	// ArenaZoneBase is where per-thread arena chunks are carved from.
+	ArenaZoneBase layout.Addr = 1 << 20
+	arenaZoneEnd  layout.Addr = 1 << 34
+	// SharedZoneBase serves medium allocations (strategy two).
+	SharedZoneBase layout.Addr = 1 << 34
+	sharedZoneEnd  layout.Addr = 1 << 36
+	// StripedZoneBase serves large allocations (strategy three); bases
+	// are aligned to a full stripe group so consecutive allocations
+	// start on different memory servers.
+	StripedZoneBase layout.Addr = 1 << 36
+	stripedZoneEnd  layout.Addr = 1 << 40
+)
+
+// Stats counts manager activity. Fields are atomics so that harnesses
+// and tests can observe progress while the manager runs.
+type Stats struct {
+	Allocs        atomic.Int64
+	Frees         atomic.Int64
+	LockGrants    atomic.Int64
+	LockWaits     atomic.Int64 // grants that had to queue first
+	Unlocks       atomic.Int64
+	BarrierRounds atomic.Int64
+	CondWaits     atomic.Int64
+	CondSignals   atomic.Int64
+	NoticesStored atomic.Int64
+	NoticesSent   atomic.Int64
+	NoticesPruned atomic.Int64
+}
+
+// Manager is the manager component.
+type Manager struct {
+	ep    scl.Endpoint
+	geo   layout.Geometry
+	clock *vtime.Clock
+
+	arenaZone   *Zone
+	sharedZone  *Zone
+	stripedZone *Zone
+
+	seq      uint64
+	notices  []proto.Notice
+	lastSeen map[uint32]uint64
+
+	locks    map[uint32]*lockState
+	barriers map[uint32]*barrierState
+	conds    map[uint32]*condState
+
+	stats Stats
+}
+
+type waitKind uint8
+
+const (
+	waitLock waitKind = iota // answer with LockResp
+	waitCond                 // answer with CondWaitResp
+)
+
+// waiter is a thread parked on a lock (directly or resuming from a
+// condition wait).
+type waiter struct {
+	req      *scl.Request
+	thread   uint32
+	lastSeen uint64
+	kind     waitKind
+}
+
+type lockState struct {
+	held   bool
+	holder uint32
+	queue  []waiter
+}
+
+type barrierState struct {
+	count   uint32
+	arrived []waiter
+}
+
+type condState struct {
+	// waiters are parked threads; each remembers which lock to
+	// re-acquire on wakeup.
+	waiters []struct {
+		w    waiter
+		lock uint32
+	}
+}
+
+// New creates a manager serving the given endpoint.
+func New(ep scl.Endpoint, geo layout.Geometry) *Manager {
+	return &Manager{
+		ep:          ep,
+		geo:         geo,
+		clock:       vtime.NewClock(0),
+		arenaZone:   NewZone("arena", ArenaZoneBase, arenaZoneEnd),
+		sharedZone:  NewZone("shared", SharedZoneBase, sharedZoneEnd),
+		stripedZone: NewZone("striped", StripedZoneBase, stripedZoneEnd),
+		lastSeen:    make(map[uint32]uint64),
+		locks:       make(map[uint32]*lockState),
+		barriers:    make(map[uint32]*barrierState),
+		conds:       make(map[uint32]*condState),
+	}
+}
+
+// Stats exposes the manager's counters.
+func (m *Manager) Stats() *Stats { return &m.stats }
+
+// Clock reports the manager's virtual time.
+func (m *Manager) Clock() vtime.Time { return m.clock.Now() }
+
+// Run processes requests until Shutdown or endpoint closure.
+func (m *Manager) Run() {
+	for {
+		req, ok := m.ep.Recv()
+		if !ok {
+			m.failAllParked("manager endpoint closed")
+			return
+		}
+		m.clock.AdvanceTo(req.Arrive())
+		m.clock.Advance(req.Svc())
+		switch req.Kind() {
+		case proto.KAllocReq:
+			m.handleAlloc(req)
+		case proto.KFreeReq:
+			m.handleFree(req)
+		case proto.KRegisterReq:
+			m.handleRegister(req)
+		case proto.KLockReq:
+			m.handleLock(req)
+		case proto.KUnlockReq:
+			m.handleUnlock(req)
+		case proto.KBarrierReq:
+			m.handleBarrier(req)
+		case proto.KCondWaitReq:
+			m.handleCondWait(req)
+		case proto.KCondSignalReq:
+			m.handleCondSignal(req)
+		case proto.KShutdown:
+			if !req.OneWay() {
+				req.Reply(&proto.Ack{}, m.clock.Now())
+			}
+			m.failAllParked("manager shut down")
+			return
+		default:
+			if !req.OneWay() {
+				req.ReplyError(fmt.Errorf("manager: unexpected %v", req.Kind()), m.clock.Now())
+			}
+		}
+	}
+}
+
+func (m *Manager) failAllParked(why string) {
+	err := fmt.Errorf("manager: %s", why)
+	for _, ls := range m.locks {
+		for _, w := range ls.queue {
+			w.req.ReplyError(err, m.clock.Now())
+		}
+		ls.queue = nil
+	}
+	for _, bs := range m.barriers {
+		for _, w := range bs.arrived {
+			w.req.ReplyError(err, m.clock.Now())
+		}
+		bs.arrived = nil
+	}
+	for _, cs := range m.conds {
+		for _, cw := range cs.waiters {
+			cw.w.req.ReplyError(err, m.clock.Now())
+		}
+		cs.waiters = nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Allocation.
+
+func (m *Manager) handleAlloc(req *scl.Request) {
+	var ar proto.AllocReq
+	if err := req.Decode(&ar); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	align := int(ar.Align)
+	if align < 16 {
+		align = 16
+	}
+	var (
+		addr layout.Addr
+		err  error
+	)
+	switch ar.Strategy {
+	case proto.AllocArenaChunk:
+		// Arena chunks are line-aligned so no two threads' arenas ever
+		// share a cache line — the paper's no-false-sharing guarantee
+		// for locally allocated data.
+		addr, err = m.arenaZone.Alloc(ar.Size, m.geo.LineSize())
+	case proto.AllocShared:
+		addr, err = m.sharedZone.Alloc(ar.Size, align)
+	case proto.AllocStriped:
+		group := m.geo.LineSize() * m.geo.NumServers
+		addr, err = m.stripedZone.Alloc(ar.Size, group)
+	default:
+		err = fmt.Errorf("manager: unknown allocation strategy %d", ar.Strategy)
+	}
+	if err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	m.stats.Allocs.Add(1)
+	req.Reply(&proto.AllocResp{Addr: uint64(addr)}, m.clock.Now())
+}
+
+func (m *Manager) handleFree(req *scl.Request) {
+	var fr proto.FreeReq
+	if err := req.Decode(&fr); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	addr := layout.Addr(fr.Addr)
+	var err error
+	switch {
+	case m.arenaZone.Contains(addr):
+		err = m.arenaZone.Free(addr)
+	case m.sharedZone.Contains(addr):
+		err = m.sharedZone.Free(addr)
+	case m.stripedZone.Contains(addr):
+		err = m.stripedZone.Free(addr)
+	default:
+		err = fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr)
+	}
+	if err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	m.stats.Frees.Add(1)
+	req.Reply(&proto.Ack{}, m.clock.Now())
+}
+
+func (m *Manager) handleRegister(req *scl.Request) {
+	var rr proto.RegisterReq
+	if err := req.Decode(&rr); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	m.ensureThread(rr.Thread, 0)
+	req.Reply(&proto.Ack{}, m.clock.Now())
+}
+
+// ---------------------------------------------------------------------
+// Write notices.
+
+// ensureThread makes sure a thread participates in the pruning horizon.
+// Threads register explicitly at spawn; acquires also auto-register so
+// the manager never prunes a notice an active thread has not seen.
+func (m *Manager) ensureThread(thread uint32, lastSeen uint64) {
+	if _, ok := m.lastSeen[thread]; !ok {
+		m.lastSeen[thread] = lastSeen
+	}
+}
+
+// postNotice records a release interval and returns its sequence number.
+func (m *Manager) postNotice(tag proto.IntervalTag, pages []uint64, records []proto.StoreRecord) uint64 {
+	m.seq++
+	m.notices = append(m.notices, proto.Notice{
+		Seq:     m.seq,
+		Tag:     tag,
+		Pages:   pages,
+		Records: records,
+	})
+	m.stats.NoticesStored.Add(1)
+	return m.seq
+}
+
+// noticesAfter returns all notices with sequence > since.
+func (m *Manager) noticesAfter(since uint64) []proto.Notice {
+	i := len(m.notices)
+	for i > 0 && m.notices[i-1].Seq > since {
+		i--
+	}
+	out := m.notices[i:]
+	m.stats.NoticesSent.Add(int64(len(out)))
+	return out
+}
+
+// sawUpTo advances a thread's horizon and prunes notices every thread
+// has seen.
+func (m *Manager) sawUpTo(thread uint32, seq uint64) {
+	if seq > m.lastSeen[thread] {
+		m.lastSeen[thread] = seq
+	}
+	min := m.seq
+	for _, s := range m.lastSeen {
+		if s < min {
+			min = s
+		}
+	}
+	cut := 0
+	for cut < len(m.notices) && m.notices[cut].Seq <= min {
+		cut++
+	}
+	if cut > 0 {
+		m.stats.NoticesPruned.Add(int64(cut))
+		m.notices = append([]proto.Notice(nil), m.notices[cut:]...)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Locks.
+
+func (m *Manager) lock(id uint32) *lockState {
+	ls, ok := m.locks[id]
+	if !ok {
+		ls = &lockState{}
+		m.locks[id] = ls
+	}
+	return ls
+}
+
+func (m *Manager) handleLock(req *scl.Request) {
+	var lr proto.LockReq
+	if err := req.Decode(&lr); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	m.ensureThread(lr.Thread, lr.LastSeen)
+	ls := m.lock(lr.Lock)
+	w := waiter{req: req, thread: lr.Thread, lastSeen: lr.LastSeen, kind: waitLock}
+	if ls.held {
+		m.stats.LockWaits.Add(1)
+		ls.queue = append(ls.queue, w)
+		return
+	}
+	m.grant(ls, w)
+}
+
+// grant hands the lock to w and answers its acquire with fresh notices.
+func (m *Manager) grant(ls *lockState, w waiter) {
+	ls.held = true
+	ls.holder = w.thread
+	m.stats.LockGrants.Add(1)
+	ns := m.noticesAfter(w.lastSeen)
+	m.sawUpTo(w.thread, m.seq)
+	switch w.kind {
+	case waitLock:
+		w.req.Reply(&proto.LockResp{Seq: m.seq, Notices: ns}, m.clock.Now())
+	case waitCond:
+		w.req.Reply(&proto.CondWaitResp{Seq: m.seq, Notices: ns}, m.clock.Now())
+	}
+}
+
+func (m *Manager) handleUnlock(req *scl.Request) {
+	var ur proto.UnlockReq
+	if err := req.Decode(&ur); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	ls := m.lock(ur.Lock)
+	if !ls.held || ls.holder != ur.Thread {
+		req.ReplyError(fmt.Errorf("manager: unlock of lock %d by non-holder thread %d", ur.Lock, ur.Thread), m.clock.Now())
+		return
+	}
+	m.stats.Unlocks.Add(1)
+	m.postNotice(proto.IntervalTag{Writer: ur.Thread, Interval: ur.Interval}, ur.Pages, ur.Records)
+	req.Reply(&proto.Ack{}, m.clock.Now())
+	m.release(ls)
+}
+
+// release passes a held lock to the next queued waiter, if any.
+func (m *Manager) release(ls *lockState) {
+	ls.held = false
+	if len(ls.queue) == 0 {
+		return
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	m.grant(ls, next)
+}
+
+// ---------------------------------------------------------------------
+// Barriers.
+
+func (m *Manager) handleBarrier(req *scl.Request) {
+	var br proto.BarrierReq
+	if err := req.Decode(&br); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	if br.Count == 0 {
+		req.ReplyError(fmt.Errorf("manager: barrier %d arrival with zero count", br.Barrier), m.clock.Now())
+		return
+	}
+	m.ensureThread(br.Thread, br.LastSeen)
+	bs, ok := m.barriers[br.Barrier]
+	if !ok {
+		bs = &barrierState{count: br.Count}
+		m.barriers[br.Barrier] = bs
+	}
+	if bs.count != br.Count {
+		req.ReplyError(fmt.Errorf("manager: barrier %d count mismatch: %d vs %d", br.Barrier, br.Count, bs.count), m.clock.Now())
+		return
+	}
+	// Arrival is a release: post this interval's notice immediately so
+	// every later acquire (including the other arrivals) sees it.
+	m.postNotice(proto.IntervalTag{Writer: br.Thread, Interval: br.Interval}, br.Pages, br.Records)
+	bs.arrived = append(bs.arrived, waiter{req: req, thread: br.Thread, lastSeen: br.LastSeen})
+	if uint32(len(bs.arrived)) < bs.count {
+		return
+	}
+	// Last arrival: release everyone. Replies are posted serially,
+	// advancing the manager clock per reply — the centralized-barrier
+	// fan-out cost.
+	m.stats.BarrierRounds.Add(1)
+	for _, w := range bs.arrived {
+		m.clock.Advance(req.Svc())
+		ns := m.noticesAfter(w.lastSeen)
+		m.sawUpTo(w.thread, m.seq)
+		w.req.Reply(&proto.BarrierResp{Seq: m.seq, Notices: ns}, m.clock.Now())
+	}
+	bs.arrived = bs.arrived[:0]
+}
+
+// ---------------------------------------------------------------------
+// Condition variables.
+
+func (m *Manager) cond(id uint32) *condState {
+	cs, ok := m.conds[id]
+	if !ok {
+		cs = &condState{}
+		m.conds[id] = cs
+	}
+	return cs
+}
+
+func (m *Manager) handleCondWait(req *scl.Request) {
+	var cw proto.CondWaitReq
+	if err := req.Decode(&cw); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	ls := m.lock(cw.Lock)
+	if !ls.held || ls.holder != cw.Thread {
+		req.ReplyError(fmt.Errorf("manager: cond wait on lock %d by non-holder thread %d", cw.Lock, cw.Thread), m.clock.Now())
+		return
+	}
+	m.ensureThread(cw.Thread, cw.LastSeen)
+	m.stats.CondWaits.Add(1)
+	// Atomically: release the interval, park on the condition, drop the
+	// lock (possibly granting it onward).
+	m.postNotice(proto.IntervalTag{Writer: cw.Thread, Interval: cw.Interval}, cw.Pages, cw.Records)
+	cs := m.cond(cw.Cond)
+	cs.waiters = append(cs.waiters, struct {
+		w    waiter
+		lock uint32
+	}{
+		w:    waiter{req: req, thread: cw.Thread, lastSeen: cw.LastSeen, kind: waitCond},
+		lock: cw.Lock,
+	})
+	m.release(ls)
+}
+
+func (m *Manager) handleCondSignal(req *scl.Request) {
+	var sr proto.CondSignalReq
+	if err := req.Decode(&sr); err != nil {
+		req.ReplyError(err, m.clock.Now())
+		return
+	}
+	m.stats.CondSignals.Add(1)
+	cs := m.cond(sr.Cond)
+	n := 1
+	if sr.Broadcast {
+		n = len(cs.waiters)
+	}
+	if n > len(cs.waiters) {
+		n = len(cs.waiters)
+	}
+	woken := cs.waiters[:n]
+	cs.waiters = append(cs.waiters[:0:0], cs.waiters[n:]...)
+	req.Reply(&proto.Ack{}, m.clock.Now())
+	// Each woken thread must re-acquire its mutex before its wait
+	// returns; it competes with ordinary lock requests in FIFO order.
+	for _, cw := range woken {
+		ls := m.lock(cw.lock)
+		if ls.held {
+			m.stats.LockWaits.Add(1)
+			ls.queue = append(ls.queue, cw.w)
+		} else {
+			m.grant(ls, cw.w)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package manager
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+)
+
+func TestZoneBasicAllocFree(t *testing.T) {
+	z := NewZone("t", 0x1000, 0x10000)
+	a, err := z.Alloc(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0x1000 || a%16 != 0 {
+		t.Fatalf("bad address %#x", uint64(a))
+	}
+	b, err := z.Alloc(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+100 {
+		t.Fatalf("allocations overlap: %#x then %#x", uint64(a), uint64(b))
+	}
+	if z.Live() != 2 || z.InUse() != 200 {
+		t.Fatalf("Live=%d InUse=%d", z.Live(), z.InUse())
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Free(a); err == nil {
+		t.Fatal("double free succeeded")
+	}
+	if z.Live() != 1 {
+		t.Fatalf("Live=%d after free", z.Live())
+	}
+}
+
+func TestZoneReusesFreedSpace(t *testing.T) {
+	z := NewZone("t", 0, 4096)
+	a, _ := z.Alloc(1024, 16)
+	if _, err := z.Alloc(1024, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := z.Alloc(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("first fit did not reuse freed span: got %#x want %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestZoneExhaustion(t *testing.T) {
+	z := NewZone("t", 0, 1024)
+	if _, err := z.Alloc(2048, 16); err == nil {
+		t.Fatal("oversized allocation succeeded")
+	}
+	if _, err := z.Alloc(1024, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Alloc(1, 16); err == nil {
+		t.Fatal("allocation from full zone succeeded")
+	}
+}
+
+func TestZoneRejectsBadArgs(t *testing.T) {
+	z := NewZone("t", 0, 1024)
+	if _, err := z.Alloc(0, 16); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+	if _, err := z.Alloc(16, 0); err == nil {
+		t.Fatal("zero alignment succeeded")
+	}
+	// Non-power-of-two alignment is legal (striped groups): the result
+	// must still be a multiple.
+	if a, err := z.Alloc(16, 48); err != nil || a%48 != 0 {
+		t.Fatalf("48-byte alignment: addr=%#x err=%v", uint64(a), err)
+	}
+	if err := z.Free(0x999); err == nil {
+		t.Fatal("free of never-allocated address succeeded")
+	}
+}
+
+func TestZoneAlignmentPadding(t *testing.T) {
+	z := NewZone("t", 8, 1<<20)
+	a, err := z.Alloc(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%4096 != 0 {
+		t.Fatalf("misaligned: %#x", uint64(a))
+	}
+	// The padding below the aligned allocation is recorded as free and
+	// usable by a smaller allocation.
+	b, err := z.Alloc(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Fatalf("small alloc %#x did not reuse padding below %#x", uint64(b), uint64(a))
+	}
+}
+
+func TestZoneCoalescing(t *testing.T) {
+	z := NewZone("t", 0, 4096)
+	a, _ := z.Alloc(1024, 16)
+	b, _ := z.Alloc(1024, 16)
+	c, _ := z.Alloc(1024, 16)
+	_ = c
+	// Free middle, then first; they must coalesce so a 2048 fits at 0.
+	if err := z.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	d, err := z.Alloc(2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("coalesced alloc at %#x, want 0", uint64(d))
+	}
+}
+
+func TestZoneBumpPointerRecovery(t *testing.T) {
+	z := NewZone("t", 0, 2048)
+	a, _ := z.Alloc(1024, 16)
+	b, _ := z.Alloc(1024, 16)
+	// Zone is full; freeing the top allocation must melt it back into
+	// virgin space so a differently aligned request can use it.
+	if err := z.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Alloc(1024, 1024); err != nil {
+		t.Fatalf("bump pointer did not recover: %v", err)
+	}
+	_ = a
+}
+
+// Property: live allocations never overlap, are always aligned, and
+// stay inside the zone — under an arbitrary interleaving of allocs and
+// frees.
+func TestZoneInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := layout.Addr(4096)
+		limit := layout.Addr(1 << 20)
+		z := NewZone("t", base, limit)
+		type alloc struct {
+			a    layout.Addr
+			size uint64
+		}
+		var live []alloc
+		for op := 0; op < 300; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := uint64(1 + rng.Intn(5000))
+				align := 1 << rng.Intn(8) * 16 // 16..2048
+				a, err := z.Alloc(size, align)
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				if a < base || a+layout.Addr(size) > limit {
+					return false
+				}
+				if uint64(a)%uint64(align) != 0 {
+					return false
+				}
+				for _, l := range live {
+					if a < l.a+layout.Addr(l.size) && l.a < a+layout.Addr(size) {
+						return false // overlap
+					}
+				}
+				live = append(live, alloc{a, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := z.Free(live[i].a); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return z.Live() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

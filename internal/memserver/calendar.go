@@ -1,0 +1,84 @@
+package memserver
+
+import "repro/internal/vtime"
+
+// calendar models the memory server's serial service capacity in
+// virtual time as a set of booked busy intervals.
+//
+// The naive model — one monotone clock advanced past every arrival —
+// breaks when goroutines race ahead of each other in real time: a
+// message carrying a large virtual timestamp processed early drags the
+// clock forward, and a virtually-earlier message processed later gets
+// stamped far in its own future, inflating latencies that never
+// happened. The calendar instead books each request into the earliest
+// idle slot at or after its own virtual arrival, so real-time
+// processing order no longer matters; true protocol dependencies
+// (a fetch needing a diff) are enforced separately through interval
+// tags, not through the clock.
+//
+// Queueing and hot spots still emerge naturally: a burst of fetches
+// with similar arrival times books consecutive slots, and the last one
+// waits for the whole burst — the single-memory-server bottleneck the
+// paper's striped allocation exists to avoid.
+type calendar struct {
+	busy   []vspan // sorted by start, non-overlapping, gaps are idle
+	maxEnd vtime.Time
+}
+
+type vspan struct {
+	start, end vtime.Time
+}
+
+// calendarCap bounds memory: when the book fills up, the oldest half is
+// forgotten (bookings that far in the past no longer influence new
+// arrivals in any workload with forward-moving clocks).
+const calendarCap = 4096
+
+// book reserves dur of service time at the earliest idle instant >= at
+// and returns the service start time.
+func (c *calendar) book(at, dur vtime.Time) vtime.Time {
+	if dur <= 0 {
+		return at
+	}
+	start := at
+	insert := len(c.busy)
+	for i, s := range c.busy {
+		if s.end <= start {
+			continue // busy interval entirely before us
+		}
+		if start+dur <= s.start {
+			insert = i // fits in the gap before interval i
+			break
+		}
+		start = s.end // pushed past this interval
+		insert = i + 1
+	}
+	c.busy = append(c.busy, vspan{})
+	copy(c.busy[insert+1:], c.busy[insert:])
+	c.busy[insert] = vspan{start: start, end: start + dur}
+	c.coalesce(insert)
+	if start+dur > c.maxEnd {
+		c.maxEnd = start + dur
+	}
+	if len(c.busy) > calendarCap {
+		c.busy = append(c.busy[:0:0], c.busy[len(c.busy)/2:]...)
+	}
+	return start
+}
+
+// coalesce merges the interval at i with abutting neighbours.
+func (c *calendar) coalesce(i int) {
+	for i+1 < len(c.busy) && c.busy[i].end >= c.busy[i+1].start {
+		if c.busy[i+1].end > c.busy[i].end {
+			c.busy[i].end = c.busy[i+1].end
+		}
+		c.busy = append(c.busy[:i+1], c.busy[i+2:]...)
+	}
+	for i > 0 && c.busy[i-1].end >= c.busy[i].start {
+		if c.busy[i].end > c.busy[i-1].end {
+			c.busy[i-1].end = c.busy[i].end
+		}
+		c.busy = append(c.busy[:i], c.busy[i+1:]...)
+		i--
+	}
+}

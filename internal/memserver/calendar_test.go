@@ -1,0 +1,137 @@
+package memserver
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestCalendarBooksAtArrivalWhenIdle(t *testing.T) {
+	var c calendar
+	if got := c.book(100, 10); got != 100 {
+		t.Fatalf("book on empty calendar = %v, want 100", got)
+	}
+	if c.maxEnd != 110 {
+		t.Fatalf("maxEnd = %v", c.maxEnd)
+	}
+}
+
+func TestCalendarQueuesBursts(t *testing.T) {
+	var c calendar
+	// Three requests arriving at the same instant serialize.
+	s1 := c.book(100, 10)
+	s2 := c.book(100, 10)
+	s3 := c.book(100, 10)
+	if s1 != 100 || s2 != 110 || s3 != 120 {
+		t.Fatalf("burst starts: %v %v %v", s1, s2, s3)
+	}
+}
+
+func TestCalendarFillsGaps(t *testing.T) {
+	var c calendar
+	c.book(100, 10) // [100,110)
+	c.book(200, 10) // [200,210)
+	// An out-of-order early arrival books the idle gap, not the end.
+	if got := c.book(120, 10); got != 120 {
+		t.Fatalf("gap booking = %v, want 120", got)
+	}
+	// A long job that does not fit the remaining gap goes after.
+	if got := c.book(110, 100); got != 210 {
+		t.Fatalf("oversized gap booking = %v, want 210", got)
+	}
+}
+
+func TestCalendarZeroWork(t *testing.T) {
+	var c calendar
+	c.book(100, 10)
+	if got := c.book(105, 0); got != 105 {
+		t.Fatalf("zero-duration booking = %v, want its own arrival", got)
+	}
+	if len(c.busy) != 1 {
+		t.Fatalf("zero booking created an interval")
+	}
+}
+
+func TestCalendarCapBounded(t *testing.T) {
+	var c calendar
+	for i := 0; i < 3*calendarCap; i++ {
+		// Disjoint bookings far apart so nothing coalesces.
+		c.book(vtime.Time(i*100), 1)
+	}
+	if len(c.busy) > calendarCap {
+		t.Fatalf("calendar grew to %d intervals", len(c.busy))
+	}
+}
+
+// Property: bookings never overlap, never start before their arrival,
+// and the busy list stays sorted and disjoint.
+func TestCalendarInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c calendar
+		type job struct{ start, end vtime.Time }
+		var jobs []job
+		for i := 0; i < 200; i++ {
+			at := vtime.Time(rng.Int63n(100_000))
+			dur := vtime.Time(1 + rng.Int63n(500))
+			start := c.book(at, dur)
+			if start < at {
+				return false
+			}
+			jobs = append(jobs, job{start, start + dur})
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].start < jobs[j].start })
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].start < jobs[i-1].end {
+				return false // double booking
+			}
+		}
+		// Internal list sorted and disjoint.
+		for i := 1; i < len(c.busy); i++ {
+			if c.busy[i].start < c.busy[i-1].end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serving order independence — the set of service start times
+// for a fixed set of (arrival, duration) jobs booked in any order packs
+// within the same makespan bound.
+func TestCalendarMakespanProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		type j struct {
+			at  vtime.Time
+			dur vtime.Time
+		}
+		jobs := make([]j, n)
+		var totalWork, maxAt vtime.Time
+		for i := range jobs {
+			jobs[i] = j{at: vtime.Time(rng.Int63n(10_000)), dur: vtime.Time(1 + rng.Int63n(100))}
+			totalWork += jobs[i].dur
+			if jobs[i].at > maxAt {
+				maxAt = jobs[i].at
+			}
+		}
+		var c calendar
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			c.book(jobs[i].at, jobs[i].dur)
+		}
+		// Regardless of booking order, everything finishes within
+		// latest-arrival + total-work (the serial-server bound).
+		return c.maxEnd <= maxAt+totalWork
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

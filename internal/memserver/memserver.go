@@ -1,0 +1,378 @@
+// Package memserver implements Samhita's memory servers: the components
+// that serve the pages backing the shared global address space
+// (Section II). In the heterogeneous-node mapping of Figure 1 the memory
+// server runs on the host processor and its DRAM is the backing store;
+// compute threads on the coprocessor fault cache lines in from it and
+// ship modifications back.
+//
+// A memory server is a single-goroutine event loop over its SCL
+// endpoint; it is also the *home* of its pages in the home-based
+// lazy-release protocol:
+//
+//   - FetchLineReq: assemble and return one multi-page cache line. The
+//     request quotes, per page, the interval tags whose DiffBatches must
+//     already be applied (write notices the fetcher has seen); a fetch
+//     that arrives before those diffs is parked and answered as soon as
+//     the last one lands. Pages still lazily owned by a writer are
+//     pulled up to date on demand first.
+//   - DiffBatch (one-way): apply page diffs and fine-grained store
+//     records for one release interval, record ownership claims, then
+//     mark the interval tag applied and wake any parked fetches waiting
+//     on it.
+//   - EvictFlush (one-way): apply the diff of a dirty page the cache had
+//     to evict mid-interval; the owning interval's later DiffBatch lists
+//     the page as already flushed.
+//   - DiffPull (outgoing): ask a writer's cache agent for the retained
+//     diffs of pages it lazily owns.
+//
+// Virtual time at the server is a service calendar (see calendar.go):
+// each request books the earliest idle slot at or after its own virtual
+// arrival, and cross-request ordering constraints flow through interval
+// tags, not through a shared clock. Pages are materialized lazily and
+// zero-filled.
+package memserver
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/vtime"
+)
+
+// Stats aggregates one memory server's activity. Counter fields are
+// updated atomically so tests and harnesses may read them while the
+// server runs.
+type Stats struct {
+	Fetches       atomic.Int64 // FetchLine requests served
+	ParkedFetches atomic.Int64 // fetches that had to wait for diffs
+	DiffBatches   atomic.Int64
+	DiffBytes     atomic.Int64
+	Records       atomic.Int64
+	EvictFlushes  atomic.Int64
+	BytesServed   atomic.Int64 // line payload bytes returned
+	PagesHosted   atomic.Int64 // distinct pages materialized
+	OwnedClaims   atomic.Int64 // ownership claims recorded
+	Pulls         atomic.Int64 // DiffPull round trips to writers
+	PulledBytes   atomic.Int64 // diff payload bytes pulled on demand
+}
+
+// AgentAddr maps a protocol writer id to the fabric node of that
+// writer's cache agent, for on-demand diff pulls. A nil AgentAddr
+// disables the lazy single-writer path (any ownership claim then
+// panics loudly).
+type AgentAddr func(writer uint32) scl.NodeID
+
+// Server is one memory server instance.
+type Server struct {
+	ep        scl.Endpoint
+	index     int // which server this is (for home validation)
+	geo       layout.Geometry
+	cpu       vtime.CPUModel
+	agentAddr AgentAddr
+	cal       calendar
+
+	pages map[layout.PageID][]byte
+	// appliedAt records, per interval tag, the virtual time its batch
+	// finished applying; presence means applied.
+	appliedAt map[proto.IntervalTag]vtime.Time
+	parked    map[*parkedFetch]struct{}
+	// owner records, per page, the writer retaining that page's diffs
+	// under the single-writer optimization; the home's copy is stale
+	// until those diffs are pulled or flushed.
+	owner map[layout.PageID]uint32
+
+	stats Stats
+}
+
+// parkedFetch is a FetchLine waiting for outstanding interval tags.
+type parkedFetch struct {
+	req     *scl.Request
+	line    layout.LineID
+	tags    []proto.IntervalTag // every tag the fetch quoted
+	waiting map[proto.IntervalTag]struct{}
+}
+
+// New creates a memory server with the given endpoint and home index.
+func New(ep scl.Endpoint, index int, geo layout.Geometry, cpu vtime.CPUModel, agentAddr AgentAddr) *Server {
+	return &Server{
+		ep:        ep,
+		index:     index,
+		geo:       geo,
+		cpu:       cpu,
+		agentAddr: agentAddr,
+		pages:     make(map[layout.PageID][]byte),
+		appliedAt: make(map[proto.IntervalTag]vtime.Time),
+		parked:    make(map[*parkedFetch]struct{}),
+		owner:     make(map[layout.PageID]uint32),
+	}
+}
+
+// Stats exposes the server's counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Clock reports the end of the last booked service slot — the server's
+// notion of "how far virtual time has reached here".
+func (s *Server) Clock() vtime.Time { return s.cal.maxEnd }
+
+// Run processes requests until a Shutdown message arrives or the
+// endpoint closes. It is the server's only goroutine; all state is
+// confined to it.
+func (s *Server) Run() {
+	for {
+		req, ok := s.ep.Recv()
+		if !ok {
+			s.failParked("memory server endpoint closed")
+			return
+		}
+		switch req.Kind() {
+		case proto.KFetchLineReq:
+			s.handleFetch(req)
+		case proto.KDiffBatch:
+			s.handleDiffBatch(req)
+		case proto.KEvictFlush:
+			s.handleEvictFlush(req)
+		case proto.KPing:
+			req.Reply(&proto.Ack{}, s.cal.maxEnd)
+		case proto.KShutdown:
+			if !req.OneWay() {
+				req.Reply(&proto.Ack{}, s.cal.maxEnd)
+			}
+			s.failParked("memory server shut down")
+			return
+		default:
+			if !req.OneWay() {
+				req.ReplyError(fmt.Errorf("memserver: unexpected %v", req.Kind()), s.cal.maxEnd)
+			}
+		}
+	}
+}
+
+func (s *Server) failParked(why string) {
+	for pf := range s.parked {
+		pf.req.ReplyError(fmt.Errorf("memserver: %s with fetch pending", why), s.cal.maxEnd)
+	}
+	s.parked = make(map[*parkedFetch]struct{})
+}
+
+// page returns the backing bytes of p, materializing it zero-filled.
+func (s *Server) page(p layout.PageID) []byte {
+	if b, ok := s.pages[p]; ok {
+		return b
+	}
+	b := make([]byte, s.geo.PageSize)
+	s.pages[p] = b
+	s.stats.PagesHosted.Add(1)
+	return b
+}
+
+func (s *Server) handleFetch(req *scl.Request) {
+	var m proto.FetchLineReq
+	if err := req.Decode(&m); err != nil {
+		req.ReplyError(err, s.cal.maxEnd)
+		return
+	}
+	line := layout.LineID(m.Line)
+	if home := s.geo.HomeOf(s.geo.FirstPage(line)); home != s.index {
+		req.ReplyError(fmt.Errorf("memserver %d: line %d homes on server %d", s.index, line, home), s.cal.maxEnd)
+		return
+	}
+	s.stats.Fetches.Add(1)
+
+	var tags []proto.IntervalTag
+	waiting := make(map[proto.IntervalTag]struct{})
+	for i := range m.Needs {
+		for _, tag := range m.Needs[i].Tags {
+			tags = append(tags, tag)
+			if _, ok := s.appliedAt[tag]; !ok {
+				waiting[tag] = struct{}{}
+			}
+		}
+	}
+	if len(waiting) == 0 {
+		s.replyFetch(req, line, tags)
+		return
+	}
+	s.stats.ParkedFetches.Add(1)
+	s.parked[&parkedFetch{req: req, line: line, tags: tags, waiting: waiting}] = struct{}{}
+}
+
+// replyFetch answers a fetch whose needed tags have all been applied:
+// it is ready no earlier than its own arrival and the application times
+// of those tags; lazily-owned pages are pulled up to date; then the
+// line assembly books a service slot.
+func (s *Server) replyFetch(req *scl.Request, line layout.LineID, tags []proto.IntervalTag) {
+	ready := req.Arrive()
+	for _, tag := range tags {
+		if at, ok := s.appliedAt[tag]; ok && at > ready {
+			ready = at
+		}
+	}
+	s.pullOwned(line, &ready)
+	data := make([]byte, 0, s.geo.LineSize())
+	first := s.geo.FirstPage(line)
+	for i := 0; i < s.geo.LinePages; i++ {
+		data = append(data, s.page(first+layout.PageID(i))...)
+	}
+	work := req.Svc() + s.cpu.CopyTime(len(data))
+	done := s.cal.book(ready, work) + work
+	s.stats.BytesServed.Add(int64(len(data)))
+	req.Reply(&proto.FetchLineResp{Data: data}, done)
+}
+
+func (s *Server) handleDiffBatch(req *scl.Request) {
+	var m proto.DiffBatch
+	if err := req.Decode(&m); err != nil {
+		// One-way message: nothing to reply to; a decode failure here is
+		// a protocol bug, so fail loudly.
+		panic(fmt.Sprintf("memserver: bad DiffBatch: %v", err))
+	}
+	s.stats.DiffBatches.Add(1)
+	ready := req.Arrive()
+	bytes := s.applyDiffs(m.Tag.Writer, m.Diffs, &ready)
+	bytes += s.applyRecords(m.Records, &ready)
+	for _, pu := range m.OwnedPages {
+		p := layout.PageID(pu)
+		// Two writers can each believe they are a page's sole writer the
+		// first time they share it. Pull the previous owner's retained
+		// diffs before handing the claim over, so both writers' bytes
+		// merge at the home (multiple-writer protocol).
+		if prev, ok := s.owner[p]; ok && prev != m.Tag.Writer {
+			s.pullFrom(prev, []uint64{pu}, &ready)
+		}
+		s.owner[p] = m.Tag.Writer
+		s.stats.OwnedClaims.Add(1)
+	}
+	work := req.Svc() + s.cpu.ApplyTime(bytes)
+	done := s.cal.book(ready, work) + work
+	s.appliedAt[m.Tag] = done
+	s.wakeParked(m.Tag)
+}
+
+func (s *Server) handleEvictFlush(req *scl.Request) {
+	var m proto.EvictFlush
+	if err := req.Decode(&m); err != nil {
+		panic(fmt.Sprintf("memserver: bad EvictFlush: %v", err))
+	}
+	s.stats.EvictFlushes.Add(1)
+	ready := req.Arrive()
+	bytes := s.applyDiffs(m.Writer, m.Diffs, &ready)
+	work := req.Svc() + s.cpu.ApplyTime(bytes)
+	s.cal.book(ready, work)
+}
+
+// applyDiffs installs diffs sent by the given writer, returning the
+// payload bytes applied. A page another writer still lazily owns must
+// have that owner's retained diffs pulled first, or they would be
+// orphaned when the claim is cleared; the writer's own claim is simply
+// superseded (its release path folds any retained runs into the diff it
+// ships).
+func (s *Server) applyDiffs(writer uint32, diffs []proto.PageDiff, ready *vtime.Time) int {
+	bytes := 0
+	for i := range diffs {
+		d := &diffs[i]
+		p := layout.PageID(d.Page)
+		if prev, ok := s.owner[p]; ok && prev != writer {
+			s.pullFrom(prev, []uint64{d.Page}, ready)
+		}
+		delete(s.owner, p)
+		pg := s.page(p)
+		for _, run := range d.Runs {
+			if int(run.Off)+len(run.Data) > len(pg) {
+				panic(fmt.Sprintf("memserver: diff run overflows page %d: off=%d len=%d", d.Page, run.Off, len(run.Data)))
+			}
+			copy(pg[run.Off:], run.Data)
+			s.stats.DiffBytes.Add(int64(len(run.Data)))
+			bytes += len(run.Data)
+		}
+	}
+	return bytes
+}
+
+// applyRecords installs fine-grained consistency-region updates,
+// returning the payload bytes applied. Any retained ownership diff for
+// the page is pulled first: retained bytes are older than the records
+// and must not clobber them later.
+func (s *Server) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) int {
+	bytes := 0
+	for i := range recs {
+		r := &recs[i]
+		p := s.geo.PageOf(layout.Addr(r.Addr))
+		if prev, ok := s.owner[p]; ok {
+			s.pullFrom(prev, []uint64{uint64(p)}, ready)
+		}
+		off := s.geo.PageOffset(layout.Addr(r.Addr))
+		pg := s.page(p)
+		if off+len(r.Data) > len(pg) {
+			panic(fmt.Sprintf("memserver: record overflows page %d: off=%d len=%d", p, off, len(r.Data)))
+		}
+		copy(pg[off:], r.Data)
+		s.stats.Records.Add(1)
+		bytes += len(r.Data)
+	}
+	return bytes
+}
+
+func (s *Server) wakeParked(tag proto.IntervalTag) {
+	for pf := range s.parked {
+		if _, ok := pf.waiting[tag]; !ok {
+			continue
+		}
+		delete(pf.waiting, tag)
+		if len(pf.waiting) == 0 {
+			delete(s.parked, pf)
+			s.replyFetch(pf.req, pf.line, pf.tags)
+		}
+	}
+}
+
+// pullOwned brings every lazily-owned page of a line up to date by
+// pulling retained diffs from their writers' cache agents. The server
+// blocks on each pull — a fetch that hits an owned page pays the extra
+// round trip, which is the single-writer optimization's bargain: writers
+// release for free, occasional readers pay one pull.
+func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) {
+	first := s.geo.FirstPage(line)
+	byWriter := make(map[uint32][]uint64)
+	for i := 0; i < s.geo.LinePages; i++ {
+		p := first + layout.PageID(i)
+		if w, ok := s.owner[p]; ok {
+			byWriter[w] = append(byWriter[w], uint64(p))
+		}
+	}
+	for w, pages := range byWriter {
+		s.pullFrom(w, pages, ready)
+	}
+}
+
+// pullFrom fetches and applies the retained diffs of the given pages
+// from one writer's cache agent, clearing their ownership and advancing
+// ready past the round trip and the apply work.
+func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) {
+	if s.agentAddr == nil {
+		panic(fmt.Sprintf("memserver %d: pages owned by writer %d but no agent address map", s.index, w))
+	}
+	var resp proto.DiffPullResp
+	doneAt, err := s.ep.Call(s.agentAddr(w), &proto.DiffPullReq{Pages: pages}, &resp, *ready)
+	if err != nil {
+		panic(fmt.Sprintf("memserver %d: diff pull from writer %d: %v", s.index, w, err))
+	}
+	if doneAt > *ready {
+		*ready = doneAt
+	}
+	s.stats.Pulls.Add(1)
+	pulled := 0
+	for i := range resp.Diffs {
+		pulled += resp.Diffs[i].PayloadBytes()
+	}
+	s.stats.PulledBytes.Add(int64(pulled))
+	// Clear ownership before applying: the pull IS the supersession, and
+	// applyDiffs would otherwise recurse into pulling w again.
+	for _, pu := range pages {
+		delete(s.owner, layout.PageID(pu))
+	}
+	s.applyDiffs(w, resp.Diffs, ready)
+	*ready += s.cpu.ApplyTime(pulled)
+}

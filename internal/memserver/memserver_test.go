@@ -1,0 +1,274 @@
+package memserver
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+var testLink = vtime.LinkModel{
+	Name:         "test",
+	Latency:      1000,
+	BytesPerSec:  1e9,
+	SendOverhead: 50,
+	ServiceTime:  100,
+}
+
+type harness struct {
+	srv    *Server
+	cli    scl.Endpoint
+	wg     sync.WaitGroup
+	doneAt vtime.Time
+}
+
+func newHarness(t *testing.T, geo layout.Geometry) *harness {
+	t.Helper()
+	f := simnet.NewFabric(testLink)
+	srvEP := scl.NewSimEndpoint(f, 100)
+	h := &harness{
+		srv: New(srvEP, 0, geo, vtime.DefaultCPU, func(w uint32) scl.NodeID { return 200 + scl.NodeID(w) }),
+		cli: scl.NewSimEndpoint(f, 1),
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.srv.Run()
+	}()
+	t.Cleanup(func() {
+		var ack proto.Ack
+		if _, err := h.cli.Call(100, &proto.Shutdown{}, &ack, h.doneAt); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		h.wg.Wait()
+	})
+	return h
+}
+
+func (h *harness) fetch(t *testing.T, line layout.LineID, needs []proto.PageNeed) []byte {
+	t.Helper()
+	var resp proto.FetchLineResp
+	at, err := h.cli.Call(100, &proto.FetchLineReq{Line: uint64(line), Needs: needs}, &resp, h.doneAt)
+	if err != nil {
+		t.Fatalf("fetch line %d: %v", line, err)
+	}
+	h.doneAt = at
+	return resp.Data
+}
+
+func (h *harness) post(t *testing.T, m proto.Msg) {
+	t.Helper()
+	at, err := h.cli.Post(100, m, h.doneAt)
+	if err != nil {
+		t.Fatalf("post %v: %v", m.Kind(), err)
+	}
+	h.doneAt = at
+}
+
+func TestFetchUntouchedLineIsZero(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+	data := h.fetch(t, 3, nil)
+	if len(data) != geo.LineSize() {
+		t.Fatalf("line size %d, want %d", len(data), geo.LineSize())
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	if got := h.srv.Stats().Fetches.Load(); got != 1 {
+		t.Errorf("Fetches = %d", got)
+	}
+}
+
+func TestDiffBatchThenFetch(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+	h.post(t, &proto.DiffBatch{
+		Tag: proto.IntervalTag{Writer: 9, Interval: 1},
+		Diffs: []proto.PageDiff{{
+			Page: 1,
+			Runs: []proto.DiffRun{{Off: 10, Data: []byte{1, 2, 3}}},
+		}},
+	})
+	// Quote the tag so the fetch is ordered after the batch.
+	data := h.fetch(t, 0, []proto.PageNeed{{Page: 1, Tags: []proto.IntervalTag{{Writer: 9, Interval: 1}}}})
+	off := geo.PageSize + 10 // page 1 is second page of line 0
+	if !bytes.Equal(data[off:off+3], []byte{1, 2, 3}) {
+		t.Fatalf("diff not applied: %v", data[off:off+3])
+	}
+}
+
+func TestFetchParksUntilDiffArrives(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+
+	tag := proto.IntervalTag{Writer: 2, Interval: 5}
+	fetched := make(chan []byte)
+	go func() {
+		var resp proto.FetchLineResp
+		_, err := h.cli.Call(100, &proto.FetchLineReq{
+			Line:  0,
+			Needs: []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{tag}}},
+		}, &resp, 0)
+		if err != nil {
+			t.Errorf("parked fetch: %v", err)
+		}
+		fetched <- resp.Data
+	}()
+
+	// The fetch cannot complete before the batch is posted. Wait until
+	// the server has parked it, then post the batch.
+	for h.srv.Stats().ParkedFetches.Load() == 0 {
+	}
+	select {
+	case <-fetched:
+		t.Fatal("fetch completed before diff arrived")
+	default:
+	}
+	h.post(t, &proto.DiffBatch{
+		Tag:   tag,
+		Diffs: []proto.PageDiff{{Page: 0, Runs: []proto.DiffRun{{Off: 0, Data: []byte{42}}}}},
+	})
+	data := <-fetched
+	if data[0] != 42 {
+		t.Fatalf("parked fetch returned stale data: %d", data[0])
+	}
+}
+
+func TestEmptyPagesMarkTagApplied(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+	// Evict flush delivers the bytes mid-interval...
+	h.post(t, &proto.EvictFlush{
+		Writer: 1,
+		Diffs:  []proto.PageDiff{{Page: 2, Runs: []proto.DiffRun{{Off: 0, Data: []byte{7}}}}},
+	})
+	// ...and the release's batch lists the page as already flushed.
+	tag := proto.IntervalTag{Writer: 1, Interval: 1}
+	h.post(t, &proto.DiffBatch{Tag: tag, EmptyPages: []uint64{2}})
+	data := h.fetch(t, 0, []proto.PageNeed{{Page: 2, Tags: []proto.IntervalTag{tag}}})
+	if data[2*geo.PageSize] != 7 {
+		t.Fatalf("evict-flushed byte missing: %d", data[2*geo.PageSize])
+	}
+	if got := h.srv.Stats().EvictFlushes.Load(); got != 1 {
+		t.Errorf("EvictFlushes = %d", got)
+	}
+}
+
+func TestRecordsApplied(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+	tag := proto.IntervalTag{Writer: 4, Interval: 2}
+	h.post(t, &proto.DiffBatch{
+		Tag:     tag,
+		Records: []proto.StoreRecord{{Addr: uint64(geo.PageSize) + 100, Data: []byte{9, 8}}},
+	})
+	data := h.fetch(t, 0, []proto.PageNeed{{Page: 1, Tags: []proto.IntervalTag{tag}}})
+	off := geo.PageSize + 100
+	if !bytes.Equal(data[off:off+2], []byte{9, 8}) {
+		t.Fatalf("record not applied: %v", data[off:off+2])
+	}
+	if got := h.srv.Stats().Records.Load(); got != 1 {
+		t.Errorf("Records = %d", got)
+	}
+}
+
+func TestWrongHomeRejected(t *testing.T) {
+	geo := layout.Geometry{PageSize: 4096, LinePages: 4, NumServers: 2, Striped: true}
+	h := newHarness(t, geo) // server index 0
+	var resp proto.FetchLineResp
+	// Line 1 homes on server 1, not 0.
+	if _, err := h.cli.Call(100, &proto.FetchLineReq{Line: 1}, &resp, 0); err == nil {
+		t.Fatal("fetch of foreign line succeeded")
+	}
+}
+
+func TestShutdownFailsParkedFetch(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	f := simnet.NewFabric(testLink)
+	srv := New(scl.NewSimEndpoint(f, 100), 0, geo, vtime.DefaultCPU, nil)
+	cli := scl.NewSimEndpoint(f, 1)
+	done := make(chan struct{})
+	go func() { srv.Run(); close(done) }()
+
+	errc := make(chan error, 1)
+	go func() {
+		var resp proto.FetchLineResp
+		_, err := cli.Call(100, &proto.FetchLineReq{
+			Line:  0,
+			Needs: []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{{Writer: 1, Interval: 1}}}},
+		}, &resp, 0)
+		errc <- err
+	}()
+	for srv.Stats().ParkedFetches.Load() == 0 {
+	}
+	if _, err := cli.Post(100, &proto.Shutdown{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("parked fetch survived shutdown without error")
+	}
+	<-done
+}
+
+// Property: a random sequence of diff batches leaves the server's pages
+// byte-identical to a directly mutated model array.
+func TestDiffApplicationMatchesModel(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	prop := func(seed int64) bool {
+		h := newHarness(t, geo)
+		rng := rand.New(rand.NewSource(seed))
+		model := make([]byte, geo.LineSize()) // line 0
+		var tags []proto.IntervalTag
+		for i := 0; i < 8; i++ {
+			tag := proto.IntervalTag{Writer: uint32(rng.Intn(4)), Interval: uint64(i + 1)}
+			tags = append(tags, tag)
+			var diffs []proto.PageDiff
+			for p := 0; p < geo.LinePages; p++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				n := 1 + rng.Intn(64)
+				off := rng.Intn(geo.PageSize - n)
+				data := make([]byte, n)
+				rng.Read(data)
+				copy(model[p*geo.PageSize+off:], data)
+				diffs = append(diffs, proto.PageDiff{
+					Page: uint64(p),
+					Runs: []proto.DiffRun{{Off: uint32(off), Data: data}},
+				})
+			}
+			h.post(t, &proto.DiffBatch{Tag: tag, Diffs: diffs})
+		}
+		needs := make([]proto.PageNeed, geo.LinePages)
+		for p := range needs {
+			needs[p] = proto.PageNeed{Page: uint64(p), Tags: tags}
+		}
+		got := h.fetch(t, 0, needs)
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The server's virtual clock must advance past every arrival it
+// processes (queueing).
+func TestServerClockAdvances(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+	h.doneAt = 1_000_000
+	_ = h.fetch(t, 0, nil)
+	if got := h.srv.Clock(); got < 1_000_000+testLink.Latency {
+		t.Fatalf("server clock %v did not pass request arrival", got)
+	}
+}

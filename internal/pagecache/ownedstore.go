@@ -1,0 +1,143 @@
+package pagecache
+
+import (
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+)
+
+// OwnedStore retains the release-time diffs of lazily-owned pages — the
+// single-writer optimization. A page that no other thread has touched
+// costs its writer nothing at a release beyond the local diff: the
+// bytes stay here, the home only records an ownership claim, and when
+// some other thread eventually fetches the page the home pulls the
+// retained diff on demand. For a workload like Jacobi, where each
+// thread rewrites its whole block every iteration but only block
+// boundaries are ever shared, this removes almost all release-time data
+// movement — which is what lets the system scale past the memory
+// server's ingest bandwidth.
+//
+// The store is shared between the owning thread (which deposits diffs
+// at releases and withdraws them at evictions) and the thread's cache
+// agent goroutine (which serves DiffPull requests from homes while the
+// thread computes), so it is mutex-guarded.
+//
+// Diffs for one page accumulate across releases; they are kept as a
+// byte overlay plus a dirty mask so that successive intervals merge and
+// a pull returns one minimal run set.
+type OwnedStore struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[layout.PageID]*ownedPage
+}
+
+type ownedPage struct {
+	data []byte
+	mask []bool
+}
+
+// NewOwnedStore creates a store for pages of the given size.
+func NewOwnedStore(pageSize int) *OwnedStore {
+	return &OwnedStore{pageSize: pageSize, pages: make(map[layout.PageID]*ownedPage)}
+}
+
+// Put merges the runs of one release-time diff into the page's retained
+// overlay.
+func (s *OwnedStore) Put(p layout.PageID, runs []proto.DiffRun) {
+	if len(runs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, ok := s.pages[p]
+	if !ok {
+		op = &ownedPage{data: make([]byte, s.pageSize), mask: make([]bool, s.pageSize)}
+		s.pages[p] = op
+	}
+	for _, run := range runs {
+		copy(op.data[run.Off:], run.Data)
+		for i := 0; i < len(run.Data); i++ {
+			op.mask[int(run.Off)+i] = true
+		}
+	}
+}
+
+// Take removes and returns the retained diff of one page, or nil if the
+// store holds nothing for it.
+func (s *OwnedStore) Take(p layout.PageID) []proto.DiffRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.takeLocked(p)
+}
+
+func (s *OwnedStore) takeLocked(p layout.PageID) []proto.DiffRun {
+	op, ok := s.pages[p]
+	if !ok {
+		return nil
+	}
+	delete(s.pages, p)
+	var runs []proto.DiffRun
+	i := 0
+	for i < len(op.mask) {
+		if !op.mask[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(op.mask) && op.mask[j] {
+			j++
+		}
+		runs = append(runs, proto.DiffRun{Off: uint32(i), Data: append([]byte(nil), op.data[i:j]...)})
+		i = j
+	}
+	return runs
+}
+
+// TakeMany removes and returns the retained diffs for the listed pages;
+// pages with no retained data are omitted from the result.
+func (s *OwnedStore) TakeMany(pages []uint64) []proto.PageDiff {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []proto.PageDiff
+	for _, pu := range pages {
+		if runs := s.takeLocked(layout.PageID(pu)); runs != nil {
+			out = append(out, proto.PageDiff{Page: pu, Runs: runs})
+		}
+	}
+	return out
+}
+
+// DrainAll removes and returns everything — used for the final flush
+// when a thread retires, so homes become self-sufficient.
+func (s *OwnedStore) DrainAll() []proto.PageDiff {
+	s.mu.Lock()
+	pages := make([]uint64, 0, len(s.pages))
+	for p := range s.pages {
+		pages = append(pages, uint64(p))
+	}
+	s.mu.Unlock()
+	return s.TakeMany(pages)
+}
+
+// Len reports the number of pages with retained diffs.
+func (s *OwnedStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// PayloadBytes reports the total retained dirty bytes (for stats).
+func (s *OwnedStore) PayloadBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, op := range s.pages {
+		for _, m := range op.mask {
+			if m {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package pagecache
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+)
+
+func TestOwnedStorePutTakeRoundTrip(t *testing.T) {
+	s := NewOwnedStore(256)
+	s.Put(3, []proto.DiffRun{{Off: 10, Data: []byte{1, 2, 3}}})
+	if s.Len() != 1 || s.PayloadBytes() != 3 {
+		t.Fatalf("Len=%d Payload=%d", s.Len(), s.PayloadBytes())
+	}
+	runs := s.Take(3)
+	if len(runs) != 1 || runs[0].Off != 10 || !bytes.Equal(runs[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("Take = %+v", runs)
+	}
+	if s.Len() != 0 {
+		t.Fatal("Take did not remove the entry")
+	}
+	if s.Take(3) != nil {
+		t.Fatal("second Take returned data")
+	}
+}
+
+func TestOwnedStoreMergesIntervals(t *testing.T) {
+	s := NewOwnedStore(256)
+	// Interval 1 writes [10,13); interval 2 overwrites [12,15).
+	s.Put(1, []proto.DiffRun{{Off: 10, Data: []byte{1, 1, 1}}})
+	s.Put(1, []proto.DiffRun{{Off: 12, Data: []byte{2, 2, 2}}})
+	runs := s.Take(1)
+	if len(runs) != 1 {
+		t.Fatalf("merged runs = %+v", runs)
+	}
+	want := []byte{1, 1, 2, 2, 2}
+	if runs[0].Off != 10 || !bytes.Equal(runs[0].Data, want) {
+		t.Fatalf("merge = off %d data %v, want off 10 %v", runs[0].Off, runs[0].Data, want)
+	}
+}
+
+func TestOwnedStoreDisjointRunsStaySplit(t *testing.T) {
+	s := NewOwnedStore(256)
+	s.Put(1, []proto.DiffRun{{Off: 0, Data: []byte{1}}, {Off: 100, Data: []byte{2}}})
+	runs := s.Take(1)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestOwnedStoreEmptyPutIgnored(t *testing.T) {
+	s := NewOwnedStore(256)
+	s.Put(1, nil)
+	if s.Len() != 0 {
+		t.Fatal("empty Put created an entry")
+	}
+}
+
+func TestOwnedStoreTakeManyAndDrain(t *testing.T) {
+	s := NewOwnedStore(256)
+	s.Put(1, []proto.DiffRun{{Off: 0, Data: []byte{1}}})
+	s.Put(2, []proto.DiffRun{{Off: 0, Data: []byte{2}}})
+	s.Put(3, []proto.DiffRun{{Off: 0, Data: []byte{3}}})
+	got := s.TakeMany([]uint64{1, 9, 3})
+	if len(got) != 2 {
+		t.Fatalf("TakeMany = %+v", got)
+	}
+	rest := s.DrainAll()
+	if len(rest) != 1 || rest[0].Page != 2 {
+		t.Fatalf("DrainAll = %+v", rest)
+	}
+	if s.Len() != 0 {
+		t.Fatal("store not empty after drain")
+	}
+}
+
+func TestOwnedStoreConcurrentAccess(t *testing.T) {
+	s := NewOwnedStore(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := uint64(g*1000 + i%10)
+				s.Put(layout.PageID(p), []proto.DiffRun{{Off: uint32(i % 100), Data: []byte{byte(i)}}})
+				if i%3 == 0 {
+					s.TakeMany([]uint64{p})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.DrainAll()
+}
+
+// Property: Put-then-Take reconstructs exactly the overlay of the runs
+// in application order.
+func TestOwnedStoreOverlayProperty(t *testing.T) {
+	const pageSize = 512
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewOwnedStore(pageSize)
+		model := make([]byte, pageSize)
+		mask := make([]bool, pageSize)
+		for i := 0; i < 20; i++ {
+			n := 1 + rng.Intn(40)
+			off := rng.Intn(pageSize - n)
+			data := make([]byte, n)
+			rng.Read(data)
+			copy(model[off:], data)
+			for j := 0; j < n; j++ {
+				mask[off+j] = true
+			}
+			s.Put(7, []proto.DiffRun{{Off: uint32(off), Data: data}})
+		}
+		rebuilt := make([]byte, pageSize)
+		rmask := make([]bool, pageSize)
+		for _, run := range s.Take(7) {
+			copy(rebuilt[run.Off:], run.Data)
+			for j := range run.Data {
+				rmask[int(run.Off)+j] = true
+			}
+		}
+		for i := range mask {
+			if mask[i] != rmask[i] {
+				return false
+			}
+			if mask[i] && model[i] != rebuilt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

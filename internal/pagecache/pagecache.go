@@ -1,0 +1,771 @@
+// Package pagecache implements the per-thread local software cache
+// through which every Samhita compute thread accesses the shared global
+// address space (Section II).
+//
+// In the measured system the cache is a region of the coprocessor's
+// memory managed with mprotect: a protection fault pulls a multi-page
+// cache line from the page's home memory server. Go cannot portably
+// intercept page faults, so here every access goes through an explicit
+// Read/Write call whose miss path performs the same protocol actions the
+// SIGSEGV handler performs in the paper:
+//
+//   - demand-fetch the enclosing multi-page cache line from its home,
+//   - asynchronously prefetch the next line (anticipatory paging),
+//   - on the first write in an interval, snapshot the page into a twin
+//     so a release can compute a byte diff (the multiple-writer
+//     protocol's tolerance of false sharing),
+//   - evict with a bias toward written pages when the cache fills,
+//     flushing their diffs home mid-interval.
+//
+// The cache also implements the compute-thread side of regional
+// consistency: CollectRelease gathers ordinary-region page diffs and
+// consistency-region store records at a release point, and ApplyNotices
+// consumes write notices at an acquire point — invalidating pages named
+// by ordinary-region notices and patching fine-grained records in place.
+package pagecache
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// Backend performs the communication the cache needs. It is implemented
+// by the compute-thread runtime (package core) on top of SCL, and by
+// in-memory fakes in tests.
+type Backend interface {
+	// FetchLine synchronously fetches one cache line from its home,
+	// quoting the interval tags that must be applied first. It returns
+	// the line bytes and the caller's virtual time when they are in
+	// hand.
+	FetchLine(line layout.LineID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error)
+	// StartPrefetch begins an asynchronous fetch of a line; the result
+	// is delivered on the returned channel. A nil return means the
+	// backend declines (prefetch disabled).
+	StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan PrefetchResult
+	// FlushEvict posts a mid-interval diff of evicted dirty pages to
+	// their home. It is asynchronous; the returned time is the sender's
+	// clock after the send overhead.
+	FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error)
+}
+
+// PrefetchResult is the completion of an asynchronous line fetch.
+type PrefetchResult struct {
+	Data    []byte
+	ReadyAt vtime.Time // virtual time the line is available to the thread
+	Err     error
+}
+
+// Config parameterizes a cache.
+type Config struct {
+	Geo layout.Geometry
+	CPU vtime.CPUModel
+	// CapacityLines bounds the number of resident lines; 0 means a
+	// generous default.
+	CapacityLines int
+	// Prefetch enables one-line-ahead anticipatory paging.
+	Prefetch bool
+	// Writer is the owning thread's id, used to tag intervals and skip
+	// self-notices.
+	Writer uint32
+}
+
+// DefaultCapacityLines models the coprocessor-side cache of the paper's
+// configuration (a few hundred MB of card memory at 16 KiB lines would
+// be tens of thousands of lines; tests and benchmarks size this down).
+const DefaultCapacityLines = 4096
+
+// pageState tracks one page within a resident line.
+type pageState struct {
+	valid bool
+	dirty bool
+	twin  []byte // snapshot at first ordinary write; nil unless dirty
+}
+
+// lineEntry is one resident cache line.
+type lineEntry struct {
+	id      layout.LineID
+	data    []byte // LineSize bytes
+	pages   []pageState
+	lastUse uint64
+}
+
+// prefetchEntry tracks an in-flight asynchronous line fetch.
+type prefetchEntry struct {
+	ch <-chan PrefetchResult
+	// needsSent records which tags were quoted per page at issue time;
+	// pages whose needs grew since must not be installed as valid.
+	needsSent map[layout.PageID]map[proto.IntervalTag]struct{}
+	issuedAt  vtime.Time
+}
+
+// Cache is one thread's software cache. It is confined to the owning
+// thread's goroutine.
+type Cache struct {
+	cfg   Config
+	geo   layout.Geometry
+	be    Backend
+	clock *vtime.Clock
+	st    *stats.Thread
+
+	lines    map[layout.LineID]*lineEntry
+	pending  map[layout.LineID]*prefetchEntry
+	useTick  uint64
+	capacity int
+
+	// pageNeeds records, for every page that is not resident-and-valid,
+	// the interval tags a future fetch must wait for. Entries are
+	// cleared when the page is installed valid.
+	pageNeeds map[layout.PageID]map[proto.IntervalTag]struct{}
+
+	// interval bookkeeping (one interval = release to release).
+	interval     uint64
+	dirtyPages   map[layout.PageID]struct{} // dirty right now
+	flushedDirty map[layout.PageID]struct{} // dirtied this interval, already flushed by eviction/invalidation
+	records      []proto.StoreRecord        // consistency-region store log
+
+	// shared marks pages another thread is known to touch (they were
+	// named by a foreign write notice at some acquire). Dirty shared
+	// pages ship eager diffs at a release; dirty unshared pages only
+	// post an ownership claim and retain their diffs in owned — the
+	// single-writer optimization that keeps releases cheap for purely
+	// private working sets.
+	shared map[layout.PageID]struct{}
+	owned  *OwnedStore
+}
+
+// New creates a cache. The clock and stats belong to the owning thread.
+func New(cfg Config, be Backend, clock *vtime.Clock, st *stats.Thread) *Cache {
+	if cfg.CapacityLines <= 0 {
+		cfg.CapacityLines = DefaultCapacityLines
+	}
+	return &Cache{
+		cfg:          cfg,
+		geo:          cfg.Geo,
+		be:           be,
+		clock:        clock,
+		st:           st,
+		lines:        make(map[layout.LineID]*lineEntry),
+		pending:      make(map[layout.LineID]*prefetchEntry),
+		capacity:     cfg.CapacityLines,
+		pageNeeds:    make(map[layout.PageID]map[proto.IntervalTag]struct{}),
+		dirtyPages:   make(map[layout.PageID]struct{}),
+		flushedDirty: make(map[layout.PageID]struct{}),
+		shared:       make(map[layout.PageID]struct{}),
+		owned:        NewOwnedStore(cfg.Geo.PageSize),
+	}
+}
+
+// Owned exposes the retained-diff store; the thread's cache agent
+// serves DiffPull requests from it.
+func (c *Cache) Owned() *OwnedStore { return c.owned }
+
+// Interval reports the current (open) interval number.
+func (c *Cache) Interval() uint64 { return c.interval }
+
+// ---------------------------------------------------------------------
+// Access path.
+
+// Read copies len(buf) bytes at addr into buf, faulting lines in as
+// needed.
+func (c *Cache) Read(addr layout.Addr, buf []byte) error {
+	c.clock.Advance(c.cfg.CPU.AccessTime)
+	for len(buf) > 0 {
+		page := c.geo.PageOf(addr)
+		off := c.geo.PageOffset(addr)
+		n := min(len(buf), c.geo.PageSize-off)
+		le, err := c.ensureValid(page)
+		if err != nil {
+			return err
+		}
+		base := c.pageBaseInLine(page)
+		copy(buf[:n], le.data[base+off:base+off+n])
+		buf = buf[n:]
+		addr += layout.Addr(n)
+	}
+	return nil
+}
+
+// Write stores data at addr. If region is true the store happens inside
+// a consistency region (a lock is held): it is captured in the
+// fine-grained store log and does not mark the page dirty by itself.
+// Ordinary (region=false) stores twin the page on first touch and are
+// propagated as page diffs at the next release.
+func (c *Cache) Write(addr layout.Addr, data []byte, region bool) error {
+	c.clock.Advance(c.cfg.CPU.AccessTime)
+	for len(data) > 0 {
+		page := c.geo.PageOf(addr)
+		off := c.geo.PageOffset(addr)
+		n := min(len(data), c.geo.PageSize-off)
+		le, err := c.ensureValid(page)
+		if err != nil {
+			return err
+		}
+		if region {
+			c.records = append(c.records, proto.StoreRecord{
+				Addr: uint64(addr),
+				Data: append([]byte(nil), data[:n]...),
+			})
+			c.st.RecordsLogged++
+			c.st.RecordBytes += int64(n)
+			// Consistency-region bytes travel ONLY as records. If the
+			// page is dirty from ordinary writes, patch the twin too, or
+			// the next ordinary diff would capture these bytes and ship
+			// a stale snapshot that can clobber newer records at the
+			// home (a lost update under lock).
+			if ps := &le.pages[c.pageIndex(page)]; ps.dirty {
+				copy(ps.twin[off:], data[:n])
+			}
+		} else {
+			ps := &le.pages[c.pageIndex(page)]
+			if !ps.dirty {
+				base := c.pageBaseInLine(page)
+				ps.twin = append([]byte(nil), le.data[base:base+c.geo.PageSize]...)
+				ps.dirty = true
+				c.dirtyPages[page] = struct{}{}
+				c.clock.Advance(c.cfg.CPU.TwinTime)
+				c.st.Twins++
+			}
+		}
+		base := c.pageBaseInLine(page)
+		copy(le.data[base+off:], data[:n])
+		data = data[n:]
+		addr += layout.Addr(n)
+	}
+	return nil
+}
+
+func (c *Cache) pageIndex(p layout.PageID) int {
+	return int(p - c.geo.FirstPage(c.geo.LineOf(p)))
+}
+
+func (c *Cache) pageBaseInLine(p layout.PageID) int {
+	return c.pageIndex(p) * c.geo.PageSize
+}
+
+// ensureValid makes page p resident and valid, faulting and fetching as
+// required, and returns its line.
+func (c *Cache) ensureValid(p layout.PageID) (*lineEntry, error) {
+	line := c.geo.LineOf(p)
+	le, ok := c.lines[line]
+	if ok && le.pages[c.pageIndex(p)].valid {
+		c.useTick++
+		le.lastUse = c.useTick
+		c.st.Hits++
+		return le, nil
+	}
+	le, err := c.fault(line)
+	if err != nil {
+		return nil, err
+	}
+	if !le.pages[c.pageIndex(p)].valid {
+		return nil, fmt.Errorf("pagecache: page %d still invalid after fetch", p)
+	}
+	return le, nil
+}
+
+// fault brings a line in (or revalidates its invalid pages) and issues
+// the adjacent-line prefetch.
+func (c *Cache) fault(line layout.LineID) (*lineEntry, error) {
+	c.clock.Advance(c.cfg.CPU.FaultOverhead)
+	c.st.Misses++
+
+	var (
+		data    []byte
+		readyAt vtime.Time
+		err     error
+	)
+	if pe, ok := c.pending[line]; ok {
+		res := <-pe.ch
+		delete(c.pending, line)
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		if res.ReadyAt > c.clock.Now() {
+			c.st.PrefetchLate++
+		} else {
+			c.st.PrefetchHits++
+		}
+		// Pages whose needs grew after the prefetch was issued must not
+		// be installed from it; force a demand fetch for the whole line
+		// in that case (rare).
+		if c.prefetchStale(line, pe) {
+			data, readyAt, err = c.be.FetchLine(line, c.needsFor(line), c.clock.Now())
+		} else {
+			data, readyAt = res.Data, vtime.Max(res.ReadyAt, c.clock.Now())
+		}
+	} else {
+		data, readyAt, err = c.be.FetchLine(line, c.needsFor(line), c.clock.Now())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != c.geo.LineSize() {
+		return nil, fmt.Errorf("pagecache: fetched line %d has %d bytes, want %d", line, len(data), c.geo.LineSize())
+	}
+	c.clock.AdvanceTo(readyAt)
+	c.st.BytesReceived += int64(len(data))
+
+	le := c.install(line, data)
+
+	// Anticipatory paging: one asynchronous request for the adjacent
+	// line (Section II's prefetching strategy).
+	if c.cfg.Prefetch {
+		next := line + 1
+		if _, resident := c.lines[next]; !resident {
+			if _, inflight := c.pending[next]; !inflight {
+				needs := c.needsFor(next)
+				if ch := c.be.StartPrefetch(next, needs, c.clock.Now()); ch != nil {
+					c.pending[next] = &prefetchEntry{
+						ch:        ch,
+						needsSent: c.needsSnapshot(next),
+						issuedAt:  c.clock.Now(),
+					}
+				}
+			}
+		}
+	}
+	return le, nil
+}
+
+// install merges fetched line bytes with resident state: locally dirty
+// pages keep their contents (the multiple-writer protocol — our
+// unflushed writes must survive), everything else takes the fetched
+// bytes and becomes valid.
+func (c *Cache) install(line layout.LineID, data []byte) *lineEntry {
+	le, ok := c.lines[line]
+	if !ok {
+		c.evictIfFull()
+		le = &lineEntry{
+			id:    line,
+			data:  make([]byte, c.geo.LineSize()),
+			pages: make([]pageState, c.geo.LinePages),
+		}
+		copy(le.data, data)
+		c.lines[line] = le
+	} else {
+		for i := range le.pages {
+			if le.pages[i].dirty {
+				continue
+			}
+			off := i * c.geo.PageSize
+			copy(le.data[off:off+c.geo.PageSize], data[off:off+c.geo.PageSize])
+		}
+	}
+	first := c.geo.FirstPage(line)
+	for i := range le.pages {
+		le.pages[i].valid = true
+		delete(c.pageNeeds, first+layout.PageID(i))
+	}
+	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.LineSize()))
+	c.useTick++
+	le.lastUse = c.useTick
+	return le
+}
+
+// needsFor collects the outstanding interval tags for each page of a
+// line.
+func (c *Cache) needsFor(line layout.LineID) []proto.PageNeed {
+	var needs []proto.PageNeed
+	first := c.geo.FirstPage(line)
+	for i := 0; i < c.geo.LinePages; i++ {
+		p := first + layout.PageID(i)
+		tags := c.pageNeeds[p]
+		if len(tags) == 0 {
+			continue
+		}
+		pn := proto.PageNeed{Page: uint64(p), Tags: make([]proto.IntervalTag, 0, len(tags))}
+		for tag := range tags {
+			pn.Tags = append(pn.Tags, tag)
+		}
+		needs = append(needs, pn)
+	}
+	return needs
+}
+
+func (c *Cache) needsSnapshot(line layout.LineID) map[layout.PageID]map[proto.IntervalTag]struct{} {
+	snap := make(map[layout.PageID]map[proto.IntervalTag]struct{})
+	first := c.geo.FirstPage(line)
+	for i := 0; i < c.geo.LinePages; i++ {
+		p := first + layout.PageID(i)
+		if tags, ok := c.pageNeeds[p]; ok && len(tags) > 0 {
+			cp := make(map[proto.IntervalTag]struct{}, len(tags))
+			for t := range tags {
+				cp[t] = struct{}{}
+			}
+			snap[p] = cp
+		}
+	}
+	return snap
+}
+
+// prefetchStale reports whether any page of the line accumulated needs
+// after the prefetch was issued.
+func (c *Cache) prefetchStale(line layout.LineID, pe *prefetchEntry) bool {
+	first := c.geo.FirstPage(line)
+	for i := 0; i < c.geo.LinePages; i++ {
+		p := first + layout.PageID(i)
+		cur := c.pageNeeds[p]
+		sent := pe.needsSent[p]
+		for tag := range cur {
+			if _, ok := sent[tag]; !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Eviction.
+
+// evictIfFull makes room for one more line. The victim is the
+// least-recently-used line, with a bias toward lines holding written
+// pages (Section II: "the eviction policy used is biased towards pages
+// that have been written to"): dirty data is pushed home early, which
+// both frees the twin storage and shortens the diff work left at the
+// next release.
+func (c *Cache) evictIfFull() {
+	if len(c.lines) < c.capacity {
+		return
+	}
+	var oldest, oldestDirty *lineEntry
+	for _, le := range c.lines {
+		if oldest == nil || le.lastUse < oldest.lastUse {
+			oldest = le
+		}
+		if lineDirty(le) && (oldestDirty == nil || le.lastUse < oldestDirty.lastUse) {
+			oldestDirty = le
+		}
+	}
+	victim := oldest
+	if oldestDirty != nil {
+		victim = oldestDirty
+	}
+	c.evict(victim)
+}
+
+func lineDirty(le *lineEntry) bool {
+	for i := range le.pages {
+		if le.pages[i].dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// evict removes a line, flushing diffs of its dirty pages home.
+func (c *Cache) evict(le *lineEntry) {
+	c.st.Evictions++
+	diffs := c.diffDirtyPages(le, true)
+	if len(diffs) > 0 {
+		c.st.DirtyEvicts++
+		at, err := c.be.FlushEvict(diffs, c.clock.Now())
+		if err != nil {
+			panic(fmt.Sprintf("pagecache: evict flush failed: %v", err))
+		}
+		c.clock.AdvanceTo(at)
+		c.st.MsgsSent++
+	}
+	delete(c.lines, le.id)
+}
+
+// diffDirtyPages computes diffs of the line's dirty pages against their
+// twins. If flushed is true the pages move to the flushedDirty set
+// (their bytes are home already; the closing DiffBatch lists them as
+// EmptyPages).
+func (c *Cache) diffDirtyPages(le *lineEntry, flushed bool) []proto.PageDiff {
+	var diffs []proto.PageDiff
+	first := c.geo.FirstPage(le.id)
+	for i := range le.pages {
+		ps := &le.pages[i]
+		if !ps.dirty {
+			continue
+		}
+		p := first + layout.PageID(i)
+		base := i * c.geo.PageSize
+		d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
+		c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+		c.st.DiffsCreated++
+		// Anything retained from earlier lazily-owned intervals must
+		// travel too: the home clears our ownership when these bytes
+		// arrive.
+		if prior := c.owned.Take(p); prior != nil {
+			d.Runs = append(prior, d.Runs...)
+		}
+		c.st.DiffBytes += int64(d.PayloadBytes())
+		diffs = append(diffs, d)
+		ps.dirty = false
+		ps.twin = nil
+		delete(c.dirtyPages, p)
+		if flushed {
+			c.flushedDirty[p] = struct{}{}
+		}
+	}
+	return diffs
+}
+
+// diffPage builds maximal changed-byte runs of cur against twin.
+func diffPage(page uint64, cur, twin []byte) proto.PageDiff {
+	d := proto.PageDiff{Page: page}
+	i := 0
+	for i < len(cur) {
+		if cur[i] == twin[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && cur[j] != twin[j] {
+			j++
+		}
+		d.Runs = append(d.Runs, proto.DiffRun{
+			Off:  uint32(i),
+			Data: append([]byte(nil), cur[i:j]...),
+		})
+		i = j
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------
+// Release / acquire (the RegC protocol surface used by package core).
+
+// ReleaseSet is everything a release point must transmit: the write
+// notice content for the manager and per-home DiffBatches for the
+// memory servers.
+type ReleaseSet struct {
+	// Tag identifies the closing interval.
+	Tag proto.IntervalTag
+	// Pages is the ordinary-region dirty page set for the write notice.
+	Pages []uint64
+	// Records is the consistency-region store log for the write notice.
+	Records []proto.StoreRecord
+	// ByHome maps memory-server index to the DiffBatch bound for it.
+	ByHome map[int]*proto.DiffBatch
+}
+
+// CollectRelease closes the current interval: it diffs every dirty page,
+// drains the store log, groups everything by home server and returns
+// the ReleaseSet. The caller posts the batches to the homes *before*
+// announcing the release to the manager, then applies the acquire-side
+// notices it gets back.
+func (c *Cache) CollectRelease() *ReleaseSet {
+	c.interval++
+	rs := &ReleaseSet{
+		Tag:    proto.IntervalTag{Writer: c.cfg.Writer, Interval: c.interval},
+		ByHome: make(map[int]*proto.DiffBatch),
+	}
+
+	// Ordinary-region dirty pages from resident lines: shared pages ship
+	// eager diffs; unshared pages retain their diffs locally and only
+	// claim ownership at the home.
+	for _, le := range c.lines {
+		if !lineDirty(le) {
+			continue
+		}
+		first := c.geo.FirstPage(le.id)
+		home := c.geo.HomeOf(first)
+		b := rs.batchFor(home, rs.Tag)
+		for i := range le.pages {
+			ps := &le.pages[i]
+			if !ps.dirty {
+				continue
+			}
+			p := first + layout.PageID(i)
+			base := i * c.geo.PageSize
+			d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
+			c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+			c.st.DiffsCreated++
+			ps.dirty = false
+			ps.twin = nil
+			delete(c.dirtyPages, p)
+			if _, isShared := c.shared[p]; isShared {
+				if prior := c.owned.Take(p); prior != nil {
+					d.Runs = append(prior, d.Runs...)
+				}
+				if len(d.Runs) == 0 {
+					continue // silent stores: nothing changed, nothing to tell anyone
+				}
+				rs.Pages = append(rs.Pages, uint64(p))
+				c.st.DiffBytes += int64(d.PayloadBytes())
+				b.Diffs = append(b.Diffs, d)
+			} else {
+				if len(d.Runs) == 0 {
+					continue
+				}
+				rs.Pages = append(rs.Pages, uint64(p))
+				c.owned.Put(p, d.Runs)
+				c.st.OwnedClaims++
+				b.OwnedPages = append(b.OwnedPages, uint64(p))
+			}
+		}
+	}
+
+	// Pages flushed early by eviction/invalidation: bytes are home, but
+	// the tag must still be marked and peers must still invalidate.
+	for p := range c.flushedDirty {
+		rs.Pages = append(rs.Pages, uint64(p))
+		b := rs.batchFor(c.geo.HomeOf(p), rs.Tag)
+		b.EmptyPages = append(b.EmptyPages, uint64(p))
+		delete(c.flushedDirty, p)
+	}
+
+	// Consistency-region store records, routed to each record's home.
+	for _, rec := range c.records {
+		p := c.geo.PageOf(layout.Addr(rec.Addr))
+		b := rs.batchFor(c.geo.HomeOf(p), rs.Tag)
+		b.Records = append(b.Records, rec)
+		rs.Records = append(rs.Records, rec)
+	}
+	c.records = nil
+	// Batches that ended up with nothing to say (e.g. only silent
+	// stores) are dropped entirely.
+	for home, b := range rs.ByHome {
+		if len(b.Diffs) == 0 && len(b.Records) == 0 && len(b.EmptyPages) == 0 && len(b.OwnedPages) == 0 {
+			delete(rs.ByHome, home)
+		}
+	}
+	return rs
+}
+
+func (rs *ReleaseSet) batchFor(home int, tag proto.IntervalTag) *proto.DiffBatch {
+	b, ok := rs.ByHome[home]
+	if !ok {
+		b = &proto.DiffBatch{Tag: tag}
+		rs.ByHome[home] = b
+	}
+	return b
+}
+
+// ApplyNotices processes acquire-side write notices: pages named by
+// other writers' ordinary-region notices are invalidated (a dirty local
+// copy first flushes its diff home so concurrent disjoint writes merge),
+// and fine-grained records are patched into resident pages in place.
+func (c *Cache) ApplyNotices(notices []proto.Notice) error {
+	for i := range notices {
+		n := &notices[i]
+		if n.Tag.Writer == c.cfg.Writer {
+			continue // our own release
+		}
+		c.st.NoticesReceived++
+		for _, pu := range n.Pages {
+			if err := c.invalidate(layout.PageID(pu), n.Tag); err != nil {
+				return err
+			}
+		}
+		for _, rec := range n.Records {
+			c.applyRecord(rec, n.Tag)
+		}
+	}
+	return nil
+}
+
+// invalidate marks a page as needing tag before next use. The page is
+// evidently shared from now on: another writer just touched it.
+func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag) error {
+	c.shared[p] = struct{}{}
+	c.addNeed(p, tag)
+	line := c.geo.LineOf(p)
+	le, ok := c.lines[line]
+	if !ok {
+		return nil
+	}
+	ps := &le.pages[c.pageIndex(p)]
+	if ps.dirty {
+		// Concurrent writers on one page: push our bytes home now so the
+		// refetch returns the merge. (True sharing without a lock is a
+		// data race; either order is acceptable then.)
+		base := c.pageIndex(p) * c.geo.PageSize
+		d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
+		c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+		c.st.DiffsCreated++
+		if prior := c.owned.Take(p); prior != nil {
+			d.Runs = append(prior, d.Runs...)
+		}
+		c.st.DiffBytes += int64(d.PayloadBytes())
+		at, err := c.be.FlushEvict([]proto.PageDiff{d}, c.clock.Now())
+		if err != nil {
+			return fmt.Errorf("pagecache: invalidation flush: %w", err)
+		}
+		c.clock.AdvanceTo(at)
+		c.st.MsgsSent++
+		ps.dirty = false
+		ps.twin = nil
+		delete(c.dirtyPages, p)
+		c.flushedDirty[p] = struct{}{}
+	}
+	if ps.valid {
+		ps.valid = false
+		c.clock.Advance(c.cfg.CPU.InvalidateTime)
+		c.st.Invalidations++
+	}
+	return nil
+}
+
+// applyRecord patches a consistency-region update into a resident valid
+// page; if the page is not resident-and-valid the record's tag is
+// recorded as a need instead (the home has the bytes).
+func (c *Cache) applyRecord(rec proto.StoreRecord, tag proto.IntervalTag) {
+	addr := layout.Addr(rec.Addr)
+	p := c.geo.PageOf(addr)
+	c.shared[p] = struct{}{}
+	line := c.geo.LineOf(p)
+	le, ok := c.lines[line]
+	if !ok || !le.pages[c.pageIndex(p)].valid {
+		c.addNeed(p, tag)
+		return
+	}
+	base := c.pageBaseInLine(p) + c.geo.PageOffset(addr)
+	copy(le.data[base:], rec.Data)
+	// Keep a dirty page's twin in step: record bytes must never leak
+	// into this page's ordinary diff (see Write's region branch).
+	if ps := &le.pages[c.pageIndex(p)]; ps.dirty {
+		copy(ps.twin[c.geo.PageOffset(addr):], rec.Data)
+	}
+	c.clock.Advance(c.cfg.CPU.ApplyTime(len(rec.Data)))
+	c.st.UpdatesApplied++
+}
+
+func (c *Cache) addNeed(p layout.PageID, tag proto.IntervalTag) {
+	tags, ok := c.pageNeeds[p]
+	if !ok {
+		tags = make(map[proto.IntervalTag]struct{})
+		c.pageNeeds[p] = tags
+	}
+	tags[tag] = struct{}{}
+}
+
+// DrainPrefetches waits for every in-flight prefetch and discards the
+// results. Called when the owning thread retires, so no fetch of this
+// thread's can still be in flight when its endpoint closes.
+func (c *Cache) DrainPrefetches() {
+	for line, pe := range c.pending {
+		<-pe.ch
+		delete(c.pending, line)
+	}
+}
+
+// SharedPages reports how many pages are known to be shared.
+func (c *Cache) SharedPages() int { return len(c.shared) }
+
+// ---------------------------------------------------------------------
+// Introspection for tests and harnesses.
+
+// ResidentLines reports how many lines are cached.
+func (c *Cache) ResidentLines() int { return len(c.lines) }
+
+// DirtyPages reports how many pages are currently dirty.
+func (c *Cache) DirtyPages() int { return len(c.dirtyPages) }
+
+// PendingRecords reports the size of the open store log.
+func (c *Cache) PendingRecords() int { return len(c.records) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,672 @@
+package pagecache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// fakeBackend is an in-memory home: it serves zero-filled lines overlaid
+// with whatever diffs have been flushed to it, and records the calls the
+// cache makes.
+type fakeBackend struct {
+	geo layout.Geometry
+
+	home map[layout.PageID][]byte
+
+	fetchCalls    []layout.LineID
+	fetchNeeds    [][]proto.PageNeed
+	prefetchCalls []layout.LineID
+	flushCalls    int
+	flushedDiffs  []proto.PageDiff
+
+	fetchCost    vtime.Time
+	prefetchCost vtime.Time
+	noPrefetch   bool
+}
+
+func newFakeBackend(geo layout.Geometry) *fakeBackend {
+	return &fakeBackend{
+		geo:          geo,
+		home:         make(map[layout.PageID][]byte),
+		fetchCost:    10_000,
+		prefetchCost: 10_000,
+	}
+}
+
+func (f *fakeBackend) page(p layout.PageID) []byte {
+	if b, ok := f.home[p]; ok {
+		return b
+	}
+	b := make([]byte, f.geo.PageSize)
+	f.home[p] = b
+	return b
+}
+
+func (f *fakeBackend) lineData(line layout.LineID) []byte {
+	data := make([]byte, 0, f.geo.LineSize())
+	first := f.geo.FirstPage(line)
+	for i := 0; i < f.geo.LinePages; i++ {
+		data = append(data, f.page(first+layout.PageID(i))...)
+	}
+	return data
+}
+
+func (f *fakeBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error) {
+	f.fetchCalls = append(f.fetchCalls, line)
+	f.fetchNeeds = append(f.fetchNeeds, needs)
+	return f.lineData(line), at + f.fetchCost, nil
+}
+
+func (f *fakeBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan PrefetchResult {
+	if f.noPrefetch {
+		return nil
+	}
+	f.prefetchCalls = append(f.prefetchCalls, line)
+	ch := make(chan PrefetchResult, 1)
+	ch <- PrefetchResult{Data: f.lineData(line), ReadyAt: at + f.prefetchCost}
+	return ch
+}
+
+func (f *fakeBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error) {
+	f.flushCalls++
+	for _, d := range diffs {
+		f.flushedDiffs = append(f.flushedDiffs, d)
+		pg := f.page(layout.PageID(d.Page))
+		for _, run := range d.Runs {
+			copy(pg[run.Off:], run.Data)
+		}
+	}
+	return at + 100, nil
+}
+
+func newCache(t *testing.T, geo layout.Geometry, be Backend, opts ...func(*Config)) (*Cache, *vtime.Clock, *stats.Thread) {
+	t.Helper()
+	clk := vtime.NewClock(0)
+	st := &stats.Thread{ID: 1}
+	cfg := Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, Prefetch: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg, be, clk, st), clk, st
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, clk, st := newCache(t, geo, be)
+
+	buf := make([]byte, 8)
+	if err := c.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 8)) {
+		t.Fatalf("untouched memory not zero: %v", buf)
+	}
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("misses=%d hits=%d", st.Misses, st.Hits)
+	}
+	if clk.Now() < be.fetchCost {
+		t.Fatalf("clock %v did not include fetch cost", clk.Now())
+	}
+	if err := c.Read(200, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits=%d after second read", st.Hits)
+	}
+	if len(be.fetchCalls) != 1 {
+		t.Fatalf("fetch called %d times", len(be.fetchCalls))
+	}
+}
+
+func TestWriteReadRoundTripAcrossPages(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	// Spans the page 0 -> page 1 boundary.
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	addr := layout.Addr(geo.PageSize - 4)
+	if err := c.Write(addr, data, false); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := c.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %v want %v", got, data)
+	}
+	if c.DirtyPages() != 2 {
+		t.Fatalf("DirtyPages = %d, want 2", c.DirtyPages())
+	}
+}
+
+func TestTwinCreatedOncePerInterval(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+
+	for i := 0; i < 5; i++ {
+		if err := c.Write(layout.Addr(i*8), []byte{byte(i)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Twins != 1 {
+		t.Fatalf("Twins = %d, want 1", st.Twins)
+	}
+	rs := c.CollectRelease()
+	if len(rs.Pages) != 1 {
+		t.Fatalf("release pages = %v", rs.Pages)
+	}
+	// Next interval twins again.
+	if err := c.Write(0, []byte{9}, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.Twins != 2 {
+		t.Fatalf("Twins = %d after new interval", st.Twins)
+	}
+}
+
+func TestCollectReleaseClaimsUnsharedPages(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	if err := c.Write(10, []byte{1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(layout.Addr(geo.PageSize+20), []byte{4}, false); err != nil {
+		t.Fatal(err)
+	}
+	rs := c.CollectRelease()
+	if rs.Tag.Writer != 1 || rs.Tag.Interval != 1 {
+		t.Fatalf("tag %+v", rs.Tag)
+	}
+	if len(rs.Pages) != 2 {
+		t.Fatalf("pages %v", rs.Pages)
+	}
+	// No other thread has touched these pages: the release ships no
+	// bytes, only ownership claims; the diffs stay in the owned store.
+	b := rs.ByHome[0]
+	if b == nil || len(b.Diffs) != 0 || len(b.OwnedPages) != 2 {
+		t.Fatalf("batch %+v", b)
+	}
+	if c.Owned().Len() != 2 || c.Owned().PayloadBytes() != 4 {
+		t.Fatalf("owned store: %d pages, %d bytes", c.Owned().Len(), c.Owned().PayloadBytes())
+	}
+	if c.DirtyPages() != 0 {
+		t.Fatalf("dirty pages survived release")
+	}
+	// Second release with no writes is empty.
+	rs2 := c.CollectRelease()
+	if len(rs2.Pages) != 0 || len(rs2.ByHome) != 0 {
+		t.Fatalf("empty release not empty: %+v", rs2)
+	}
+}
+
+func TestCollectReleaseShipsEagerDiffsForSharedPages(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	// A foreign notice marks page 0 shared.
+	if err := c.ApplyNotices([]proto.Notice{{
+		Seq: 1, Tag: proto.IntervalTag{Writer: 9, Interval: 1}, Pages: []uint64{0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(10, []byte{1, 2, 3}, false); err != nil {
+		t.Fatal(err)
+	}
+	rs := c.CollectRelease()
+	b := rs.ByHome[0]
+	if b == nil || len(b.Diffs) != 1 || len(b.OwnedPages) != 0 {
+		t.Fatalf("batch %+v", b)
+	}
+	if got := b.Diffs[0].PayloadBytes(); got != 3 {
+		t.Fatalf("eager payload %d", got)
+	}
+	if c.Owned().Len() != 0 {
+		t.Fatal("shared page leaked into the owned store")
+	}
+}
+
+func TestSilentStoresProduceNoTraffic(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	// Write the value that is already there (zero): twin is created but
+	// the diff is empty, so the release carries nothing at all.
+	if err := c.Write(10, []byte{0, 0, 0}, false); err != nil {
+		t.Fatal(err)
+	}
+	rs := c.CollectRelease()
+	if len(rs.Pages) != 0 || len(rs.ByHome) != 0 {
+		t.Fatalf("silent store produced traffic: %+v", rs)
+	}
+}
+
+func TestRegionWritesLogRecordsNotDiffs(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+
+	if err := c.Write(64, []byte{1, 2, 3, 4, 5, 6, 7, 8}, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.DirtyPages() != 0 {
+		t.Fatal("region write dirtied the page")
+	}
+	if st.RecordsLogged != 1 || st.RecordBytes != 8 {
+		t.Fatalf("records=%d bytes=%d", st.RecordsLogged, st.RecordBytes)
+	}
+	// Locally visible immediately.
+	got := make([]byte, 8)
+	if err := c.Read(64, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[7] != 8 {
+		t.Fatalf("read-back %v", got)
+	}
+	rs := c.CollectRelease()
+	if len(rs.Records) != 1 || rs.Records[0].Addr != 64 {
+		t.Fatalf("release records %+v", rs.Records)
+	}
+	if len(rs.Pages) != 0 {
+		t.Fatalf("region-only interval produced page notices: %v", rs.Pages)
+	}
+	if len(rs.ByHome[0].Records) != 1 {
+		t.Fatalf("home batch records %+v", rs.ByHome[0])
+	}
+}
+
+func TestApplyNoticesInvalidatesAndRefetches(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	tag := proto.IntervalTag{Writer: 2, Interval: 7}
+	if err := c.ApplyNotices([]proto.Notice{{Seq: 1, Tag: tag, Pages: []uint64{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d", st.Invalidations)
+	}
+	// The home now has new content; the refetch must quote the tag.
+	be.page(0)[0] = 99
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 99 {
+		t.Fatalf("stale read %d after invalidation", buf[0])
+	}
+	last := be.fetchNeeds[len(be.fetchNeeds)-1]
+	if len(last) != 1 || last[0].Page != 0 || last[0].Tags[0] != tag {
+		t.Fatalf("refetch needs %+v", last)
+	}
+}
+
+func TestSelfNoticesSkipped(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	self := proto.IntervalTag{Writer: 1, Interval: 3}
+	if err := c.ApplyNotices([]proto.Notice{{Seq: 5, Tag: self, Pages: []uint64{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Invalidations != 0 || st.NoticesReceived != 0 {
+		t.Fatal("self notice was processed")
+	}
+}
+
+func TestUpdateRecordsPatchInPlace(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+	buf := make([]byte, 2)
+	if err := c.Read(500, buf); err != nil {
+		t.Fatal(err)
+	}
+	fetchesBefore := len(be.fetchCalls)
+	n := proto.Notice{
+		Seq: 1, Tag: proto.IntervalTag{Writer: 2, Interval: 1},
+		Records: []proto.StoreRecord{{Addr: 500, Data: []byte{7, 8}}},
+	}
+	if err := c.ApplyNotices([]proto.Notice{n}); err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesApplied != 1 {
+		t.Fatalf("UpdatesApplied = %d", st.UpdatesApplied)
+	}
+	if err := c.Read(500, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 || buf[1] != 8 {
+		t.Fatalf("update not visible: %v", buf)
+	}
+	// Crucially: no refetch happened (the fine-grain path's whole point).
+	if len(be.fetchCalls) != fetchesBefore {
+		t.Fatal("update record caused a page fetch")
+	}
+}
+
+func TestUpdateRecordForNonResidentPageBecomesNeed(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+	tag := proto.IntervalTag{Writer: 2, Interval: 1}
+	n := proto.Notice{
+		Seq: 1, Tag: tag,
+		Records: []proto.StoreRecord{{Addr: 100, Data: []byte{1}}},
+	}
+	if err := c.ApplyNotices([]proto.Notice{n}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := c.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	needs := be.fetchNeeds[len(be.fetchNeeds)-1]
+	if len(needs) != 1 || needs[0].Tags[0] != tag {
+		t.Fatalf("fetch needs %+v", needs)
+	}
+}
+
+func TestEvictionPrefersDirtyAndFlushes(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	be.noPrefetch = true
+	c, _, st := newCache(t, geo, be, func(cfg *Config) { cfg.CapacityLines = 2 })
+
+	lineBytes := layout.Addr(geo.LineSize())
+	// Line 0: dirty. Line 1: clean and more recently used.
+	if err := c.Write(0, []byte{42}, false); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := c.Read(lineBytes, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Touch line 0 again so it is the MOST recent — the dirty bias must
+	// still pick it over the older clean line 1.
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Fault line 2: one of the two must go; bias says dirty line 0.
+	if err := c.Read(2*lineBytes, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.Evictions != 1 || st.DirtyEvicts != 1 || be.flushCalls != 1 {
+		t.Fatalf("evictions=%d dirty=%d flushes=%d", st.Evictions, st.DirtyEvicts, be.flushCalls)
+	}
+	if be.page(0)[0] != 42 {
+		t.Fatal("evicted dirty byte did not reach home")
+	}
+	// The release must mention page 0 (peers still need to invalidate)
+	// with an EmptyPages entry (bytes already home).
+	rs := c.CollectRelease()
+	if len(rs.Pages) != 1 || rs.Pages[0] != 0 {
+		t.Fatalf("release pages %v", rs.Pages)
+	}
+	if b := rs.ByHome[0]; b == nil || len(b.EmptyPages) != 1 || b.EmptyPages[0] != 0 {
+		t.Fatalf("EmptyPages missing: %+v", rs.ByHome[0])
+	}
+	// Re-reading page 0 refetches and sees the flushed value.
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("reread after dirty eviction: %d", buf[0])
+	}
+}
+
+func TestPrefetchAdjacentLine(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil { // miss line 0, prefetch line 1
+		t.Fatal(err)
+	}
+	if len(be.prefetchCalls) != 1 || be.prefetchCalls[0] != 1 {
+		t.Fatalf("prefetch calls %v", be.prefetchCalls)
+	}
+	if err := c.Read(layout.Addr(geo.LineSize()), buf); err != nil { // line 1: prefetched
+		t.Fatal(err)
+	}
+	if st.PrefetchHits+st.PrefetchLate != 1 {
+		t.Fatalf("prefetch hit/late = %d/%d", st.PrefetchHits, st.PrefetchLate)
+	}
+	if len(be.fetchCalls) != 1 {
+		t.Fatalf("demand fetches %v (prefetch should have covered line 1)", be.fetchCalls)
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be, func(cfg *Config) { cfg.Prefetch = false })
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.prefetchCalls) != 0 {
+		t.Fatal("prefetch issued while disabled")
+	}
+}
+
+func TestInvalidateDirtyPageFlushesForMerge(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	if err := c.Write(8, []byte{5}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Another thread wrote elsewhere in page 0 and released.
+	be.page(0)[100] = 77
+	tag := proto.IntervalTag{Writer: 2, Interval: 1}
+	if err := c.ApplyNotices([]proto.Notice{{Seq: 1, Tag: tag, Pages: []uint64{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Our write was flushed home (merge), page invalidated; refetch sees
+	// both writers' bytes.
+	buf := make([]byte, 1)
+	if err := c.Read(8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("own write lost in merge: %d", buf[0])
+	}
+	if err := c.Read(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 77 {
+		t.Fatalf("other writer's byte missing: %d", buf[0])
+	}
+	rs := c.CollectRelease()
+	if len(rs.Pages) != 1 || rs.Pages[0] != 0 {
+		t.Fatalf("release pages %v", rs.Pages)
+	}
+}
+
+// Property: for random twin/current pairs, applying diffPage's output to
+// the twin reconstructs the current page exactly.
+func TestDiffPageReconstructionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 512
+		twin := make([]byte, size)
+		rng.Read(twin)
+		cur := append([]byte(nil), twin...)
+		for i := 0; i < rng.Intn(20); i++ {
+			cur[rng.Intn(size)] = byte(rng.Int())
+		}
+		d := diffPage(0, cur, twin)
+		rebuilt := append([]byte(nil), twin...)
+		for _, run := range d.Runs {
+			copy(rebuilt[run.Off:], run.Data)
+		}
+		if !bytes.Equal(rebuilt, cur) {
+			return false
+		}
+		// Diff is minimal: runs contain no bytes equal to the twin at
+		// run boundaries.
+		for _, run := range d.Runs {
+			if run.Data[0] == twin[run.Off] || run.Data[len(run.Data)-1] == twin[int(run.Off)+len(run.Data)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random mix of reads and ordinary writes through the cache
+// behaves exactly like a flat byte array.
+func TestCacheMatchesFlatMemoryProperty(t *testing.T) {
+	geo := layout.Geometry{PageSize: 256, LinePages: 2, NumServers: 1, Striped: true}
+	prop := func(seed int64) bool {
+		be := newFakeBackend(geo)
+		clk := vtime.NewClock(0)
+		st := &stats.Thread{}
+		c := New(Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, Prefetch: true, CapacityLines: 4}, be, clk, st)
+		rng := rand.New(rand.NewSource(seed))
+		const span = 8192
+		model := make([]byte, span)
+		for op := 0; op < 400; op++ {
+			addr := rng.Intn(span - 16)
+			n := 1 + rng.Intn(16)
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				copy(model[addr:], data)
+				if err := c.Write(layout.Addr(addr), data, false); err != nil {
+					return false
+				}
+			} else {
+				buf := make([]byte, n)
+				if err := c.Read(layout.Addr(addr), buf); err != nil {
+					return false
+				}
+				if !bytes.Equal(buf, model[addr:addr+n]) {
+					return false
+				}
+			}
+			if op%100 == 99 {
+				// Exercise the release path mid-run, delivering the
+				// batches to the home as the runtime would — including
+				// an immediate pull of all lazily-owned diffs.
+				rs := c.CollectRelease()
+				var diffs []proto.PageDiff
+				for _, b := range rs.ByHome {
+					diffs = append(diffs, b.Diffs...)
+					diffs = append(diffs, c.Owned().TakeMany(b.OwnedPages)...)
+				}
+				for _, d := range diffs {
+					pg := be.page(layout.PageID(d.Page))
+					for _, run := range d.Runs {
+						copy(pg[run.Off:], run.Data)
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A prefetched line whose pages accumulate new needs after the prefetch
+// was issued must not be installed stale: the cache re-fetches on
+// demand with the fresh tags.
+func TestStalePrefetchIsRefetched(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil { // miss line 0 -> prefetch line 1 issued
+		t.Fatal(err)
+	}
+	if len(be.prefetchCalls) != 1 {
+		t.Fatalf("prefetch calls: %v", be.prefetchCalls)
+	}
+	// A notice arrives for a page of the prefetched line AFTER the
+	// prefetch was issued; the home also gets newer bytes.
+	tag := proto.IntervalTag{Writer: 2, Interval: 1}
+	pageOfLine1 := uint64(geo.LinePages) // first page of line 1
+	if err := c.ApplyNotices([]proto.Notice{{Seq: 1, Tag: tag, Pages: []uint64{pageOfLine1}}}); err != nil {
+		t.Fatal(err)
+	}
+	be.page(layout.PageID(pageOfLine1))[0] = 99
+
+	if err := c.Read(layout.Addr(geo.LineSize()), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 99 {
+		t.Fatalf("stale prefetched data installed: %d", buf[0])
+	}
+	// The demand fetch must have quoted the new tag.
+	last := be.fetchNeeds[len(be.fetchNeeds)-1]
+	found := false
+	for _, n := range last {
+		for _, tg := range n.Tags {
+			if tg == tag {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("refetch did not quote the new tag: %+v", last)
+	}
+}
+
+// Reads and writes spanning several lines work and only fault the lines
+// actually touched.
+func TestMultiLineSpanningAccess(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	be.noPrefetch = true
+	c, _, st := newCache(t, geo, be)
+
+	span := geo.LineSize() + 100 // crosses exactly one line boundary
+	data := make([]byte, span)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := c.Write(10, data, false); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, span)
+	if err := c.Read(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-line round trip mismatch")
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 lines", st.Misses)
+	}
+}

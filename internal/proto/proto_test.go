@@ -1,0 +1,211 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, in, out Msg) {
+	t.Helper()
+	if in.Kind() != out.Kind() {
+		t.Fatalf("kind mismatch: %v vs %v", in.Kind(), out.Kind())
+	}
+	body := Encode(in)
+	if err := Decode(out, body); err != nil {
+		t.Fatalf("%v: decode: %v", in.Kind(), err)
+	}
+	if !reflect.DeepEqual(normalize(in), normalize(out)) {
+		t.Fatalf("%v: round trip mismatch:\n in: %#v\nout: %#v", in.Kind(), in, out)
+	}
+}
+
+// normalize maps nil and empty slices to a comparable form by
+// re-encoding; DeepEqual distinguishes nil from empty which the wire
+// format does not.
+func normalize(m Msg) string {
+	return string(Encode(m))
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []struct {
+		in, out Msg
+	}{
+		{
+			&FetchLineReq{Line: 7, Needs: []PageNeed{
+				{Page: 28, Tags: []IntervalTag{{Writer: 1, Interval: 3}, {Writer: 2, Interval: 9}}},
+				{Page: 29, Tags: nil},
+			}},
+			&FetchLineReq{},
+		},
+		{&FetchLineResp{Data: []byte{1, 2, 3, 0, 255}}, &FetchLineResp{}},
+		{&DiffPullReq{Pages: []uint64{1, 2, 3}}, &DiffPullReq{}},
+		{
+			&DiffPullResp{Diffs: []PageDiff{{Page: 4, Runs: []DiffRun{{Off: 1, Data: []byte{5}}}}}},
+			&DiffPullResp{},
+		},
+		{
+			&DiffBatch{
+				Tag: IntervalTag{Writer: 5, Interval: 11},
+				Diffs: []PageDiff{
+					{Page: 3, Runs: []DiffRun{{Off: 0, Data: []byte{9}}, {Off: 100, Data: []byte{1, 2}}}},
+					{Page: 4, Runs: nil},
+				},
+				Records:    []StoreRecord{{Addr: 4096, Data: []byte{8, 7, 6, 5, 4, 3, 2, 1}}},
+				EmptyPages: []uint64{77, 78},
+				OwnedPages: []uint64{90, 91},
+			},
+			&DiffBatch{},
+		},
+		{
+			&EvictFlush{Writer: 3, Diffs: []PageDiff{{Page: 1, Runs: []DiffRun{{Off: 4, Data: []byte{1}}}}}},
+			&EvictFlush{},
+		},
+		{&AllocReq{Thread: 2, Size: 1 << 20, Align: 64, Strategy: AllocStriped}, &AllocReq{}},
+		{&AllocResp{Addr: 1 << 33}, &AllocResp{}},
+		{&FreeReq{Thread: 1, Addr: 12345}, &FreeReq{}},
+		{&RegisterReq{Thread: 6, Node: 2}, &RegisterReq{}},
+		{&LockReq{Lock: 9, Thread: 4, LastSeen: 77}, &LockReq{}},
+		{
+			&LockResp{Seq: 80, Notices: []Notice{{
+				Seq: 78, Tag: IntervalTag{Writer: 1, Interval: 2},
+				Pages:   []uint64{10, 11},
+				Records: []StoreRecord{{Addr: 40960, Data: []byte{1, 2, 3, 4}}},
+			}}},
+			&LockResp{},
+		},
+		{
+			&UnlockReq{Lock: 9, Thread: 4, Interval: 6, Pages: []uint64{1, 2, 3},
+				Records: []StoreRecord{{Addr: 8, Data: []byte{0}}}},
+			&UnlockReq{},
+		},
+		{
+			&BarrierReq{Barrier: 1, Count: 16, Thread: 0, LastSeen: 5, Interval: 2, Pages: []uint64{9}},
+			&BarrierReq{},
+		},
+		{&BarrierResp{Seq: 10, Notices: nil}, &BarrierResp{}},
+		{
+			&CondWaitReq{Cond: 2, Lock: 3, Thread: 1, LastSeen: 4, Interval: 5, Pages: []uint64{6}},
+			&CondWaitReq{},
+		},
+		{&CondWaitResp{Seq: 42}, &CondWaitResp{}},
+		{&CondSignalReq{Cond: 2, Thread: 7, Broadcast: true}, &CondSignalReq{}},
+		{&CondSignalReq{Cond: 2, Thread: 7, Broadcast: false}, &CondSignalReq{}},
+		{&Ack{}, &Ack{}},
+		{&Ping{}, &Ping{}},
+		{&Shutdown{}, &Shutdown{}},
+		{&Error{Text: "boom"}, &Error{}},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m.in, m.out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KFetchLineReq.String() != "fetch-line-req" {
+		t.Errorf("KFetchLineReq.String() = %q", KFetchLineReq.String())
+	}
+	if Kind(999).String() != "kind(999)" {
+		t.Errorf("unknown kind = %q", Kind(999).String())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(&DiffBatch{
+		Tag:   IntervalTag{Writer: 1, Interval: 2},
+		Diffs: []PageDiff{{Page: 3, Runs: []DiffRun{{Off: 1, Data: []byte{1, 2, 3}}}}},
+	})
+	for cut := 0; cut < len(full); cut++ {
+		var out DiffBatch
+		if err := Decode(&out, full[:cut]); err == nil {
+			t.Fatalf("decoding %d/%d bytes succeeded unexpectedly", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeHostileLengths(t *testing.T) {
+	// A length prefix far larger than the buffer must fail cleanly, not
+	// attempt a huge allocation.
+	var w Writer
+	w.U64(1 << 40) // claimed element count
+	var out LockResp
+	hostile := append([]byte{1}, w.B...) // Seq, then bogus notice count
+	if err := Decode(&out, hostile); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestPayloadByteAccounting(t *testing.T) {
+	d := PageDiff{Page: 1, Runs: []DiffRun{{Off: 0, Data: make([]byte, 10)}, {Off: 50, Data: make([]byte, 5)}}}
+	if got := d.PayloadBytes(); got != 15 {
+		t.Errorf("PayloadBytes = %d, want 15", got)
+	}
+	recs := []StoreRecord{{Addr: 0, Data: make([]byte, 8)}, {Addr: 8, Data: make([]byte, 4)}}
+	if got := RecordBytes(recs); got != 12 {
+		t.Errorf("RecordBytes = %d, want 12", got)
+	}
+}
+
+// Property: writer/reader primitives round-trip arbitrary values.
+func TestPrimitiveRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b uint32, c int64, d []byte, e []uint64) bool {
+		var w Writer
+		w.U64(a)
+		w.U32(b)
+		w.I64(c)
+		w.Bytes(d)
+		w.U64s(e)
+		r := Reader{B: w.B}
+		if r.U64() != a || r.U32() != b || r.I64() != c {
+			return false
+		}
+		if !bytes.Equal(r.Bytes(), d) {
+			return false
+		}
+		got := r.U64s()
+		if len(got) != len(e) {
+			return false
+		}
+		for i := range e {
+			if got[i] != e[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DiffBatch round-trips under random shapes.
+func TestDiffBatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := DiffBatch{Tag: IntervalTag{Writer: rng.Uint32(), Interval: rng.Uint64() >> 1}}
+		for i := 0; i < rng.Intn(4); i++ {
+			pd := PageDiff{Page: rng.Uint64() >> 1}
+			for j := 0; j < rng.Intn(4); j++ {
+				data := make([]byte, rng.Intn(32))
+				rng.Read(data)
+				pd.Runs = append(pd.Runs, DiffRun{Off: uint32(rng.Intn(4096)), Data: data})
+			}
+			in.Diffs = append(in.Diffs, pd)
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			data := make([]byte, 1+rng.Intn(16))
+			rng.Read(data)
+			in.Records = append(in.Records, StoreRecord{Addr: rng.Uint64() >> 1, Data: data})
+		}
+		var out DiffBatch
+		if err := Decode(&out, Encode(&in)); err != nil {
+			return false
+		}
+		return normalize(&in) == normalize(&out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

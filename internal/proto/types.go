@@ -1,0 +1,672 @@
+package proto
+
+// Msg is implemented by every protocol message body.
+type Msg interface {
+	// Kind identifies the message type on the wire.
+	Kind() Kind
+	// Marshal appends the body encoding to w.
+	Marshal(w *Writer)
+	// Unmarshal decodes the body from r.
+	Unmarshal(r *Reader)
+}
+
+// Encode serializes m (body only; the transport frames it).
+func Encode(m Msg) []byte {
+	var w Writer
+	m.Marshal(&w)
+	return w.B
+}
+
+// Decode fills m from body, returning any decoding error.
+func Decode(m Msg, body []byte) error {
+	r := Reader{B: body}
+	m.Unmarshal(&r)
+	return r.Err()
+}
+
+// IntervalTag identifies one release interval of one writer. Interval
+// numbers are assigned locally by each thread (monotonically increasing),
+// so a thread can ship its DiffBatch to the homes *before* telling the
+// manager about the release — the tag, not a manager-issued sequence
+// number, is what fetchers wait on.
+type IntervalTag struct {
+	Writer   uint32
+	Interval uint64
+}
+
+func (t IntervalTag) marshal(w *Writer) {
+	w.U32(t.Writer)
+	w.U64(t.Interval)
+}
+
+func (t *IntervalTag) unmarshal(r *Reader) {
+	t.Writer = r.U32()
+	t.Interval = r.U64()
+}
+
+// DiffRun is one maximal run of changed bytes within a page.
+type DiffRun struct {
+	Off  uint32 // byte offset within the page
+	Data []byte // new contents
+}
+
+// PageDiff is the set of changed byte runs of one page, computed by
+// comparing the dirty page against its twin.
+type PageDiff struct {
+	Page uint64
+	Runs []DiffRun
+}
+
+func (d *PageDiff) marshal(w *Writer) {
+	w.U64(d.Page)
+	w.U64(uint64(len(d.Runs)))
+	for i := range d.Runs {
+		w.U32(d.Runs[i].Off)
+		w.Bytes(d.Runs[i].Data)
+	}
+}
+
+func (d *PageDiff) unmarshal(r *Reader) {
+	d.Page = r.U64()
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	d.Runs = make([]DiffRun, n)
+	for i := range d.Runs {
+		d.Runs[i].Off = r.U32()
+		d.Runs[i].Data = append([]byte(nil), r.Bytes()...)
+	}
+}
+
+// PayloadBytes reports the number of data bytes carried by the diff.
+func (d *PageDiff) PayloadBytes() int {
+	n := 0
+	for i := range d.Runs {
+		n += len(d.Runs[i].Data)
+	}
+	return n
+}
+
+// StoreRecord is one instrumented store performed inside a consistency
+// region: absolute global address plus the stored bytes. These are the
+// paper's "fine grain (data object level) updates".
+type StoreRecord struct {
+	Addr uint64
+	Data []byte
+}
+
+func marshalRecords(w *Writer, recs []StoreRecord) {
+	w.U64(uint64(len(recs)))
+	for i := range recs {
+		w.U64(recs[i].Addr)
+		w.Bytes(recs[i].Data)
+	}
+}
+
+func unmarshalRecords(r *Reader) []StoreRecord {
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return nil
+	}
+	recs := make([]StoreRecord, n)
+	for i := range recs {
+		recs[i].Addr = r.U64()
+		recs[i].Data = append([]byte(nil), r.Bytes()...)
+	}
+	return recs
+}
+
+// RecordBytes sums the payload bytes of a record list.
+func RecordBytes(recs []StoreRecord) int {
+	n := 0
+	for i := range recs {
+		n += len(recs[i].Data)
+	}
+	return n
+}
+
+// Notice is a write notice distributed by the manager at acquire points.
+// Pages names pages dirtied in ordinary regions (the receiver must
+// invalidate any cached copy); Records carries consistency-region stores
+// (the receiver applies them in place — no invalidation, no refetch).
+type Notice struct {
+	Seq     uint64 // manager-issued global sequence number
+	Tag     IntervalTag
+	Pages   []uint64
+	Records []StoreRecord
+}
+
+func (n *Notice) marshal(w *Writer) {
+	w.U64(n.Seq)
+	n.Tag.marshal(w)
+	w.U64s(n.Pages)
+	marshalRecords(w, n.Records)
+}
+
+func (n *Notice) unmarshal(r *Reader) {
+	n.Seq = r.U64()
+	n.Tag.unmarshal(r)
+	n.Pages = r.U64s()
+	n.Records = unmarshalRecords(r)
+}
+
+func marshalNotices(w *Writer, ns []Notice) {
+	w.U64(uint64(len(ns)))
+	for i := range ns {
+		ns[i].marshal(w)
+	}
+}
+
+func unmarshalNotices(r *Reader) []Notice {
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return nil
+	}
+	ns := make([]Notice, n)
+	for i := range ns {
+		ns[i].unmarshal(r)
+	}
+	return ns
+}
+
+// ---------------------------------------------------------------------
+// Memory-server messages.
+
+// PageNeed lists the interval tags whose diffs must be applied to a page
+// before the home may serve it.
+type PageNeed struct {
+	Page uint64
+	Tags []IntervalTag
+}
+
+// FetchLineReq asks a home server for one cache line (LinePages
+// consecutive pages, all homed on that server).
+type FetchLineReq struct {
+	Line  uint64
+	Needs []PageNeed
+}
+
+func (m *FetchLineReq) Kind() Kind { return KFetchLineReq }
+
+func (m *FetchLineReq) Marshal(w *Writer) {
+	w.U64(m.Line)
+	w.U64(uint64(len(m.Needs)))
+	for i := range m.Needs {
+		w.U64(m.Needs[i].Page)
+		w.U64(uint64(len(m.Needs[i].Tags)))
+		for j := range m.Needs[i].Tags {
+			m.Needs[i].Tags[j].marshal(w)
+		}
+	}
+}
+
+func (m *FetchLineReq) Unmarshal(r *Reader) {
+	m.Line = r.U64()
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	m.Needs = make([]PageNeed, n)
+	for i := range m.Needs {
+		m.Needs[i].Page = r.U64()
+		k := r.U64()
+		if r.Err() != nil || k > uint64(r.Remaining()) {
+			r.fail()
+			return
+		}
+		m.Needs[i].Tags = make([]IntervalTag, k)
+		for j := range m.Needs[i].Tags {
+			m.Needs[i].Tags[j].unmarshal(r)
+		}
+	}
+}
+
+// FetchLineResp carries the line contents.
+type FetchLineResp struct {
+	Data []byte
+}
+
+func (m *FetchLineResp) Kind() Kind          { return KFetchLineResp }
+func (m *FetchLineResp) Marshal(w *Writer)   { w.Bytes(m.Data) }
+func (m *FetchLineResp) Unmarshal(r *Reader) { m.Data = append([]byte(nil), r.Bytes()...) }
+
+// DiffBatch carries one interval's worth of updates to one home server:
+// page diffs from ordinary regions (shared pages, shipped eagerly),
+// store records from consistency regions, the ids of dirty pages whose
+// bytes were already flushed by eviction (EmptyPages), and ownership
+// claims for pages whose diffs stay with the writer until someone needs
+// them (OwnedPages — the single-writer optimization: unshared pages
+// cost a release no bytes, and the home pulls their diffs on demand).
+// One-way; sent before the release is announced to the manager.
+type DiffBatch struct {
+	Tag        IntervalTag
+	Diffs      []PageDiff
+	Records    []StoreRecord
+	EmptyPages []uint64
+	OwnedPages []uint64
+}
+
+func (m *DiffBatch) Kind() Kind { return KDiffBatch }
+
+func (m *DiffBatch) Marshal(w *Writer) {
+	m.Tag.marshal(w)
+	w.U64(uint64(len(m.Diffs)))
+	for i := range m.Diffs {
+		m.Diffs[i].marshal(w)
+	}
+	marshalRecords(w, m.Records)
+	w.U64s(m.EmptyPages)
+	w.U64s(m.OwnedPages)
+}
+
+func (m *DiffBatch) Unmarshal(r *Reader) {
+	m.Tag.unmarshal(r)
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	m.Diffs = make([]PageDiff, n)
+	for i := range m.Diffs {
+		m.Diffs[i].unmarshal(r)
+	}
+	m.Records = unmarshalRecords(r)
+	m.EmptyPages = r.U64s()
+	m.OwnedPages = r.U64s()
+}
+
+// DiffPullReq asks a writer's cache agent for the retained diffs of
+// lazily-owned pages (sent by a home server when another thread fetches
+// them).
+type DiffPullReq struct {
+	Pages []uint64
+}
+
+func (m *DiffPullReq) Kind() Kind          { return KDiffPullReq }
+func (m *DiffPullReq) Marshal(w *Writer)   { w.U64s(m.Pages) }
+func (m *DiffPullReq) Unmarshal(r *Reader) { m.Pages = r.U64s() }
+
+// DiffPullResp returns the retained diffs. A page missing from Diffs
+// has no retained data (it was flushed or never owned); the home treats
+// its own copy as current.
+type DiffPullResp struct {
+	Diffs []PageDiff
+}
+
+func (m *DiffPullResp) Kind() Kind { return KDiffPullResp }
+
+func (m *DiffPullResp) Marshal(w *Writer) {
+	w.U64(uint64(len(m.Diffs)))
+	for i := range m.Diffs {
+		m.Diffs[i].marshal(w)
+	}
+}
+
+func (m *DiffPullResp) Unmarshal(r *Reader) {
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	m.Diffs = make([]PageDiff, n)
+	for i := range m.Diffs {
+		m.Diffs[i].unmarshal(r)
+	}
+}
+
+// EvictFlush carries the diff of a dirty page evicted mid-interval. The
+// home applies it immediately; the owning interval's later DiffBatch
+// lists the page in EmptyPages.
+type EvictFlush struct {
+	Writer uint32
+	Diffs  []PageDiff
+}
+
+func (m *EvictFlush) Kind() Kind { return KEvictFlush }
+
+func (m *EvictFlush) Marshal(w *Writer) {
+	w.U32(m.Writer)
+	w.U64(uint64(len(m.Diffs)))
+	for i := range m.Diffs {
+		m.Diffs[i].marshal(w)
+	}
+}
+
+func (m *EvictFlush) Unmarshal(r *Reader) {
+	m.Writer = r.U32()
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	m.Diffs = make([]PageDiff, n)
+	for i := range m.Diffs {
+		m.Diffs[i].unmarshal(r)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Manager messages.
+
+// Allocation strategies (Section II: three strategies chosen by size).
+const (
+	AllocArenaChunk uint8 = iota // a chunk for a thread-local arena
+	AllocShared                  // from the manager's shared zone
+	AllocStriped                 // striped across memory servers
+)
+
+// AllocReq asks the manager for global memory.
+type AllocReq struct {
+	Thread   uint32
+	Size     uint64
+	Align    uint32
+	Strategy uint8
+}
+
+func (m *AllocReq) Kind() Kind { return KAllocReq }
+
+func (m *AllocReq) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U64(m.Size)
+	w.U32(m.Align)
+	w.U8(m.Strategy)
+}
+
+func (m *AllocReq) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Size = r.U64()
+	m.Align = r.U32()
+	m.Strategy = r.U8()
+}
+
+// AllocResp returns the base address of the allocation.
+type AllocResp struct {
+	Addr uint64
+}
+
+func (m *AllocResp) Kind() Kind          { return KAllocResp }
+func (m *AllocResp) Marshal(w *Writer)   { w.U64(m.Addr) }
+func (m *AllocResp) Unmarshal(r *Reader) { m.Addr = r.U64() }
+
+// RegisterReq announces a compute thread to the manager before it runs
+// (the manager is responsible for thread placement, Section II). A
+// registered thread holds back write-notice pruning until it has seen
+// each notice, which closes the window where a late-starting thread
+// could miss releases that happened before its first acquire.
+type RegisterReq struct {
+	Thread uint32
+	Node   uint32 // compute node the thread is placed on
+}
+
+func (m *RegisterReq) Kind() Kind { return KRegisterReq }
+
+func (m *RegisterReq) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U32(m.Node)
+}
+
+func (m *RegisterReq) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Node = r.U32()
+}
+
+// FreeReq releases an allocation made through the manager.
+type FreeReq struct {
+	Thread uint32
+	Addr   uint64
+}
+
+func (m *FreeReq) Kind() Kind { return KFreeReq }
+
+func (m *FreeReq) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U64(m.Addr)
+}
+
+func (m *FreeReq) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Addr = r.U64()
+}
+
+// LockReq acquires a mutex. LastSeen is the highest notice sequence the
+// thread has already processed; the response carries everything newer.
+type LockReq struct {
+	Lock     uint32
+	Thread   uint32
+	LastSeen uint64
+}
+
+func (m *LockReq) Kind() Kind { return KLockReq }
+
+func (m *LockReq) Marshal(w *Writer) {
+	w.U32(m.Lock)
+	w.U32(m.Thread)
+	w.U64(m.LastSeen)
+}
+
+func (m *LockReq) Unmarshal(r *Reader) {
+	m.Lock = r.U32()
+	m.Thread = r.U32()
+	m.LastSeen = r.U64()
+}
+
+// LockResp grants the mutex. Seq is the new LastSeen.
+type LockResp struct {
+	Seq     uint64
+	Notices []Notice
+}
+
+func (m *LockResp) Kind() Kind { return KLockResp }
+
+func (m *LockResp) Marshal(w *Writer) {
+	w.U64(m.Seq)
+	marshalNotices(w, m.Notices)
+}
+
+func (m *LockResp) Unmarshal(r *Reader) {
+	m.Seq = r.U64()
+	m.Notices = unmarshalNotices(r)
+}
+
+// UnlockReq releases a mutex and posts the thread's write notice for the
+// closing interval: pages dirtied in ordinary regions and fine-grained
+// records from the consistency region guarded by the lock. The matching
+// DiffBatch (same IntervalTag) is already on its way to the homes.
+type UnlockReq struct {
+	Lock     uint32
+	Thread   uint32
+	Interval uint64
+	Pages    []uint64
+	Records  []StoreRecord
+}
+
+func (m *UnlockReq) Kind() Kind { return KUnlockReq }
+
+func (m *UnlockReq) Marshal(w *Writer) {
+	w.U32(m.Lock)
+	w.U32(m.Thread)
+	w.U64(m.Interval)
+	w.U64s(m.Pages)
+	marshalRecords(w, m.Records)
+}
+
+func (m *UnlockReq) Unmarshal(r *Reader) {
+	m.Lock = r.U32()
+	m.Thread = r.U32()
+	m.Interval = r.U64()
+	m.Pages = r.U64s()
+	m.Records = unmarshalRecords(r)
+}
+
+// BarrierReq announces arrival at a barrier; it is simultaneously a
+// release (Interval/Pages/Records, like UnlockReq) and an acquire
+// (LastSeen, like LockReq). Count is the barrier's membership; every
+// arrival quotes it and the manager checks agreement.
+type BarrierReq struct {
+	Barrier  uint32
+	Count    uint32
+	Thread   uint32
+	LastSeen uint64
+	Interval uint64
+	Pages    []uint64
+	Records  []StoreRecord
+}
+
+func (m *BarrierReq) Kind() Kind { return KBarrierReq }
+
+func (m *BarrierReq) Marshal(w *Writer) {
+	w.U32(m.Barrier)
+	w.U32(m.Count)
+	w.U32(m.Thread)
+	w.U64(m.LastSeen)
+	w.U64(m.Interval)
+	w.U64s(m.Pages)
+	marshalRecords(w, m.Records)
+}
+
+func (m *BarrierReq) Unmarshal(r *Reader) {
+	m.Barrier = r.U32()
+	m.Count = r.U32()
+	m.Thread = r.U32()
+	m.LastSeen = r.U64()
+	m.Interval = r.U64()
+	m.Pages = r.U64s()
+	m.Records = unmarshalRecords(r)
+}
+
+// BarrierResp releases the thread from the barrier.
+type BarrierResp struct {
+	Seq     uint64
+	Notices []Notice
+}
+
+func (m *BarrierResp) Kind() Kind { return KBarrierResp }
+
+func (m *BarrierResp) Marshal(w *Writer) {
+	w.U64(m.Seq)
+	marshalNotices(w, m.Notices)
+}
+
+func (m *BarrierResp) Unmarshal(r *Reader) {
+	m.Seq = r.U64()
+	m.Notices = unmarshalNotices(r)
+}
+
+// CondWaitReq atomically releases the named mutex (posting the release
+// notice exactly like UnlockReq), sleeps until the condition variable is
+// signalled, re-acquires the mutex, and returns. The response is a
+// LockResp-shaped acquire.
+type CondWaitReq struct {
+	Cond     uint32
+	Lock     uint32
+	Thread   uint32
+	LastSeen uint64
+	Interval uint64
+	Pages    []uint64
+	Records  []StoreRecord
+}
+
+func (m *CondWaitReq) Kind() Kind { return KCondWaitReq }
+
+func (m *CondWaitReq) Marshal(w *Writer) {
+	w.U32(m.Cond)
+	w.U32(m.Lock)
+	w.U32(m.Thread)
+	w.U64(m.LastSeen)
+	w.U64(m.Interval)
+	w.U64s(m.Pages)
+	marshalRecords(w, m.Records)
+}
+
+func (m *CondWaitReq) Unmarshal(r *Reader) {
+	m.Cond = r.U32()
+	m.Lock = r.U32()
+	m.Thread = r.U32()
+	m.LastSeen = r.U64()
+	m.Interval = r.U64()
+	m.Pages = r.U64s()
+	m.Records = unmarshalRecords(r)
+}
+
+// CondWaitResp returns from a condition wait with the mutex re-held.
+type CondWaitResp struct {
+	Seq     uint64
+	Notices []Notice
+}
+
+func (m *CondWaitResp) Kind() Kind { return KCondWaitResp }
+
+func (m *CondWaitResp) Marshal(w *Writer) {
+	w.U64(m.Seq)
+	marshalNotices(w, m.Notices)
+}
+
+func (m *CondWaitResp) Unmarshal(r *Reader) {
+	m.Seq = r.U64()
+	m.Notices = unmarshalNotices(r)
+}
+
+// CondSignalReq wakes one (or all) waiters of a condition variable.
+type CondSignalReq struct {
+	Cond      uint32
+	Thread    uint32
+	Broadcast bool
+}
+
+func (m *CondSignalReq) Kind() Kind { return KCondSignalReq }
+
+func (m *CondSignalReq) Marshal(w *Writer) {
+	w.U32(m.Cond)
+	w.U32(m.Thread)
+	if m.Broadcast {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+func (m *CondSignalReq) Unmarshal(r *Reader) {
+	m.Cond = r.U32()
+	m.Thread = r.U32()
+	m.Broadcast = r.U8() != 0
+}
+
+// ---------------------------------------------------------------------
+// Generic messages.
+
+// Ack is the empty success response.
+type Ack struct{}
+
+func (m *Ack) Kind() Kind          { return KAck }
+func (m *Ack) Marshal(w *Writer)   {}
+func (m *Ack) Unmarshal(r *Reader) {}
+
+// Ping is a synchronous no-op used to drain a server's queue: because
+// every endpoint's inbox is a single FIFO, the Ack proves everything
+// posted before the Ping has been processed.
+type Ping struct{}
+
+func (m *Ping) Kind() Kind          { return KPing }
+func (m *Ping) Marshal(w *Writer)   {}
+func (m *Ping) Unmarshal(r *Reader) {}
+
+// Shutdown asks a server to stop after draining its queue.
+type Shutdown struct{}
+
+func (m *Shutdown) Kind() Kind          { return KShutdown }
+func (m *Shutdown) Marshal(w *Writer)   {}
+func (m *Shutdown) Unmarshal(r *Reader) {}
+
+// Error reports a server-side failure to the caller.
+type Error struct {
+	Text string
+}
+
+func (m *Error) Kind() Kind          { return KError }
+func (m *Error) Marshal(w *Writer)   { w.Bytes([]byte(m.Text)) }
+func (m *Error) Unmarshal(r *Reader) { m.Text = string(r.Bytes()) }

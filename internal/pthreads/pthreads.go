@@ -1,0 +1,425 @@
+// Package pthreads implements the cache-coherent shared-memory baseline
+// the paper compares against: the same kernels, the same vm.VM
+// interface, but ordinary loads and stores into one flat memory plus
+// hardware-speed synchronization.
+//
+// The paper's baseline is a Pthreads implementation on one dual
+// quad-core Xeon node (8 cores); every figure normalizes against or
+// plots alongside it. Virtual time here models that hardware: loads,
+// stores and flops cost what they cost the Samhita threads (so
+// compute-time ratios isolate the DSM overheads), mutexes cost tens of
+// nanoseconds plus a coherence miss on cross-core handoff, and barriers
+// cost a centralized-barrier latency rather than manager round trips.
+//
+// Concurrency is real — threads are goroutines, mutexes wrap sync.Mutex
+// — so data races in kernels are caught by the Go race detector exactly
+// as they would crash a real Pthreads program.
+package pthreads
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+// Config parameterizes the baseline.
+type Config struct {
+	// HW is the hardware cost model.
+	HW vtime.HWModel
+	// MemBytes is the size of the flat shared memory (0 = 64 MiB).
+	MemBytes int
+	// MaxCores bounds Run's thread count (0 = 8, one Harpertown node).
+	// The paper's Pthreads curves stop at 8 cores for exactly this
+	// reason.
+	MaxCores int
+}
+
+// VM is the Pthreads baseline backend.
+type VM struct {
+	cfg Config
+	mem []byte
+
+	allocMu   sync.Mutex
+	allocNext layout.Addr
+	allocs    map[layout.Addr]int
+}
+
+var _ vm.VM = (*VM)(nil)
+
+// New creates a baseline VM.
+func New(cfg Config) *VM {
+	if cfg.HW.FlopTime == 0 {
+		cfg.HW = vtime.DefaultHW
+	}
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = 64 << 20
+	}
+	if cfg.MaxCores <= 0 {
+		cfg.MaxCores = 8
+	}
+	return &VM{
+		cfg:       cfg,
+		mem:       make([]byte, cfg.MemBytes),
+		allocNext: 64, // keep address 0 unused, as a poor man's nil guard
+		allocs:    make(map[layout.Addr]int),
+	}
+}
+
+// Name implements vm.VM.
+func (p *VM) Name() string { return "pthreads" }
+
+// Close implements vm.VM.
+func (p *VM) Close() error { return nil }
+
+// Run implements vm.VM.
+func (p *VM) Run(n int, body func(t vm.Thread)) (*stats.Run, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pthreads: need at least one thread, got %d", n)
+	}
+	if n > p.cfg.MaxCores {
+		return nil, fmt.Errorf("pthreads: %d threads exceed the node's %d cores", n, p.cfg.MaxCores)
+	}
+	var (
+		wg       sync.WaitGroup
+		reg      stats.Registry
+		panicMu  sync.Mutex
+		panicked error
+	)
+	for i := 0; i < n; i++ {
+		th := &Thread{
+			vm:    p,
+			id:    i,
+			p:     n,
+			clock: vtime.NewClock(0),
+		}
+		th.st = stats.Thread{ID: i}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Errorf("pthreads: thread %d: %v", th.id, r)
+					}
+					panicMu.Unlock()
+				}
+				th.settleCompute()
+				if th.frozen != nil {
+					th.st = *th.frozen
+				}
+				reg.Add(&th.st)
+			}()
+			body(th)
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		return nil, panicked
+	}
+	return reg.Run(), nil
+}
+
+// alloc carves memory from the flat arena.
+func (p *VM) alloc(n int) (layout.Addr, error) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	a := layout.AlignUp(p.allocNext, 16)
+	if int(a)+n > len(p.mem) {
+		return 0, fmt.Errorf("pthreads: out of memory (%d requested, %d left)", n, len(p.mem)-int(a))
+	}
+	p.allocNext = a + layout.Addr(n)
+	p.allocs[a] = n
+	return a, nil
+}
+
+// Thread is one baseline thread.
+type Thread struct {
+	vm     *VM
+	id     int
+	p      int
+	clock  *vtime.Clock
+	st     stats.Thread
+	mark   vtime.Time
+	frozen *stats.Thread
+}
+
+var _ vm.Thread = (*Thread)(nil)
+
+// ID implements vm.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// P implements vm.Thread.
+func (t *Thread) P() int { return t.p }
+
+// Clock implements vm.Thread.
+func (t *Thread) Clock() vtime.Time { return t.clock.Now() }
+
+// Stats implements vm.Thread.
+func (t *Thread) Stats() *stats.Thread { return &t.st }
+
+func (t *Thread) settleCompute() {
+	now := t.clock.Now()
+	t.st.ComputeTime += now - t.mark
+	t.mark = now
+}
+
+func (t *Thread) settleSync() {
+	now := t.clock.Now()
+	t.st.SyncTime += now - t.mark
+	t.mark = now
+}
+
+// ResetMeasurement implements vm.Thread.
+func (t *Thread) ResetMeasurement() {
+	t.st = stats.Thread{ID: t.id}
+	t.frozen = nil
+	t.mark = t.clock.Now()
+}
+
+// StopMeasurement implements vm.Thread.
+func (t *Thread) StopMeasurement() {
+	t.settleCompute()
+	snap := t.st.Snapshot()
+	t.frozen = &snap
+}
+
+// Compute implements vm.Thread.
+func (t *Thread) Compute(flops int) {
+	if flops > 0 {
+		t.clock.Advance(vtime.Time(flops) * t.vm.cfg.HW.FlopTime)
+	}
+}
+
+// Malloc implements vm.Thread.
+func (t *Thread) Malloc(n int) vm.Addr {
+	a, err := t.vm.alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	t.st.ArenaAllocs++
+	return a
+}
+
+// GlobalAlloc implements vm.Thread. On coherent hardware there is no
+// distinction; it exists so kernels stay backend-neutral.
+func (t *Thread) GlobalAlloc(n int) vm.Addr {
+	a, err := t.vm.alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	t.st.SharedAllocs++
+	return a
+}
+
+// Free implements vm.Thread (bump allocator: free is a no-op, tracked
+// for leak accounting only).
+func (t *Thread) Free(a vm.Addr) {
+	t.vm.allocMu.Lock()
+	delete(t.vm.allocs, a)
+	t.vm.allocMu.Unlock()
+}
+
+func (t *Thread) span(a vm.Addr, n int, op string) []byte {
+	end := int(a) + n
+	if a == 0 || end > len(t.vm.mem) {
+		panic(fmt.Sprintf("pthreads thread %d: %s of %d bytes at %#x out of range", t.id, op, n, uint64(a)))
+	}
+	return t.vm.mem[a:end]
+}
+
+// ReadBytes implements vm.Thread.
+func (t *Thread) ReadBytes(a vm.Addr, buf []byte) {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	copy(buf, t.span(a, len(buf), "read"))
+}
+
+// WriteBytes implements vm.Thread.
+func (t *Thread) WriteBytes(a vm.Addr, data []byte) {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	copy(t.span(a, len(data), "write"), data)
+}
+
+// ReadFloat64 implements vm.Thread.
+func (t *Thread) ReadFloat64(a vm.Addr) float64 {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	return vm.GetFloat64(t.span(a, 8, "read"))
+}
+
+// WriteFloat64 implements vm.Thread.
+func (t *Thread) WriteFloat64(a vm.Addr, v float64) {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	vm.PutFloat64(t.span(a, 8, "write"), v)
+}
+
+// ReadInt64 implements vm.Thread.
+func (t *Thread) ReadInt64(a vm.Addr) int64 {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	return vm.GetInt64(t.span(a, 8, "read"))
+}
+
+// WriteInt64 implements vm.Thread.
+func (t *Thread) WriteInt64(a vm.Addr, v int64) {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	vm.PutInt64(t.span(a, 8, "write"), v)
+}
+
+// ---------------------------------------------------------------------
+// Synchronization.
+
+// NewMutex implements vm.VM.
+func (p *VM) NewMutex() vm.Mutex { return &hwMutex{vm: p} }
+
+// hwMutex pairs a real sync.Mutex with virtual-time bookkeeping.
+type hwMutex struct {
+	vm *VM
+	mu sync.Mutex
+	// Guarded by mu: virtual time of the last release and who held it,
+	// for the handoff/coherence-miss charge.
+	lastRelease vtime.Time
+	lastHolder  int
+	everHeld    bool
+}
+
+// Lock implements vm.Mutex.
+func (m *hwMutex) Lock(th vm.Thread) {
+	t := th.(*Thread)
+	t.settleCompute()
+	m.mu.Lock()
+	t.clock.Advance(m.vm.cfg.HW.LockTime)
+	// The lock cannot be acquired in virtual time before its previous
+	// release; a handoff from another core bounces the line.
+	if m.everHeld {
+		t.clock.AdvanceTo(m.lastRelease)
+		if m.lastHolder != t.id {
+			t.clock.Advance(m.vm.cfg.HW.CoherenceMiss)
+		}
+	}
+	t.st.LockOps++
+	t.settleSync()
+}
+
+// Unlock implements vm.Mutex.
+func (m *hwMutex) Unlock(th vm.Thread) {
+	t := th.(*Thread)
+	t.settleCompute()
+	t.clock.Advance(m.vm.cfg.HW.LockTime)
+	m.lastRelease = t.clock.Now()
+	m.lastHolder = t.id
+	m.everHeld = true
+	t.st.LockOps++
+	t.settleSync()
+	m.mu.Unlock()
+}
+
+// NewBarrier implements vm.VM.
+func (p *VM) NewBarrier(n int) vm.Barrier {
+	b := &hwBarrier{vm: p, n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// hwBarrier is a centralized barrier: all threads leave at the virtual
+// time of the last arrival plus the barrier cost.
+type hwBarrier struct {
+	vm   *VM
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	arrived     int
+	generation  int
+	maxArrive   vtime.Time
+	lastRelease vtime.Time
+}
+
+// Wait implements vm.Barrier.
+func (b *hwBarrier) Wait(th vm.Thread) {
+	t := th.(*Thread)
+	t.settleCompute()
+	b.mu.Lock()
+	gen := b.generation
+	if t.clock.Now() > b.maxArrive {
+		b.maxArrive = t.clock.Now()
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		// Last arrival releases everyone. lastRelease is safe against
+		// the next generation: no thread can re-arrive before every
+		// current waiter has left (they are the same n threads).
+		b.lastRelease = b.maxArrive + b.vm.cfg.HW.BarrierBase +
+			vtime.Time(b.n)*b.vm.cfg.HW.BarrierPerThread
+		b.maxArrive = 0
+		b.arrived = 0
+		b.generation++
+		t.clock.AdvanceTo(b.lastRelease)
+		b.cond.Broadcast()
+	} else {
+		for gen == b.generation {
+			b.cond.Wait()
+		}
+		t.clock.AdvanceTo(b.lastRelease)
+	}
+	t.st.BarrierOps++
+	b.mu.Unlock()
+	t.settleSync()
+}
+
+// NewCond implements vm.VM.
+func (p *VM) NewCond() vm.Cond { return &hwCond{vm: p} }
+
+// hwCond is a condition variable over hwMutex.
+type hwCond struct {
+	vm *VM
+	mu sync.Mutex
+
+	waiters []chan vtime.Time
+}
+
+// Wait implements vm.Cond.
+func (c *hwCond) Wait(th vm.Thread, mu vm.Mutex) {
+	t := th.(*Thread)
+	m, ok := mu.(*hwMutex)
+	if !ok {
+		panic("pthreads: cond used with a foreign mutex")
+	}
+	t.settleCompute()
+	ch := make(chan vtime.Time, 1)
+	c.mu.Lock()
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	// Atomically release the mutex and sleep.
+	m.Unlock(th)
+	wakeAt := <-ch
+	t.clock.AdvanceTo(wakeAt)
+	m.Lock(th)
+	t.st.CondOps++
+	t.settleSync()
+}
+
+// Signal implements vm.Cond.
+func (c *hwCond) Signal(th vm.Thread) { c.wake(th, 1) }
+
+// Broadcast implements vm.Cond.
+func (c *hwCond) Broadcast(th vm.Thread) { c.wake(th, -1) }
+
+func (c *hwCond) wake(th vm.Thread, n int) {
+	t := th.(*Thread)
+	t.settleCompute()
+	t.clock.Advance(c.vm.cfg.HW.LockTime)
+	c.mu.Lock()
+	if n < 0 || n > len(c.waiters) {
+		n = len(c.waiters)
+	}
+	for i := 0; i < n; i++ {
+		c.waiters[i] <- t.clock.Now()
+	}
+	c.waiters = append(c.waiters[:0:0], c.waiters[n:]...)
+	c.mu.Unlock()
+	t.st.CondOps++
+	t.settleSync()
+}

@@ -1,0 +1,194 @@
+package pthreads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	p := New(Config{})
+	run, err := p.Run(1, func(th vm.Thread) {
+		a := th.Malloc(128)
+		th.WriteFloat64(a, 2.5)
+		th.WriteInt64(a+8, 42)
+		if th.ReadFloat64(a) != 2.5 || th.ReadInt64(a+8) != 42 {
+			t.Error("round trip failed")
+		}
+		buf := make([]byte, 4)
+		th.WriteBytes(a+16, []byte{1, 2, 3, 4})
+		th.ReadBytes(a+16, buf)
+		if buf[3] != 4 {
+			t.Errorf("bytes: %v", buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MaxComputeTime() == 0 {
+		t.Error("accesses cost nothing")
+	}
+}
+
+func TestCoreLimitEnforced(t *testing.T) {
+	p := New(Config{MaxCores: 4})
+	if _, err := p.Run(5, func(vm.Thread) {}); err == nil {
+		t.Fatal("5 threads on a 4-core node accepted")
+	}
+	if _, err := p.Run(0, func(vm.Thread) {}); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+}
+
+func TestMutexCounter(t *testing.T) {
+	p := New(Config{})
+	mu := p.NewMutex()
+	bar := p.NewBarrier(8)
+	var base vm.Addr
+	run, err := p.Run(8, func(th vm.Thread) {
+		if th.ID() == 0 {
+			base = th.GlobalAlloc(8)
+		}
+		bar.Wait(th)
+		for i := 0; i < 50; i++ {
+			mu.Lock(th)
+			th.WriteFloat64(base, th.ReadFloat64(base)+1)
+			mu.Unlock(th)
+		}
+		bar.Wait(th)
+		if got := th.ReadFloat64(base); got != 400 {
+			t.Errorf("counter = %v, want 400", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MaxSyncTime() == 0 {
+		t.Error("locks cost no sync time")
+	}
+}
+
+func TestBarrierVirtualTimeIsMaxOfArrivals(t *testing.T) {
+	p := New(Config{})
+	bar := p.NewBarrier(4)
+	run, err := p.Run(4, func(th vm.Thread) {
+		// Skew arrivals: thread i computes i million flops.
+		th.Compute(th.ID() * 1_000_000)
+		bar.Wait(th)
+		// Everyone leaves at (or after) the slowest arrival.
+		if th.Clock() < 3_000_000*vtime.DefaultHW.FlopTime {
+			t.Errorf("thread %d left barrier at %v", th.ID(), th.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast threads' wait shows up as sync time.
+	var fastest, slowest vtime.Time
+	for _, th := range run.Threads {
+		if th.ID == 0 {
+			fastest = th.SyncTime
+		}
+		if th.ID == 3 {
+			slowest = th.SyncTime
+		}
+	}
+	if fastest <= slowest {
+		t.Errorf("fast thread sync %v should exceed slow thread sync %v", fastest, slowest)
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	p := New(Config{})
+	bar := p.NewBarrier(4)
+	var sum [4]int
+	_, err := p.Run(4, func(th vm.Thread) {
+		for round := 0; round < 50; round++ {
+			sum[th.ID()]++
+			bar.Wait(th)
+			for i := 0; i < 4; i++ {
+				if sum[i] != round+1 {
+					t.Errorf("round %d: thread %d sees sum[%d]=%d", round, th.ID(), i, sum[i])
+					return
+				}
+			}
+			bar.Wait(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	p := New(Config{})
+	mu := p.NewMutex()
+	cond := p.NewCond()
+	bar := p.NewBarrier(2)
+	var base vm.Addr
+	_, err := p.Run(2, func(th vm.Thread) {
+		if th.ID() == 0 {
+			base = th.GlobalAlloc(16)
+		}
+		bar.Wait(th)
+		if th.ID() == 0 {
+			mu.Lock(th)
+			for th.ReadInt64(base) == 0 {
+				cond.Wait(th, mu)
+			}
+			got := th.ReadFloat64(base + 8)
+			mu.Unlock(th)
+			if got != 1.5 {
+				t.Errorf("consumer got %v", got)
+			}
+		} else {
+			mu.Lock(th)
+			th.WriteFloat64(base+8, 1.5)
+			th.WriteInt64(base, 1)
+			mu.Unlock(th)
+			cond.Signal(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p := New(Config{MemBytes: 4096})
+	_, err := p.Run(1, func(th vm.Thread) {
+		th.Malloc(8192)
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfRangeAccessPanicsToError(t *testing.T) {
+	p := New(Config{MemBytes: 4096})
+	_, err := p.Run(1, func(th vm.Thread) {
+		th.ReadFloat64(1 << 30)
+	})
+	if err == nil {
+		t.Fatal("wild read succeeded")
+	}
+	_, err = p.Run(1, func(th vm.Thread) {
+		th.ReadFloat64(0) // nil guard
+	})
+	if err == nil {
+		t.Fatal("nil read succeeded")
+	}
+}
+
+func TestComputeParityWithSamhitaModel(t *testing.T) {
+	// The two backends must charge identical arithmetic costs, or
+	// normalized compute-time comparisons are meaningless.
+	if vtime.DefaultHW.FlopTime != vtime.DefaultCPU.FlopTime {
+		t.Fatal("flop cost mismatch between backends")
+	}
+	if vtime.DefaultHW.AccessTime != vtime.DefaultCPU.AccessTime {
+		t.Fatal("access cost mismatch between backends")
+	}
+}

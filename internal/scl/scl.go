@@ -1,0 +1,157 @@
+// Package scl implements the Samhita Communication Layer: the typed,
+// transport-independent messaging interface the rest of the system is
+// written against.
+//
+// In the paper, SCL abstracts the interconnect so that Samhita can run
+// over InfiniBand verbs today and SCIF/PCIe tomorrow; it presents a
+// direct-memory-access communication model rather than a serial
+// protocol. Here the same role is played by the Endpoint interface:
+// the DSM components speak proto messages to an Endpoint and do not know
+// whether bytes move through the virtual-time simulated fabric
+// (SimEndpoint, used by all experiments) or a real network transport
+// (TCPEndpoint, provided to demonstrate that the abstraction is honest).
+package scl
+
+import (
+	"fmt"
+
+	"repro/internal/proto"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// NodeID identifies an endpoint. It is shared with the simulated fabric.
+type NodeID = simnet.NodeID
+
+// Endpoint is one component's attachment to the communication layer.
+type Endpoint interface {
+	// ID returns this endpoint's node id.
+	ID() NodeID
+	// Call sends req and blocks for the response, which it decodes into
+	// resp (whose Kind must match the response on the wire). at is the
+	// caller's virtual time when the call is issued; the returned time is
+	// the caller's virtual time when the response is in hand.
+	Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error)
+	// Post sends a one-way message, returning the sender's virtual time
+	// after the send overhead. Delivery is asynchronous.
+	Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error)
+	// Recv blocks for the next incoming request; ok is false once the
+	// endpoint is closed.
+	Recv() (req *Request, ok bool)
+	// Close detaches the endpoint.
+	Close()
+}
+
+// Request is one incoming message plus the means to answer it — possibly
+// later and from another goroutine (deferred replies implement lock
+// queues, barrier parking and fetch-after-diff waits).
+type Request struct {
+	src    NodeID
+	kind   proto.Kind
+	body   []byte
+	arrive vtime.Time
+	svc    vtime.Time
+	oneway bool
+	reply  func(kind uint16, body []byte, at vtime.Time)
+}
+
+// Src reports the sending node.
+func (r *Request) Src() NodeID { return r.src }
+
+// Kind reports the message kind.
+func (r *Request) Kind() proto.Kind { return r.kind }
+
+// Arrive reports the virtual arrival time at the receiver.
+func (r *Request) Arrive() vtime.Time { return r.arrive }
+
+// Svc reports the link's per-request service time.
+func (r *Request) Svc() vtime.Time { return r.svc }
+
+// OneWay reports whether the sender expects no reply.
+func (r *Request) OneWay() bool { return r.oneway }
+
+// BodyLen reports the encoded body size in bytes.
+func (r *Request) BodyLen() int { return len(r.body) }
+
+// Decode unmarshals the request body into m, which must match the
+// request's kind.
+func (r *Request) Decode(m proto.Msg) error {
+	if m.Kind() != r.kind {
+		return fmt.Errorf("scl: decoding %v request into %v", r.kind, m.Kind())
+	}
+	return proto.Decode(m, r.body)
+}
+
+// Reply answers the request at virtual time at on the responder's clock.
+func (r *Request) Reply(m proto.Msg, at vtime.Time) {
+	r.reply(uint16(m.Kind()), proto.Encode(m), at)
+}
+
+// ReplyError answers the request with a protocol-level error.
+func (r *Request) ReplyError(err error, at vtime.Time) {
+	r.Reply(&proto.Error{Text: err.Error()}, at)
+}
+
+// SimEndpoint adapts a simnet.Port to the Endpoint interface.
+type SimEndpoint struct {
+	port *simnet.Port
+}
+
+// NewSimEndpoint attaches a new endpoint with the given id to the
+// fabric.
+func NewSimEndpoint(f *simnet.Fabric, id NodeID) *SimEndpoint {
+	return &SimEndpoint{port: f.NewPort(id)}
+}
+
+// ID implements Endpoint.
+func (e *SimEndpoint) ID() NodeID { return e.port.ID() }
+
+// Call implements Endpoint.
+func (e *SimEndpoint) Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	kind, body, doneAt, err := e.port.Call(dst, uint16(req.Kind()), proto.Encode(req), at)
+	if err != nil {
+		return at, err
+	}
+	return doneAt, decodeResponse(proto.Kind(kind), body, resp)
+}
+
+// Post implements Endpoint.
+func (e *SimEndpoint) Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	return e.port.Post(dst, uint16(m.Kind()), proto.Encode(m), at)
+}
+
+// Recv implements Endpoint.
+func (e *SimEndpoint) Recv() (*Request, bool) {
+	sr, ok := e.port.Recv()
+	if !ok {
+		return nil, false
+	}
+	return &Request{
+		src:    sr.Src(),
+		kind:   proto.Kind(sr.Kind()),
+		body:   sr.Body(),
+		arrive: sr.Arrive(),
+		svc:    sr.Svc(),
+		oneway: sr.OneWay(),
+		reply:  sr.Reply,
+	}, true
+}
+
+// Close implements Endpoint.
+func (e *SimEndpoint) Close() { e.port.Close() }
+
+// decodeResponse interprets a raw response, translating wire-level
+// errors.
+func decodeResponse(kind proto.Kind, body []byte, resp proto.Msg) error {
+	if kind == proto.KError {
+		var pe proto.Error
+		if err := proto.Decode(&pe, body); err != nil {
+			return fmt.Errorf("scl: undecodable error response: %w", err)
+		}
+		return fmt.Errorf("scl: remote error: %s", pe.Text)
+	}
+	if kind != resp.Kind() {
+		return fmt.Errorf("scl: got %v response, want %v", kind, resp.Kind())
+	}
+	return proto.Decode(resp, body)
+}

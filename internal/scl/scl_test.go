@@ -1,0 +1,242 @@
+package scl
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+var testModel = vtime.LinkModel{
+	Name:         "test",
+	Latency:      1000,
+	BytesPerSec:  1e9,
+	SendOverhead: 50,
+	ServiceTime:  100,
+}
+
+// echoAlloc answers AllocReq with AllocResp{Addr: Size} and errors on
+// FreeReq; used to exercise both reply paths.
+func echoAlloc(t *testing.T, e Endpoint) {
+	for {
+		req, ok := e.Recv()
+		if !ok {
+			return
+		}
+		switch req.Kind() {
+		case proto.KAllocReq:
+			var ar proto.AllocReq
+			if err := req.Decode(&ar); err != nil {
+				t.Errorf("decode: %v", err)
+				return
+			}
+			req.Reply(&proto.AllocResp{Addr: ar.Size}, req.Arrive()+req.Svc())
+		case proto.KFreeReq:
+			req.ReplyError(errors.New("no free for you"), req.Arrive()+req.Svc())
+		case proto.KShutdown:
+			if !req.OneWay() {
+				req.Reply(&proto.Ack{}, req.Arrive())
+			}
+			return
+		default:
+			t.Errorf("unexpected kind %v", req.Kind())
+			return
+		}
+	}
+}
+
+func runEndpointSuite(t *testing.T, cli, srv Endpoint, srvID NodeID) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		echoAlloc(t, srv)
+	}()
+
+	var resp proto.AllocResp
+	doneAt, err := cli.Call(srvID, &proto.AllocReq{Thread: 1, Size: 777}, &resp, 5000)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Addr != 777 {
+		t.Errorf("Addr = %d, want 777", resp.Addr)
+	}
+	if doneAt <= 5000+2*testModel.Latency {
+		t.Errorf("doneAt = %v, expected at least two latencies past 5000", doneAt)
+	}
+
+	// Error responses surface as Go errors.
+	var ack proto.Ack
+	if _, err := cli.Call(srvID, &proto.FreeReq{Addr: 1}, &ack, doneAt); err == nil {
+		t.Error("error response did not produce an error")
+	}
+
+	// Kind mismatch is caught.
+	var wrong proto.LockResp
+	if _, err := cli.Call(srvID, &proto.AllocReq{Size: 1}, &wrong, doneAt); err == nil {
+		t.Error("kind mismatch not caught")
+	}
+
+	// Shut the server down via a one-way post.
+	if _, err := cli.Post(srvID, &proto.Shutdown{}, doneAt); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	wg.Wait()
+	cli.Close()
+	srv.Close()
+}
+
+func TestSimEndpoint(t *testing.T) {
+	f := simnet.NewFabric(testModel)
+	cli := NewSimEndpoint(f, 1)
+	srv := NewSimEndpoint(f, 2)
+	runEndpointSuite(t, cli, srv, 2)
+}
+
+func TestTCPEndpoint(t *testing.T) {
+	book := NewAddressBook()
+	srv, err := NewTCPEndpoint(2, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewTCPEndpoint(1, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEndpointSuite(t, cli, srv, 2)
+}
+
+func TestTCPUnknownNode(t *testing.T) {
+	book := NewAddressBook()
+	cli, err := NewTCPEndpoint(1, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var ack proto.Ack
+	if _, err := cli.Call(99, &proto.AllocReq{}, &ack, 0); err == nil {
+		t.Fatal("call to unknown node succeeded")
+	}
+}
+
+func TestRequestDecodeKindMismatch(t *testing.T) {
+	f := simnet.NewFabric(testModel)
+	cli := NewSimEndpoint(f, 1)
+	srv := NewSimEndpoint(f, 2)
+	defer cli.Close()
+	defer srv.Close()
+	if _, err := cli.Post(2, &proto.AllocReq{Size: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	req, ok := srv.Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	var fr proto.FreeReq
+	if err := req.Decode(&fr); err == nil {
+		t.Fatal("Decode with wrong type succeeded")
+	}
+	var ar proto.AllocReq
+	if err := req.Decode(&ar); err != nil || ar.Size != 1 {
+		t.Fatalf("Decode: %v, Size=%d", err, ar.Size)
+	}
+	if req.BodyLen() == 0 {
+		t.Error("BodyLen = 0")
+	}
+}
+
+// Virtual-time equivalence: the same exchange must produce identical
+// virtual timing over simnet and over TCP — the SCL abstraction promise.
+func TestTransportVirtualTimeEquivalence(t *testing.T) {
+	run := func(cli, srv Endpoint, srvID NodeID) vtime.Time {
+		go func() {
+			req, ok := srv.Recv()
+			if !ok {
+				return
+			}
+			req.Reply(&proto.AllocResp{Addr: 1}, req.Arrive()+req.Svc())
+		}()
+		var resp proto.AllocResp
+		doneAt, err := cli.Call(srvID, &proto.AllocReq{Thread: 3, Size: 99, Align: 8}, &resp, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Close()
+		srv.Close()
+		return doneAt
+	}
+
+	f := simnet.NewFabric(testModel)
+	simDone := run(NewSimEndpoint(f, 1), NewSimEndpoint(f, 2), 2)
+
+	book := NewAddressBook()
+	srv, err := NewTCPEndpoint(2, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewTCPEndpoint(1, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpDone := run(cli, srv, 2)
+
+	// simnet charges HeaderBytes=32 per message; TCP frames carry 23
+	// header bytes. Sizes differ by a fixed 9 bytes each way, so allow
+	// exactly that much skew at 1 byte/ns.
+	diff := simDone - tcpDone
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*vtime.Time(simnet.HeaderBytes) {
+		t.Fatalf("virtual times diverge: sim=%v tcp=%v", simDone, tcpDone)
+	}
+}
+
+func TestTCPHostileFrameClosesConnection(t *testing.T) {
+	book := NewAddressBook()
+	srv, err := NewTCPEndpoint(7, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr, _ := book.Lookup(7)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A frame claiming a gigantic length must be rejected; the endpoint
+	// drops the connection rather than allocating.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<31)
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("connection survived a hostile frame")
+	}
+	// The endpoint itself is still healthy for legitimate peers.
+	cli, err := NewTCPEndpoint(8, "127.0.0.1:0", book, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	go func() {
+		if req, ok := srv.Recv(); ok {
+			req.Reply(&proto.Ack{}, req.Arrive())
+		}
+	}()
+	var ack proto.Ack
+	if _, err := cli.Call(7, &proto.Ping{}, &ack, 0); err != nil {
+		t.Fatalf("endpoint unhealthy after hostile frame: %v", err)
+	}
+}

@@ -1,0 +1,335 @@
+package scl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/proto"
+	"repro/internal/vtime"
+)
+
+// The TCP transport moves the identical protocol bytes through real
+// sockets. Virtual time still governs the modelled cost — each frame
+// carries the sender's virtual timestamp, and arrival times are computed
+// from the same vtime.LinkModel as the simulated fabric — so a protocol
+// exchange produces the same virtual-time result over TCP as over
+// simnet. This mirrors the paper's SCL design point: the consistency
+// protocol must not care whether the transport is IB verbs, SCIF over
+// PCIe, or (here) loopback TCP.
+//
+// Frame layout: length(u32) | flags(u8) | kind(u16) | reqID(u64) |
+// vt(i64) | body. Length counts everything after the length field.
+
+const (
+	frameHeaderLen = 1 + 2 + 8 + 8
+	flagResponse   = 1 << 0
+	flagOneWay     = 1 << 1
+)
+
+// AddressBook maps node ids to TCP listen addresses.
+type AddressBook struct {
+	mu    sync.RWMutex
+	addrs map[NodeID]string
+}
+
+// NewAddressBook returns an empty address book.
+func NewAddressBook() *AddressBook {
+	return &AddressBook{addrs: make(map[NodeID]string)}
+}
+
+// Set registers the listen address for a node.
+func (b *AddressBook) Set(id NodeID, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[id] = addr
+}
+
+// Lookup resolves a node id.
+func (b *AddressBook) Lookup(id NodeID) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.addrs[id]
+	return a, ok
+}
+
+// TCPEndpoint implements Endpoint over real TCP connections.
+type TCPEndpoint struct {
+	id    NodeID
+	book  *AddressBook
+	model vtime.LinkModel
+	ln    net.Listener
+
+	mu      sync.Mutex
+	dials   map[NodeID]*tcpConn
+	nextReq atomic.Uint64
+	pending sync.Map // reqID -> chan frame
+
+	inbox  chan *Request
+	closed chan struct{}
+	once   sync.Once
+}
+
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+type frame struct {
+	flags uint8
+	kind  uint16
+	reqID uint64
+	vt    vtime.Time
+	body  []byte
+}
+
+// NewTCPEndpoint starts an endpoint listening on addr (use "127.0.0.1:0"
+// to pick a free port), registers it in the address book, and begins
+// accepting peers. The LinkModel plays the role the fabric plays for
+// SimEndpoint: it prices every frame in virtual time.
+func NewTCPEndpoint(id NodeID, addr string, book *AddressBook, model vtime.LinkModel) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("scl: listen: %w", err)
+	}
+	e := &TCPEndpoint{
+		id:     id,
+		book:   book,
+		model:  model,
+		ln:     ln,
+		dials:  make(map[NodeID]*tcpConn),
+		inbox:  make(chan *Request, 1024),
+		closed: make(chan struct{}),
+	}
+	book.Set(id, ln.Addr().String())
+	go e.acceptLoop()
+	return e, nil
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() NodeID { return e.id }
+
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(&tcpConn{c: c})
+	}
+}
+
+// readLoop demultiplexes frames from one connection: responses complete
+// pending calls, requests go to the inbox.
+func (e *TCPEndpoint) readLoop(tc *tcpConn) {
+	defer tc.c.Close()
+	for {
+		f, err := readFrame(tc.c)
+		if err != nil {
+			return
+		}
+		if f.flags&flagResponse != 0 {
+			if ch, ok := e.pending.LoadAndDelete(f.reqID); ok {
+				ch.(chan frame) <- *f
+			}
+			continue
+		}
+		req := e.makeRequest(tc, f)
+		select {
+		case e.inbox <- req:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *TCPEndpoint) makeRequest(tc *tcpConn, f *frame) *Request {
+	size := len(f.body) + frameHeaderLen + 4
+	arrive := e.model.Deliver(f.vt+e.model.SendOverhead, size)
+	reqID := f.reqID
+	return &Request{
+		src:    0, // TCP transport does not carry the sender id; unused by servers
+		kind:   proto.Kind(f.kind),
+		body:   f.body,
+		arrive: arrive,
+		svc:    e.model.ServiceTime,
+		oneway: f.flags&flagOneWay != 0,
+		reply: func(kind uint16, body []byte, at vtime.Time) {
+			if f.flags&flagOneWay != 0 {
+				panic("scl: reply to one-way TCP message")
+			}
+			_ = writeFrame(tc, &frame{flags: flagResponse, kind: kind, reqID: reqID, vt: at, body: body})
+		},
+	}
+}
+
+func (e *TCPEndpoint) conn(dst NodeID) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tc, ok := e.dials[dst]; ok {
+		return tc, nil
+	}
+	addr, ok := e.book.Lookup(dst)
+	if !ok {
+		return nil, fmt.Errorf("scl: no address for node %d", dst)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("scl: dial node %d: %w", dst, err)
+	}
+	tc := &tcpConn{c: c}
+	e.dials[dst] = tc
+	go e.readLoop(tc) // responses come back on the same connection
+	return tc, nil
+}
+
+// Call implements Endpoint.
+func (e *TCPEndpoint) Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	tc, err := e.conn(dst)
+	if err != nil {
+		return at, err
+	}
+	reqID := e.nextReq.Add(1)
+	ch := make(chan frame, 1)
+	e.pending.Store(reqID, ch)
+	defer e.pending.Delete(reqID)
+	f := &frame{kind: uint16(req.Kind()), reqID: reqID, vt: at, body: proto.Encode(req)}
+	if err := writeFrame(tc, f); err != nil {
+		return at, err
+	}
+	select {
+	case rf := <-ch:
+		size := len(rf.body) + frameHeaderLen + 4
+		doneAt := vtime.Max(at, e.model.Deliver(rf.vt+e.model.SendOverhead, size))
+		return doneAt, decodeResponse(proto.Kind(rf.kind), rf.body, resp)
+	case <-e.closed:
+		return at, errors.New("scl: endpoint closed during call")
+	}
+}
+
+// Post implements Endpoint.
+func (e *TCPEndpoint) Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	tc, err := e.conn(dst)
+	if err != nil {
+		return at, err
+	}
+	f := &frame{flags: flagOneWay, kind: uint16(m.Kind()), vt: at, body: proto.Encode(m)}
+	if err := writeFrame(tc, f); err != nil {
+		return at, err
+	}
+	return at + e.model.SendOverhead, nil
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() (*Request, bool) {
+	select {
+	case r := <-e.inbox:
+		return r, true
+	case <-e.closed:
+		select {
+		case r := <-e.inbox:
+			return r, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() {
+	e.once.Do(func() {
+		close(e.closed)
+		e.ln.Close()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for _, tc := range e.dials {
+			tc.c.Close()
+		}
+	})
+}
+
+func writeFrame(tc *tcpConn, f *frame) error {
+	hdr := make([]byte, 4+frameHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frameHeaderLen+len(f.body)))
+	hdr[4] = f.flags
+	binary.LittleEndian.PutUint16(hdr[5:], f.kind)
+	binary.LittleEndian.PutUint64(hdr[7:], f.reqID)
+	binary.LittleEndian.PutUint64(hdr[15:], uint64(f.vt))
+	tc.wm.Lock()
+	defer tc.wm.Unlock()
+	if _, err := tc.c.Write(hdr); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(f.body)
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < frameHeaderLen || n > 1<<30 {
+		return nil, fmt.Errorf("scl: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return &frame{
+		flags: buf[0],
+		kind:  binary.LittleEndian.Uint16(buf[1:]),
+		reqID: binary.LittleEndian.Uint64(buf[3:]),
+		vt:    vtime.Time(binary.LittleEndian.Uint64(buf[11:])),
+		body:  buf[frameHeaderLen:],
+	}, nil
+}
+
+// TCPFactory builds TCPEndpoints that share one address book, so a
+// whole Samhita instance (manager, memory servers, compute threads,
+// cache agents) can run over real sockets. Endpoints listen on
+// loopback with kernel-assigned ports; the LinkModel still prices every
+// frame in virtual time, so results are comparable with the simulated
+// fabric.
+type TCPFactory struct {
+	book  *AddressBook
+	model vtime.LinkModel
+
+	mu        sync.Mutex
+	endpoints []*TCPEndpoint
+}
+
+// NewTCPFactory creates a factory whose endpoints all use the given
+// link model.
+func NewTCPFactory(model vtime.LinkModel) *TCPFactory {
+	return &TCPFactory{book: NewAddressBook(), model: model}
+}
+
+// NewEndpoint implements the transport-factory contract used by the
+// Samhita runtime.
+func (f *TCPFactory) NewEndpoint(id NodeID) (Endpoint, error) {
+	ep, err := NewTCPEndpoint(id, "127.0.0.1:0", f.book, f.model)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.endpoints = append(f.endpoints, ep)
+	f.mu.Unlock()
+	return ep, nil
+}
+
+// Close shuts down every endpoint the factory created.
+func (f *TCPFactory) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ep := range f.endpoints {
+		ep.Close()
+	}
+	f.endpoints = nil
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package simnet provides the simulated interconnect fabric that stands
+// in for the paper's physical transports (QDR InfiniBand between cluster
+// nodes; the PCI Express bus between host and coprocessor in the
+// heterogeneous-node mapping).
+//
+// The fabric moves real bytes between goroutines through channels, so
+// the DSM protocol above it runs for real — pages are fetched, diffs
+// are merged, locks are granted. Time, however, is virtual: every
+// message carries the sender's virtual send time, and its arrival time
+// is computed from a vtime.LinkModel (latency + size/bandwidth). A
+// server that processes its inbox serially advances its own virtual
+// clock past each arrival plus a per-request service time, which models
+// queueing — the memory-server hot spots that motivate Samhita's striped
+// allocation emerge from this rule rather than being scripted.
+//
+// simnet is deliberately unaware of the Samhita protocol: message kinds
+// are opaque uint16s and bodies are opaque byte slices. Package scl
+// layers the typed protocol on top.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vtime"
+)
+
+// NodeID identifies a fabric endpoint (a compute thread, a memory
+// server, or the manager).
+type NodeID uint32
+
+// HeaderBytes is the fixed per-message framing overhead charged to the
+// wire in addition to the body (addresses, kind, virtual timestamp,
+// verbs/transport header in the real system).
+const HeaderBytes = 32
+
+// inboxDepth bounds each port's receive queue. Senders block when a
+// receiver is this far behind, providing natural backpressure for
+// one-way diff traffic.
+const inboxDepth = 4096
+
+// Message is one unit of traffic. Exported fields are what a receiver
+// may inspect.
+type Message struct {
+	Src    NodeID
+	Kind   uint16
+	Body   []byte
+	Arrive vtime.Time // virtual arrival time at the receiver
+	Svc    vtime.Time // per-request service time of the incoming link
+
+	reply  chan *Message // non-nil for RPC requests
+	fabric *Fabric
+	dst    NodeID
+}
+
+// Fabric connects a set of ports with a (possibly heterogeneous) link
+// model.
+type Fabric struct {
+	mu     sync.Mutex
+	ports  map[NodeID]*Port
+	model  vtime.LinkModel
+	linkFn func(src, dst NodeID) vtime.LinkModel
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewFabric creates a fabric where every link uses the given model.
+func NewFabric(model vtime.LinkModel) *Fabric {
+	return &Fabric{ports: make(map[NodeID]*Port), model: model}
+}
+
+// SetLinkFn installs a per-pair link selector (e.g. intra-node vs
+// inter-node). It must be called before traffic starts.
+func (f *Fabric) SetLinkFn(fn func(src, dst NodeID) vtime.LinkModel) { f.linkFn = fn }
+
+// Link reports the model used for messages from src to dst.
+func (f *Fabric) Link(src, dst NodeID) vtime.LinkModel {
+	if f.linkFn != nil {
+		return f.linkFn(src, dst)
+	}
+	return f.model
+}
+
+// Messages reports the total number of messages sent so far.
+func (f *Fabric) Messages() int64 { return f.msgs.Load() }
+
+// Bytes reports the total wire bytes (bodies + headers) sent so far.
+func (f *Fabric) Bytes() int64 { return f.bytes.Load() }
+
+// NewPort registers a new endpoint. It panics if the id is taken: node
+// numbering is assigned by the runtime and a collision is a bug.
+func (f *Fabric) NewPort(id NodeID) *Port {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.ports[id]; ok {
+		panic(fmt.Sprintf("simnet: port %d already exists", id))
+	}
+	p := &Port{
+		id:     id,
+		fabric: f,
+		inbox:  make(chan *Message, inboxDepth),
+		closed: make(chan struct{}),
+	}
+	f.ports[id] = p
+	return p
+}
+
+func (f *Fabric) port(id NodeID) (*Port, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.ports[id]
+	if !ok {
+		return nil, fmt.Errorf("simnet: no port %d", id)
+	}
+	return p, nil
+}
+
+// deliver computes timing, accounts traffic and enqueues the message.
+func (f *Fabric) deliver(src, dst NodeID, m *Message, sendTime vtime.Time) (senderDone vtime.Time, err error) {
+	p, err := f.port(dst)
+	if err != nil {
+		return sendTime, err
+	}
+	link := f.Link(src, dst)
+	size := len(m.Body) + HeaderBytes
+	senderDone = sendTime + link.SendOverhead
+	m.Arrive = link.Deliver(senderDone, size)
+	m.Svc = link.ServiceTime
+	f.msgs.Add(1)
+	f.bytes.Add(int64(size))
+	select {
+	case p.inbox <- m:
+		return senderDone, nil
+	case <-p.closed:
+		return senderDone, fmt.Errorf("simnet: port %d closed", dst)
+	}
+}
+
+// Port is one endpoint's attachment to the fabric.
+type Port struct {
+	id     NodeID
+	fabric *Fabric
+	inbox  chan *Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ID returns the port's node id.
+func (p *Port) ID() NodeID { return p.id }
+
+// Post sends a one-way message. It returns the sender's virtual time
+// after paying the send overhead (the sender does not wait for
+// delivery: this is the asynchronous, RDMA-write-flavoured path used
+// for DiffBatch and EvictFlush traffic).
+func (p *Port) Post(dst NodeID, kind uint16, body []byte, at vtime.Time) (vtime.Time, error) {
+	m := &Message{Src: p.id, Kind: kind, Body: body, fabric: p.fabric, dst: dst}
+	return p.fabric.deliver(p.id, dst, m, at)
+}
+
+// Call performs a synchronous RPC: it sends the request and blocks until
+// the response arrives. It returns the response kind and body and the
+// caller's virtual time at which the response is in hand.
+func (p *Port) Call(dst NodeID, kind uint16, body []byte, at vtime.Time) (respKind uint16, respBody []byte, doneAt vtime.Time, err error) {
+	m := &Message{
+		Src:    p.id,
+		Kind:   kind,
+		Body:   body,
+		reply:  make(chan *Message, 1),
+		fabric: p.fabric,
+		dst:    dst,
+	}
+	if _, err := p.fabric.deliver(p.id, dst, m, at); err != nil {
+		return 0, nil, at, err
+	}
+	select {
+	case resp := <-m.reply:
+		return resp.Kind, resp.Body, vtime.Max(at, resp.Arrive), nil
+	case <-p.closed:
+		return 0, nil, at, fmt.Errorf("simnet: port %d closed during call", p.id)
+	}
+}
+
+// Recv blocks until a message arrives or the port is closed. The second
+// result is false when the port has been closed.
+func (p *Port) Recv() (*Request, bool) {
+	select {
+	case m := <-p.inbox:
+		return &Request{msg: m, port: p}, true
+	case <-p.closed:
+		// Drain anything already queued so in-flight RPCs fail fast
+		// rather than hang; then report closure.
+		select {
+		case m := <-p.inbox:
+			return &Request{msg: m, port: p}, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Close detaches the port. Subsequent sends to it fail; a blocked Recv
+// returns false.
+func (p *Port) Close() {
+	p.once.Do(func() {
+		close(p.closed)
+		p.fabric.mu.Lock()
+		delete(p.fabric.ports, p.id)
+		p.fabric.mu.Unlock()
+	})
+}
+
+// Request is a received message plus the means to answer it, possibly
+// later and from a different goroutine (deferred replies are how the
+// manager parks lock waiters and how a memory server parks fetches that
+// must wait for in-flight diffs).
+type Request struct {
+	msg  *Message
+	port *Port
+}
+
+// Src reports the sender.
+func (r *Request) Src() NodeID { return r.msg.Src }
+
+// Kind reports the message kind.
+func (r *Request) Kind() uint16 { return r.msg.Kind }
+
+// Body reports the message body.
+func (r *Request) Body() []byte { return r.msg.Body }
+
+// Arrive reports the virtual arrival time at this port.
+func (r *Request) Arrive() vtime.Time { return r.msg.Arrive }
+
+// Svc reports the service time the receiver should charge for picking
+// up this request.
+func (r *Request) Svc() vtime.Time { return r.msg.Svc }
+
+// OneWay reports whether the sender expects no response.
+func (r *Request) OneWay() bool { return r.msg.reply == nil }
+
+// Reply answers an RPC request at the given virtual time on the
+// responder's clock. Replying to a one-way message panics — that is
+// always a protocol bug.
+func (r *Request) Reply(kind uint16, body []byte, at vtime.Time) {
+	if r.msg.reply == nil {
+		panic(fmt.Sprintf("simnet: reply to one-way %d message", r.msg.Kind))
+	}
+	link := r.port.fabric.Link(r.port.id, r.msg.Src)
+	size := len(body) + HeaderBytes
+	resp := &Message{
+		Src:    r.port.id,
+		Kind:   kind,
+		Body:   body,
+		Arrive: link.Deliver(at+link.SendOverhead, size),
+	}
+	r.port.fabric.msgs.Add(1)
+	r.port.fabric.bytes.Add(int64(size))
+	r.msg.reply <- resp
+}

@@ -1,0 +1,203 @@
+// Package stats collects the per-thread and system-wide measurements the
+// paper's evaluation reports: compute time, synchronization time, and the
+// protocol event counters (faults, prefetch hits, diffs, write notices,
+// bytes moved) that explain them.
+//
+// Accounting follows the paper's methodology: a thread's virtual time is
+// split into exactly two buckets. Time spent inside LOCK / UNLOCK /
+// BARRIER_WAIT / condition-variable calls is synchronization time;
+// everything else — including page faults taken while computing — is
+// compute time. (Section III: the fault and fetch costs incurred by
+// false sharing show up as *compute* time, while the consistency actions
+// performed at synchronization points show up as *synchronization*
+// time.)
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Thread accumulates measurements for one compute thread. It is owned by
+// the thread's goroutine and must not be shared while the thread runs;
+// Snapshot copies it for cross-thread reporting.
+type Thread struct {
+	ID int
+
+	// ComputeTime and SyncTime partition the thread's virtual run time.
+	ComputeTime vtime.Time
+	SyncTime    vtime.Time
+
+	// Cache behaviour.
+	Hits         int64 // accesses served by a resident, valid line
+	Misses       int64 // demand faults (line fetches issued)
+	PrefetchHits int64 // faults satisfied by a completed prefetch
+	PrefetchLate int64 // faults that had to wait for an in-flight prefetch
+	Evictions    int64 // lines evicted to make room
+	DirtyEvicts  int64 // evictions that had to flush a diff first
+	Twins        int64 // twin pages created (first write in an interval)
+
+	// Consistency traffic.
+	DiffsCreated    int64 // page diffs produced at releases/evictions
+	DiffBytes       int64 // payload bytes of eagerly shipped diffs
+	OwnedClaims     int64 // lazily-owned pages claimed at releases (no bytes shipped)
+	RecordsLogged   int64 // fine-grained store records (consistency regions)
+	RecordBytes     int64 // payload bytes of those records
+	Invalidations   int64 // pages invalidated by incoming write notices
+	UpdatesApplied  int64 // fine-grained updates applied in place
+	NoticesReceived int64 // write notices processed at acquires
+
+	// Communication.
+	MsgsSent      int64
+	BytesSent     int64
+	BytesReceived int64
+
+	// Synchronization operations.
+	LockOps    int64
+	BarrierOps int64
+	CondOps    int64
+
+	// Allocation.
+	ArenaAllocs  int64 // served locally from the thread arena
+	SharedAllocs int64 // served by the manager (shared zone / striped)
+}
+
+// Snapshot returns a copy of t.
+func (t *Thread) Snapshot() Thread { return *t }
+
+// TotalTime is the thread's complete virtual run time.
+func (t *Thread) TotalTime() vtime.Time { return t.ComputeTime + t.SyncTime }
+
+// Run aggregates the per-thread statistics of one experiment run.
+type Run struct {
+	Threads []Thread
+}
+
+// MaxComputeTime reports the longest per-thread compute time; the paper's
+// "compute time" plots report the per-thread compute time of the
+// slowest thread (per-thread work is symmetric in all benchmarks).
+func (r *Run) MaxComputeTime() vtime.Time {
+	var m vtime.Time
+	for i := range r.Threads {
+		m = vtime.Max(m, r.Threads[i].ComputeTime)
+	}
+	return m
+}
+
+// MaxSyncTime reports the longest per-thread synchronization time.
+func (r *Run) MaxSyncTime() vtime.Time {
+	var m vtime.Time
+	for i := range r.Threads {
+		m = vtime.Max(m, r.Threads[i].SyncTime)
+	}
+	return m
+}
+
+// MaxTotalTime reports the virtual wall time of the run (slowest thread).
+func (r *Run) MaxTotalTime() vtime.Time {
+	var m vtime.Time
+	for i := range r.Threads {
+		m = vtime.Max(m, r.Threads[i].TotalTime())
+	}
+	return m
+}
+
+// MeanComputeTime reports the arithmetic mean of per-thread compute time.
+func (r *Run) MeanComputeTime() vtime.Time {
+	if len(r.Threads) == 0 {
+		return 0
+	}
+	var s vtime.Time
+	for i := range r.Threads {
+		s += r.Threads[i].ComputeTime
+	}
+	return s / vtime.Time(len(r.Threads))
+}
+
+// MeanSyncTime reports the arithmetic mean of per-thread sync time.
+func (r *Run) MeanSyncTime() vtime.Time {
+	if len(r.Threads) == 0 {
+		return 0
+	}
+	var s vtime.Time
+	for i := range r.Threads {
+		s += r.Threads[i].SyncTime
+	}
+	return s / vtime.Time(len(r.Threads))
+}
+
+// Totals sums the event counters across threads.
+func (r *Run) Totals() Thread {
+	var sum Thread
+	sum.ID = -1
+	for i := range r.Threads {
+		t := &r.Threads[i]
+		sum.Hits += t.Hits
+		sum.Misses += t.Misses
+		sum.PrefetchHits += t.PrefetchHits
+		sum.PrefetchLate += t.PrefetchLate
+		sum.Evictions += t.Evictions
+		sum.DirtyEvicts += t.DirtyEvicts
+		sum.Twins += t.Twins
+		sum.DiffsCreated += t.DiffsCreated
+		sum.DiffBytes += t.DiffBytes
+		sum.OwnedClaims += t.OwnedClaims
+		sum.RecordsLogged += t.RecordsLogged
+		sum.RecordBytes += t.RecordBytes
+		sum.Invalidations += t.Invalidations
+		sum.UpdatesApplied += t.UpdatesApplied
+		sum.NoticesReceived += t.NoticesReceived
+		sum.MsgsSent += t.MsgsSent
+		sum.BytesSent += t.BytesSent
+		sum.BytesReceived += t.BytesReceived
+		sum.LockOps += t.LockOps
+		sum.BarrierOps += t.BarrierOps
+		sum.CondOps += t.CondOps
+		sum.ArenaAllocs += t.ArenaAllocs
+		sum.SharedAllocs += t.SharedAllocs
+	}
+	return sum
+}
+
+// Summary renders a human-readable multi-line report of the run.
+func (r *Run) Summary() string {
+	tot := r.Totals()
+	var b strings.Builder
+	fmt.Fprintf(&b, "threads=%d compute(max)=%v sync(max)=%v total(max)=%v\n",
+		len(r.Threads), r.MaxComputeTime(), r.MaxSyncTime(), r.MaxTotalTime())
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d prefetchHits=%d prefetchLate=%d evictions=%d (dirty=%d) twins=%d\n",
+		tot.Hits, tot.Misses, tot.PrefetchHits, tot.PrefetchLate, tot.Evictions, tot.DirtyEvicts, tot.Twins)
+	fmt.Fprintf(&b, "consistency: diffs=%d (%d B eager) owned=%d records=%d (%d B) invalidations=%d updates=%d notices=%d\n",
+		tot.DiffsCreated, tot.DiffBytes, tot.OwnedClaims, tot.RecordsLogged, tot.RecordBytes,
+		tot.Invalidations, tot.UpdatesApplied, tot.NoticesReceived)
+	fmt.Fprintf(&b, "comm: msgs=%d sent=%d B recv=%d B  sync-ops: locks=%d barriers=%d conds=%d\n",
+		tot.MsgsSent, tot.BytesSent, tot.BytesReceived, tot.LockOps, tot.BarrierOps, tot.CondOps)
+	return b.String()
+}
+
+// Registry gathers Thread snapshots from concurrently finishing threads.
+type Registry struct {
+	mu      sync.Mutex
+	threads []Thread
+}
+
+// Add records a snapshot of t.
+func (g *Registry) Add(t *Thread) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.threads = append(g.threads, t.Snapshot())
+}
+
+// Run returns the collected snapshots ordered by thread ID.
+func (g *Registry) Run() *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Thread, len(g.threads))
+	copy(out, g.threads)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return &Run{Threads: out}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestThreadTotalTime(t *testing.T) {
+	th := Thread{ComputeTime: 100, SyncTime: 50}
+	if got := th.TotalTime(); got != 150 {
+		t.Fatalf("TotalTime = %v, want 150", got)
+	}
+}
+
+func TestRunMaxima(t *testing.T) {
+	r := &Run{Threads: []Thread{
+		{ID: 0, ComputeTime: 100, SyncTime: 5},
+		{ID: 1, ComputeTime: 80, SyncTime: 40},
+		{ID: 2, ComputeTime: 90, SyncTime: 10},
+	}}
+	if got := r.MaxComputeTime(); got != 100 {
+		t.Errorf("MaxComputeTime = %v, want 100", got)
+	}
+	if got := r.MaxSyncTime(); got != 40 {
+		t.Errorf("MaxSyncTime = %v, want 40", got)
+	}
+	if got := r.MaxTotalTime(); got != 120 {
+		t.Errorf("MaxTotalTime = %v, want 120", got)
+	}
+}
+
+func TestRunMeans(t *testing.T) {
+	r := &Run{Threads: []Thread{
+		{ComputeTime: 100, SyncTime: 20},
+		{ComputeTime: 200, SyncTime: 40},
+	}}
+	if got := r.MeanComputeTime(); got != 150 {
+		t.Errorf("MeanComputeTime = %v, want 150", got)
+	}
+	if got := r.MeanSyncTime(); got != 30 {
+		t.Errorf("MeanSyncTime = %v, want 30", got)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	r := &Run{}
+	if r.MaxComputeTime() != 0 || r.MaxSyncTime() != 0 || r.MeanComputeTime() != 0 || r.MeanSyncTime() != 0 {
+		t.Fatal("empty run should report zeros")
+	}
+}
+
+func TestTotalsSums(t *testing.T) {
+	r := &Run{Threads: []Thread{
+		{Hits: 1, Misses: 2, DiffBytes: 10, LockOps: 3},
+		{Hits: 4, Misses: 1, DiffBytes: 5, LockOps: 2},
+	}}
+	tot := r.Totals()
+	if tot.Hits != 5 || tot.Misses != 3 || tot.DiffBytes != 15 || tot.LockOps != 5 {
+		t.Fatalf("Totals = %+v", tot)
+	}
+}
+
+func TestSummaryMentionsKeyFields(t *testing.T) {
+	r := &Run{Threads: []Thread{{ComputeTime: vtime.Millisecond}}}
+	s := r.Summary()
+	for _, want := range []string{"threads=1", "compute(max)=1ms", "cache:", "consistency:", "comm:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestRegistryOrdersAndCopies(t *testing.T) {
+	var reg Registry
+	var wg sync.WaitGroup
+	for i := 7; i >= 0; i-- {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := Thread{ID: id, ComputeTime: vtime.Time(id)}
+			reg.Add(&th)
+			th.ComputeTime = 999 // must not affect the stored snapshot
+		}(i)
+	}
+	wg.Wait()
+	run := reg.Run()
+	if len(run.Threads) != 8 {
+		t.Fatalf("len = %d, want 8", len(run.Threads))
+	}
+	for i, th := range run.Threads {
+		if th.ID != i {
+			t.Fatalf("thread %d has ID %d (not sorted)", i, th.ID)
+		}
+		if th.ComputeTime != vtime.Time(i) {
+			t.Fatalf("thread %d compute time mutated: %v", i, th.ComputeTime)
+		}
+	}
+}
+
+// Property: Totals is additive — concatenating two runs sums their totals.
+func TestTotalsAdditiveProperty(t *testing.T) {
+	f := func(h1, h2, m1, m2 uint16) bool {
+		a := Thread{Hits: int64(h1), Misses: int64(m1)}
+		b := Thread{Hits: int64(h2), Misses: int64(m2)}
+		ra := (&Run{Threads: []Thread{a}}).Totals()
+		rb := (&Run{Threads: []Thread{b}}).Totals()
+		rab := (&Run{Threads: []Thread{a, b}}).Totals()
+		return rab.Hits == ra.Hits+rb.Hits && rab.Misses == ra.Misses+rb.Misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

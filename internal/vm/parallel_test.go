@@ -1,0 +1,52 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRangeProperty(t *testing.T) {
+	prop := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := 1 + int(pRaw)%16
+		prev := 0
+		total := 0
+		for id := 0; id < p; id++ {
+			lo, hi := BlockRange(n, p, id)
+			if lo != prev || hi < lo {
+				return false
+			}
+			if hi-lo > n/p+1 || (n >= p && hi == lo) {
+				return false // unbalanced or empty despite enough work
+			}
+			total += hi - lo
+			prev = hi
+		}
+		return total == n && prev == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForBlockCoversExactlyOnce(t *testing.T) {
+	seen := make([]int, 100)
+	for id := 0; id < 7; id++ {
+		th := &idThread{id: id, p: 7}
+		ForBlock(th, 100, func(i int) { seen[i]++ })
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// idThread implements only ID/P for ForBlock.
+type idThread struct {
+	Thread
+	id, p int
+}
+
+func (t *idThread) ID() int { return t.id }
+func (t *idThread) P() int  { return t.p }

@@ -1,0 +1,174 @@
+// Package vm defines the backend-neutral programming interface the
+// benchmark kernels and examples are written against.
+//
+// The paper runs every benchmark from a single code base, with memory
+// allocation, synchronization and thread creation expressed as m4 macros
+// that expand to either Pthreads or Samhita calls (Section III). The Go
+// analogue is this interface: the micro-benchmark, Jacobi and molecular
+// dynamics kernels are written once against vm.VM and executed on both
+// the Samhita DSM backend (package core) and the cache-coherent baseline
+// (package pthreads), which is what makes the compute-time and speedup
+// comparisons of Figures 3-13 apples-to-apples.
+package vm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// Addr is an address in the backend's shared address space.
+type Addr = layout.Addr
+
+// VM is one shared-memory substrate: either the Samhita DSM or the
+// hardware-coherent baseline.
+type VM interface {
+	// Name identifies the backend ("samhita" or "pthreads").
+	Name() string
+	// Run executes body on p concurrent threads and returns the per-run
+	// statistics once all of them finish.
+	Run(p int, body func(t Thread)) (*stats.Run, error)
+	// NewMutex creates a mutual-exclusion lock.
+	NewMutex() Mutex
+	// NewBarrier creates a barrier for n participants.
+	NewBarrier(n int) Barrier
+	// NewCond creates a condition variable used with a Mutex.
+	NewCond() Cond
+	// Close releases backend resources (servers, fabric ports).
+	Close() error
+}
+
+// Thread is one compute thread's handle to the substrate. Accessors
+// panic on backend failure — an access error in a DSM is the moral
+// equivalent of SIGSEGV, not a recoverable condition for the
+// application.
+type Thread interface {
+	// ID is the thread index in [0, P).
+	ID() int
+	// P is the number of threads in this run.
+	P() int
+
+	// Malloc allocates thread-local memory: the no-false-sharing path
+	// (per-thread arenas in Samhita). The memory is still part of the
+	// shared address space and visible to every thread.
+	Malloc(n int) Addr
+	// GlobalAlloc allocates shared memory through the manager: the
+	// shared zone for medium requests, striped across memory servers for
+	// large ones.
+	GlobalAlloc(n int) Addr
+	// Free releases memory from either allocator.
+	Free(a Addr)
+
+	// ReadBytes and WriteBytes move raw bytes.
+	ReadBytes(a Addr, buf []byte)
+	WriteBytes(a Addr, data []byte)
+
+	// Float64 and Int64 accessors.
+	ReadFloat64(a Addr) float64
+	WriteFloat64(a Addr, v float64)
+	ReadInt64(a Addr) int64
+	WriteInt64(a Addr, v int64)
+
+	// Compute charges the cost of pure arithmetic (flops floating-point
+	// operations) to the thread's virtual clock.
+	Compute(flops int)
+
+	// Clock reports the thread's current virtual time.
+	Clock() vtime.Time
+	// Stats exposes the thread's measurement record.
+	Stats() *stats.Thread
+
+	// ResetMeasurement zeroes the measurement record and restarts time
+	// attribution from the current virtual time. Kernels call it after
+	// their initialization phase, mirroring the paper's methodology: the
+	// timed region begins with a warm cache, because initialization has
+	// already touched the data.
+	ResetMeasurement()
+	// StopMeasurement freezes the measurement record at the current
+	// virtual time; later activity (result verification, checksums) is
+	// not attributed.
+	StopMeasurement()
+}
+
+// Mutex is a mutual-exclusion lock. In Samhita, Lock is an acquire
+// point and Unlock a release point of regional consistency, and stores
+// performed while the lock is held form a consistency region.
+type Mutex interface {
+	Lock(t Thread)
+	Unlock(t Thread)
+}
+
+// Barrier synchronizes its n participants; in Samhita it is a release
+// followed by an acquire.
+type Barrier interface {
+	Wait(t Thread)
+}
+
+// Cond is a condition variable; Wait atomically releases the mutex and
+// sleeps until signalled, then re-acquires it.
+type Cond interface {
+	Wait(t Thread, m Mutex)
+	Signal(t Thread)
+	Broadcast(t Thread)
+}
+
+// ---------------------------------------------------------------------
+// Byte-order helpers shared by backends.
+
+// PutFloat64 encodes v into b (little endian).
+func PutFloat64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+// GetFloat64 decodes a float64 from b.
+func GetFloat64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// PutInt64 encodes v into b.
+func PutInt64(b []byte, v int64) {
+	binary.LittleEndian.PutUint64(b, uint64(v))
+}
+
+// GetInt64 decodes an int64 from b.
+func GetInt64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// ---------------------------------------------------------------------
+// Typed array views.
+
+// F64 is a view of a float64 array at a base address.
+type F64 struct {
+	Base Addr
+}
+
+// Addr returns the address of element i.
+func (a F64) Addr(i int) Addr { return a.Base + Addr(8*i) }
+
+// At loads element i.
+func (a F64) At(t Thread, i int) float64 { return t.ReadFloat64(a.Addr(i)) }
+
+// Set stores element i.
+func (a F64) Set(t Thread, i int, v float64) { t.WriteFloat64(a.Addr(i), v) }
+
+// Add adds v to element i (load + store; not atomic — guard with a
+// Mutex when shared).
+func (a F64) Add(t Thread, i int, v float64) { a.Set(t, i, a.At(t, i)+v) }
+
+// I64 is a view of an int64 array at a base address.
+type I64 struct {
+	Base Addr
+}
+
+// Addr returns the address of element i.
+func (a I64) Addr(i int) Addr { return a.Base + Addr(8*i) }
+
+// At loads element i.
+func (a I64) At(t Thread, i int) int64 { return t.ReadInt64(a.Addr(i)) }
+
+// Set stores element i.
+func (a I64) Set(t Thread, i int, v int64) { t.WriteInt64(a.Addr(i), v) }

@@ -1,0 +1,90 @@
+// Package vtime provides the virtual-time substrate used throughout the
+// Samhita reproduction.
+//
+// The original Samhita system ran on physical hardware (a QDR InfiniBand
+// cluster standing in for a host + coprocessor node); every performance
+// result in the paper is a wall-clock measurement of that hardware. This
+// reproduction replaces the hardware with a deterministic virtual-time
+// model: each simulated processor and server owns a Clock, and every
+// modelled action (a floating-point operation, a page fault, a message
+// crossing the fabric, a server handling a request) advances the relevant
+// clocks by costs drawn from a CostModel.
+//
+// Virtual time composes across components with Lamport-style maxima: a
+// message sent at time s over a link with latency L and bandwidth B
+// arrives at max(receiverClock, s + L + size/B); a server that processes
+// requests serially advances its own clock past each arrival, which is
+// what produces the hot-spot and queueing effects the paper's evaluation
+// (striped allocation, single memory server) depends on.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// run. It is deliberately a distinct type from time.Duration so that
+// virtual and wall-clock quantities cannot be mixed by accident.
+type Time int64
+
+// Common virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual-time span to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time using time.Duration notation (e.g. "1.5ms").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock is a monotonically non-decreasing virtual clock. It is not safe
+// for concurrent use; each simulated entity (compute thread, memory
+// server, manager) owns exactly one Clock and only that entity's
+// goroutine advances it. Cross-entity ordering is established by
+// exchanging Time values in messages and applying AdvanceTo.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at the given start time.
+func NewClock(start Time) *Clock { return &Clock{now: start} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. It panics if d is negative:
+// virtual time never runs backwards, and a negative cost is always a
+// modelling bug worth failing loudly on.
+func (c *Clock) Advance(d Time) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative advance %d", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time;
+// otherwise the clock is unchanged. It returns the (possibly unchanged)
+// current time. This is the Lamport "receive" rule.
+func (c *Clock) AdvanceTo(t Time) Time {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

@@ -1,0 +1,160 @@
+package vtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtGivenTime(t *testing.T) {
+	c := NewClock(42)
+	if got := c.Now(); got != 42 {
+		t.Fatalf("Now() = %v, want 42", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	if got := c.Advance(10); got != 10 {
+		t.Fatalf("Advance(10) = %v, want 10", got)
+	}
+	if got := c.Advance(0); got != 10 {
+		t.Fatalf("Advance(0) = %v, want 10", got)
+	}
+	if got := c.Now(); got != 10 {
+		t.Fatalf("Now() = %v, want 10", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock(0).Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock(100)
+	if got := c.AdvanceTo(50); got != 100 {
+		t.Fatalf("AdvanceTo(50) = %v, want 100 (no regression)", got)
+	}
+	if got := c.AdvanceTo(200); got != 200 {
+		t.Fatalf("AdvanceTo(200) = %v, want 200", got)
+	}
+}
+
+// Property: under any sequence of Advance/AdvanceTo operations the clock
+// never decreases.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewClock(0)
+		prev := c.Now()
+		for _, op := range ops {
+			if op%2 == 0 {
+				c.Advance(Time(rng.Int63n(1_000_000)))
+			} else {
+				c.AdvanceTo(Time(rng.Int63n(2_000_000)))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3, 7) != 7 || Max(7, 3) != 7 || Max(5, 5) != 5 {
+		t.Fatal("Max is wrong")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := 1500 * Microsecond
+	if got := tm.Duration(); got != 1500*time.Microsecond {
+		t.Fatalf("Duration() = %v", got)
+	}
+	if got := tm.Seconds(); got != 0.0015 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+	if got := tm.String(); got != "1.5ms" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestLinkModelXferTime(t *testing.T) {
+	m := LinkModel{Name: "test", BytesPerSec: 1e9} // 1 GB/s: 1 byte per ns
+	cases := []struct {
+		bytes int
+		want  Time
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1 * Nanosecond},
+		{4096, 4096 * Nanosecond},
+	}
+	for _, c := range cases {
+		if got := m.XferTime(c.bytes); got != c.want {
+			t.Errorf("XferTime(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestLinkModelDeliver(t *testing.T) {
+	m := LinkModel{Name: "test", Latency: 1000, BytesPerSec: 1e9}
+	if got := m.Deliver(500, 100); got != 500+1000+100 {
+		t.Fatalf("Deliver = %v, want 1600", got)
+	}
+}
+
+func TestLinkModelZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XferTime with zero bandwidth did not panic")
+		}
+	}()
+	LinkModel{Name: "bad"}.XferTime(10)
+}
+
+// Property: transfer time is monotone in message size.
+func TestXferMonotoneProperty(t *testing.T) {
+	m := QDRInfiniBand
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.XferTime(x) <= m.XferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, m := range []LinkModel{QDRInfiniBand, PCIeSCIF, IntraNode} {
+		if m.Name == "" {
+			t.Error("preset has empty name")
+		}
+		if m.Latency <= 0 || m.BytesPerSec <= 0 || m.ServiceTime <= 0 {
+			t.Errorf("preset %q has non-positive parameters: %+v", m.Name, m)
+		}
+	}
+	// The PCIe/SCIF path the paper proposes must beat the IB-with-proxy
+	// path it replaces, otherwise the Section V argument is modelled
+	// backwards.
+	if PCIeSCIF.Latency >= QDRInfiniBand.Latency {
+		t.Error("PCIeSCIF latency should be below QDRInfiniBand latency")
+	}
+	if DefaultCPU.FlopTime != DefaultHW.FlopTime {
+		t.Error("CPU and HW flop costs must match for normalization")
+	}
+}

@@ -1,0 +1,159 @@
+// Package samhita is a reproduction of the virtual shared memory system
+// of "Towards Virtual Shared Memory for Non-Cache-Coherent Multicore
+// Systems" (Ramesh, Ribbens, Varadarajan; IPDPS Workshops 2013): the
+// Samhita distributed shared memory runtime and its regional consistency
+// (RegC) model, rebuilt in Go over a virtual-time simulated interconnect
+// in place of the paper's InfiniBand/PCIe hardware.
+//
+// A Samhita instance consists of memory servers (which serve the pages
+// backing a single shared global address space), a manager (allocation,
+// synchronization and the write-notice directory), and compute threads,
+// each with a local software cache fed by demand paging with multi-page
+// cache lines, adjacent-line prefetch and a multiple-writer protocol.
+// Stores inside lock-protected consistency regions propagate as
+// fine-grained updates; all other stores propagate as page diffs at
+// synchronization points — that split is regional consistency.
+//
+// The package exposes two interchangeable backends behind one
+// programming interface (the Go analogue of the paper's m4-macro code
+// base):
+//
+//	smh, _ := samhita.New(samhita.DefaultConfig()) // the DSM
+//	pth := samhita.NewPthreads(samhita.PthreadsConfig{}) // the baseline
+//
+// Both implement VM:
+//
+//	bar := smh.NewBarrier(4)
+//	run, _ := smh.Run(4, func(t samhita.Thread) {
+//		a := t.Malloc(4096)
+//		t.WriteFloat64(a, 1.0)
+//		bar.Wait(t)
+//		// ...
+//	})
+//	fmt.Println(run.Summary())
+//
+// Virtual time: all reported times (compute time, synchronization time)
+// are deterministic model times from the cost models in Config, not
+// wall-clock measurements; see DESIGN.md for the substitution argument.
+package samhita
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/pthreads"
+	"repro/internal/scl"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+// Programming interface (shared by both backends).
+type (
+	// VM is a shared-memory substrate that can run threaded programs.
+	VM = vm.VM
+	// Thread is one compute thread's handle.
+	Thread = vm.Thread
+	// Mutex is a mutual-exclusion lock; in Samhita the span between
+	// Lock and Unlock is a RegC consistency region.
+	Mutex = vm.Mutex
+	// Barrier synchronizes n participants.
+	Barrier = vm.Barrier
+	// Cond is a condition variable.
+	Cond = vm.Cond
+	// Addr is an address in the shared global address space.
+	Addr = vm.Addr
+	// F64 is a typed float64 array view.
+	F64 = vm.F64
+	// I64 is a typed int64 array view.
+	I64 = vm.I64
+)
+
+// Configuration and results.
+type (
+	// Config parameterizes a Samhita instance (geometry, interconnect
+	// model, CPU cost model, cache size, allocator thresholds).
+	Config = core.Config
+	// PthreadsConfig parameterizes the cache-coherent baseline.
+	PthreadsConfig = pthreads.Config
+	// Geometry is the address-space layout (page size, line pages,
+	// memory servers, striping).
+	Geometry = layout.Geometry
+	// LinkModel prices one interconnect class in virtual time.
+	LinkModel = vtime.LinkModel
+	// CPUModel prices compute-side work in virtual time.
+	CPUModel = vtime.CPUModel
+	// Time is a virtual-time instant/duration in nanoseconds.
+	Time = vtime.Time
+	// Run carries the per-thread measurements of one execution.
+	Run = stats.Run
+	// ThreadStats is one thread's measurement record.
+	ThreadStats = stats.Thread
+	// Runtime is a running Samhita instance (it implements VM and
+	// additionally exposes its servers for inspection).
+	Runtime = core.Runtime
+	// Transport abstracts the communication substrate; see NewTCPTransport.
+	Transport = core.Transport
+	// TraceCollector records protocol events for Chrome-trace export;
+	// attach one via Config.Trace.
+	TraceCollector = trace.Collector
+)
+
+// Interconnect presets.
+var (
+	// QDRInfiniBand models the paper's testbed fabric.
+	QDRInfiniBand = vtime.QDRInfiniBand
+	// PCIeSCIF models the paper's future-work host-coprocessor bus.
+	PCIeSCIF = vtime.PCIeSCIF
+	// IntraNode models components sharing a node.
+	IntraNode = vtime.IntraNode
+)
+
+// DefaultConfig returns the configuration matching the paper's testbed:
+// 4 KiB pages, 4-page cache lines, one memory server, QDR InfiniBand.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultGeometry returns the paper's address-space geometry.
+func DefaultGeometry() Geometry { return layout.DefaultGeometry() }
+
+// New boots a Samhita instance: manager, memory servers, fabric. Close
+// it when done.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// NewPthreads creates the cache-coherent shared-memory baseline backend
+// (the paper's Pthreads comparison, capped at one node's 8 cores by
+// default).
+func NewPthreads(cfg PthreadsConfig) VM { return pthreads.New(cfg) }
+
+// NewTraceCollector creates a protocol-event collector (0 = default
+// event limit). Attach it to Config.Trace, run, then use
+// WriteChromeTrace to export for chrome://tracing or Perfetto.
+func NewTraceCollector(limit int) *TraceCollector { return trace.NewCollector(limit) }
+
+// NewTCPTransport returns a Transport that runs the whole instance —
+// manager, memory servers, compute threads, cache agents — over real
+// loopback TCP sockets instead of the simulated fabric. The protocol
+// bytes and virtual-time semantics are identical; this demonstrates the
+// Samhita Communication Layer's transport independence (the paper's IB
+// verbs today / SCIF tomorrow design point). Assign it to
+// Config.Transport.
+func NewTCPTransport(model LinkModel) Transport { return scl.NewTCPFactory(model) }
+
+// Experiments re-exports the benchmark harness that regenerates the
+// paper's figures; see cmd/samhita-bench for the command-line front end.
+type (
+	// BenchOptions scales the figure experiments.
+	BenchOptions = bench.Options
+	// Figure is the data behind one reproduced paper figure.
+	Figure = bench.Figure
+)
+
+// RunFigure regenerates one of the paper's result figures (3-13).
+func RunFigure(id int, o BenchOptions) (*Figure, error) { return bench.Run(id, o) }
+
+// QuickBench returns experiment options scaled down for tests.
+func QuickBench() BenchOptions { return bench.Quick() }
+
+// PaperBench returns the paper's full experiment parameters.
+func PaperBench() BenchOptions { return bench.Options{}.WithDefaults() }

@@ -1,0 +1,133 @@
+package samhita_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	samhita "repro"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry points end to
+// end: boot, allocate, share through a barrier, synchronize with a
+// mutex, inspect the run statistics, close.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rt, err := samhita.New(samhita.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const p = 4
+	mu := rt.NewMutex()
+	bar := rt.NewBarrier(p)
+	var base atomic.Uint64
+
+	run, err := rt.Run(p, func(th samhita.Thread) {
+		if th.ID() == 0 {
+			base.Store(uint64(th.GlobalAlloc(4096)))
+		}
+		bar.Wait(th)
+		arr := samhita.F64{Base: samhita.Addr(base.Load())}
+		arr.Set(th, th.ID(), float64(th.ID()*10))
+		mu.Lock(th)
+		arr.Add(th, p, 1)
+		mu.Unlock(th)
+		bar.Wait(th)
+		for i := 0; i < p; i++ {
+			if got := arr.At(th, i); got != float64(i*10) {
+				t.Errorf("thread %d: arr[%d] = %v", th.ID(), i, got)
+			}
+		}
+		if got := arr.At(th, p); got != p {
+			t.Errorf("thread %d: counter = %v", th.ID(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MaxTotalTime() <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	if s := run.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestRuntimeReuseAcrossRuns guards the writer-id uniqueness invariant:
+// a second Run on the same Runtime must see the first Run's data and
+// not collide with its interval tags.
+func TestRuntimeReuseAcrossRuns(t *testing.T) {
+	rt, err := samhita.New(samhita.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var addr atomic.Uint64
+	bar1 := rt.NewBarrier(2)
+	_, err = rt.Run(2, func(th samhita.Thread) {
+		if th.ID() == 0 {
+			a := th.GlobalAlloc(4096)
+			th.WriteFloat64(a, 123.5)
+			addr.Store(uint64(a))
+		}
+		bar1.Wait(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bar2 := rt.NewBarrier(2)
+	_, err = rt.Run(2, func(th samhita.Thread) {
+		a := samhita.Addr(addr.Load())
+		if got := th.ReadFloat64(a); got != 123.5 {
+			t.Errorf("second run, thread %d: %v", th.ID(), got)
+		}
+		th.WriteFloat64(a+samhita.Addr(8*(1+th.ID())), float64(th.ID()))
+		bar2.Wait(th)
+		for i := 0; i < 2; i++ {
+			if got := th.ReadFloat64(a + samhita.Addr(8*(1+i))); got != float64(i) {
+				t.Errorf("cross-run thread %d: slot %d = %v", th.ID(), i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBothBackendsSatisfyVM pins the backend symmetry the kernels rely
+// on.
+func TestBothBackendsSatisfyVM(t *testing.T) {
+	var backends []samhita.VM
+	rt, err := samhita.New(samhita.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	backends = append(backends, rt, samhita.NewPthreads(samhita.PthreadsConfig{}))
+
+	for _, v := range backends {
+		run, err := v.Run(2, func(th samhita.Thread) {
+			a := th.Malloc(64)
+			th.WriteInt64(a, int64(th.ID()))
+			if th.ReadInt64(a) != int64(th.ID()) {
+				t.Errorf("%s: round trip failed", v.Name())
+			}
+			th.Compute(100)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if run.MaxComputeTime() < 100 {
+			t.Errorf("%s: compute time %v", v.Name(), run.MaxComputeTime())
+		}
+	}
+}
+
+func TestPaperBenchMatchesPaperScale(t *testing.T) {
+	o := samhita.PaperBench()
+	if o.N != 10 || o.B != 256 || o.FixedP != 16 {
+		t.Errorf("paper options wrong: %+v", o)
+	}
+}
