@@ -7,6 +7,8 @@
 //
 //	samhita-conform -runs 200          # 200 random (program, config) pairs
 //	samhita-conform -seed 42 -v        # replay one seed with details
+//	samhita-conform -runs 50 -faults   # chaos mode: same check under
+//	                                   # injected drops/delays/partitions
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 
 	"repro/internal/conformance"
 	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/scl"
 )
 
 func main() {
@@ -25,6 +29,11 @@ func main() {
 		runs    = flag.Int("runs", 100, "number of random (program, config) pairs")
 		seed    = flag.Int64("seed", -1, "replay a single seed instead of sweeping")
 		verbose = flag.Bool("v", false, "print every program/config")
+
+		faults     = flag.Bool("faults", false, "inject transport faults, masked by retries, during every run")
+		faultDrop  = flag.Float64("fault-drop", 0.15, "per-attempt drop probability")
+		faultDelay = flag.Float64("fault-delay", 0.05, "per-attempt delay probability")
+		faultDup   = flag.Float64("fault-dup", 0.05, "duplicate-response probability")
 	)
 	flag.Parse()
 
@@ -39,9 +48,29 @@ func main() {
 
 	start := time.Now()
 	failures := 0
+	var drops, retries int64
 	for _, sd := range seeds {
 		prog := conformance.Generate(sd)
 		cfg := randomConfig(sd * 31)
+		if *faults {
+			// No per-attempt timeout: protocol calls park legitimately on
+			// locks and barriers; connection death, not timers, unsticks
+			// them. Drops are pre-send, so retries stay exactly-once at
+			// the server.
+			cfg.Retry = &scl.RetryPolicy{
+				MaxAttempts: 10,
+				Backoff:     50 * time.Microsecond,
+				BackoffCap:  2 * time.Millisecond,
+			}
+			cfg.Faults = faultnet.New(faultnet.Config{
+				Seed:       sd*101 + 7,
+				DropProb:   *faultDrop,
+				DelayProb:  *faultDelay,
+				MaxDelay:   200 * time.Microsecond,
+				DupProb:    *faultDup,
+				Partitions: []faultnet.Partition{{Node: 10, After: 20, Len: 5}},
+			})
+		}
 		if *verbose {
 			fmt.Printf("seed %d: threads=%d rounds=%d slots=%d accums=%d locks=%d | lines=%d cache=%d servers=%d prefetch=%v finegrain=%v\n",
 				sd, prog.Threads, prog.Rounds, prog.Slots, prog.Accums, prog.Locks,
@@ -52,6 +81,10 @@ func main() {
 			fatalf("seed %d: boot: %v", sd, err)
 		}
 		viols, err := conformance.Run(rt, prog)
+		if nst := rt.NetStats(); nst != nil {
+			drops += nst.InjectedDrops.Load()
+			retries += nst.Retries.Load()
+		}
 		rt.Close()
 		if err != nil {
 			failures++
@@ -62,6 +95,9 @@ func main() {
 			failures++
 			fmt.Printf("seed %d: %d consistency violations, e.g. %s\n", sd, len(viols), viols[0])
 		}
+	}
+	if *faults {
+		fmt.Printf("\nfault injection: %d drops injected, %d retries absorbed\n", drops, retries)
 	}
 	fmt.Printf("\n%d/%d passed in %v\n", len(seeds)-failures, len(seeds), time.Since(start).Round(time.Millisecond))
 	if failures > 0 {

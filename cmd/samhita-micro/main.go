@@ -31,6 +31,12 @@ func main() {
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+
+		faults     = flag.Bool("faults", false, "inject transport faults (drops, delays, dup responses) masked by retries")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
+		faultDrop  = flag.Float64("fault-drop", 0.10, "per-attempt drop probability")
+		faultDelay = flag.Float64("fault-delay", 0.05, "per-attempt delay probability")
+		faultDup   = flag.Float64("fault-dup", 0.02, "duplicate-response probability")
 	)
 	flag.Parse()
 
@@ -47,6 +53,7 @@ func main() {
 	}
 
 	var collector *samhita.TraceCollector
+	var netStats func() *samhita.NetStats
 	var v samhita.VM
 	switch *backend {
 	case "samhita":
@@ -73,11 +80,22 @@ func main() {
 			collector = samhita.NewTraceCollector(0)
 			cfg.Trace = collector
 		}
+		if *faults {
+			policy := samhita.DefaultRetryPolicy
+			cfg.Retry = &policy
+			cfg.Faults = samhita.NewFaultInjector(samhita.FaultConfig{
+				Seed:      *faultSeed,
+				DropProb:  *faultDrop,
+				DelayProb: *faultDelay,
+				DupProb:   *faultDup,
+			})
+		}
 		rt, err := samhita.New(cfg)
 		if err != nil {
 			fatalf("boot: %v", err)
 		}
 		defer rt.Close()
+		netStats = rt.NetStats
 		v = rt
 	case "pthreads":
 		v = samhita.NewPthreads(samhita.PthreadsConfig{MaxCores: *p})
@@ -97,6 +115,11 @@ func main() {
 	fmt.Printf("compute time (per thread, max): %v\n", res.Run.MaxComputeTime())
 	fmt.Printf("sync time    (per thread, max): %v\n", res.Run.MaxSyncTime())
 	fmt.Print(res.Run.Summary())
+	if netStats != nil {
+		if nst := netStats(); nst != nil {
+			fmt.Println(nst.Summary())
+		}
+	}
 	if collector != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {

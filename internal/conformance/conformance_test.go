@@ -3,9 +3,12 @@ package conformance
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/pthreads"
+	"repro/internal/scl"
 	"repro/internal/vm"
 )
 
@@ -98,6 +101,69 @@ func TestSamhitaConformsUnderRandomConfigs(t *testing.T) {
 			for _, viol := range viols {
 				t.Errorf("seed %d (cfg lines=%d cache=%d srv=%d prefetch=%v fg=%v): %s",
 					seed, cfg.Geo.LinePages, cfg.CacheLines, cfg.Geo.NumServers, cfg.Prefetch, !cfg.DisableFineGrain, viol)
+			}
+		})
+	}
+}
+
+// The chaos check: with the fault injector dropping, delaying and
+// duplicating transport messages — and partitioning a memory server for
+// a window — the retry layer must mask every fault and the DSM must
+// still produce sequentially consistent results with zero data-value
+// divergence.
+//
+// The retry policy deliberately has NO per-attempt timeout: protocol
+// calls park legitimately (barriers, lock queues, tag-parked fetches),
+// and retrying a parked call would corrupt protocol state. Drops are
+// injected pre-send, so a retried attempt reaches the server exactly
+// once.
+func TestSamhitaConformsUnderFaultInjection(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			p := Generate(seed)
+			cfg := randomConfig(seed * 31)
+			cfg.Retry = &scl.RetryPolicy{
+				MaxAttempts: 10,
+				Backoff:     50 * time.Microsecond,
+				BackoffCap:  2 * time.Millisecond,
+			}
+			inj := faultnet.New(faultnet.Config{
+				Seed:      seed*101 + 7,
+				DropProb:  0.15,
+				DelayProb: 0.05,
+				MaxDelay:  200 * time.Microsecond,
+				DupProb:   0.05,
+				// Cut off the first memory server briefly mid-run.
+				Partitions: []faultnet.Partition{{Node: 10, After: 20, Len: 5}},
+			})
+			cfg.Faults = inj
+			rt, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			viols, err := Run(rt, p)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, viol := range viols {
+				t.Errorf("seed %d: divergence under faults: %s", seed, viol)
+			}
+			nst := rt.NetStats()
+			if nst == nil {
+				t.Fatal("runtime has no net stats though faults were configured")
+			}
+			if nst.InjectedDrops.Load() == 0 {
+				t.Error("fault injector never dropped anything — chaos test is vacuous")
+			}
+			if nst.Retries.Load() == 0 {
+				t.Error("retry layer never retried though drops were injected")
 			}
 		})
 	}

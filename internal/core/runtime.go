@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/proto"
 
+	"repro/internal/faultnet"
 	"repro/internal/layout"
 	"repro/internal/manager"
 	"repro/internal/memserver"
@@ -78,6 +79,23 @@ type Config struct {
 	// Transport selects the communication substrate (nil = the
 	// simulated fabric priced by Link).
 	Transport Transport
+	// Retry, if non-nil, wraps every endpoint the runtime creates —
+	// compute threads, cache agents, memory servers, manager — in the
+	// SCL retry layer: transient transport failures (dead TCP
+	// connections, injected faults, partitions) are retried with
+	// exponential backoff, and exhaustion surfaces scl.ErrUnreachable
+	// as a clean error instead of a hang. Leave Timeout zero: DSM
+	// calls legitimately park (locks, barriers, tag-parked fetches).
+	Retry *scl.RetryPolicy
+	// Faults, if non-nil, injects transport faults (drops, delays,
+	// duplicate responses, partitions) beneath the retry layer on
+	// every endpoint — chaos testing. Set Retry as well or the
+	// injected faults will surface as immediate errors.
+	Faults *faultnet.Injector
+	// Net receives the transport-robustness counters (retries,
+	// timeouts, injected faults). Allocated automatically when Retry
+	// or Faults is set; supply one to share it with other collectors.
+	Net *stats.Net
 	// Trace, if non-nil, records protocol events (faults, fetches,
 	// lock/barrier spans) in virtual time for Chrome-trace export.
 	Trace *trace.Collector
@@ -144,6 +162,9 @@ func (c *Config) fillDefaults() {
 	if c.ThreadsPerNode <= 0 {
 		c.ThreadsPerNode = 8
 	}
+	if c.Net == nil && (c.Retry != nil || c.Faults != nil) {
+		c.Net = new(stats.Net)
+	}
 }
 
 // Runtime is a running Samhita instance.
@@ -188,7 +209,11 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		rt.transport = simTransport{fabric: rt.fabric}
 	}
-	mgrEP, err := rt.transport.NewEndpoint(managerNode)
+	if cfg.Faults != nil {
+		cfg.Faults.SetNetStats(cfg.Net)
+		cfg.Faults.SetTrace(cfg.Trace)
+	}
+	mgrEP, err := rt.newEndpoint(managerNode)
 	if err != nil {
 		return nil, fmt.Errorf("core: manager endpoint: %w", err)
 	}
@@ -200,7 +225,7 @@ func New(cfg Config) (*Runtime, error) {
 	}()
 	agentAddr := func(writer uint32) scl.NodeID { return firstThreadNode + scl.NodeID(writer) }
 	for i := 0; i < cfg.Geo.NumServers; i++ {
-		srvEP, err := rt.transport.NewEndpoint(firstServerNode + scl.NodeID(i))
+		srvEP, err := rt.newEndpoint(firstServerNode + scl.NodeID(i))
 		if err != nil {
 			return nil, fmt.Errorf("core: memory server %d endpoint: %w", i, err)
 		}
@@ -214,6 +239,28 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	return rt, nil
 }
+
+// newEndpoint attaches one component endpoint, layering the fault
+// injector (innermost, so injected faults look like transport failures)
+// and the retry policy (outermost, so retries re-traverse the injector)
+// over the raw transport endpoint.
+func (rt *Runtime) newEndpoint(id scl.NodeID) (scl.Endpoint, error) {
+	ep, err := rt.transport.NewEndpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	if rt.cfg.Faults != nil {
+		ep = rt.cfg.Faults.Wrap(ep)
+	}
+	if rt.cfg.Retry != nil {
+		ep = scl.WithRetry(ep, *rt.cfg.Retry, rt.cfg.Net)
+	}
+	return ep, nil
+}
+
+// NetStats exposes the transport-robustness counters (nil unless Retry
+// or Faults is configured).
+func (rt *Runtime) NetStats() *stats.Net { return rt.cfg.Net }
 
 // simTransport is the default transport: the in-process virtual-time
 // fabric.
@@ -326,7 +373,7 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 // Run calls (each with thread ids restarting at zero).
 func (rt *Runtime) newThread(id, p int) (*Thread, error) {
 	seq := rt.nextThread.Add(1)
-	ep, err := rt.transport.NewEndpoint(firstThreadNode + scl.NodeID(seq))
+	ep, err := rt.newEndpoint(firstThreadNode + scl.NodeID(seq))
 	if err != nil {
 		return nil, fmt.Errorf("core: thread %d endpoint: %w", id, err)
 	}
@@ -347,7 +394,7 @@ func (rt *Runtime) newThread(id, p int) (*Thread, error) {
 
 // drainServers round-trips a ping through every memory server.
 func (rt *Runtime) drainServers() error {
-	ctl, err := rt.transport.NewEndpoint(firstThreadNode - 2 - scl.NodeID(rt.nextThread.Add(1)))
+	ctl, err := rt.newEndpoint(firstThreadNode - 2 - scl.NodeID(rt.nextThread.Add(1)))
 	if err != nil {
 		return fmt.Errorf("core: drain endpoint: %w", err)
 	}
@@ -376,7 +423,7 @@ func (rt *Runtime) NewCond() vm.Cond { return &smhCond{rt: rt, id: rt.nextSync.A
 // Close shuts the manager and memory servers down.
 func (rt *Runtime) Close() error {
 	rt.closeOnce.Do(func() {
-		ctl, err := rt.transport.NewEndpoint(firstThreadNode - 1)
+		ctl, err := rt.newEndpoint(firstThreadNode - 1)
 		if err != nil {
 			rt.closeErr = err
 			return

@@ -1,0 +1,241 @@
+// Package faultnet injects transport faults beneath the SCL retry
+// layer, so the robustness of the consistency protocol can be tested
+// without real hardware failures: seeded-random drops, wall-clock
+// delays, duplicate responses, and scripted node partitions.
+//
+// The injector wraps any scl.Endpoint. Faults are modelled on the
+// *sender* side, before the message reaches the transport:
+//
+//   - A drop fails the attempt before anything is sent. The peer never
+//     sees the request, so a retry re-executes it exactly once — drops
+//     compose safely with non-idempotent protocol calls (lock acquires,
+//     barrier arrivals, destructive diff pulls). Response loss is
+//     deliberately NOT modelled for that reason: it would require
+//     server-side request deduplication to stay consistent.
+//   - A delay sleeps the calling goroutine before the send. Because the
+//     caller blocks, per-sender message ordering — which the protocol's
+//     EvictFlush-before-DiffBatch invariant relies on — is preserved.
+//   - A duplicate response is synthesized after a successful call and
+//     immediately discarded (counted, traced): it exercises the fact
+//     that the layer above tolerates duplicate completions, the way the
+//     TCP transport discards responses whose request id has no waiter.
+//   - A partition makes a destination unreachable for a scripted window
+//     measured in send attempts (deterministic, unlike wall-clock
+//     windows): attempts are refused with a transient error until the
+//     window has been consumed, then traffic flows again — the retry
+//     layer's backoff rides out the outage.
+//
+// All randomness comes from one seeded RNG per injector, so a fault
+// schedule is reproducible from its seed (modulo goroutine
+// interleaving, which only permutes which message draws which verdict).
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Partition cuts one destination node off for a window measured in
+// send attempts to that node.
+type Partition struct {
+	// Node is the destination being cut off.
+	Node scl.NodeID
+	// After is how many attempts to Node pass before the partition
+	// starts.
+	After int
+	// Len is how many attempts are refused before the partition heals.
+	Len int
+}
+
+// Config parameterizes an Injector. Probabilities are per message
+// attempt in [0, 1].
+type Config struct {
+	// Seed drives the fault schedule; the same seed reproduces the
+	// same schedule for the same traffic.
+	Seed int64
+	// DropProb drops a Call/Post attempt before the send.
+	DropProb float64
+	// DelayProb delays an attempt; the delay is uniform in
+	// (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected delays (0 = 100µs when DelayProb > 0).
+	MaxDelay time.Duration
+	// DupProb synthesizes a discarded duplicate response after a
+	// successful call.
+	DupProb float64
+	// Partitions are scripted unreachability windows.
+	Partitions []Partition
+}
+
+// Injector decides the fate of every message crossing its wrapped
+// endpoints. One injector is shared by all endpoints of a runtime so
+// partitions and the seeded schedule are global, like a real fabric
+// fault.
+type Injector struct {
+	cfg Config
+	nst *stats.Net
+	tr  *trace.Collector
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	sent    map[scl.NodeID]int // attempts per destination (drives partitions)
+	refused []int              // refusals consumed per partition
+}
+
+// New creates an injector from the config.
+func New(cfg Config) *Injector {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 100 * time.Microsecond
+	}
+	return &Injector{
+		cfg:     cfg,
+		nst:     new(stats.Net),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		sent:    make(map[scl.NodeID]int),
+		refused: make([]int, len(cfg.Partitions)),
+	}
+}
+
+// SetNetStats redirects the injector's fault counters to a shared
+// collector.
+func (in *Injector) SetNetStats(n *stats.Net) {
+	if n != nil {
+		in.nst = n
+	}
+}
+
+// NetStats exposes the injector's fault counters.
+func (in *Injector) NetStats() *stats.Net { return in.nst }
+
+// SetTrace attaches a collector that receives one CatNet event per
+// injected fault.
+func (in *Injector) SetTrace(tr *trace.Collector) { in.tr = tr }
+
+// Wrap returns ep with fault injection applied to its outgoing traffic.
+// Recv and Close pass through untouched.
+func (in *Injector) Wrap(ep scl.Endpoint) scl.Endpoint {
+	return &endpoint{in: in, inner: ep}
+}
+
+// verdict is the injector's decision for one send attempt.
+type verdict struct {
+	refuse bool // partitioned: fail without sending
+	drop   bool // dropped: fail without sending
+	delay  time.Duration
+}
+
+// before draws the fate of one attempt to dst.
+func (in *Injector) before(dst scl.NodeID) verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.sent[dst]
+	in.sent[dst] = n + 1
+	var v verdict
+	for i, p := range in.cfg.Partitions {
+		if p.Node == dst && n >= p.After && in.refused[i] < p.Len {
+			in.refused[i]++
+			v.refuse = true
+			return v
+		}
+	}
+	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
+		v.drop = true
+		return v
+	}
+	if in.cfg.DelayProb > 0 && in.rng.Float64() < in.cfg.DelayProb {
+		v.delay = time.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxDelay)))
+	}
+	return v
+}
+
+// dup draws whether a completed call's response is duplicated.
+func (in *Injector) dup() bool {
+	if in.cfg.DupProb <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < in.cfg.DupProb
+}
+
+// event emits one fault event to the trace collector, if attached.
+func (in *Injector) event(src scl.NodeID, name string, dst scl.NodeID, at vtime.Time) {
+	if in.tr == nil {
+		return
+	}
+	in.tr.Span("faultnet", trace.CatNet, name, at, at,
+		map[string]any{"src": uint32(src), "dst": uint32(dst)})
+}
+
+// endpoint applies the injector's verdicts to one wrapped endpoint.
+type endpoint struct {
+	in    *Injector
+	inner scl.Endpoint
+}
+
+// Inner returns the wrapped endpoint.
+func (e *endpoint) Inner() scl.Endpoint { return e.inner }
+
+// ID implements scl.Endpoint.
+func (e *endpoint) ID() scl.NodeID { return e.inner.ID() }
+
+// apply enforces the pre-send verdict; it reports whether the attempt
+// may proceed, or the injected error if not.
+func (e *endpoint) apply(dst scl.NodeID, at vtime.Time) error {
+	v := e.in.before(dst)
+	switch {
+	case v.refuse:
+		e.in.nst.PartitionRefusals.Add(1)
+		e.in.event(e.ID(), "partition", dst, at)
+		return scl.Transientf("faultnet: node %d partitioned", dst)
+	case v.drop:
+		e.in.nst.InjectedDrops.Add(1)
+		e.in.event(e.ID(), "drop", dst, at)
+		return scl.Transientf("faultnet: message to node %d dropped", dst)
+	case v.delay > 0:
+		e.in.nst.InjectedDelays.Add(1)
+		e.in.event(e.ID(), "delay", dst, at)
+		time.Sleep(v.delay)
+	}
+	return nil
+}
+
+// Call implements scl.Endpoint.
+func (e *endpoint) Call(dst scl.NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	if err := e.apply(dst, at); err != nil {
+		return at, err
+	}
+	doneAt, err := e.inner.Call(dst, req, resp, at)
+	if err == nil && e.in.dup() {
+		// The duplicate completion arrives at a layer that already has
+		// its answer; it is discarded, exactly like a duplicate frame
+		// whose request id no longer has a waiter.
+		e.in.nst.InjectedDups.Add(1)
+		e.in.nst.StaleResponses.Add(1)
+		e.in.event(e.ID(), "dup-response", dst, doneAt)
+	}
+	return doneAt, err
+}
+
+// Post implements scl.Endpoint. Delays block the caller, preserving
+// per-sender ordering; drops surface a transient error so a retry
+// layer above re-sends.
+func (e *endpoint) Post(dst scl.NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	if err := e.apply(dst, at); err != nil {
+		return at, err
+	}
+	return e.inner.Post(dst, m, at)
+}
+
+// Recv implements scl.Endpoint.
+func (e *endpoint) Recv() (*scl.Request, bool) { return e.inner.Recv() }
+
+// Close implements scl.Endpoint.
+func (e *endpoint) Close() { e.inner.Close() }

@@ -57,6 +57,8 @@ type Stats struct {
 	OwnedClaims   atomic.Int64 // ownership claims recorded
 	Pulls         atomic.Int64 // DiffPull round trips to writers
 	PulledBytes   atomic.Int64 // diff payload bytes pulled on demand
+	PullFailures  atomic.Int64 // DiffPull round trips that failed (writer unreachable)
+	FailedFetches atomic.Int64 // fetches answered with an error instead of data
 }
 
 // AgentAddr maps a protocol writer id to the fabric node of that
@@ -202,7 +204,10 @@ func (s *Server) handleFetch(req *scl.Request) {
 // replyFetch answers a fetch whose needed tags have all been applied:
 // it is ready no earlier than its own arrival and the application times
 // of those tags; lazily-owned pages are pulled up to date; then the
-// line assembly books a service slot.
+// line assembly books a service slot. A pull that fails (the owning
+// writer's cache agent is unreachable) degrades to a clean protocol
+// error back to the fetcher — ownership is retained so a later fetch
+// can retry — instead of wedging or killing the server.
 func (s *Server) replyFetch(req *scl.Request, line layout.LineID, tags []proto.IntervalTag) {
 	ready := req.Arrive()
 	for _, tag := range tags {
@@ -210,7 +215,11 @@ func (s *Server) replyFetch(req *scl.Request, line layout.LineID, tags []proto.I
 			ready = at
 		}
 	}
-	s.pullOwned(line, &ready)
+	if err := s.pullOwned(line, &ready); err != nil {
+		s.stats.FailedFetches.Add(1)
+		req.ReplyError(fmt.Errorf("memserver %d: line %d: %w", s.index, line, err), s.cal.maxEnd)
+		return
+	}
 	data := make([]byte, 0, s.geo.LineSize())
 	first := s.geo.FirstPage(line)
 	for i := 0; i < s.geo.LinePages; i++ {
@@ -231,8 +240,20 @@ func (s *Server) handleDiffBatch(req *scl.Request) {
 	}
 	s.stats.DiffBatches.Add(1)
 	ready := req.Arrive()
-	bytes := s.applyDiffs(m.Tag.Writer, m.Diffs, &ready)
-	bytes += s.applyRecords(m.Records, &ready)
+	// DiffBatch is one-way: there is nobody to answer if a pull from an
+	// unreachable writer fails mid-apply. The batch still completes —
+	// its tag is marked applied and parked fetches wake — because the
+	// failed pull retained its ownership record, so the woken fetch
+	// re-attempts the pull itself and surfaces a clean error if the
+	// writer is still gone. Stalling the tag would deadlock every
+	// fetcher quoting it.
+	bytes, err := s.applyDiffs(m.Tag.Writer, m.Diffs, &ready)
+	if err == nil {
+		var rb int
+		rb, err = s.applyRecords(m.Records, &ready)
+		bytes += rb
+	}
+	_ = err // counted in PullFailures by pullFrom; the tag must proceed
 	for _, pu := range m.OwnedPages {
 		p := layout.PageID(pu)
 		// Two writers can each believe they are a page's sole writer the
@@ -240,7 +261,11 @@ func (s *Server) handleDiffBatch(req *scl.Request) {
 		// diffs before handing the claim over, so both writers' bytes
 		// merge at the home (multiple-writer protocol).
 		if prev, ok := s.owner[p]; ok && prev != m.Tag.Writer {
-			s.pullFrom(prev, []uint64{pu}, &ready)
+			if err := s.pullFrom(prev, []uint64{pu}, &ready); err != nil {
+				// Leave the previous claim in place; the handover will
+				// be re-attempted when the page is next fetched.
+				continue
+			}
 		}
 		s.owner[p] = m.Tag.Writer
 		s.stats.OwnedClaims.Add(1)
@@ -258,7 +283,9 @@ func (s *Server) handleEvictFlush(req *scl.Request) {
 	}
 	s.stats.EvictFlushes.Add(1)
 	ready := req.Arrive()
-	bytes := s.applyDiffs(m.Writer, m.Diffs, &ready)
+	// One-way, like DiffBatch: a failed owner pull is counted and the
+	// retained ownership record lets a later fetch retry it.
+	bytes, _ := s.applyDiffs(m.Writer, m.Diffs, &ready)
 	work := req.Svc() + s.cpu.ApplyTime(bytes)
 	s.cal.book(ready, work)
 }
@@ -268,14 +295,17 @@ func (s *Server) handleEvictFlush(req *scl.Request) {
 // have that owner's retained diffs pulled first, or they would be
 // orphaned when the claim is cleared; the writer's own claim is simply
 // superseded (its release path folds any retained runs into the diff it
-// ships).
-func (s *Server) applyDiffs(writer uint32, diffs []proto.PageDiff, ready *vtime.Time) int {
+// ships). A failed pull aborts the apply with the error; the foreign
+// claim stays recorded so the pull can be retried later.
+func (s *Server) applyDiffs(writer uint32, diffs []proto.PageDiff, ready *vtime.Time) (int, error) {
 	bytes := 0
 	for i := range diffs {
 		d := &diffs[i]
 		p := layout.PageID(d.Page)
 		if prev, ok := s.owner[p]; ok && prev != writer {
-			s.pullFrom(prev, []uint64{d.Page}, ready)
+			if err := s.pullFrom(prev, []uint64{d.Page}, ready); err != nil {
+				return bytes, err
+			}
 		}
 		delete(s.owner, p)
 		pg := s.page(p)
@@ -288,20 +318,22 @@ func (s *Server) applyDiffs(writer uint32, diffs []proto.PageDiff, ready *vtime.
 			bytes += len(run.Data)
 		}
 	}
-	return bytes
+	return bytes, nil
 }
 
 // applyRecords installs fine-grained consistency-region updates,
 // returning the payload bytes applied. Any retained ownership diff for
 // the page is pulled first: retained bytes are older than the records
 // and must not clobber them later.
-func (s *Server) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) int {
+func (s *Server) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) (int, error) {
 	bytes := 0
 	for i := range recs {
 		r := &recs[i]
 		p := s.geo.PageOf(layout.Addr(r.Addr))
 		if prev, ok := s.owner[p]; ok {
-			s.pullFrom(prev, []uint64{uint64(p)}, ready)
+			if err := s.pullFrom(prev, []uint64{uint64(p)}, ready); err != nil {
+				return bytes, err
+			}
 		}
 		off := s.geo.PageOffset(layout.Addr(r.Addr))
 		pg := s.page(p)
@@ -312,7 +344,7 @@ func (s *Server) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) int {
 		s.stats.Records.Add(1)
 		bytes += len(r.Data)
 	}
-	return bytes
+	return bytes, nil
 }
 
 func (s *Server) wakeParked(tag proto.IntervalTag) {
@@ -333,7 +365,7 @@ func (s *Server) wakeParked(tag proto.IntervalTag) {
 // blocks on each pull — a fetch that hits an owned page pays the extra
 // round trip, which is the single-writer optimization's bargain: writers
 // release for free, occasional readers pay one pull.
-func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) {
+func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) error {
 	first := s.geo.FirstPage(line)
 	byWriter := make(map[uint32][]uint64)
 	for i := 0; i < s.geo.LinePages; i++ {
@@ -343,21 +375,28 @@ func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) {
 		}
 	}
 	for w, pages := range byWriter {
-		s.pullFrom(w, pages, ready)
+		if err := s.pullFrom(w, pages, ready); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // pullFrom fetches and applies the retained diffs of the given pages
 // from one writer's cache agent, clearing their ownership and advancing
-// ready past the round trip and the apply work.
-func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) {
+// ready past the round trip and the apply work. If the writer's agent
+// is unreachable the error is returned (and counted) with ownership
+// left intact, so the pull can be retried by a later fetch — a dead
+// writer must not take the memory server down with it.
+func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) error {
 	if s.agentAddr == nil {
 		panic(fmt.Sprintf("memserver %d: pages owned by writer %d but no agent address map", s.index, w))
 	}
 	var resp proto.DiffPullResp
 	doneAt, err := s.ep.Call(s.agentAddr(w), &proto.DiffPullReq{Pages: pages}, &resp, *ready)
 	if err != nil {
-		panic(fmt.Sprintf("memserver %d: diff pull from writer %d: %v", s.index, w, err))
+		s.stats.PullFailures.Add(1)
+		return fmt.Errorf("memserver %d: diff pull from writer %d: %w", s.index, w, err)
 	}
 	if doneAt > *ready {
 		*ready = doneAt
@@ -373,6 +412,9 @@ func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) {
 	for _, pu := range pages {
 		delete(s.owner, layout.PageID(pu))
 	}
-	s.applyDiffs(w, resp.Diffs, ready)
+	if _, err := s.applyDiffs(w, resp.Diffs, ready); err != nil {
+		return err
+	}
 	*ready += s.cpu.ApplyTime(pulled)
+	return nil
 }

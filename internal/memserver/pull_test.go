@@ -3,6 +3,7 @@ package memserver
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/layout"
 	"repro/internal/proto"
@@ -204,6 +205,70 @@ func TestParkedFetchAlsoPulls(t *testing.T) {
 	data := <-done
 	if data[3] != 77 {
 		t.Fatalf("parked fetch skipped the pull: %d", data[3])
+	}
+}
+
+// TestPullFailureDegradesToFetchError claims pages for a writer whose
+// cache agent does not exist: the pull fails, and the fetch must come
+// back as a clean protocol error — counted, with the server alive and
+// still serving other lines — instead of killing the server.
+func TestPullFailureDegradesToFetchError(t *testing.T) {
+	h := newPullHarness(t, 7)
+	// Writer 66 maps to node 266, which has no port on the fabric.
+	h.claim(t, 66, 1, 2)
+
+	var resp proto.FetchLineResp
+	_, err := h.cli.Call(100, &proto.FetchLineReq{Line: 0}, &resp, 0)
+	if err == nil {
+		t.Fatal("fetch of a page owned by a dead writer succeeded")
+	}
+	if got := h.srv.Stats().PullFailures.Load(); got == 0 {
+		t.Error("PullFailures not counted")
+	}
+	if got := h.srv.Stats().FailedFetches.Load(); got == 0 {
+		t.Error("FailedFetches not counted")
+	}
+
+	// The server survived: an unrelated line still fetches fine, and a
+	// live writer's pull on another line still works.
+	h.agents[7].diffs[70] = []proto.DiffRun{{Off: 1, Data: []byte{3}}}
+	h.claim(t, 7, 1, 70)
+	geo := layout.DefaultGeometry()
+	line := layout.LineID(70 / geo.LinePages)
+	data := h.fetch(t, line, nil)
+	off := (70%geo.LinePages)*geo.PageSize + 1
+	if data[off] != 3 {
+		t.Fatalf("healthy pull after failed pull broke: %d", data[off])
+	}
+}
+
+// TestParkedFetchWakesDespiteDeadWriter parks a fetch on an interval
+// tag whose writer's agent does not exist. The claim must still mark
+// the tag applied and wake the parked fetch — which then fails its own
+// pull cleanly — rather than leaving the fetcher parked forever.
+func TestParkedFetchWakesDespiteDeadWriter(t *testing.T) {
+	h := newPullHarness(t, 7)
+	tag := proto.IntervalTag{Writer: 66, Interval: 1}
+	done := make(chan error, 1)
+	go func() {
+		var resp proto.FetchLineResp
+		_, err := h.cli.Call(100, &proto.FetchLineReq{
+			Line:  0,
+			Needs: []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{tag}}},
+		}, &resp, 0)
+		done <- err
+	}()
+	for h.srv.Stats().ParkedFetches.Load() == 0 {
+	}
+	h.claim(t, 66, 1, 0) // writer 66's agent is unreachable
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("fetch succeeded though the writer is dead")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked fetch never woke after claim from dead writer")
 	}
 }
 

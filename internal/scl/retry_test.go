@@ -1,0 +1,220 @@
+package scl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// flakyEndpoint fails the first failN Call/Post attempts with the given
+// error, then succeeds by echoing an AllocResp.
+type flakyEndpoint struct {
+	mu    sync.Mutex
+	failN int
+	calls int
+	posts int
+	err   error
+	block bool // never answer (for timeout tests)
+}
+
+func (f *flakyEndpoint) ID() NodeID { return 1 }
+
+func (f *flakyEndpoint) Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if f.block {
+		select {} // hang forever; the wrapper's timeout must fire
+	}
+	if n <= f.failN {
+		return at, f.err
+	}
+	if ar, ok := resp.(*proto.AllocResp); ok {
+		ar.Addr = 42
+	}
+	return at + 100, nil
+}
+
+func (f *flakyEndpoint) Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	f.mu.Lock()
+	f.posts++
+	n := f.posts
+	f.mu.Unlock()
+	if n <= f.failN {
+		return at, f.err
+	}
+	return at + 10, nil
+}
+
+func (f *flakyEndpoint) Recv() (*Request, bool) { return nil, false }
+func (f *flakyEndpoint) Close()                 {}
+
+func TestBackoffExponentialWithCap(t *testing.T) {
+	p := RetryPolicy{Backoff: time.Millisecond, BackoffCap: 5 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, // retry 1
+		2 * time.Millisecond, // retry 2
+		4 * time.Millisecond, // retry 3
+		5 * time.Millisecond, // retry 4: capped
+		5 * time.Millisecond, // retry 5: capped
+	}
+	for i, w := range want {
+		if got := p.backoffAt(i + 1); got != w {
+			t.Errorf("backoffAt(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Defaults kick in for the zero policy.
+	z := RetryPolicy{}
+	if got := z.backoffAt(1); got != time.Millisecond {
+		t.Errorf("zero-policy backoffAt(1) = %v", got)
+	}
+	if got := z.backoffAt(30); got != 100*time.Millisecond {
+		t.Errorf("zero-policy backoffAt(30) = %v, want capped 100ms", got)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Error("nil is transient")
+	}
+	if !IsTransient(Transientf("boom")) {
+		t.Error("wrapped transient not recognized")
+	}
+	if IsTransient(errors.New("scl: remote error: no")) {
+		t.Error("plain error treated as transient")
+	}
+	un := &UnreachableError{Node: 3, Attempts: 5, Err: Transientf("x")}
+	if IsTransient(un) {
+		t.Error("exhausted retry must be terminal, not transient")
+	}
+	if !errors.Is(un, ErrUnreachable) {
+		t.Error("UnreachableError does not match ErrUnreachable")
+	}
+	if !IsTransient(Transient(errors.New("wrapped"))) {
+		t.Error("Transient() not recognized")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+func TestRetryMasksTransientFailures(t *testing.T) {
+	inner := &flakyEndpoint{failN: 3, err: Transientf("injected")}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{MaxAttempts: 5, Backoff: time.Microsecond}, nst)
+	var resp proto.AllocResp
+	doneAt, err := ep.Call(2, &proto.AllocReq{Size: 1}, &resp, 1000)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Addr != 42 || doneAt != 1100 {
+		t.Errorf("resp.Addr=%d doneAt=%v", resp.Addr, doneAt)
+	}
+	if got := nst.Retries.Load(); got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+	if got := nst.Attempts.Load(); got != 4 {
+		t.Errorf("Attempts = %d, want 4", got)
+	}
+}
+
+func TestRetryExhaustionSurfacesErrUnreachable(t *testing.T) {
+	inner := &flakyEndpoint{failN: 1 << 30, err: Transientf("still down")}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{MaxAttempts: 3, Backoff: time.Microsecond}, nst)
+	var resp proto.AllocResp
+	_, err := ep.Call(7, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	var ue *UnreachableError
+	if !errors.As(err, &ue) || ue.Node != 7 || ue.Attempts != 3 {
+		t.Fatalf("UnreachableError = %+v", ue)
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner attempts = %d, want 3", inner.calls)
+	}
+	if got := nst.Unreachable.Load(); got != 1 {
+		t.Errorf("Unreachable = %d", got)
+	}
+}
+
+func TestRetryDoesNotRetryTerminalErrors(t *testing.T) {
+	terminal := errors.New("scl: remote error: denied")
+	inner := &flakyEndpoint{failN: 1 << 30, err: terminal}
+	ep := WithRetry(inner, RetryPolicy{MaxAttempts: 5, Backoff: time.Microsecond}, nil)
+	var resp proto.AllocResp
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, terminal) {
+		t.Fatalf("err = %v", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("terminal error retried %d times", inner.calls)
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	inner := &flakyEndpoint{block: true}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 2,
+		Timeout:     20 * time.Millisecond,
+		Backoff:     time.Microsecond,
+	}, nst)
+	start := time.Now()
+	var resp proto.AllocResp
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Errorf("timed-out call took %v", e)
+	}
+	if got := nst.Timeouts.Load(); got != 2 {
+		t.Errorf("Timeouts = %d, want 2", got)
+	}
+}
+
+func TestRetryDeadlineBoundsAttempts(t *testing.T) {
+	inner := &flakyEndpoint{failN: 1 << 30, err: Transientf("down")}
+	ep := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 1 << 20,
+		Backoff:     5 * time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		Deadline:    25 * time.Millisecond,
+	}, nil)
+	var resp proto.AllocResp
+	start := time.Now()
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Errorf("deadline did not bound the call: %v", e)
+	}
+	if inner.calls >= 1<<19 {
+		t.Errorf("deadline did not bound attempts: %d", inner.calls)
+	}
+}
+
+func TestPostRetries(t *testing.T) {
+	inner := &flakyEndpoint{failN: 2, err: Transientf("drop")}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{MaxAttempts: 5, Backoff: time.Microsecond}, nst)
+	doneAt, err := ep.Post(2, &proto.Shutdown{}, 50)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if doneAt != 60 {
+		t.Errorf("doneAt = %v", doneAt)
+	}
+	if inner.posts != 3 {
+		t.Errorf("posts = %d, want 3", inner.posts)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
+	"repro/internal/stats"
 	"repro/internal/vtime"
 )
 
@@ -21,6 +23,24 @@ import (
 // simnet. This mirrors the paper's SCL design point: the consistency
 // protocol must not care whether the transport is IB verbs, SCIF over
 // PCIe, or (here) loopback TCP.
+//
+// Unlike the simulated fabric, real sockets fail. The failure contract
+// here is:
+//
+//   - Every connection tracks its in-flight calls. When the connection
+//     dies (read error, write error, endpoint close), those calls
+//     complete immediately with a transient error instead of blocking
+//     forever on a response that can never arrive.
+//   - A dead connection is evicted from the dial cache, so the next
+//     Call/Post to that node redials (the peer may have restarted, or
+//     the address book may now point at a replacement).
+//   - Reply writes that fail are counted and kill the connection, so
+//     the caller's pending-call tracking — and with it any retry layer
+//     above — fires instead of silently losing the response.
+//   - A RetryPolicy on the endpoint bounds each call attempt (Timeout)
+//     and retries transient failures with exponential backoff before
+//     surfacing ErrUnreachable. The zero policy means one attempt, no
+//     timeout: detection without masking.
 //
 // Frame layout: length(u32) | flags(u8) | kind(u16) | reqID(u64) |
 // vt(i64) | body. Length counts everything after the length field.
@@ -59,24 +79,61 @@ func (b *AddressBook) Lookup(id NodeID) (string, bool) {
 
 // TCPEndpoint implements Endpoint over real TCP connections.
 type TCPEndpoint struct {
-	id    NodeID
-	book  *AddressBook
-	model vtime.LinkModel
-	ln    net.Listener
+	id     NodeID
+	book   *AddressBook
+	model  vtime.LinkModel
+	ln     net.Listener
+	policy RetryPolicy
+	nst    *stats.Net
 
 	mu      sync.Mutex
 	dials   map[NodeID]*tcpConn
+	conns   map[*tcpConn]struct{} // every live connection, dialed or accepted
 	nextReq atomic.Uint64
-	pending sync.Map // reqID -> chan frame
 
 	inbox  chan *Request
 	closed chan struct{}
 	once   sync.Once
 }
 
+// tcpConn is one live connection plus the calls waiting on it.
 type tcpConn struct {
 	c  net.Conn
 	wm sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan frame // reqID -> waiting Call
+	dead    bool
+}
+
+// addPending registers a waiting call; it fails if the connection is
+// already dead (the caller should redial and retry).
+func (tc *tcpConn) addPending(reqID uint64, ch chan frame) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.dead {
+		return Transientf("scl: connection already closed")
+	}
+	tc.pending[reqID] = ch
+	return nil
+}
+
+// takePending removes and returns the waiter for reqID, if any.
+func (tc *tcpConn) takePending(reqID uint64) (chan frame, bool) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	ch, ok := tc.pending[reqID]
+	if ok {
+		delete(tc.pending, reqID)
+	}
+	return ch, ok
+}
+
+// removePending drops a waiter without completing it (timeout path).
+func (tc *tcpConn) removePending(reqID uint64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	delete(tc.pending, reqID)
 }
 
 type frame struct {
@@ -101,7 +158,9 @@ func NewTCPEndpoint(id NodeID, addr string, book *AddressBook, model vtime.LinkM
 		book:   book,
 		model:  model,
 		ln:     ln,
+		nst:    new(stats.Net),
 		dials:  make(map[NodeID]*tcpConn),
+		conns:  make(map[*tcpConn]struct{}),
 		inbox:  make(chan *Request, 1024),
 		closed: make(chan struct{}),
 	}
@@ -113,28 +172,92 @@ func NewTCPEndpoint(id NodeID, addr string, book *AddressBook, model vtime.LinkM
 // ID implements Endpoint.
 func (e *TCPEndpoint) ID() NodeID { return e.id }
 
+// SetRetryPolicy installs the endpoint's retry/timeout policy. Call it
+// before issuing traffic; the zero policy (the default) performs a
+// single attempt with no timeout.
+func (e *TCPEndpoint) SetRetryPolicy(p RetryPolicy) { e.policy = p }
+
+// SetNetStats redirects the endpoint's robustness counters to a shared
+// collector (each endpoint otherwise owns a private one).
+func (e *TCPEndpoint) SetNetStats(n *stats.Net) {
+	if n != nil {
+		e.nst = n
+	}
+}
+
+// NetStats exposes the endpoint's robustness counters.
+func (e *TCPEndpoint) NetStats() *stats.Net { return e.nst }
+
 func (e *TCPEndpoint) acceptLoop() {
 	for {
 		c, err := e.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		go e.readLoop(&tcpConn{c: c})
+		tc := &tcpConn{c: c, pending: make(map[uint64]chan frame)}
+		e.track(tc)
+		go e.readLoop(tc)
+	}
+}
+
+// track registers a live connection for Close.
+func (e *TCPEndpoint) track(tc *tcpConn) {
+	e.mu.Lock()
+	e.conns[tc] = struct{}{}
+	e.mu.Unlock()
+}
+
+// dropConn kills a connection: it is closed, evicted from the dial
+// cache (so the next Call/Post redials), and every call still pending
+// on it completes with a transient error. Idempotent.
+func (e *TCPEndpoint) dropConn(tc *tcpConn) {
+	tc.mu.Lock()
+	if tc.dead {
+		tc.mu.Unlock()
+		return
+	}
+	tc.dead = true
+	stranded := tc.pending
+	tc.pending = make(map[uint64]chan frame)
+	tc.mu.Unlock()
+
+	tc.c.Close()
+	e.mu.Lock()
+	delete(e.conns, tc)
+	for id, cached := range e.dials {
+		if cached == tc {
+			delete(e.dials, id)
+		}
+	}
+	e.mu.Unlock()
+
+	e.nst.DeadConns.Add(1)
+	e.nst.StrandedCalls.Add(int64(len(stranded)))
+	// Closing the channel (rather than sending a frame) tells the
+	// waiting Call the connection died with its request outstanding.
+	for _, ch := range stranded {
+		close(ch)
 	}
 }
 
 // readLoop demultiplexes frames from one connection: responses complete
-// pending calls, requests go to the inbox.
+// pending calls, requests go to the inbox. When the read side fails the
+// connection is dropped, which strands — with an error, not a hang —
+// every call still waiting on it.
 func (e *TCPEndpoint) readLoop(tc *tcpConn) {
-	defer tc.c.Close()
+	defer e.dropConn(tc)
 	for {
 		f, err := readFrame(tc.c)
 		if err != nil {
 			return
 		}
 		if f.flags&flagResponse != 0 {
-			if ch, ok := e.pending.LoadAndDelete(f.reqID); ok {
-				ch.(chan frame) <- *f
+			if ch, ok := tc.takePending(f.reqID); ok {
+				ch <- *f
+			} else {
+				// Late (timed-out) or duplicate response: the call has
+				// already been completed or abandoned.
+				e.nst.StaleResponses.Add(1)
 			}
 			continue
 		}
@@ -162,7 +285,13 @@ func (e *TCPEndpoint) makeRequest(tc *tcpConn, f *frame) *Request {
 			if f.flags&flagOneWay != 0 {
 				panic("scl: reply to one-way TCP message")
 			}
-			_ = writeFrame(tc, &frame{flags: flagResponse, kind: kind, reqID: reqID, vt: at, body: body})
+			if err := writeFrame(tc, &frame{flags: flagResponse, kind: kind, reqID: reqID, vt: at, body: body}); err != nil {
+				// The response is lost. Count it and kill the connection
+				// so the caller's pending-call tracking (and any retry
+				// layer above it) fires instead of waiting forever.
+				e.nst.WriteErrors.Add(1)
+				e.dropConn(tc)
+			}
 		},
 	}
 }
@@ -179,49 +308,92 @@ func (e *TCPEndpoint) conn(dst NodeID) (*tcpConn, error) {
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("scl: dial node %d: %w", dst, err)
+		// The peer may be down or restarting; retry may reach it.
+		return nil, Transientf("scl: dial node %d: %v", dst, err)
 	}
-	tc := &tcpConn{c: c}
+	tc := &tcpConn{c: c, pending: make(map[uint64]chan frame)}
 	e.dials[dst] = tc
+	e.conns[tc] = struct{}{}
 	go e.readLoop(tc) // responses come back on the same connection
 	return tc, nil
 }
 
-// Call implements Endpoint.
+// Call implements Endpoint, applying the endpoint's RetryPolicy: each
+// attempt dials (or reuses) the connection, sends the request and waits
+// for the response, the per-attempt timeout or connection death;
+// transient failures back off and retry on a fresh connection, and
+// exhaustion surfaces *UnreachableError (errors.Is ErrUnreachable).
 func (e *TCPEndpoint) Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	doneAt, err := runWithRetry(e.policy, e.nst, dst, func(timeout time.Duration) (vtime.Time, error) {
+		return e.callOnce(dst, req, resp, at, timeout)
+	})
+	if err != nil {
+		return at, err
+	}
+	return doneAt, nil
+}
+
+// callOnce performs a single request/response attempt.
+func (e *TCPEndpoint) callOnce(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time, timeout time.Duration) (vtime.Time, error) {
 	tc, err := e.conn(dst)
 	if err != nil {
 		return at, err
 	}
 	reqID := e.nextReq.Add(1)
 	ch := make(chan frame, 1)
-	e.pending.Store(reqID, ch)
-	defer e.pending.Delete(reqID)
-	f := &frame{kind: uint16(req.Kind()), reqID: reqID, vt: at, body: proto.Encode(req)}
-	if err := writeFrame(tc, f); err != nil {
+	if err := tc.addPending(reqID, ch); err != nil {
 		return at, err
 	}
+	defer tc.removePending(reqID)
+	f := &frame{kind: uint16(req.Kind()), reqID: reqID, vt: at, body: proto.Encode(req)}
+	if err := writeFrame(tc, f); err != nil {
+		e.nst.WriteErrors.Add(1)
+		e.dropConn(tc)
+		return at, Transientf("scl: send to node %d: %v", dst, err)
+	}
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
 	select {
-	case rf := <-ch:
+	case rf, ok := <-ch:
+		if !ok {
+			return at, Transientf("scl: connection to node %d died with call pending", dst)
+		}
 		size := len(rf.body) + frameHeaderLen + 4
 		doneAt := vtime.Max(at, e.model.Deliver(rf.vt+e.model.SendOverhead, size))
 		return doneAt, decodeResponse(proto.Kind(rf.kind), rf.body, resp)
+	case <-timeoutC:
+		e.nst.Timeouts.Add(1)
+		return at, Transientf("scl: call to node %d timed out after %v", dst, timeout)
 	case <-e.closed:
 		return at, errors.New("scl: endpoint closed during call")
 	}
 }
 
-// Post implements Endpoint.
+// Post implements Endpoint. A failed send drops the connection (so the
+// next attempt redials) and reports a transient error; under a policy
+// with retries the post is re-sent on a fresh connection.
 func (e *TCPEndpoint) Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
-	tc, err := e.conn(dst)
+	doneAt, err := runWithRetry(e.policy, e.nst, dst, func(time.Duration) (vtime.Time, error) {
+		tc, err := e.conn(dst)
+		if err != nil {
+			return at, err
+		}
+		f := &frame{flags: flagOneWay, kind: uint16(m.Kind()), vt: at, body: proto.Encode(m)}
+		if err := writeFrame(tc, f); err != nil {
+			e.nst.WriteErrors.Add(1)
+			e.dropConn(tc)
+			return at, Transientf("scl: post to node %d: %v", dst, err)
+		}
+		return at + e.model.SendOverhead, nil
+	})
 	if err != nil {
 		return at, err
 	}
-	f := &frame{flags: flagOneWay, kind: uint16(m.Kind()), vt: at, body: proto.Encode(m)}
-	if err := writeFrame(tc, f); err != nil {
-		return at, err
-	}
-	return at + e.model.SendOverhead, nil
+	return doneAt, nil
 }
 
 // Recv implements Endpoint.
@@ -239,15 +411,21 @@ func (e *TCPEndpoint) Recv() (*Request, bool) {
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: the listener stops, and every live
+// connection — dialed or accepted — is dropped, failing its pending
+// calls instead of leaving them blocked.
 func (e *TCPEndpoint) Close() {
 	e.once.Do(func() {
 		close(e.closed)
 		e.ln.Close()
 		e.mu.Lock()
-		defer e.mu.Unlock()
-		for _, tc := range e.dials {
-			tc.c.Close()
+		conns := make([]*tcpConn, 0, len(e.conns))
+		for tc := range e.conns {
+			conns = append(conns, tc)
+		}
+		e.mu.Unlock()
+		for _, tc := range conns {
+			e.dropConn(tc)
 		}
 	})
 }
@@ -297,8 +475,10 @@ func readFrame(r io.Reader) (*frame, error) {
 // frame in virtual time, so results are comparable with the simulated
 // fabric.
 type TCPFactory struct {
-	book  *AddressBook
-	model vtime.LinkModel
+	book   *AddressBook
+	model  vtime.LinkModel
+	policy RetryPolicy
+	nst    *stats.Net
 
 	mu        sync.Mutex
 	endpoints []*TCPEndpoint
@@ -307,8 +487,16 @@ type TCPFactory struct {
 // NewTCPFactory creates a factory whose endpoints all use the given
 // link model.
 func NewTCPFactory(model vtime.LinkModel) *TCPFactory {
-	return &TCPFactory{book: NewAddressBook(), model: model}
+	return &TCPFactory{book: NewAddressBook(), model: model, nst: new(stats.Net)}
 }
+
+// SetRetryPolicy makes every endpoint the factory creates from now on
+// apply the policy to its calls and posts.
+func (f *TCPFactory) SetRetryPolicy(p RetryPolicy) { f.policy = p }
+
+// NetStats exposes the robustness counters shared by the factory's
+// endpoints.
+func (f *TCPFactory) NetStats() *stats.Net { return f.nst }
 
 // NewEndpoint implements the transport-factory contract used by the
 // Samhita runtime.
@@ -317,6 +505,8 @@ func (f *TCPFactory) NewEndpoint(id NodeID) (Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.SetRetryPolicy(f.policy)
+	ep.SetNetStats(f.nst)
 	f.mu.Lock()
 	f.endpoints = append(f.endpoints, ep)
 	f.mu.Unlock()

@@ -18,9 +18,64 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vtime"
 )
+
+// Net aggregates transport-robustness events: retry/timeout activity in
+// the SCL retry layer, connection failures in the TCP transport, and
+// injected faults from the chaos layer. Fields are atomic so one Net can
+// be shared by every endpoint of a runtime and read while it runs.
+type Net struct {
+	Attempts    atomic.Int64 // call/post attempts issued by the retry layer
+	Retries     atomic.Int64 // attempts beyond the first
+	Timeouts    atomic.Int64 // attempts abandoned by the per-attempt timeout
+	Unreachable atomic.Int64 // calls/posts that exhausted the retry budget
+
+	DeadConns      atomic.Int64 // TCP connections evicted after a read/write error
+	StrandedCalls  atomic.Int64 // pending calls failed because their connection died
+	WriteErrors    atomic.Int64 // frame or reply writes that failed
+	StaleResponses atomic.Int64 // responses with no waiting call (late or duplicate)
+
+	InjectedDrops     atomic.Int64 // faultnet: attempts dropped before the send
+	InjectedDelays    atomic.Int64 // faultnet: messages delayed
+	InjectedDups      atomic.Int64 // faultnet: duplicate responses delivered and discarded
+	PartitionRefusals atomic.Int64 // faultnet: attempts refused by an active partition
+}
+
+// Summary renders the non-zero robustness counters on one line (or
+// "no transport failures" when the run was clean).
+func (n *Net) Summary() string {
+	type item struct {
+		name string
+		v    int64
+	}
+	items := []item{
+		{"attempts", n.Attempts.Load()},
+		{"retries", n.Retries.Load()},
+		{"timeouts", n.Timeouts.Load()},
+		{"unreachable", n.Unreachable.Load()},
+		{"deadConns", n.DeadConns.Load()},
+		{"strandedCalls", n.StrandedCalls.Load()},
+		{"writeErrors", n.WriteErrors.Load()},
+		{"staleResponses", n.StaleResponses.Load()},
+		{"drops", n.InjectedDrops.Load()},
+		{"delays", n.InjectedDelays.Load()},
+		{"dups", n.InjectedDups.Load()},
+		{"partitionRefusals", n.PartitionRefusals.Load()},
+	}
+	var parts []string
+	for _, it := range items {
+		if it.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", it.name, it.v))
+		}
+	}
+	if len(parts) == 0 {
+		return "net: no transport failures"
+	}
+	return "net: " + strings.Join(parts, " ")
+}
 
 // Thread accumulates measurements for one compute thread. It is owned by
 // the thread's goroutine and must not be shared while the thread runs;

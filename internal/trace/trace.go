@@ -31,6 +31,7 @@ const (
 	CatCond    Category = "cond"    // condition-variable waits
 	CatRelease Category = "release" // diff collection + batch posting
 	CatAlloc   Category = "alloc"   // manager allocation round trips
+	CatNet     Category = "net"     // transport faults: drops, delays, partitions, duplicates
 )
 
 // Event is one completed span in virtual time.

@@ -40,6 +40,7 @@ package samhita
 import (
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/layout"
 	"repro/internal/pthreads"
 	"repro/internal/scl"
@@ -99,6 +100,43 @@ type (
 	// attach one via Config.Trace.
 	TraceCollector = trace.Collector
 )
+
+// Transport robustness: retry/timeout policy, fault injection, and the
+// counters that report both. See DESIGN.md, "Failure semantics".
+type (
+	// RetryPolicy bounds and retries transport calls; assign a pointer
+	// to Config.Retry. The zero policy means one attempt, no timeout.
+	RetryPolicy = scl.RetryPolicy
+	// UnreachableError is the terminal error after retry exhaustion;
+	// match it with errors.Is(err, ErrUnreachable).
+	UnreachableError = scl.UnreachableError
+	// NetStats counts transport robustness events (attempts, retries,
+	// timeouts, dead connections, injected faults). Read it from
+	// Runtime.NetStats after a run.
+	NetStats = stats.Net
+	// FaultConfig parameterizes a fault injector.
+	FaultConfig = faultnet.Config
+	// FaultPartition scripts one unreachability window inside a
+	// FaultConfig.
+	FaultPartition = faultnet.Partition
+	// FaultInjector injects drops, delays, duplicate responses and
+	// partitions beneath the retry layer; assign one to Config.Faults.
+	FaultInjector = faultnet.Injector
+)
+
+// ErrUnreachable is the sentinel matched by errors.Is when a call gave
+// up after exhausting its RetryPolicy.
+var ErrUnreachable = scl.ErrUnreachable
+
+// DefaultRetryPolicy retries transient transport failures with
+// exponential backoff and no per-attempt timeout (protocol calls may
+// legitimately block on synchronization; connection death, not a timer,
+// unsticks them).
+var DefaultRetryPolicy = scl.DefaultRetryPolicy
+
+// NewFaultInjector creates a fault injector from the config; assign it
+// to Config.Faults to exercise the DSM protocol under transport chaos.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultnet.New(cfg) }
 
 // Interconnect presets.
 var (
