@@ -10,6 +10,8 @@
 //	samhita-bench -ablations            # all ablations
 //	samhita-bench -all -quick           # reduced scale (seconds, not minutes)
 //	samhita-bench -all -csv out/        # also write out/figNN.csv
+//	samhita-bench -figure 3 -faults     # same figure under injected transport faults
+//	samhita-bench -all -quick -standby  # with warm-standby replicated memory servers
 //
 // Reported times are virtual-model times (see DESIGN.md), so the output
 // is deterministic up to scheduling of symmetric lock acquisitions.
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	samhita "repro"
 	"repro/internal/bench"
 )
 
@@ -35,12 +38,34 @@ func main() {
 		scenario  = flag.Bool("scenario", false, "run the Figure-1 heterogeneous-node projection (host vs coprocessor)")
 		quick     = flag.Bool("quick", false, "reduced problem sizes")
 		csvDir    = flag.String("csv", "", "directory to write CSV files into")
+
+		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
+		faultDrop  = flag.Float64("fault-drop", 0.05, "per-attempt drop probability")
+		faultDelay = flag.Float64("fault-delay", 0.02, "per-attempt delay probability")
+		faultDup   = flag.Float64("fault-dup", 0.01, "duplicate-response probability")
+		standby    = flag.Bool("standby", false, "boot warm-standby memory servers with heartbeat liveness in every Samhita runtime")
 	)
 	flag.Parse()
 
 	opts := bench.Options{}.WithDefaults()
 	if *quick {
 		opts = bench.Quick()
+	}
+	if *faults {
+		opts.FaultSeed = *faultSeed
+		opts.FaultDrop = *faultDrop
+		opts.FaultDelay = *faultDelay
+		opts.FaultDup = *faultDup
+	}
+	if *standby {
+		opts.Standby = true
+		opts.Live = new(samhita.LivenessStats)
+	}
+	if *faults || *standby {
+		pol := samhita.DefaultRetryPolicy
+		opts.Retry = &pol
+		opts.Net = new(samhita.NetStats)
 	}
 
 	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario {
@@ -98,6 +123,14 @@ func main() {
 		}
 		fmt.Print(a.Table())
 		fmt.Printf("(ran in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Robustness counters accumulated across every runtime booted above.
+	if opts.Net != nil {
+		fmt.Println(opts.Net.Summary())
+	}
+	if opts.Live != nil {
+		fmt.Println(opts.Live.Summary())
 	}
 }
 

@@ -9,6 +9,9 @@
 //	samhita-conform -seed 42 -v        # replay one seed with details
 //	samhita-conform -runs 50 -faults   # chaos mode: same check under
 //	                                   # injected drops/delays/partitions
+//	samhita-conform -runs 50 -kill-server 0 -kill-after 10
+//	                                   # crash a memory server mid-run;
+//	                                   # failover must preserve the check
 package main
 
 import (
@@ -34,6 +37,9 @@ func main() {
 		faultDrop  = flag.Float64("fault-drop", 0.15, "per-attempt drop probability")
 		faultDelay = flag.Float64("fault-delay", 0.05, "per-attempt delay probability")
 		faultDup   = flag.Float64("fault-dup", 0.05, "duplicate-response probability")
+
+		killServer = flag.Int("kill-server", -1, "crash this memory-server index mid-run; boots warm standbys so the check must still pass")
+		killAfter  = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
 	)
 	flag.Parse()
 
@@ -48,11 +54,11 @@ func main() {
 
 	start := time.Now()
 	failures := 0
-	var drops, retries int64
+	var drops, retries, kills, failovers int64
 	for _, sd := range seeds {
 		prog := conformance.Generate(sd)
 		cfg := randomConfig(sd * 31)
-		if *faults {
+		if *faults || *killServer >= 0 {
 			// No per-attempt timeout: protocol calls park legitimately on
 			// locks and barriers; connection death, not timers, unsticks
 			// them. Drops are pre-send, so retries stay exactly-once at
@@ -62,14 +68,28 @@ func main() {
 				Backoff:     50 * time.Microsecond,
 				BackoffCap:  2 * time.Millisecond,
 			}
-			cfg.Faults = faultnet.New(faultnet.Config{
-				Seed:       sd*101 + 7,
-				DropProb:   *faultDrop,
-				DelayProb:  *faultDelay,
-				MaxDelay:   200 * time.Microsecond,
-				DupProb:    *faultDup,
-				Partitions: []faultnet.Partition{{Node: 10, After: 20, Len: 5}},
-			})
+			fc := faultnet.Config{Seed: sd*101 + 7}
+			if *faults {
+				fc.DropProb = *faultDrop
+				fc.DelayProb = *faultDelay
+				fc.MaxDelay = 200 * time.Microsecond
+				fc.DupProb = *faultDup
+				fc.Partitions = []faultnet.Partition{{Node: 10, After: 20, Len: 5}}
+			}
+			if *killServer >= 0 {
+				if *killServer >= cfg.Geo.NumServers {
+					cfg.Geo.NumServers = *killServer + 1
+				}
+				fc.Kills = []faultnet.Kill{{
+					Node:  core.ServerNode(*killServer),
+					After: *killAfter,
+				}}
+				// Warm standbys + heartbeat membership: the killed
+				// primary fails over and the consistency contract must
+				// hold regardless.
+				cfg.Liveness = &core.LivenessConfig{Standby: true}
+			}
+			cfg.Faults = faultnet.New(fc)
 		}
 		if *verbose {
 			fmt.Printf("seed %d: threads=%d rounds=%d slots=%d accums=%d locks=%d | lines=%d cache=%d servers=%d prefetch=%v finegrain=%v\n",
@@ -84,6 +104,10 @@ func main() {
 		if nst := rt.NetStats(); nst != nil {
 			drops += nst.InjectedDrops.Load()
 			retries += nst.Retries.Load()
+			kills += nst.InjectedKills.Load()
+		}
+		if live := rt.Liveness(); live != nil {
+			failovers += live.Failovers.Load()
 		}
 		rt.Close()
 		if err != nil {
@@ -96,8 +120,9 @@ func main() {
 			fmt.Printf("seed %d: %d consistency violations, e.g. %s\n", sd, len(viols), viols[0])
 		}
 	}
-	if *faults {
-		fmt.Printf("\nfault injection: %d drops injected, %d retries absorbed\n", drops, retries)
+	if *faults || *killServer >= 0 {
+		fmt.Printf("\nfault injection: %d drops injected, %d retries absorbed, %d kills, %d failovers\n",
+			drops, retries, kills, failovers)
 	}
 	fmt.Printf("\n%d/%d passed in %v\n", len(seeds)-failures, len(seeds), time.Since(start).Round(time.Millisecond))
 	if failures > 0 {

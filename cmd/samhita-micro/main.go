@@ -7,6 +7,8 @@
 //
 //	samhita-micro -backend samhita -p 16 -mode strided -M 10 -S 4
 //	samhita-micro -backend pthreads -p 8 -mode local -M 100
+//	samhita-micro -p 8 -faults                         # transport chaos, masked by retries
+//	samhita-micro -servers 2 -standby -kill-server 1   # crash a memory server; standby failover
 package main
 
 import (
@@ -37,6 +39,10 @@ func main() {
 		faultDrop  = flag.Float64("fault-drop", 0.10, "per-attempt drop probability")
 		faultDelay = flag.Float64("fault-delay", 0.05, "per-attempt delay probability")
 		faultDup   = flag.Float64("fault-dup", 0.02, "duplicate-response probability")
+
+		standby    = flag.Bool("standby", false, "boot warm-standby memory servers with heartbeat liveness (samhita)")
+		killServer = flag.Int("kill-server", -1, "crash memory server with this index mid-run (requires -standby to survive)")
+		killAfter  = flag.Int("kill-after", 50, "send attempts to the victim before -kill-server fires")
 	)
 	flag.Parse()
 
@@ -54,6 +60,7 @@ func main() {
 
 	var collector *samhita.TraceCollector
 	var netStats func() *samhita.NetStats
+	var liveStats func() *samhita.LivenessStats
 	var v samhita.VM
 	switch *backend {
 	case "samhita":
@@ -80,15 +87,32 @@ func main() {
 			collector = samhita.NewTraceCollector(0)
 			cfg.Trace = collector
 		}
-		if *faults {
+		if *faults || *killServer >= 0 {
 			policy := samhita.DefaultRetryPolicy
 			cfg.Retry = &policy
-			cfg.Faults = samhita.NewFaultInjector(samhita.FaultConfig{
-				Seed:      *faultSeed,
-				DropProb:  *faultDrop,
-				DelayProb: *faultDelay,
-				DupProb:   *faultDup,
-			})
+			fc := samhita.FaultConfig{Seed: *faultSeed}
+			if *faults {
+				fc.DropProb = *faultDrop
+				fc.DelayProb = *faultDelay
+				fc.DupProb = *faultDup
+			}
+			if *killServer >= 0 {
+				if *killServer >= *servers {
+					fatalf("-kill-server %d out of range (have %d servers)", *killServer, *servers)
+				}
+				fc.Kills = []samhita.FaultKill{{
+					Node:  samhita.ServerNode(*killServer),
+					After: *killAfter,
+				}}
+			}
+			cfg.Faults = samhita.NewFaultInjector(fc)
+		}
+		if *standby {
+			cfg.Liveness = &samhita.LivenessConfig{Standby: true}
+			if cfg.Retry == nil {
+				policy := samhita.DefaultRetryPolicy
+				cfg.Retry = &policy
+			}
 		}
 		rt, err := samhita.New(cfg)
 		if err != nil {
@@ -96,6 +120,7 @@ func main() {
 		}
 		defer rt.Close()
 		netStats = rt.NetStats
+		liveStats = rt.Liveness
 		v = rt
 	case "pthreads":
 		v = samhita.NewPthreads(samhita.PthreadsConfig{MaxCores: *p})
@@ -118,6 +143,11 @@ func main() {
 	if netStats != nil {
 		if nst := netStats(); nst != nil {
 			fmt.Println(nst.Summary())
+		}
+	}
+	if liveStats != nil {
+		if live := liveStats(); live != nil {
+			fmt.Println(live.Summary())
 		}
 	}
 	if collector != nil {

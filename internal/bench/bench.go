@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/pthreads"
+	"repro/internal/scl"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/vtime"
@@ -58,6 +61,21 @@ type Options struct {
 	LinePages  int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
+	// Transport-robustness knobs: Retry, if non-nil, wraps every
+	// endpoint of every Samhita runtime the experiments boot;
+	// FaultDrop/FaultDelay/FaultDup (seeded by FaultSeed) add a fresh
+	// fault injector per runtime, which implies a default retry policy
+	// so the figures still complete. Standby boots warm-standby memory
+	// servers with heartbeat liveness in every runtime.
+	Retry                           *scl.RetryPolicy
+	FaultSeed                       int64
+	FaultDrop, FaultDelay, FaultDup float64
+	Standby                         bool
+	// Net and Live, when non-nil, accumulate the transport and
+	// liveness counters across every runtime an experiment boots, so a
+	// whole figure sweep reports one total at the end.
+	Net  *stats.Net
+	Live *stats.Liveness
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -149,10 +167,44 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.Geo.Striped = o.Striped
 	cfg.Geo.LinePages = o.LinePages
 	cfg.DisableFineGrain = o.DisableFineGrain
+	o.applyRobustness(&cfg)
 	for _, f := range overrides {
 		f(&cfg)
 	}
 	return core.New(cfg)
+}
+
+// applyRobustness wires the transport-robustness options into one
+// runtime configuration: a copy of the retry policy, a fresh fault
+// injector (injectors bind to one fabric), warm standbys, and the
+// shared sweep-wide counter collectors.
+func (o Options) applyRobustness(cfg *core.Config) {
+	if o.Retry != nil {
+		pol := *o.Retry
+		cfg.Retry = &pol
+	}
+	if o.FaultDrop > 0 || o.FaultDelay > 0 || o.FaultDup > 0 {
+		cfg.Faults = faultnet.New(faultnet.Config{
+			Seed:      o.FaultSeed,
+			DropProb:  o.FaultDrop,
+			DelayProb: o.FaultDelay,
+			MaxDelay:  200 * time.Microsecond,
+			DupProb:   o.FaultDup,
+		})
+	}
+	if o.Standby {
+		// Benchmarks measure replication overhead, not detection
+		// latency, and boot far more threads than cores; a generous
+		// lease keeps starved heartbeats from fencing live threads.
+		cfg.Liveness = &core.LivenessConfig{Standby: true, MissedBeats: 200, Live: o.Live}
+	}
+	if (cfg.Faults != nil || cfg.Liveness != nil) && cfg.Retry == nil {
+		pol := scl.DefaultRetryPolicy
+		cfg.Retry = &pol
+	}
+	if o.Net != nil {
+		cfg.Net = o.Net
+	}
 }
 
 // newPthreads builds the baseline (capped at 8 cores like the paper's

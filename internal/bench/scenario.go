@@ -84,6 +84,7 @@ func ScenarioHeterogeneous(o Options) (*Figure, error) {
 		phi := Series{Label: "phi_" + spec.name}
 		for _, p := range phiCores {
 			cfg := core.HeterogeneousConfig()
+			o.applyRobustness(&cfg)
 			rt, err := core.New(cfg)
 			if err != nil {
 				return nil, err

@@ -12,9 +12,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/proto"
 
@@ -32,10 +34,30 @@ import (
 
 // Node-id plan for the fabric.
 const (
-	managerNode     scl.NodeID = 1
-	firstServerNode scl.NodeID = 10
-	firstThreadNode scl.NodeID = 100
+	managerNode      scl.NodeID = 1
+	failoverCtlNode  scl.NodeID = 3
+	firstServerNode  scl.NodeID = 10
+	firstStandbyNode scl.NodeID = 50
+	firstThreadNode  scl.NodeID = 100
 )
+
+// Node-id helpers for fault scripting (faultnet.Kill targets and
+// partition nodes are fabric node ids, not thread/server indices).
+
+// ManagerNode is the fabric node of the central manager.
+func ManagerNode() scl.NodeID { return managerNode }
+
+// ServerNode is the fabric node of primary memory server i (0-based).
+func ServerNode(i int) scl.NodeID { return firstServerNode + scl.NodeID(i) }
+
+// StandbyNode is the fabric node of the warm standby for server i.
+func StandbyNode(i int) scl.NodeID { return firstStandbyNode + scl.NodeID(i) }
+
+// ThreadNode is the fabric node of the compute thread with protocol
+// writer id w. Writer ids start at 1 (0 means "no writer") and are
+// assigned sequentially across a runtime's lifetime, so in a runtime's
+// first Run thread t has writer id t+1.
+func ThreadNode(w int) scl.NodeID { return firstThreadNode + scl.NodeID(w) }
 
 // Transport abstracts how component endpoints attach to the
 // interconnect. The default is the in-process simulated fabric; a
@@ -99,6 +121,14 @@ type Config struct {
 	// Trace, if non-nil, records protocol events (faults, fetches,
 	// lock/barrier spans) in virtual time for Chrome-trace export.
 	Trace *trace.Collector
+	// Liveness, if non-nil, turns on the liveness layer: heartbeat
+	// membership at the manager (dead threads' locks are force-
+	// released, barrier counts recomputed, parked waiters completed
+	// with proto.ErrPeerDied instead of hanging) and, with Standby
+	// set, warm-standby replication and failover for the memory
+	// servers. Heartbeats are wall-clock driven and processed at zero
+	// virtual cost, so simulated-time results stay deterministic.
+	Liveness *LivenessConfig
 	// ManagerLink, if non-nil, overrides the link model for traffic to
 	// and from the manager. The paper's Section V observes that routing
 	// every synchronization through the manager over the slow fabric
@@ -107,6 +137,31 @@ type Config struct {
 	// "mgrlink" ablation). Only honoured by the simulated-fabric
 	// transport.
 	ManagerLink *vtime.LinkModel
+}
+
+// LivenessConfig parameterizes the liveness layer.
+type LivenessConfig struct {
+	// HeartbeatEvery is the wall-clock heartbeat period (0 = 5ms).
+	HeartbeatEvery time.Duration
+	// MissedBeats is how many periods may elapse without a beat before
+	// a member is declared dead (0 = 4).
+	MissedBeats int
+	// Standby boots one warm-standby memory server per primary and
+	// streams every applied mutation to it; when a primary dies, the
+	// runtime promotes its standby and redirects fetches there. It
+	// also disables the lazy single-writer optimization: retained
+	// diffs live only in a writer's memory and would be lost with it,
+	// so releases must put the bytes at the (replicated) home.
+	Standby bool
+	// Live receives the liveness counters (allocated automatically;
+	// supply one to share it with other collectors).
+	Live *stats.Liveness
+}
+
+// Lease is the wall-clock window after which a silent member is
+// declared dead.
+func (lc *LivenessConfig) Lease() time.Duration {
+	return lc.HeartbeatEvery * time.Duration(lc.MissedBeats)
 }
 
 // DefaultConfig returns the configuration matching the paper's testbed.
@@ -165,6 +220,17 @@ func (c *Config) fillDefaults() {
 	if c.Net == nil && (c.Retry != nil || c.Faults != nil) {
 		c.Net = new(stats.Net)
 	}
+	if c.Liveness != nil {
+		if c.Liveness.HeartbeatEvery <= 0 {
+			c.Liveness.HeartbeatEvery = 5 * time.Millisecond
+		}
+		if c.Liveness.MissedBeats <= 0 {
+			c.Liveness.MissedBeats = 4
+		}
+		if c.Liveness.Live == nil {
+			c.Liveness.Live = new(stats.Liveness)
+		}
+	}
 }
 
 // Runtime is a running Samhita instance.
@@ -173,15 +239,53 @@ type Runtime struct {
 	fabric    *simnet.Fabric // nil when a custom Transport is used
 	transport Transport
 
-	mgr     *manager.Manager
-	servers []*memserver.Server
-	wg      sync.WaitGroup
+	mgr      *manager.Manager
+	servers  []*memserver.Server
+	standbys []*memserver.Server
+	wg       sync.WaitGroup
+
+	// homes is the address book: the fabric node currently serving
+	// each home. Failover atomically redirects an entry to the
+	// promoted standby; data-path senders read it per attempt.
+	homes   []atomic.Int64
+	failMu  sync.Mutex
+	failCtl scl.Endpoint // promotion endpoint (nil unless Standby)
+
+	// hbStop stops the memory servers' heartbeat goroutines at Close.
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
 
 	nextSync   atomic.Uint32 // lock/barrier/cond id allocator
 	nextThread atomic.Uint32
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// livenessEnabled reports whether the liveness layer is on.
+func (rt *Runtime) livenessEnabled() bool { return rt.cfg.Liveness != nil }
+
+// standbyEnabled reports whether warm-standby replication is on.
+func (rt *Runtime) standbyEnabled() bool {
+	return rt.cfg.Liveness != nil && rt.cfg.Liveness.Standby
+}
+
+// Liveness exposes the liveness counters (nil unless Liveness is
+// configured).
+func (rt *Runtime) Liveness() *stats.Liveness {
+	if rt.cfg.Liveness == nil {
+		return nil
+	}
+	return rt.cfg.Liveness.Live
+}
+
+// isPeerFailure reports whether err means the peer is gone (declared
+// dead, crash-killed, retry budget exhausted, or a standby answering
+// before promotion) — the failures that warrant a failover attempt.
+func isPeerFailure(err error) bool {
+	return errors.Is(err, proto.ErrPeerDied) ||
+		errors.Is(err, scl.ErrUnreachable) ||
+		errors.Is(err, proto.ErrNotPromoted)
 }
 
 var _ vm.VM = (*Runtime)(nil)
@@ -218,26 +322,99 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("core: manager endpoint: %w", err)
 	}
 	rt.mgr = manager.New(mgrEP, cfg.Geo)
+	if rt.livenessEnabled() {
+		rt.mgr.EnableLiveness(cfg.Liveness.Lease(), cfg.Liveness.Live, cfg.Trace)
+		rt.hbStop = make(chan struct{})
+	}
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
 		rt.mgr.Run()
 	}()
 	agentAddr := func(writer uint32) scl.NodeID { return firstThreadNode + scl.NodeID(writer) }
+	rt.homes = make([]atomic.Int64, cfg.Geo.NumServers)
 	for i := 0; i < cfg.Geo.NumServers; i++ {
-		srvEP, err := rt.newEndpoint(firstServerNode + scl.NodeID(i))
+		node := firstServerNode + scl.NodeID(i)
+		rt.homes[i].Store(int64(node))
+		srvEP, err := rt.newEndpoint(node)
 		if err != nil {
 			return nil, fmt.Errorf("core: memory server %d endpoint: %w", i, err)
 		}
 		srv := memserver.New(srvEP, i, cfg.Geo, cfg.CPU, agentAddr)
+		if rt.livenessEnabled() {
+			srv.SetLiveness(cfg.Liveness.Live)
+		}
+		if rt.standbyEnabled() {
+			srv.SetReplica(firstStandbyNode + scl.NodeID(i))
+		}
 		rt.servers = append(rt.servers, srv)
 		rt.wg.Add(1)
 		go func() {
 			defer rt.wg.Done()
 			srv.Run()
 		}()
+		if rt.livenessEnabled() {
+			// The server heartbeats from its own endpoint, so a crash
+			// that severs the node also silences its beats. Server
+			// beats double as the manager's reap prodder.
+			rt.hbWG.Add(1)
+			go rt.serverHeartbeat(srvEP, uint32(i)+1, node)
+		}
+	}
+	if rt.standbyEnabled() {
+		for i := 0; i < cfg.Geo.NumServers; i++ {
+			node := firstStandbyNode + scl.NodeID(i)
+			sbEP, err := rt.newEndpoint(node)
+			if err != nil {
+				return nil, fmt.Errorf("core: standby server %d endpoint: %w", i, err)
+			}
+			sb := memserver.New(sbEP, i, cfg.Geo, cfg.CPU, agentAddr)
+			sb.SetStandby(true)
+			sb.SetLiveness(cfg.Liveness.Live)
+			rt.standbys = append(rt.standbys, sb)
+			rt.wg.Add(1)
+			go func() {
+				defer rt.wg.Done()
+				sb.Run()
+			}()
+		}
+		if rt.failCtl, err = rt.newEndpoint(failoverCtlNode); err != nil {
+			return nil, fmt.Errorf("core: failover endpoint: %w", err)
+		}
 	}
 	return rt, nil
+}
+
+// serverHeartbeat posts a memory server's membership beats until Close.
+// A terminal post failure (the node was crash-killed) or a sustained
+// transient failure stops the beats — exactly the silence the manager's
+// lease table is listening for.
+func (rt *Runtime) serverHeartbeat(ep scl.Endpoint, member uint32, node scl.NodeID) {
+	defer rt.hbWG.Done()
+	hb := &proto.Heartbeat{Member: member, Class: proto.MemberServer, Node: uint32(node)}
+	if _, err := ep.Post(managerNode, hb, 0); err != nil && !scl.IsTransient(err) {
+		return
+	}
+	tick := time.NewTicker(rt.cfg.Liveness.HeartbeatEvery)
+	defer tick.Stop()
+	fails := 0
+	for {
+		select {
+		case <-rt.hbStop:
+			return
+		case <-tick.C:
+		}
+		if _, err := ep.Post(managerNode, hb, 0); err != nil {
+			if !scl.IsTransient(err) {
+				return
+			}
+			if fails++; fails > 3 {
+				return
+			}
+		} else {
+			fails = 0
+		}
+	}
 }
 
 // newEndpoint attaches one component endpoint, layering the fault
@@ -292,6 +469,36 @@ func (rt *Runtime) serverNode(home int) scl.NodeID {
 	return firstServerNode + scl.NodeID(home)
 }
 
+// homeNode reads the address-book entry for a home: the primary's node
+// until a failover redirects it to the promoted standby.
+func (rt *Runtime) homeNode(home int) scl.NodeID {
+	return scl.NodeID(rt.homes[home].Load())
+}
+
+// failover promotes home's warm standby and redirects the address book
+// at it. Safe to call from any thread; concurrent callers for the same
+// home serialize, and all but the first find the book already updated.
+func (rt *Runtime) failover(home int) (scl.NodeID, error) {
+	if !rt.standbyEnabled() {
+		return 0, fmt.Errorf("core: home %d unreachable and no standby configured", home)
+	}
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	standbyNode := firstStandbyNode + scl.NodeID(home)
+	if rt.homeNode(home) == standbyNode {
+		return standbyNode, nil // another caller already failed over
+	}
+	var ack proto.Ack
+	if _, err := rt.failCtl.Call(standbyNode, &proto.Promote{}, &ack, 0); err != nil {
+		return 0, fmt.Errorf("core: promoting standby for home %d: %w", home, err)
+	}
+	rt.homes[home].Store(int64(standbyNode))
+	rt.cfg.Liveness.Live.Failovers.Add(1)
+	rt.cfg.Trace.Span("runtime", trace.CatLive, "failover", 0, 0,
+		map[string]any{"home": home, "node": uint32(standbyNode)})
+	return standbyNode, nil
+}
+
 // Run implements vm.VM: it spawns p compute threads, registers them with
 // the manager, executes body on each and gathers statistics.
 func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
@@ -316,9 +523,17 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 
 	// Each thread gets a cache agent: a goroutine answering DiffPull
 	// requests from homes while the thread computes (the runtime-side
-	// helper thread of the real system).
+	// helper thread of the real system). With liveness enabled each
+	// thread also heartbeats from its own endpoint, so killing the
+	// node silences the beats and the manager's lease table notices.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
 	for _, th := range threads {
 		go th.agentLoop()
+		if rt.livenessEnabled() {
+			hbWG.Add(1)
+			go rt.threadHeartbeat(th, hbStop, &hbWG)
+		}
 	}
 
 	var (
@@ -335,7 +550,11 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 				if r := recover(); r != nil {
 					panicMu.Lock()
 					if panicked == nil {
-						panicked = fmt.Errorf("core: thread %d: %v", th.id, r)
+						if err, ok := r.(error); ok {
+							panicked = fmt.Errorf("core: thread %d: %w", th.id, err)
+						} else {
+							panicked = fmt.Errorf("core: thread %d: %v", th.id, r)
+						}
 					}
 					panicMu.Unlock()
 				}
@@ -351,13 +570,20 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 	// memory server with a synchronous ping: each inbox is a FIFO, so
 	// the ack proves all queued batches — whose processing may still
 	// pull from the threads' cache agents — are done. (3) Only then
-	// release the endpoints, which stops the agents.
+	// stop the heartbeats (each sends a goodbye so finished threads
+	// leave the membership instead of timing out) and release the
+	// endpoints, which stops the agents. Retirement failures of an
+	// already-failed run must not mask the run's own error.
 	for _, th := range threads {
-		th.flushOwned()
+		if err := th.flushOwned(); err != nil && panicked == nil {
+			panicked = fmt.Errorf("core: thread %d: %w", th.id, err)
+		}
 	}
-	if err := rt.drainServers(); err != nil {
-		return nil, err
+	if err := rt.drainServers(); err != nil && panicked == nil {
+		panicked = err
 	}
+	close(hbStop)
+	hbWG.Wait()
 	for _, th := range threads {
 		th.ep.Close()
 	}
@@ -365,6 +591,46 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 		return nil, panicked
 	}
 	return reg.Run(), nil
+}
+
+// threadHeartbeat posts one compute thread's membership beats until the
+// run retires it, then posts a goodbye so the manager removes the
+// member instead of declaring it dead. Beats stop on a terminal post
+// failure — the thread's node was crash-killed — which is exactly what
+// lets the lease table detect the death.
+func (rt *Runtime) threadHeartbeat(th *Thread, stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	hb := &proto.Heartbeat{
+		Member: th.writer,
+		Class:  proto.MemberThread,
+		Node:   uint32(firstThreadNode) + th.writer,
+	}
+	if _, err := th.ep.Post(managerNode, hb, 0); err != nil && !scl.IsTransient(err) {
+		return
+	}
+	tick := time.NewTicker(rt.cfg.Liveness.HeartbeatEvery)
+	defer tick.Stop()
+	fails := 0
+	for {
+		select {
+		case <-stop:
+			bye := *hb
+			bye.Bye = true
+			th.ep.Post(managerNode, &bye, 0) // best-effort goodbye
+			return
+		case <-tick.C:
+		}
+		if _, err := th.ep.Post(managerNode, hb, 0); err != nil {
+			if !scl.IsTransient(err) {
+				return
+			}
+			if fails++; fails > 3 {
+				return
+			}
+		} else {
+			fails = 0
+		}
+	}
 }
 
 // newThread builds a thread handle placed on a compute node. The
@@ -392,7 +658,10 @@ func (rt *Runtime) newThread(id, p int) (*Thread, error) {
 	return th, nil
 }
 
-// drainServers round-trips a ping through every memory server.
+// drainServers round-trips a ping through every live home — following
+// the address book, and failing over once if a primary died with
+// batches we need drained (the promoted standby's inbox holds the
+// replicated stream, so its ack is the drain).
 func (rt *Runtime) drainServers() error {
 	ctl, err := rt.newEndpoint(firstThreadNode - 2 - scl.NodeID(rt.nextThread.Add(1)))
 	if err != nil {
@@ -401,7 +670,13 @@ func (rt *Runtime) drainServers() error {
 	defer ctl.Close()
 	for i := range rt.servers {
 		var ack proto.Ack
-		if _, err := ctl.Call(rt.serverNode(i), &proto.Ping{}, &ack, 0); err != nil {
+		_, err := ctl.Call(rt.homeNode(i), &proto.Ping{}, &ack, 0)
+		if err != nil && isPeerFailure(err) {
+			if node, ferr := rt.failover(i); ferr == nil {
+				_, err = ctl.Call(node, &proto.Ping{}, &ack, 0)
+			}
+		}
+		if err != nil {
 			return fmt.Errorf("core: draining memory server %d: %w", i, err)
 		}
 	}
@@ -420,9 +695,16 @@ func (rt *Runtime) NewBarrier(n int) vm.Barrier {
 // NewCond implements vm.VM.
 func (rt *Runtime) NewCond() vm.Cond { return &smhCond{rt: rt, id: rt.nextSync.Add(1)} }
 
-// Close shuts the manager and memory servers down.
+// Close shuts the manager and memory servers (and any standbys) down.
+// Components that already died a crash death — killed by a fault
+// injector, declared dead by the lease table — are tolerated: their
+// event loops have exited, so an undeliverable shutdown is expected.
 func (rt *Runtime) Close() error {
 	rt.closeOnce.Do(func() {
+		if rt.hbStop != nil {
+			close(rt.hbStop)
+			rt.hbWG.Wait()
+		}
 		ctl, err := rt.newEndpoint(firstThreadNode - 1)
 		if err != nil {
 			rt.closeErr = err
@@ -432,13 +714,19 @@ func (rt *Runtime) Close() error {
 		for i := range rt.servers {
 			targets = append(targets, rt.serverNode(i))
 		}
+		for i := range rt.standbys {
+			targets = append(targets, firstStandbyNode+scl.NodeID(i))
+		}
 		for _, dst := range targets {
-			if _, err := ctl.Post(dst, &shutdownMsg, 0); err != nil && rt.closeErr == nil {
+			if _, err := ctl.Post(dst, &shutdownMsg, 0); err != nil && !isPeerFailure(err) && rt.closeErr == nil {
 				rt.closeErr = err
 			}
 		}
 		rt.wg.Wait()
 		ctl.Close()
+		if rt.failCtl != nil {
+			rt.failCtl.Close()
+		}
 		if err := rt.transport.Close(); err != nil && rt.closeErr == nil {
 			rt.closeErr = err
 		}

@@ -63,6 +63,7 @@ func (t *Thread) initCache() {
 		CapacityLines: t.rt.cfg.CacheLines,
 		Prefetch:      t.rt.cfg.Prefetch,
 		Writer:        t.writer,
+		NoLazyOwner:   t.rt.standbyEnabled(),
 	}, (*threadBackend)(t), t.clock, &t.st)
 }
 
@@ -147,11 +148,14 @@ func (t *Thread) agentLoop() {
 
 // flushOwned pushes every still-retained owned diff to its home so the
 // homes are self-sufficient once this thread's agent goes away. Called
-// by the Runtime after the thread's body has returned.
-func (t *Thread) flushOwned() {
+// by the Runtime after the thread's body has returned. A flush that
+// cannot be delivered (the thread's node was crash-killed mid-run) is
+// an error for the Runtime to report, not a panic: the rest of the
+// retirement must still happen.
+func (t *Thread) flushOwned() error {
 	diffs := t.cache.Owned().DrainAll()
 	if len(diffs) == 0 {
-		return
+		return nil
 	}
 	byHome := make(map[int][]proto.PageDiff)
 	for _, d := range diffs {
@@ -161,12 +165,13 @@ func (t *Thread) flushOwned() {
 	at := t.clock.Now()
 	for home, ds := range byHome {
 		var err error
-		at, err = t.ep.Post(t.rt.serverNode(home), &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
 		if err != nil {
-			panic(fmt.Sprintf("core: final owned flush for thread %d: %v", t.id, err))
+			return fmt.Errorf("final owned flush: %w", err)
 		}
 	}
 	t.clock.AdvanceTo(at)
+	return nil
 }
 
 // ResetMeasurement implements vm.Thread.
@@ -198,9 +203,38 @@ func (t *Thread) settleSync() {
 }
 
 // fail aborts the thread; accessor errors are the DSM equivalent of a
-// fatal segmentation fault.
+// fatal segmentation fault. The panic value is an error wrapping err,
+// so the run's failure stays matchable with errors.Is (peer death,
+// shutdown, unreachability) after the runtime recovers it.
 func (t *Thread) fail(op string, err error) {
-	panic(fmt.Sprintf("samhita thread %d: %s: %v", t.id, op, err))
+	panic(fmt.Errorf("samhita thread %d: %s: %w", t.id, op, err))
+}
+
+// callHome round-trips a request to a home server, retrying once
+// against the promoted standby when the current home is gone.
+func (t *Thread) callHome(home int, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	doneAt, err := t.ep.Call(t.rt.homeNode(home), req, resp, at)
+	if err == nil || !isPeerFailure(err) {
+		return doneAt, err
+	}
+	node, ferr := t.rt.failover(home)
+	if ferr != nil {
+		return doneAt, err
+	}
+	return t.ep.Call(node, req, resp, at)
+}
+
+// sendHome ships a one-way mutation to a home server. With a standby
+// configured the send is an acknowledged call instead: the ack proves
+// the primary applied AND forwarded the batch, so a crash between the
+// send and the ack is recovered by re-sending to the promoted standby
+// (re-applying absolute-byte diffs is idempotent).
+func (t *Thread) sendHome(home int, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	if t.rt.standbyEnabled() {
+		var ack proto.Ack
+		return t.callHome(home, m, &ack, at)
+	}
+	return t.ep.Post(t.rt.homeNode(home), m, at)
 }
 
 // ---------------------------------------------------------------------
@@ -347,7 +381,7 @@ func (t *Thread) postRelease() *pagecache.ReleaseSet {
 		}
 	}()
 	for home, batch := range rs.ByHome {
-		at, err := t.ep.Post(t.rt.serverNode(home), batch, t.clock.Now())
+		at, err := t.sendHome(home, batch, t.clock.Now())
 		if err != nil {
 			t.fail("diff batch", err)
 		}
@@ -537,7 +571,7 @@ func (b *threadBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at
 	t := b.thread()
 	home := t.rt.cfg.Geo.HomeOf(t.rt.cfg.Geo.FirstPage(line))
 	var resp proto.FetchLineResp
-	doneAt, err := t.ep.Call(t.rt.serverNode(home), &proto.FetchLineReq{
+	doneAt, err := t.callHome(home, &proto.FetchLineReq{
 		Line: uint64(line), Needs: needs,
 	}, &resp, at)
 	if err != nil {
@@ -558,7 +592,7 @@ func (b *threadBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed
 	t.st.MsgsSent++
 	go func() {
 		var resp proto.FetchLineResp
-		doneAt, err := t.ep.Call(t.rt.serverNode(home), &proto.FetchLineReq{
+		doneAt, err := t.callHome(home, &proto.FetchLineReq{
 			Line: uint64(line), Needs: needs,
 		}, &resp, at)
 		ch <- pagecache.PrefetchResult{Data: resp.Data, ReadyAt: doneAt, Err: err}
@@ -576,7 +610,7 @@ func (b *threadBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime
 	}
 	for home, ds := range byHome {
 		var err error
-		at, err = t.ep.Post(t.rt.serverNode(home), &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
 		if err != nil {
 			return at, err
 		}

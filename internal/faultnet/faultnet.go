@@ -24,6 +24,16 @@
 //     windows): attempts are refused with a transient error until the
 //     window has been consumed, then traffic flows again — the retry
 //     layer's backoff rides out the outage.
+//   - A kill crashes a node permanently: its endpoint is closed (the
+//     victim's receive loop exits as if the process died). Sends TO a
+//     killed node fail transiently wrapping proto.ErrPeerDied — the
+//     retry layer exhausts its budget and surfaces a typed
+//     UnreachableError, just like a real crashed peer. Sends FROM a
+//     killed node fail terminally and untyped, so the victim's own
+//     goroutines stop promptly instead of retrying from beyond the
+//     grave — and never mistake their own death for a peer's (which
+//     would trigger spurious failovers). Kills are scripted in send
+//     attempts (deterministic) or triggered directly with Kill.
 //
 // All randomness comes from one seeded RNG per injector, so a fault
 // schedule is reproducible from its seed (modulo goroutine
@@ -31,6 +41,7 @@
 package faultnet
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -54,6 +65,21 @@ type Partition struct {
 	Len int
 }
 
+// Kill crashes a node permanently after a scripted number of send
+// attempts have been observed.
+type Kill struct {
+	// Node is the victim.
+	Node scl.NodeID
+	// After is how many attempts pass before the kill fires: the
+	// attempt with index After (0-based) finds the node dead.
+	After int
+	// FromNode selects which attempts are counted: attempts sent BY
+	// Node when true, attempts sent TO Node when false. Counting the
+	// victim's own sends lets a test crash a thread at a known point in
+	// its protocol life (e.g. right after its Nth lock acquire).
+	FromNode bool
+}
+
 // Config parameterizes an Injector. Probabilities are per message
 // attempt in [0, 1].
 type Config struct {
@@ -72,6 +98,8 @@ type Config struct {
 	DupProb float64
 	// Partitions are scripted unreachability windows.
 	Partitions []Partition
+	// Kills are scripted permanent node crashes.
+	Kills []Kill
 }
 
 // Injector decides the fate of every message crossing its wrapped
@@ -83,10 +111,14 @@ type Injector struct {
 	nst *stats.Net
 	tr  *trace.Collector
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	sent    map[scl.NodeID]int // attempts per destination (drives partitions)
-	refused []int              // refusals consumed per partition
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sent     map[scl.NodeID]int // attempts per destination (drives partitions and kills)
+	sentFrom map[scl.NodeID]int // attempts per source (drives FromNode kills)
+	refused  []int              // refusals consumed per partition
+	fired    []bool             // scripted kills already triggered
+	killed   map[scl.NodeID]bool
+	eps      map[scl.NodeID]scl.Endpoint // inner endpoints, for closing on kill
 }
 
 // New creates an injector from the config.
@@ -95,11 +127,15 @@ func New(cfg Config) *Injector {
 		cfg.MaxDelay = 100 * time.Microsecond
 	}
 	return &Injector{
-		cfg:     cfg,
-		nst:     new(stats.Net),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		sent:    make(map[scl.NodeID]int),
-		refused: make([]int, len(cfg.Partitions)),
+		cfg:      cfg,
+		nst:      new(stats.Net),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		sent:     make(map[scl.NodeID]int),
+		sentFrom: make(map[scl.NodeID]int),
+		refused:  make([]int, len(cfg.Partitions)),
+		fired:    make([]bool, len(cfg.Kills)),
+		killed:   make(map[scl.NodeID]bool),
+		eps:      make(map[scl.NodeID]scl.Endpoint),
 	}
 }
 
@@ -119,25 +155,89 @@ func (in *Injector) NetStats() *stats.Net { return in.nst }
 func (in *Injector) SetTrace(tr *trace.Collector) { in.tr = tr }
 
 // Wrap returns ep with fault injection applied to its outgoing traffic.
-// Recv and Close pass through untouched.
+// Recv and Close pass through untouched. The wrapped endpoint is
+// registered so a later Kill of its node can close it.
 func (in *Injector) Wrap(ep scl.Endpoint) scl.Endpoint {
+	in.mu.Lock()
+	in.eps[ep.ID()] = ep
+	in.mu.Unlock()
 	return &endpoint{in: in, inner: ep}
+}
+
+// Kill crashes node permanently: its registered endpoint is closed so
+// the victim's receive loop exits, and from now on every attempt to or
+// from the node fails wrapping proto.ErrPeerDied. Killing a node twice
+// is a no-op.
+func (in *Injector) Kill(node scl.NodeID) {
+	in.mu.Lock()
+	if in.killed[node] {
+		in.mu.Unlock()
+		return
+	}
+	in.killed[node] = true
+	ep := in.eps[node]
+	in.mu.Unlock()
+	in.nst.InjectedKills.Add(1)
+	in.event(node, "kill", node, 0)
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+// Killed reports whether node has been crash-killed.
+func (in *Injector) Killed(node scl.NodeID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.killed[node]
 }
 
 // verdict is the injector's decision for one send attempt.
 type verdict struct {
-	refuse bool // partitioned: fail without sending
-	drop   bool // dropped: fail without sending
-	delay  time.Duration
+	refuse  bool // partitioned: fail without sending
+	drop    bool // dropped: fail without sending
+	deadDst bool // destination crash-killed: fail transiently
+	deadSrc bool // sender crash-killed: fail terminally
+	delay   time.Duration
 }
 
-// before draws the fate of one attempt to dst.
-func (in *Injector) before(dst scl.NodeID) verdict {
+// before draws the fate of one attempt from src to dst, firing any
+// scripted kill whose attempt budget the counting has consumed.
+func (in *Injector) before(src, dst scl.NodeID) verdict {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	n := in.sent[dst]
 	in.sent[dst] = n + 1
+	in.sentFrom[src]++
+	var toKill []scl.NodeID
+	for i, k := range in.cfg.Kills {
+		if in.fired[i] {
+			continue
+		}
+		count := in.sent[k.Node]
+		if k.FromNode {
+			count = in.sentFrom[k.Node]
+		}
+		if count > k.After {
+			in.fired[i] = true
+			toKill = append(toKill, k.Node)
+		}
+	}
 	var v verdict
+	switch {
+	case in.killed[dst] || contains(toKill, dst):
+		v.deadDst = true
+	case in.killed[src] || contains(toKill, src):
+		v.deadSrc = true
+	}
+	in.mu.Unlock()
+	for _, node := range toKill {
+		in.Kill(node)
+	}
+	if v.deadDst || v.deadSrc {
+		return v
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for i, p := range in.cfg.Partitions {
 		if p.Node == dst && n >= p.After && in.refused[i] < p.Len {
 			in.refused[i]++
@@ -153,6 +253,15 @@ func (in *Injector) before(dst scl.NodeID) verdict {
 		v.delay = time.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxDelay)))
 	}
 	return v
+}
+
+func contains(nodes []scl.NodeID, n scl.NodeID) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }
 
 // dup draws whether a completed call's response is duplicated.
@@ -189,8 +298,22 @@ func (e *endpoint) ID() scl.NodeID { return e.inner.ID() }
 // apply enforces the pre-send verdict; it reports whether the attempt
 // may proceed, or the injected error if not.
 func (e *endpoint) apply(dst scl.NodeID, at vtime.Time) error {
-	v := e.in.before(dst)
+	v := e.in.before(e.ID(), dst)
 	switch {
+	case v.deadDst:
+		// Transient: the retry layer exhausts its budget and surfaces a
+		// typed UnreachableError that still unwraps to ErrPeerDied.
+		e.in.nst.KillRefusals.Add(1)
+		e.in.event(e.ID(), "dead-dst", dst, at)
+		return scl.Transient(fmt.Errorf("faultnet: node %d killed: %w", uint32(dst), proto.ErrPeerDied))
+	case v.deadSrc:
+		// Terminal: a dead node must not keep retrying its own sends.
+		// Deliberately NOT wrapped in ErrPeerDied — that sentinel means
+		// "the node I talked to died"; a dying caller must not mistake
+		// its own death for the peer's and trigger a spurious failover.
+		e.in.nst.KillRefusals.Add(1)
+		e.in.event(e.ID(), "dead-src", dst, at)
+		return fmt.Errorf("faultnet: local node %d is dead", uint32(e.ID()))
 	case v.refuse:
 		e.in.nst.PartitionRefusals.Add(1)
 		e.in.event(e.ID(), "partition", dst, at)

@@ -1,0 +1,199 @@
+package manager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// newLiveEnv builds a manager with liveness enabled. Unlike newEnv it
+// installs no shutdown cleanup: liveness tests end the manager
+// themselves.
+func newLiveEnv(t *testing.T, lease time.Duration, live *stats.Liveness) *testEnv {
+	t.Helper()
+	env := &testEnv{fab: simnet.NewFabric(testLink)}
+	env.mgr = New(scl.NewSimEndpoint(env.fab, mgrNode), layout.DefaultGeometry())
+	env.mgr.EnableLiveness(lease, live, nil)
+	env.wg.Add(1)
+	go func() {
+		defer env.wg.Done()
+		env.mgr.Run()
+	}()
+	return env
+}
+
+func (e *testEnv) shutdown(t *testing.T) {
+	t.Helper()
+	c := e.client(t, 999)
+	var ack proto.Ack
+	if _, err := c.ep.Call(mgrNode, &proto.Shutdown{}, &ack, 0); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	e.wg.Wait()
+}
+
+func (c *client) beat(bye bool) {
+	c.t.Helper()
+	c.beatFor(c.id, bye)
+}
+
+// beatFor posts a heartbeat on behalf of member id — used when the
+// member's own client struct is busy in a blocked call on another
+// goroutine.
+func (c *client) beatFor(id uint32, bye bool) {
+	c.t.Helper()
+	if _, err := c.ep.Post(mgrNode, &proto.Heartbeat{
+		Member: id, Class: proto.MemberThread, Node: id, Bye: bye,
+	}, 0); err != nil {
+		c.t.Fatalf("heartbeat: %v", err)
+	}
+}
+
+// Satellite: every flavour of parked waiter — lock queue, barrier
+// arrival, cond waiter — must observe a typed proto.ErrShutdown when
+// the manager shuts down, never a hang or an untyped failure.
+func TestShutdownFailsParkedWaitersTyped(t *testing.T) {
+	env := newLiveEnv(t, time.Hour, nil)
+	holder := env.client(t, 1)
+	locker := env.client(t, 2)
+	arriver := env.client(t, 3)
+	sleeper := env.client(t, 4)
+
+	if _, err := holder.lock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sleeper.lock(2); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 3)
+	go func() {
+		_, err := locker.lock(1) // parks behind holder
+		errs <- err
+	}()
+	go func() {
+		_, err := arriver.barrier(9, 2, nil) // parks: second arrival never comes
+		errs <- err
+	}()
+	go func() {
+		sleeper.interval++
+		var resp proto.CondWaitResp
+		_, err := sleeper.ep.Call(mgrNode, &proto.CondWaitReq{
+			Cond: 8, Lock: 2, Thread: sleeper.id,
+			LastSeen: sleeper.lastSeen, Interval: sleeper.interval,
+		}, &resp, sleeper.at)
+		errs <- err
+	}()
+
+	// Give the three calls time to park in the manager's event loop.
+	time.Sleep(25 * time.Millisecond)
+	env.shutdown(t)
+
+	for i := 0; i < 3; i++ {
+		err := <-errs
+		if err == nil {
+			t.Fatal("a parked waiter completed successfully across shutdown")
+		}
+		if !errors.Is(err, proto.ErrShutdown) {
+			t.Errorf("parked waiter error not typed as shutdown: %v", err)
+		}
+	}
+}
+
+// The lease table must declare a silent lock holder dead, force-release
+// its lock to the parked waiter, fence its later requests with a typed
+// proto.ErrPeerDied, and complete barriers at the reduced membership.
+func TestLeaseReclaimsDeadLockHolder(t *testing.T) {
+	live := new(stats.Liveness)
+	env := newLiveEnv(t, 10*time.Millisecond, live)
+	dead := env.client(t, 601)
+	alive := env.client(t, 602)
+	prodder := env.client(t, 603)
+
+	dead.beat(false)
+	alive.beat(false)
+	if _, err := dead.lock(1); err != nil {
+		t.Fatal(err)
+	}
+
+	granted := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := alive.lock(1) // parks behind the soon-dead holder
+		granted <- err
+	}()
+
+	// The dead client goes silent; the prodder keeps beating on behalf
+	// of itself and the parked live member, which is also what prods the
+	// manager's reaper.
+	deadline := time.Now().Add(5 * time.Second)
+	for live.ThreadsDead.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder was never declared dead")
+		}
+		time.Sleep(2 * time.Millisecond)
+		prodder.beatFor(602, false)
+		prodder.beat(false)
+	}
+	wg.Wait()
+	if err := <-granted; err != nil {
+		t.Fatalf("parked waiter not granted the reclaimed lock: %v", err)
+	}
+	if live.LocksReclaimed.Load() == 0 {
+		t.Error("no lock was counted reclaimed")
+	}
+
+	// The dead member's node is fenced with a typed error.
+	if _, err := dead.lock(5); err == nil {
+		t.Fatal("request from a dead node succeeded")
+	} else if !errors.Is(err, proto.ErrPeerDied) {
+		t.Errorf("fencing error not typed as peer death: %v", err)
+	}
+
+	// SPMD barriers complete at the reduced membership: a 2-party
+	// barrier is satisfied by the single live thread.
+	if _, err := alive.barrier(7, 2, nil); err != nil {
+		t.Fatalf("barrier did not recompute around the dead thread: %v", err)
+	}
+	if err := alive.unlock(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	env.shutdown(t)
+}
+
+// A member that says goodbye (Bye heartbeat) leaves the lease table
+// gracefully: it is not declared dead and liveness counters stay quiet.
+func TestByeRemovesMemberWithoutDeath(t *testing.T) {
+	live := new(stats.Liveness)
+	env := newLiveEnv(t, 10*time.Millisecond, live)
+	c := env.client(t, 1)
+	prodder := env.client(t, 2)
+
+	c.beat(false)
+	c.beat(true) // goodbye
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		prodder.beat(false)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := live.ThreadsDead.Load(); n != 0 {
+		t.Fatalf("retired member declared dead (%d)", n)
+	}
+	// The departed member is not fenced either.
+	if _, err := c.lock(1); err != nil {
+		t.Fatalf("request from a retired member failed: %v", err)
+	}
+	if err := c.unlock(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	env.shutdown(t)
+}

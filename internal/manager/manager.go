@@ -23,10 +23,13 @@ package manager
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/layout"
 	"repro/internal/proto"
 	"repro/internal/scl"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -80,7 +83,30 @@ type Manager struct {
 	barriers map[uint32]*barrierState
 	conds    map[uint32]*condState
 
+	// Liveness (nil live == disabled). Heartbeats are wall-clock
+	// driven and processed at zero virtual cost, so enabling liveness
+	// does not perturb a run's virtual-time results.
+	live        *stats.Liveness
+	tr          *trace.Collector
+	lease       time.Duration
+	members     map[memberKey]*member
+	deadNodes   map[uint32]bool // fence requests from declared-dead nodes
+	deadThreads map[uint32]bool // skip dead threads when granting locks
+
 	stats Stats
+}
+
+// memberKey identifies a liveness participant.
+type memberKey struct {
+	class uint8 // proto.MemberThread or proto.MemberServer
+	id    uint32
+}
+
+// member is one row of the manager's lease table.
+type member struct {
+	node     uint32
+	lastBeat time.Time
+	dead     bool
 }
 
 type waitKind uint8
@@ -108,6 +134,17 @@ type lockState struct {
 type barrierState struct {
 	count   uint32
 	arrived []waiter
+	dead    map[uint32]bool // threads declared dead (SPMD: all expected)
+}
+
+// effective is the arrival count that completes a round: the declared
+// count minus dead members, floored at one.
+func (bs *barrierState) effective() int {
+	eff := int(bs.count) - len(bs.dead)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
 }
 
 type condState struct {
@@ -132,7 +169,24 @@ func New(ep scl.Endpoint, geo layout.Geometry) *Manager {
 		locks:       make(map[uint32]*lockState),
 		barriers:    make(map[uint32]*barrierState),
 		conds:       make(map[uint32]*condState),
+		members:     make(map[memberKey]*member),
+		deadNodes:   make(map[uint32]bool),
+		deadThreads: make(map[uint32]bool),
 	}
+}
+
+// EnableLiveness turns on heartbeat membership: participants that miss
+// their lease are declared dead, their locks force-released, barrier
+// counts recomputed, and parked waiters that can no longer make
+// progress completed with proto.ErrPeerDied. Must be called before
+// Run. A nil live allocates a private counter set; tr may be nil.
+func (m *Manager) EnableLiveness(lease time.Duration, live *stats.Liveness, tr *trace.Collector) {
+	if live == nil {
+		live = new(stats.Liveness)
+	}
+	m.live = live
+	m.lease = lease
+	m.tr = tr
 }
 
 // Stats exposes the manager's counters.
@@ -146,8 +200,28 @@ func (m *Manager) Run() {
 	for {
 		req, ok := m.ep.Recv()
 		if !ok {
-			m.failAllParked("manager endpoint closed")
+			// The endpoint died under us (e.g. a fault injector killed
+			// the manager node): parked waiters learn the peer died,
+			// not that it shut down in an orderly way.
+			m.failAllParked(proto.CodePeerDied, "manager endpoint closed")
 			return
+		}
+		// Heartbeats are wall-clock bookkeeping and carry zero virtual
+		// cost: handled before the clock moves so liveness does not
+		// perturb virtual-time determinism.
+		if req.Kind() == proto.KHeartbeat {
+			m.handleHeartbeat(req)
+			continue
+		}
+		// Fence requests from members the lease table has declared
+		// dead: their state was already reclaimed, so letting them back
+		// in would corrupt lock/barrier bookkeeping.
+		if m.live != nil && m.deadNodes[uint32(req.Src())] {
+			if !req.OneWay() {
+				req.ReplyErrorCode(proto.CodePeerDied,
+					fmt.Errorf("manager: request from dead node %d", req.Src()), m.clock.Now())
+			}
+			continue
 		}
 		m.clock.AdvanceTo(req.Arrive())
 		m.clock.Advance(req.Svc())
@@ -172,7 +246,7 @@ func (m *Manager) Run() {
 			if !req.OneWay() {
 				req.Reply(&proto.Ack{}, m.clock.Now())
 			}
-			m.failAllParked("manager shut down")
+			m.failAllParked(proto.CodeShutdown, "manager shut down")
 			return
 		default:
 			if !req.OneWay() {
@@ -182,26 +256,197 @@ func (m *Manager) Run() {
 	}
 }
 
-func (m *Manager) failAllParked(why string) {
+// failAllParked completes every parked waiter with a classified error
+// so no thread ever hangs on a manager that stopped: code is
+// proto.CodeShutdown for an orderly stop, proto.CodePeerDied when the
+// manager itself (or the peer a waiter depended on) went away.
+func (m *Manager) failAllParked(code uint16, why string) {
 	err := fmt.Errorf("manager: %s", why)
 	for _, ls := range m.locks {
 		for _, w := range ls.queue {
-			w.req.ReplyError(err, m.clock.Now())
+			w.req.ReplyErrorCode(code, err, m.clock.Now())
 		}
 		ls.queue = nil
 	}
 	for _, bs := range m.barriers {
 		for _, w := range bs.arrived {
-			w.req.ReplyError(err, m.clock.Now())
+			w.req.ReplyErrorCode(code, err, m.clock.Now())
 		}
 		bs.arrived = nil
 	}
 	for _, cs := range m.conds {
 		for _, cw := range cs.waiters {
-			cw.w.req.ReplyError(err, m.clock.Now())
+			cw.w.req.ReplyErrorCode(code, err, m.clock.Now())
 		}
 		cs.waiters = nil
 	}
+}
+
+// ---------------------------------------------------------------------
+// Liveness: heartbeat membership and lease reclamation.
+
+// handleHeartbeat renews (or, with Bye, retires) a member's lease and
+// reaps members whose lease has expired. Server heartbeats double as
+// the reap prodder: the lease table keeps advancing even when every
+// compute thread is parked or dead.
+func (m *Manager) handleHeartbeat(req *scl.Request) {
+	if m.live == nil {
+		return // liveness disabled: ignore
+	}
+	var hb proto.Heartbeat
+	if err := req.Decode(&hb); err != nil {
+		return
+	}
+	m.live.Heartbeats.Add(1)
+	now := time.Now()
+	if hb.Member != 0 || hb.Class != 0 {
+		k := memberKey{class: hb.Class, id: hb.Member}
+		switch mem, ok := m.members[k]; {
+		case hb.Bye:
+			// Graceful departure: the member leaves the table instead of
+			// timing out, so finished threads are never declared dead.
+			delete(m.members, k)
+		case ok:
+			if !mem.dead {
+				mem.lastBeat = now
+			}
+		default:
+			m.members[k] = &member{node: hb.Node, lastBeat: now}
+		}
+	}
+	m.reap(now)
+}
+
+// reap declares members whose lease expired dead and reclaims their
+// synchronization state.
+func (m *Manager) reap(now time.Time) {
+	for k, mem := range m.members {
+		if mem.dead || now.Sub(mem.lastBeat) <= m.lease {
+			continue
+		}
+		mem.dead = true
+		m.deadNodes[mem.node] = true
+		m.traceLive("member-dead", map[string]any{
+			"class": k.class, "id": k.id, "node": mem.node,
+		})
+		switch k.class {
+		case proto.MemberThread:
+			m.live.ThreadsDead.Add(1)
+			m.deadThreads[k.id] = true
+			m.reclaimThread(k.id)
+		case proto.MemberServer:
+			m.live.ServersDead.Add(1)
+		}
+	}
+}
+
+// liveThreadCount counts thread members not declared dead.
+func (m *Manager) liveThreadCount() int {
+	n := 0
+	for k, mem := range m.members {
+		if k.class == proto.MemberThread && !mem.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// reclaimThread releases everything a dead thread held or was parked
+// on: queued lock/cond waits are evicted, held locks force-released to
+// the next live waiter, and barriers it participated in recomputed so
+// survivors are never left waiting for an arrival that cannot come.
+func (m *Manager) reclaimThread(tid uint32) {
+	// Evicted requests still get a typed reply: if the "dead" member is
+	// in fact wedged rather than gone, its parked call unblocks with
+	// ErrPeerDied instead of hanging forever.
+	evictErr := fmt.Errorf("manager: thread %d declared dead", tid)
+	evict := func(w waiter) {
+		m.live.WaitersEvicted.Add(1)
+		w.req.ReplyErrorCode(proto.CodePeerDied, evictErr, m.clock.Now())
+	}
+	for id, ls := range m.locks {
+		kept := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.thread == tid {
+				evict(w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		ls.queue = kept
+		if ls.held && ls.holder == tid {
+			m.live.LocksReclaimed.Add(1)
+			m.traceLive("lock-reclaimed", map[string]any{"lock": id, "holder": tid})
+			m.release(ls)
+		}
+	}
+	for _, cs := range m.conds {
+		kept := cs.waiters[:0]
+		for _, cw := range cs.waiters {
+			if cw.w.thread == tid {
+				evict(cw.w)
+				continue
+			}
+			kept = append(kept, cw)
+		}
+		cs.waiters = kept
+	}
+	// Barriers assume SPMD participation: every live thread is expected
+	// at every barrier, so a death reduces the effective count even for
+	// barriers the thread never reached (it can never arrive now).
+	for id, bs := range m.barriers {
+		if bs.dead[tid] {
+			continue
+		}
+		bs.dead[tid] = true
+		kept := bs.arrived[:0]
+		for _, w := range bs.arrived {
+			if w.thread == tid {
+				evict(w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		bs.arrived = kept
+		m.recheckBarrier(id, bs)
+	}
+	// The dead thread no longer pins the write-notice horizon.
+	delete(m.lastSeen, tid)
+	m.pruneNotices()
+}
+
+// recheckBarrier re-evaluates a barrier after a member death: parked
+// arrivals either complete at the recomputed count, or — when the
+// barrier can never gather enough live arrivals — fail with
+// proto.ErrPeerDied rather than hang.
+func (m *Manager) recheckBarrier(id uint32, bs *barrierState) {
+	if len(bs.arrived) == 0 {
+		return
+	}
+	if len(bs.arrived) >= bs.effective() {
+		m.traceLive("barrier-recomputed", map[string]any{
+			"barrier": id, "count": bs.count, "effective": bs.effective(),
+		})
+		m.releaseBarrier(bs, bs.arrived[len(bs.arrived)-1].req.Svc())
+		return
+	}
+	if bs.effective() > m.liveThreadCount() {
+		err := fmt.Errorf("manager: barrier %d unsatisfiable: needs %d live arrivals, %d live threads",
+			id, bs.effective(), m.liveThreadCount())
+		for _, w := range bs.arrived {
+			m.live.WaitersFailed.Add(1)
+			w.req.ReplyErrorCode(proto.CodePeerDied, err, m.clock.Now())
+		}
+		bs.arrived = bs.arrived[:0]
+	}
+}
+
+// traceLive emits one liveness event, if a collector is attached.
+func (m *Manager) traceLive(name string, args map[string]any) {
+	if m.tr == nil {
+		return
+	}
+	m.tr.Span("manager", trace.CatLive, name, m.clock.Now(), m.clock.Now(), args)
 }
 
 // ---------------------------------------------------------------------
@@ -321,6 +566,12 @@ func (m *Manager) sawUpTo(thread uint32, seq uint64) {
 	if seq > m.lastSeen[thread] {
 		m.lastSeen[thread] = seq
 	}
+	m.pruneNotices()
+}
+
+// pruneNotices drops notices below every remaining thread's horizon;
+// also called when a dead thread leaves the horizon set.
+func (m *Manager) pruneNotices() {
 	min := m.seq
 	for _, s := range m.lastSeen {
 		if s < min {
@@ -398,15 +649,23 @@ func (m *Manager) handleUnlock(req *scl.Request) {
 	m.release(ls)
 }
 
-// release passes a held lock to the next queued waiter, if any.
+// release passes a held lock to the next queued live waiter, if any.
+// Waiters whose thread has since been declared dead are skipped, so a
+// reclaimed lock never lands on a corpse.
 func (m *Manager) release(ls *lockState) {
 	ls.held = false
-	if len(ls.queue) == 0 {
+	for len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		if m.deadThreads[next.thread] {
+			if m.live != nil {
+				m.live.WaitersEvicted.Add(1)
+			}
+			continue
+		}
+		m.grant(ls, next)
 		return
 	}
-	next := ls.queue[0]
-	ls.queue = ls.queue[1:]
-	m.grant(ls, next)
 }
 
 // ---------------------------------------------------------------------
@@ -425,7 +684,15 @@ func (m *Manager) handleBarrier(req *scl.Request) {
 	m.ensureThread(br.Thread, br.LastSeen)
 	bs, ok := m.barriers[br.Barrier]
 	if !ok {
-		bs = &barrierState{count: br.Count}
+		bs = &barrierState{
+			count: br.Count,
+			dead:  make(map[uint32]bool),
+		}
+		// A barrier instance created after a death starts with the
+		// reduced membership: the dead can never arrive.
+		for tid := range m.deadThreads {
+			bs.dead[tid] = true
+		}
 		m.barriers[br.Barrier] = bs
 	}
 	if bs.count != br.Count {
@@ -436,15 +703,22 @@ func (m *Manager) handleBarrier(req *scl.Request) {
 	// every later acquire (including the other arrivals) sees it.
 	m.postNotice(proto.IntervalTag{Writer: br.Thread, Interval: br.Interval}, br.Pages, br.Records)
 	bs.arrived = append(bs.arrived, waiter{req: req, thread: br.Thread, lastSeen: br.LastSeen})
-	if uint32(len(bs.arrived)) < bs.count {
+	if len(bs.arrived) < bs.effective() {
 		return
 	}
-	// Last arrival: release everyone. Replies are posted serially,
-	// advancing the manager clock per reply — the centralized-barrier
-	// fan-out cost.
+	m.releaseBarrier(bs, req.Svc())
+}
+
+// releaseBarrier completes a barrier round, answering every parked
+// arrival. Replies are posted serially, advancing the manager clock by
+// svc per reply — the centralized-barrier fan-out cost.
+func (m *Manager) releaseBarrier(bs *barrierState, svc vtime.Time) {
 	m.stats.BarrierRounds.Add(1)
+	if m.live != nil && len(bs.dead) > 0 {
+		m.live.BarriersRecomputed.Add(1)
+	}
 	for _, w := range bs.arrived {
-		m.clock.Advance(req.Svc())
+		m.clock.Advance(svc)
 		ns := m.noticesAfter(w.lastSeen)
 		m.sawUpTo(w.thread, m.seq)
 		w.req.Reply(&proto.BarrierResp{Seq: m.seq, Notices: ns}, m.clock.Now())

@@ -39,6 +39,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/proto"
 	"repro/internal/scl"
+	"repro/internal/stats"
 	"repro/internal/vtime"
 )
 
@@ -86,6 +87,16 @@ type Server struct {
 	// until those diffs are pulled or flushed.
 	owner map[layout.PageID]uint32
 
+	// Checkpoint/failover state. A warm standby runs the same Server
+	// code with standby=true: it applies the diff stream its primary
+	// forwards but refuses fetches until promoted. A primary with a
+	// replica configured forwards every applied DiffBatch/EvictFlush
+	// (and the bytes of every on-demand pull) to it.
+	standby    bool
+	replica    scl.NodeID
+	hasReplica bool
+	live       *stats.Liveness
+
 	stats Stats
 }
 
@@ -115,6 +126,22 @@ func New(ep scl.Endpoint, index int, geo layout.Geometry, cpu vtime.CPUModel, ag
 // Stats exposes the server's counters.
 func (s *Server) Stats() *Stats { return &s.stats }
 
+// SetStandby marks the server as a warm standby: it applies forwarded
+// diff traffic but answers fetches with proto.ErrNotPromoted until a
+// Promote message arrives. Must be called before Run.
+func (s *Server) SetStandby(standby bool) { s.standby = standby }
+
+// SetReplica points this (primary) server at its warm standby's node;
+// every applied mutation is forwarded there. Must be called before Run.
+func (s *Server) SetReplica(node scl.NodeID) {
+	s.replica = node
+	s.hasReplica = true
+}
+
+// SetLiveness attaches shared liveness counters for replication and
+// promotion events. Must be called before Run.
+func (s *Server) SetLiveness(live *stats.Liveness) { s.live = live }
+
 // Clock reports the end of the last booked service slot — the server's
 // notion of "how far virtual time has reached here".
 func (s *Server) Clock() vtime.Time { return s.cal.maxEnd }
@@ -126,7 +153,7 @@ func (s *Server) Run() {
 	for {
 		req, ok := s.ep.Recv()
 		if !ok {
-			s.failParked("memory server endpoint closed")
+			s.failParked(proto.CodePeerDied, "memory server endpoint closed")
 			return
 		}
 		switch req.Kind() {
@@ -138,11 +165,23 @@ func (s *Server) Run() {
 			s.handleEvictFlush(req)
 		case proto.KPing:
 			req.Reply(&proto.Ack{}, s.cal.maxEnd)
+		case proto.KPromote:
+			// Idempotent: the runtime may re-promote on a retried
+			// failover.
+			if s.standby {
+				s.standby = false
+				if s.live != nil {
+					s.live.Promotions.Add(1)
+				}
+			}
+			if !req.OneWay() {
+				req.Reply(&proto.Ack{}, s.cal.maxEnd)
+			}
 		case proto.KShutdown:
 			if !req.OneWay() {
 				req.Reply(&proto.Ack{}, s.cal.maxEnd)
 			}
-			s.failParked("memory server shut down")
+			s.failParked(proto.CodeShutdown, "memory server shut down")
 			return
 		default:
 			if !req.OneWay() {
@@ -152,11 +191,30 @@ func (s *Server) Run() {
 	}
 }
 
-func (s *Server) failParked(why string) {
+func (s *Server) failParked(code uint16, why string) {
 	for pf := range s.parked {
-		pf.req.ReplyError(fmt.Errorf("memserver: %s with fetch pending", why), s.cal.maxEnd)
+		pf.req.ReplyErrorCode(code, fmt.Errorf("memserver: %s with fetch pending", why), s.cal.maxEnd)
 	}
 	s.parked = make(map[*parkedFetch]struct{})
+}
+
+// replicate forwards an applied mutation to the warm standby. The
+// forward is one-way and this server is the standby's only sender, so
+// the standby applies mutations in exactly this server's apply order.
+func (s *Server) replicate(m proto.Msg) {
+	if !s.hasReplica {
+		return
+	}
+	if _, err := s.ep.Post(s.replica, m, s.cal.maxEnd); err != nil {
+		if s.live != nil {
+			s.live.ReplFailures.Add(1)
+		}
+		return
+	}
+	if s.live != nil {
+		s.live.ReplBatches.Add(1)
+		s.live.ReplBytes.Add(int64(len(proto.Encode(m))))
+	}
 }
 
 // page returns the backing bytes of p, materializing it zero-filled.
@@ -174,6 +232,15 @@ func (s *Server) handleFetch(req *scl.Request) {
 	var m proto.FetchLineReq
 	if err := req.Decode(&m); err != nil {
 		req.ReplyError(err, s.cal.maxEnd)
+		return
+	}
+	if s.standby {
+		// A standby serves no reads until promoted: the typed code lets
+		// a fetcher with a stale address book distinguish "not yet
+		// failed over" from a generic protocol error.
+		s.stats.FailedFetches.Add(1)
+		req.ReplyErrorCode(proto.CodeNotPromoted,
+			fmt.Errorf("memserver %d: standby not promoted", s.index), s.cal.maxEnd)
 		return
 	}
 	line := layout.LineID(m.Line)
@@ -274,6 +341,14 @@ func (s *Server) handleDiffBatch(req *scl.Request) {
 	done := s.cal.book(ready, work) + work
 	s.appliedAt[m.Tag] = done
 	s.wakeParked(m.Tag)
+	// Forward to the standby AFTER the local apply (and its pulls),
+	// then ack: a sender whose ack never comes re-sends the batch to
+	// the promoted standby, and re-applying absolute-byte diffs is
+	// idempotent.
+	s.replicate(&m)
+	if !req.OneWay() {
+		req.Reply(&proto.Ack{}, done)
+	}
 }
 
 func (s *Server) handleEvictFlush(req *scl.Request) {
@@ -287,7 +362,11 @@ func (s *Server) handleEvictFlush(req *scl.Request) {
 	// retained ownership record lets a later fetch retry it.
 	bytes, _ := s.applyDiffs(m.Writer, m.Diffs, &ready)
 	work := req.Svc() + s.cpu.ApplyTime(bytes)
-	s.cal.book(ready, work)
+	done := s.cal.book(ready, work) + work
+	s.replicate(&m)
+	if !req.OneWay() {
+		req.Reply(&proto.Ack{}, done)
+	}
 }
 
 // applyDiffs installs diffs sent by the given writer, returning the
@@ -389,6 +468,15 @@ func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) error {
 // left intact, so the pull can be retried by a later fetch — a dead
 // writer must not take the memory server down with it.
 func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) error {
+	if s.standby {
+		// A standby never pulls: its primary already pulled and
+		// replicated the bytes as an EvictFlush ahead of this message,
+		// so the claim is simply dropped.
+		for _, pu := range pages {
+			delete(s.owner, layout.PageID(pu))
+		}
+		return nil
+	}
 	if s.agentAddr == nil {
 		panic(fmt.Sprintf("memserver %d: pages owned by writer %d but no agent address map", s.index, w))
 	}
@@ -412,6 +500,11 @@ func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) error {
 	for _, pu := range pages {
 		delete(s.owner, layout.PageID(pu))
 	}
+	// Pulled bytes exist only in this server's memory now (the writer's
+	// retained diffs were taken destructively): replicate them before
+	// applying, so the standby sees them ahead of any batch that
+	// depends on them.
+	s.replicate(&proto.EvictFlush{Writer: w, Diffs: resp.Diffs})
 	if _, err := s.applyDiffs(w, resp.Diffs, ready); err != nil {
 		return err
 	}

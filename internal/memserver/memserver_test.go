@@ -2,6 +2,7 @@ package memserver
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/scl"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 	"repro/internal/vtime"
 )
 
@@ -216,8 +218,78 @@ func TestShutdownFailsParkedFetch(t *testing.T) {
 	}
 	if err := <-errc; err == nil {
 		t.Fatal("parked fetch survived shutdown without error")
+	} else if !errors.Is(err, proto.ErrShutdown) {
+		t.Fatalf("parked fetch error not typed as shutdown: %v", err)
 	}
 	<-done
+}
+
+// A warm standby applies the primary's replicated diff stream but
+// refuses fetches with a typed proto.ErrNotPromoted until promoted;
+// after promotion it serves the replicated bytes.
+func TestStandbyReplicationAndPromotion(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	f := simnet.NewFabric(testLink)
+	live := new(stats.Liveness)
+	primary := New(scl.NewSimEndpoint(f, 100), 0, geo, vtime.DefaultCPU, nil)
+	primary.SetReplica(101)
+	primary.SetLiveness(live)
+	standby := New(scl.NewSimEndpoint(f, 101), 0, geo, vtime.DefaultCPU, nil)
+	standby.SetStandby(true)
+	standby.SetLiveness(live)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); primary.Run() }()
+	go func() { defer wg.Done(); standby.Run() }()
+	cli := scl.NewSimEndpoint(f, 1)
+	defer func() {
+		var ack proto.Ack
+		for _, node := range []scl.NodeID{100, 101} {
+			if _, err := cli.Call(node, &proto.Shutdown{}, &ack, 0); err != nil {
+				t.Errorf("shutdown %d: %v", node, err)
+			}
+		}
+		wg.Wait()
+	}()
+
+	tag := proto.IntervalTag{Writer: 3, Interval: 1}
+	var ack proto.Ack
+	// Two-way, so the ack proves the primary applied and forwarded it.
+	if _, err := cli.Call(100, &proto.DiffBatch{
+		Tag:   tag,
+		Diffs: []proto.PageDiff{{Page: 0, Runs: []proto.DiffRun{{Off: 7, Data: []byte{42}}}}},
+	}, &ack, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp proto.FetchLineResp
+	if _, err := cli.Call(101, &proto.FetchLineReq{Line: 0}, &resp, 0); err == nil {
+		t.Fatal("unpromoted standby served a fetch")
+	} else if !errors.Is(err, proto.ErrNotPromoted) {
+		t.Fatalf("standby refusal not typed: %v", err)
+	}
+
+	if _, err := cli.Call(101, &proto.Promote{}, &ack, 0); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	// Quoting the tag parks the fetch until the replicated batch has
+	// been applied, so this cannot race the one-way replication stream.
+	var after proto.FetchLineResp
+	if _, err := cli.Call(101, &proto.FetchLineReq{
+		Line:  0,
+		Needs: []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{tag}}},
+	}, &after, 0); err != nil {
+		t.Fatalf("promoted fetch: %v", err)
+	}
+	if after.Data[7] != 42 {
+		t.Fatalf("replicated byte missing from promoted standby: %d", after.Data[7])
+	}
+	if live.ReplBatches.Load() == 0 {
+		t.Error("replication counter never moved")
+	}
+	if live.Promotions.Load() != 1 {
+		t.Errorf("Promotions = %d, want 1", live.Promotions.Load())
+	}
 }
 
 // Property: a random sequence of diff batches leaves the server's pages

@@ -71,6 +71,13 @@ type Config struct {
 	// Writer is the owning thread's id, used to tag intervals and skip
 	// self-notices.
 	Writer uint32
+	// NoLazyOwner disables the lazy single-writer optimization: every
+	// dirty page ships an eager diff at release instead of retaining
+	// its diffs locally under an ownership claim. Used when homes are
+	// replicated to a warm standby — retained diffs live only in the
+	// writer's memory and would be lost if the writer died, so the
+	// release must put the bytes at the (replicated) home.
+	NoLazyOwner bool
 }
 
 // DefaultCapacityLines models the coprocessor-side cache of the paper's
@@ -582,7 +589,7 @@ func (c *Cache) CollectRelease() *ReleaseSet {
 			ps.dirty = false
 			ps.twin = nil
 			delete(c.dirtyPages, p)
-			if _, isShared := c.shared[p]; isShared {
+			if _, isShared := c.shared[p]; isShared || c.cfg.NoLazyOwner {
 				if prior := c.owned.Take(p); prior != nil {
 					d.Runs = append(prior, d.Runs...)
 				}

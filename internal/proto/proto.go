@@ -70,6 +70,10 @@ const (
 	KPing
 	KShutdown
 	KError
+
+	// Liveness messages.
+	KHeartbeat // one-way: membership lease renewal (or graceful goodbye)
+	KPromote   // promote a warm-standby memory server to primary
 )
 
 var kindNames = map[Kind]string{
@@ -96,6 +100,8 @@ var kindNames = map[Kind]string{
 	KPing:          "ping",
 	KShutdown:      "shutdown",
 	KError:         "error",
+	KHeartbeat:     "heartbeat",
+	KPromote:       "promote",
 }
 
 func (k Kind) String() string {

@@ -1,5 +1,7 @@
 package proto
 
+import "errors"
+
 // Msg is implemented by every protocol message body.
 type Msg interface {
 	// Kind identifies the message type on the wire.
@@ -662,11 +664,119 @@ func (m *Shutdown) Kind() Kind          { return KShutdown }
 func (m *Shutdown) Marshal(w *Writer)   {}
 func (m *Shutdown) Unmarshal(r *Reader) {}
 
-// Error reports a server-side failure to the caller.
+// Error codes carried by Error responses, so clients can distinguish
+// failure classes (orderly shutdown, peer death, unpromoted standby)
+// without parsing error text. CodeErr maps a code to its sentinel.
+const (
+	// CodeGeneric is an unclassified protocol error.
+	CodeGeneric uint16 = iota
+	// CodeShutdown: the peer completed an orderly shutdown while the
+	// request was parked.
+	CodeShutdown
+	// CodePeerDied: the request was completed (or fenced) because a
+	// participant it depended on was declared dead by the manager's
+	// lease table, or because the answering component itself died.
+	CodePeerDied
+	// CodeNotPromoted: a request reached a warm-standby memory server
+	// that has not been promoted to primary.
+	CodeNotPromoted
+)
+
+// Sentinels matched by errors.Is against coded remote errors (the scl
+// layer translates an Error response's Code into the matching sentinel).
+var (
+	// ErrShutdown reports an orderly peer shutdown.
+	ErrShutdown = errors.New("proto: peer shut down")
+	// ErrPeerDied reports that a participant was declared dead; parked
+	// lock/barrier/cond waiters and fetches complete with this instead
+	// of hanging when a peer they depend on crashes.
+	ErrPeerDied = errors.New("proto: peer died")
+	// ErrNotPromoted reports a request to an unpromoted standby.
+	ErrNotPromoted = errors.New("proto: standby not promoted")
+)
+
+// CodeErr returns the sentinel for a code (nil for CodeGeneric and
+// unknown codes).
+func CodeErr(code uint16) error {
+	switch code {
+	case CodeShutdown:
+		return ErrShutdown
+	case CodePeerDied:
+		return ErrPeerDied
+	case CodeNotPromoted:
+		return ErrNotPromoted
+	}
+	return nil
+}
+
+// Error reports a server-side failure to the caller. Code classifies
+// the failure (CodeGeneric when the sender did not classify it).
 type Error struct {
+	Code uint16
 	Text string
 }
 
-func (m *Error) Kind() Kind          { return KError }
-func (m *Error) Marshal(w *Writer)   { w.Bytes([]byte(m.Text)) }
-func (m *Error) Unmarshal(r *Reader) { m.Text = string(r.Bytes()) }
+func (m *Error) Kind() Kind { return KError }
+
+func (m *Error) Marshal(w *Writer) {
+	w.U32(uint32(m.Code))
+	w.Bytes([]byte(m.Text))
+}
+
+func (m *Error) Unmarshal(r *Reader) {
+	m.Code = uint16(r.U32())
+	m.Text = string(r.Bytes())
+}
+
+// ---------------------------------------------------------------------
+// Liveness messages.
+
+// Membership classes carried by heartbeats.
+const (
+	// MemberThread identifies a compute thread (Member = writer id).
+	MemberThread uint8 = 1
+	// MemberServer identifies a memory server (Member = index + 1).
+	MemberServer uint8 = 2
+)
+
+// Heartbeat renews a participant's membership lease at the manager.
+// One-way and free of virtual-time cost: the manager processes it
+// without touching its virtual clock, so enabling liveness does not
+// perturb the deterministic virtual-time results of a run. A Member of
+// zero is a pure liveness tick (it only prompts the manager to sweep
+// its lease table); Bye announces a graceful departure so the member is
+// removed without being declared dead.
+type Heartbeat struct {
+	Member uint32
+	Class  uint8
+	Node   uint32
+	Bye    bool
+}
+
+func (m *Heartbeat) Kind() Kind { return KHeartbeat }
+
+func (m *Heartbeat) Marshal(w *Writer) {
+	w.U32(m.Member)
+	w.U8(m.Class)
+	w.U32(m.Node)
+	if m.Bye {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+func (m *Heartbeat) Unmarshal(r *Reader) {
+	m.Member = r.U32()
+	m.Class = r.U8()
+	m.Node = r.U32()
+	m.Bye = r.U8() != 0
+}
+
+// Promote turns a warm-standby memory server into the primary for its
+// home index. Idempotent: an already-promoted server acks again.
+type Promote struct{}
+
+func (m *Promote) Kind() Kind          { return KPromote }
+func (m *Promote) Marshal(w *Writer)   {}
+func (m *Promote) Unmarshal(r *Reader) {}

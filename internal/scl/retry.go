@@ -117,7 +117,10 @@ type RetryPolicy struct {
 	// is what unsticks those calls when a peer dies.
 	Timeout time.Duration
 	// Deadline bounds the whole Call/Post across attempts and backoff
-	// (0 = none).
+	// (0 = none). Unlike Timeout it is always safe: a Call attempt
+	// still in flight when the deadline expires is abandoned and the
+	// whole call fails with ErrUnreachable — the call gives up for
+	// good, it does not re-enter the protocol.
 	Deadline time.Duration
 	// Backoff is the sleep before the second attempt; it doubles per
 	// retry (0 = 1ms when retries happen).
@@ -188,11 +191,25 @@ func runWithRetry(pol RetryPolicy, nst *stats.Net, dst NodeID, attempt func(time
 				nst.Retries.Add(1)
 			}
 		}
+		// The overall Deadline bounds in-flight attempts too: with no
+		// per-attempt Timeout, the remaining budget becomes this
+		// attempt's timeout, so a peer that accepts the call but never
+		// answers cannot block past the deadline.
+		timeout := pol.Timeout
+		if !deadline.IsZero() {
+			left := time.Until(deadline)
+			if left <= 0 {
+				break
+			}
+			if timeout <= 0 || left < timeout {
+				timeout = left
+			}
+		}
 		tried++
 		if nst != nil {
 			nst.Attempts.Add(1)
 		}
-		doneAt, err := attempt(pol.Timeout)
+		doneAt, err := attempt(timeout)
 		if err == nil {
 			return doneAt, nil
 		}

@@ -203,6 +203,38 @@ func TestRetryDeadlineBoundsAttempts(t *testing.T) {
 	}
 }
 
+// Satellite: the overall Deadline must fire even when no per-attempt
+// Timeout is configured and the peer accepts the call but never answers
+// — the in-flight attempt is abandoned at the deadline and the call
+// fails typed with ErrUnreachable instead of hanging forever.
+func TestRetryDeadlineFiresWithoutPerAttemptTimeout(t *testing.T) {
+	inner := &flakyEndpoint{block: true}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 1 << 20,
+		Timeout:     0, // no per-attempt timeout: the attempt blocks
+		Backoff:     time.Microsecond,
+		Deadline:    50 * time.Millisecond,
+	}, nst)
+	start := time.Now()
+	var resp proto.AllocResp
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("deadline did not cut off the blocked call: took %v", e)
+	}
+	// The abandoned attempt's goroutine may still be alive; read the
+	// counter under the endpoint's lock.
+	inner.mu.Lock()
+	calls := inner.calls
+	inner.mu.Unlock()
+	if calls > 2 {
+		t.Errorf("blocked call was attempted %d times", calls)
+	}
+}
+
 func TestPostRetries(t *testing.T) {
 	inner := &flakyEndpoint{failN: 2, err: Transientf("drop")}
 	nst := new(stats.Net)

@@ -87,9 +87,17 @@ func (r *Request) Reply(m proto.Msg, at vtime.Time) {
 	r.reply(uint16(m.Kind()), proto.Encode(m), at)
 }
 
-// ReplyError answers the request with a protocol-level error.
+// ReplyError answers the request with a protocol-level error
+// (CodeGeneric; use ReplyErrorCode to classify the failure).
 func (r *Request) ReplyError(err error, at vtime.Time) {
-	r.Reply(&proto.Error{Text: err.Error()}, at)
+	r.ReplyErrorCode(proto.CodeGeneric, err, at)
+}
+
+// ReplyErrorCode answers the request with a classified protocol-level
+// error; the caller's decode turns the code back into its sentinel so
+// clients can errors.Is-match shutdown against peer death.
+func (r *Request) ReplyErrorCode(code uint16, err error, at vtime.Time) {
+	r.Reply(&proto.Error{Code: code, Text: err.Error()}, at)
 }
 
 // SimEndpoint adapts a simnet.Port to the Endpoint interface.
@@ -140,6 +148,20 @@ func (e *SimEndpoint) Recv() (*Request, bool) {
 // Close implements Endpoint.
 func (e *SimEndpoint) Close() { e.port.Close() }
 
+// RemoteError is a protocol-level error response from a peer. Its code
+// unwraps to the matching proto sentinel, so callers can distinguish an
+// orderly shutdown (proto.ErrShutdown) from a crash the manager's lease
+// table detected (proto.ErrPeerDied) with errors.Is.
+type RemoteError struct {
+	Code uint16
+	Text string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("scl: remote error: %s", e.Text) }
+
+// Unwrap exposes the sentinel for the error's code (nil for generic).
+func (e *RemoteError) Unwrap() error { return proto.CodeErr(e.Code) }
+
 // decodeResponse interprets a raw response, translating wire-level
 // errors.
 func decodeResponse(kind proto.Kind, body []byte, resp proto.Msg) error {
@@ -148,7 +170,7 @@ func decodeResponse(kind proto.Kind, body []byte, resp proto.Msg) error {
 		if err := proto.Decode(&pe, body); err != nil {
 			return fmt.Errorf("scl: undecodable error response: %w", err)
 		}
-		return fmt.Errorf("scl: remote error: %s", pe.Text)
+		return &RemoteError{Code: pe.Code, Text: pe.Text}
 	}
 	if kind != resp.Kind() {
 		return fmt.Errorf("scl: got %v response, want %v", kind, resp.Kind())

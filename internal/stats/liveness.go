@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Liveness aggregates crash-detection and recovery events: heartbeat
+// membership at the manager, lock-lease reclamation, barrier-count
+// recomputation, and memory-server replication/failover. Fields are
+// atomic so one Liveness can be shared by the manager, the memory
+// servers and the runtime and read while the system runs.
+type Liveness struct {
+	Heartbeats  atomic.Int64 // heartbeats processed by the manager
+	ThreadsDead atomic.Int64 // compute threads declared dead by the lease table
+	ServersDead atomic.Int64 // memory servers declared dead by the lease table
+
+	LocksReclaimed     atomic.Int64 // locks force-released from a dead holder
+	WaitersEvicted     atomic.Int64 // dead threads' queue/park entries dropped
+	WaitersFailed      atomic.Int64 // live parked waiters completed with ErrPeerDied
+	BarriersRecomputed atomic.Int64 // barrier rounds released at a reduced count
+
+	ReplBatches  atomic.Int64 // diff batches streamed primary -> standby
+	ReplBytes    atomic.Int64 // encoded bytes of those batches
+	ReplFailures atomic.Int64 // replication posts that failed
+	Promotions   atomic.Int64 // standby servers promoted to primary
+	Failovers    atomic.Int64 // homes redirected to their promoted standby
+}
+
+// Summary renders the non-zero liveness counters on one line (or
+// "no liveness events" when nothing happened).
+func (l *Liveness) Summary() string {
+	type item struct {
+		name string
+		v    int64
+	}
+	items := []item{
+		{"heartbeats", l.Heartbeats.Load()},
+		{"threadsDead", l.ThreadsDead.Load()},
+		{"serversDead", l.ServersDead.Load()},
+		{"locksReclaimed", l.LocksReclaimed.Load()},
+		{"waitersEvicted", l.WaitersEvicted.Load()},
+		{"waitersFailed", l.WaitersFailed.Load()},
+		{"barriersRecomputed", l.BarriersRecomputed.Load()},
+		{"replBatches", l.ReplBatches.Load()},
+		{"replBytes", l.ReplBytes.Load()},
+		{"replFailures", l.ReplFailures.Load()},
+		{"promotions", l.Promotions.Load()},
+		{"failovers", l.Failovers.Load()},
+	}
+	var parts []string
+	for _, it := range items {
+		if it.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", it.name, it.v))
+		}
+	}
+	if len(parts) == 0 {
+		return "liveness: no liveness events"
+	}
+	return "liveness: " + strings.Join(parts, " ")
+}

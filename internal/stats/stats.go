@@ -42,6 +42,8 @@ type Net struct {
 	InjectedDelays    atomic.Int64 // faultnet: messages delayed
 	InjectedDups      atomic.Int64 // faultnet: duplicate responses delivered and discarded
 	PartitionRefusals atomic.Int64 // faultnet: attempts refused by an active partition
+	InjectedKills     atomic.Int64 // faultnet: nodes crash-killed
+	KillRefusals      atomic.Int64 // faultnet: attempts refused because an endpoint is killed
 }
 
 // Summary renders the non-zero robustness counters on one line (or
@@ -64,6 +66,8 @@ func (n *Net) Summary() string {
 		{"delays", n.InjectedDelays.Load()},
 		{"dups", n.InjectedDups.Load()},
 		{"partitionRefusals", n.PartitionRefusals.Load()},
+		{"kills", n.InjectedKills.Load()},
+		{"killRefusals", n.KillRefusals.Load()},
 	}
 	var parts []string
 	for _, it := range items {

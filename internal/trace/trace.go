@@ -32,6 +32,7 @@ const (
 	CatRelease Category = "release" // diff collection + batch posting
 	CatAlloc   Category = "alloc"   // manager allocation round trips
 	CatNet     Category = "net"     // transport faults: drops, delays, partitions, duplicates
+	CatLive    Category = "live"    // liveness: kills, member deaths, reclamation, failover
 )
 
 // Event is one completed span in virtual time.

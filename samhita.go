@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultnet"
 	"repro/internal/layout"
+	"repro/internal/proto"
 	"repro/internal/pthreads"
 	"repro/internal/scl"
 	"repro/internal/stats"
@@ -119,14 +120,60 @@ type (
 	// FaultPartition scripts one unreachability window inside a
 	// FaultConfig.
 	FaultPartition = faultnet.Partition
-	// FaultInjector injects drops, delays, duplicate responses and
-	// partitions beneath the retry layer; assign one to Config.Faults.
+	// FaultInjector injects drops, delays, duplicate responses,
+	// partitions and node kills beneath the retry layer; assign one to
+	// Config.Faults. Its Kill method crashes a node on demand.
 	FaultInjector = faultnet.Injector
 )
 
-// ErrUnreachable is the sentinel matched by errors.Is when a call gave
-// up after exhausting its RetryPolicy.
-var ErrUnreachable = scl.ErrUnreachable
+// Liveness: heartbeat membership, lock-lease reclamation, and
+// memory-server checkpoint/failover. See DESIGN.md and README.md,
+// "Failure semantics".
+type (
+	// LivenessConfig enables the liveness layer (heartbeats, lease
+	// reclamation, optional warm-standby memory servers); assign a
+	// pointer to Config.Liveness.
+	LivenessConfig = core.LivenessConfig
+	// LivenessStats counts liveness events (member deaths, lock
+	// reclamations, barrier recomputations, replication, failovers).
+	// Read it from Runtime.Liveness after a run.
+	LivenessStats = stats.Liveness
+	// FaultKill scripts one permanent node crash inside a FaultConfig;
+	// see ManagerNode, ServerNode and ThreadNode for targets.
+	FaultKill = faultnet.Kill
+	// NodeID identifies a fabric node (fault-scripting targets).
+	NodeID = scl.NodeID
+)
+
+// Node-id helpers for fault scripting.
+var (
+	// ManagerNode is the fabric node of the central manager.
+	ManagerNode = core.ManagerNode
+	// ServerNode is the fabric node of primary memory server i.
+	ServerNode = core.ServerNode
+	// StandbyNode is the fabric node of the warm standby for server i.
+	StandbyNode = core.StandbyNode
+	// ThreadNode is the fabric node of the thread with writer id w
+	// (writer ids start at 1; a runtime's first Run gives thread t
+	// writer id t+1).
+	ThreadNode = core.ThreadNode
+)
+
+// Typed failure sentinels, matched with errors.Is.
+var (
+	// ErrUnreachable: a call gave up after exhausting its RetryPolicy.
+	ErrUnreachable = scl.ErrUnreachable
+	// ErrPeerDied: the peer (or a required participant) crashed — a
+	// parked call was completed by the liveness layer, a request was
+	// fenced from a dead member, or retries exhausted against a killed
+	// node.
+	ErrPeerDied = proto.ErrPeerDied
+	// ErrShutdown: the component shut down with calls still parked.
+	ErrShutdown = proto.ErrShutdown
+	// ErrNotPromoted: a fetch reached a warm standby that has not been
+	// promoted.
+	ErrNotPromoted = proto.ErrNotPromoted
+)
 
 // DefaultRetryPolicy retries transient transport failures with
 // exponential backoff and no per-attempt timeout (protocol calls may
