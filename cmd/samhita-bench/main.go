@@ -12,6 +12,8 @@
 //	samhita-bench -all -csv out/        # also write out/figNN.csv
 //	samhita-bench -figure 3 -faults     # same figure under injected transport faults
 //	samhita-bench -all -quick -standby  # with warm-standby replicated memory servers
+//	samhita-bench -json BENCH_micro.json            # machine-readable micro benchmark
+//	samhita-bench -json out.json -baseline BENCH_micro.json  # + CI regression gate
 //
 // Reported times are virtual-model times (see DESIGN.md), so the output
 // is deterministic up to scheduling of symmetric lock acquisitions.
@@ -27,6 +29,7 @@ import (
 
 	samhita "repro"
 	"repro/internal/bench"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -38,6 +41,10 @@ func main() {
 		scenario  = flag.Bool("scenario", false, "run the Figure-1 heterogeneous-node projection (host vs coprocessor)")
 		quick     = flag.Bool("quick", false, "reduced problem sizes")
 		csvDir    = flag.String("csv", "", "directory to write CSV files into")
+
+		jsonOut  = flag.String("json", "", "measure the micro-benchmark suite and write it as JSON to this file")
+		baseline = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
+		depth    = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
 
 		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -52,6 +59,8 @@ func main() {
 	if *quick {
 		opts = bench.Quick()
 	}
+	opts.PrefetchDepth = *depth
+	opts.Agg = new(stats.Run)
 	if *faults {
 		opts.FaultSeed = *faultSeed
 		opts.FaultDrop = *faultDrop
@@ -68,9 +77,30 @@ func main() {
 		opts.Net = new(samhita.NetStats)
 	}
 
-	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario {
+	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario && *jsonOut == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		mb, err := bench.MicroBenchSuite(opts)
+		if err != nil {
+			fatalf("micro suite: %v", err)
+		}
+		if err := mb.WriteFile(*jsonOut); err != nil {
+			fatalf("write %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		if *baseline != "" {
+			base, err := bench.ReadMicroBench(*baseline)
+			if err != nil {
+				fatalf("baseline: %v", err)
+			}
+			if err := bench.CheckRegression(base, mb, 0.20); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("no regression vs %s (20%% gate)\n", *baseline)
+		}
 	}
 
 	var figIDs []int
@@ -125,7 +155,11 @@ func main() {
 		fmt.Printf("(ran in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	// Robustness counters accumulated across every runtime booted above.
+	// Release-path and robustness counters accumulated across every
+	// Samhita runtime booted above.
+	if len(opts.Agg.Threads) > 0 {
+		fmt.Println(opts.Agg.ReleaseLine())
+	}
 	if opts.Net != nil {
 		fmt.Println(opts.Net.Summary())
 	}

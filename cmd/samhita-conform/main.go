@@ -138,6 +138,7 @@ func randomConfig(seed int64) core.Config {
 	cfg.Geo.NumServers = 1 + rng.Intn(3)
 	cfg.CacheLines = []int{2, 4, 16, 64, 1024}[rng.Intn(5)]
 	cfg.Prefetch = rng.Intn(2) == 0
+	cfg.PrefetchDepth = rng.Intn(4) // 0 = one line ahead; up to 3 ahead
 	cfg.DisableFineGrain = rng.Intn(4) == 0
 	return cfg
 }

@@ -30,6 +30,7 @@ func main() {
 		s         = flag.Int("S", 2, "rows per thread")
 		bw        = flag.Int("B", 256, "doubles per row")
 		servers   = flag.Int("servers", 1, "memory servers (samhita)")
+		depth     = flag.Int("prefetch-depth", 0, "lines of anticipatory paging per miss (0 = one line ahead; samhita)")
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
@@ -66,6 +67,7 @@ func main() {
 	case "samhita":
 		cfg := samhita.DefaultConfig()
 		cfg.Geo.NumServers = *servers
+		cfg.PrefetchDepth = *depth
 		switch *link {
 		case "qdr-ib":
 			cfg.Link = samhita.QDRInfiniBand

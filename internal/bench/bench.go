@@ -56,9 +56,12 @@ type Options struct {
 	Link       vtime.LinkModel
 	CacheLines int
 	Prefetch   bool
-	NumServers int
-	Striped    bool
-	LinePages  int
+	// PrefetchDepth is how many lines ahead anticipatory paging runs
+	// (0 = the paper's one-line-ahead default).
+	PrefetchDepth int
+	NumServers    int
+	Striped       bool
+	LinePages     int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
@@ -76,6 +79,10 @@ type Options struct {
 	// whole figure sweep reports one total at the end.
 	Net  *stats.Net
 	Live *stats.Liveness
+	// Agg, when non-nil, accumulates the per-thread counters of every
+	// Samhita run an experiment boots, so samhita-bench can report one
+	// release-path/prefetch efficiency summary at the end.
+	Agg *stats.Run
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -163,6 +170,7 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.Link = o.Link
 	cfg.CacheLines = o.CacheLines
 	cfg.Prefetch = o.Prefetch
+	cfg.PrefetchDepth = o.PrefetchDepth
 	cfg.Geo.NumServers = o.NumServers
 	cfg.Geo.Striped = o.Striped
 	cfg.Geo.LinePages = o.LinePages

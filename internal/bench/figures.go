@@ -20,7 +20,16 @@ func (o Options) runMicroSamhita(p int, prm kernels.MicroParams) (*stats.Run, er
 	if err != nil {
 		return nil, err
 	}
+	o.aggregate(res.Run)
 	return res.Run, nil
+}
+
+// aggregate folds a Samhita run's per-thread counters into the shared
+// sweep-wide collector, when one is configured.
+func (o Options) aggregate(r *stats.Run) {
+	if o.Agg != nil {
+		o.Agg.Threads = append(o.Agg.Threads, r.Threads...)
+	}
 }
 
 func (o Options) runMicroPthreads(p int, prm kernels.MicroParams) (*stats.Run, error) {
@@ -248,6 +257,7 @@ func (o Options) speedupFigure(id int, name string,
 		if err != nil {
 			return nil, err
 		}
+		o.aggregate(r)
 		smh.Points = append(smh.Points, Point{X: float64(p), Y: baseT / seconds(r.MaxTotalTime())})
 	}
 	f.Series = append(f.Series, pth, smh)

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/kernels"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// This file is the machine-readable face of the micro-benchmark: one
+// JSON document (BENCH_micro.json) records the release-path and
+// prefetch efficiency of a fixed set of configurations, and
+// CheckRegression gates CI on it. Reported times are virtual-model
+// times over the sequenced simulated fabric, so the numbers are
+// bit-stable across machines — a regression is a code change, not
+// noise, which is what lets the gate be strict.
+
+// MicroPoint is one measured micro-benchmark configuration.
+type MicroPoint struct {
+	// Configuration (the identity CheckRegression matches on).
+	P             int    `json:"p"`
+	Mode          string `json:"mode"`
+	N             int    `json:"n"`
+	M             int    `json:"m"`
+	S             int    `json:"s"`
+	B             int    `json:"b"`
+	PrefetchDepth int    `json:"prefetchDepth"`
+
+	// Virtual times of the slowest thread, in nanoseconds.
+	ComputeMaxNs int64 `json:"computeMaxNs"`
+	SyncMaxNs    int64 `json:"syncMaxNs"`
+	TotalMaxNs   int64 `json:"totalMaxNs"`
+
+	// Whole-fabric traffic (every message of every component).
+	FabricMsgs  int64 `json:"fabricMsgs"`
+	FabricBytes int64 `json:"fabricBytes"`
+
+	// Release-path efficiency.
+	Releases            int64   `json:"releases"`
+	MsgsPerRelease      float64 `json:"msgsPerRelease"`
+	DiffBytesPerRelease float64 `json:"diffBytesPerRelease"`
+
+	// Prefetch efficiency.
+	PrefetchIssued    int64   `json:"prefetchIssued"`
+	PrefetchHitRate   float64 `json:"prefetchHitRate"`
+	PrefetchWasteRate float64 `json:"prefetchWasteRate"`
+}
+
+// key is the configuration identity used to pair baseline and current
+// points.
+func (p MicroPoint) key() string {
+	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth)
+}
+
+// MicroBench is the document stored in BENCH_micro.json.
+type MicroBench struct {
+	Benchmark string       `json:"benchmark"`
+	Points    []MicroPoint `json:"points"`
+}
+
+// MeasureMicro boots a fresh Samhita runtime from the options, runs the
+// micro kernel once and returns the measured point.
+func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error) {
+	v, err := o.newSamhita()
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	defer v.Close()
+	res, err := kernels.RunMicro(v, p, prm)
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	o.aggregate(res.Run)
+	tot := res.Run.Totals()
+	pt := MicroPoint{
+		P: p, Mode: prm.Mode.String(),
+		N: prm.N, M: prm.M, S: prm.S, B: prm.B,
+		PrefetchDepth: o.PrefetchDepth,
+
+		ComputeMaxNs: int64(res.Run.MaxComputeTime()),
+		SyncMaxNs:    int64(res.Run.MaxSyncTime()),
+		TotalMaxNs:   int64(res.Run.MaxTotalTime()),
+
+		Releases:            tot.Releases,
+		MsgsPerRelease:      stats.Rate(tot.MsgsSent, tot.Releases),
+		DiffBytesPerRelease: stats.Rate(tot.DiffBytes, tot.Releases),
+
+		PrefetchIssued:    tot.PrefetchIssued,
+		PrefetchHitRate:   stats.Rate(tot.PrefetchHits+tot.PrefetchLate, tot.PrefetchIssued),
+		PrefetchWasteRate: stats.Rate(tot.PrefetchWasted, tot.PrefetchIssued),
+	}
+	if rt, ok := v.(*core.Runtime); ok && rt.Fabric() != nil {
+		pt.FabricMsgs = rt.Fabric().Messages()
+		pt.FabricBytes = rt.Fabric().Bytes()
+	}
+	return pt, nil
+}
+
+// MicroBenchSuite measures the standard point set: the paper's Figure
+// 10/11 configuration (16 threads, strided allocation, M=10, S=2) at
+// the configured prefetch depth, plus a local-mode control.
+func MicroBenchSuite(o Options) (*MicroBench, error) {
+	mb := &MicroBench{Benchmark: "samhita-micro"}
+	cfgs := []struct {
+		p    int
+		mode kernels.AllocMode
+	}{
+		{16, kernels.AllocStrided},
+		{16, kernels.AllocLocal},
+	}
+	for _, c := range cfgs {
+		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode}
+		pt, err := o.MeasureMicro(c.p, prm)
+		if err != nil {
+			return nil, err
+		}
+		mb.Points = append(mb.Points, pt)
+	}
+	return mb, nil
+}
+
+// WriteFile stores the document as indented JSON.
+func (mb *MicroBench) WriteFile(path string) error {
+	data, err := json.MarshalIndent(mb, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadMicroBench loads a stored document.
+func ReadMicroBench(path string) (*MicroBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mb := &MicroBench{}
+	if err := json.Unmarshal(data, mb); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return mb, nil
+}
+
+// CheckRegression compares current against baseline point by point
+// (matched on configuration) and returns an error naming every point
+// whose sync time or fabric message count grew by more than tol
+// (e.g. 0.20 = 20%). Baseline points absent from current are ignored;
+// new current points pass (there is nothing to compare them to).
+func CheckRegression(baseline, current *MicroBench, tol float64) error {
+	base := make(map[string]MicroPoint, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[p.key()] = p
+	}
+	var bad []string
+	for _, cur := range current.Points {
+		b, ok := base[cur.key()]
+		if !ok {
+			continue
+		}
+		if b.SyncMaxNs > 0 && float64(cur.SyncMaxNs) > float64(b.SyncMaxNs)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: sync %dns > baseline %dns by more than %.0f%%",
+				cur.key(), cur.SyncMaxNs, b.SyncMaxNs, tol*100))
+		}
+		if b.FabricMsgs > 0 && float64(cur.FabricMsgs) > float64(b.FabricMsgs)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: fabric msgs %d > baseline %d by more than %.0f%%",
+				cur.key(), cur.FabricMsgs, b.FabricMsgs, tol*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/kernels"
+)
+
+func TestMicroBenchFileRoundTrip(t *testing.T) {
+	in := &MicroBench{
+		Benchmark: "samhita-micro",
+		Points: []MicroPoint{{
+			P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256,
+			SyncMaxNs: 1_500_000, FabricMsgs: 1800, Releases: 320,
+			MsgsPerRelease: 3.5,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMicroBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 1 || out.Points[0] != in.Points[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out.Points, in.Points)
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := &MicroBench{Points: []MicroPoint{{
+		P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256,
+		SyncMaxNs: 1_000_000, FabricMsgs: 1000,
+	}}}
+	within := &MicroBench{Points: []MicroPoint{{
+		P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256,
+		SyncMaxNs: 1_150_000, FabricMsgs: 1100,
+	}}}
+	if err := CheckRegression(base, within, 0.20); err != nil {
+		t.Errorf("15%% growth tripped the 20%% gate: %v", err)
+	}
+	over := &MicroBench{Points: []MicroPoint{{
+		P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256,
+		SyncMaxNs: 1_250_000, FabricMsgs: 1000,
+	}}}
+	err := CheckRegression(base, over, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "sync") {
+		t.Errorf("25%% sync growth passed the 20%% gate: %v", err)
+	}
+	msgs := &MicroBench{Points: []MicroPoint{{
+		P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256,
+		SyncMaxNs: 1_000_000, FabricMsgs: 1500,
+	}}}
+	err = CheckRegression(base, msgs, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "msgs") {
+		t.Errorf("50%% message growth passed the 20%% gate: %v", err)
+	}
+	// A differently configured point has no baseline partner and passes.
+	other := &MicroBench{Points: []MicroPoint{{
+		P: 8, Mode: "local", N: 10, M: 10, S: 2, B: 256,
+		SyncMaxNs: 9_000_000, FabricMsgs: 9000,
+	}}}
+	if err := CheckRegression(base, other, 0.20); err != nil {
+		t.Errorf("unmatched point failed the gate: %v", err)
+	}
+}
+
+// MeasureMicro on the sequenced simulated fabric must be bit-stable:
+// the same options yield the same point, which is what justifies a
+// strict CI gate on the stored baseline.
+func TestMeasureMicroDeterministic(t *testing.T) {
+	o := Quick()
+	prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: kernels.AllocStrided}
+	a, err := o.MeasureMicro(4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.MeasureMicro(4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("measurements differ:\n a: %+v\n b: %+v", a, b)
+	}
+	if a.SyncMaxNs == 0 || a.FabricMsgs == 0 || a.Releases == 0 {
+		t.Fatalf("degenerate measurement: %+v", a)
+	}
+}

@@ -81,8 +81,11 @@ type Config struct {
 	CPU vtime.CPUModel
 	// CacheLines bounds each thread's software cache (0 = default).
 	CacheLines int
-	// Prefetch enables one-line-ahead anticipatory paging.
+	// Prefetch enables anticipatory paging.
 	Prefetch bool
+	// PrefetchDepth is how many lines ahead the stride prefetcher runs
+	// when Prefetch is on (0 = 1, the paper's one-line-ahead strategy).
+	PrefetchDepth int
 	// ArenaChunk is the size of the chunks threads request for their
 	// local arenas (0 = 256 KiB).
 	ArenaChunk int
@@ -239,6 +242,11 @@ type Runtime struct {
 	fabric    *simnet.Fabric // nil when a custom Transport is used
 	transport Transport
 
+	// gate is the fabric's runnable-token ledger. On a sequenced fabric
+	// (clean simulated runs) every goroutine that can send traffic must
+	// report spawn/park/exit through it; otherwise it is a no-op.
+	gate simnet.Gate
+
 	mgr      *manager.Manager
 	servers  []*memserver.Server
 	standbys []*memserver.Server
@@ -313,6 +321,19 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		rt.transport = simTransport{fabric: rt.fabric}
 	}
+	// Clean simulated runs get deterministic message delivery: identical
+	// configs then produce bit-identical virtual times and statistics.
+	// Fault injection, retry timeouts and liveness heartbeats are driven
+	// by real time, so runs using them keep the real-time fabric.
+	if rt.fabric != nil && cfg.Faults == nil && cfg.Retry == nil && cfg.Liveness == nil {
+		rt.fabric.Sequence()
+	}
+	rt.gate = simnet.NopGate()
+	if rt.fabric != nil {
+		rt.gate = rt.fabric.Gate()
+	}
+	// The caller's goroutine counts as runnable from New until Close.
+	rt.gate.Resume()
 	if cfg.Faults != nil {
 		cfg.Faults.SetNetStats(cfg.Net)
 		cfg.Faults.SetTrace(cfg.Trace)
@@ -327,8 +348,10 @@ func New(cfg Config) (*Runtime, error) {
 		rt.hbStop = make(chan struct{})
 	}
 	rt.wg.Add(1)
+	rt.gate.Resume()
 	go func() {
 		defer rt.wg.Done()
+		defer rt.gate.Pause()
 		rt.mgr.Run()
 	}()
 	agentAddr := func(writer uint32) scl.NodeID { return firstThreadNode + scl.NodeID(writer) }
@@ -349,8 +372,10 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		rt.servers = append(rt.servers, srv)
 		rt.wg.Add(1)
+		rt.gate.Resume()
 		go func() {
 			defer rt.wg.Done()
+			defer rt.gate.Pause()
 			srv.Run()
 		}()
 		if rt.livenessEnabled() {
@@ -373,8 +398,10 @@ func New(cfg Config) (*Runtime, error) {
 			sb.SetLiveness(cfg.Liveness.Live)
 			rt.standbys = append(rt.standbys, sb)
 			rt.wg.Add(1)
+			rt.gate.Resume()
 			go func() {
 				defer rt.wg.Done()
+				defer rt.gate.Pause()
 				sb.Run()
 			}()
 		}
@@ -529,7 +556,11 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 	hbStop := make(chan struct{})
 	var hbWG sync.WaitGroup
 	for _, th := range threads {
-		go th.agentLoop()
+		rt.gate.Resume()
+		go func(th *Thread) {
+			defer rt.gate.Pause()
+			th.agentLoop()
+		}(th)
 		if rt.livenessEnabled() {
 			hbWG.Add(1)
 			go rt.threadHeartbeat(th, hbStop, &hbWG)
@@ -544,8 +575,10 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 	)
 	for _, th := range threads {
 		wg.Add(1)
+		rt.gate.Resume()
 		go func(th *Thread) {
 			defer wg.Done()
+			defer rt.gate.Pause()
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
@@ -564,7 +597,12 @@ func (rt *Runtime) Run(p int, body func(t vm.Thread)) (*stats.Run, error) {
 			body(th)
 		}(th)
 	}
+	// The caller parks while the bodies run; on a sequenced fabric its
+	// token must be released or delivery could stall with every thread
+	// blocked on a pending message.
+	rt.gate.Pause()
 	wg.Wait()
+	rt.gate.Resume()
 	// Retire the threads in three phases. (1) Flush any still-retained
 	// owned diffs so the homes become self-sufficient. (2) Drain every
 	// memory server with a synchronous ping: each inbox is a FIFO, so
@@ -663,6 +701,16 @@ func (rt *Runtime) newThread(id, p int) (*Thread, error) {
 // batches we need drained (the promoted standby's inbox holds the
 // replicated stream, so its ack is the drain).
 func (rt *Runtime) drainServers() error {
+	if rt.fabric != nil && rt.fabric.Sequenced() {
+		// The ping idiom relies on FIFO inboxes; the sequenced fabric
+		// delivers in virtual-arrival order, so a ping (cheap, early
+		// arrival) would overtake the queued batches it is supposed to
+		// prove drained. Wait for each home's stream to quiesce instead.
+		for i := range rt.servers {
+			rt.fabric.Quiesce(rt.homeNode(i))
+		}
+		return nil
+	}
 	ctl, err := rt.newEndpoint(firstThreadNode - 2 - scl.NodeID(rt.nextThread.Add(1)))
 	if err != nil {
 		return fmt.Errorf("core: drain endpoint: %w", err)
@@ -722,7 +770,9 @@ func (rt *Runtime) Close() error {
 				rt.closeErr = err
 			}
 		}
+		rt.gate.Pause()
 		rt.wg.Wait()
+		rt.gate.Resume()
 		ctl.Close()
 		if rt.failCtl != nil {
 			rt.failCtl.Close()
@@ -730,6 +780,8 @@ func (rt *Runtime) Close() error {
 		if err := rt.transport.Close(); err != nil && rt.closeErr == nil {
 			rt.closeErr = err
 		}
+		// Retire the caller token issued by New.
+		rt.gate.Pause()
 	})
 	return rt.closeErr
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/layout"
 	"repro/internal/manager"
@@ -57,13 +58,21 @@ type Thread struct {
 var _ vm.Thread = (*Thread)(nil)
 
 func (t *Thread) initCache() {
+	depth := 0
+	if t.rt.cfg.Prefetch {
+		depth = t.rt.cfg.PrefetchDepth
+		if depth <= 0 {
+			depth = 1
+		}
+	}
 	t.cache = pagecache.New(pagecache.Config{
 		Geo:           t.rt.cfg.Geo,
 		CPU:           t.rt.cfg.CPU,
 		CapacityLines: t.rt.cfg.CacheLines,
-		Prefetch:      t.rt.cfg.Prefetch,
+		PrefetchDepth: depth,
 		Writer:        t.writer,
 		NoLazyOwner:   t.rt.standbyEnabled(),
+		Gate:          t.rt.gate,
 	}, (*threadBackend)(t), t.clock, &t.st)
 }
 
@@ -102,10 +111,14 @@ func (t *Thread) register() error {
 // thread after every body has returned.
 func (t *Thread) finish() {
 	t.settleCompute()
+	// Drain before restoring any frozen snapshot: the drain classifies
+	// still-in-flight prefetches as wasted, and those must land on the
+	// same record as the issues they pair with or the wasted count can
+	// exceed the issued count.
+	t.cache.DrainPrefetches()
 	if t.frozen != nil {
 		t.st = *t.frozen
 	}
-	t.cache.DrainPrefetches()
 }
 
 // agentLoop is the thread's cache agent: it answers DiffPull requests
@@ -163,9 +176,9 @@ func (t *Thread) flushOwned() error {
 		byHome[home] = append(byHome[home], d)
 	}
 	at := t.clock.Now()
-	for home, ds := range byHome {
+	for _, home := range sortedHomes(byHome) {
 		var err error
-		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: byHome[home]}, at)
 		if err != nil {
 			return fmt.Errorf("final owned flush: %w", err)
 		}
@@ -368,27 +381,97 @@ func (t *Thread) Free(a vm.Addr) {
 // ---------------------------------------------------------------------
 // Release/acquire plumbing shared by the synchronization objects.
 
-// postRelease closes the current interval: it ships the DiffBatches to
-// the home servers (asynchronously, before the manager hears about the
-// release) and returns the notice content for the manager call.
-func (t *Thread) postRelease() *pagecache.ReleaseSet {
+// callResult carries the completion of a manager round trip started
+// while the release pipeline runs.
+type callResult struct {
+	at  vtime.Time
+	err error
+}
+
+// startManagerCall issues a manager round trip on a helper goroutine so
+// the thread can overlap it with diff work; the completion arrives on
+// the returned channel. Concurrent use of the endpoint is safe — the
+// prefetch path already calls from helper goroutines.
+func (t *Thread) startManagerCall(req proto.Msg, resp proto.Msg, at vtime.Time) <-chan callResult {
+	ch := make(chan callResult, 1)
+	t.st.MsgsSent++
+	t.rt.gate.Resume()
+	go func() {
+		doneAt, err := t.ep.Call(managerNode, req, resp, at)
+		t.rt.gate.Resume() // wake credit for the joining thread
+		ch <- callResult{at: doneAt, err: err}
+		t.rt.gate.Pause() // helper exit
+	}()
+	return ch
+}
+
+// finishRelease completes a BeginRelease: it computes the deferred
+// shared-page diffs and fans the per-home DiffBatches out over SCL.
+// Interval tags — not arrival order at the manager — are what restores
+// causality at the homes, so callers may (and do) announce the release
+// to the manager before this work happens; a fetch racing ahead of a
+// batch parks at the home until the quoted tag's batch lands.
+func (t *Thread) finishRelease(rs *pagecache.ReleaseSet) {
 	start := t.clock.Now()
-	rs := t.cache.CollectRelease()
+	t.cache.FinishRelease(rs)
 	defer func() {
 		if t.rt.cfg.Trace != nil && (len(rs.Pages) > 0 || len(rs.Records) > 0) {
 			t.rt.cfg.Trace.Span(t.actor, trace.CatRelease, "release", start, t.clock.Now(),
-				map[string]any{"pages": len(rs.Pages), "records": len(rs.Records)})
+				map[string]any{"pages": len(rs.Pages), "records": len(rs.Records), "homes": len(rs.ByHome)})
 		}
 	}()
-	for home, batch := range rs.ByHome {
-		at, err := t.sendHome(home, batch, t.clock.Now())
-		if err != nil {
-			t.fail("diff batch", err)
-		}
-		t.clock.AdvanceTo(at)
-		t.st.MsgsSent++
+	if len(rs.ByHome) == 0 {
+		return
 	}
-	return rs
+	// Deterministic fan-out order: the clock advance sequence (and, with
+	// a standby, each call's issue time) must not depend on map order.
+	homes := sortedHomes(rs.ByHome)
+	if !t.rt.standbyEnabled() {
+		// One-way posts: nothing blocks, the sender only pays the
+		// serialized send overheads.
+		for _, home := range homes {
+			at, err := t.sendHome(home, rs.ByHome[home], t.clock.Now())
+			if err != nil {
+				t.fail("diff batch", err)
+			}
+			t.clock.AdvanceTo(at)
+			t.st.MsgsSent++
+		}
+		return
+	}
+	// Acknowledged sends to replicated homes: issue every call
+	// concurrently (send overheads still serialize on the NIC) and join
+	// at the latest ack instead of chaining the round trips.
+	sendAt := t.clock.Now()
+	ch := make(chan callResult, len(homes))
+	for i, home := range homes {
+		issue := sendAt + vtime.Time(i)*t.rt.cfg.Link.SendOverhead
+		t.st.MsgsSent++
+		t.rt.gate.Resume()
+		go func(home int, issue vtime.Time) {
+			var ack proto.Ack
+			at, err := t.callHome(home, rs.ByHome[home], &ack, issue)
+			t.rt.gate.Resume()
+			ch <- callResult{at: at, err: err}
+			t.rt.gate.Pause()
+		}(home, issue)
+	}
+	join := t.clock.Now()
+	var firstErr error
+	for range homes {
+		t.rt.gate.Pause()
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.at > join {
+			join = r.at
+		}
+	}
+	if firstErr != nil {
+		t.fail("diff batch", firstErr)
+	}
+	t.clock.AdvanceTo(join)
 }
 
 // applyNotices consumes acquire-side notices and advances the seen
@@ -450,17 +533,35 @@ func (m *smhMutex) Unlock(th vm.Thread) {
 		t.rt.cfg.Trace.Span(t.actor, trace.CatLock, fmt.Sprintf("unlock %d", m.id), start, t.clock.Now(), nil)
 	}()
 	t.clock.Advance(t.rt.cfg.CPU.LockTime)
-	rs := t.postRelease()
-	var ack proto.Ack
-	at, err := t.ep.Call(managerNode, &proto.UnlockReq{
+	// Pipelined release: the write notice is a one-way post issued
+	// before the diffs are even computed. The manager can grant the
+	// next waiter immediately — neither the unlock ack nor the diff
+	// work sits on the serialized lock-handoff chain — and any fetch
+	// that races ahead of the diffs parks at the home on this
+	// interval's tag until finishRelease ships them.
+	//
+	// Exception: a release carrying fine-grained records must ship its
+	// batches BEFORE the notice. Records are applied in place at
+	// acquirers without invalidating the page, so no tag-parked fetch
+	// orders this batch against the next holder's at the home —
+	// arrival order is the only order, and announcing first would let
+	// the next holder's batch overtake ours.
+	rs := t.cache.BeginRelease()
+	if len(rs.Records) > 0 {
+		t.finishRelease(rs)
+	}
+	at, err := t.ep.Post(managerNode, &proto.UnlockReq{
 		Lock: m.id, Thread: t.writer, Interval: rs.Tag.Interval,
 		Pages: rs.Pages, Records: rs.Records,
-	}, &ack, t.clock.Now())
+	}, t.clock.Now())
 	if err != nil {
 		t.fail("unlock", err)
 	}
 	t.clock.AdvanceTo(at)
 	t.st.MsgsSent++
+	if len(rs.Records) == 0 {
+		t.finishRelease(rs)
+	}
 	t.st.LockOps++
 	t.lockDepth--
 	t.settleSync()
@@ -483,18 +584,32 @@ func (b *smhBarrier) Wait(th vm.Thread) {
 		t.rt.cfg.Trace.Span(t.actor, trace.CatBarrier, fmt.Sprintf("barrier %d", b.id), start, t.clock.Now(), nil)
 	}()
 	t.clock.Advance(t.rt.cfg.CPU.LockTime)
-	rs := t.postRelease()
+	// Barrier arrival is also an acquire, so the manager call must be a
+	// round trip — but it can fly while the diffs are computed and
+	// shipped (interval tags order the batches at the homes), so the
+	// release work hides inside the barrier's wait. Record-carrying
+	// releases forgo the overlap: records are applied in place at
+	// acquirers (no invalidation, no tag-parked fetch), so the batch
+	// must be at the home before the barrier can open.
+	rs := t.cache.BeginRelease()
+	if len(rs.Records) > 0 {
+		t.finishRelease(rs)
+	}
 	var resp proto.BarrierResp
-	at, err := t.ep.Call(managerNode, &proto.BarrierReq{
+	done := t.startManagerCall(&proto.BarrierReq{
 		Barrier: b.id, Count: b.n, Thread: t.writer,
 		LastSeen: t.lastSeen, Interval: rs.Tag.Interval,
 		Pages: rs.Pages, Records: rs.Records,
 	}, &resp, t.clock.Now())
-	if err != nil {
-		t.fail("barrier", err)
+	if len(rs.Records) == 0 {
+		t.finishRelease(rs)
 	}
-	t.clock.AdvanceTo(at)
-	t.st.MsgsSent++
+	t.rt.gate.Pause() // park until the helper's credit wakes us
+	r := <-done
+	if r.err != nil {
+		t.fail("barrier", r.err)
+	}
+	t.clock.AdvanceTo(r.at)
 	t.st.BarrierOps++
 	t.applyNotices(resp.Seq, resp.Notices)
 	t.settleSync()
@@ -519,18 +634,28 @@ func (c *smhCond) Wait(th vm.Thread, mu vm.Mutex) {
 	}
 	t.settleCompute()
 	t.clock.Advance(t.rt.cfg.CPU.LockTime)
-	rs := t.postRelease()
+	// Same overlap as the barrier: the wait-for-signal round trip flies
+	// while the release's diffs are computed and shipped — unless the
+	// release carries records, which must land at the homes first.
+	rs := t.cache.BeginRelease()
+	if len(rs.Records) > 0 {
+		t.finishRelease(rs)
+	}
 	var resp proto.CondWaitResp
-	at, err := t.ep.Call(managerNode, &proto.CondWaitReq{
+	done := t.startManagerCall(&proto.CondWaitReq{
 		Cond: c.id, Lock: m.id, Thread: t.writer,
 		LastSeen: t.lastSeen, Interval: rs.Tag.Interval,
 		Pages: rs.Pages, Records: rs.Records,
 	}, &resp, t.clock.Now())
-	if err != nil {
-		t.fail("cond wait", err)
+	if len(rs.Records) == 0 {
+		t.finishRelease(rs)
 	}
-	t.clock.AdvanceTo(at)
-	t.st.MsgsSent++
+	t.rt.gate.Pause() // park until the helper's credit wakes us
+	r := <-done
+	if r.err != nil {
+		t.fail("cond wait", r.err)
+	}
+	t.clock.AdvanceTo(r.at)
 	t.st.CondOps++
 	t.applyNotices(resp.Seq, resp.Notices)
 	t.settleSync()
@@ -583,19 +708,57 @@ func (b *threadBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at
 	return resp.Data, doneAt, nil
 }
 
+// FetchLines implements pagecache.Backend: one combined request for a
+// demand miss plus companion pages the same home must refill anyway
+// (fetch combining). Whole lines and single invalidated pages share one
+// round trip and one service booking at the home.
+func (b *threadBackend) FetchLines(lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error) {
+	t := b.thread()
+	var home int
+	if len(lines) > 0 {
+		home = t.rt.cfg.Geo.HomeOf(t.rt.cfg.Geo.FirstPage(lines[0]))
+	} else {
+		home = t.rt.cfg.Geo.HomeOf(pages[0])
+	}
+	req := &proto.FetchLinesReq{Needs: needs}
+	for _, l := range lines {
+		req.Lines = append(req.Lines, uint64(l))
+	}
+	for _, p := range pages {
+		req.Pages = append(req.Pages, uint64(p))
+	}
+	var resp proto.FetchLinesResp
+	doneAt, err := t.callHome(home, req, &resp, at)
+	if err != nil {
+		return nil, at, err
+	}
+	t.rt.cfg.Trace.Span(t.actor, trace.CatFetch,
+		fmt.Sprintf("fetch %d lines + %d pages", len(lines), len(pages)), at, doneAt,
+		map[string]any{"home": home, "needs": len(needs)})
+	t.st.MsgsSent++
+	return resp.Data, doneAt, nil
+}
+
 // StartPrefetch implements pagecache.Backend: the asynchronous
-// adjacent-line request of Samhita's anticipatory paging.
-func (b *threadBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan pagecache.PrefetchResult {
+// line request of Samhita's anticipatory paging.
+func (b *threadBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time, h *pagecache.Handoff) <-chan pagecache.PrefetchResult {
 	t := b.thread()
 	home := t.rt.cfg.Geo.HomeOf(t.rt.cfg.Geo.FirstPage(line))
 	ch := make(chan pagecache.PrefetchResult, 1)
 	t.st.MsgsSent++
+	t.rt.gate.Resume()
 	go func() {
 		var resp proto.FetchLineResp
 		doneAt, err := t.callHome(home, &proto.FetchLineReq{
 			Line: uint64(line), Needs: needs,
 		}, &resp, at)
+		if err == nil {
+			t.rt.cfg.Trace.Span(t.actor, trace.CatPrefetch, fmt.Sprintf("prefetch line %d", line), at, doneAt,
+				map[string]any{"home": home})
+		}
+		h.Done() // credit a parked consumer, if any (never unconditionally)
 		ch <- pagecache.PrefetchResult{Data: resp.Data, ReadyAt: doneAt, Err: err}
+		t.rt.gate.Pause() // helper exit
 	}()
 	return ch
 }
@@ -608,13 +771,24 @@ func (b *threadBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime
 		home := t.rt.cfg.Geo.HomeOf(layout.PageID(d.Page))
 		byHome[home] = append(byHome[home], d)
 	}
-	for home, ds := range byHome {
+	for _, home := range sortedHomes(byHome) {
 		var err error
-		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: ds}, at)
+		at, err = t.sendHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: byHome[home]}, at)
 		if err != nil {
 			return at, err
 		}
 		t.st.MsgsSent++
 	}
 	return at, nil
+}
+
+// sortedHomes lists a per-home map's keys in ascending order, so send
+// sequences never depend on map iteration.
+func sortedHomes[V any](m map[int]V) []int {
+	homes := make([]int, 0, len(m))
+	for h := range m {
+		homes = append(homes, h)
+	}
+	sort.Ints(homes)
+	return homes
 }

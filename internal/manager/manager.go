@@ -632,20 +632,35 @@ func (m *Manager) grant(ls *lockState, w waiter) {
 	}
 }
 
+// handleUnlock accepts both forms of unlock: the classic acknowledged
+// round trip, and the pipelined one-way post (the releaser overlaps its
+// diff shipping with this notice; interval tags at the homes restore
+// the ordering the missing ack used to provide).
 func (m *Manager) handleUnlock(req *scl.Request) {
 	var ur proto.UnlockReq
 	if err := req.Decode(&ur); err != nil {
+		if req.OneWay() {
+			// Nobody to answer; an undecodable unlock is a protocol bug.
+			panic(fmt.Sprintf("manager: bad UnlockReq: %v", err))
+		}
 		req.ReplyError(err, m.clock.Now())
 		return
 	}
 	ls := m.lock(ur.Lock)
 	if !ls.held || ls.holder != ur.Thread {
-		req.ReplyError(fmt.Errorf("manager: unlock of lock %d by non-holder thread %d", ur.Lock, ur.Thread), m.clock.Now())
+		// One-way: the lock was force-released after the sender was
+		// declared dead (or the sender is confused); dropping the
+		// request is the only fence available.
+		if !req.OneWay() {
+			req.ReplyError(fmt.Errorf("manager: unlock of lock %d by non-holder thread %d", ur.Lock, ur.Thread), m.clock.Now())
+		}
 		return
 	}
 	m.stats.Unlocks.Add(1)
 	m.postNotice(proto.IntervalTag{Writer: ur.Thread, Interval: ur.Interval}, ur.Pages, ur.Records)
-	req.Reply(&proto.Ack{}, m.clock.Now())
+	if !req.OneWay() {
+		req.Reply(&proto.Ack{}, m.clock.Now())
+	}
 	m.release(ls)
 }
 

@@ -34,6 +34,7 @@ package memserver
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/layout"
@@ -47,19 +48,21 @@ import (
 // updated atomically so tests and harnesses may read them while the
 // server runs.
 type Stats struct {
-	Fetches       atomic.Int64 // FetchLine requests served
-	ParkedFetches atomic.Int64 // fetches that had to wait for diffs
-	DiffBatches   atomic.Int64
-	DiffBytes     atomic.Int64
-	Records       atomic.Int64
-	EvictFlushes  atomic.Int64
-	BytesServed   atomic.Int64 // line payload bytes returned
-	PagesHosted   atomic.Int64 // distinct pages materialized
-	OwnedClaims   atomic.Int64 // ownership claims recorded
-	Pulls         atomic.Int64 // DiffPull round trips to writers
-	PulledBytes   atomic.Int64 // diff payload bytes pulled on demand
-	PullFailures  atomic.Int64 // DiffPull round trips that failed (writer unreachable)
-	FailedFetches atomic.Int64 // fetches answered with an error instead of data
+	Fetches        atomic.Int64 // FetchLine requests served
+	ParkedFetches  atomic.Int64 // fetches that had to wait for diffs
+	DiffBatches    atomic.Int64
+	DiffBytes      atomic.Int64
+	Records        atomic.Int64
+	EvictFlushes   atomic.Int64
+	BytesServed    atomic.Int64 // line payload bytes returned
+	PagesHosted    atomic.Int64 // distinct pages materialized
+	OwnedClaims    atomic.Int64 // ownership claims recorded
+	Pulls          atomic.Int64 // DiffPull round trips to writers
+	PulledBytes    atomic.Int64 // diff payload bytes pulled on demand
+	PullFailures   atomic.Int64 // DiffPull round trips that failed (writer unreachable)
+	FailedFetches  atomic.Int64 // fetches answered with an error instead of data
+	CombinedReqs   atomic.Int64 // multi-line combined fetch requests served
+	CombinedExtras atomic.Int64 // companion lines carried by combined fetches
 }
 
 // AgentAddr maps a protocol writer id to the fabric node of that
@@ -100,10 +103,13 @@ type Server struct {
 	stats Stats
 }
 
-// parkedFetch is a FetchLine waiting for outstanding interval tags.
+// parkedFetch is a fetch (single-line or combined lines+pages) waiting
+// for outstanding interval tags.
 type parkedFetch struct {
 	req     *scl.Request
-	line    layout.LineID
+	lines   []layout.LineID
+	pages   []layout.PageID
+	multi   bool                // reply with FetchLinesResp instead of FetchLineResp
 	tags    []proto.IntervalTag // every tag the fetch quoted
 	waiting map[proto.IntervalTag]struct{}
 }
@@ -159,6 +165,8 @@ func (s *Server) Run() {
 		switch req.Kind() {
 		case proto.KFetchLineReq:
 			s.handleFetch(req)
+		case proto.KFetchLinesReq:
+			s.handleFetchLines(req)
 		case proto.KDiffBatch:
 			s.handleDiffBatch(req)
 		case proto.KEvictFlush:
@@ -234,6 +242,36 @@ func (s *Server) handleFetch(req *scl.Request) {
 		req.ReplyError(err, s.cal.maxEnd)
 		return
 	}
+	s.serveFetch(req, []layout.LineID{layout.LineID(m.Line)}, nil, m.Needs, false)
+}
+
+func (s *Server) handleFetchLines(req *scl.Request) {
+	var m proto.FetchLinesReq
+	if err := req.Decode(&m); err != nil {
+		req.ReplyError(err, s.cal.maxEnd)
+		return
+	}
+	if len(m.Lines)+len(m.Pages) == 0 {
+		req.ReplyError(fmt.Errorf("memserver %d: empty combined fetch", s.index), s.cal.maxEnd)
+		return
+	}
+	lines := make([]layout.LineID, len(m.Lines))
+	for i, lu := range m.Lines {
+		lines[i] = layout.LineID(lu)
+	}
+	pages := make([]layout.PageID, len(m.Pages))
+	for i, pu := range m.Pages {
+		pages[i] = layout.PageID(pu)
+	}
+	s.stats.CombinedReqs.Add(1)
+	s.stats.CombinedExtras.Add(int64(len(lines) + len(pages) - 1))
+	s.serveFetch(req, lines, pages, m.Needs, true)
+}
+
+// serveFetch validates a fetch for lines and/or pages, then answers it
+// immediately or parks it until every quoted interval tag has been
+// applied.
+func (s *Server) serveFetch(req *scl.Request, lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, multi bool) {
 	if s.standby {
 		// A standby serves no reads until promoted: the typed code lets
 		// a fetcher with a stale address book distinguish "not yet
@@ -243,17 +281,24 @@ func (s *Server) handleFetch(req *scl.Request) {
 			fmt.Errorf("memserver %d: standby not promoted", s.index), s.cal.maxEnd)
 		return
 	}
-	line := layout.LineID(m.Line)
-	if home := s.geo.HomeOf(s.geo.FirstPage(line)); home != s.index {
-		req.ReplyError(fmt.Errorf("memserver %d: line %d homes on server %d", s.index, line, home), s.cal.maxEnd)
-		return
+	for _, line := range lines {
+		if home := s.geo.HomeOf(s.geo.FirstPage(line)); home != s.index {
+			req.ReplyError(fmt.Errorf("memserver %d: line %d homes on server %d", s.index, line, home), s.cal.maxEnd)
+			return
+		}
+	}
+	for _, p := range pages {
+		if home := s.geo.HomeOf(p); home != s.index {
+			req.ReplyError(fmt.Errorf("memserver %d: page %d homes on server %d", s.index, p, home), s.cal.maxEnd)
+			return
+		}
 	}
 	s.stats.Fetches.Add(1)
 
 	var tags []proto.IntervalTag
 	waiting := make(map[proto.IntervalTag]struct{})
-	for i := range m.Needs {
-		for _, tag := range m.Needs[i].Tags {
+	for i := range needs {
+		for _, tag := range needs[i].Tags {
 			tags = append(tags, tag)
 			if _, ok := s.appliedAt[tag]; !ok {
 				waiting[tag] = struct{}{}
@@ -261,41 +306,51 @@ func (s *Server) handleFetch(req *scl.Request) {
 		}
 	}
 	if len(waiting) == 0 {
-		s.replyFetch(req, line, tags)
+		s.replyFetch(req, lines, pages, tags, multi)
 		return
 	}
 	s.stats.ParkedFetches.Add(1)
-	s.parked[&parkedFetch{req: req, line: line, tags: tags, waiting: waiting}] = struct{}{}
+	s.parked[&parkedFetch{req: req, lines: lines, pages: pages, multi: multi, tags: tags, waiting: waiting}] = struct{}{}
 }
 
 // replyFetch answers a fetch whose needed tags have all been applied:
 // it is ready no earlier than its own arrival and the application times
-// of those tags; lazily-owned pages are pulled up to date; then the
-// line assembly books a service slot. A pull that fails (the owning
-// writer's cache agent is unreachable) degrades to a clean protocol
-// error back to the fetcher — ownership is retained so a later fetch
-// can retry — instead of wedging or killing the server.
-func (s *Server) replyFetch(req *scl.Request, line layout.LineID, tags []proto.IntervalTag) {
+// of those tags; lazily-owned pages across all requested lines and
+// pages are pulled up to date (batched per writer); then the assembly
+// books one service slot. A pull that fails (the owning writer's cache
+// agent is unreachable) degrades to a clean protocol error back to the
+// fetcher — ownership is retained so a later fetch can retry — instead
+// of wedging or killing the server.
+func (s *Server) replyFetch(req *scl.Request, lines []layout.LineID, pages []layout.PageID, tags []proto.IntervalTag, multi bool) {
 	ready := req.Arrive()
 	for _, tag := range tags {
 		if at, ok := s.appliedAt[tag]; ok && at > ready {
 			ready = at
 		}
 	}
-	if err := s.pullOwned(line, &ready); err != nil {
+	if err := s.pullOwned(lines, pages, &ready); err != nil {
 		s.stats.FailedFetches.Add(1)
-		req.ReplyError(fmt.Errorf("memserver %d: line %d: %w", s.index, line, err), s.cal.maxEnd)
+		req.ReplyError(fmt.Errorf("memserver %d: lines %v pages %v: %w", s.index, lines, pages, err), s.cal.maxEnd)
 		return
 	}
-	data := make([]byte, 0, s.geo.LineSize())
-	first := s.geo.FirstPage(line)
-	for i := 0; i < s.geo.LinePages; i++ {
-		data = append(data, s.page(first+layout.PageID(i))...)
+	data := make([]byte, 0, s.geo.LineSize()*len(lines)+s.geo.PageSize*len(pages))
+	for _, line := range lines {
+		first := s.geo.FirstPage(line)
+		for i := 0; i < s.geo.LinePages; i++ {
+			data = append(data, s.page(first+layout.PageID(i))...)
+		}
+	}
+	for _, p := range pages {
+		data = append(data, s.page(p)...)
 	}
 	work := req.Svc() + s.cpu.CopyTime(len(data))
 	done := s.cal.book(ready, work) + work
 	s.stats.BytesServed.Add(int64(len(data)))
-	req.Reply(&proto.FetchLineResp{Data: data}, done)
+	if multi {
+		req.Reply(&proto.FetchLinesResp{Data: data}, done)
+	} else {
+		req.Reply(&proto.FetchLineResp{Data: data}, done)
+	}
 }
 
 func (s *Server) handleDiffBatch(req *scl.Request) {
@@ -434,27 +489,43 @@ func (s *Server) wakeParked(tag proto.IntervalTag) {
 		delete(pf.waiting, tag)
 		if len(pf.waiting) == 0 {
 			delete(s.parked, pf)
-			s.replyFetch(pf.req, pf.line, pf.tags)
+			s.replyFetch(pf.req, pf.lines, pf.pages, pf.tags, pf.multi)
 		}
 	}
 }
 
-// pullOwned brings every lazily-owned page of a line up to date by
-// pulling retained diffs from their writers' cache agents. The server
+// pullOwned brings every lazily-owned page of the given lines and
+// pages up to date by pulling retained diffs from their writers' cache
+// agents — one batched pull per writer across the whole request, so a
+// combined fetch never multiplies the pull round trips. The server
 // blocks on each pull — a fetch that hits an owned page pays the extra
-// round trip, which is the single-writer optimization's bargain: writers
-// release for free, occasional readers pay one pull.
-func (s *Server) pullOwned(line layout.LineID, ready *vtime.Time) error {
-	first := s.geo.FirstPage(line)
+// round trip, which is the single-writer optimization's bargain:
+// writers release for free, occasional readers pay one pull.
+func (s *Server) pullOwned(lines []layout.LineID, pages []layout.PageID, ready *vtime.Time) error {
 	byWriter := make(map[uint32][]uint64)
-	for i := 0; i < s.geo.LinePages; i++ {
-		p := first + layout.PageID(i)
+	for _, line := range lines {
+		first := s.geo.FirstPage(line)
+		for i := 0; i < s.geo.LinePages; i++ {
+			p := first + layout.PageID(i)
+			if w, ok := s.owner[p]; ok {
+				byWriter[w] = append(byWriter[w], uint64(p))
+			}
+		}
+	}
+	for _, p := range pages {
 		if w, ok := s.owner[p]; ok {
 			byWriter[w] = append(byWriter[w], uint64(p))
 		}
 	}
-	for w, pages := range byWriter {
-		if err := s.pullFrom(w, pages, ready); err != nil {
+	// Pull in writer order: the pulls chain on ready, so iteration order
+	// is part of the virtual-time result and must be deterministic.
+	writers := make([]uint32, 0, len(byWriter))
+	for w := range byWriter {
+		writers = append(writers, w)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	for _, w := range writers {
+		if err := s.pullFrom(w, byWriter[w], ready); err != nil {
 			return err
 		}
 	}

@@ -26,6 +26,8 @@ package pagecache
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/layout"
 	"repro/internal/proto"
@@ -42,10 +44,17 @@ type Backend interface {
 	// the line bytes and the caller's virtual time when they are in
 	// hand.
 	FetchLine(line layout.LineID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error)
+	// FetchLines synchronously fetches several whole lines and/or
+	// individual pages, all homed on the same server, in one combined
+	// request (fetch combining). The returned bytes are the lines'
+	// contents followed by the pages' contents, concatenated in request
+	// order.
+	FetchLines(lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error)
 	// StartPrefetch begins an asynchronous fetch of a line; the result
-	// is delivered on the returned channel. A nil return means the
-	// backend declines (prefetch disabled).
-	StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan PrefetchResult
+	// is delivered on the returned channel, and the helper goroutine
+	// must call h.Done() immediately before sending it. A nil return
+	// means the backend declines (prefetch disabled).
+	StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time, h *Handoff) <-chan PrefetchResult
 	// FlushEvict posts a mid-interval diff of evicted dirty pages to
 	// their home. It is asynchronous; the returned time is the sender's
 	// clock after the send overhead.
@@ -59,6 +68,60 @@ type PrefetchResult struct {
 	Err     error
 }
 
+// Gate is the runnable-token ledger of a deterministically sequenced
+// transport (simnet.Gate, structurally). The cache reports through it
+// when the owning thread parks waiting for a prefetch result: the
+// prefetch helper issues the matching wake credit before it delivers.
+type Gate interface {
+	Resume()
+	Pause()
+}
+
+// nopGate is the Gate used when none is configured.
+type nopGate struct{}
+
+func (nopGate) Resume() {}
+func (nopGate) Pause()  {}
+
+// Handoff mediates the runnable-token transfer for one asynchronous
+// fetch. A completed prefetch may sit unconsumed indefinitely, so the
+// helper goroutine must NOT issue an unconditional wake credit (a
+// floating credit would keep the sequencer from ever reaching
+// quiescence): the credit is issued only when the consumer is already
+// parked, and a consumer that arrives after completion never parks.
+type Handoff struct {
+	mu      sync.Mutex
+	gate    Gate
+	done    bool
+	waiting bool
+}
+
+// Done is called by the backend's helper goroutine right before it
+// delivers the result: a consumer already parked on the channel gets
+// its wake credit here.
+func (h *Handoff) Done() {
+	h.mu.Lock()
+	h.done = true
+	if h.waiting {
+		h.gate.Resume()
+	}
+	h.mu.Unlock()
+}
+
+// beginWait is called by the consumer before blocking on the result
+// channel: if the helper has not delivered yet, the consumer parks
+// (releases its runnable token) and Done will credit it.
+func (h *Handoff) beginWait() {
+	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return // result is (about to be) in the channel; no park needed
+	}
+	h.waiting = true
+	h.mu.Unlock()
+	h.gate.Pause()
+}
+
 // Config parameterizes a cache.
 type Config struct {
 	Geo layout.Geometry
@@ -66,8 +129,11 @@ type Config struct {
 	// CapacityLines bounds the number of resident lines; 0 means a
 	// generous default.
 	CapacityLines int
-	// Prefetch enables one-line-ahead anticipatory paging.
-	Prefetch bool
+	// PrefetchDepth is how many lines ahead anticipatory paging runs:
+	// every demand fault issues up to this many asynchronous fetches at
+	// the stride the miss detector currently predicts. 0 disables
+	// prefetching; 1 is the paper's one-line-ahead strategy.
+	PrefetchDepth int
 	// Writer is the owning thread's id, used to tag intervals and skip
 	// self-notices.
 	Writer uint32
@@ -78,6 +144,10 @@ type Config struct {
 	// writer's memory and would be lost if the writer died, so the
 	// release must put the bytes at the (replicated) home.
 	NoLazyOwner bool
+	// Gate, if non-nil, is the sequenced transport's runnable-token
+	// ledger; the cache pauses through it before blocking on a prefetch
+	// channel.
+	Gate Gate
 }
 
 // DefaultCapacityLines models the coprocessor-side cache of the paper's
@@ -103,6 +173,7 @@ type lineEntry struct {
 // prefetchEntry tracks an in-flight asynchronous line fetch.
 type prefetchEntry struct {
 	ch <-chan PrefetchResult
+	h  *Handoff
 	// needsSent records which tags were quoted per page at issue time;
 	// pages whose needs grew since must not be installed as valid.
 	needsSent map[layout.PageID]map[proto.IntervalTag]struct{}
@@ -122,6 +193,13 @@ type Cache struct {
 	pending  map[layout.LineID]*prefetchEntry
 	useTick  uint64
 	capacity int
+
+	// Stride detector for adaptive prefetch: when two consecutive
+	// demand-miss deltas agree, prefetch runs at that stride instead of
+	// the default +1.
+	lastMiss   layout.LineID
+	haveMiss   bool
+	lastStride int64
 
 	// pageNeeds records, for every page that is not resident-and-valid,
 	// the interval tags a future fetch must wait for. Entries are
@@ -148,6 +226,9 @@ type Cache struct {
 func New(cfg Config, be Backend, clock *vtime.Clock, st *stats.Thread) *Cache {
 	if cfg.CapacityLines <= 0 {
 		cfg.CapacityLines = DefaultCapacityLines
+	}
+	if cfg.Gate == nil {
+		cfg.Gate = nopGate{}
 	}
 	return &Cache{
 		cfg:          cfg,
@@ -274,18 +355,25 @@ func (c *Cache) ensureValid(p layout.PageID) (*lineEntry, error) {
 	return le, nil
 }
 
-// fault brings a line in (or revalidates its invalid pages) and issues
-// the adjacent-line prefetch.
+// fault brings a line in (or revalidates its invalid pages), combining
+// the fetch with other invalidated same-homed pages, and issues the
+// stride prefetch. A resident line's invalid pages are fetched at page
+// granularity — an acquire-driven invalidation of one 4 KiB page must
+// not move a whole multi-page line again.
 func (c *Cache) fault(line layout.LineID) (*lineEntry, error) {
 	c.clock.Advance(c.cfg.CPU.FaultOverhead)
 	c.st.Misses++
+	stride := c.noteMiss(line)
 
 	var (
-		data    []byte
-		readyAt vtime.Time
-		err     error
+		data      []byte
+		readyAt   vtime.Time
+		err       error
+		fullLines []layout.LineID
+		pages     []layout.PageID
 	)
 	if pe, ok := c.pending[line]; ok {
+		pe.h.beginWait() // park only if the helper has not delivered yet
 		res := <-pe.ch
 		delete(c.pending, line)
 		if res.Err != nil {
@@ -300,42 +388,158 @@ func (c *Cache) fault(line layout.LineID) (*lineEntry, error) {
 		// be installed from it; force a demand fetch for the whole line
 		// in that case (rare).
 		if c.prefetchStale(line, pe) {
+			c.st.PrefetchWasted++
 			data, readyAt, err = c.be.FetchLine(line, c.needsFor(line), c.clock.Now())
 		} else {
 			data, readyAt = res.Data, vtime.Max(res.ReadyAt, c.clock.Now())
 		}
+		fullLines = []layout.LineID{line}
 	} else {
-		data, readyAt, err = c.be.FetchLine(line, c.needsFor(line), c.clock.Now())
+		if _, resident := c.lines[line]; resident {
+			pages = c.invalidPages(line)
+		} else {
+			fullLines = []layout.LineID{line}
+		}
+		pages = append(pages, c.pageCompanions(line)...)
+		if len(pages) > 0 {
+			// Fetch combining: one request revalidates every invalidated
+			// same-homed page, instead of K separate misses.
+			needs := make([]proto.PageNeed, 0, len(pages))
+			for _, l := range fullLines {
+				needs = append(needs, c.needsFor(l)...)
+			}
+			for _, p := range pages {
+				needs = append(needs, c.needFor(p)...)
+			}
+			data, readyAt, err = c.be.FetchLines(fullLines, pages, needs, c.clock.Now())
+			c.st.CombinedFetches++
+			c.st.CombinedLines += int64(len(fullLines) + len(pages) - 1)
+		} else {
+			data, readyAt, err = c.be.FetchLine(line, c.needsFor(line), c.clock.Now())
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != c.geo.LineSize() {
-		return nil, fmt.Errorf("pagecache: fetched line %d has %d bytes, want %d", line, len(data), c.geo.LineSize())
+	if want := c.geo.LineSize()*len(fullLines) + c.geo.PageSize*len(pages); len(data) != want {
+		return nil, fmt.Errorf("pagecache: fetch for line %d returned %d bytes, want %d", line, len(data), want)
 	}
 	c.clock.AdvanceTo(readyAt)
 	c.st.BytesReceived += int64(len(data))
 
-	le := c.install(line, data)
+	// Install the full line first (its eviction choice must not see the
+	// page installs below), then the pages. A page whose line the line
+	// install just evicted is dropped — it stays invalid with its needs
+	// intact and simply refaults later.
+	off := 0
+	for _, l := range fullLines {
+		c.install(l, data[off:off+c.geo.LineSize()])
+		off += c.geo.LineSize()
+	}
+	for _, p := range pages {
+		c.installPage(p, data[off:off+c.geo.PageSize])
+		off += c.geo.PageSize
+	}
+	le, ok := c.lines[line]
+	if !ok {
+		return nil, fmt.Errorf("pagecache: line %d not resident after fetch", line)
+	}
 
-	// Anticipatory paging: one asynchronous request for the adjacent
-	// line (Section II's prefetching strategy).
-	if c.cfg.Prefetch {
-		next := line + 1
-		if _, resident := c.lines[next]; !resident {
-			if _, inflight := c.pending[next]; !inflight {
-				needs := c.needsFor(next)
-				if ch := c.be.StartPrefetch(next, needs, c.clock.Now()); ch != nil {
-					c.pending[next] = &prefetchEntry{
-						ch:        ch,
-						needsSent: c.needsSnapshot(next),
-						issuedAt:  c.clock.Now(),
-					}
+	// Anticipatory paging (Section II's prefetching strategy), deepened:
+	// up to PrefetchDepth asynchronous requests at the detected stride.
+	if c.cfg.PrefetchDepth > 0 {
+		next := int64(line)
+		for k := 0; k < c.cfg.PrefetchDepth; k++ {
+			next += stride
+			if next < 0 {
+				break
+			}
+			l := layout.LineID(next)
+			if _, resident := c.lines[l]; resident {
+				continue
+			}
+			if _, inflight := c.pending[l]; inflight {
+				continue
+			}
+			needs := c.needsFor(l)
+			h := &Handoff{gate: c.cfg.Gate}
+			if ch := c.be.StartPrefetch(l, needs, c.clock.Now(), h); ch != nil {
+				c.st.PrefetchIssued++
+				c.pending[l] = &prefetchEntry{
+					ch:        ch,
+					h:         h,
+					needsSent: c.needsSnapshot(l),
+					issuedAt:  c.clock.Now(),
 				}
 			}
 		}
 	}
 	return le, nil
+}
+
+// noteMiss feeds the stride detector one demand miss and returns the
+// line stride prefetch should run at: the repeated inter-miss delta
+// when the last two deltas agree, else the sequential default +1.
+func (c *Cache) noteMiss(line layout.LineID) int64 {
+	stride := int64(1)
+	if c.haveMiss {
+		d := int64(line) - int64(c.lastMiss)
+		if d != 0 && d == c.lastStride {
+			stride = d
+		}
+		c.lastStride = d
+	}
+	c.haveMiss = true
+	c.lastMiss = line
+	return stride
+}
+
+// maxCombinePages bounds how many companion pages one combined fetch
+// may carry, so a huge invalidation set cannot flood one request.
+const maxCombinePages = 32
+
+// invalidPages lists the invalid pages of a resident line, in page
+// order.
+func (c *Cache) invalidPages(line layout.LineID) []layout.PageID {
+	le := c.lines[line]
+	first := c.geo.FirstPage(line)
+	var out []layout.PageID
+	for i := range le.pages {
+		if !le.pages[i].valid {
+			out = append(out, first+layout.PageID(i))
+		}
+	}
+	return out
+}
+
+// pageCompanions returns invalid pages of other resident lines homed
+// with line: the fault about to fetch line can revalidate them all in
+// one combined request, at page granularity.
+func (c *Cache) pageCompanions(line layout.LineID) []layout.PageID {
+	home := c.geo.HomeOf(c.geo.FirstPage(line))
+	var out []layout.PageID
+	for p := range c.pageNeeds {
+		l := c.geo.LineOf(p)
+		if l == line {
+			continue
+		}
+		if _, resident := c.lines[l]; !resident {
+			continue // a cold line will fetch whole on its own fault
+		}
+		if _, inflight := c.pending[l]; inflight {
+			continue // let the prefetch land; merging would double-fetch
+		}
+		if c.geo.HomeOf(c.geo.FirstPage(l)) != home {
+			continue
+		}
+		out = append(out, p)
+	}
+	// Deterministic choice when the candidate set is capped.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > maxCombinePages {
+		out = out[:maxCombinePages]
+	}
+	return out
 }
 
 // install merges fetched line bytes with resident state: locally dirty
@@ -373,6 +577,25 @@ func (c *Cache) install(line layout.LineID, data []byte) *lineEntry {
 	return le
 }
 
+// installPage installs one fetched page into its resident line, making
+// it valid. Requested pages are always invalid and therefore clean
+// (invalidation flushes dirty bytes first), so the fetched bytes land
+// unconditionally. If the line is no longer resident the bytes are
+// dropped: the page keeps its needs and refaults later.
+func (c *Cache) installPage(p layout.PageID, data []byte) {
+	le, ok := c.lines[c.geo.LineOf(p)]
+	if !ok {
+		return
+	}
+	base := c.pageBaseInLine(p)
+	copy(le.data[base:base+c.geo.PageSize], data)
+	le.pages[c.pageIndex(p)].valid = true
+	delete(c.pageNeeds, p)
+	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
+	c.useTick++
+	le.lastUse = c.useTick
+}
+
 // needsFor collects the outstanding interval tags for each page of a
 // line.
 func (c *Cache) needsFor(line layout.LineID) []proto.PageNeed {
@@ -384,13 +607,36 @@ func (c *Cache) needsFor(line layout.LineID) []proto.PageNeed {
 		if len(tags) == 0 {
 			continue
 		}
-		pn := proto.PageNeed{Page: uint64(p), Tags: make([]proto.IntervalTag, 0, len(tags))}
-		for tag := range tags {
-			pn.Tags = append(pn.Tags, tag)
-		}
+		pn := proto.PageNeed{Page: uint64(p), Tags: sortedTags(tags)}
 		needs = append(needs, pn)
 	}
 	return needs
+}
+
+// sortedTags renders a tag set in a stable order so message bytes do not
+// depend on map iteration.
+func sortedTags(tags map[proto.IntervalTag]struct{}) []proto.IntervalTag {
+	out := make([]proto.IntervalTag, 0, len(tags))
+	for tag := range tags {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Interval < out[j].Interval
+	})
+	return out
+}
+
+// needFor collects the outstanding interval tags of a single page (nil
+// if the page has none).
+func (c *Cache) needFor(p layout.PageID) []proto.PageNeed {
+	tags := c.pageNeeds[p]
+	if len(tags) == 0 {
+		return nil
+	}
+	return []proto.PageNeed{{Page: uint64(p), Tags: sortedTags(tags)}}
 }
 
 func (c *Cache) needsSnapshot(line layout.LineID) map[layout.PageID]map[proto.IntervalTag]struct{} {
@@ -551,37 +797,82 @@ type ReleaseSet struct {
 	// Records is the consistency-region store log for the write notice.
 	Records []proto.StoreRecord
 	// ByHome maps memory-server index to the DiffBatch bound for it.
+	// Complete only after FinishRelease.
 	ByHome map[int]*proto.DiffBatch
+
+	// deferred holds the shared dirty pages whose diff computation
+	// FinishRelease performs off the release's critical path.
+	deferred []deferredDiff
 }
 
-// CollectRelease closes the current interval: it diffs every dirty page,
-// drains the store log, groups everything by home server and returns
-// the ReleaseSet. The caller posts the batches to the homes *before*
-// announcing the release to the manager, then applies the acquire-side
-// notices it gets back.
+// deferredDiff is one shared dirty page whose byte diff is computed in
+// FinishRelease. It pins the line entry: the cache must not be touched
+// between BeginRelease and FinishRelease.
+type deferredDiff struct {
+	le   *lineEntry
+	idx  int // page index within the line
+	page layout.PageID
+	home int
+}
+
+// CollectRelease closes the current interval in one step; equivalent to
+// BeginRelease immediately followed by FinishRelease. Callers that want
+// to overlap the manager's write-notice round trip with diff work use
+// the two-step form instead.
 func (c *Cache) CollectRelease() *ReleaseSet {
+	rs := c.BeginRelease()
+	c.FinishRelease(rs)
+	return rs
+}
+
+// BeginRelease closes the current interval cheaply: it scans the dirty
+// set to produce the write-notice content (Pages, Records, Tag) without
+// computing any shared-page byte diffs — those are recorded as deferred
+// work for FinishRelease. Every page named in Pages is guaranteed a
+// DiffBatch entry at its home carrying this interval's tag (even a
+// silent store ships a zero-run diff), so fetches parked on the tag
+// always wake. The caller MUST call FinishRelease on the returned set
+// before touching the cache again.
+func (c *Cache) BeginRelease() *ReleaseSet {
 	c.interval++
+	c.st.Releases++
 	rs := &ReleaseSet{
 		Tag:    proto.IntervalTag{Writer: c.cfg.Writer, Interval: c.interval},
 		ByHome: make(map[int]*proto.DiffBatch),
 	}
 
 	// Ordinary-region dirty pages from resident lines: shared pages ship
-	// eager diffs; unshared pages retain their diffs locally and only
-	// claim ownership at the home.
-	for _, le := range c.lines {
-		if !lineDirty(le) {
-			continue
+	// eager diffs (computed in FinishRelease); unshared pages retain
+	// their diffs locally and only claim ownership at the home. The
+	// unshared path diffs eagerly — the bytes must be in the owned store
+	// before the batch carrying the claim can be shipped, because the
+	// home may pull them the moment the batch lands.
+	//
+	// Scan in line order: the notice page list, the per-home batch
+	// contents and the diff-time clock advances must not depend on map
+	// iteration order.
+	dirtyLines := make([]layout.LineID, 0, len(c.lines))
+	for id, le := range c.lines {
+		if lineDirty(le) {
+			dirtyLines = append(dirtyLines, id)
 		}
+	}
+	sort.Slice(dirtyLines, func(i, j int) bool { return dirtyLines[i] < dirtyLines[j] })
+	for _, id := range dirtyLines {
+		le := c.lines[id]
 		first := c.geo.FirstPage(le.id)
 		home := c.geo.HomeOf(first)
-		b := rs.batchFor(home, rs.Tag)
 		for i := range le.pages {
 			ps := &le.pages[i]
 			if !ps.dirty {
 				continue
 			}
 			p := first + layout.PageID(i)
+			if _, isShared := c.shared[p]; isShared || c.cfg.NoLazyOwner {
+				rs.Pages = append(rs.Pages, uint64(p))
+				rs.deferred = append(rs.deferred, deferredDiff{le: le, idx: i, page: p, home: home})
+				continue // dirty state (and the twin) stays until FinishRelease
+			}
 			base := i * c.geo.PageSize
 			d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
 			c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
@@ -589,31 +880,25 @@ func (c *Cache) CollectRelease() *ReleaseSet {
 			ps.dirty = false
 			ps.twin = nil
 			delete(c.dirtyPages, p)
-			if _, isShared := c.shared[p]; isShared || c.cfg.NoLazyOwner {
-				if prior := c.owned.Take(p); prior != nil {
-					d.Runs = append(prior, d.Runs...)
-				}
-				if len(d.Runs) == 0 {
-					continue // silent stores: nothing changed, nothing to tell anyone
-				}
-				rs.Pages = append(rs.Pages, uint64(p))
-				c.st.DiffBytes += int64(d.PayloadBytes())
-				b.Diffs = append(b.Diffs, d)
-			} else {
-				if len(d.Runs) == 0 {
-					continue
-				}
-				rs.Pages = append(rs.Pages, uint64(p))
-				c.owned.Put(p, d.Runs)
-				c.st.OwnedClaims++
-				b.OwnedPages = append(b.OwnedPages, uint64(p))
+			if len(d.Runs) == 0 {
+				continue // silent stores: nothing changed, nothing to tell anyone
 			}
+			rs.Pages = append(rs.Pages, uint64(p))
+			c.owned.Put(p, d.Runs)
+			c.st.OwnedClaims++
+			b := rs.batchFor(home, rs.Tag)
+			b.OwnedPages = append(b.OwnedPages, uint64(p))
 		}
 	}
 
 	// Pages flushed early by eviction/invalidation: bytes are home, but
 	// the tag must still be marked and peers must still invalidate.
+	flushed := make([]layout.PageID, 0, len(c.flushedDirty))
 	for p := range c.flushedDirty {
+		flushed = append(flushed, p)
+	}
+	sort.Slice(flushed, func(i, j int) bool { return flushed[i] < flushed[j] })
+	for _, p := range flushed {
 		rs.Pages = append(rs.Pages, uint64(p))
 		b := rs.batchFor(c.geo.HomeOf(p), rs.Tag)
 		b.EmptyPages = append(b.EmptyPages, uint64(p))
@@ -628,14 +913,39 @@ func (c *Cache) CollectRelease() *ReleaseSet {
 		rs.Records = append(rs.Records, rec)
 	}
 	c.records = nil
+	return rs
+}
+
+// FinishRelease computes the deferred shared-page diffs of a
+// BeginRelease and completes the per-home batches. A deferred page
+// whose stores turn out silent still ships a zero-run diff: the page
+// was already named in the write notice, so its home must see the tag
+// or fetches parked on it would hang forever.
+func (c *Cache) FinishRelease(rs *ReleaseSet) {
+	for _, dd := range rs.deferred {
+		ps := &dd.le.pages[dd.idx]
+		base := dd.idx * c.geo.PageSize
+		d := diffPage(uint64(dd.page), dd.le.data[base:base+c.geo.PageSize], ps.twin)
+		c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+		c.st.DiffsCreated++
+		if prior := c.owned.Take(dd.page); prior != nil {
+			d.Runs = append(prior, d.Runs...)
+		}
+		c.st.DiffBytes += int64(d.PayloadBytes())
+		b := rs.batchFor(dd.home, rs.Tag)
+		b.Diffs = append(b.Diffs, d)
+		ps.dirty = false
+		ps.twin = nil
+		delete(c.dirtyPages, dd.page)
+	}
+	rs.deferred = nil
 	// Batches that ended up with nothing to say (e.g. only silent
-	// stores) are dropped entirely.
+	// unshared stores) are dropped entirely.
 	for home, b := range rs.ByHome {
 		if len(b.Diffs) == 0 && len(b.Records) == 0 && len(b.EmptyPages) == 0 && len(b.OwnedPages) == 0 {
 			delete(rs.ByHome, home)
 		}
 	}
-	return rs
 }
 
 func (rs *ReleaseSet) batchFor(home int, tag proto.IntervalTag) *proto.DiffBatch {
@@ -699,6 +1009,7 @@ func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag) error {
 		}
 		c.clock.AdvanceTo(at)
 		c.st.MsgsSent++
+		c.st.InvalFlushes++
 		ps.dirty = false
 		ps.twin = nil
 		delete(c.dirtyPages, p)
@@ -746,12 +1057,21 @@ func (c *Cache) addNeed(p layout.PageID, tag proto.IntervalTag) {
 }
 
 // DrainPrefetches waits for every in-flight prefetch and discards the
-// results. Called when the owning thread retires, so no fetch of this
-// thread's can still be in flight when its endpoint closes.
+// results (counting them wasted). Called when the owning thread
+// retires, so no fetch of this thread's can still be in flight when its
+// endpoint closes.
 func (c *Cache) DrainPrefetches() {
-	for line, pe := range c.pending {
+	lines := make([]layout.LineID, 0, len(c.pending))
+	for line := range c.pending {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		pe := c.pending[line]
+		pe.h.beginWait() // park only if the helper has not delivered yet
 		<-pe.ch
 		delete(c.pending, line)
+		c.st.PrefetchWasted++
 	}
 }
 

@@ -21,6 +21,8 @@ type fakeBackend struct {
 	home map[layout.PageID][]byte
 
 	fetchCalls    []layout.LineID
+	combinedCalls [][]layout.LineID
+	combinedPages [][]layout.PageID
 	fetchNeeds    [][]proto.PageNeed
 	prefetchCalls []layout.LineID
 	flushCalls    int
@@ -64,7 +66,21 @@ func (f *fakeBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at v
 	return f.lineData(line), at + f.fetchCost, nil
 }
 
-func (f *fakeBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time) <-chan PrefetchResult {
+func (f *fakeBackend) FetchLines(lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, at vtime.Time) ([]byte, vtime.Time, error) {
+	f.combinedCalls = append(f.combinedCalls, append([]layout.LineID(nil), lines...))
+	f.combinedPages = append(f.combinedPages, append([]layout.PageID(nil), pages...))
+	f.fetchNeeds = append(f.fetchNeeds, needs)
+	data := make([]byte, 0, len(lines)*f.geo.LineSize()+len(pages)*f.geo.PageSize)
+	for _, line := range lines {
+		data = append(data, f.lineData(line)...)
+	}
+	for _, p := range pages {
+		data = append(data, f.page(p)...)
+	}
+	return data, at + f.fetchCost, nil
+}
+
+func (f *fakeBackend) StartPrefetch(line layout.LineID, needs []proto.PageNeed, at vtime.Time, h *Handoff) <-chan PrefetchResult {
 	if f.noPrefetch {
 		return nil
 	}
@@ -90,7 +106,7 @@ func newCache(t *testing.T, geo layout.Geometry, be Backend, opts ...func(*Confi
 	t.Helper()
 	clk := vtime.NewClock(0)
 	st := &stats.Thread{ID: 1}
-	cfg := Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, Prefetch: true}
+	cfg := Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, PrefetchDepth: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -463,7 +479,7 @@ func TestPrefetchAdjacentLine(t *testing.T) {
 func TestPrefetchDisabled(t *testing.T) {
 	geo := layout.DefaultGeometry()
 	be := newFakeBackend(geo)
-	c, _, _ := newCache(t, geo, be, func(cfg *Config) { cfg.Prefetch = false })
+	c, _, _ := newCache(t, geo, be, func(cfg *Config) { cfg.PrefetchDepth = 0 })
 	buf := make([]byte, 1)
 	if err := c.Read(0, buf); err != nil {
 		t.Fatal(err)
@@ -550,7 +566,7 @@ func TestCacheMatchesFlatMemoryProperty(t *testing.T) {
 		be := newFakeBackend(geo)
 		clk := vtime.NewClock(0)
 		st := &stats.Thread{}
-		c := New(Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, Prefetch: true, CapacityLines: 4}, be, clk, st)
+		c := New(Config{Geo: geo, CPU: vtime.DefaultCPU, Writer: 1, PrefetchDepth: 1, CapacityLines: 4}, be, clk, st)
 		rng := rand.New(rand.NewSource(seed))
 		const span = 8192
 		model := make([]byte, span)
@@ -668,5 +684,162 @@ func TestMultiLineSpanningAccess(t *testing.T) {
 	}
 	if st.Misses != 2 {
 		t.Fatalf("misses = %d, want 2 lines", st.Misses)
+	}
+}
+
+// Depth-2 anticipatory paging: one miss issues two prefetches, in line
+// order; consuming them out of issue order still lands both, and
+// unconsumed results drain as wasted.
+func TestPrefetchDepthTwoOrdering(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be, func(cfg *Config) { cfg.PrefetchDepth = 2 })
+
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil { // miss line 0 -> prefetch 1, 2
+		t.Fatal(err)
+	}
+	if len(be.prefetchCalls) != 2 || be.prefetchCalls[0] != 1 || be.prefetchCalls[1] != 2 {
+		t.Fatalf("prefetch issue order %v, want [1 2]", be.prefetchCalls)
+	}
+	// Consume line 2 before line 1: landing order need not match issue
+	// order. The line-2 fault issues the next window (3, 4); the line-1
+	// fault then finds everything nearby resident or in flight.
+	if err := c.Read(layout.Addr(2*geo.LineSize()), buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(layout.Addr(1*geo.LineSize()), buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PrefetchHits + st.PrefetchLate; got != 2 {
+		t.Fatalf("prefetch hits+late = %d, want 2", got)
+	}
+	if len(be.fetchCalls) != 1 {
+		t.Fatalf("demand fetches %v, want only the cold miss", be.fetchCalls)
+	}
+	if st.PrefetchIssued != int64(len(be.prefetchCalls)) {
+		t.Fatalf("PrefetchIssued=%d but backend saw %d", st.PrefetchIssued, len(be.prefetchCalls))
+	}
+	// The window issued by the line-2 fault (lines 3 and 4) was never
+	// consumed; draining must count every leftover exactly once.
+	leftovers := int64(len(be.prefetchCalls)) - 2
+	c.DrainPrefetches()
+	if st.PrefetchWasted != leftovers {
+		t.Fatalf("PrefetchWasted=%d after drain, want %d", st.PrefetchWasted, leftovers)
+	}
+	if st.PrefetchWasted+st.PrefetchHits+st.PrefetchLate != st.PrefetchIssued {
+		t.Fatalf("prefetch accounting leak: issued=%d hit=%d late=%d wasted=%d",
+			st.PrefetchIssued, st.PrefetchHits, st.PrefetchLate, st.PrefetchWasted)
+	}
+}
+
+// The stride detector only overrides the sequential default when two
+// consecutive inter-miss deltas agree.
+func TestPrefetchStrideDetection(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, _ := newCache(t, geo, be)
+
+	buf := make([]byte, 1)
+	for _, line := range []int{0, 4, 8} {
+		if err := c.Read(layout.Addr(line*geo.LineSize()), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Miss 0: no history -> +1 (line 1). Miss 4: delta 4 seen once ->
+	// still +1 (line 5). Miss 8: delta 4 repeated -> stride 4 (line 12).
+	want := []layout.LineID{1, 5, 12}
+	if len(be.prefetchCalls) != len(want) {
+		t.Fatalf("prefetch calls %v, want %v", be.prefetchCalls, want)
+	}
+	for i := range want {
+		if be.prefetchCalls[i] != want[i] {
+			t.Fatalf("prefetch calls %v, want %v", be.prefetchCalls, want)
+		}
+	}
+}
+
+// Installing a prefetched line may evict a dirty line; the victim's
+// bytes must flush home and a refault must return them — the eviction
+// forced by a prefetch landing must not resurrect stale (pre-write)
+// bytes.
+func TestPrefetchInstallEvictionKeepsDirtyBytes(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be, func(cfg *Config) { cfg.CapacityLines = 2 })
+
+	if err := c.Write(0, []byte{42}, false); err != nil { // line 0 dirty; prefetch 1
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if err := c.Read(layout.Addr(geo.LineSize()), buf); err != nil { // land prefetch 1
+		t.Fatal(err)
+	}
+	// Landing line 2's prefetch fills the cache past capacity; the
+	// eviction bias picks the dirty line 0 and flushes byte 42 home.
+	if err := c.Read(layout.Addr(2*geo.LineSize()), buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.Evictions == 0 || st.DirtyEvicts == 0 {
+		t.Fatalf("expected a dirty eviction: evictions=%d dirty=%d", st.Evictions, st.DirtyEvicts)
+	}
+	if err := c.Read(0, buf); err != nil { // refault line 0 from home
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatalf("refault after prefetch-forced eviction read %d, want 42", buf[0])
+	}
+}
+
+// A prefetch overtaken by an acquire: the result was issued before a
+// write notice invalidated one of its pages, so installing it would
+// serve bytes older than the acquire. The fault must discard it
+// (counting it wasted), demand-fetch with the new needs quoted, and
+// return the post-release bytes.
+func TestPrefetchInvalidatedByAcquireDiscarded(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	be := newFakeBackend(geo)
+	c, _, st := newCache(t, geo, be)
+
+	buf := make([]byte, 1)
+	if err := c.Read(0, buf); err != nil { // miss line 0 -> prefetch line 1
+		t.Fatal(err)
+	}
+	if len(be.prefetchCalls) != 1 || be.prefetchCalls[0] != 1 {
+		t.Fatalf("prefetch calls %v", be.prefetchCalls)
+	}
+	// Another thread releases a write to a page of line 1 after our
+	// prefetch snapshot was taken, and we acquire its notice.
+	p := geo.FirstPage(1)
+	be.page(p)[0] = 99
+	tag := proto.IntervalTag{Writer: 2, Interval: 1}
+	if err := c.ApplyNotices([]proto.Notice{{Seq: 1, Tag: tag, Pages: []uint64{uint64(p)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(geo.PageBase(p), buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 99 {
+		t.Fatalf("read %d through a stale prefetch, want the released 99", buf[0])
+	}
+	if st.PrefetchWasted != 1 {
+		t.Fatalf("PrefetchWasted=%d, want 1 (stale result discarded)", st.PrefetchWasted)
+	}
+	// The replacement demand fetch must have quoted the new tag so a
+	// real home would hold the reply for the release's diff.
+	last := be.fetchNeeds[len(be.fetchNeeds)-1]
+	found := false
+	for _, need := range last {
+		if layout.PageID(need.Page) != p {
+			continue
+		}
+		for _, got := range need.Tags {
+			if got == tag {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("demand refetch did not quote tag %+v: needs %+v", tag, last)
 	}
 }

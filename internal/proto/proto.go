@@ -74,34 +74,41 @@ const (
 	// Liveness messages.
 	KHeartbeat // one-way: membership lease renewal (or graceful goodbye)
 	KPromote   // promote a warm-standby memory server to primary
+
+	// Combined multi-line fetch (fetch combining: one request for every
+	// line an acquire invalidated on the same home).
+	KFetchLinesReq
+	KFetchLinesResp
 )
 
 var kindNames = map[Kind]string{
-	KInvalid:       "invalid",
-	KFetchLineReq:  "fetch-line-req",
-	KFetchLineResp: "fetch-line-resp",
-	KDiffBatch:     "diff-batch",
-	KEvictFlush:    "evict-flush",
-	KDiffPullReq:   "diff-pull-req",
-	KDiffPullResp:  "diff-pull-resp",
-	KAllocReq:      "alloc-req",
-	KAllocResp:     "alloc-resp",
-	KFreeReq:       "free-req",
-	KRegisterReq:   "register-req",
-	KLockReq:       "lock-req",
-	KLockResp:      "lock-resp",
-	KUnlockReq:     "unlock-req",
-	KBarrierReq:    "barrier-req",
-	KBarrierResp:   "barrier-resp",
-	KCondWaitReq:   "cond-wait-req",
-	KCondWaitResp:  "cond-wait-resp",
-	KCondSignalReq: "cond-signal-req",
-	KAck:           "ack",
-	KPing:          "ping",
-	KShutdown:      "shutdown",
-	KError:         "error",
-	KHeartbeat:     "heartbeat",
-	KPromote:       "promote",
+	KInvalid:        "invalid",
+	KFetchLineReq:   "fetch-line-req",
+	KFetchLineResp:  "fetch-line-resp",
+	KDiffBatch:      "diff-batch",
+	KEvictFlush:     "evict-flush",
+	KDiffPullReq:    "diff-pull-req",
+	KDiffPullResp:   "diff-pull-resp",
+	KAllocReq:       "alloc-req",
+	KAllocResp:      "alloc-resp",
+	KFreeReq:        "free-req",
+	KRegisterReq:    "register-req",
+	KLockReq:        "lock-req",
+	KLockResp:       "lock-resp",
+	KUnlockReq:      "unlock-req",
+	KBarrierReq:     "barrier-req",
+	KBarrierResp:    "barrier-resp",
+	KCondWaitReq:    "cond-wait-req",
+	KCondWaitResp:   "cond-wait-resp",
+	KCondSignalReq:  "cond-signal-req",
+	KAck:            "ack",
+	KPing:           "ping",
+	KShutdown:       "shutdown",
+	KError:          "error",
+	KHeartbeat:      "heartbeat",
+	KPromote:        "promote",
+	KFetchLinesReq:  "fetch-lines-req",
+	KFetchLinesResp: "fetch-lines-resp",
 }
 
 func (k Kind) String() string {

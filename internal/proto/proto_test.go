@@ -209,3 +209,101 @@ func TestDiffBatchRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------
+// Combined-fetch (fetch combining) property tests.
+
+// randomFetchLinesReq builds an arbitrarily shaped combined-fetch
+// request from a seed.
+func randomFetchLinesReq(rng *rand.Rand) *FetchLinesReq {
+	in := &FetchLinesReq{}
+	for i := 0; i < rng.Intn(5); i++ {
+		in.Lines = append(in.Lines, rng.Uint64()>>1)
+	}
+	for i := 0; i < rng.Intn(5); i++ {
+		in.Pages = append(in.Pages, rng.Uint64()>>1)
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		need := PageNeed{Page: rng.Uint64() >> 1}
+		for j := 0; j < rng.Intn(3); j++ {
+			need.Tags = append(need.Tags, IntervalTag{
+				Writer:   rng.Uint32(),
+				Interval: rng.Uint64() >> 1,
+			})
+		}
+		in.Needs = append(in.Needs, need)
+	}
+	return in
+}
+
+// Property: FetchLinesReq round-trips under random shapes, including
+// empty line/page/need sets in any combination.
+func TestFetchLinesReqRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomFetchLinesReq(rng)
+		var out FetchLinesReq
+		if err := Decode(&out, Encode(in)); err != nil {
+			return false
+		}
+		return normalize(in) == normalize(&out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FetchLinesResp round-trips arbitrary payloads (quick
+// generates the byte slice directly).
+func TestFetchLinesRespRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		in := &FetchLinesResp{Data: data}
+		var out FetchLinesResp
+		if err := Decode(&out, Encode(in)); err != nil {
+			return false
+		}
+		return bytes.Equal(out.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Zero values must encode and decode cleanly: a combined fetch with no
+// lines, no pages and no needs is legal on the wire (the caller guards
+// against sending it, but the codec must not).
+func TestFetchLinesZeroValues(t *testing.T) {
+	roundTrip(t, &FetchLinesReq{}, &FetchLinesReq{})
+	roundTrip(t, &FetchLinesResp{}, &FetchLinesResp{})
+}
+
+// Property: every proper prefix of a valid combined-fetch encoding is
+// rejected. Each field carries a length prefix, so a truncation either
+// cuts a fixed-width integer short or leaves fewer bytes than the
+// length promises; neither may decode silently (a short fetch body
+// would install garbage pages).
+func TestFetchLinesTruncationRejectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		body := Encode(randomFetchLinesReq(rng))
+		for n := 0; n < len(body); n++ {
+			var out FetchLinesReq
+			if err := Decode(&out, body[:n]); err == nil {
+				t.Logf("seed %d: prefix %d/%d decoded silently", seed, n, len(body))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Same for the response: its payload is length-prefixed too.
+	body := Encode(&FetchLinesResp{Data: []byte{1, 2, 3, 4, 5}})
+	for n := 0; n < len(body); n++ {
+		var out FetchLinesResp
+		if err := Decode(&out, body[:n]); err == nil {
+			t.Fatalf("response prefix %d/%d decoded silently", n, len(body))
+		}
+	}
+}

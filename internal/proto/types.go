@@ -196,36 +196,45 @@ func (m *FetchLineReq) Kind() Kind { return KFetchLineReq }
 
 func (m *FetchLineReq) Marshal(w *Writer) {
 	w.U64(m.Line)
-	w.U64(uint64(len(m.Needs)))
-	for i := range m.Needs {
-		w.U64(m.Needs[i].Page)
-		w.U64(uint64(len(m.Needs[i].Tags)))
-		for j := range m.Needs[i].Tags {
-			m.Needs[i].Tags[j].marshal(w)
-		}
-	}
+	marshalNeeds(w, m.Needs)
 }
 
 func (m *FetchLineReq) Unmarshal(r *Reader) {
 	m.Line = r.U64()
+	m.Needs = unmarshalNeeds(r)
+}
+
+func marshalNeeds(w *Writer, needs []PageNeed) {
+	w.U64(uint64(len(needs)))
+	for i := range needs {
+		w.U64(needs[i].Page)
+		w.U64(uint64(len(needs[i].Tags)))
+		for j := range needs[i].Tags {
+			needs[i].Tags[j].marshal(w)
+		}
+	}
+}
+
+func unmarshalNeeds(r *Reader) []PageNeed {
 	n := r.U64()
 	if r.Err() != nil || n > uint64(r.Remaining()) {
 		r.fail()
-		return
+		return nil
 	}
-	m.Needs = make([]PageNeed, n)
-	for i := range m.Needs {
-		m.Needs[i].Page = r.U64()
+	needs := make([]PageNeed, n)
+	for i := range needs {
+		needs[i].Page = r.U64()
 		k := r.U64()
 		if r.Err() != nil || k > uint64(r.Remaining()) {
 			r.fail()
-			return
+			return nil
 		}
-		m.Needs[i].Tags = make([]IntervalTag, k)
-		for j := range m.Needs[i].Tags {
-			m.Needs[i].Tags[j].unmarshal(r)
+		needs[i].Tags = make([]IntervalTag, k)
+		for j := range needs[i].Tags {
+			needs[i].Tags[j].unmarshal(r)
 		}
 	}
+	return needs
 }
 
 // FetchLineResp carries the line contents.
@@ -236,6 +245,45 @@ type FetchLineResp struct {
 func (m *FetchLineResp) Kind() Kind          { return KFetchLineResp }
 func (m *FetchLineResp) Marshal(w *Writer)   { w.Bytes(m.Data) }
 func (m *FetchLineResp) Unmarshal(r *Reader) { m.Data = append([]byte(nil), r.Bytes()...) }
+
+// FetchLinesReq asks a home server for several cache lines and/or
+// individual pages at once — fetch combining: an acquire that
+// invalidated K pages homed on one server issues a single combined
+// request instead of K misses. Lines names whole cache lines (cold
+// misses); Pages names single pages whose lines the fetcher already
+// holds, so revalidating them moves one page, not a whole line. Needs
+// quotes the union of the outstanding interval tags across everything
+// requested; the home answers once every quoted tag's DiffBatch has
+// been applied.
+type FetchLinesReq struct {
+	Lines []uint64
+	Pages []uint64
+	Needs []PageNeed
+}
+
+func (m *FetchLinesReq) Kind() Kind { return KFetchLinesReq }
+
+func (m *FetchLinesReq) Marshal(w *Writer) {
+	w.U64s(m.Lines)
+	w.U64s(m.Pages)
+	marshalNeeds(w, m.Needs)
+}
+
+func (m *FetchLinesReq) Unmarshal(r *Reader) {
+	m.Lines = r.U64s()
+	m.Pages = r.U64s()
+	m.Needs = unmarshalNeeds(r)
+}
+
+// FetchLinesResp carries the contents of every requested line, then
+// every requested page, concatenated in request order.
+type FetchLinesResp struct {
+	Data []byte
+}
+
+func (m *FetchLinesResp) Kind() Kind          { return KFetchLinesResp }
+func (m *FetchLinesResp) Marshal(w *Writer)   { w.Bytes(m.Data) }
+func (m *FetchLinesResp) Unmarshal(r *Reader) { m.Data = append([]byte(nil), r.Bytes()...) }
 
 // DiffBatch carries one interval's worth of updates to one home server:
 // page diffs from ordinary regions (shared pages, shipped eagerly),

@@ -239,7 +239,17 @@ type RetryEndpoint struct {
 
 // WithRetry wraps inner with the policy. nst, if non-nil, receives
 // attempt/retry/timeout/unreachable counters; pass nil to skip counting.
+//
+// It panics when inner rides a sequenced (deterministic) fabric: retry
+// is wall-clock driven — attempt timeouts, backoff sleeps — while a
+// sequenced fabric decides delivery from a ledger of parked goroutines,
+// so a timer-fired re-send would both break determinism and corrupt the
+// runnable-token accounting. Failing loudly here beats the silent
+// deadlock it would otherwise become.
 func WithRetry(inner Endpoint, pol RetryPolicy, nst *stats.Net) *RetryEndpoint {
+	if sc, ok := inner.(interface{ Sequenced() bool }); ok && sc.Sequenced() {
+		panic("scl: retry layer over a sequenced fabric (wall-clock timeouts break deterministic delivery)")
+	}
 	return &RetryEndpoint{inner: inner, pol: pol, nst: nst}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/vtime"
 )
@@ -249,4 +250,28 @@ func TestPostRetries(t *testing.T) {
 	if inner.posts != 3 {
 		t.Errorf("posts = %d, want 3", inner.posts)
 	}
+}
+
+// The retry layer is wall-clock driven; wrapping an endpoint of a
+// sequenced (deterministic) fabric must fail loudly at construction,
+// not deadlock the runnable-token ledger at the first timeout.
+func TestWithRetryRefusesSequencedFabric(t *testing.T) {
+	f := simnet.NewFabric(vtime.QDRInfiniBand)
+	f.Sequence()
+	ep := NewSimEndpoint(f, 1)
+	defer ep.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithRetry accepted a sequenced-fabric endpoint")
+		}
+	}()
+	WithRetry(ep, DefaultRetryPolicy, nil)
+}
+
+// An unsequenced fabric stays accepted — the guard must not over-fire.
+func TestWithRetryAcceptsUnsequencedFabric(t *testing.T) {
+	f := simnet.NewFabric(vtime.QDRInfiniBand)
+	ep := NewSimEndpoint(f, 1)
+	defer ep.Close()
+	WithRetry(ep, DefaultRetryPolicy, nil)
 }

@@ -102,14 +102,20 @@ func (r *Request) ReplyErrorCode(code uint16, err error, at vtime.Time) {
 
 // SimEndpoint adapts a simnet.Port to the Endpoint interface.
 type SimEndpoint struct {
-	port *simnet.Port
+	port   *simnet.Port
+	fabric *simnet.Fabric
 }
 
 // NewSimEndpoint attaches a new endpoint with the given id to the
 // fabric.
 func NewSimEndpoint(f *simnet.Fabric, id NodeID) *SimEndpoint {
-	return &SimEndpoint{port: f.NewPort(id)}
+	return &SimEndpoint{port: f.NewPort(id), fabric: f}
 }
+
+// Sequenced reports whether the underlying fabric delivers messages in
+// deterministic virtual-arrival order (see simnet.Fabric.Sequence).
+// Wall-clock-driven layers (retry timeouts) must refuse such fabrics.
+func (e *SimEndpoint) Sequenced() bool { return e.fabric.Sequenced() }
 
 // ID implements Endpoint.
 func (e *SimEndpoint) ID() NodeID { return e.port.ID() }

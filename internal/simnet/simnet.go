@@ -61,6 +61,7 @@ type Fabric struct {
 	ports  map[NodeID]*Port
 	model  vtime.LinkModel
 	linkFn func(src, dst NodeID) vtime.LinkModel
+	seq    *Sequencer
 
 	msgs  atomic.Int64
 	bytes atomic.Int64
@@ -69,6 +70,42 @@ type Fabric struct {
 // NewFabric creates a fabric where every link uses the given model.
 func NewFabric(model vtime.LinkModel) *Fabric {
 	return &Fabric{ports: make(map[NodeID]*Port), model: model}
+}
+
+// Sequence switches the fabric to deterministic delivery: every port
+// processes its messages in global virtual-arrival order instead of
+// real-time arrival order (see seq.go). Must be called before any port
+// is created. All goroutines touching the fabric must then follow the
+// Gate conventions.
+func (f *Fabric) Sequence() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.ports) > 0 {
+		panic("simnet: Sequence after ports were created")
+	}
+	f.seq = newSequencer()
+}
+
+// Sequenced reports whether deterministic delivery is on.
+func (f *Fabric) Sequenced() bool { return f.seq != nil }
+
+// Gate returns the fabric's runnable-token ledger (a no-op gate when the
+// fabric is not sequenced).
+func (f *Fabric) Gate() Gate {
+	if f.seq != nil {
+		return f.seq
+	}
+	return nopGate{}
+}
+
+// Quiesce blocks until every message sent to dst has been fully
+// processed and its receiver is parked again. Only meaningful on a
+// sequenced fabric (it returns immediately otherwise); see
+// Sequencer.quiesce for why the FIFO ping idiom needs replacing there.
+func (f *Fabric) Quiesce(dst NodeID) {
+	if f.seq != nil {
+		f.seq.quiesce(dst)
+	}
 }
 
 // SetLinkFn installs a per-pair link selector (e.g. intra-node vs
@@ -104,6 +141,9 @@ func (f *Fabric) NewPort(id NodeID) *Port {
 		closed: make(chan struct{}),
 	}
 	f.ports[id] = p
+	if f.seq != nil {
+		f.seq.addPort(id)
+	}
 	return p
 }
 
@@ -130,6 +170,10 @@ func (f *Fabric) deliver(src, dst NodeID, m *Message, sendTime vtime.Time) (send
 	m.Svc = link.ServiceTime
 	f.msgs.Add(1)
 	f.bytes.Add(int64(size))
+	if f.seq != nil {
+		f.seq.insert(m)
+		return senderDone, nil
+	}
 	select {
 	case p.inbox <- m:
 		return senderDone, nil
@@ -174,10 +218,20 @@ func (p *Port) Call(dst NodeID, kind uint16, body []byte, at vtime.Time) (respKi
 	if _, err := p.fabric.deliver(p.id, dst, m, at); err != nil {
 		return 0, nil, at, err
 	}
+	// Sequenced fabrics count the caller as parked while it waits; the
+	// replier issues the wake token (see Reply), so the reply path needs
+	// no Resume here — only the close path restores the token itself.
+	seq := p.fabric.seq
+	if seq != nil {
+		seq.Pause()
+	}
 	select {
 	case resp := <-m.reply:
 		return resp.Kind, resp.Body, vtime.Max(at, resp.Arrive), nil
 	case <-p.closed:
+		if seq != nil {
+			seq.Resume()
+		}
 		return 0, nil, at, fmt.Errorf("simnet: port %d closed during call", p.id)
 	}
 }
@@ -185,6 +239,13 @@ func (p *Port) Call(dst NodeID, kind uint16, body []byte, at vtime.Time) (respKi
 // Recv blocks until a message arrives or the port is closed. The second
 // result is false when the port has been closed.
 func (p *Port) Recv() (*Request, bool) {
+	if p.fabric.seq != nil {
+		m, ok := p.fabric.seq.recv(p.id)
+		if !ok {
+			return nil, false
+		}
+		return &Request{msg: m, port: p}, true
+	}
 	select {
 	case m := <-p.inbox:
 		return &Request{msg: m, port: p}, true
@@ -208,6 +269,9 @@ func (p *Port) Close() {
 		p.fabric.mu.Lock()
 		delete(p.fabric.ports, p.id)
 		p.fabric.mu.Unlock()
+		if p.fabric.seq != nil {
+			p.fabric.seq.close(p.id)
+		}
 	})
 }
 
@@ -256,5 +320,11 @@ func (r *Request) Reply(kind uint16, body []byte, at vtime.Time) {
 	}
 	r.port.fabric.msgs.Add(1)
 	r.port.fabric.bytes.Add(int64(size))
+	// On a sequenced fabric the caller parked in Call without a token;
+	// issue its wake credit before signalling so the ledger never reads
+	// zero while the wake is in flight.
+	if s := r.port.fabric.seq; s != nil {
+		s.Resume()
+	}
 	r.msg.reply <- resp
 }

@@ -92,13 +92,17 @@ type Thread struct {
 	SyncTime    vtime.Time
 
 	// Cache behaviour.
-	Hits         int64 // accesses served by a resident, valid line
-	Misses       int64 // demand faults (line fetches issued)
-	PrefetchHits int64 // faults satisfied by a completed prefetch
-	PrefetchLate int64 // faults that had to wait for an in-flight prefetch
-	Evictions    int64 // lines evicted to make room
-	DirtyEvicts  int64 // evictions that had to flush a diff first
-	Twins        int64 // twin pages created (first write in an interval)
+	Hits            int64 // accesses served by a resident, valid line
+	Misses          int64 // demand faults (line fetches issued)
+	PrefetchHits    int64 // faults satisfied by a completed prefetch
+	PrefetchLate    int64 // faults that had to wait for an in-flight prefetch
+	PrefetchIssued  int64 // asynchronous prefetch requests issued
+	PrefetchWasted  int64 // prefetch results discarded unused (drained or stale)
+	CombinedFetches int64 // demand faults served by a multi-line combined fetch
+	CombinedLines   int64 // companion lines revalidated by combined fetches
+	Evictions       int64 // lines evicted to make room
+	DirtyEvicts     int64 // evictions that had to flush a diff first
+	Twins           int64 // twin pages created (first write in an interval)
 
 	// Consistency traffic.
 	DiffsCreated    int64 // page diffs produced at releases/evictions
@@ -107,6 +111,7 @@ type Thread struct {
 	RecordsLogged   int64 // fine-grained store records (consistency regions)
 	RecordBytes     int64 // payload bytes of those records
 	Invalidations   int64 // pages invalidated by incoming write notices
+	InvalFlushes    int64 // invalidations of dirty pages that flushed a diff home
 	UpdatesApplied  int64 // fine-grained updates applied in place
 	NoticesReceived int64 // write notices processed at acquires
 
@@ -119,6 +124,7 @@ type Thread struct {
 	LockOps    int64
 	BarrierOps int64
 	CondOps    int64
+	Releases   int64 // release points closed (unlock / barrier / cond wait)
 
 	// Allocation.
 	ArenaAllocs  int64 // served locally from the thread arena
@@ -199,6 +205,10 @@ func (r *Run) Totals() Thread {
 		sum.Misses += t.Misses
 		sum.PrefetchHits += t.PrefetchHits
 		sum.PrefetchLate += t.PrefetchLate
+		sum.PrefetchIssued += t.PrefetchIssued
+		sum.PrefetchWasted += t.PrefetchWasted
+		sum.CombinedFetches += t.CombinedFetches
+		sum.CombinedLines += t.CombinedLines
 		sum.Evictions += t.Evictions
 		sum.DirtyEvicts += t.DirtyEvicts
 		sum.Twins += t.Twins
@@ -208,6 +218,7 @@ func (r *Run) Totals() Thread {
 		sum.RecordsLogged += t.RecordsLogged
 		sum.RecordBytes += t.RecordBytes
 		sum.Invalidations += t.Invalidations
+		sum.InvalFlushes += t.InvalFlushes
 		sum.UpdatesApplied += t.UpdatesApplied
 		sum.NoticesReceived += t.NoticesReceived
 		sum.MsgsSent += t.MsgsSent
@@ -216,6 +227,7 @@ func (r *Run) Totals() Thread {
 		sum.LockOps += t.LockOps
 		sum.BarrierOps += t.BarrierOps
 		sum.CondOps += t.CondOps
+		sum.Releases += t.Releases
 		sum.ArenaAllocs += t.ArenaAllocs
 		sum.SharedAllocs += t.SharedAllocs
 	}
@@ -230,12 +242,32 @@ func (r *Run) Summary() string {
 		len(r.Threads), r.MaxComputeTime(), r.MaxSyncTime(), r.MaxTotalTime())
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d prefetchHits=%d prefetchLate=%d evictions=%d (dirty=%d) twins=%d\n",
 		tot.Hits, tot.Misses, tot.PrefetchHits, tot.PrefetchLate, tot.Evictions, tot.DirtyEvicts, tot.Twins)
-	fmt.Fprintf(&b, "consistency: diffs=%d (%d B eager) owned=%d records=%d (%d B) invalidations=%d updates=%d notices=%d\n",
+	fmt.Fprintf(&b, "consistency: diffs=%d (%d B eager) owned=%d records=%d (%d B) invalidations=%d (flushed=%d) updates=%d notices=%d\n",
 		tot.DiffsCreated, tot.DiffBytes, tot.OwnedClaims, tot.RecordsLogged, tot.RecordBytes,
-		tot.Invalidations, tot.UpdatesApplied, tot.NoticesReceived)
+		tot.Invalidations, tot.InvalFlushes, tot.UpdatesApplied, tot.NoticesReceived)
 	fmt.Fprintf(&b, "comm: msgs=%d sent=%d B recv=%d B  sync-ops: locks=%d barriers=%d conds=%d\n",
 		tot.MsgsSent, tot.BytesSent, tot.BytesReceived, tot.LockOps, tot.BarrierOps, tot.CondOps)
+	b.WriteString(r.ReleaseLine())
+	b.WriteByte('\n')
 	return b.String()
+}
+
+// ReleaseLine renders the release-path and prefetch efficiency
+// counters on one line (shared by Summary and the benchmark CLIs).
+func (r *Run) ReleaseLine() string {
+	tot := r.Totals()
+	return fmt.Sprintf("release: releases=%d msgs/rel=%.2f diffB/rel=%.1f  prefetch: issued=%d hit=%.0f%% wasted=%.0f%% combined=%d(+%d lines)",
+		tot.Releases, Rate(tot.MsgsSent, tot.Releases), Rate(tot.DiffBytes, tot.Releases),
+		tot.PrefetchIssued, 100*Rate(tot.PrefetchHits+tot.PrefetchLate, tot.PrefetchIssued),
+		100*Rate(tot.PrefetchWasted, tot.PrefetchIssued), tot.CombinedFetches, tot.CombinedLines)
+}
+
+// Rate divides two counters, guarding the empty denominator.
+func Rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // Registry gathers Thread snapshots from concurrently finishing threads.

@@ -24,15 +24,16 @@ type Category string
 
 // Categories emitted by the runtime.
 const (
-	CatFault   Category = "fault"   // cache miss handling (compute side)
-	CatFetch   Category = "fetch"   // line fetch round trip
-	CatLock    Category = "lock"    // mutex acquire/release spans
-	CatBarrier Category = "barrier" // barrier wait spans
-	CatCond    Category = "cond"    // condition-variable waits
-	CatRelease Category = "release" // diff collection + batch posting
-	CatAlloc   Category = "alloc"   // manager allocation round trips
-	CatNet     Category = "net"     // transport faults: drops, delays, partitions, duplicates
-	CatLive    Category = "live"    // liveness: kills, member deaths, reclamation, failover
+	CatFault    Category = "fault"    // cache miss handling (compute side)
+	CatFetch    Category = "fetch"    // line fetch round trip
+	CatPrefetch Category = "prefetch" // anticipatory-paging fetches (issue to landing)
+	CatLock     Category = "lock"     // mutex acquire/release spans
+	CatBarrier  Category = "barrier"  // barrier wait spans
+	CatCond     Category = "cond"     // condition-variable waits
+	CatRelease  Category = "release"  // diff collection + batch posting
+	CatAlloc    Category = "alloc"    // manager allocation round trips
+	CatNet      Category = "net"      // transport faults: drops, delays, partitions, duplicates
+	CatLive     Category = "live"     // liveness: kills, member deaths, reclamation, failover
 )
 
 // Event is one completed span in virtual time.
