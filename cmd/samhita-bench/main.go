@@ -42,9 +42,10 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced problem sizes")
 		csvDir    = flag.String("csv", "", "directory to write CSV files into")
 
-		jsonOut  = flag.String("json", "", "measure the micro-benchmark suite and write it as JSON to this file")
-		baseline = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
-		depth    = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
+		jsonOut      = flag.String("json", "", "measure the micro-benchmark suite and write it as JSON to this file")
+		baseline     = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
+		depth        = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
+		serverShards = flag.Int("server-shards", 1, "split each memory server into this many independently scheduled page shards")
 
 		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -60,6 +61,7 @@ func main() {
 		opts = bench.Quick()
 	}
 	opts.PrefetchDepth = *depth
+	opts.ServerShards = *serverShards
 	opts.Agg = new(stats.Run)
 	if *faults {
 		opts.FaultSeed = *faultSeed

@@ -40,6 +40,8 @@ func main() {
 
 		killServer = flag.Int("kill-server", -1, "crash this memory-server index mid-run; boots warm standbys so the check must still pass")
 		killAfter  = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
+
+		shardsOverride = flag.Int("server-shards", 0, "force this many page shards per memory server (0 = fuzzed per seed)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,9 @@ func main() {
 	for _, sd := range seeds {
 		prog := conformance.Generate(sd)
 		cfg := randomConfig(sd * 31)
+		if *shardsOverride > 0 {
+			cfg.ServerShards = *shardsOverride
+		}
 		if *faults || *killServer >= 0 {
 			// No per-attempt timeout: protocol calls park legitimately on
 			// locks and barriers; connection death, not timers, unsticks
@@ -140,6 +145,7 @@ func randomConfig(seed int64) core.Config {
 	cfg.Prefetch = rng.Intn(2) == 0
 	cfg.PrefetchDepth = rng.Intn(4) // 0 = one line ahead; up to 3 ahead
 	cfg.DisableFineGrain = rng.Intn(4) == 0
+	cfg.ServerShards = []int{1, 2, 4}[rng.Intn(3)]
 	return cfg
 }
 

@@ -24,12 +24,13 @@ func main() {
 	var (
 		backend   = flag.String("backend", "samhita", "samhita or pthreads")
 		p         = flag.Int("p", 8, "compute threads")
-		mode      = flag.String("mode", "local", "allocation mode: local, global, strided")
+		mode      = flag.String("mode", "local", "allocation mode: local, global, strided, random")
 		n         = flag.Int("N", 10, "outer iterations")
 		m         = flag.Int("M", 10, "inner iterations")
 		s         = flag.Int("S", 2, "rows per thread")
 		bw        = flag.Int("B", 256, "doubles per row")
 		servers   = flag.Int("servers", 1, "memory servers (samhita)")
+		shards    = flag.Int("server-shards", 1, "page shards per memory server (samhita)")
 		depth     = flag.Int("prefetch-depth", 0, "lines of anticipatory paging per miss (0 = one line ahead; samhita)")
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
@@ -55,6 +56,8 @@ func main() {
 		allocMode = kernels.AllocGlobal
 	case "strided":
 		allocMode = kernels.AllocStrided
+	case "random":
+		allocMode = kernels.AllocRandom
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -68,6 +71,7 @@ func main() {
 		cfg := samhita.DefaultConfig()
 		cfg.Geo.NumServers = *servers
 		cfg.PrefetchDepth = *depth
+		cfg.ServerShards = *shards
 		switch *link {
 		case "qdr-ib":
 			cfg.Link = samhita.QDRInfiniBand

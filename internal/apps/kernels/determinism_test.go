@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -18,39 +19,49 @@ import (
 // sensitivity — a map-order fan-out, a racy clock fold, an unsequenced
 // wakeup — shows up here as a counter or time mismatch.
 func TestMicroDeterministicOnSimFabric(t *testing.T) {
-	run := func() (float64, *stats.Run) {
-		cfg := core.DefaultConfig()
-		cfg.CacheLines = 256
-		cfg.Geo.NumServers = 2
-		rt, err := core.New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer rt.Close()
-		res, err := RunMicro(rt, 8, MicroParams{N: 4, M: 4, S: 2, B: 64, Mode: AllocStrided})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.GSum, res.Run
-	}
-	g1, r1 := run()
-	g2, r2 := run()
-	if g1 != g2 {
-		t.Errorf("gsum differs between identical runs: %v vs %v", g1, g2)
-	}
-	if len(r1.Threads) != len(r2.Threads) {
-		t.Fatalf("thread counts differ: %d vs %d", len(r1.Threads), len(r2.Threads))
-	}
-	// stats.Thread is a flat struct of scalars, so == compares every
-	// virtual time and every event counter at once.
-	for i := range r1.Threads {
-		if r1.Threads[i] != r2.Threads[i] {
-			t.Errorf("thread %d stats differ:\n run1: %+v\n run2: %+v",
-				i, r1.Threads[i], r2.Threads[i])
-		}
-	}
-	if r1.MaxSyncTime() == 0 || r1.MaxComputeTime() == 0 {
-		t.Fatalf("degenerate run: compute=%v sync=%v", r1.MaxComputeTime(), r1.MaxSyncTime())
+	// The sharded variant exercises the dispatcher split/join paths: on
+	// a sequenced fabric shard items run inline on the dispatcher (see
+	// memserver package docs), so determinism must survive requests
+	// being split across four per-shard calendars and rejoined.
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			run := func() (float64, *stats.Run) {
+				cfg := core.DefaultConfig()
+				cfg.CacheLines = 256
+				cfg.Geo.NumServers = 2
+				cfg.ServerShards = shards
+				rt, err := core.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+				res, err := RunMicro(rt, 8, MicroParams{N: 4, M: 4, S: 2, B: 64, Mode: AllocStrided})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.GSum, res.Run
+			}
+			g1, r1 := run()
+			g2, r2 := run()
+			if g1 != g2 {
+				t.Errorf("gsum differs between identical runs: %v vs %v", g1, g2)
+			}
+			if len(r1.Threads) != len(r2.Threads) {
+				t.Fatalf("thread counts differ: %d vs %d", len(r1.Threads), len(r2.Threads))
+			}
+			// stats.Thread is a flat struct of scalars, so == compares every
+			// virtual time and every event counter at once.
+			for i := range r1.Threads {
+				if r1.Threads[i] != r2.Threads[i] {
+					t.Errorf("thread %d stats differ:\n run1: %+v\n run2: %+v",
+						i, r1.Threads[i], r2.Threads[i])
+				}
+			}
+			if r1.MaxSyncTime() == 0 || r1.MaxComputeTime() == 0 {
+				t.Fatalf("degenerate run: compute=%v sync=%v", r1.MaxComputeTime(), r1.MaxSyncTime())
+			}
+		})
 	}
 }
 

@@ -27,6 +27,13 @@ const (
 	// interleaved round-robin across threads — the highest false
 	// sharing of the three.
 	AllocStrided
+	// AllocRandom: the single shared allocation's rows are assigned to
+	// threads by a fixed pseudo-random permutation. Beyond the paper's
+	// three strategies: consecutive rows (and therefore cache lines and
+	// home-server shards) land on unrelated threads, which makes every
+	// release interval touch pages scattered across the whole space —
+	// the worst case for server-side shard contention.
+	AllocRandom
 )
 
 // String names the mode as the figures do.
@@ -38,6 +45,8 @@ func (m AllocMode) String() string {
 		return "global"
 	case AllocStrided:
 		return "strided"
+	case AllocRandom:
+		return "random"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -126,6 +135,10 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 			if t.ID() == 0 {
 				sharedBase.Store(uint64(t.GlobalAlloc(p * prm.S * rowBytes)))
 			}
+		case AllocRandom:
+			if t.ID() == 0 {
+				sharedBase.Store(uint64(t.GlobalAlloc(p * prm.S * rowBytes)))
+			}
 		}
 		if t.ID() == 0 {
 			gsumBase.Store(uint64(t.GlobalAlloc(8)))
@@ -143,6 +156,14 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 			// k*P + t.
 			rowAddr = func(k int) vm.Addr {
 				return base + vm.Addr((k*t.P()+t.ID())*rowBytes)
+			}
+		case AllocRandom:
+			// Rows are scattered by a fixed permutation every thread
+			// computes identically, so the assignment is deterministic
+			// and needs no coordination.
+			perm := rowPerm(p * prm.S)
+			rowAddr = func(k int) vm.Addr {
+				return base + vm.Addr(perm[k*t.P()+t.ID()]*rowBytes)
 			}
 		}
 		gsum := vm.F64{Base: vm.Addr(gsumBase.Load())}
@@ -199,6 +220,30 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 		Expected: expectedGSum(p, prm),
 		Run:      run,
 	}, nil
+}
+
+// rowPerm returns a fixed pseudo-random permutation of [0, n): a
+// Fisher-Yates shuffle driven by splitmix64 from a constant seed. It is
+// a pure function of n, so every thread (and every run) computes the
+// identical assignment — the scatter is adversarial but deterministic.
+func rowPerm(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
 }
 
 // expectedGSum computes the analytic value of the global sum. Every

@@ -244,6 +244,40 @@ func AblationManagerLink(o Options) (*Ablation, error) {
 	return a, nil
 }
 
+// AblationShards sweeps the per-server page-shard count (ablation g).
+// Strided allocation is the serialization-prone pattern the sharding
+// was built for: every thread's rows interleave across servers, so a
+// single event loop per server queues all of them behind one calendar.
+// Random allocation is the adversarial variant — the fixed permutation
+// scatters consecutive rows across shards, maximizing split requests
+// and cross-shard join overhead.
+func AblationShards(o Options) (*Ablation, error) {
+	prm, p := o.ablationWorkload()
+	rprm := o.microParams(o.MidM, o.MidS, kernels.AllocRandom)
+	a := &Ablation{
+		ID:    "abl-shards",
+		Title: "Memory-server page shards per server",
+		Workload: fmt.Sprintf("micro strided+random, P=%d N=%d M=%d S=%d B=%d",
+			p, prm.N, prm.M, prm.S, prm.B),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		for _, v := range []struct {
+			mode kernels.AllocMode
+			prm  kernels.MicroParams
+		}{{kernels.AllocStrided, prm}, {kernels.AllocRandom, rprm}} {
+			name := fmt.Sprintf("shards=%d %s", shards, v.mode)
+			r, err := o.runVariant(name, v.prm, p,
+				func(c *core.Config) { c.ServerShards = shards })
+			if err != nil {
+				return nil, err
+			}
+			a.Results = append(a.Results, r)
+		}
+	}
+	return a, nil
+}
+
 // AblationRunners maps ablation names to runners.
 var AblationRunners = map[string]func(Options) (*Ablation, error){
 	"prefetch":  AblationPrefetch,
@@ -252,9 +286,10 @@ var AblationRunners = map[string]func(Options) (*Ablation, error){
 	"striping":  AblationStriping,
 	"fabric":    AblationFabric,
 	"mgrlink":   AblationManagerLink,
+	"shards":    AblationShards,
 }
 
 // AblationNames lists the ablations in a stable order.
 func AblationNames() []string {
-	return []string{"prefetch", "linesize", "finegrain", "striping", "fabric", "mgrlink"}
+	return []string{"prefetch", "linesize", "finegrain", "striping", "fabric", "mgrlink", "shards"}
 }

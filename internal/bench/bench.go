@@ -62,6 +62,10 @@ type Options struct {
 	NumServers    int
 	Striped       bool
 	LinePages     int
+	// ServerShards splits each memory server into this many
+	// independently scheduled page shards (0 or 1 = the single event
+	// loop). The bench suite measures both shard counts when it is > 1.
+	ServerShards int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
@@ -174,6 +178,7 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.Geo.NumServers = o.NumServers
 	cfg.Geo.Striped = o.Striped
 	cfg.Geo.LinePages = o.LinePages
+	cfg.ServerShards = o.ServerShards
 	cfg.DisableFineGrain = o.DisableFineGrain
 	o.applyRobustness(&cfg)
 	for _, f := range overrides {

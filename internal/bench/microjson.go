@@ -29,6 +29,9 @@ type MicroPoint struct {
 	S             int    `json:"s"`
 	B             int    `json:"b"`
 	PrefetchDepth int    `json:"prefetchDepth"`
+	// ServerShards is the memory servers' shard count (0 in documents
+	// written before sharding existed, equivalent to 1).
+	ServerShards int `json:"serverShards,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -51,9 +54,14 @@ type MicroPoint struct {
 }
 
 // key is the configuration identity used to pair baseline and current
-// points.
+// points. Shard count 0 (documents from before sharding) normalizes to
+// 1 so old baselines keep gating the unsharded points.
 func (p MicroPoint) key() string {
-	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth)
+	sh := p.ServerShards
+	if sh == 0 {
+		sh = 1
+	}
+	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh)
 }
 
 // MicroBench is the document stored in BENCH_micro.json.
@@ -76,10 +84,15 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 	}
 	o.aggregate(res.Run)
 	tot := res.Run.Totals()
+	shards := o.ServerShards
+	if shards == 0 {
+		shards = 1
+	}
 	pt := MicroPoint{
 		P: p, Mode: prm.Mode.String(),
 		N: prm.N, M: prm.M, S: prm.S, B: prm.B,
 		PrefetchDepth: o.PrefetchDepth,
+		ServerShards:  shards,
 
 		ComputeMaxNs: int64(res.Run.MaxComputeTime()),
 		SyncMaxNs:    int64(res.Run.MaxSyncTime()),
@@ -102,19 +115,34 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 
 // MicroBenchSuite measures the standard point set: the paper's Figure
 // 10/11 configuration (16 threads, strided allocation, M=10, S=2) at
-// the configured prefetch depth, plus a local-mode control.
+// the configured prefetch depth, a local-mode control, and a
+// random-scatter point (the worst case for server-shard contention).
+// The base points always run unsharded; when the options ask for more
+// shards, the shard-sensitive modes (strided, random) are measured
+// again at that shard count so the document captures the speedup.
 func MicroBenchSuite(o Options) (*MicroBench, error) {
 	mb := &MicroBench{Benchmark: "samhita-micro"}
-	cfgs := []struct {
-		p    int
-		mode kernels.AllocMode
-	}{
-		{16, kernels.AllocStrided},
-		{16, kernels.AllocLocal},
+	type pointCfg struct {
+		p      int
+		mode   kernels.AllocMode
+		shards int
+	}
+	cfgs := []pointCfg{
+		{16, kernels.AllocStrided, 1},
+		{16, kernels.AllocLocal, 1},
+		{16, kernels.AllocRandom, 1},
+	}
+	if o.ServerShards > 1 {
+		cfgs = append(cfgs,
+			pointCfg{16, kernels.AllocStrided, o.ServerShards},
+			pointCfg{16, kernels.AllocRandom, o.ServerShards},
+		)
 	}
 	for _, c := range cfgs {
+		po := o
+		po.ServerShards = c.shards
 		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode}
-		pt, err := o.MeasureMicro(c.p, prm)
+		pt, err := po.MeasureMicro(c.p, prm)
 		if err != nil {
 			return nil, err
 		}
@@ -147,9 +175,10 @@ func ReadMicroBench(path string) (*MicroBench, error) {
 
 // CheckRegression compares current against baseline point by point
 // (matched on configuration) and returns an error naming every point
-// whose sync time or fabric message count grew by more than tol
-// (e.g. 0.20 = 20%). Baseline points absent from current are ignored;
-// new current points pass (there is nothing to compare them to).
+// whose sync time, fabric message count or fabric byte volume grew by
+// more than tol (e.g. 0.20 = 20%). Baseline points absent from current
+// are ignored; new current points pass (there is nothing to compare
+// them to).
 func CheckRegression(baseline, current *MicroBench, tol float64) error {
 	base := make(map[string]MicroPoint, len(baseline.Points))
 	for _, p := range baseline.Points {
@@ -168,6 +197,10 @@ func CheckRegression(baseline, current *MicroBench, tol float64) error {
 		if b.FabricMsgs > 0 && float64(cur.FabricMsgs) > float64(b.FabricMsgs)*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: fabric msgs %d > baseline %d by more than %.0f%%",
 				cur.key(), cur.FabricMsgs, b.FabricMsgs, tol*100))
+		}
+		if b.FabricBytes > 0 && float64(cur.FabricBytes) > float64(b.FabricBytes)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: fabric bytes %d > baseline %d by more than %.0f%%",
+				cur.key(), cur.FabricBytes, b.FabricBytes, tol*100))
 		}
 	}
 	if len(bad) > 0 {

@@ -59,7 +59,22 @@ func waitGoroutines(t *testing.T, want int) {
 //
 // The run as a whole reports an error (the victim thread died), but the
 // shared state the survivors observe must be exactly sequential.
+//
+// The scenario runs twice: with the historical single-event-loop
+// servers and with 4 page shards per server, proving the sharded
+// dispatcher holds the same liveness and consistency guarantees
+// (per-shard replication streams, standby promotion, parked-fetch
+// failure) under kills and packet loss.
 func TestChaosKillLockHolderAndMemserver(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			chaosKillLockHolderAndMemserver(t, shards)
+		})
+	}
+}
+
+func chaosKillLockHolderAndMemserver(t *testing.T, shards int) {
 	const (
 		p        = 4
 		rounds   = 6
@@ -73,6 +88,7 @@ func TestChaosKillLockHolderAndMemserver(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Geo.NumServers = 2
 	cfg.Geo.LinePages = 1
+	cfg.ServerShards = shards
 	cfg.CacheLines = 4 // far below the working set: constant fetch/evict traffic
 	// The lease must tolerate race-detector and CI scheduling jitter: a
 	// live thread whose heartbeat goroutine starves past the lease gets

@@ -95,6 +95,14 @@ type Config struct {
 	// ThreadsPerNode controls placement (0 = 8, the paper's core count
 	// per node).
 	ThreadsPerNode int
+	// ServerShards splits each memory server's page space into this many
+	// independently scheduled shards (0 or 1 = the historical single
+	// event loop). Shards map line-granularly via Geometry.ShardOf;
+	// fetches, diff batches and evict flushes against disjoint shards
+	// are served concurrently, and the dispatcher splits multi-shard
+	// requests and joins the replies. Per-page interval-tag semantics
+	// and sequenced-run determinism are preserved.
+	ServerShards int
 	// DisableFineGrain turns off RegC's consistency-region store
 	// instrumentation: stores under a lock are treated like ordinary
 	// stores (page diffs + invalidation), degrading the protocol to
@@ -219,6 +227,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ThreadsPerNode <= 0 {
 		c.ThreadsPerNode = 8
+	}
+	if c.ServerShards < 1 {
+		c.ServerShards = 1
 	}
 	if c.Net == nil && (c.Retry != nil || c.Faults != nil) {
 		c.Net = new(stats.Net)
@@ -364,6 +375,13 @@ func New(cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("core: memory server %d endpoint: %w", i, err)
 		}
 		srv := memserver.New(srvEP, i, cfg.Geo, cfg.CPU, agentAddr)
+		srv.SetShards(cfg.ServerShards)
+		// On the sequenced fabric the server processes shard items
+		// inline — worker goroutines would deadlock the runnable-token
+		// ledger (see the memserver package doc) and could not overlap
+		// in real time anyway, since the sequencer grants one message
+		// at a time.
+		srv.SetSequenced(rt.fabric != nil && rt.fabric.Sequenced())
 		if rt.livenessEnabled() {
 			srv.SetLiveness(cfg.Liveness.Live)
 		}
@@ -394,6 +412,11 @@ func New(cfg Config) (*Runtime, error) {
 				return nil, fmt.Errorf("core: standby server %d endpoint: %w", i, err)
 			}
 			sb := memserver.New(sbEP, i, cfg.Geo, cfg.CPU, agentAddr)
+			// The standby shards identically to its primary, so the
+			// per-shard replication stream routes each forwarded
+			// sub-batch wholly to the matching shard, preserving
+			// per-page apply order. (Standby runs are never sequenced.)
+			sb.SetShards(cfg.ServerShards)
 			sb.SetStandby(true)
 			sb.SetLiveness(cfg.Liveness.Live)
 			rt.standbys = append(rt.standbys, sb)
@@ -707,6 +730,9 @@ func (rt *Runtime) drainServers() error {
 		// arrival) would overtake the queued batches it is supposed to
 		// prove drained. Wait for each home's stream to quiesce instead.
 		for i := range rt.servers {
+			// Sequenced servers process shard items inline on the
+			// dispatcher, so a quiesced port means a fully drained
+			// server regardless of shard count.
 			rt.fabric.Quiesce(rt.homeNode(i))
 		}
 		return nil

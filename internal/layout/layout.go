@@ -99,6 +99,36 @@ func (g Geometry) HomeOf(p PageID) int {
 	return int(uint64(g.LineOf(p)) % uint64(g.NumServers))
 }
 
+// ShardOf maps page p to one of nshards server-local shards. The
+// mapping is line-granular — a whole cache line lands on one shard, so
+// a FetchLineReq never splits — and composes with striping: the lines a
+// striped geometry homes on one server are that server's consecutive
+// line indices divided by NumServers, so dividing first keeps a
+// server's own lines spread over all its shards instead of aliasing
+// onto a subset of them.
+//
+// The reduced line index is mixed (splitmix64's finalizer) before the
+// modulus rather than used directly: applications touch lines at
+// regular strides, and a raw modulus makes any stride sharing a factor
+// with nshards alias onto a subset of shards — e.g. pages 8 lines
+// apart always colliding when nshards is 4. Mixing decorrelates the
+// shard choice from every stride while staying a pure function of the
+// page, so the mapping is deterministic across runs and identical on a
+// primary and its standby.
+func (g Geometry) ShardOf(p PageID, nshards int) int {
+	if nshards <= 1 {
+		return 0
+	}
+	line := uint64(g.LineOf(p))
+	if g.Striped && g.NumServers > 1 {
+		line /= uint64(g.NumServers)
+	}
+	line = (line ^ (line >> 30)) * 0xBF58476D1CE4E5B9
+	line = (line ^ (line >> 27)) * 0x94D049BB133111EB
+	line ^= line >> 31
+	return int(line % uint64(nshards))
+}
+
 // PagesSpanned returns the pages overlapped by [a, a+n).
 func (g Geometry) PagesSpanned(a Addr, n int) []PageID {
 	if n <= 0 {

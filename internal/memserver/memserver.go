@@ -5,36 +5,62 @@
 // compute threads on the coprocessor fault cache lines in from it and
 // ship modifications back.
 //
-// A memory server is a single-goroutine event loop over its SCL
-// endpoint; it is also the *home* of its pages in the home-based
-// lazy-release protocol:
+// A memory server is a dispatcher goroutine over its SCL endpoint plus
+// N page shards (Geometry.ShardOf, line-granular so a single-line fetch
+// never splits). With one shard — the default — the dispatcher handles
+// everything inline and the server behaves exactly like the historical
+// single-goroutine event loop. With more, each shard runs its own
+// worker goroutine with its own calendar, parked-fetch table, page map
+// and ownership table, so traffic against disjoint shards is served
+// concurrently; the dispatcher splits multi-shard DiffBatch/FetchLines
+// requests and joins the per-shard replies. The server is also the
+// *home* of its pages in the home-based lazy-release protocol:
 //
 //   - FetchLineReq: assemble and return one multi-page cache line. The
 //     request quotes, per page, the interval tags whose DiffBatches must
 //     already be applied (write notices the fetcher has seen); a fetch
 //     that arrives before those diffs is parked and answered as soon as
 //     the last one lands. Pages still lazily owned by a writer are
-//     pulled up to date on demand first.
+//     pulled up to date on demand first. Parking is per page shard:
+//     a split fetch can have one shard's half parked while another
+//     shard's half is already copied into the joined reply.
 //   - DiffBatch (one-way): apply page diffs and fine-grained store
 //     records for one release interval, record ownership claims, then
 //     mark the interval tag applied and wake any parked fetches waiting
-//     on it.
+//     on it. Each shard marks the tag for its own pages — equivalent to
+//     the unsharded behaviour because a fetch only quotes a tag against
+//     pages the tagged batch names, which land on the same shard.
 //   - EvictFlush (one-way): apply the diff of a dirty page the cache had
 //     to evict mid-interval; the owning interval's later DiffBatch lists
 //     the page as already flushed.
 //   - DiffPull (outgoing): ask a writer's cache agent for the retained
 //     diffs of pages it lazily owns.
 //
-// Virtual time at the server is a service calendar (see calendar.go):
-// each request books the earliest idle slot at or after its own virtual
-// arrival, and cross-request ordering constraints flow through interval
-// tags, not through a shared clock. Pages are materialized lazily and
-// zero-filled.
+// Virtual time at the server is one service calendar per shard (see
+// calendar.go): each request books the earliest idle slot at or after
+// its own virtual arrival on its shard's calendar, cross-request
+// ordering constraints flow through interval tags, and Clock() merges
+// the shard calendars. Pages are materialized lazily and zero-filled.
+//
+// Shards execute in one of two modes. On an unsequenced fabric (chaos
+// runs, standbys, real transports) each shard runs a worker goroutine
+// and disjoint-shard requests proceed in parallel in real time. On a
+// sequenced fabric (deterministic clean runs) the dispatcher processes
+// every shard item inline instead: the sequencer's runnable-token
+// ledger grants one message at a time, so worker concurrency there
+// would be fictitious — worse, a queued item would have to hold a
+// runnable token while its shard blocks in a diff-pull Call, which
+// deadlocks the ledger (the pull's grant needs run==0, the token's
+// retirement needs the worker). Inline execution keeps the server a
+// single goroutine exactly like the historical event loop — Quiesce
+// still proves it drained — while the per-shard calendars still overlap
+// service windows in virtual time, which is where the sharded speedup
+// comes from.
 package memserver
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/layout"
@@ -44,12 +70,17 @@ import (
 	"repro/internal/vtime"
 )
 
+// shardQueueDepth bounds each shard worker's queue; the dispatcher
+// blocks when a shard is this far behind (backpressure, like the
+// fabric's own inbox).
+const shardQueueDepth = 1024
+
 // Stats aggregates one memory server's activity. Counter fields are
 // updated atomically so tests and harnesses may read them while the
 // server runs.
 type Stats struct {
 	Fetches        atomic.Int64 // FetchLine requests served
-	ParkedFetches  atomic.Int64 // fetches that had to wait for diffs
+	ParkedFetches  atomic.Int64 // per-shard fetch halves that had to wait for diffs
 	DiffBatches    atomic.Int64
 	DiffBytes      atomic.Int64
 	Records        atomic.Int64
@@ -63,6 +94,11 @@ type Stats struct {
 	FailedFetches  atomic.Int64 // fetches answered with an error instead of data
 	CombinedReqs   atomic.Int64 // multi-line combined fetch requests served
 	CombinedExtras atomic.Int64 // companion lines carried by combined fetches
+
+	// Sharding.
+	SplitFetches    atomic.Int64 // combined fetches split across >1 shard
+	SplitBatches    atomic.Int64 // diff batches / evict flushes split across >1 shard
+	ParallelApplies atomic.Int64 // diff batches applied with the parallel copy pool
 }
 
 // AgentAddr maps a protocol writer id to the fabric node of that
@@ -71,31 +107,33 @@ type Stats struct {
 // panics loudly).
 type AgentAddr func(writer uint32) scl.NodeID
 
-// Server is one memory server instance.
+// Server is one memory server instance: a dispatcher over its endpoint
+// plus one or more page shards.
 type Server struct {
 	ep        scl.Endpoint
 	index     int // which server this is (for home validation)
 	geo       layout.Geometry
 	cpu       vtime.CPUModel
 	agentAddr AgentAddr
-	cal       calendar
 
-	pages map[layout.PageID][]byte
-	// appliedAt records, per interval tag, the virtual time its batch
-	// finished applying; presence means applied.
-	appliedAt map[proto.IntervalTag]vtime.Time
-	parked    map[*parkedFetch]struct{}
-	// owner records, per page, the writer retaining that page's diffs
-	// under the single-writer optimization; the home's copy is stale
-	// until those diffs are pulled or flushed.
-	owner map[layout.PageID]uint32
+	nshards int
+	shards  []*shard
+	// sequenced selects inline shard execution (see the package doc):
+	// no worker goroutines, the dispatcher processes each item on its
+	// shard directly, and determinism follows from the fabric's grant
+	// order alone.
+	sequenced bool
+	wg        sync.WaitGroup // shard workers (unsequenced multi-shard mode)
 
 	// Checkpoint/failover state. A warm standby runs the same Server
 	// code with standby=true: it applies the diff stream its primary
 	// forwards but refuses fetches until promoted. A primary with a
 	// replica configured forwards every applied DiffBatch/EvictFlush
-	// (and the bytes of every on-demand pull) to it.
-	standby    bool
+	// (and the bytes of every on-demand pull) to it, shard by shard:
+	// each shard forwards its own applied sub-batches, and the standby's
+	// identical shard mapping routes every forward wholly to the
+	// matching shard, preserving per-page apply order.
+	standby    atomic.Bool
 	replica    scl.NodeID
 	hasReplica bool
 	live       *stats.Liveness
@@ -103,39 +141,64 @@ type Server struct {
 	stats Stats
 }
 
-// parkedFetch is a fetch (single-line or combined lines+pages) waiting
-// for outstanding interval tags.
-type parkedFetch struct {
-	req     *scl.Request
-	lines   []layout.LineID
-	pages   []layout.PageID
-	multi   bool                // reply with FetchLinesResp instead of FetchLineResp
-	tags    []proto.IntervalTag // every tag the fetch quoted
-	waiting map[proto.IntervalTag]struct{}
-}
-
-// New creates a memory server with the given endpoint and home index.
+// New creates a memory server with the given endpoint and home index,
+// with a single shard and a no-op gate.
 func New(ep scl.Endpoint, index int, geo layout.Geometry, cpu vtime.CPUModel, agentAddr AgentAddr) *Server {
-	return &Server{
+	s := &Server{
 		ep:        ep,
 		index:     index,
 		geo:       geo,
 		cpu:       cpu,
 		agentAddr: agentAddr,
-		pages:     make(map[layout.PageID][]byte),
-		appliedAt: make(map[proto.IntervalTag]vtime.Time),
-		parked:    make(map[*parkedFetch]struct{}),
-		owner:     make(map[layout.PageID]uint32),
 	}
+	s.setShards(1)
+	return s
 }
 
 // Stats exposes the server's counters.
 func (s *Server) Stats() *Stats { return &s.stats }
 
+// NumShards reports how many page shards the server runs.
+func (s *Server) NumShards() int { return s.nshards }
+
+// SetShards splits the server's page space into n independently
+// scheduled shards (n < 1 means 1). Must be called before Run.
+func (s *Server) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.setShards(n)
+}
+
+func (s *Server) setShards(n int) {
+	s.nshards = n
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			srv:       s,
+			id:        i,
+			ch:        make(chan shardItem, shardQueueDepth),
+			pages:     make(map[layout.PageID][]byte),
+			appliedAt: make(map[proto.IntervalTag]vtime.Time),
+			parked:    make(map[*parkedFetch]struct{}),
+			owner:     make(map[layout.PageID]uint32),
+		}
+	}
+}
+
+// SetSequenced tells the server its fabric delivers messages under the
+// deterministic sequencer, selecting inline shard execution instead of
+// worker goroutines (see the package doc). Must be called before Run.
+func (s *Server) SetSequenced(sequenced bool) { s.sequenced = sequenced }
+
+// inline reports whether shard items are processed on the dispatcher
+// goroutine (single shard, or any shard count on a sequenced fabric).
+func (s *Server) inline() bool { return s.nshards == 1 || s.sequenced }
+
 // SetStandby marks the server as a warm standby: it applies forwarded
 // diff traffic but answers fetches with proto.ErrNotPromoted until a
 // Promote message arrives. Must be called before Run.
-func (s *Server) SetStandby(standby bool) { s.standby = standby }
+func (s *Server) SetStandby(standby bool) { s.standby.Store(standby) }
 
 // SetReplica points this (primary) server at its warm standby's node;
 // every applied mutation is forwarded there. Must be called before Run.
@@ -148,111 +211,151 @@ func (s *Server) SetReplica(node scl.NodeID) {
 // promotion events. Must be called before Run.
 func (s *Server) SetLiveness(live *stats.Liveness) { s.live = live }
 
-// Clock reports the end of the last booked service slot — the server's
-// notion of "how far virtual time has reached here".
-func (s *Server) Clock() vtime.Time { return s.cal.maxEnd }
+// Clock reports the end of the last booked service slot across all
+// shards — the server's notion of "how far virtual time has reached
+// here".
+func (s *Server) Clock() vtime.Time {
+	var m vtime.Time
+	for _, sh := range s.shards {
+		if c := vtime.Time(sh.clock.Load()); c > m {
+			m = c
+		}
+	}
+	return m
+}
 
 // Run processes requests until a Shutdown message arrives or the
-// endpoint closes. It is the server's only goroutine; all state is
-// confined to it.
+// endpoint closes. With one shard it is the server's only goroutine;
+// with more it dispatches to the shard workers it starts.
 func (s *Server) Run() {
+	if !s.inline() {
+		s.startWorkers()
+	}
 	for {
 		req, ok := s.ep.Recv()
 		if !ok {
-			s.failParked(proto.CodePeerDied, "memory server endpoint closed")
+			s.stopWorkers(proto.CodePeerDied, "memory server endpoint closed")
 			return
 		}
 		switch req.Kind() {
 		case proto.KFetchLineReq:
-			s.handleFetch(req)
+			s.dispatchFetchLine(req)
 		case proto.KFetchLinesReq:
-			s.handleFetchLines(req)
+			s.dispatchFetchLines(req)
 		case proto.KDiffBatch:
-			s.handleDiffBatch(req)
+			s.dispatchDiffBatch(req)
 		case proto.KEvictFlush:
-			s.handleEvictFlush(req)
+			s.dispatchEvictFlush(req)
 		case proto.KPing:
-			req.Reply(&proto.Ack{}, s.cal.maxEnd)
+			s.handlePing(req)
 		case proto.KPromote:
 			// Idempotent: the runtime may re-promote on a retried
-			// failover.
-			if s.standby {
-				s.standby = false
+			// failover. Fetches already queued at shards were sent by
+			// fetchers racing the failover; serving them post-flip is
+			// safe because quoted interval tags, not the flag, gate
+			// data freshness.
+			if s.standby.Load() {
+				s.standby.Store(false)
 				if s.live != nil {
 					s.live.Promotions.Add(1)
 				}
 			}
 			if !req.OneWay() {
-				req.Reply(&proto.Ack{}, s.cal.maxEnd)
+				req.Reply(&proto.Ack{}, s.Clock())
 			}
 		case proto.KShutdown:
 			if !req.OneWay() {
-				req.Reply(&proto.Ack{}, s.cal.maxEnd)
+				req.Reply(&proto.Ack{}, s.Clock())
 			}
-			s.failParked(proto.CodeShutdown, "memory server shut down")
+			s.stopWorkers(proto.CodeShutdown, "memory server shut down")
 			return
 		default:
 			if !req.OneWay() {
-				req.ReplyError(fmt.Errorf("memserver: unexpected %v", req.Kind()), s.cal.maxEnd)
+				req.ReplyError(fmt.Errorf("memserver: unexpected %v", req.Kind()), s.Clock())
 			}
 		}
 	}
 }
 
-func (s *Server) failParked(code uint16, why string) {
-	for pf := range s.parked {
-		pf.req.ReplyErrorCode(code, fmt.Errorf("memserver: %s with fetch pending", why), s.cal.maxEnd)
+// startWorkers launches one worker goroutine per shard (unsequenced
+// multi-shard mode only).
+func (s *Server) startWorkers() {
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
 	}
-	s.parked = make(map[*parkedFetch]struct{})
 }
 
-// replicate forwards an applied mutation to the warm standby. The
-// forward is one-way and this server is the standby's only sender, so
-// the standby applies mutations in exactly this server's apply order.
-func (s *Server) replicate(m proto.Msg) {
-	if !s.hasReplica {
-		return
-	}
-	if _, err := s.ep.Post(s.replica, m, s.cal.maxEnd); err != nil {
-		if s.live != nil {
-			s.live.ReplFailures.Add(1)
+// stopWorkers fails all parked fetches and, in worker mode, stops every
+// worker after it drains its backlog.
+func (s *Server) stopWorkers(code uint16, why string) {
+	if s.inline() {
+		for _, sh := range s.shards {
+			sh.failParked(code, why)
 		}
 		return
 	}
-	if s.live != nil {
-		s.live.ReplBatches.Add(1)
-		s.live.ReplBytes.Add(int64(len(proto.Encode(m))))
+	for _, sh := range s.shards {
+		sh.ch <- shardItem{kind: itemStop, code: code, why: why}
 	}
+	s.wg.Wait()
 }
 
-// page returns the backing bytes of p, materializing it zero-filled.
-func (s *Server) page(p layout.PageID) []byte {
-	if b, ok := s.pages[p]; ok {
-		return b
-	}
-	b := make([]byte, s.geo.PageSize)
-	s.pages[p] = b
-	s.stats.PagesHosted.Add(1)
-	return b
-}
-
-func (s *Server) handleFetch(req *scl.Request) {
-	var m proto.FetchLineReq
-	if err := req.Decode(&m); err != nil {
-		req.ReplyError(err, s.cal.maxEnd)
+// enqueue hands an item to its shard: processed inline on the
+// dispatcher in inline mode (preserving the historical single-goroutine
+// behaviour — and, with one shard, its exact virtual times), queued to
+// the shard's worker otherwise.
+func (s *Server) enqueue(sh *shard, it shardItem) {
+	if s.inline() {
+		sh.process(it)
 		return
 	}
-	s.serveFetch(req, []layout.LineID{layout.LineID(m.Line)}, nil, m.Needs, false)
+	sh.ch <- it
 }
 
-func (s *Server) handleFetchLines(req *scl.Request) {
+// ackFor builds the ack join for an RPC-style request split across n
+// shards (nil for one-way traffic, which is never acknowledged).
+func (s *Server) ackFor(req *scl.Request, n int) *ackJoin {
+	if req.OneWay() {
+		return nil
+	}
+	return &ackJoin{req: req, remaining: n}
+}
+
+func (s *Server) handlePing(req *scl.Request) {
+	if s.inline() {
+		// Inline processing means everything received before the ping
+		// is already applied; ack at the merged clock.
+		req.Reply(&proto.Ack{}, s.Clock())
+		return
+	}
+	// Worker mode: the ping ack must prove everything enqueued before
+	// it has been processed (the drain idiom relies on this), so it
+	// joins a marker through every shard queue and answers at the max
+	// shard clock.
+	j := &ackJoin{req: req, remaining: s.nshards}
+	for _, sh := range s.shards {
+		s.enqueue(sh, shardItem{kind: itemPing, ack: j})
+	}
+}
+
+func (s *Server) dispatchFetchLine(req *scl.Request) {
+	var m proto.FetchLineReq
+	if err := req.Decode(&m); err != nil {
+		req.ReplyError(err, s.Clock())
+		return
+	}
+	s.routeFetch(req, []layout.LineID{layout.LineID(m.Line)}, nil, m.Needs, false)
+}
+
+func (s *Server) dispatchFetchLines(req *scl.Request) {
 	var m proto.FetchLinesReq
 	if err := req.Decode(&m); err != nil {
-		req.ReplyError(err, s.cal.maxEnd)
+		req.ReplyError(err, s.Clock())
 		return
 	}
 	if len(m.Lines)+len(m.Pages) == 0 {
-		req.ReplyError(fmt.Errorf("memserver %d: empty combined fetch", s.index), s.cal.maxEnd)
+		req.ReplyError(fmt.Errorf("memserver %d: empty combined fetch", s.index), s.Clock())
 		return
 	}
 	lines := make([]layout.LineID, len(m.Lines))
@@ -265,320 +368,192 @@ func (s *Server) handleFetchLines(req *scl.Request) {
 	}
 	s.stats.CombinedReqs.Add(1)
 	s.stats.CombinedExtras.Add(int64(len(lines) + len(pages) - 1))
-	s.serveFetch(req, lines, pages, m.Needs, true)
+	s.routeFetch(req, lines, pages, m.Needs, true)
 }
 
-// serveFetch validates a fetch for lines and/or pages, then answers it
-// immediately or parks it until every quoted interval tag has been
-// applied.
-func (s *Server) serveFetch(req *scl.Request, lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, multi bool) {
-	if s.standby {
+// routeFetch validates a fetch for lines and/or pages, then hands it to
+// its page shard — or, when the request spans several shards, splits it
+// into per-shard halves that assemble disjoint segments of one joined
+// reply. A fetch still parks (now in its pages' shard) until every
+// quoted interval tag has been applied there.
+func (s *Server) routeFetch(req *scl.Request, lines []layout.LineID, pages []layout.PageID, needs []proto.PageNeed, multi bool) {
+	if s.standby.Load() {
 		// A standby serves no reads until promoted: the typed code lets
 		// a fetcher with a stale address book distinguish "not yet
 		// failed over" from a generic protocol error.
 		s.stats.FailedFetches.Add(1)
 		req.ReplyErrorCode(proto.CodeNotPromoted,
-			fmt.Errorf("memserver %d: standby not promoted", s.index), s.cal.maxEnd)
+			fmt.Errorf("memserver %d: standby not promoted", s.index), s.Clock())
 		return
 	}
 	for _, line := range lines {
 		if home := s.geo.HomeOf(s.geo.FirstPage(line)); home != s.index {
-			req.ReplyError(fmt.Errorf("memserver %d: line %d homes on server %d", s.index, line, home), s.cal.maxEnd)
+			req.ReplyError(fmt.Errorf("memserver %d: line %d homes on server %d", s.index, line, home), s.Clock())
 			return
 		}
 	}
 	for _, p := range pages {
 		if home := s.geo.HomeOf(p); home != s.index {
-			req.ReplyError(fmt.Errorf("memserver %d: page %d homes on server %d", s.index, p, home), s.cal.maxEnd)
+			req.ReplyError(fmt.Errorf("memserver %d: page %d homes on server %d", s.index, p, home), s.Clock())
 			return
 		}
 	}
 	s.stats.Fetches.Add(1)
 
-	var tags []proto.IntervalTag
-	waiting := make(map[proto.IntervalTag]struct{})
+	if s.nshards == 1 {
+		s.shards[0].serveFetch(&subFetch{req: req, lines: lines, pages: pages, needs: needs, multi: multi})
+		return
+	}
+
+	subs := make([]*subFetch, s.nshards)
+	sub := func(id int) *subFetch {
+		if subs[id] == nil {
+			subs[id] = &subFetch{req: req, multi: multi}
+		}
+		return subs[id]
+	}
+	lineSize := s.geo.LineSize()
+	for i, line := range lines {
+		f := sub(s.geo.ShardOf(s.geo.FirstPage(line), s.nshards))
+		f.lines = append(f.lines, line)
+		f.lineOffs = append(f.lineOffs, i*lineSize)
+	}
+	base := len(lines) * lineSize
+	for i, p := range pages {
+		f := sub(s.geo.ShardOf(p, s.nshards))
+		f.pages = append(f.pages, p)
+		f.pageOffs = append(f.pageOffs, base+i*s.geo.PageSize)
+	}
 	for i := range needs {
-		for _, tag := range needs[i].Tags {
-			tags = append(tags, tag)
-			if _, ok := s.appliedAt[tag]; !ok {
-				waiting[tag] = struct{}{}
-			}
+		// A need gates the shard of its page; a shard with only needs
+		// (no data of this request) still gets an empty half so the tag
+		// is awaited where it will be applied.
+		f := sub(s.geo.ShardOf(layout.PageID(needs[i].Page), s.nshards))
+		f.needs = append(f.needs, needs[i])
+	}
+	count, single := 0, 0
+	for id, f := range subs {
+		if f != nil {
+			count++
+			single = id
 		}
 	}
-	if len(waiting) == 0 {
-		s.replyFetch(req, lines, pages, tags, multi)
+	if count == 1 {
+		// Whole request on one shard: serve it unsplit, replying
+		// directly from the shard (no join, no reassembly).
+		f := subs[single]
+		f.lineOffs, f.pageOffs = nil, nil
+		s.enqueue(s.shards[single], shardItem{kind: itemFetch, sub: f})
 		return
 	}
-	s.stats.ParkedFetches.Add(1)
-	s.parked[&parkedFetch{req: req, lines: lines, pages: pages, multi: multi, tags: tags, waiting: waiting}] = struct{}{}
-}
-
-// replyFetch answers a fetch whose needed tags have all been applied:
-// it is ready no earlier than its own arrival and the application times
-// of those tags; lazily-owned pages across all requested lines and
-// pages are pulled up to date (batched per writer); then the assembly
-// books one service slot. A pull that fails (the owning writer's cache
-// agent is unreachable) degrades to a clean protocol error back to the
-// fetcher — ownership is retained so a later fetch can retry — instead
-// of wedging or killing the server.
-func (s *Server) replyFetch(req *scl.Request, lines []layout.LineID, pages []layout.PageID, tags []proto.IntervalTag, multi bool) {
-	ready := req.Arrive()
-	for _, tag := range tags {
-		if at, ok := s.appliedAt[tag]; ok && at > ready {
-			ready = at
+	s.stats.SplitFetches.Add(1)
+	total := len(lines)*lineSize + len(pages)*s.geo.PageSize
+	buf := proto.GetBuf(total)
+	j := &fetchJoin{req: req, remaining: count, data: buf[:total]}
+	for id, f := range subs {
+		if f == nil {
+			continue
 		}
-	}
-	if err := s.pullOwned(lines, pages, &ready); err != nil {
-		s.stats.FailedFetches.Add(1)
-		req.ReplyError(fmt.Errorf("memserver %d: lines %v pages %v: %w", s.index, lines, pages, err), s.cal.maxEnd)
-		return
-	}
-	data := make([]byte, 0, s.geo.LineSize()*len(lines)+s.geo.PageSize*len(pages))
-	for _, line := range lines {
-		first := s.geo.FirstPage(line)
-		for i := 0; i < s.geo.LinePages; i++ {
-			data = append(data, s.page(first+layout.PageID(i))...)
-		}
-	}
-	for _, p := range pages {
-		data = append(data, s.page(p)...)
-	}
-	work := req.Svc() + s.cpu.CopyTime(len(data))
-	done := s.cal.book(ready, work) + work
-	s.stats.BytesServed.Add(int64(len(data)))
-	if multi {
-		req.Reply(&proto.FetchLinesResp{Data: data}, done)
-	} else {
-		req.Reply(&proto.FetchLineResp{Data: data}, done)
+		f.join = j
+		s.enqueue(s.shards[id], shardItem{kind: itemFetch, sub: f})
 	}
 }
 
-func (s *Server) handleDiffBatch(req *scl.Request) {
+func (s *Server) dispatchDiffBatch(req *scl.Request) {
 	var m proto.DiffBatch
-	if err := req.Decode(&m); err != nil {
+	if err := req.DecodeAlias(&m); err != nil {
 		// One-way message: nothing to reply to; a decode failure here is
 		// a protocol bug, so fail loudly.
 		panic(fmt.Sprintf("memserver: bad DiffBatch: %v", err))
 	}
 	s.stats.DiffBatches.Add(1)
-	ready := req.Arrive()
-	// DiffBatch is one-way: there is nobody to answer if a pull from an
-	// unreachable writer fails mid-apply. The batch still completes —
-	// its tag is marked applied and parked fetches wake — because the
-	// failed pull retained its ownership record, so the woken fetch
-	// re-attempts the pull itself and surfaces a clean error if the
-	// writer is still gone. Stalling the tag would deadlock every
-	// fetcher quoting it.
-	bytes, err := s.applyDiffs(m.Tag.Writer, m.Diffs, &ready)
-	if err == nil {
-		var rb int
-		rb, err = s.applyRecords(m.Records, &ready)
-		bytes += rb
+	if s.nshards == 1 {
+		s.shards[0].applyBatch(req, &m, s.ackFor(req, 1), false)
+		return
 	}
-	_ = err // counted in PullFailures by pullFrom; the tag must proceed
-	for _, pu := range m.OwnedPages {
-		p := layout.PageID(pu)
-		// Two writers can each believe they are a page's sole writer the
-		// first time they share it. Pull the previous owner's retained
-		// diffs before handing the claim over, so both writers' bytes
-		// merge at the home (multiple-writer protocol).
-		if prev, ok := s.owner[p]; ok && prev != m.Tag.Writer {
-			if err := s.pullFrom(prev, []uint64{pu}, &ready); err != nil {
-				// Leave the previous claim in place; the handover will
-				// be re-attempted when the page is next fetched.
-				continue
-			}
+	subs := make([]*proto.DiffBatch, s.nshards)
+	sub := func(id int) *proto.DiffBatch {
+		if subs[id] == nil {
+			subs[id] = &proto.DiffBatch{Tag: m.Tag}
 		}
-		s.owner[p] = m.Tag.Writer
-		s.stats.OwnedClaims.Add(1)
+		return subs[id]
 	}
-	work := req.Svc() + s.cpu.ApplyTime(bytes)
-	done := s.cal.book(ready, work) + work
-	s.appliedAt[m.Tag] = done
-	s.wakeParked(m.Tag)
-	// Forward to the standby AFTER the local apply (and its pulls),
-	// then ack: a sender whose ack never comes re-sends the batch to
-	// the promoted standby, and re-applying absolute-byte diffs is
-	// idempotent.
-	s.replicate(&m)
-	if !req.OneWay() {
-		req.Reply(&proto.Ack{}, done)
+	for i := range m.Diffs {
+		b := sub(s.geo.ShardOf(layout.PageID(m.Diffs[i].Page), s.nshards))
+		b.Diffs = append(b.Diffs, m.Diffs[i])
+	}
+	for i := range m.Records {
+		b := sub(s.geo.ShardOf(s.geo.PageOf(layout.Addr(m.Records[i].Addr)), s.nshards))
+		b.Records = append(b.Records, m.Records[i])
+	}
+	for _, pu := range m.EmptyPages {
+		b := sub(s.geo.ShardOf(layout.PageID(pu), s.nshards))
+		b.EmptyPages = append(b.EmptyPages, pu)
+	}
+	for _, pu := range m.OwnedPages {
+		b := sub(s.geo.ShardOf(layout.PageID(pu), s.nshards))
+		b.OwnedPages = append(b.OwnedPages, pu)
+	}
+	count := 0
+	for _, b := range subs {
+		if b != nil {
+			count++
+		}
+	}
+	if count == 0 {
+		// A batch naming no pages still marks its tag: route it whole
+		// to shard 0 so the tag is applied and replicated exactly once.
+		s.enqueue(s.shards[0], shardItem{kind: itemBatch, req: req, batch: &m, ack: s.ackFor(req, 1)})
+		return
+	}
+	if count > 1 {
+		s.stats.SplitBatches.Add(1)
+	}
+	j := s.ackFor(req, count)
+	for id, b := range subs {
+		if b == nil {
+			continue
+		}
+		s.enqueue(s.shards[id], shardItem{kind: itemBatch, req: req, batch: b, ack: j, split: count > 1})
 	}
 }
 
-func (s *Server) handleEvictFlush(req *scl.Request) {
+func (s *Server) dispatchEvictFlush(req *scl.Request) {
 	var m proto.EvictFlush
-	if err := req.Decode(&m); err != nil {
+	if err := req.DecodeAlias(&m); err != nil {
 		panic(fmt.Sprintf("memserver: bad EvictFlush: %v", err))
 	}
 	s.stats.EvictFlushes.Add(1)
-	ready := req.Arrive()
-	// One-way, like DiffBatch: a failed owner pull is counted and the
-	// retained ownership record lets a later fetch retry it.
-	bytes, _ := s.applyDiffs(m.Writer, m.Diffs, &ready)
-	work := req.Svc() + s.cpu.ApplyTime(bytes)
-	done := s.cal.book(ready, work) + work
-	s.replicate(&m)
-	if !req.OneWay() {
-		req.Reply(&proto.Ack{}, done)
+	if s.nshards == 1 {
+		s.shards[0].applyFlush(req, &m, s.ackFor(req, 1), false)
+		return
 	}
-}
-
-// applyDiffs installs diffs sent by the given writer, returning the
-// payload bytes applied. A page another writer still lazily owns must
-// have that owner's retained diffs pulled first, or they would be
-// orphaned when the claim is cleared; the writer's own claim is simply
-// superseded (its release path folds any retained runs into the diff it
-// ships). A failed pull aborts the apply with the error; the foreign
-// claim stays recorded so the pull can be retried later.
-func (s *Server) applyDiffs(writer uint32, diffs []proto.PageDiff, ready *vtime.Time) (int, error) {
-	bytes := 0
-	for i := range diffs {
-		d := &diffs[i]
-		p := layout.PageID(d.Page)
-		if prev, ok := s.owner[p]; ok && prev != writer {
-			if err := s.pullFrom(prev, []uint64{d.Page}, ready); err != nil {
-				return bytes, err
-			}
+	subs := make([]*proto.EvictFlush, s.nshards)
+	for i := range m.Diffs {
+		id := s.geo.ShardOf(layout.PageID(m.Diffs[i].Page), s.nshards)
+		if subs[id] == nil {
+			subs[id] = &proto.EvictFlush{Writer: m.Writer}
 		}
-		delete(s.owner, p)
-		pg := s.page(p)
-		for _, run := range d.Runs {
-			if int(run.Off)+len(run.Data) > len(pg) {
-				panic(fmt.Sprintf("memserver: diff run overflows page %d: off=%d len=%d", d.Page, run.Off, len(run.Data)))
-			}
-			copy(pg[run.Off:], run.Data)
-			s.stats.DiffBytes.Add(int64(len(run.Data)))
-			bytes += len(run.Data)
+		subs[id].Diffs = append(subs[id].Diffs, m.Diffs[i])
+	}
+	count := 0
+	for _, f := range subs {
+		if f != nil {
+			count++
 		}
 	}
-	return bytes, nil
-}
-
-// applyRecords installs fine-grained consistency-region updates,
-// returning the payload bytes applied. Any retained ownership diff for
-// the page is pulled first: retained bytes are older than the records
-// and must not clobber them later.
-func (s *Server) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) (int, error) {
-	bytes := 0
-	for i := range recs {
-		r := &recs[i]
-		p := s.geo.PageOf(layout.Addr(r.Addr))
-		if prev, ok := s.owner[p]; ok {
-			if err := s.pullFrom(prev, []uint64{uint64(p)}, ready); err != nil {
-				return bytes, err
-			}
-		}
-		off := s.geo.PageOffset(layout.Addr(r.Addr))
-		pg := s.page(p)
-		if off+len(r.Data) > len(pg) {
-			panic(fmt.Sprintf("memserver: record overflows page %d: off=%d len=%d", p, off, len(r.Data)))
-		}
-		copy(pg[off:], r.Data)
-		s.stats.Records.Add(1)
-		bytes += len(r.Data)
+	if count == 0 {
+		s.enqueue(s.shards[0], shardItem{kind: itemFlush, req: req, flush: &m, ack: s.ackFor(req, 1)})
+		return
 	}
-	return bytes, nil
-}
-
-func (s *Server) wakeParked(tag proto.IntervalTag) {
-	for pf := range s.parked {
-		if _, ok := pf.waiting[tag]; !ok {
+	if count > 1 {
+		s.stats.SplitBatches.Add(1)
+	}
+	j := s.ackFor(req, count)
+	for id, f := range subs {
+		if f == nil {
 			continue
 		}
-		delete(pf.waiting, tag)
-		if len(pf.waiting) == 0 {
-			delete(s.parked, pf)
-			s.replyFetch(pf.req, pf.lines, pf.pages, pf.tags, pf.multi)
-		}
+		s.enqueue(s.shards[id], shardItem{kind: itemFlush, req: req, flush: f, ack: j, split: count > 1})
 	}
-}
-
-// pullOwned brings every lazily-owned page of the given lines and
-// pages up to date by pulling retained diffs from their writers' cache
-// agents — one batched pull per writer across the whole request, so a
-// combined fetch never multiplies the pull round trips. The server
-// blocks on each pull — a fetch that hits an owned page pays the extra
-// round trip, which is the single-writer optimization's bargain:
-// writers release for free, occasional readers pay one pull.
-func (s *Server) pullOwned(lines []layout.LineID, pages []layout.PageID, ready *vtime.Time) error {
-	byWriter := make(map[uint32][]uint64)
-	for _, line := range lines {
-		first := s.geo.FirstPage(line)
-		for i := 0; i < s.geo.LinePages; i++ {
-			p := first + layout.PageID(i)
-			if w, ok := s.owner[p]; ok {
-				byWriter[w] = append(byWriter[w], uint64(p))
-			}
-		}
-	}
-	for _, p := range pages {
-		if w, ok := s.owner[p]; ok {
-			byWriter[w] = append(byWriter[w], uint64(p))
-		}
-	}
-	// Pull in writer order: the pulls chain on ready, so iteration order
-	// is part of the virtual-time result and must be deterministic.
-	writers := make([]uint32, 0, len(byWriter))
-	for w := range byWriter {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
-		if err := s.pullFrom(w, byWriter[w], ready); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// pullFrom fetches and applies the retained diffs of the given pages
-// from one writer's cache agent, clearing their ownership and advancing
-// ready past the round trip and the apply work. If the writer's agent
-// is unreachable the error is returned (and counted) with ownership
-// left intact, so the pull can be retried by a later fetch — a dead
-// writer must not take the memory server down with it.
-func (s *Server) pullFrom(w uint32, pages []uint64, ready *vtime.Time) error {
-	if s.standby {
-		// A standby never pulls: its primary already pulled and
-		// replicated the bytes as an EvictFlush ahead of this message,
-		// so the claim is simply dropped.
-		for _, pu := range pages {
-			delete(s.owner, layout.PageID(pu))
-		}
-		return nil
-	}
-	if s.agentAddr == nil {
-		panic(fmt.Sprintf("memserver %d: pages owned by writer %d but no agent address map", s.index, w))
-	}
-	var resp proto.DiffPullResp
-	doneAt, err := s.ep.Call(s.agentAddr(w), &proto.DiffPullReq{Pages: pages}, &resp, *ready)
-	if err != nil {
-		s.stats.PullFailures.Add(1)
-		return fmt.Errorf("memserver %d: diff pull from writer %d: %w", s.index, w, err)
-	}
-	if doneAt > *ready {
-		*ready = doneAt
-	}
-	s.stats.Pulls.Add(1)
-	pulled := 0
-	for i := range resp.Diffs {
-		pulled += resp.Diffs[i].PayloadBytes()
-	}
-	s.stats.PulledBytes.Add(int64(pulled))
-	// Clear ownership before applying: the pull IS the supersession, and
-	// applyDiffs would otherwise recurse into pulling w again.
-	for _, pu := range pages {
-		delete(s.owner, layout.PageID(pu))
-	}
-	// Pulled bytes exist only in this server's memory now (the writer's
-	// retained diffs were taken destructively): replicate them before
-	// applying, so the standby sees them ahead of any batch that
-	// depends on them.
-	s.replicate(&proto.EvictFlush{Writer: w, Diffs: resp.Diffs})
-	if _, err := s.applyDiffs(w, resp.Diffs, ready); err != nil {
-		return err
-	}
-	*ready += s.cpu.ApplyTime(pulled)
-	return nil
 }

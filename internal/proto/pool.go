@@ -1,0 +1,68 @@
+package proto
+
+import "sync"
+
+// Payload buffer pool. The memory-server hot path assembles a reply
+// payload (up to a whole cache line plus pages), hands it to a message
+// whose Marshal copies it into the wire frame, and then has no further
+// use for it — a steady stream of large, short-lived allocations.
+// GetBuf/PutBuf recycle those buffers through size-classed sync.Pools.
+//
+// Ownership rule: the producer that GetBufs a buffer owns it until it
+// explicitly PutBufs it back, and must only do so once nothing aliases
+// the buffer any more. Encode and Marshal always copy payload bytes
+// into their own frame, so "after Reply returns" is a safe release
+// point for a reply payload. Buffers decoded with DecodeAlias are the
+// opposite case — they alias a wire body the pool never owns and must
+// never be PutBuf'd.
+
+// poolMinShift..poolMaxShift bound the size classes (4 KiB .. 1 MiB);
+// requests outside the range fall back to the garbage collector.
+const (
+	poolMinShift = 12
+	poolMaxShift = 20
+)
+
+var bufPools [poolMaxShift - poolMinShift + 1]sync.Pool
+
+// classOf returns the pool index whose buffers hold at least n bytes,
+// or -1 when n is outside the pooled range.
+func classOf(n int) int {
+	if n <= 0 || n > 1<<poolMaxShift {
+		return -1
+	}
+	c := 0
+	for n > 1<<(poolMinShift+c) {
+		c++
+	}
+	return c
+}
+
+// GetBuf returns a zero-length buffer with capacity at least n. The
+// contents of the backing array are unspecified; callers append or
+// slice-and-overwrite.
+func GetBuf(n int) []byte {
+	c := classOf(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return make([]byte, 0, 1<<(poolMinShift+c))
+}
+
+// PutBuf returns a buffer obtained from GetBuf to its pool. The caller
+// must not touch the buffer afterwards. Foreign buffers of unpooled
+// sizes are dropped silently.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classOf(cap(b))
+	if c < 0 || cap(b) != 1<<(poolMinShift+c) {
+		return // not one of ours; let the GC have it
+	}
+	b = b[:0]
+	bufPools[c].Put(&b)
+}

@@ -160,6 +160,9 @@ type Reader struct {
 	B   []byte
 	off int
 	err error
+	// noCopy lets retain return aliases into B instead of copies; set
+	// only by DecodeAlias, whose callers own B for the aliases' lifetime.
+	noCopy bool
 }
 
 // Err reports the first error encountered while decoding.
@@ -251,6 +254,16 @@ func (r *Reader) U64s() []uint64 {
 		out[i] = r.U64()
 	}
 	return out
+}
+
+// retain is what payload-carrying Unmarshals apply to a Bytes() result
+// they store: a copy by default (the wire buffer's lifetime is not
+// theirs), the alias itself under DecodeAlias.
+func (r *Reader) retain(p []byte) []byte {
+	if r.noCopy || p == nil {
+		return p
+	}
+	return append([]byte(nil), p...)
 }
 
 // Remaining reports how many undecoded bytes are left.

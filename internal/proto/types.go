@@ -26,6 +26,17 @@ func Decode(m Msg, body []byte) error {
 	return r.Err()
 }
 
+// DecodeAlias fills m from body like Decode, but byte payloads (diff
+// runs, store records) alias body instead of being copied. The caller
+// must keep body alive and unmodified for as long as it uses m — the
+// memory-server diff path qualifies, because applying a diff copies its
+// runs into pages and re-encoding for replication copies them again.
+func DecodeAlias(m Msg, body []byte) error {
+	r := Reader{B: body, noCopy: true}
+	m.Unmarshal(&r)
+	return r.Err()
+}
+
 // IntervalTag identifies one release interval of one writer. Interval
 // numbers are assigned locally by each thread (monotonically increasing),
 // so a thread can ship its DiffBatch to the homes *before* telling the
@@ -78,7 +89,7 @@ func (d *PageDiff) unmarshal(r *Reader) {
 	d.Runs = make([]DiffRun, n)
 	for i := range d.Runs {
 		d.Runs[i].Off = r.U32()
-		d.Runs[i].Data = append([]byte(nil), r.Bytes()...)
+		d.Runs[i].Data = r.retain(r.Bytes())
 	}
 }
 
@@ -116,7 +127,7 @@ func unmarshalRecords(r *Reader) []StoreRecord {
 	recs := make([]StoreRecord, n)
 	for i := range recs {
 		recs[i].Addr = r.U64()
-		recs[i].Data = append([]byte(nil), r.Bytes()...)
+		recs[i].Data = r.retain(r.Bytes())
 	}
 	return recs
 }

@@ -82,6 +82,17 @@ func (r *Request) Decode(m proto.Msg) error {
 	return proto.Decode(m, r.body)
 }
 
+// DecodeAlias unmarshals like Decode but lets m's byte payloads alias
+// the request body instead of copying them (see proto.DecodeAlias).
+// The body stays reachable as long as m does, so the only obligation on
+// the caller is not to mutate the aliased bytes.
+func (r *Request) DecodeAlias(m proto.Msg) error {
+	if m.Kind() != r.kind {
+		return fmt.Errorf("scl: decoding %v request into %v", r.kind, m.Kind())
+	}
+	return proto.DecodeAlias(m, r.body)
+}
+
 // Reply answers the request at virtual time at on the responder's clock.
 func (r *Request) Reply(m proto.Msg, at vtime.Time) {
 	r.reply(uint16(m.Kind()), proto.Encode(m), at)
