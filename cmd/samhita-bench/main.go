@@ -46,6 +46,7 @@ func main() {
 		baseline     = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
 		depth        = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
 		serverShards = flag.Int("server-shards", 1, "split each memory server into this many independently scheduled page shards")
+		mgrShards    = flag.Int("manager-shards", 1, "split the manager into this many synchronization homes")
 
 		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -62,6 +63,7 @@ func main() {
 	}
 	opts.PrefetchDepth = *depth
 	opts.ServerShards = *serverShards
+	opts.ManagerShards = *mgrShards
 	opts.Agg = new(stats.Run)
 	if *faults {
 		opts.FaultSeed = *faultSeed

@@ -42,6 +42,7 @@ func main() {
 		killAfter  = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
 
 		shardsOverride = flag.Int("server-shards", 0, "force this many page shards per memory server (0 = fuzzed per seed)")
+		mgrOverride    = flag.Int("manager-shards", 0, "force this many sync homes inside the manager (0 = fuzzed per seed)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,9 @@ func main() {
 		cfg := randomConfig(sd * 31)
 		if *shardsOverride > 0 {
 			cfg.ServerShards = *shardsOverride
+		}
+		if *mgrOverride > 0 {
+			cfg.ManagerShards = *mgrOverride
 		}
 		if *faults || *killServer >= 0 {
 			// No per-attempt timeout: protocol calls park legitimately on
@@ -146,6 +150,7 @@ func randomConfig(seed int64) core.Config {
 	cfg.PrefetchDepth = rng.Intn(4) // 0 = one line ahead; up to 3 ahead
 	cfg.DisableFineGrain = rng.Intn(4) == 0
 	cfg.ServerShards = []int{1, 2, 4}[rng.Intn(3)]
+	cfg.ManagerShards = []int{1, 2, 4}[rng.Intn(3)]
 	return cfg
 }
 

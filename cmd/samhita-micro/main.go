@@ -31,6 +31,7 @@ func main() {
 		bw        = flag.Int("B", 256, "doubles per row")
 		servers   = flag.Int("servers", 1, "memory servers (samhita)")
 		shards    = flag.Int("server-shards", 1, "page shards per memory server (samhita)")
+		mgrShards = flag.Int("manager-shards", 1, "sync homes inside the manager (samhita)")
 		depth     = flag.Int("prefetch-depth", 0, "lines of anticipatory paging per miss (0 = one line ahead; samhita)")
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
@@ -72,6 +73,7 @@ func main() {
 		cfg.Geo.NumServers = *servers
 		cfg.PrefetchDepth = *depth
 		cfg.ServerShards = *shards
+		cfg.ManagerShards = *mgrShards
 		switch *link {
 		case "qdr-ib":
 			cfg.Link = samhita.QDRInfiniBand

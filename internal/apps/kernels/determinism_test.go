@@ -19,18 +19,25 @@ import (
 // sensitivity — a map-order fan-out, a racy clock fold, an unsequenced
 // wakeup — shows up here as a counter or time mismatch.
 func TestMicroDeterministicOnSimFabric(t *testing.T) {
-	// The sharded variant exercises the dispatcher split/join paths: on
+	// The sharded variants exercise the dispatcher split/join paths: on
 	// a sequenced fabric shard items run inline on the dispatcher (see
-	// memserver package docs), so determinism must survive requests
-	// being split across four per-shard calendars and rejoined.
-	for _, shards := range []int{1, 4} {
-		shards := shards
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+	// memserver and manager package docs), so determinism must survive
+	// requests being split across per-shard calendars and rejoined —
+	// page shards on the servers, lock/barrier homes on the manager
+	// (which also switch the lock path to peer-to-peer handoff).
+	//
+	// The program result must not depend on sharding at all: every
+	// configuration's GSum is checked against the unsharded baseline.
+	var baseGSum float64
+	for _, sh := range []struct{ srv, mgr int }{{1, 1}, {4, 1}, {1, 4}, {4, 4}} {
+		sh := sh
+		t.Run(fmt.Sprintf("srv=%d/mgr=%d", sh.srv, sh.mgr), func(t *testing.T) {
 			run := func() (float64, *stats.Run) {
 				cfg := core.DefaultConfig()
 				cfg.CacheLines = 256
 				cfg.Geo.NumServers = 2
-				cfg.ServerShards = shards
+				cfg.ServerShards = sh.srv
+				cfg.ManagerShards = sh.mgr
 				rt, err := core.New(cfg)
 				if err != nil {
 					t.Fatal(err)
@@ -46,6 +53,11 @@ func TestMicroDeterministicOnSimFabric(t *testing.T) {
 			g2, r2 := run()
 			if g1 != g2 {
 				t.Errorf("gsum differs between identical runs: %v vs %v", g1, g2)
+			}
+			if sh.srv == 1 && sh.mgr == 1 {
+				baseGSum = g1
+			} else if g1 != baseGSum {
+				t.Errorf("gsum differs from unsharded run: %v vs %v", g1, baseGSum)
 			}
 			if len(r1.Threads) != len(r2.Threads) {
 				t.Fatalf("thread counts differ: %d vs %d", len(r1.Threads), len(r2.Threads))

@@ -66,6 +66,9 @@ type Options struct {
 	// independently scheduled page shards (0 or 1 = the single event
 	// loop). The bench suite measures both shard counts when it is > 1.
 	ServerShards int
+	// ManagerShards splits the manager's synchronization state into
+	// this many homes (0 or 1 = the single-loop manager).
+	ManagerShards int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
@@ -179,6 +182,7 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.Geo.Striped = o.Striped
 	cfg.Geo.LinePages = o.LinePages
 	cfg.ServerShards = o.ServerShards
+	cfg.ManagerShards = o.ManagerShards
 	cfg.DisableFineGrain = o.DisableFineGrain
 	o.applyRobustness(&cfg)
 	for _, f := range overrides {

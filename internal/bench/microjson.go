@@ -32,6 +32,9 @@ type MicroPoint struct {
 	// ServerShards is the memory servers' shard count (0 in documents
 	// written before sharding existed, equivalent to 1).
 	ServerShards int `json:"serverShards,omitempty"`
+	// ManagerShards is the manager's sync-home count (0 in documents
+	// written before manager sharding existed, equivalent to 1).
+	ManagerShards int `json:"managerShards,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -61,7 +64,11 @@ func (p MicroPoint) key() string {
 	if sh == 0 {
 		sh = 1
 	}
-	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh)
+	mgr := p.ManagerShards
+	if mgr == 0 {
+		mgr = 1
+	}
+	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d-mgr%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh, mgr)
 }
 
 // MicroBench is the document stored in BENCH_micro.json.
@@ -88,11 +95,16 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 	if shards == 0 {
 		shards = 1
 	}
+	mgrShards := o.ManagerShards
+	if mgrShards == 0 {
+		mgrShards = 1
+	}
 	pt := MicroPoint{
 		P: p, Mode: prm.Mode.String(),
 		N: prm.N, M: prm.M, S: prm.S, B: prm.B,
 		PrefetchDepth: o.PrefetchDepth,
 		ServerShards:  shards,
+		ManagerShards: mgrShards,
 
 		ComputeMaxNs: int64(res.Run.MaxComputeTime()),
 		SyncMaxNs:    int64(res.Run.MaxSyncTime()),
@@ -118,29 +130,44 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 // the configured prefetch depth, a local-mode control, and a
 // random-scatter point (the worst case for server-shard contention).
 // The base points always run unsharded; when the options ask for more
-// shards, the shard-sensitive modes (strided, random) are measured
-// again at that shard count so the document captures the speedup.
+// server or manager shards, the shard-sensitive modes (strided, random)
+// are measured again at those shard counts so the document captures the
+// speedup.
 func MicroBenchSuite(o Options) (*MicroBench, error) {
 	mb := &MicroBench{Benchmark: "samhita-micro"}
 	type pointCfg struct {
-		p      int
-		mode   kernels.AllocMode
-		shards int
+		p         int
+		mode      kernels.AllocMode
+		shards    int
+		mgrShards int
 	}
 	cfgs := []pointCfg{
-		{16, kernels.AllocStrided, 1},
-		{16, kernels.AllocLocal, 1},
-		{16, kernels.AllocRandom, 1},
+		{16, kernels.AllocStrided, 1, 1},
+		{16, kernels.AllocLocal, 1, 1},
+		{16, kernels.AllocRandom, 1, 1},
 	}
 	if o.ServerShards > 1 {
 		cfgs = append(cfgs,
-			pointCfg{16, kernels.AllocStrided, o.ServerShards},
-			pointCfg{16, kernels.AllocRandom, o.ServerShards},
+			pointCfg{16, kernels.AllocStrided, o.ServerShards, 1},
+			pointCfg{16, kernels.AllocRandom, o.ServerShards, 1},
+		)
+	}
+	if o.ManagerShards > 1 {
+		// The manager-sharding points ride on the sharded servers when
+		// those are requested too, capturing the combined hot path.
+		sh := o.ServerShards
+		if sh < 1 {
+			sh = 1
+		}
+		cfgs = append(cfgs,
+			pointCfg{16, kernels.AllocStrided, sh, o.ManagerShards},
+			pointCfg{16, kernels.AllocRandom, sh, o.ManagerShards},
 		)
 	}
 	for _, c := range cfgs {
 		po := o
 		po.ServerShards = c.shards
+		po.ManagerShards = c.mgrShards
 		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode}
 		pt, err := po.MeasureMicro(c.p, prm)
 		if err != nil {

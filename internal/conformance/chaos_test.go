@@ -89,6 +89,10 @@ func chaosKillLockHolderAndMemserver(t *testing.T, shards int) {
 	cfg.Geo.NumServers = 2
 	cfg.Geo.LinePages = 1
 	cfg.ServerShards = shards
+	// The manager homes shard alongside the servers: the shards=4 leg
+	// proves reclamation (lease fencing, barrier recount, parked-lock
+	// grants) holds when sync state is spread across worker-mode homes.
+	cfg.ManagerShards = shards
 	cfg.CacheLines = 4 // far below the working set: constant fetch/evict traffic
 	// The lease must tolerate race-detector and CI scheduling jitter: a
 	// live thread whose heartbeat goroutine starves past the lease gets

@@ -22,6 +22,7 @@ func randomConfig(seed int64) core.Config {
 	cfg.CacheLines = []int{2, 4, 16, 64}[rng.Intn(4)] // down to thrash
 	cfg.Prefetch = rng.Intn(2) == 0
 	cfg.DisableFineGrain = rng.Intn(4) == 0
+	cfg.ManagerShards = []int{1, 2, 4}[rng.Intn(3)]
 	return cfg
 }
 

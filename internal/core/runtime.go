@@ -103,6 +103,16 @@ type Config struct {
 	// requests and joins the replies. Per-page interval-tag semantics
 	// and sequenced-run determinism are preserved.
 	ServerShards int
+	// ManagerShards splits the manager's synchronization state into this
+	// many homes (0 or 1 = the historical single event loop, preserved
+	// bit-identically). Locks, barriers and condition variables map to
+	// homes by a splitmix-mixed id; each home advances its own virtual
+	// clock, so traffic on unrelated sync objects stops serializing on
+	// one manager clock. On the sequenced fabric a sharded manager also
+	// hands contended locks over peer-to-peer: the home announces the
+	// next waiter to the holder, which forwards the grant (plus the
+	// notice backlog) directly at release.
+	ManagerShards int
 	// DisableFineGrain turns off RegC's consistency-region store
 	// instrumentation: stores under a lock are treated like ordinary
 	// stores (page diffs + invalidation), degrading the protocol to
@@ -231,6 +241,9 @@ func (c *Config) fillDefaults() {
 	if c.ServerShards < 1 {
 		c.ServerShards = 1
 	}
+	if c.ManagerShards < 1 {
+		c.ManagerShards = 1
+	}
 	if c.Net == nil && (c.Retry != nil || c.Faults != nil) {
 		c.Net = new(stats.Net)
 	}
@@ -354,9 +367,27 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("core: manager endpoint: %w", err)
 	}
 	rt.mgr = manager.New(mgrEP, cfg.Geo)
+	rt.mgr.SetShards(cfg.ManagerShards)
+	// Same inline-on-sequenced rule as the memory servers: the sequencer
+	// grants one message at a time, so shard goroutines could not
+	// overlap and would deadlock the runnable-token ledger.
+	rt.mgr.SetSequenced(rt.fabric != nil && rt.fabric.Sequenced())
 	if rt.livenessEnabled() {
 		rt.mgr.EnableLiveness(cfg.Liveness.Lease(), cfg.Liveness.Live, cfg.Trace)
 		rt.hbStop = make(chan struct{})
+		// The manager sends reaped writers' obituaries to the whole data
+		// plane — standbys included, since a fetch can park at a promoted
+		// standby on a dead writer's never-shipped interval.
+		nodes := make([]scl.NodeID, 0, 2*cfg.Geo.NumServers)
+		for i := 0; i < cfg.Geo.NumServers; i++ {
+			nodes = append(nodes, firstServerNode+scl.NodeID(i))
+		}
+		if rt.standbyEnabled() {
+			for i := 0; i < cfg.Geo.NumServers; i++ {
+				nodes = append(nodes, firstStandbyNode+scl.NodeID(i))
+			}
+		}
+		rt.mgr.SetDataNodes(nodes)
 	}
 	rt.wg.Add(1)
 	rt.gate.Resume()

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/layout"
 	"repro/internal/manager"
@@ -47,17 +48,68 @@ type Thread struct {
 	// lastSeen is the highest manager notice sequence applied.
 	lastSeen uint64
 
+	// tenureCold marks pages this thread had to fetch while inside a
+	// consistency region, or received ready-made with a peer-to-peer
+	// grant. A successor on the handoff chain is very likely cold on
+	// exactly these pages, so the releasing unlock ships its copy of the
+	// record-bearing ones with the grant (entry consistency: the data
+	// guarded by the lock travels with the lock). Warm holders never
+	// fault in-region, keep this empty, and ship nothing. Main-goroutine
+	// only.
+	tenureCold map[layout.PageID]bool
+
 	// arena is the thread-local allocator (strategy one).
 	arenaNext      layout.Addr
 	arenaRemaining int
+
+	// ho is the peer-to-peer lock-handoff state (sharded manager on a
+	// sequenced fabric). The cache agent receives NextWaiter and
+	// LockGrant posts; the main goroutine consumes them — hence the
+	// mutex. All maps stay empty unless the manager detaches a waiter.
+	ho struct {
+		mu         sync.Mutex
+		succ       map[uint32]*succTrain      // lock -> announcement train to forward grants along
+		grants     map[uint32]grantMsg        // lock -> grant that arrived before the waiter parked
+		grantWait  map[uint32]chan grantMsg   // lock -> parked waiter's wake channel
+		heldGen    map[uint32]uint64          // lock -> tenure gen while this thread holds it
+		acquireSeq map[uint32]uint64          // lock -> lastSeen right after acquiring it
+		seenTags   map[proto.IntervalTag]bool // intervals applied inline, dedupe redelivery
+	}
 
 	// actor is the trace label ("thread 3").
 	actor string
 }
 
+// grantMsg is a received LockGrant plus its virtual arrival time.
+type grantMsg struct {
+	g  *proto.LockGrant
+	at vtime.Time
+}
+
+// succTrain is the client's copy of an announcement train: the queued
+// waiters this holder (and the holders after it) will pass the lock to
+// directly. gen fences it to one tenure — the train is only acted on if
+// it matches the tenure the unlock closes; seq is the anchor horizon the
+// train's notice batches were composed at; inline accumulates the
+// closing intervals of the train holders so far (oldest first), which
+// every later successor needs on top of its manager-composed batch.
+type succTrain struct {
+	gen    uint64
+	seq    uint64
+	train  []proto.SuccAnn
+	inline []proto.Notice
+}
+
 var _ vm.Thread = (*Thread)(nil)
 
 func (t *Thread) initCache() {
+	t.ho.succ = make(map[uint32]*succTrain)
+	t.ho.grants = make(map[uint32]grantMsg)
+	t.ho.grantWait = make(map[uint32]chan grantMsg)
+	t.ho.heldGen = make(map[uint32]uint64)
+	t.ho.acquireSeq = make(map[uint32]uint64)
+	t.ho.seenTags = make(map[proto.IntervalTag]bool)
+	t.tenureCold = make(map[layout.PageID]bool)
 	depth := 0
 	if t.rt.cfg.Prefetch {
 		depth = t.rt.cfg.PrefetchDepth
@@ -151,6 +203,40 @@ func (t *Thread) agentLoop() {
 			}
 			req.Reply(&proto.DiffPullResp{Diffs: diffs},
 				req.Arrive()+req.Svc()+t.rt.cfg.CPU.CopyTime(payload))
+		case proto.KNextWaiter:
+			var nw proto.NextWaiter
+			if err := req.Decode(&nw); err != nil {
+				panic(fmt.Sprintf("core: bad NextWaiter: %v", err))
+			}
+			t.ho.mu.Lock()
+			// Install unless a newer train is already present. The tenure
+			// check happens at the unlock that would act on the train, not
+			// here: an announcement routinely arrives before the main
+			// goroutine has applied the grant that starts its tenure, and
+			// gating on heldGen at arrival time would drop it. A stale
+			// train (gen mismatch at unlock) is simply not acted on and
+			// the manager falls back to a central grant.
+			if cur := t.ho.succ[nw.Lock]; nw.Gen != 0 && (cur == nil || nw.Gen > cur.gen) {
+				t.ho.succ[nw.Lock] = &succTrain{gen: nw.Gen, seq: nw.Seq, train: nw.Train}
+			}
+			t.ho.mu.Unlock()
+		case proto.KLockGrant:
+			var g proto.LockGrant
+			if err := req.Decode(&g); err != nil {
+				panic(fmt.Sprintf("core: bad LockGrant: %v", err))
+			}
+			gm := grantMsg{g: &g, at: req.Arrive() + req.Svc()}
+			t.ho.mu.Lock()
+			if ch, ok := t.ho.grantWait[g.Lock]; ok {
+				delete(t.ho.grantWait, g.Lock)
+				t.ho.mu.Unlock()
+				t.rt.gate.Resume() // wake credit for the parked main goroutine
+				ch <- gm
+				continue
+			}
+			// The grant raced ahead of the waiter parking; stash it.
+			t.ho.grants[g.Lock] = gm
+			t.ho.mu.Unlock()
 		default:
 			if !req.OneWay() {
 				req.ReplyError(fmt.Errorf("core: agent got unexpected %v", req.Kind()), req.Arrive()+req.Svc())
@@ -475,14 +561,97 @@ func (t *Thread) finishRelease(rs *pagecache.ReleaseSet) {
 }
 
 // applyNotices consumes acquire-side notices and advances the seen
-// horizon.
+// horizon. Intervals already applied inline from a peer-to-peer
+// LockGrant are filtered here — the manager redelivers them once (the
+// holder's closing interval is posted to the directory after the grant
+// was composed, so it lands above the successor's horizon), and the
+// redelivery can arrive through any acquire path: a barrier response,
+// a cond-wait response, or a later lock grant. Re-applying the stale
+// records in place would roll shared words back over newer stores.
 func (t *Thread) applyNotices(seq uint64, notices []proto.Notice) {
+	t.ho.mu.Lock()
+	if len(t.ho.seenTags) > 0 {
+		filtered := make([]proto.Notice, 0, len(notices))
+		for _, n := range notices {
+			if t.ho.seenTags[n.Tag] {
+				delete(t.ho.seenTags, n.Tag)
+				continue
+			}
+			filtered = append(filtered, n)
+		}
+		notices = filtered
+	}
+	t.ho.mu.Unlock()
 	if err := t.cache.ApplyNotices(notices); err != nil {
 		t.fail("apply notices", err)
 	}
 	if seq > t.lastSeen {
 		t.lastSeen = seq
 	}
+}
+
+// awaitGrant parks the thread until the LockGrant for a queued lock
+// acquisition arrives (forwarded by the releasing holder, or composed
+// centrally by the manager).
+func (t *Thread) awaitGrant(lock uint32) grantMsg {
+	t.ho.mu.Lock()
+	if gm, ok := t.ho.grants[lock]; ok {
+		delete(t.ho.grants, lock)
+		t.ho.mu.Unlock()
+		return gm
+	}
+	ch := make(chan grantMsg, 1)
+	t.ho.grantWait[lock] = ch
+	t.ho.mu.Unlock()
+	t.rt.gate.Pause() // park until the agent's wake credit
+	return <-ch
+}
+
+// applyGrant consumes a LockGrant: the manager-composed notice backlog,
+// plus — on a peer-to-peer handoff — the closing intervals of the train
+// holders since the anchor, riding Inline in release order. Those
+// intervals reach the manager's directory too (via each holder's
+// UnlockReq), so this thread WILL see them again in a later acquire's
+// notice batch; seenTags (checked in applyNotices) dedupes the
+// redelivery wherever it surfaces. If the grant carries the rest of an
+// announcement train, it is installed so this thread's own release can
+// keep passing the lock waiter-to-waiter.
+func (t *Thread) applyGrant(lock uint32, g *proto.LockGrant) {
+	t.applyNotices(g.Seq, g.Notices)
+	// Install lock-carried pages before the inline intervals: the
+	// shipped bytes are the releaser's post-write copy (newer than every
+	// interval this grant names), so inline records replaying on top are
+	// idempotent, and this holder's region stores won't fault mid-tenure
+	// on the serialized handoff chain. Installed pages are re-shipped at
+	// this holder's own release — the chain stays warm end to end.
+	for _, pp := range g.PageData {
+		t.cache.InstallGrantPage(layout.PageID(pp.Page), pp.Data)
+		// Marked even when this thread was already warm: a shipped page
+		// means the chain is in cold mode, and the next successor down
+		// the train may still need it.
+		t.tenureCold[layout.PageID(pp.Page)] = true
+	}
+	var inline []proto.Notice
+	for _, n := range g.Inline {
+		if len(n.Pages) > 0 || len(n.Records) > 0 {
+			inline = append(inline, n)
+		}
+	}
+	if len(inline) > 0 {
+		if err := t.cache.ApplyNotices(inline); err != nil {
+			t.fail("apply handoff intervals", err)
+		}
+	}
+	t.ho.mu.Lock()
+	for _, n := range inline {
+		t.ho.seenTags[n.Tag] = true
+	}
+	t.ho.heldGen[lock] = g.Gen
+	t.ho.acquireSeq[lock] = t.lastSeen
+	if len(g.Train) > 0 {
+		t.ho.succ[lock] = &succTrain{gen: g.Gen, seq: g.Seq, train: g.Train, inline: g.Inline}
+	}
+	t.ho.mu.Unlock()
 }
 
 // ---------------------------------------------------------------------
@@ -516,7 +685,25 @@ func (m *smhMutex) Lock(th vm.Thread) {
 	t.clock.AdvanceTo(at)
 	t.st.MsgsSent++
 	t.st.LockOps++
-	t.applyNotices(resp.Seq, resp.Notices)
+	if resp.Queued {
+		// Detached wait (peer-to-peer handoff mode): the lock is
+		// contended and the grant arrives as a one-way LockGrant from
+		// the releasing holder (or the manager as fallback).
+		gm := t.awaitGrant(m.id)
+		if gm.g.Code != 0 {
+			t.fail("lock", fmt.Errorf("lock %d: %w", m.id, proto.CodeErr(gm.g.Code)))
+		}
+		t.clock.AdvanceTo(gm.at)
+		t.applyGrant(m.id, gm.g)
+	} else {
+		t.applyNotices(resp.Seq, resp.Notices)
+		if resp.Gen != 0 {
+			t.ho.mu.Lock()
+			t.ho.heldGen[m.id] = resp.Gen
+			t.ho.acquireSeq[m.id] = t.lastSeen
+			t.ho.mu.Unlock()
+		}
+	}
 	t.lockDepth++
 	t.settleSync()
 }
@@ -550,9 +737,59 @@ func (m *smhMutex) Unlock(th vm.Thread) {
 	if len(rs.Records) > 0 {
 		t.finishRelease(rs)
 	}
+	// Peer-to-peer handoff: if an announcement train names a successor
+	// for this tenure and this critical section saw no other acquire
+	// (lastSeen unchanged — otherwise the pre-composed notice batches
+	// would be incomplete for the successors), forward the grant
+	// directly — carrying this interval and the train's earlier closing
+	// intervals inline, plus the rest of the train — and tell the
+	// manager it happened.
+	var handedOff uint32
+	t.ho.mu.Lock()
+	ss := t.ho.succ[m.id]
+	gen, held := t.ho.heldGen[m.id]
+	aseq := t.ho.acquireSeq[m.id]
+	delete(t.ho.succ, m.id)
+	delete(t.ho.heldGen, m.id)
+	delete(t.ho.acquireSeq, m.id)
+	t.ho.mu.Unlock()
+	if ss != nil && held && ss.gen == gen && t.lastSeen == aseq && len(ss.train) > 0 {
+		head := ss.train[0]
+		inline := make([]proto.Notice, 0, len(ss.inline)+1)
+		inline = append(inline, ss.inline...)
+		inline = append(inline, proto.Notice{Tag: rs.Tag, Pages: rs.Pages, Records: rs.Records})
+		// Ship the current bytes of record-bearing pages this tenure had
+		// to fetch in-region (or received the same way): the successor is
+		// almost certainly cold on exactly those, and a mid-tenure fetch
+		// sits on the serialized handoff chain.
+		var pageData []proto.PagePayload
+		if len(t.tenureCold) > 0 && len(rs.Records) > 0 {
+			shipped := make(map[layout.PageID]bool)
+			for _, rec := range rs.Records {
+				p := t.rt.cfg.Geo.PageOf(layout.Addr(rec.Addr))
+				if shipped[p] || !t.tenureCold[p] {
+					continue
+				}
+				shipped[p] = true
+				if data := t.cache.SnapshotPage(p); data != nil {
+					pageData = append(pageData, proto.PagePayload{Page: uint64(p), Data: data})
+				}
+			}
+		}
+		gat, err := t.ep.Post(scl.NodeID(head.WaiterNode), &proto.LockGrant{
+			Lock: m.id, Gen: gen + 1, Seq: ss.seq, Notices: head.Notices,
+			Inline: inline, Train: ss.train[1:], PageData: pageData,
+		}, t.clock.Now())
+		if err != nil {
+			t.fail("unlock", err)
+		}
+		t.clock.AdvanceTo(gat)
+		t.st.MsgsSent++
+		handedOff = head.Waiter
+	}
 	at, err := t.ep.Post(managerNode, &proto.UnlockReq{
 		Lock: m.id, Thread: t.writer, Interval: rs.Tag.Interval,
-		Pages: rs.Pages, Records: rs.Records,
+		Pages: rs.Pages, Records: rs.Records, HandedOff: handedOff,
 	}, t.clock.Now())
 	if err != nil {
 		t.fail("unlock", err)
@@ -564,6 +801,9 @@ func (m *smhMutex) Unlock(th vm.Thread) {
 	}
 	t.st.LockOps++
 	t.lockDepth--
+	if t.lockDepth == 0 && len(t.tenureCold) > 0 {
+		clear(t.tenureCold)
+	}
 	t.settleSync()
 }
 
@@ -634,6 +874,14 @@ func (c *smhCond) Wait(th vm.Thread, mu vm.Mutex) {
 	}
 	t.settleCompute()
 	t.clock.Advance(t.rt.cfg.CPU.LockTime)
+	// The wait releases the mutex, ending this tenure: drop any
+	// handoff state so a successor announcement can never be acted on
+	// after the manager has already re-granted the lock centrally.
+	t.ho.mu.Lock()
+	delete(t.ho.succ, m.id)
+	delete(t.ho.heldGen, m.id)
+	delete(t.ho.acquireSeq, m.id)
+	t.ho.mu.Unlock()
 	// Same overlap as the barrier: the wait-for-signal round trip flies
 	// while the release's diffs are computed and shipped — unless the
 	// release carries records, which must land at the homes first.
@@ -705,7 +953,27 @@ func (b *threadBackend) FetchLine(line layout.LineID, needs []proto.PageNeed, at
 	t.rt.cfg.Trace.Span(t.actor, trace.CatFetch, fmt.Sprintf("fetch line %d", line), at, doneAt,
 		map[string]any{"home": home, "needs": len(needs)})
 	t.st.MsgsSent++
+	t.markTenureCold([]layout.LineID{line}, nil)
 	return resp.Data, doneAt, nil
+}
+
+// markTenureCold records a demand fetch that happened inside a
+// consistency region: the pages just pulled are handoff-shipping
+// candidates at this tenure's release (see Thread.tenureCold).
+func (t *Thread) markTenureCold(lines []layout.LineID, pages []layout.PageID) {
+	if t.lockDepth == 0 {
+		return
+	}
+	geo := t.rt.cfg.Geo
+	for _, l := range lines {
+		first := geo.FirstPage(l)
+		for i := 0; i < geo.LinePages; i++ {
+			t.tenureCold[first+layout.PageID(i)] = true
+		}
+	}
+	for _, p := range pages {
+		t.tenureCold[p] = true
+	}
 }
 
 // FetchLines implements pagecache.Backend: one combined request for a
@@ -736,6 +1004,7 @@ func (b *threadBackend) FetchLines(lines []layout.LineID, pages []layout.PageID,
 		fmt.Sprintf("fetch %d lines + %d pages", len(lines), len(pages)), at, doneAt,
 		map[string]any{"home": home, "needs": len(needs)})
 	t.st.MsgsSent++
+	t.markTenureCold(lines, pages)
 	return resp.Data, doneAt, nil
 }
 

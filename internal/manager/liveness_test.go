@@ -170,6 +170,162 @@ func TestLeaseReclaimsDeadLockHolder(t *testing.T) {
 	env.shutdown(t)
 }
 
+// Regression: a graceful Bye from a thread still holding sync state must
+// reclaim that state. Before the fix the member simply left the table —
+// no lease could ever expire for it, so a lock it held leaked forever
+// and the parked waiter below hung.
+func TestByeReclaimsHeldSyncState(t *testing.T) {
+	live := new(stats.Liveness)
+	env := newLiveEnv(t, time.Hour, live) // lease can never expire: only Bye reclaims
+	holder := env.client(t, 1)
+	waiter := env.client(t, 2)
+	third := env.client(t, 3)
+
+	holder.beat(false)
+	waiter.beat(false)
+	third.beat(false)
+	if _, err := holder.lock(1); err != nil {
+		t.Fatal(err)
+	}
+
+	granted := make(chan error, 1)
+	go func() {
+		_, err := waiter.lock(1) // parks behind holder
+		granted <- err
+	}()
+	for env.mgr.Stats().LockWaits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The holder departs gracefully without unlocking.
+	holder.beat(true)
+	if err := <-granted; err != nil {
+		t.Fatalf("parked waiter not granted the lock left behind by a Bye: %v", err)
+	}
+	if live.LocksReclaimed.Load() == 0 {
+		t.Error("Bye with a held lock did not count a reclamation")
+	}
+	if n := live.ThreadsDead.Load(); n != 0 {
+		t.Errorf("graceful Bye declared the member dead (%d)", n)
+	}
+	if err := waiter.unlock(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A Bye also recomputes barriers: with the waiter parked at a
+	// 2-party barrier, the third member's departure completes the round
+	// at the reduced membership instead of leaving it stuck.
+	arrived := make(chan error, 1)
+	go func() {
+		_, err := waiter.barrier(7, 2, nil)
+		arrived <- err
+	}()
+	for env.mgr.Stats().NoticesStored.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	third.beat(true)
+	if err := <-arrived; err != nil {
+		t.Fatalf("barrier did not recompute around the departed member: %v", err)
+	}
+	env.shutdown(t)
+}
+
+// Regression: handleCondSignal's uncontended re-acquire must apply the
+// same deadThreads fence release() applies. A thread can be declared
+// dead while its self-reported node differs from the node it sends from
+// (version skew, misconfiguration), so its cond wait can park after the
+// reclamation sweep; pre-fix, signaling then landed the lock on the
+// corpse and the signaler's next acquire hung forever.
+func TestCondSignalEvictsDeadWaiter(t *testing.T) {
+	live := new(stats.Liveness)
+	env := newLiveEnv(t, 10*time.Millisecond, live)
+	w := env.client(t, 601)
+	sig := env.client(t, 602)
+
+	// Member 601 self-reports a node id that is not where its requests
+	// come from, then goes silent: the death fences node 9601 while
+	// requests from node 601 keep flowing.
+	if _, err := sig.ep.Post(mgrNode, &proto.Heartbeat{
+		Member: 601, Class: proto.MemberThread, Node: 9601,
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	sig.beat(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for live.ThreadsDead.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("member 601 was never declared dead")
+		}
+		time.Sleep(2 * time.Millisecond)
+		sig.beat(false)
+	}
+
+	// The dead-declared thread parks on the condition (its requests are
+	// not fenced: they come from node 601, not 9601).
+	if _, err := w.lock(1); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() {
+		w.interval++
+		var resp proto.CondWaitResp
+		_, err := w.ep.Call(mgrNode, &proto.CondWaitReq{
+			Cond: 8, Lock: 1, Thread: w.id,
+			LastSeen: w.lastSeen, Interval: w.interval,
+		}, &resp, w.at)
+		waitErr <- err
+	}()
+	for env.mgr.Stats().CondWaits.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	evictedBefore := live.WaitersEvicted.Load()
+	var ack proto.Ack
+	if _, err := sig.ep.Call(mgrNode, &proto.CondSignalReq{Cond: 8, Thread: sig.id}, &ack, sig.at); err != nil {
+		t.Fatal(err)
+	}
+	// The woken corpse is evicted with a typed error, not granted.
+	if err := <-waitErr; err == nil {
+		t.Fatal("cond wait by a dead-declared thread was granted the lock")
+	} else if !errors.Is(err, proto.ErrPeerDied) {
+		t.Errorf("eviction error not typed as peer death: %v", err)
+	}
+	if live.WaitersEvicted.Load() == evictedBefore {
+		t.Error("eviction was not counted")
+	}
+	// The lock did not land on the corpse: the signaler acquires it
+	// immediately (pre-fix this hung).
+	if _, err := sig.lock(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.unlock(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	env.shutdown(t)
+}
+
+// Regression: malformed heartbeats must be observable — counted in
+// stats.Liveness and left as a CatLive trace event — instead of being
+// silently dropped while the sender's lease quietly starves.
+func TestMalformedHeartbeatIsCounted(t *testing.T) {
+	live := new(stats.Liveness)
+	env := newLiveEnv(t, time.Hour, live)
+	// Raw port: a dangling varint continuation byte fails Heartbeat
+	// decode at the manager.
+	raw := env.fab.NewPort(888)
+	if _, err := raw.Post(mgrNode, uint16(proto.KHeartbeat), []byte{0x80}, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for live.HeartbeatsMalformed.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed heartbeat was never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	env.shutdown(t)
+}
+
 // A member that says goodbye (Bye heartbeat) leaves the lease table
 // gracefully: it is not declared dead and liveness counters stay quiet.
 func TestByeRemovesMemberWithoutDeath(t *testing.T) {

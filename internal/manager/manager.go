@@ -4,11 +4,24 @@
 // In the heterogeneous-node mapping of Figure 1 the manager runs on the
 // host processor alongside the memory servers.
 //
-// The manager is a single-goroutine event loop over its SCL endpoint.
-// Every synchronization operation in Samhita goes through it — the paper
-// explicitly calls out the resulting overhead (Section V) — so its
-// virtual clock is a genuine serialization point: contended locks and
-// wide barriers queue here, exactly as they do in the measured system.
+// Every synchronization operation in Samhita goes through the manager —
+// the paper explicitly calls out the resulting overhead (Section V) —
+// and historically the manager was a single event loop whose one
+// virtual clock serialized all of it. The manager is now split into a
+// dispatcher and a configurable number of synchronization homes
+// (shards): the dispatcher decodes each request once and routes it by
+// lock/barrier/condition id (or allocation zone) to a home, and each
+// home runs its own state machine with its own virtual clock, so
+// traffic on unrelated synchronization objects no longer queues behind
+// one clock. With a single home (the default) the behavior — times,
+// message bytes, grant order — is exactly the historical one.
+//
+// On a sequenced fabric a sharded manager additionally hands contended
+// locks over peer-to-peer: the home names the next waiter to the
+// current holder (NextWaiter), and the holder forwards the grant plus
+// the notice batch directly to that waiter at release (LockGrant), so
+// the manager stays out of the steady-state handoff path and only
+// arbitrates when the waiter set changes.
 //
 // Consistency bookkeeping: each release (unlock, barrier arrival,
 // condition wait) carries the releasing interval's write notice — the
@@ -17,11 +30,13 @@
 // sequence number and stores it. Each acquire (lock grant, barrier
 // departure, condition wakeup) returns every notice the acquiring thread
 // has not yet seen. Notices older than every thread's horizon are
-// pruned.
+// pruned. The notice directory stays global across homes (see
+// noticeBoard) because the acquire protocol's horizon is one scalar.
 package manager
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,35 +78,46 @@ type Stats struct {
 	NoticesStored atomic.Int64
 	NoticesSent   atomic.Int64
 	NoticesPruned atomic.Int64
+	NextWaiters   atomic.Int64 // successor announcements sent to holders
+	Handoffs      atomic.Int64 // grants forwarded holder-to-waiter
 }
 
-// Manager is the manager component.
+// atomicTime publishes a shard clock for cross-goroutine readers.
+type atomicTime struct{ v atomic.Int64 }
+
+func (a *atomicTime) Store(t vtime.Time) { a.v.Store(int64(t)) }
+func (a *atomicTime) Load() vtime.Time   { return vtime.Time(a.v.Load()) }
+
+// Manager is the manager component: a dispatcher over one or more
+// synchronization homes.
 type Manager struct {
-	ep    scl.Endpoint
-	geo   layout.Geometry
-	clock *vtime.Clock
+	ep  scl.Endpoint
+	geo layout.Geometry
+
+	nshards   int
+	sequenced bool
+	p2p       bool // peer-to-peer lock handoff (sharded + sequenced)
+	shards    []*shard
+	zoneShard [3]int // home shard of the arena/shared/striped zones
+	wg        sync.WaitGroup
 
 	arenaZone   *Zone
 	sharedZone  *Zone
 	stripedZone *Zone
 
-	seq      uint64
-	notices  []proto.Notice
-	lastSeen map[uint32]uint64
-
-	locks    map[uint32]*lockState
-	barriers map[uint32]*barrierState
-	conds    map[uint32]*condState
+	board *noticeBoard
 
 	// Liveness (nil live == disabled). Heartbeats are wall-clock
 	// driven and processed at zero virtual cost, so enabling liveness
-	// does not perturb a run's virtual-time results.
+	// does not perturb a run's virtual-time results. The lease table is
+	// dispatcher-owned; reclamation fans out to the homes.
 	live        *stats.Liveness
 	tr          *trace.Collector
 	lease       time.Duration
 	members     map[memberKey]*member
 	deadNodes   map[uint32]bool // fence requests from declared-dead nodes
-	deadThreads map[uint32]bool // skip dead threads when granting locks
+	liveThreads atomic.Int64    // thread members not declared dead
+	dataNodes   []scl.NodeID    // memory servers + standbys, for WriterDead obituaries
 
 	stats Stats
 }
@@ -109,70 +135,69 @@ type member struct {
 	dead     bool
 }
 
-type waitKind uint8
-
-const (
-	waitLock waitKind = iota // answer with LockResp
-	waitCond                 // answer with CondWaitResp
-)
-
-// waiter is a thread parked on a lock (directly or resuming from a
-// condition wait).
-type waiter struct {
-	req      *scl.Request
-	thread   uint32
-	lastSeen uint64
-	kind     waitKind
-}
-
-type lockState struct {
-	held   bool
-	holder uint32
-	queue  []waiter
-}
-
-type barrierState struct {
-	count   uint32
-	arrived []waiter
-	dead    map[uint32]bool // threads declared dead (SPMD: all expected)
-}
-
-// effective is the arrival count that completes a round: the declared
-// count minus dead members, floored at one.
-func (bs *barrierState) effective() int {
-	eff := int(bs.count) - len(bs.dead)
-	if eff < 1 {
-		eff = 1
-	}
-	return eff
-}
-
-type condState struct {
-	// waiters are parked threads; each remembers which lock to
-	// re-acquire on wakeup.
-	waiters []struct {
-		w    waiter
-		lock uint32
-	}
-}
-
 // New creates a manager serving the given endpoint.
 func New(ep scl.Endpoint, geo layout.Geometry) *Manager {
-	return &Manager{
+	m := &Manager{
 		ep:          ep,
 		geo:         geo,
-		clock:       vtime.NewClock(0),
 		arenaZone:   NewZone("arena", ArenaZoneBase, arenaZoneEnd),
 		sharedZone:  NewZone("shared", SharedZoneBase, sharedZoneEnd),
 		stripedZone: NewZone("striped", StripedZoneBase, stripedZoneEnd),
-		lastSeen:    make(map[uint32]uint64),
-		locks:       make(map[uint32]*lockState),
-		barriers:    make(map[uint32]*barrierState),
-		conds:       make(map[uint32]*condState),
 		members:     make(map[memberKey]*member),
 		deadNodes:   make(map[uint32]bool),
-		deadThreads: make(map[uint32]bool),
 	}
+	m.board = newBoard(&m.stats)
+	m.setShards(1)
+	return m
+}
+
+// SetShards splits the manager's synchronization state into n homes.
+// Must be called before Run. With n == 1 (the default) the manager
+// behaves exactly as the historical single-loop implementation.
+func (m *Manager) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.setShards(n)
+}
+
+func (m *Manager) setShards(n int) {
+	m.nshards = n
+	m.shards = make([]*shard, n)
+	for i := range m.shards {
+		m.shards[i] = newShard(m, i)
+	}
+	// Each allocation zone gets a fixed home so zone state stays
+	// single-owner; the ids are salted out of the sync-id space.
+	for i := range m.zoneShard {
+		m.zoneShard[i] = m.shardOf(0xA10C0000 + uint32(i))
+	}
+}
+
+// SetSequenced tells the manager it runs on a deterministic sequenced
+// fabric: shards execute inline on the dispatcher goroutine (the
+// sequencer already provides one-at-a-time delivery), and — when
+// sharded — contended locks are handed over peer-to-peer. Must be
+// called before Run.
+func (m *Manager) SetSequenced(b bool) { m.sequenced = b }
+
+// inline reports whether shard state machines run on the dispatcher
+// goroutine (single home, or deterministic sequenced mode) instead of
+// worker goroutines.
+func (m *Manager) inline() bool { return m.nshards == 1 || m.sequenced }
+
+// shardOf maps a synchronization object id to its home shard with a
+// splitmix64-style finalizer, mirroring layout.Geometry.ShardOf for
+// pages.
+func (m *Manager) shardOf(id uint32) int {
+	if m.nshards == 1 {
+		return 0
+	}
+	x := uint64(id)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(m.nshards))
 }
 
 // EnableLiveness turns on heartbeat membership: participants that miss
@@ -189,25 +214,109 @@ func (m *Manager) EnableLiveness(lease time.Duration, live *stats.Liveness, tr *
 	m.tr = tr
 }
 
+// SetDataNodes records the fabric nodes of every memory server and warm
+// standby. When a thread's lease is reaped, the manager posts a
+// WriterDead obituary to each so the servers stop waiting for the dead
+// writer's unshipped diffs (a writer can die between announcing a
+// release and shipping its DiffBatch). Must be called before Run.
+func (m *Manager) SetDataNodes(nodes []scl.NodeID) {
+	m.dataNodes = append([]scl.NodeID(nil), nodes...)
+}
+
 // Stats exposes the manager's counters.
 func (m *Manager) Stats() *Stats { return &m.stats }
 
-// Clock reports the manager's virtual time.
-func (m *Manager) Clock() vtime.Time { return m.clock.Now() }
+// Clock reports the manager's virtual time: the maximum across its
+// homes' clocks.
+func (m *Manager) Clock() vtime.Time {
+	var max vtime.Time
+	for _, sh := range m.shards {
+		if t := sh.mirror.Load(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// toShard delivers one work item to a home: executed immediately in
+// inline mode, queued to the home's goroutine otherwise.
+func (m *Manager) toShard(sh *shard, it mgrItem) {
+	if m.inline() {
+		sh.process(it)
+		return
+	}
+	sh.ch <- it
+}
+
+// dispatch routes a decoded request to its home shard. Requests that
+// carry a release interval reserve their directory ticket HERE, in
+// arrival order, so worker-mode homes cannot reorder the notice
+// directory; everything else is stamped with the arrival horizon its
+// acquires must wait for (see noticeBoard).
+func (m *Manager) dispatch(idx int, req *scl.Request, msg proto.Msg) {
+	var tick uint64
+	switch msg.(type) {
+	case *proto.UnlockReq, *proto.BarrierReq, *proto.CondWaitReq:
+		tick = m.board.reserve()
+	default:
+		tick = m.board.horizon()
+	}
+	m.toShard(m.shards[idx], mgrItem{kind: itemReq, req: req, msg: msg, tick: tick})
+}
+
+// routeErr charges and answers a request that failed to decode. Shard
+// zero handles these so the single-home clock accounting is unchanged.
+func (m *Manager) routeErr(req *scl.Request, err error) {
+	m.toShard(m.shards[0], mgrItem{kind: itemErr, req: req, err: err})
+}
+
+// post sends a one-way message (NextWaiter, LockGrant) to a node. Send
+// failures mean the peer's port closed; the liveness layer, when
+// enabled, is the mechanism that unblocks anyone waiting on it.
+func (m *Manager) post(node uint32, msg proto.Msg, at vtime.Time) {
+	_, _ = m.ep.Post(scl.NodeID(node), msg, at)
+}
+
+// startWorkers launches one goroutine per home (worker mode only).
+func (m *Manager) startWorkers() {
+	for _, sh := range m.shards {
+		m.wg.Add(1)
+		go sh.run()
+	}
+}
+
+// stopShards fails every parked waiter and, in worker mode, stops the
+// home goroutines.
+func (m *Manager) stopShards(code uint16, why string) {
+	if m.inline() {
+		for _, sh := range m.shards {
+			sh.failParked(code, why)
+		}
+		return
+	}
+	for _, sh := range m.shards {
+		sh.ch <- mgrItem{kind: itemStop, code: code, why: why}
+	}
+	m.wg.Wait()
+}
 
 // Run processes requests until Shutdown or endpoint closure.
 func (m *Manager) Run() {
+	m.p2p = m.nshards > 1 && m.sequenced
+	if !m.inline() {
+		m.startWorkers()
+	}
 	for {
 		req, ok := m.ep.Recv()
 		if !ok {
 			// The endpoint died under us (e.g. a fault injector killed
 			// the manager node): parked waiters learn the peer died,
 			// not that it shut down in an orderly way.
-			m.failAllParked(proto.CodePeerDied, "manager endpoint closed")
+			m.stopShards(proto.CodePeerDied, "manager endpoint closed")
 			return
 		}
 		// Heartbeats are wall-clock bookkeeping and carry zero virtual
-		// cost: handled before the clock moves so liveness does not
+		// cost: handled before any clock moves so liveness does not
 		// perturb virtual-time determinism.
 		if req.Kind() == proto.KHeartbeat {
 			m.handleHeartbeat(req)
@@ -219,66 +328,111 @@ func (m *Manager) Run() {
 		if m.live != nil && m.deadNodes[uint32(req.Src())] {
 			if !req.OneWay() {
 				req.ReplyErrorCode(proto.CodePeerDied,
-					fmt.Errorf("manager: request from dead node %d", req.Src()), m.clock.Now())
+					fmt.Errorf("manager: request from dead node %d", req.Src()), m.Clock())
 			}
 			continue
 		}
-		m.clock.AdvanceTo(req.Arrive())
-		m.clock.Advance(req.Svc())
 		switch req.Kind() {
 		case proto.KAllocReq:
-			m.handleAlloc(req)
-		case proto.KFreeReq:
-			m.handleFree(req)
-		case proto.KRegisterReq:
-			m.handleRegister(req)
-		case proto.KLockReq:
-			m.handleLock(req)
-		case proto.KUnlockReq:
-			m.handleUnlock(req)
-		case proto.KBarrierReq:
-			m.handleBarrier(req)
-		case proto.KCondWaitReq:
-			m.handleCondWait(req)
-		case proto.KCondSignalReq:
-			m.handleCondSignal(req)
-		case proto.KShutdown:
-			if !req.OneWay() {
-				req.Reply(&proto.Ack{}, m.clock.Now())
+			var ar proto.AllocReq
+			if err := req.Decode(&ar); err != nil {
+				m.routeErr(req, err)
+				continue
 			}
-			m.failAllParked(proto.CodeShutdown, "manager shut down")
+			zi := 0
+			switch ar.Strategy {
+			case proto.AllocShared:
+				zi = 1
+			case proto.AllocStriped:
+				zi = 2
+			}
+			m.dispatch(m.zoneShard[zi], req, &ar)
+		case proto.KFreeReq:
+			var fr proto.FreeReq
+			if err := req.Decode(&fr); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.zoneShard[zoneIndexOf(layout.Addr(fr.Addr))], req, &fr)
+		case proto.KRegisterReq:
+			var rr proto.RegisterReq
+			if err := req.Decode(&rr); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.shardOf(rr.Thread), req, &rr)
+		case proto.KLockReq:
+			var lr proto.LockReq
+			if err := req.Decode(&lr); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.shardOf(lr.Lock), req, &lr)
+		case proto.KUnlockReq:
+			var ur proto.UnlockReq
+			if err := req.Decode(&ur); err != nil {
+				if req.OneWay() {
+					// Nobody to answer; an undecodable unlock is a
+					// protocol bug.
+					panic(fmt.Sprintf("manager: bad UnlockReq: %v", err))
+				}
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.shardOf(ur.Lock), req, &ur)
+		case proto.KBarrierReq:
+			var br proto.BarrierReq
+			if err := req.Decode(&br); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.shardOf(br.Barrier), req, &br)
+		case proto.KCondWaitReq:
+			var cw proto.CondWaitReq
+			if err := req.Decode(&cw); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			// A condition wait releases its lock, so it runs at the
+			// LOCK's home; parking at the condition's home is a
+			// cross-shard item from there.
+			m.dispatch(m.shardOf(cw.Lock), req, &cw)
+		case proto.KCondSignalReq:
+			var sr proto.CondSignalReq
+			if err := req.Decode(&sr); err != nil {
+				m.routeErr(req, err)
+				continue
+			}
+			m.dispatch(m.shardOf(sr.Cond), req, &sr)
+		case proto.KShutdown:
+			if m.inline() {
+				sh := m.shards[0]
+				sh.clock.AdvanceTo(req.Arrive())
+				sh.clock.Advance(req.Svc())
+				sh.mirror.Store(sh.clock.Now())
+			}
+			if !req.OneWay() {
+				req.Reply(&proto.Ack{}, m.Clock())
+			}
+			m.stopShards(proto.CodeShutdown, "manager shut down")
 			return
 		default:
-			if !req.OneWay() {
-				req.ReplyError(fmt.Errorf("manager: unexpected %v", req.Kind()), m.clock.Now())
-			}
+			m.routeErr(req, fmt.Errorf("manager: unexpected %v", req.Kind()))
 		}
 	}
 }
 
-// failAllParked completes every parked waiter with a classified error
-// so no thread ever hangs on a manager that stopped: code is
-// proto.CodeShutdown for an orderly stop, proto.CodePeerDied when the
-// manager itself (or the peer a waiter depended on) went away.
-func (m *Manager) failAllParked(code uint16, why string) {
-	err := fmt.Errorf("manager: %s", why)
-	for _, ls := range m.locks {
-		for _, w := range ls.queue {
-			w.req.ReplyErrorCode(code, err, m.clock.Now())
-		}
-		ls.queue = nil
-	}
-	for _, bs := range m.barriers {
-		for _, w := range bs.arrived {
-			w.req.ReplyErrorCode(code, err, m.clock.Now())
-		}
-		bs.arrived = nil
-	}
-	for _, cs := range m.conds {
-		for _, cw := range cs.waiters {
-			cw.w.req.ReplyErrorCode(code, err, m.clock.Now())
-		}
-		cs.waiters = nil
+// zoneIndexOf maps an address to its allocation zone's index (Free
+// routing). Out-of-zone addresses go to the arena home, whose handler
+// produces the error reply.
+func zoneIndexOf(addr layout.Addr) int {
+	switch {
+	case addr >= SharedZoneBase && addr < sharedZoneEnd:
+		return 1
+	case addr >= StripedZoneBase && addr < stripedZoneEnd:
+		return 2
+	default:
+		return 0
 	}
 }
 
@@ -295,6 +449,13 @@ func (m *Manager) handleHeartbeat(req *scl.Request) {
 	}
 	var hb proto.Heartbeat
 	if err := req.Decode(&hb); err != nil {
+		// A heartbeat that fails to decode means a version-skewed or
+		// corrupted peer whose lease is silently starving; count it and
+		// leave a trace event instead of dropping it invisibly.
+		m.live.HeartbeatsMalformed.Add(1)
+		m.traceLive("heartbeat-malformed", map[string]any{
+			"src": uint32(req.Src()), "err": err.Error(),
+		})
 		return
 	}
 	m.live.Heartbeats.Add(1)
@@ -305,13 +466,28 @@ func (m *Manager) handleHeartbeat(req *scl.Request) {
 		case hb.Bye:
 			// Graceful departure: the member leaves the table instead of
 			// timing out, so finished threads are never declared dead.
+			// A thread can leave while still holding a lock or parked in
+			// a barrier/cond round (crash-free but buggy app code, or a
+			// shutdown racing in-flight sync); once it is out of the
+			// table no lease can ever expire for it, so its sync state
+			// must be reclaimed here or it leaks forever. The thread is
+			// NOT marked dead: a later re-registration is legitimate.
 			delete(m.members, k)
+			if ok && k.class == proto.MemberThread {
+				if !mem.dead {
+					m.liveThreads.Add(-1)
+				}
+				m.reclaimThread(k.id, false)
+			}
 		case ok:
 			if !mem.dead {
 				mem.lastBeat = now
 			}
 		default:
 			m.members[k] = &member{node: hb.Node, lastBeat: now}
+			if k.class == proto.MemberThread {
+				m.liveThreads.Add(1)
+			}
 		}
 	}
 	m.reap(now)
@@ -332,113 +508,35 @@ func (m *Manager) reap(now time.Time) {
 		switch k.class {
 		case proto.MemberThread:
 			m.live.ThreadsDead.Add(1)
-			m.deadThreads[k.id] = true
-			m.reclaimThread(k.id)
+			m.liveThreads.Add(-1)
+			m.reclaimThread(k.id, true)
+			// Obituary to the data plane: the dead writer may have
+			// announced a release whose DiffBatch it never shipped, and
+			// the servers must not park fetches on that tag forever.
+			// One-way at zero virtual cost, like the heartbeats that
+			// drive this path.
+			for _, node := range m.dataNodes {
+				_, _ = m.ep.Post(node, &proto.WriterDead{Writer: k.id}, 0)
+			}
 		case proto.MemberServer:
 			m.live.ServersDead.Add(1)
 		}
 	}
 }
 
-// liveThreadCount counts thread members not declared dead.
-func (m *Manager) liveThreadCount() int {
-	n := 0
-	for k, mem := range m.members {
-		if k.class == proto.MemberThread && !mem.dead {
-			n++
-		}
+// reclaimThread fans a thread's reclamation out to every home and then
+// removes it from the write-notice horizon. markDead additionally
+// fences future grants at the homes.
+func (m *Manager) reclaimThread(tid uint32, markDead bool) {
+	tick := m.board.horizon()
+	for _, sh := range m.shards {
+		m.toShard(sh, mgrItem{kind: itemReclaim, tid: tid, markDead: markDead, tick: tick})
 	}
-	return n
-}
-
-// reclaimThread releases everything a dead thread held or was parked
-// on: queued lock/cond waits are evicted, held locks force-released to
-// the next live waiter, and barriers it participated in recomputed so
-// survivors are never left waiting for an arrival that cannot come.
-func (m *Manager) reclaimThread(tid uint32) {
-	// Evicted requests still get a typed reply: if the "dead" member is
-	// in fact wedged rather than gone, its parked call unblocks with
-	// ErrPeerDied instead of hanging forever.
-	evictErr := fmt.Errorf("manager: thread %d declared dead", tid)
-	evict := func(w waiter) {
-		m.live.WaitersEvicted.Add(1)
-		w.req.ReplyErrorCode(proto.CodePeerDied, evictErr, m.clock.Now())
-	}
-	for id, ls := range m.locks {
-		kept := ls.queue[:0]
-		for _, w := range ls.queue {
-			if w.thread == tid {
-				evict(w)
-				continue
-			}
-			kept = append(kept, w)
-		}
-		ls.queue = kept
-		if ls.held && ls.holder == tid {
-			m.live.LocksReclaimed.Add(1)
-			m.traceLive("lock-reclaimed", map[string]any{"lock": id, "holder": tid})
-			m.release(ls)
-		}
-	}
-	for _, cs := range m.conds {
-		kept := cs.waiters[:0]
-		for _, cw := range cs.waiters {
-			if cw.w.thread == tid {
-				evict(cw.w)
-				continue
-			}
-			kept = append(kept, cw)
-		}
-		cs.waiters = kept
-	}
-	// Barriers assume SPMD participation: every live thread is expected
-	// at every barrier, so a death reduces the effective count even for
-	// barriers the thread never reached (it can never arrive now).
-	for id, bs := range m.barriers {
-		if bs.dead[tid] {
-			continue
-		}
-		bs.dead[tid] = true
-		kept := bs.arrived[:0]
-		for _, w := range bs.arrived {
-			if w.thread == tid {
-				evict(w)
-				continue
-			}
-			kept = append(kept, w)
-		}
-		bs.arrived = kept
-		m.recheckBarrier(id, bs)
-	}
-	// The dead thread no longer pins the write-notice horizon.
-	delete(m.lastSeen, tid)
-	m.pruneNotices()
-}
-
-// recheckBarrier re-evaluates a barrier after a member death: parked
-// arrivals either complete at the recomputed count, or — when the
-// barrier can never gather enough live arrivals — fail with
-// proto.ErrPeerDied rather than hang.
-func (m *Manager) recheckBarrier(id uint32, bs *barrierState) {
-	if len(bs.arrived) == 0 {
-		return
-	}
-	if len(bs.arrived) >= bs.effective() {
-		m.traceLive("barrier-recomputed", map[string]any{
-			"barrier": id, "count": bs.count, "effective": bs.effective(),
-		})
-		m.releaseBarrier(bs, bs.arrived[len(bs.arrived)-1].req.Svc())
-		return
-	}
-	if bs.effective() > m.liveThreadCount() {
-		err := fmt.Errorf("manager: barrier %d unsatisfiable: needs %d live arrivals, %d live threads",
-			id, bs.effective(), m.liveThreadCount())
-		for _, w := range bs.arrived {
-			m.live.WaitersFailed.Add(1)
-			w.req.ReplyErrorCode(proto.CodePeerDied, err, m.clock.Now())
-		}
-		bs.arrived = bs.arrived[:0]
-	}
+	// The thread no longer pins the write-notice horizon. In worker
+	// mode this runs before the homes drain their queues; dropping the
+	// horizon early only delays pruning of anything an in-flight grant
+	// re-pins, never loses a notice.
+	m.board.dropThread(tid)
 }
 
 // traceLive emits one liveness event, if a collector is attached.
@@ -446,367 +544,6 @@ func (m *Manager) traceLive(name string, args map[string]any) {
 	if m.tr == nil {
 		return
 	}
-	m.tr.Span("manager", trace.CatLive, name, m.clock.Now(), m.clock.Now(), args)
-}
-
-// ---------------------------------------------------------------------
-// Allocation.
-
-func (m *Manager) handleAlloc(req *scl.Request) {
-	var ar proto.AllocReq
-	if err := req.Decode(&ar); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	align := int(ar.Align)
-	if align < 16 {
-		align = 16
-	}
-	var (
-		addr layout.Addr
-		err  error
-	)
-	switch ar.Strategy {
-	case proto.AllocArenaChunk:
-		// Arena chunks are line-aligned so no two threads' arenas ever
-		// share a cache line — the paper's no-false-sharing guarantee
-		// for locally allocated data.
-		addr, err = m.arenaZone.Alloc(ar.Size, m.geo.LineSize())
-	case proto.AllocShared:
-		addr, err = m.sharedZone.Alloc(ar.Size, align)
-	case proto.AllocStriped:
-		group := m.geo.LineSize() * m.geo.NumServers
-		addr, err = m.stripedZone.Alloc(ar.Size, group)
-	default:
-		err = fmt.Errorf("manager: unknown allocation strategy %d", ar.Strategy)
-	}
-	if err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	m.stats.Allocs.Add(1)
-	req.Reply(&proto.AllocResp{Addr: uint64(addr)}, m.clock.Now())
-}
-
-func (m *Manager) handleFree(req *scl.Request) {
-	var fr proto.FreeReq
-	if err := req.Decode(&fr); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	addr := layout.Addr(fr.Addr)
-	var err error
-	switch {
-	case m.arenaZone.Contains(addr):
-		err = m.arenaZone.Free(addr)
-	case m.sharedZone.Contains(addr):
-		err = m.sharedZone.Free(addr)
-	case m.stripedZone.Contains(addr):
-		err = m.stripedZone.Free(addr)
-	default:
-		err = fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr)
-	}
-	if err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	m.stats.Frees.Add(1)
-	req.Reply(&proto.Ack{}, m.clock.Now())
-}
-
-func (m *Manager) handleRegister(req *scl.Request) {
-	var rr proto.RegisterReq
-	if err := req.Decode(&rr); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	m.ensureThread(rr.Thread, 0)
-	req.Reply(&proto.Ack{}, m.clock.Now())
-}
-
-// ---------------------------------------------------------------------
-// Write notices.
-
-// ensureThread makes sure a thread participates in the pruning horizon.
-// Threads register explicitly at spawn; acquires also auto-register so
-// the manager never prunes a notice an active thread has not seen.
-func (m *Manager) ensureThread(thread uint32, lastSeen uint64) {
-	if _, ok := m.lastSeen[thread]; !ok {
-		m.lastSeen[thread] = lastSeen
-	}
-}
-
-// postNotice records a release interval and returns its sequence number.
-func (m *Manager) postNotice(tag proto.IntervalTag, pages []uint64, records []proto.StoreRecord) uint64 {
-	m.seq++
-	m.notices = append(m.notices, proto.Notice{
-		Seq:     m.seq,
-		Tag:     tag,
-		Pages:   pages,
-		Records: records,
-	})
-	m.stats.NoticesStored.Add(1)
-	return m.seq
-}
-
-// noticesAfter returns all notices with sequence > since.
-func (m *Manager) noticesAfter(since uint64) []proto.Notice {
-	i := len(m.notices)
-	for i > 0 && m.notices[i-1].Seq > since {
-		i--
-	}
-	out := m.notices[i:]
-	m.stats.NoticesSent.Add(int64(len(out)))
-	return out
-}
-
-// sawUpTo advances a thread's horizon and prunes notices every thread
-// has seen.
-func (m *Manager) sawUpTo(thread uint32, seq uint64) {
-	if seq > m.lastSeen[thread] {
-		m.lastSeen[thread] = seq
-	}
-	m.pruneNotices()
-}
-
-// pruneNotices drops notices below every remaining thread's horizon;
-// also called when a dead thread leaves the horizon set.
-func (m *Manager) pruneNotices() {
-	min := m.seq
-	for _, s := range m.lastSeen {
-		if s < min {
-			min = s
-		}
-	}
-	cut := 0
-	for cut < len(m.notices) && m.notices[cut].Seq <= min {
-		cut++
-	}
-	if cut > 0 {
-		m.stats.NoticesPruned.Add(int64(cut))
-		m.notices = append([]proto.Notice(nil), m.notices[cut:]...)
-	}
-}
-
-// ---------------------------------------------------------------------
-// Locks.
-
-func (m *Manager) lock(id uint32) *lockState {
-	ls, ok := m.locks[id]
-	if !ok {
-		ls = &lockState{}
-		m.locks[id] = ls
-	}
-	return ls
-}
-
-func (m *Manager) handleLock(req *scl.Request) {
-	var lr proto.LockReq
-	if err := req.Decode(&lr); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	m.ensureThread(lr.Thread, lr.LastSeen)
-	ls := m.lock(lr.Lock)
-	w := waiter{req: req, thread: lr.Thread, lastSeen: lr.LastSeen, kind: waitLock}
-	if ls.held {
-		m.stats.LockWaits.Add(1)
-		ls.queue = append(ls.queue, w)
-		return
-	}
-	m.grant(ls, w)
-}
-
-// grant hands the lock to w and answers its acquire with fresh notices.
-func (m *Manager) grant(ls *lockState, w waiter) {
-	ls.held = true
-	ls.holder = w.thread
-	m.stats.LockGrants.Add(1)
-	ns := m.noticesAfter(w.lastSeen)
-	m.sawUpTo(w.thread, m.seq)
-	switch w.kind {
-	case waitLock:
-		w.req.Reply(&proto.LockResp{Seq: m.seq, Notices: ns}, m.clock.Now())
-	case waitCond:
-		w.req.Reply(&proto.CondWaitResp{Seq: m.seq, Notices: ns}, m.clock.Now())
-	}
-}
-
-// handleUnlock accepts both forms of unlock: the classic acknowledged
-// round trip, and the pipelined one-way post (the releaser overlaps its
-// diff shipping with this notice; interval tags at the homes restore
-// the ordering the missing ack used to provide).
-func (m *Manager) handleUnlock(req *scl.Request) {
-	var ur proto.UnlockReq
-	if err := req.Decode(&ur); err != nil {
-		if req.OneWay() {
-			// Nobody to answer; an undecodable unlock is a protocol bug.
-			panic(fmt.Sprintf("manager: bad UnlockReq: %v", err))
-		}
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	ls := m.lock(ur.Lock)
-	if !ls.held || ls.holder != ur.Thread {
-		// One-way: the lock was force-released after the sender was
-		// declared dead (or the sender is confused); dropping the
-		// request is the only fence available.
-		if !req.OneWay() {
-			req.ReplyError(fmt.Errorf("manager: unlock of lock %d by non-holder thread %d", ur.Lock, ur.Thread), m.clock.Now())
-		}
-		return
-	}
-	m.stats.Unlocks.Add(1)
-	m.postNotice(proto.IntervalTag{Writer: ur.Thread, Interval: ur.Interval}, ur.Pages, ur.Records)
-	if !req.OneWay() {
-		req.Reply(&proto.Ack{}, m.clock.Now())
-	}
-	m.release(ls)
-}
-
-// release passes a held lock to the next queued live waiter, if any.
-// Waiters whose thread has since been declared dead are skipped, so a
-// reclaimed lock never lands on a corpse.
-func (m *Manager) release(ls *lockState) {
-	ls.held = false
-	for len(ls.queue) > 0 {
-		next := ls.queue[0]
-		ls.queue = ls.queue[1:]
-		if m.deadThreads[next.thread] {
-			if m.live != nil {
-				m.live.WaitersEvicted.Add(1)
-			}
-			continue
-		}
-		m.grant(ls, next)
-		return
-	}
-}
-
-// ---------------------------------------------------------------------
-// Barriers.
-
-func (m *Manager) handleBarrier(req *scl.Request) {
-	var br proto.BarrierReq
-	if err := req.Decode(&br); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	if br.Count == 0 {
-		req.ReplyError(fmt.Errorf("manager: barrier %d arrival with zero count", br.Barrier), m.clock.Now())
-		return
-	}
-	m.ensureThread(br.Thread, br.LastSeen)
-	bs, ok := m.barriers[br.Barrier]
-	if !ok {
-		bs = &barrierState{
-			count: br.Count,
-			dead:  make(map[uint32]bool),
-		}
-		// A barrier instance created after a death starts with the
-		// reduced membership: the dead can never arrive.
-		for tid := range m.deadThreads {
-			bs.dead[tid] = true
-		}
-		m.barriers[br.Barrier] = bs
-	}
-	if bs.count != br.Count {
-		req.ReplyError(fmt.Errorf("manager: barrier %d count mismatch: %d vs %d", br.Barrier, br.Count, bs.count), m.clock.Now())
-		return
-	}
-	// Arrival is a release: post this interval's notice immediately so
-	// every later acquire (including the other arrivals) sees it.
-	m.postNotice(proto.IntervalTag{Writer: br.Thread, Interval: br.Interval}, br.Pages, br.Records)
-	bs.arrived = append(bs.arrived, waiter{req: req, thread: br.Thread, lastSeen: br.LastSeen})
-	if len(bs.arrived) < bs.effective() {
-		return
-	}
-	m.releaseBarrier(bs, req.Svc())
-}
-
-// releaseBarrier completes a barrier round, answering every parked
-// arrival. Replies are posted serially, advancing the manager clock by
-// svc per reply — the centralized-barrier fan-out cost.
-func (m *Manager) releaseBarrier(bs *barrierState, svc vtime.Time) {
-	m.stats.BarrierRounds.Add(1)
-	if m.live != nil && len(bs.dead) > 0 {
-		m.live.BarriersRecomputed.Add(1)
-	}
-	for _, w := range bs.arrived {
-		m.clock.Advance(svc)
-		ns := m.noticesAfter(w.lastSeen)
-		m.sawUpTo(w.thread, m.seq)
-		w.req.Reply(&proto.BarrierResp{Seq: m.seq, Notices: ns}, m.clock.Now())
-	}
-	bs.arrived = bs.arrived[:0]
-}
-
-// ---------------------------------------------------------------------
-// Condition variables.
-
-func (m *Manager) cond(id uint32) *condState {
-	cs, ok := m.conds[id]
-	if !ok {
-		cs = &condState{}
-		m.conds[id] = cs
-	}
-	return cs
-}
-
-func (m *Manager) handleCondWait(req *scl.Request) {
-	var cw proto.CondWaitReq
-	if err := req.Decode(&cw); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	ls := m.lock(cw.Lock)
-	if !ls.held || ls.holder != cw.Thread {
-		req.ReplyError(fmt.Errorf("manager: cond wait on lock %d by non-holder thread %d", cw.Lock, cw.Thread), m.clock.Now())
-		return
-	}
-	m.ensureThread(cw.Thread, cw.LastSeen)
-	m.stats.CondWaits.Add(1)
-	// Atomically: release the interval, park on the condition, drop the
-	// lock (possibly granting it onward).
-	m.postNotice(proto.IntervalTag{Writer: cw.Thread, Interval: cw.Interval}, cw.Pages, cw.Records)
-	cs := m.cond(cw.Cond)
-	cs.waiters = append(cs.waiters, struct {
-		w    waiter
-		lock uint32
-	}{
-		w:    waiter{req: req, thread: cw.Thread, lastSeen: cw.LastSeen, kind: waitCond},
-		lock: cw.Lock,
-	})
-	m.release(ls)
-}
-
-func (m *Manager) handleCondSignal(req *scl.Request) {
-	var sr proto.CondSignalReq
-	if err := req.Decode(&sr); err != nil {
-		req.ReplyError(err, m.clock.Now())
-		return
-	}
-	m.stats.CondSignals.Add(1)
-	cs := m.cond(sr.Cond)
-	n := 1
-	if sr.Broadcast {
-		n = len(cs.waiters)
-	}
-	if n > len(cs.waiters) {
-		n = len(cs.waiters)
-	}
-	woken := cs.waiters[:n]
-	cs.waiters = append(cs.waiters[:0:0], cs.waiters[n:]...)
-	req.Reply(&proto.Ack{}, m.clock.Now())
-	// Each woken thread must re-acquire its mutex before its wait
-	// returns; it competes with ordinary lock requests in FIFO order.
-	for _, cw := range woken {
-		ls := m.lock(cw.lock)
-		if ls.held {
-			m.stats.LockWaits.Add(1)
-			ls.queue = append(ls.queue, cw.w)
-		} else {
-			m.grant(ls, cw.w)
-		}
-	}
+	now := m.Clock()
+	m.tr.Span("manager", trace.CatLive, name, now, now, args)
 }

@@ -1,0 +1,834 @@
+package manager
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+	"repro/internal/vtime"
+)
+
+type waitKind uint8
+
+const (
+	waitLock waitKind = iota // answer with LockResp
+	waitCond                 // answer with CondWaitResp
+)
+
+// waiter is a thread parked on a lock (directly or resuming from a
+// condition wait).
+type waiter struct {
+	req      *scl.Request
+	thread   uint32
+	node     uint32
+	lastSeen uint64
+	kind     waitKind
+	// detached marks a waiter whose LockReq was already answered with
+	// Queued (peer-to-peer handoff mode): its grant — or its eviction —
+	// travels as a one-way LockGrant, never as a reply. req is nil.
+	detached bool
+}
+
+type lockState struct {
+	held   bool
+	holder uint32
+	queue  []waiter
+
+	// Peer-to-peer handoff bookkeeping (active only when the manager
+	// runs sharded on a sequenced fabric).
+	holderNode uint32 // node hosting the current holder
+	gen        uint64 // tenure number, bumped once per grant
+	grantSeq   uint64 // notice horizon the current tenure started with
+	trainLeft  int    // pre-announced successors still outstanding
+	trainSeq   uint64 // anchor horizon the outstanding train was composed at
+}
+
+type barrierState struct {
+	count   uint32
+	arrived []waiter
+	dead    map[uint32]bool // threads declared dead (SPMD: all expected)
+}
+
+// effective is the arrival count that completes a round: the declared
+// count minus dead members, floored at one.
+func (bs *barrierState) effective() int {
+	eff := int(bs.count) - len(bs.dead)
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// condEntry is a parked condition waiter; it remembers which lock to
+// re-acquire on wakeup.
+type condEntry struct {
+	w    waiter
+	lock uint32
+}
+
+type condState struct {
+	waiters []condEntry
+}
+
+type itemKind uint8
+
+const (
+	itemReq      itemKind = iota // a decoded client request
+	itemErr                      // a request that failed to decode
+	itemCondPark                 // cross-shard: park a cond waiter here
+	itemLockWake                 // cross-shard: a signaled waiter re-acquires
+	itemReclaim                  // liveness: reclaim a thread's sync state
+	itemStop                     // shut the shard down
+)
+
+// mgrItem is one unit of work for a shard. The dispatcher decodes each
+// request once and routes it to the home shard; shards exchange
+// cross-shard work (cond park/wake, reclamation) with the same type.
+type mgrItem struct {
+	kind     itemKind
+	req      *scl.Request
+	msg      proto.Msg  // itemReq: the decoded request
+	err      error      // itemErr
+	cond     uint32     // itemCondPark: condition id
+	park     condEntry  // itemCondPark
+	lock     uint32     // itemLockWake: lock to re-acquire
+	wake     waiter     // itemLockWake
+	at       vtime.Time // itemLockWake: causal floor from the cond home
+	tid      uint32     // itemReclaim
+	markDead bool       // itemReclaim: also fence future grants
+	code     uint16     // itemStop
+	why      string     // itemStop
+	// tick is the request's notice-directory position: a reserved
+	// ticket for interval-carrying requests, the arrival horizon for
+	// everything else. Cross-shard items inherit the originating
+	// item's tick.
+	tick uint64
+}
+
+// shard is one synchronization home: it owns a disjoint set of locks,
+// barriers, conditions and allocation zones, with its own virtual
+// clock, so independent sync traffic no longer serializes on a single
+// manager clock. In inline mode (one shard, or a sequenced fabric) the
+// dispatcher calls process directly; otherwise each shard runs its own
+// goroutine fed by ch.
+type shard struct {
+	m  *Manager
+	id int
+	ch chan mgrItem
+
+	clock  *vtime.Clock
+	mirror atomicTime // clock published for cross-goroutine readers
+	tick   uint64     // directory ticket/horizon of the item in flight
+
+	locks       map[uint32]*lockState
+	barriers    map[uint32]*barrierState
+	conds       map[uint32]*condState
+	deadThreads map[uint32]bool // skip dead threads when granting locks
+}
+
+const shardQueueDepth = 1024
+
+func newShard(m *Manager, id int) *shard {
+	return &shard{
+		m:           m,
+		id:          id,
+		ch:          make(chan mgrItem, shardQueueDepth),
+		clock:       vtime.NewClock(0),
+		locks:       make(map[uint32]*lockState),
+		barriers:    make(map[uint32]*barrierState),
+		conds:       make(map[uint32]*condState),
+		deadThreads: make(map[uint32]bool),
+	}
+}
+
+// run drains the shard's queue until an itemStop (worker mode only).
+func (sh *shard) run() {
+	defer sh.m.wg.Done()
+	for it := range sh.ch {
+		if sh.process(it) {
+			return
+		}
+	}
+}
+
+// process executes one item and publishes the advanced clock. Returns
+// true when the shard should stop.
+func (sh *shard) process(it mgrItem) (stop bool) {
+	sh.tick = it.tick
+	switch it.kind {
+	case itemReq:
+		sh.clock.AdvanceTo(it.req.Arrive())
+		sh.clock.Advance(it.req.Svc())
+		sh.handle(it.req, it.msg)
+	case itemErr:
+		sh.clock.AdvanceTo(it.req.Arrive())
+		sh.clock.Advance(it.req.Svc())
+		if !it.req.OneWay() {
+			it.req.ReplyError(it.err, sh.clock.Now())
+		}
+	case itemCondPark:
+		cs := sh.cond(it.cond)
+		cs.waiters = append(cs.waiters, it.park)
+	case itemLockWake:
+		sh.clock.AdvanceTo(it.at)
+		sh.wakeFromCond(it.lock, it.wake)
+	case itemReclaim:
+		sh.reclaim(it.tid, it.markDead)
+	case itemStop:
+		sh.failParked(it.code, it.why)
+		stop = true
+	}
+	sh.mirror.Store(sh.clock.Now())
+	return stop
+}
+
+func (sh *shard) handle(req *scl.Request, msg proto.Msg) {
+	switch mm := msg.(type) {
+	case *proto.AllocReq:
+		sh.handleAlloc(req, mm)
+	case *proto.FreeReq:
+		sh.handleFree(req, mm)
+	case *proto.RegisterReq:
+		sh.handleRegister(req, mm)
+	case *proto.LockReq:
+		sh.handleLock(req, mm)
+	case *proto.UnlockReq:
+		sh.handleUnlock(req, mm)
+	case *proto.BarrierReq:
+		sh.handleBarrier(req, mm)
+	case *proto.CondWaitReq:
+		sh.handleCondWait(req, mm)
+	case *proto.CondSignalReq:
+		sh.handleCondSignal(req, mm)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Allocation.
+
+func (sh *shard) handleAlloc(req *scl.Request, ar *proto.AllocReq) {
+	m := sh.m
+	align := int(ar.Align)
+	if align < 16 {
+		align = 16
+	}
+	var (
+		addr layout.Addr
+		err  error
+	)
+	switch ar.Strategy {
+	case proto.AllocArenaChunk:
+		// Arena chunks are line-aligned so no two threads' arenas ever
+		// share a cache line — the paper's no-false-sharing guarantee
+		// for locally allocated data.
+		addr, err = m.arenaZone.Alloc(ar.Size, m.geo.LineSize())
+	case proto.AllocShared:
+		addr, err = m.sharedZone.Alloc(ar.Size, align)
+	case proto.AllocStriped:
+		group := m.geo.LineSize() * m.geo.NumServers
+		addr, err = m.stripedZone.Alloc(ar.Size, group)
+	default:
+		err = fmt.Errorf("manager: unknown allocation strategy %d", ar.Strategy)
+	}
+	if err != nil {
+		req.ReplyError(err, sh.clock.Now())
+		return
+	}
+	m.stats.Allocs.Add(1)
+	req.Reply(&proto.AllocResp{Addr: uint64(addr)}, sh.clock.Now())
+}
+
+func (sh *shard) handleFree(req *scl.Request, fr *proto.FreeReq) {
+	m := sh.m
+	addr := layout.Addr(fr.Addr)
+	var err error
+	switch {
+	case m.arenaZone.Contains(addr):
+		err = m.arenaZone.Free(addr)
+	case m.sharedZone.Contains(addr):
+		err = m.sharedZone.Free(addr)
+	case m.stripedZone.Contains(addr):
+		err = m.stripedZone.Free(addr)
+	default:
+		err = fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr)
+	}
+	if err != nil {
+		req.ReplyError(err, sh.clock.Now())
+		return
+	}
+	m.stats.Frees.Add(1)
+	req.Reply(&proto.Ack{}, sh.clock.Now())
+}
+
+func (sh *shard) handleRegister(req *scl.Request, rr *proto.RegisterReq) {
+	sh.m.board.ensure(rr.Thread, 0)
+	req.Reply(&proto.Ack{}, sh.clock.Now())
+}
+
+// ---------------------------------------------------------------------
+// Locks.
+
+func (sh *shard) lock(id uint32) *lockState {
+	ls, ok := sh.locks[id]
+	if !ok {
+		ls = &lockState{}
+		sh.locks[id] = ls
+	}
+	return ls
+}
+
+func (sh *shard) handleLock(req *scl.Request, lr *proto.LockReq) {
+	m := sh.m
+	m.board.ensure(lr.Thread, lr.LastSeen)
+	ls := sh.lock(lr.Lock)
+	w := waiter{
+		req:      req,
+		thread:   lr.Thread,
+		node:     uint32(req.Src()),
+		lastSeen: lr.LastSeen,
+		kind:     waitLock,
+	}
+	if ls.held {
+		m.stats.LockWaits.Add(1)
+		if m.p2p {
+			// Detach the waiter: answer its RPC now with Queued so the
+			// grant — composed by the current holder at its release, or
+			// by this home as a fallback — can arrive as a one-way
+			// LockGrant instead of a manager round trip.
+			w.detached = true
+			w.req = nil
+			req.Reply(&proto.LockResp{Queued: true}, sh.clock.Now())
+			ls.queue = append(ls.queue, w)
+			sh.maybeSendTrain(lr.Lock, ls)
+			return
+		}
+		ls.queue = append(ls.queue, w)
+		return
+	}
+	sh.grant(lr.Lock, ls, w)
+}
+
+// grant hands the lock to w and answers its acquire with fresh notices.
+func (sh *shard) grant(id uint32, ls *lockState, w waiter) {
+	m := sh.m
+	ls.held = true
+	ls.holder = w.thread
+	ls.holderNode = w.node
+	ls.gen++
+	ls.trainLeft = 0
+	m.stats.LockGrants.Add(1)
+	ns, seq := m.board.acquire(w.thread, w.lastSeen, sh.tick)
+	ls.grantSeq = seq
+	now := sh.clock.Now()
+	switch {
+	case w.detached:
+		// Central dispatch of an already-answered waiter: the grant is a
+		// one-way post carrying the full notice backlog — and a snapshot
+		// of the remaining queue as an announcement train, so the convoy
+		// behind this waiter is passed peer-to-peer from here. Attaching
+		// the train to the grant itself (rather than chasing the new
+		// holder with a separate announcement) is what lets short
+		// critical sections hand off: a chase can only be delivered while
+		// the holder is parked, and a holder whose working set is warm
+		// never parks between acquire and release.
+		var train []proto.SuccAnn
+		if m.p2p {
+			train = sh.composeTrain(ls)
+		}
+		m.post(w.node, &proto.LockGrant{Lock: id, Gen: ls.gen, Seq: seq, Notices: ns, Train: train}, now)
+		if len(train) > 0 {
+			ls.trainLeft = len(train)
+			ls.trainSeq = seq
+			m.stats.NextWaiters.Add(int64(len(train)))
+		}
+	case w.kind == waitLock:
+		var gen uint64
+		if m.p2p {
+			gen = ls.gen
+		}
+		w.req.Reply(&proto.LockResp{Seq: seq, Notices: ns, Gen: gen}, now)
+	default:
+		w.req.Reply(&proto.CondWaitResp{Seq: seq, Notices: ns}, now)
+	}
+	if m.p2p {
+		sh.maybeSendTrain(id, ls)
+	}
+}
+
+// maxTrain caps how many successors one announcement snapshots. The
+// batches of a long train overlap heavily (every waiter is missing
+// roughly the same backlog), so an unbounded train would square the
+// announcement's byte cost against the queue length.
+const maxTrain = 32
+
+// maybeSendTrain snapshots the waiter queue and announces it to the
+// current holder so the lock can be passed waiter-to-waiter for the
+// whole convoy without a manager round trip per hop. At most one train
+// is outstanding per lock (trainLeft counts the hops still to come);
+// only a prefix of plain detached lock waiters qualifies — cond
+// re-acquirers and dead threads end the snapshot and keep the central
+// path. Each entry's notice batch covers (that waiter's horizon,
+// grantSeq]; everything filled above the anchor by the train itself
+// rides the grants as Inline intervals, appended hop by hop.
+func (sh *shard) maybeSendTrain(id uint32, ls *lockState) {
+	m := sh.m
+	if !ls.held || ls.trainLeft > 0 || len(ls.queue) == 0 {
+		return
+	}
+	train := sh.composeTrain(ls)
+	if len(train) == 0 {
+		return
+	}
+	m.post(ls.holderNode, &proto.NextWaiter{
+		Lock:  id,
+		Gen:   ls.gen,
+		Seq:   ls.grantSeq,
+		Train: train,
+	}, sh.clock.Now())
+	ls.trainLeft = len(train)
+	ls.trainSeq = ls.grantSeq
+	m.stats.NextWaiters.Add(int64(len(train)))
+}
+
+// composeTrain snapshots the qualifying prefix of the waiter queue as
+// announcement-train entries, each with the notice batch covering (that
+// waiter's horizon, the current grantSeq]. Only plain detached live lock
+// waiters qualify; the first cond re-acquirer or dead thread ends the
+// snapshot and keeps the central path for the rest.
+func (sh *shard) composeTrain(ls *lockState) []proto.SuccAnn {
+	m := sh.m
+	var train []proto.SuccAnn
+	for _, w := range ls.queue {
+		if w.kind != waitLock || !w.detached || sh.deadThreads[w.thread] {
+			break
+		}
+		train = append(train, proto.SuccAnn{
+			Waiter:     w.thread,
+			WaiterNode: w.node,
+			Notices:    m.board.rangeAfter(w.lastSeen, ls.grantSeq),
+		})
+		if len(train) == maxTrain {
+			break
+		}
+	}
+	return train
+}
+
+// handleUnlock accepts both forms of unlock: the classic acknowledged
+// round trip, and the pipelined one-way post (the releaser overlaps its
+// diff shipping with this notice; interval tags at the homes restore
+// the ordering the missing ack used to provide).
+func (sh *shard) handleUnlock(req *scl.Request, ur *proto.UnlockReq) {
+	m := sh.m
+	ls := sh.lock(ur.Lock)
+	if !ls.held || ls.holder != ur.Thread {
+		// One-way: the lock was force-released after the sender was
+		// declared dead (or the sender is confused); dropping the
+		// request is the only fence available. Its reserved directory
+		// ticket is cancelled — the corpse's interval must not become
+		// visible to acquirers that already moved past the reclamation.
+		m.board.cancel(sh.tick)
+		if !req.OneWay() {
+			req.ReplyError(fmt.Errorf("manager: unlock of lock %d by non-holder thread %d", ur.Lock, ur.Thread), sh.clock.Now())
+		}
+		return
+	}
+	m.stats.Unlocks.Add(1)
+	if m.p2p && ur.HandedOff != 0 {
+		sh.completeHandoff(ur.Lock, ls, ur, req)
+		return
+	}
+	m.board.fill(sh.tick, proto.IntervalTag{Writer: ur.Thread, Interval: ur.Interval}, ur.Pages, ur.Records)
+	if !req.OneWay() {
+		req.Reply(&proto.Ack{}, sh.clock.Now())
+	}
+	sh.release(ur.Lock, ls)
+}
+
+// completeHandoff finishes a peer-to-peer grant: the holder already
+// forwarded the lock (with notices) to the successor named by the last
+// NextWaiter; the manager re-points its bookkeeping without composing a
+// grant of its own.
+func (sh *shard) completeHandoff(id uint32, ls *lockState, ur *proto.UnlockReq, req *scl.Request) {
+	m := sh.m
+	prevSeq := ls.grantSeq
+	seq := sh.tick
+	m.board.fill(seq, proto.IntervalTag{Writer: ur.Thread, Interval: ur.Interval}, ur.Pages, ur.Records)
+	idx := -1
+	for i, w := range ls.queue {
+		if w.thread == ur.HandedOff {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// The named successor is no longer queued; fall back to a
+		// central release. The rest of the train (if any) is moot — the
+		// old holder already dropped its copy at this unlock.
+		if !req.OneWay() {
+			req.Reply(&proto.Ack{}, sh.clock.Now())
+		}
+		sh.release(id, ls)
+		return
+	}
+	w := ls.queue[idx]
+	ls.queue = append(ls.queue[:idx], ls.queue[idx+1:]...)
+	ls.held = true
+	ls.holder = w.thread
+	ls.holderNode = w.node
+	ls.gen++
+	if ls.trainLeft > 0 {
+		ls.trainLeft--
+	}
+	// The successor's direct grant covered the contiguous backlog up to
+	// the train's anchor, plus the closing intervals of every train
+	// holder since riding Inline. Its contiguous horizon is therefore
+	// the anchor — the inline intervals above it are redelivered by the
+	// directory at a later acquire and deduplicated client-side.
+	// Recording the new tenure's horizon as seq keeps the NEXT train's
+	// batches complete.
+	ls.grantSeq = seq
+	anchor := ls.trainSeq
+	if anchor == 0 {
+		anchor = prevSeq
+	}
+	m.board.saw(w.thread, anchor)
+	m.stats.LockGrants.Add(1)
+	m.stats.Handoffs.Add(1)
+	if !req.OneWay() {
+		req.Reply(&proto.Ack{}, sh.clock.Now())
+	}
+	sh.maybeSendTrain(id, ls)
+}
+
+// release passes a held lock to the next queued live waiter, if any.
+// Waiters whose thread has since been declared dead are skipped, so a
+// reclaimed lock never lands on a corpse.
+func (sh *shard) release(id uint32, ls *lockState) {
+	m := sh.m
+	ls.held = false
+	// A central release voids any outstanding announcement train: the
+	// departing holder dropped its copy without forwarding, so the
+	// queued waiters it named must be granted from here.
+	ls.trainLeft = 0
+	for len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		if sh.deadThreads[next.thread] {
+			if m.live != nil {
+				m.live.WaitersEvicted.Add(1)
+			}
+			continue
+		}
+		sh.grant(id, ls, next)
+		return
+	}
+}
+
+// ---------------------------------------------------------------------
+// Barriers.
+
+func (sh *shard) handleBarrier(req *scl.Request, br *proto.BarrierReq) {
+	m := sh.m
+	if br.Count == 0 {
+		m.board.cancel(sh.tick)
+		req.ReplyError(fmt.Errorf("manager: barrier %d arrival with zero count", br.Barrier), sh.clock.Now())
+		return
+	}
+	m.board.ensure(br.Thread, br.LastSeen)
+	bs, ok := sh.barriers[br.Barrier]
+	if !ok {
+		bs = &barrierState{
+			count: br.Count,
+			dead:  make(map[uint32]bool),
+		}
+		// A barrier instance created after a death starts with the
+		// reduced membership: the dead can never arrive.
+		for tid := range sh.deadThreads {
+			bs.dead[tid] = true
+		}
+		sh.barriers[br.Barrier] = bs
+	}
+	if bs.count != br.Count {
+		m.board.cancel(sh.tick)
+		req.ReplyError(fmt.Errorf("manager: barrier %d count mismatch: %d vs %d", br.Barrier, br.Count, bs.count), sh.clock.Now())
+		return
+	}
+	// Arrival is a release: fill this interval's reserved ticket
+	// immediately so every later acquire (including the other
+	// arrivals) sees it.
+	m.board.fill(sh.tick, proto.IntervalTag{Writer: br.Thread, Interval: br.Interval}, br.Pages, br.Records)
+	bs.arrived = append(bs.arrived, waiter{
+		req:      req,
+		thread:   br.Thread,
+		node:     uint32(req.Src()),
+		lastSeen: br.LastSeen,
+	})
+	if len(bs.arrived) < bs.effective() {
+		return
+	}
+	sh.releaseBarrier(bs, req.Svc())
+}
+
+// releaseBarrier completes a barrier round, answering every parked
+// arrival. With a single home the replies post serially, advancing the
+// clock by svc per reply — the centralized-barrier fan-out cost. With
+// multiple homes each home releases its barriers through a combining
+// tree: reply j departs at depth ceil(log2(j+2)) of a binary fan-out,
+// so the release cost of a P-wide barrier grows with log P, not P.
+func (sh *shard) releaseBarrier(bs *barrierState, svc vtime.Time) {
+	m := sh.m
+	m.stats.BarrierRounds.Add(1)
+	if m.live != nil && len(bs.dead) > 0 {
+		m.live.BarriersRecomputed.Add(1)
+	}
+	if m.nshards == 1 {
+		for _, w := range bs.arrived {
+			sh.clock.Advance(svc)
+			ns, seq := m.board.acquire(w.thread, w.lastSeen, sh.tick)
+			w.req.Reply(&proto.BarrierResp{Seq: seq, Notices: ns}, sh.clock.Now())
+		}
+		bs.arrived = bs.arrived[:0]
+		return
+	}
+	start := sh.clock.Now()
+	maxAt := start
+	for j, w := range bs.arrived {
+		depth := vtime.Time(bits.Len(uint(j + 1)))
+		at := start + svc*depth
+		ns, seq := m.board.acquire(w.thread, w.lastSeen, sh.tick)
+		w.req.Reply(&proto.BarrierResp{Seq: seq, Notices: ns}, at)
+		if at > maxAt {
+			maxAt = at
+		}
+	}
+	sh.clock.AdvanceTo(maxAt)
+	bs.arrived = bs.arrived[:0]
+}
+
+// recheckBarrier re-evaluates a barrier after a member death: parked
+// arrivals either complete at the recomputed count, or — when the
+// barrier can never gather enough live arrivals — fail with
+// proto.ErrPeerDied rather than hang.
+func (sh *shard) recheckBarrier(id uint32, bs *barrierState) {
+	m := sh.m
+	if len(bs.arrived) == 0 {
+		return
+	}
+	if len(bs.arrived) >= bs.effective() {
+		m.traceLive("barrier-recomputed", map[string]any{
+			"barrier": id, "count": bs.count, "effective": bs.effective(),
+		})
+		sh.releaseBarrier(bs, bs.arrived[len(bs.arrived)-1].req.Svc())
+		return
+	}
+	if live := int(m.liveThreads.Load()); bs.effective() > live {
+		err := fmt.Errorf("manager: barrier %d unsatisfiable: needs %d live arrivals, %d live threads",
+			id, bs.effective(), live)
+		for _, w := range bs.arrived {
+			m.live.WaitersFailed.Add(1)
+			w.req.ReplyErrorCode(proto.CodePeerDied, err, sh.clock.Now())
+		}
+		bs.arrived = bs.arrived[:0]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Condition variables.
+
+func (sh *shard) cond(id uint32) *condState {
+	cs, ok := sh.conds[id]
+	if !ok {
+		cs = &condState{}
+		sh.conds[id] = cs
+	}
+	return cs
+}
+
+func (sh *shard) handleCondWait(req *scl.Request, cw *proto.CondWaitReq) {
+	m := sh.m
+	ls := sh.lock(cw.Lock)
+	if !ls.held || ls.holder != cw.Thread {
+		m.board.cancel(sh.tick)
+		req.ReplyError(fmt.Errorf("manager: cond wait on lock %d by non-holder thread %d", cw.Lock, cw.Thread), sh.clock.Now())
+		return
+	}
+	m.board.ensure(cw.Thread, cw.LastSeen)
+	m.stats.CondWaits.Add(1)
+	// Atomically: release the interval, park on the condition (at the
+	// condition's home, which may be another shard), drop the lock
+	// (possibly granting it onward).
+	m.board.fill(sh.tick, proto.IntervalTag{Writer: cw.Thread, Interval: cw.Interval}, cw.Pages, cw.Records)
+	entry := condEntry{
+		w: waiter{
+			req:      req,
+			thread:   cw.Thread,
+			node:     uint32(req.Src()),
+			lastSeen: cw.LastSeen,
+			kind:     waitCond,
+		},
+		lock: cw.Lock,
+	}
+	m.toShard(m.shards[m.shardOf(cw.Cond)], mgrItem{kind: itemCondPark, cond: cw.Cond, park: entry, tick: sh.tick})
+	sh.release(cw.Lock, ls)
+}
+
+func (sh *shard) handleCondSignal(req *scl.Request, sr *proto.CondSignalReq) {
+	m := sh.m
+	m.stats.CondSignals.Add(1)
+	cs := sh.cond(sr.Cond)
+	n := 1
+	if sr.Broadcast {
+		n = len(cs.waiters)
+	}
+	if n > len(cs.waiters) {
+		n = len(cs.waiters)
+	}
+	woken := append([]condEntry(nil), cs.waiters[:n]...)
+	cs.waiters = append(cs.waiters[:0:0], cs.waiters[n:]...)
+	req.Reply(&proto.Ack{}, sh.clock.Now())
+	// Each woken thread must re-acquire its mutex before its wait
+	// returns; it competes with ordinary lock requests in FIFO order at
+	// the lock's own home.
+	for _, cw := range woken {
+		m.toShard(m.shards[m.shardOf(cw.lock)], mgrItem{
+			kind: itemLockWake, lock: cw.lock, wake: cw.w, at: sh.clock.Now(), tick: sh.tick,
+		})
+	}
+}
+
+// wakeFromCond runs at the lock's home when a signaled waiter tries to
+// re-acquire its mutex.
+func (sh *shard) wakeFromCond(lockID uint32, w waiter) {
+	m := sh.m
+	// The same deadThreads fence release() applies: a waiter whose
+	// thread was declared dead between park and wake must not be handed
+	// the lock. It was already popped from the cond queue, so
+	// reclaimThread can never evict it later — answer its parked call
+	// with the eviction error instead of leaving it to hang.
+	if sh.deadThreads[w.thread] {
+		if m.live != nil {
+			m.live.WaitersEvicted.Add(1)
+		}
+		w.req.ReplyErrorCode(proto.CodePeerDied,
+			fmt.Errorf("manager: thread %d declared dead", w.thread), sh.clock.Now())
+		return
+	}
+	ls := sh.lock(lockID)
+	if ls.held {
+		m.stats.LockWaits.Add(1)
+		ls.queue = append(ls.queue, w)
+		return
+	}
+	sh.grant(lockID, ls, w)
+}
+
+// ---------------------------------------------------------------------
+// Liveness reclamation (shard-local part).
+
+// reclaim releases everything a dead or departed thread held or was
+// parked on at this home: queued lock/cond waits are evicted, held
+// locks force-released to the next live waiter, and barriers it
+// participated in recomputed so survivors are never left waiting for an
+// arrival that cannot come. markDead additionally fences future grants
+// (lease expiry); a graceful Bye reclaims without fencing.
+func (sh *shard) reclaim(tid uint32, markDead bool) {
+	m := sh.m
+	if markDead {
+		sh.deadThreads[tid] = true
+	}
+	// Evicted requests still get a typed reply: if the "dead" member is
+	// in fact wedged rather than gone, its parked call unblocks with
+	// ErrPeerDied instead of hanging forever.
+	evictErr := fmt.Errorf("manager: thread %d declared dead", tid)
+	evict := func(id uint32, w waiter) {
+		m.live.WaitersEvicted.Add(1)
+		if w.detached {
+			m.post(w.node, &proto.LockGrant{Lock: id, Code: proto.CodePeerDied}, sh.clock.Now())
+			return
+		}
+		w.req.ReplyErrorCode(proto.CodePeerDied, evictErr, sh.clock.Now())
+	}
+	for id, ls := range sh.locks {
+		kept := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.thread == tid {
+				evict(id, w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		ls.queue = kept
+		if ls.held && ls.holder == tid {
+			m.live.LocksReclaimed.Add(1)
+			m.traceLive("lock-reclaimed", map[string]any{"lock": id, "holder": tid})
+			sh.release(id, ls)
+		}
+	}
+	for _, cs := range sh.conds {
+		kept := cs.waiters[:0]
+		for _, cw := range cs.waiters {
+			if cw.w.thread == tid {
+				evict(0, cw.w)
+				continue
+			}
+			kept = append(kept, cw)
+		}
+		cs.waiters = kept
+	}
+	// Barriers assume SPMD participation: every live thread is expected
+	// at every barrier, so a death reduces the effective count even for
+	// barriers the thread never reached (it can never arrive now).
+	for id, bs := range sh.barriers {
+		if bs.dead[tid] {
+			continue
+		}
+		bs.dead[tid] = true
+		kept := bs.arrived[:0]
+		for _, w := range bs.arrived {
+			if w.thread == tid {
+				evict(0, w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		bs.arrived = kept
+		sh.recheckBarrier(id, bs)
+	}
+}
+
+// failParked completes every parked waiter at this home with a
+// classified error so no thread ever hangs on a manager that stopped:
+// code is proto.CodeShutdown for an orderly stop, proto.CodePeerDied
+// when the manager itself went away. Detached waiters already received
+// their Queued reply, so the failure travels as a LockGrant carrying
+// the code.
+func (sh *shard) failParked(code uint16, why string) {
+	m := sh.m
+	err := fmt.Errorf("manager: %s", why)
+	now := sh.clock.Now()
+	for id, ls := range sh.locks {
+		for _, w := range ls.queue {
+			if w.detached {
+				m.post(w.node, &proto.LockGrant{Lock: id, Code: code}, now)
+				continue
+			}
+			w.req.ReplyErrorCode(code, err, now)
+		}
+		ls.queue = nil
+	}
+	for _, bs := range sh.barriers {
+		for _, w := range bs.arrived {
+			w.req.ReplyErrorCode(code, err, now)
+		}
+		bs.arrived = nil
+	}
+	for _, cs := range sh.conds {
+		for _, cw := range cs.waiters {
+			cw.w.req.ReplyErrorCode(code, err, now)
+		}
+		cs.waiters = nil
+	}
+}

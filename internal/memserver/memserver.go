@@ -175,13 +175,14 @@ func (s *Server) setShards(n int) {
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			srv:       s,
-			id:        i,
-			ch:        make(chan shardItem, shardQueueDepth),
-			pages:     make(map[layout.PageID][]byte),
-			appliedAt: make(map[proto.IntervalTag]vtime.Time),
-			parked:    make(map[*parkedFetch]struct{}),
-			owner:     make(map[layout.PageID]uint32),
+			srv:         s,
+			id:          i,
+			ch:          make(chan shardItem, shardQueueDepth),
+			pages:       make(map[layout.PageID][]byte),
+			appliedAt:   make(map[proto.IntervalTag]vtime.Time),
+			parked:      make(map[*parkedFetch]struct{}),
+			owner:       make(map[layout.PageID]uint32),
+			deadWriters: make(map[uint32]struct{}),
 		}
 	}
 }
@@ -248,6 +249,8 @@ func (s *Server) Run() {
 			s.dispatchEvictFlush(req)
 		case proto.KPing:
 			s.handlePing(req)
+		case proto.KWriterDead:
+			s.dispatchWriterDead(req)
 		case proto.KPromote:
 			// Idempotent: the runtime may re-promote on a retried
 			// failover. Fetches already queued at shards were sent by
@@ -336,6 +339,19 @@ func (s *Server) handlePing(req *scl.Request) {
 	j := &ackJoin{req: req, remaining: s.nshards}
 	for _, sh := range s.shards {
 		s.enqueue(sh, shardItem{kind: itemPing, ack: j})
+	}
+}
+
+// dispatchWriterDead fans a manager obituary to every shard: each
+// stops waiting on the dead writer's unapplied interval tags. One-way
+// and free of virtual-time cost, like the liveness plane that sends it.
+func (s *Server) dispatchWriterDead(req *scl.Request) {
+	var m proto.WriterDead
+	if err := req.Decode(&m); err != nil {
+		panic(fmt.Sprintf("memserver: bad WriterDead: %v", err))
+	}
+	for _, sh := range s.shards {
+		s.enqueue(sh, shardItem{kind: itemWriterDead, writer: m.Writer})
 	}
 }
 

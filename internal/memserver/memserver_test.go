@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/layout"
 	"repro/internal/proto"
@@ -143,6 +144,66 @@ func TestFetchParksUntilDiffArrives(t *testing.T) {
 	data := <-fetched
 	if data[0] != 42 {
 		t.Fatalf("parked fetch returned stale data: %d", data[0])
+	}
+}
+
+// A fetch parked on a tag whose writer the manager has reaped would
+// wait forever: the writer announced its release interval but died
+// before shipping the DiffBatch. The manager's WriterDead obituary must
+// unpark it (serving the bytes that did arrive) and keep later fetches
+// quoting the dead writer's tags from parking at all.
+func TestWriterDeadUnparksFetch(t *testing.T) {
+	geo := layout.DefaultGeometry()
+	h := newHarness(t, geo)
+
+	// An earlier interval of the doomed writer did land...
+	applied := proto.IntervalTag{Writer: 3, Interval: 1}
+	h.post(t, &proto.DiffBatch{
+		Tag:   applied,
+		Diffs: []proto.PageDiff{{Page: 0, Runs: []proto.DiffRun{{Off: 0, Data: []byte{7}}}}},
+	})
+	// ...but the closing interval was only announced; its batch was
+	// never shipped.
+	lost := proto.IntervalTag{Writer: 3, Interval: 2}
+
+	fetched := make(chan []byte)
+	go func() {
+		var resp proto.FetchLineResp
+		_, err := h.cli.Call(100, &proto.FetchLineReq{
+			Line:  0,
+			Needs: []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{applied, lost}}},
+		}, &resp, 0)
+		if err != nil {
+			t.Errorf("parked fetch: %v", err)
+		}
+		fetched <- resp.Data
+	}()
+	for h.srv.Stats().ParkedFetches.Load() == 0 {
+	}
+	select {
+	case <-fetched:
+		t.Fatal("fetch completed though the lost tag never arrived")
+	default:
+	}
+
+	h.post(t, &proto.WriterDead{Writer: 3})
+	select {
+	case data := <-fetched:
+		if data[0] != 7 {
+			t.Fatalf("unparked fetch lost the applied interval: %d", data[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch still parked after WriterDead obituary")
+	}
+
+	// A later fetch quoting the dead writer's unapplied tag must not
+	// park at all.
+	data := h.fetch(t, 0, []proto.PageNeed{{Page: 0, Tags: []proto.IntervalTag{lost}}})
+	if data[0] != 7 {
+		t.Fatalf("post-obituary fetch returned %d, want 7", data[0])
+	}
+	if got := h.srv.Stats().ParkedFetches.Load(); got != 1 {
+		t.Errorf("ParkedFetches = %d, want 1 (the post-obituary fetch must not park)", got)
 	}
 }
 

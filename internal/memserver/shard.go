@@ -32,21 +32,23 @@ const (
 	itemBatch
 	itemFlush
 	itemPing
+	itemWriterDead
 	itemStop
 )
 
 // shardItem is one unit of work on a shard's queue. Exactly one of the
 // payload fields is set, per kind.
 type shardItem struct {
-	kind  itemKind
-	req   *scl.Request      // itemBatch/itemFlush: originating request (for Arrive/Svc)
-	sub   *subFetch         // itemFetch
-	batch *proto.DiffBatch  // itemBatch: this shard's sub-batch
-	flush *proto.EvictFlush // itemFlush: this shard's sub-flush
-	ack   *ackJoin          // itemBatch/itemFlush/itemPing: reply join (nil for one-way)
-	split bool              // itemBatch/itemFlush: one share of a multi-shard request
-	code  uint16            // itemStop
-	why   string            // itemStop
+	kind   itemKind
+	req    *scl.Request      // itemBatch/itemFlush: originating request (for Arrive/Svc)
+	sub    *subFetch         // itemFetch
+	batch  *proto.DiffBatch  // itemBatch: this shard's sub-batch
+	flush  *proto.EvictFlush // itemFlush: this shard's sub-flush
+	ack    *ackJoin          // itemBatch/itemFlush/itemPing: reply join (nil for one-way)
+	split  bool              // itemBatch/itemFlush: one share of a multi-shard request
+	writer uint32            // itemWriterDead
+	code   uint16            // itemStop
+	why    string            // itemStop
 }
 
 // subFetch is one shard's share of a fetch: the lines, pages and
@@ -157,6 +159,10 @@ type shard struct {
 	appliedAt map[proto.IntervalTag]vtime.Time
 	parked    map[*parkedFetch]struct{}
 	owner     map[layout.PageID]uint32
+	// deadWriters holds writers the manager has reaped: their announced
+	// but unshipped interval tags will never be applied, so fetches must
+	// not wait on them (see proto.WriterDead).
+	deadWriters map[uint32]struct{}
 }
 
 // run is the shard worker loop (unsequenced multi-shard mode): drain
@@ -184,6 +190,8 @@ func (sh *shard) process(it shardItem) {
 		sh.applyFlush(it.req, it.flush, it.ack, it.split)
 	case itemPing:
 		it.ack.complete(sh.cal.maxEnd)
+	case itemWriterDead:
+		sh.writerDead(it.writer)
 	default:
 		panic(fmt.Sprintf("memserver: unexpected shard item kind %d", it.kind))
 	}
@@ -206,6 +214,9 @@ func (sh *shard) serveFetch(sub *subFetch) {
 		for _, tag := range sub.needs[i].Tags {
 			tags = append(tags, tag)
 			if _, ok := sh.appliedAt[tag]; !ok {
+				if _, dead := sh.deadWriters[tag.Writer]; dead {
+					continue // the batch will never come; serve what arrived
+				}
 				waiting[tag] = struct{}{}
 			}
 		}
@@ -471,6 +482,28 @@ func (sh *shard) applyRecords(recs []proto.StoreRecord, ready *vtime.Time) (int,
 	return bytes, nil
 }
 
+// writerDead processes a manager obituary: the writer's lease was
+// reaped, so any of its interval tags not yet applied here never will
+// be — the release pipeline announces the interval to the manager
+// before shipping the DiffBatch, and the writer died in between.
+// Parked fetches stop waiting on those tags (waking if nothing else is
+// pending) and future fetches skip them, serving the freshest bytes
+// that did arrive rather than parking forever.
+func (sh *shard) writerDead(w uint32) {
+	sh.deadWriters[w] = struct{}{}
+	for pf := range sh.parked {
+		for tag := range pf.waiting {
+			if tag.Writer == w {
+				delete(pf.waiting, tag)
+			}
+		}
+		if len(pf.waiting) == 0 {
+			delete(sh.parked, pf)
+			sh.replyFetch(pf.sub, pf.tags)
+		}
+	}
+}
+
 func (sh *shard) wakeParked(tag proto.IntervalTag) {
 	for pf := range sh.parked {
 		if _, ok := pf.waiting[tag]; !ok {
@@ -574,17 +607,32 @@ func (sh *shard) pullFrom(w uint32, pages []uint64, ready *vtime.Time) error {
 	return nil
 }
 
-// replicate forwards an applied mutation to the warm standby. The
-// forward is one-way and per shard: this shard is the only sender of
-// its pages' mutations, and the standby's identical shard mapping
+// replicate forwards an applied mutation to the warm standby and waits
+// for its ack. The forward is per shard: this shard is the only sender
+// of its pages' mutations, and the standby's identical shard mapping
 // routes each forward wholly to the matching shard, so per-page apply
 // order is preserved end to end.
+//
+// The forward is a synchronous call, not a one-way post: it sits inside
+// the window between applying a sender's batch and acking the sender,
+// so the sender's ack means the bytes are durable on BOTH replicas. A
+// one-way forward lost to packet drop (or to this primary's own death)
+// would leave the standby silently missing an interval — after a
+// promotion, fetches quoting that interval's tag would park forever and
+// reads of its pages would return stale bytes. With the call, a dropped
+// forward is retried by the endpoint's retry layer, and a forward this
+// primary cannot complete keeps the sender unacked, so the sender
+// re-sends the batch to the promoted standby itself (re-applying
+// absolute-byte diffs is idempotent). The round trip is wall-clock
+// only: the ack carries no virtual cost, so replication stays invisible
+// to virtual-time results, exactly like the one-way forward was.
 func (sh *shard) replicate(m proto.Msg) {
 	s := sh.srv
 	if !s.hasReplica {
 		return
 	}
-	if _, err := s.ep.Post(s.replica, m, sh.cal.maxEnd); err != nil {
+	var ack proto.Ack
+	if _, err := s.ep.Call(s.replica, m, &ack, sh.cal.maxEnd); err != nil {
 		if s.live != nil {
 			s.live.ReplFailures.Add(1)
 		}

@@ -1047,6 +1047,58 @@ func (c *Cache) applyRecord(rec proto.StoreRecord, tag proto.IntervalTag) {
 	c.st.UpdatesApplied++
 }
 
+// SnapshotPage copies the current bytes of a resident valid page, for
+// shipping with a peer-to-peer lock grant. Returns nil if the page is
+// not resident-and-valid (nothing trustworthy to ship).
+func (c *Cache) SnapshotPage(p layout.PageID) []byte {
+	le, ok := c.lines[c.geo.LineOf(p)]
+	if !ok || !le.pages[c.pageIndex(p)].valid {
+		return nil
+	}
+	base := c.pageBaseInLine(p)
+	data := make([]byte, c.geo.PageSize)
+	copy(data, le.data[base:base+c.geo.PageSize])
+	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
+	return data
+}
+
+// InstallGrantPage installs a page shipped with a peer-to-peer lock
+// grant: the releasing holder's current copy, which incorporates every
+// interval up to the releaser's horizon — at least as new as anything
+// this thread's outstanding needs for the page name (notice delivery is
+// contiguous, so the releaser saw every interval this thread has). A
+// page that is already valid keeps its own copy (the in-place record
+// path maintains it); an absent line is created with only this page
+// valid. Reports whether the bytes were installed.
+func (c *Cache) InstallGrantPage(p layout.PageID, data []byte) bool {
+	if len(data) != c.geo.PageSize {
+		return false
+	}
+	line := c.geo.LineOf(p)
+	le, ok := c.lines[line]
+	if !ok {
+		c.evictIfFull()
+		le = &lineEntry{
+			id:    line,
+			data:  make([]byte, c.geo.LineSize()),
+			pages: make([]pageState, c.geo.LinePages),
+		}
+		c.lines[line] = le
+	}
+	ps := &le.pages[c.pageIndex(p)]
+	if ps.valid {
+		return false
+	}
+	base := c.pageBaseInLine(p)
+	copy(le.data[base:base+c.geo.PageSize], data)
+	ps.valid = true
+	delete(c.pageNeeds, p)
+	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
+	c.useTick++
+	le.lastUse = c.useTick
+	return true
+}
+
 func (c *Cache) addNeed(p layout.PageID, tag proto.IntervalTag) {
 	tags, ok := c.pageNeeds[p]
 	if !ok {

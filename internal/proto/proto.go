@@ -79,6 +79,15 @@ const (
 	// line an acquire invalidated on the same home).
 	KFetchLinesReq
 	KFetchLinesResp
+
+	// Peer-to-peer lock handoff (sharded manager): the manager names the
+	// next waiter to the holder, and the holder forwards the grant.
+	KNextWaiter // one-way: manager -> holder, successor + notice batch
+	KLockGrant  // one-way: holder (or manager fallback) -> waiter
+
+	// Liveness: writer obituary, manager -> every memory server and
+	// standby when a thread's lease is reaped.
+	KWriterDead // one-way: the writer's unshipped diffs will never arrive
 )
 
 var kindNames = map[Kind]string{
@@ -109,6 +118,9 @@ var kindNames = map[Kind]string{
 	KPromote:        "promote",
 	KFetchLinesReq:  "fetch-lines-req",
 	KFetchLinesResp: "fetch-lines-resp",
+	KNextWaiter:     "next-waiter",
+	KLockGrant:      "lock-grant",
+	KWriterDead:     "writer-dead",
 }
 
 func (k Kind) String() string {

@@ -90,9 +90,39 @@ func TestRoundTripAllMessages(t *testing.T) {
 			&CondWaitReq{Cond: 2, Lock: 3, Thread: 1, LastSeen: 4, Interval: 5, Pages: []uint64{6}},
 			&CondWaitReq{},
 		},
+		{&LockResp{Seq: 80, Gen: 3, Queued: true}, &LockResp{}},
+		{
+			&UnlockReq{Lock: 9, Thread: 4, Interval: 6, Pages: []uint64{1},
+				Records: []StoreRecord{{Addr: 8, Data: []byte{0}}}, HandedOff: 12},
+			&UnlockReq{},
+		},
+		{
+			&NextWaiter{Lock: 5, Gen: 2, Seq: 90,
+				Train: []SuccAnn{
+					{Waiter: 7, WaiterNode: 107,
+						Notices: []Notice{{Seq: 88, Tag: IntervalTag{Writer: 3, Interval: 4}, Pages: []uint64{12}}}},
+					{Waiter: 9, WaiterNode: 109, Notices: []Notice{}},
+				}},
+			&NextWaiter{},
+		},
+		{
+			&LockGrant{Lock: 5, Gen: 3, Seq: 91,
+				Notices: []Notice{{Seq: 89, Tag: IntervalTag{Writer: 2, Interval: 8}}},
+				Inline: []Notice{{Tag: IntervalTag{Writer: 6, Interval: 9},
+					Pages:   []uint64{3, 4},
+					Records: []StoreRecord{{Addr: 16, Data: []byte{1, 2, 3, 4}}}}},
+				Train: []SuccAnn{{Waiter: 11, WaiterNode: 111, Notices: []Notice{}}},
+				PageData: []PagePayload{
+					{Page: 3, Data: []byte{9, 8, 7}},
+					{Page: 4, Data: nil},
+				}},
+			&LockGrant{},
+		},
+		{&LockGrant{Lock: 5, Gen: 1, Code: CodeShutdown}, &LockGrant{}},
 		{&CondWaitResp{Seq: 42}, &CondWaitResp{}},
 		{&CondSignalReq{Cond: 2, Thread: 7, Broadcast: true}, &CondSignalReq{}},
 		{&CondSignalReq{Cond: 2, Thread: 7, Broadcast: false}, &CondSignalReq{}},
+		{&WriterDead{Writer: 9}, &WriterDead{}},
 		{&Ack{}, &Ack{}},
 		{&Ping{}, &Ping{}},
 		{&Shutdown{}, &Shutdown{}},
@@ -100,6 +130,27 @@ func TestRoundTripAllMessages(t *testing.T) {
 	}
 	for _, m := range msgs {
 		roundTrip(t, m.in, m.out)
+	}
+}
+
+// The handoff fields on LockResp and UnlockReq are trailing and omitted
+// when zero: the classic encodings must stay byte-identical so a
+// single-home manager produces exactly the pre-handoff wire traffic.
+func TestHandoffFieldsOmittedWhenZero(t *testing.T) {
+	var w Writer
+	w.U64(7)
+	marshalNotices(&w, nil)
+	if got := Encode(&LockResp{Seq: 7}); !bytes.Equal(got, w.B) {
+		t.Errorf("classic LockResp encoding changed: %v vs %v", got, w.B)
+	}
+	var u Writer
+	u.U32(9)
+	u.U32(4)
+	u.U64(6)
+	u.U64s(nil)
+	marshalRecords(&u, nil)
+	if got := Encode(&UnlockReq{Lock: 9, Thread: 4, Interval: 6}); !bytes.Equal(got, u.B) {
+		t.Errorf("classic UnlockReq encoding changed: %v vs %v", got, u.B)
 	}
 }
 

@@ -517,9 +517,18 @@ func (m *LockReq) Unmarshal(r *Reader) {
 }
 
 // LockResp grants the mutex. Seq is the new LastSeen.
+//
+// With peer-to-peer handoff enabled (sharded manager on a sequenced
+// fabric) the manager answers a contended acquire immediately with
+// Queued set instead of parking the RPC; the grant then arrives later
+// as a one-way LockGrant. Gen identifies the holder's tenure so stale
+// NextWaiter messages can be recognized. Both fields are trailing and
+// omitted when zero, keeping the classic wire encoding bit-identical.
 type LockResp struct {
 	Seq     uint64
 	Notices []Notice
+	Gen     uint64 // holder tenure number (0 in classic mode)
+	Queued  bool   // true: no grant yet, wait for LockGrant
 }
 
 func (m *LockResp) Kind() Kind { return KLockResp }
@@ -527,11 +536,23 @@ func (m *LockResp) Kind() Kind { return KLockResp }
 func (m *LockResp) Marshal(w *Writer) {
 	w.U64(m.Seq)
 	marshalNotices(w, m.Notices)
+	if m.Gen != 0 || m.Queued {
+		w.U64(m.Gen)
+		if m.Queued {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+	}
 }
 
 func (m *LockResp) Unmarshal(r *Reader) {
 	m.Seq = r.U64()
 	m.Notices = unmarshalNotices(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Gen = r.U64()
+		m.Queued = r.U8() != 0
+	}
 }
 
 // UnlockReq releases a mutex and posts the thread's write notice for the
@@ -544,6 +565,12 @@ type UnlockReq struct {
 	Interval uint64
 	Pages    []uint64
 	Records  []StoreRecord
+
+	// HandedOff names the thread the releaser granted the lock to
+	// directly (peer-to-peer handoff): the manager records the new
+	// holder instead of arbitrating. Trailing and omitted when zero, so
+	// the classic encoding is unchanged.
+	HandedOff uint32
 }
 
 func (m *UnlockReq) Kind() Kind { return KUnlockReq }
@@ -554,6 +581,9 @@ func (m *UnlockReq) Marshal(w *Writer) {
 	w.U64(m.Interval)
 	w.U64s(m.Pages)
 	marshalRecords(w, m.Records)
+	if m.HandedOff != 0 {
+		w.U32(m.HandedOff)
+	}
 }
 
 func (m *UnlockReq) Unmarshal(r *Reader) {
@@ -562,6 +592,9 @@ func (m *UnlockReq) Unmarshal(r *Reader) {
 	m.Interval = r.U64()
 	m.Pages = r.U64s()
 	m.Records = unmarshalRecords(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.HandedOff = r.U32()
+	}
 }
 
 // BarrierReq announces arrival at a barrier; it is simultaneously a
@@ -695,6 +728,172 @@ func (m *CondSignalReq) Unmarshal(r *Reader) {
 	m.Cond = r.U32()
 	m.Thread = r.U32()
 	m.Broadcast = r.U8() != 0
+}
+
+// SuccAnn pre-announces one queued waiter to the chain of holders that
+// will pass the lock around without manager round trips. Notices is the
+// manager-composed backlog (Waiter's horizon, anchor], where the anchor
+// is the board sequence the tenure the train was dispatched under
+// acquired at; everything a later train holder adds above the anchor
+// travels as the grant's Inline intervals.
+type SuccAnn struct {
+	Waiter     uint32 // successor thread
+	WaiterNode uint32 // fabric node to post the LockGrant to
+	Notices    []Notice
+}
+
+func (a *SuccAnn) marshal(w *Writer) {
+	w.U32(a.Waiter)
+	w.U32(a.WaiterNode)
+	marshalNotices(w, a.Notices)
+}
+
+func (a *SuccAnn) unmarshal(r *Reader) {
+	a.Waiter = r.U32()
+	a.WaiterNode = r.U32()
+	a.Notices = unmarshalNotices(r)
+}
+
+func marshalTrain(w *Writer, train []SuccAnn) {
+	w.U64(uint64(len(train)))
+	for i := range train {
+		train[i].marshal(w)
+	}
+}
+
+func unmarshalTrain(r *Reader) []SuccAnn {
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	train := make([]SuccAnn, n)
+	for i := range train {
+		train[i].unmarshal(r)
+	}
+	return train
+}
+
+// NextWaiter is the manager telling the current lock holder who to hand
+// the lock to when it releases (peer-to-peer handoff, Munin-style
+// distributed lock ownership). Train is a snapshot of the waiter queue:
+// the holder grants to Train[0] at its release and forwards the rest of
+// the train inside the LockGrant, so a convoy of k waiters costs one
+// announcement and k direct holder-to-waiter hops — an announcement
+// that chased each new holder through the manager would always lose the
+// race against a short critical section. Seq is the board sequence the
+// holder acquired at (the anchor every train batch was composed
+// against). At most one train is outstanding per lock; the manager
+// dispatches the next one when the previous train is exhausted or
+// abandoned.
+type NextWaiter struct {
+	Lock  uint32
+	Gen   uint64 // holder tenure the train starts at
+	Seq   uint64 // anchor board sequence covered by the train's batches
+	Train []SuccAnn
+}
+
+func (m *NextWaiter) Kind() Kind { return KNextWaiter }
+
+func (m *NextWaiter) Marshal(w *Writer) {
+	w.U32(m.Lock)
+	w.U64(m.Gen)
+	w.U64(m.Seq)
+	marshalTrain(w, m.Train)
+}
+
+func (m *NextWaiter) Unmarshal(r *Reader) {
+	m.Lock = r.U32()
+	m.Gen = r.U64()
+	m.Seq = r.U64()
+	m.Train = unmarshalTrain(r)
+}
+
+// PagePayload carries one whole page's current bytes inside a
+// peer-to-peer LockGrant: the releaser's up-to-date copy of a page the
+// lock's fine-grained records live on (entry-consistency style — the
+// data guarded by the lock moves with the lock). Receivers install it
+// only if they have no valid copy of their own.
+type PagePayload struct {
+	Page uint64
+	Data []byte
+}
+
+func marshalPagePayloads(w *Writer, ps []PagePayload) {
+	w.U64(uint64(len(ps)))
+	for i := range ps {
+		w.U64(ps[i].Page)
+		w.Bytes(ps[i].Data)
+	}
+}
+
+func unmarshalPagePayloads(r *Reader) []PagePayload {
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ps := make([]PagePayload, n)
+	for i := range ps {
+		ps[i].Page = r.U64()
+		ps[i].Data = r.retain(r.Bytes())
+	}
+	return ps
+}
+
+// LockGrant completes a queued acquire that was answered with
+// LockResp.Queued. It is posted one-way either by the releasing holder
+// (peer-to-peer handoff: Notices is the manager-composed backlog from
+// the successor's train entry, Inline the closing intervals of every
+// train holder since the anchor — oldest first, ending with the
+// releaser's own) or by the manager (central fallback: Notices is the
+// full backlog and Inline is empty). Train is the rest of the
+// announcement train for the receiver to keep forwarding. PageData is
+// the releaser's copy of record-bearing pages a cold successor would
+// otherwise have to fetch mid-tenure, on the serialized handoff chain.
+// Gen is the receiver's new tenure and Seq its new LastSeen (the
+// train's anchor; the Inline intervals above it are redelivered by the
+// directory later and deduplicated at the receiver). A nonzero Code
+// aborts the acquire (manager shutdown while queued, or eviction).
+type LockGrant struct {
+	Lock     uint32
+	Gen      uint64
+	Seq      uint64
+	Notices  []Notice
+	Inline   []Notice // closing intervals applied in order after Notices
+	Train    []SuccAnn
+	PageData []PagePayload
+	Code     uint16
+}
+
+func (m *LockGrant) Kind() Kind { return KLockGrant }
+
+func (m *LockGrant) Marshal(w *Writer) {
+	w.U32(m.Lock)
+	w.U64(m.Gen)
+	w.U64(m.Seq)
+	marshalNotices(w, m.Notices)
+	marshalNotices(w, m.Inline)
+	marshalTrain(w, m.Train)
+	marshalPagePayloads(w, m.PageData)
+	w.U32(uint32(m.Code))
+}
+
+func (m *LockGrant) Unmarshal(r *Reader) {
+	m.Lock = r.U32()
+	m.Gen = r.U64()
+	m.Seq = r.U64()
+	m.Notices = unmarshalNotices(r)
+	m.Inline = unmarshalNotices(r)
+	m.Train = unmarshalTrain(r)
+	m.PageData = unmarshalPagePayloads(r)
+	m.Code = uint16(r.U32())
 }
 
 // ---------------------------------------------------------------------
@@ -839,3 +1038,20 @@ type Promote struct{}
 func (m *Promote) Kind() Kind          { return KPromote }
 func (m *Promote) Marshal(w *Writer)   {}
 func (m *Promote) Unmarshal(r *Reader) {}
+
+// WriterDead is the manager's obituary for a reaped compute thread,
+// broadcast one-way to every memory server and warm standby. A writer
+// can die between announcing a release interval to the manager and
+// shipping the interval's DiffBatch to its homes (the release pipeline
+// posts the notice first), leaving a tag that acquirers quote in
+// fetches but that no batch will ever mark applied. On receipt each
+// page shard stops waiting on the writer's unapplied tags: parked
+// fetches drop them and new fetches skip them, serving the freshest
+// bytes that did arrive instead of parking forever.
+type WriterDead struct {
+	Writer uint32
+}
+
+func (m *WriterDead) Kind() Kind          { return KWriterDead }
+func (m *WriterDead) Marshal(w *Writer)   { w.U32(m.Writer) }
+func (m *WriterDead) Unmarshal(r *Reader) { m.Writer = r.U32() }

@@ -12,9 +12,10 @@ import (
 // atomic so one Liveness can be shared by the manager, the memory
 // servers and the runtime and read while the system runs.
 type Liveness struct {
-	Heartbeats  atomic.Int64 // heartbeats processed by the manager
-	ThreadsDead atomic.Int64 // compute threads declared dead by the lease table
-	ServersDead atomic.Int64 // memory servers declared dead by the lease table
+	Heartbeats          atomic.Int64 // heartbeats processed by the manager
+	HeartbeatsMalformed atomic.Int64 // heartbeats dropped because they failed to decode
+	ThreadsDead         atomic.Int64 // compute threads declared dead by the lease table
+	ServersDead         atomic.Int64 // memory servers declared dead by the lease table
 
 	LocksReclaimed     atomic.Int64 // locks force-released from a dead holder
 	WaitersEvicted     atomic.Int64 // dead threads' queue/park entries dropped
@@ -37,6 +38,7 @@ func (l *Liveness) Summary() string {
 	}
 	items := []item{
 		{"heartbeats", l.Heartbeats.Load()},
+		{"heartbeatsMalformed", l.HeartbeatsMalformed.Load()},
 		{"threadsDead", l.ThreadsDead.Load()},
 		{"serversDead", l.ServersDead.Load()},
 		{"locksReclaimed", l.LocksReclaimed.Load()},
