@@ -47,6 +47,7 @@ func main() {
 		depth        = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
 		serverShards = flag.Int("server-shards", 1, "split each memory server into this many independently scheduled page shards")
 		mgrShards    = flag.Int("manager-shards", 1, "split the manager into this many synchronization homes")
+		mgrReplicas  = flag.Int("manager-replicas", 1, "replicate the manager behind a consensus log across this many replicas (adds a replicated strided point to -json)")
 
 		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -64,6 +65,7 @@ func main() {
 	opts.PrefetchDepth = *depth
 	opts.ServerShards = *serverShards
 	opts.ManagerShards = *mgrShards
+	opts.ManagerReplicas = *mgrReplicas
 	opts.Agg = new(stats.Run)
 	if *faults {
 		opts.FaultSeed = *faultSeed
@@ -95,6 +97,12 @@ func main() {
 			fatalf("write %s: %v", *jsonOut, err)
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+		for _, pt := range mb.Points {
+			if pt.ManagerReplicas > 1 {
+				fmt.Printf("replicated manager (%d replicas, %s): %d log entries, %d snapshots, %d elections\n",
+					pt.ManagerReplicas, pt.Mode, pt.MgrReplEntries, pt.MgrSnapshots, pt.MgrElections)
+			}
+		}
 		if *baseline != "" {
 			base, err := bench.ReadMicroBench(*baseline)
 			if err != nil {

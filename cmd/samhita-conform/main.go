@@ -12,6 +12,10 @@
 //	samhita-conform -runs 50 -kill-server 0 -kill-after 10
 //	                                   # crash a memory server mid-run;
 //	                                   # failover must preserve the check
+//	samhita-conform -runs 50 -manager-replicas 3 -kill-manager
+//	                                   # crash the manager leader mid-run;
+//	                                   # a replica takes over from the
+//	                                   # replicated log, check must pass
 package main
 
 import (
@@ -38,11 +42,13 @@ func main() {
 		faultDelay = flag.Float64("fault-delay", 0.05, "per-attempt delay probability")
 		faultDup   = flag.Float64("fault-dup", 0.05, "duplicate-response probability")
 
-		killServer = flag.Int("kill-server", -1, "crash this memory-server index mid-run; boots warm standbys so the check must still pass")
-		killAfter  = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
+		killServer  = flag.Int("kill-server", -1, "crash this memory-server index mid-run; boots warm standbys so the check must still pass")
+		killAfter   = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
+		killManager = flag.Bool("kill-manager", false, "crash the manager leader mid-run; requires -manager-replicas > 1 for the check to survive")
 
 		shardsOverride = flag.Int("server-shards", 0, "force this many page shards per memory server (0 = fuzzed per seed)")
 		mgrOverride    = flag.Int("manager-shards", 0, "force this many sync homes inside the manager (0 = fuzzed per seed)")
+		mgrReplicas    = flag.Int("manager-replicas", 1, "replicate the manager behind a consensus log across this many replicas")
 	)
 	flag.Parse()
 
@@ -57,7 +63,7 @@ func main() {
 
 	start := time.Now()
 	failures := 0
-	var drops, retries, kills, failovers int64
+	var drops, retries, kills, failovers, mgrFailovers, mgrElections int64
 	for _, sd := range seeds {
 		prog := conformance.Generate(sd)
 		cfg := randomConfig(sd * 31)
@@ -67,7 +73,10 @@ func main() {
 		if *mgrOverride > 0 {
 			cfg.ManagerShards = *mgrOverride
 		}
-		if *faults || *killServer >= 0 {
+		if *mgrReplicas > 1 {
+			cfg.ManagerReplicas = *mgrReplicas
+		}
+		if *faults || *killServer >= 0 || *killManager {
 			// No per-attempt timeout: protocol calls park legitimately on
 			// locks and barriers; connection death, not timers, unsticks
 			// them. Drops are pre-send, so retries stay exactly-once at
@@ -98,6 +107,22 @@ func main() {
 				// hold regardless.
 				cfg.Liveness = &core.LivenessConfig{Standby: true}
 			}
+			if *killManager {
+				// Crash the leader once real sync traffic has reached it;
+				// with replicas the promoted follower replays the log and
+				// the check must still pass. A generous lease keeps the
+				// failover stall from fencing live threads.
+				fc.Kills = append(fc.Kills, faultnet.Kill{
+					Node:  core.ManagerNode(),
+					After: *killAfter,
+				})
+				if cfg.Liveness == nil {
+					cfg.Liveness = &core.LivenessConfig{}
+				}
+				if cfg.Liveness.MissedBeats < 25 {
+					cfg.Liveness.MissedBeats = 25
+				}
+			}
 			cfg.Faults = faultnet.New(fc)
 		}
 		if *verbose {
@@ -117,6 +142,8 @@ func main() {
 		}
 		if live := rt.Liveness(); live != nil {
 			failovers += live.Failovers.Load()
+			mgrFailovers += live.MgrFailovers.Load()
+			mgrElections += live.MgrElections.Load()
 		}
 		rt.Close()
 		if err != nil {
@@ -129,9 +156,12 @@ func main() {
 			fmt.Printf("seed %d: %d consistency violations, e.g. %s\n", sd, len(viols), viols[0])
 		}
 	}
-	if *faults || *killServer >= 0 {
+	if *faults || *killServer >= 0 || *killManager {
 		fmt.Printf("\nfault injection: %d drops injected, %d retries absorbed, %d kills, %d failovers\n",
 			drops, retries, kills, failovers)
+	}
+	if *killManager {
+		fmt.Printf("manager replication: %d leader failovers, %d elections\n", mgrFailovers, mgrElections)
 	}
 	fmt.Printf("\n%d/%d passed in %v\n", len(seeds)-failures, len(seeds), time.Since(start).Round(time.Millisecond))
 	if failures > 0 {

@@ -32,6 +32,7 @@ func main() {
 		servers   = flag.Int("servers", 1, "memory servers (samhita)")
 		shards    = flag.Int("server-shards", 1, "page shards per memory server (samhita)")
 		mgrShards = flag.Int("manager-shards", 1, "sync homes inside the manager (samhita)")
+		mgrReps   = flag.Int("manager-replicas", 1, "manager replicas behind the consensus log (samhita; 1 = unreplicated)")
 		depth     = flag.Int("prefetch-depth", 0, "lines of anticipatory paging per miss (0 = one line ahead; samhita)")
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
@@ -65,7 +66,7 @@ func main() {
 
 	var collector *samhita.TraceCollector
 	var netStats func() *samhita.NetStats
-	var liveStats func() *samhita.LivenessStats
+	var liveStats, replStats func() *samhita.LivenessStats
 	var v samhita.VM
 	switch *backend {
 	case "samhita":
@@ -74,6 +75,7 @@ func main() {
 		cfg.PrefetchDepth = *depth
 		cfg.ServerShards = *shards
 		cfg.ManagerShards = *mgrShards
+		cfg.ManagerReplicas = *mgrReps
 		switch *link {
 		case "qdr-ib":
 			cfg.Link = samhita.QDRInfiniBand
@@ -129,6 +131,7 @@ func main() {
 		defer rt.Close()
 		netStats = rt.NetStats
 		liveStats = rt.Liveness
+		replStats = rt.ReplLiveness
 		v = rt
 	case "pthreads":
 		v = samhita.NewPthreads(samhita.PthreadsConfig{MaxCores: *p})
@@ -156,6 +159,10 @@ func main() {
 	if liveStats != nil {
 		if live := liveStats(); live != nil {
 			fmt.Println(live.Summary())
+		} else if repl := replStats(); repl != nil {
+			// Replicated manager on a clean run: the consensus-log
+			// counters live in a runtime-private collector.
+			fmt.Println(repl.Summary())
 		}
 	}
 	if collector != nil {

@@ -69,6 +69,11 @@ type Options struct {
 	// ManagerShards splits the manager's synchronization state into
 	// this many homes (0 or 1 = the single-loop manager).
 	ManagerShards int
+	// ManagerReplicas replicates the manager's state machine behind a
+	// consensus log across this many replicas (0 or 1 = single
+	// manager). The bench suite adds a replicated strided point when it
+	// is > 1 so the log's overhead is measured and gated.
+	ManagerReplicas int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
@@ -183,6 +188,7 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.Geo.LinePages = o.LinePages
 	cfg.ServerShards = o.ServerShards
 	cfg.ManagerShards = o.ManagerShards
+	cfg.ManagerReplicas = o.ManagerReplicas
 	cfg.DisableFineGrain = o.DisableFineGrain
 	o.applyRobustness(&cfg)
 	for _, f := range overrides {

@@ -35,6 +35,9 @@ type MicroPoint struct {
 	// ManagerShards is the manager's sync-home count (0 in documents
 	// written before manager sharding existed, equivalent to 1).
 	ManagerShards int `json:"managerShards,omitempty"`
+	// ManagerReplicas is the consensus-replicated manager group size (0
+	// in documents written before replication existed, equivalent to 1).
+	ManagerReplicas int `json:"managerReplicas,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -54,6 +57,13 @@ type MicroPoint struct {
 	PrefetchIssued    int64   `json:"prefetchIssued"`
 	PrefetchHitRate   float64 `json:"prefetchHitRate"`
 	PrefetchWasteRate float64 `json:"prefetchWasteRate"`
+
+	// Manager-replication counters (only set when ManagerReplicas > 1):
+	// how many mutations rode the consensus log, and how often the log
+	// was compacted into a snapshot.
+	MgrReplEntries int64 `json:"mgrReplEntries,omitempty"`
+	MgrSnapshots   int64 `json:"mgrSnapshots,omitempty"`
+	MgrElections   int64 `json:"mgrElections,omitempty"`
 }
 
 // key is the configuration identity used to pair baseline and current
@@ -68,7 +78,11 @@ func (p MicroPoint) key() string {
 	if mgr == 0 {
 		mgr = 1
 	}
-	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d-mgr%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh, mgr)
+	rep := p.ManagerReplicas
+	if rep == 0 {
+		rep = 1
+	}
+	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d-mgr%d-rep%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh, mgr, rep)
 }
 
 // MicroBench is the document stored in BENCH_micro.json.
@@ -99,12 +113,17 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 	if mgrShards == 0 {
 		mgrShards = 1
 	}
+	replicas := o.ManagerReplicas
+	if replicas == 0 {
+		replicas = 1
+	}
 	pt := MicroPoint{
 		P: p, Mode: prm.Mode.String(),
 		N: prm.N, M: prm.M, S: prm.S, B: prm.B,
-		PrefetchDepth: o.PrefetchDepth,
-		ServerShards:  shards,
-		ManagerShards: mgrShards,
+		PrefetchDepth:   o.PrefetchDepth,
+		ServerShards:    shards,
+		ManagerShards:   mgrShards,
+		ManagerReplicas: replicas,
 
 		ComputeMaxNs: int64(res.Run.MaxComputeTime()),
 		SyncMaxNs:    int64(res.Run.MaxSyncTime()),
@@ -118,9 +137,16 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 		PrefetchHitRate:   stats.Rate(tot.PrefetchHits+tot.PrefetchLate, tot.PrefetchIssued),
 		PrefetchWasteRate: stats.Rate(tot.PrefetchWasted, tot.PrefetchIssued),
 	}
-	if rt, ok := v.(*core.Runtime); ok && rt.Fabric() != nil {
-		pt.FabricMsgs = rt.Fabric().Messages()
-		pt.FabricBytes = rt.Fabric().Bytes()
+	if rt, ok := v.(*core.Runtime); ok {
+		if rt.Fabric() != nil {
+			pt.FabricMsgs = rt.Fabric().Messages()
+			pt.FabricBytes = rt.Fabric().Bytes()
+		}
+		if live := rt.ReplLiveness(); live != nil {
+			pt.MgrReplEntries = live.MgrReplEntries.Load()
+			pt.MgrSnapshots = live.MgrSnapshots.Load()
+			pt.MgrElections = live.MgrElections.Load()
+		}
 	}
 	return pt, nil
 }
@@ -140,16 +166,17 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		mode      kernels.AllocMode
 		shards    int
 		mgrShards int
+		replicas  int
 	}
 	cfgs := []pointCfg{
-		{16, kernels.AllocStrided, 1, 1},
-		{16, kernels.AllocLocal, 1, 1},
-		{16, kernels.AllocRandom, 1, 1},
+		{16, kernels.AllocStrided, 1, 1, 1},
+		{16, kernels.AllocLocal, 1, 1, 1},
+		{16, kernels.AllocRandom, 1, 1, 1},
 	}
 	if o.ServerShards > 1 {
 		cfgs = append(cfgs,
-			pointCfg{16, kernels.AllocStrided, o.ServerShards, 1},
-			pointCfg{16, kernels.AllocRandom, o.ServerShards, 1},
+			pointCfg{16, kernels.AllocStrided, o.ServerShards, 1, 1},
+			pointCfg{16, kernels.AllocRandom, o.ServerShards, 1, 1},
 		)
 	}
 	if o.ManagerShards > 1 {
@@ -160,14 +187,30 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 			sh = 1
 		}
 		cfgs = append(cfgs,
-			pointCfg{16, kernels.AllocStrided, sh, o.ManagerShards},
-			pointCfg{16, kernels.AllocRandom, sh, o.ManagerShards},
+			pointCfg{16, kernels.AllocStrided, sh, o.ManagerShards, 1},
+			pointCfg{16, kernels.AllocRandom, sh, o.ManagerShards, 1},
 		)
+	}
+	if o.ManagerReplicas > 1 {
+		// The replicated-manager point measures the consensus log's
+		// overhead on the sync-heaviest mode, riding on whatever shard
+		// counts are requested (replica-to-replica links are intra-node,
+		// so the cost measured is the log protocol, not the wire).
+		sh := o.ServerShards
+		if sh < 1 {
+			sh = 1
+		}
+		mgr := o.ManagerShards
+		if mgr < 1 {
+			mgr = 1
+		}
+		cfgs = append(cfgs, pointCfg{16, kernels.AllocStrided, sh, mgr, o.ManagerReplicas})
 	}
 	for _, c := range cfgs {
 		po := o
 		po.ServerShards = c.shards
 		po.ManagerShards = c.mgrShards
+		po.ManagerReplicas = c.replicas
 		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode}
 		pt, err := po.MeasureMicro(c.p, prm)
 		if err != nil {

@@ -34,18 +34,29 @@ import (
 
 // Node-id plan for the fabric.
 const (
-	managerNode      scl.NodeID = 1
-	failoverCtlNode  scl.NodeID = 3
-	firstServerNode  scl.NodeID = 10
-	firstStandbyNode scl.NodeID = 50
-	firstThreadNode  scl.NodeID = 100
+	managerNode         scl.NodeID = 1
+	failoverCtlNode     scl.NodeID = 3
+	firstMgrReplicaNode scl.NodeID = 4 // manager replicas 1.. (replica 0 is managerNode)
+	firstServerNode     scl.NodeID = 10
+	firstStandbyNode    scl.NodeID = 50
+	firstThreadNode     scl.NodeID = 100
 )
 
 // Node-id helpers for fault scripting (faultnet.Kill targets and
 // partition nodes are fabric node ids, not thread/server indices).
 
-// ManagerNode is the fabric node of the central manager.
+// ManagerNode is the fabric node of the central manager (the initial
+// leader when manager replication is on).
 func ManagerNode() scl.NodeID { return managerNode }
+
+// MgrReplicaNode is the fabric node of manager replica i (0-based;
+// replica 0 is the initial leader at ManagerNode).
+func MgrReplicaNode(i int) scl.NodeID {
+	if i == 0 {
+		return managerNode
+	}
+	return firstMgrReplicaNode + scl.NodeID(i-1)
+}
 
 // ServerNode is the fabric node of primary memory server i (0-based).
 func ServerNode(i int) scl.NodeID { return firstServerNode + scl.NodeID(i) }
@@ -113,6 +124,17 @@ type Config struct {
 	// next waiter to the holder, which forwards the grant (plus the
 	// notice backlog) directly at release.
 	ManagerShards int
+	// ManagerReplicas runs the manager as a replica group of this size
+	// (0 or 1 = the historical single manager, preserved bit-
+	// identically). Every client-plane mutation is driven through a
+	// replicated log before it is applied, so a standby replica holds
+	// the same lock/barrier/cond tables, notice directory, membership
+	// and allocation zones as the leader; when the leader dies (or is
+	// deposed), the runtime promotes the lowest-indexed survivor and
+	// redirects every manager-bound send at it. Replica-to-replica
+	// links are priced vtime.IntraNode: the paper's manager is one
+	// process, and its replicated form co-locates the replicas.
+	ManagerReplicas int
 	// DisableFineGrain turns off RegC's consistency-region store
 	// instrumentation: stores under a lock are treated like ordinary
 	// stores (page diffs + invalidation), degrading the protocol to
@@ -244,6 +266,9 @@ func (c *Config) fillDefaults() {
 	if c.ManagerShards < 1 {
 		c.ManagerShards = 1
 	}
+	if c.ManagerReplicas < 1 {
+		c.ManagerReplicas = 1
+	}
 	if c.Net == nil && (c.Retry != nil || c.Faults != nil) {
 		c.Net = new(stats.Net)
 	}
@@ -272,6 +297,7 @@ type Runtime struct {
 	gate simnet.Gate
 
 	mgr      *manager.Manager
+	mgrs     []*manager.Manager // all manager replicas; mgrs[0] == mgr
 	servers  []*memserver.Server
 	standbys []*memserver.Server
 	wg       sync.WaitGroup
@@ -279,9 +305,19 @@ type Runtime struct {
 	// homes is the address book: the fabric node currently serving
 	// each home. Failover atomically redirects an entry to the
 	// promoted standby; data-path senders read it per attempt.
-	homes   []atomic.Int64
-	failMu  sync.Mutex
-	failCtl scl.Endpoint // promotion endpoint (nil unless Standby)
+	homes []atomic.Int64
+	// mgrAddr/mgrIdx are the manager's address-book entry: the fabric
+	// node (and replica index) currently leading. Manager failover
+	// promotes the next replica and redirects them.
+	mgrAddr atomic.Int64
+	mgrIdx  atomic.Int32
+	// replLive collects manager-replication counters (elections, log
+	// appends, snapshots). With the liveness layer on it aliases
+	// cfg.Liveness.Live; on a clean sequenced run it is runtime-private
+	// so the counters stay observable. Nil when ManagerReplicas <= 1.
+	replLive *stats.Liveness
+	failMu   sync.Mutex
+	failCtl  scl.Endpoint // promotion endpoint (nil unless Standby or ManagerReplicas > 1)
 
 	// hbStop stops the memory servers' heartbeat goroutines at Close.
 	hbStop chan struct{}
@@ -311,6 +347,13 @@ func (rt *Runtime) Liveness() *stats.Liveness {
 	return rt.cfg.Liveness.Live
 }
 
+// ReplLiveness exposes the manager-replication counters (elections,
+// log entries, snapshots). With the liveness layer on it is the same
+// object Liveness returns; on a clean sequenced run it is a
+// runtime-private collector so the counters stay observable. Nil
+// unless the manager is replicated.
+func (rt *Runtime) ReplLiveness() *stats.Liveness { return rt.replLive }
+
 // isPeerFailure reports whether err means the peer is gone (declared
 // dead, crash-killed, retry budget exhausted, or a standby answering
 // before promotion) — the failures that warrant a failover attempt.
@@ -318,6 +361,13 @@ func isPeerFailure(err error) bool {
 	return errors.Is(err, proto.ErrPeerDied) ||
 		errors.Is(err, scl.ErrUnreachable) ||
 		errors.Is(err, proto.ErrNotPromoted)
+}
+
+// isMgrFailure reports whether err warrants a manager failover: the
+// leader is gone, or it answered as a deposed leader / standby replica
+// (CodeNotLeader — the manager-replication mirror of ErrNotPromoted).
+func isMgrFailure(err error) bool {
+	return isPeerFailure(err) || errors.Is(err, proto.ErrNotLeader)
 }
 
 var _ vm.VM = (*Runtime)(nil)
@@ -333,11 +383,24 @@ func New(cfg Config) (*Runtime, error) {
 	rt := &Runtime{cfg: cfg, transport: cfg.Transport}
 	if rt.transport == nil {
 		rt.fabric = simnet.NewFabric(cfg.Link)
-		if cfg.ManagerLink != nil {
-			mgrLink := *cfg.ManagerLink
+		if cfg.ManagerLink != nil || cfg.ManagerReplicas > 1 {
 			base := cfg.Link
+			mgrLink := base
+			if cfg.ManagerLink != nil {
+				mgrLink = *cfg.ManagerLink
+			}
+			replicas := cfg.ManagerReplicas
+			isMgr := func(n scl.NodeID) bool {
+				return n == managerNode ||
+					(n >= firstMgrReplicaNode && n < firstMgrReplicaNode+scl.NodeID(replicas-1))
+			}
 			rt.fabric.SetLinkFn(func(src, dst scl.NodeID) vtime.LinkModel {
-				if src == managerNode || dst == managerNode {
+				switch {
+				case replicas > 1 && isMgr(src) && isMgr(dst):
+					// The replica group is co-located: replication round
+					// trips ride intra-node links, not the fabric.
+					return vtime.IntraNode
+				case isMgr(src) || isMgr(dst):
 					return mgrLink
 				}
 				return base
@@ -362,40 +425,65 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Faults.SetNetStats(cfg.Net)
 		cfg.Faults.SetTrace(cfg.Trace)
 	}
-	mgrEP, err := rt.newEndpoint(managerNode)
-	if err != nil {
-		return nil, fmt.Errorf("core: manager endpoint: %w", err)
+	mgrNodes := make([]scl.NodeID, cfg.ManagerReplicas)
+	for i := range mgrNodes {
+		mgrNodes[i] = MgrReplicaNode(i)
 	}
-	rt.mgr = manager.New(mgrEP, cfg.Geo)
-	rt.mgr.SetShards(cfg.ManagerShards)
-	// Same inline-on-sequenced rule as the memory servers: the sequencer
-	// grants one message at a time, so shard goroutines could not
-	// overlap and would deadlock the runnable-token ledger.
-	rt.mgr.SetSequenced(rt.fabric != nil && rt.fabric.Sequenced())
+	rt.mgrAddr.Store(int64(managerNode))
+	var dataNodes []scl.NodeID
 	if rt.livenessEnabled() {
-		rt.mgr.EnableLiveness(cfg.Liveness.Lease(), cfg.Liveness.Live, cfg.Trace)
 		rt.hbStop = make(chan struct{})
 		// The manager sends reaped writers' obituaries to the whole data
 		// plane — standbys included, since a fetch can park at a promoted
 		// standby on a dead writer's never-shipped interval.
-		nodes := make([]scl.NodeID, 0, 2*cfg.Geo.NumServers)
+		dataNodes = make([]scl.NodeID, 0, 2*cfg.Geo.NumServers)
 		for i := 0; i < cfg.Geo.NumServers; i++ {
-			nodes = append(nodes, firstServerNode+scl.NodeID(i))
+			dataNodes = append(dataNodes, firstServerNode+scl.NodeID(i))
 		}
 		if rt.standbyEnabled() {
 			for i := 0; i < cfg.Geo.NumServers; i++ {
-				nodes = append(nodes, firstStandbyNode+scl.NodeID(i))
+				dataNodes = append(dataNodes, firstStandbyNode+scl.NodeID(i))
 			}
 		}
-		rt.mgr.SetDataNodes(nodes)
 	}
-	rt.wg.Add(1)
-	rt.gate.Resume()
-	go func() {
-		defer rt.wg.Done()
-		defer rt.gate.Pause()
-		rt.mgr.Run()
-	}()
+	for i := 0; i < cfg.ManagerReplicas; i++ {
+		mgrEP, err := rt.newEndpoint(mgrNodes[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: manager replica %d endpoint: %w", i, err)
+		}
+		mg := manager.New(mgrEP, cfg.Geo)
+		mg.SetShards(cfg.ManagerShards)
+		// Same inline-on-sequenced rule as the memory servers: the
+		// sequencer grants one message at a time, so shard goroutines
+		// could not overlap and would deadlock the runnable-token ledger.
+		mg.SetSequenced(rt.fabric != nil && rt.fabric.Sequenced())
+		if rt.livenessEnabled() {
+			// Every replica gets the lease table and data-node list: a
+			// promoted follower must reap future deaths and re-broadcast
+			// earlier terms' obituaries itself.
+			mg.EnableLiveness(cfg.Liveness.Lease(), cfg.Liveness.Live, cfg.Trace)
+			mg.SetDataNodes(dataNodes)
+		}
+		if cfg.ManagerReplicas > 1 {
+			if rt.replLive == nil {
+				if rt.livenessEnabled() {
+					rt.replLive = cfg.Liveness.Live
+				} else {
+					rt.replLive = new(stats.Liveness)
+				}
+			}
+			mg.SetReplication(manager.Replication{Self: i, Nodes: mgrNodes, Live: rt.replLive})
+		}
+		rt.mgrs = append(rt.mgrs, mg)
+		rt.wg.Add(1)
+		rt.gate.Resume()
+		go func() {
+			defer rt.wg.Done()
+			defer rt.gate.Pause()
+			mg.Run()
+		}()
+	}
+	rt.mgr = rt.mgrs[0]
 	agentAddr := func(writer uint32) scl.NodeID { return firstThreadNode + scl.NodeID(writer) }
 	rt.homes = make([]atomic.Int64, cfg.Geo.NumServers)
 	for i := 0; i < cfg.Geo.NumServers; i++ {
@@ -459,9 +547,13 @@ func New(cfg Config) (*Runtime, error) {
 				sb.Run()
 			}()
 		}
-		if rt.failCtl, err = rt.newEndpoint(failoverCtlNode); err != nil {
+	}
+	if rt.standbyEnabled() || cfg.ManagerReplicas > 1 {
+		ctl, err := rt.newEndpoint(failoverCtlNode)
+		if err != nil {
 			return nil, fmt.Errorf("core: failover endpoint: %w", err)
 		}
+		rt.failCtl = ctl
 	}
 	return rt, nil
 }
@@ -473,7 +565,7 @@ func New(cfg Config) (*Runtime, error) {
 func (rt *Runtime) serverHeartbeat(ep scl.Endpoint, member uint32, node scl.NodeID) {
 	defer rt.hbWG.Done()
 	hb := &proto.Heartbeat{Member: member, Class: proto.MemberServer, Node: uint32(node)}
-	if _, err := ep.Post(managerNode, hb, 0); err != nil && !scl.IsTransient(err) {
+	if err := rt.beat(ep, hb); err != nil {
 		return
 	}
 	tick := time.NewTicker(rt.cfg.Liveness.HeartbeatEvery)
@@ -485,17 +577,43 @@ func (rt *Runtime) serverHeartbeat(ep scl.Endpoint, member uint32, node scl.Node
 			return
 		case <-tick.C:
 		}
-		if _, err := ep.Post(managerNode, hb, 0); err != nil {
-			if !scl.IsTransient(err) {
-				return
-			}
-			if fails++; fails > 3 {
-				return
-			}
-		} else {
-			fails = 0
+		if !rt.beatOnce(ep, hb, &fails) {
+			return
 		}
 	}
+}
+
+// beat posts one membership heartbeat to the current manager, following
+// the address book. With manager replicas configured a leader death is
+// NOT the heartbeater's death: the beat is dropped and the next tick
+// reaches whichever replica the (client-driven) failover promoted.
+func (rt *Runtime) beat(ep scl.Endpoint, hb *proto.Heartbeat) error {
+	_, err := ep.Post(rt.managerNode(), hb, 0)
+	if err == nil || scl.IsTransient(err) {
+		return nil
+	}
+	if rt.cfg.ManagerReplicas > 1 && isMgrFailure(err) {
+		return nil
+	}
+	return err
+}
+
+// beatOnce is one heartbeat tick: it reports false when the beats must
+// stop (this node's own death, or sustained failure with no replica
+// group to ride it out).
+func (rt *Runtime) beatOnce(ep scl.Endpoint, hb *proto.Heartbeat, fails *int) bool {
+	if _, err := ep.Post(rt.managerNode(), hb, 0); err != nil {
+		replicated := rt.cfg.ManagerReplicas > 1
+		if !scl.IsTransient(err) && !(replicated && isMgrFailure(err)) {
+			return false
+		}
+		if *fails++; *fails > 3 && !replicated {
+			return false
+		}
+	} else {
+		*fails = 0
+	}
+	return true
 }
 
 // newEndpoint attaches one component endpoint, layering the fault
@@ -536,8 +654,12 @@ func (rt *Runtime) Name() string { return "samhita" }
 // Config returns the runtime's (default-filled) configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// Manager exposes the manager for stats inspection.
-func (rt *Runtime) Manager() *manager.Manager { return rt.mgr }
+// Manager exposes the current leader manager for stats inspection (the
+// only manager, when replication is off).
+func (rt *Runtime) Manager() *manager.Manager { return rt.mgrs[rt.mgrIdx.Load()] }
+
+// Managers exposes every manager replica, by index.
+func (rt *Runtime) Managers() []*manager.Manager { return rt.mgrs }
 
 // Servers exposes the memory servers for stats inspection.
 func (rt *Runtime) Servers() []*memserver.Server { return rt.servers }
@@ -554,6 +676,48 @@ func (rt *Runtime) serverNode(home int) scl.NodeID {
 // until a failover redirects it to the promoted standby.
 func (rt *Runtime) homeNode(home int) scl.NodeID {
 	return scl.NodeID(rt.homes[home].Load())
+}
+
+// managerNode reads the manager's address-book entry: the current
+// leader's fabric node.
+func (rt *Runtime) managerNode() scl.NodeID {
+	return scl.NodeID(rt.mgrAddr.Load())
+}
+
+// managerFailover promotes the next manager replica and redirects the
+// address book at it. failed is the node the caller's send failed
+// against: concurrent callers for the same death serialize, and all but
+// the first find the book already moved past it. Replicas that are
+// themselves dead are skipped; each promotion carries a strictly higher
+// term, so a deposed old leader can never ack its way back in.
+func (rt *Runtime) managerFailover(failed scl.NodeID) (scl.NodeID, error) {
+	if rt.cfg.ManagerReplicas <= 1 {
+		return 0, fmt.Errorf("core: manager unreachable and no replicas configured")
+	}
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	if cur := rt.managerNode(); cur != failed {
+		return cur, nil // another caller already failed over
+	}
+	for idx := int(rt.mgrIdx.Load()) + 1; idx < rt.cfg.ManagerReplicas; idx++ {
+		node := MgrReplicaNode(idx)
+		var ack proto.Ack
+		if _, err := rt.failCtl.Call(node, &proto.PromoteMgr{Term: uint64(idx) + 1}, &ack, 0); err != nil {
+			if isPeerFailure(err) {
+				continue // this replica died too; try the next
+			}
+			return 0, fmt.Errorf("core: promoting manager replica %d: %w", idx, err)
+		}
+		rt.mgrIdx.Store(int32(idx))
+		rt.mgrAddr.Store(int64(node))
+		if rt.cfg.Liveness != nil {
+			rt.cfg.Liveness.Live.MgrFailovers.Add(1)
+		}
+		rt.cfg.Trace.Span("runtime", trace.CatLive, "manager-failover", 0, 0,
+			map[string]any{"replica": idx, "node": uint32(node)})
+		return node, nil
+	}
+	return 0, fmt.Errorf("core: all %d manager replicas unreachable", rt.cfg.ManagerReplicas)
 }
 
 // failover promotes home's warm standby and redirects the address book
@@ -697,7 +861,7 @@ func (rt *Runtime) threadHeartbeat(th *Thread, stop chan struct{}, wg *sync.Wait
 		Class:  proto.MemberThread,
 		Node:   uint32(firstThreadNode) + th.writer,
 	}
-	if _, err := th.ep.Post(managerNode, hb, 0); err != nil && !scl.IsTransient(err) {
+	if err := rt.beat(th.ep, hb); err != nil {
 		return
 	}
 	tick := time.NewTicker(rt.cfg.Liveness.HeartbeatEvery)
@@ -708,19 +872,12 @@ func (rt *Runtime) threadHeartbeat(th *Thread, stop chan struct{}, wg *sync.Wait
 		case <-stop:
 			bye := *hb
 			bye.Bye = true
-			th.ep.Post(managerNode, &bye, 0) // best-effort goodbye
+			th.ep.Post(rt.managerNode(), &bye, 0) // best-effort goodbye
 			return
 		case <-tick.C:
 		}
-		if _, err := th.ep.Post(managerNode, hb, 0); err != nil {
-			if !scl.IsTransient(err) {
-				return
-			}
-			if fails++; fails > 3 {
-				return
-			}
-		} else {
-			fails = 0
+		if !rt.beatOnce(th.ep, hb, &fails) {
+			return
 		}
 	}
 }
@@ -816,6 +973,9 @@ func (rt *Runtime) Close() error {
 			return
 		}
 		targets := []scl.NodeID{managerNode}
+		for i := 1; i < len(rt.mgrs); i++ {
+			targets = append(targets, MgrReplicaNode(i))
+		}
 		for i := range rt.servers {
 			targets = append(targets, rt.serverNode(i))
 		}

@@ -62,6 +62,13 @@ type Thread struct {
 	arenaNext      layout.Addr
 	arenaRemaining int
 
+	// barEpoch counts this thread's arrivals per barrier (1-based).
+	// Stamped into BarrierReq only when the manager is replicated, so a
+	// re-issued arrival after a leader failover is deduplicated against
+	// the round the replicated log already counted it in. Main-goroutine
+	// only.
+	barEpoch map[uint32]uint64
+
 	// ho is the peer-to-peer lock-handoff state (sharded manager on a
 	// sequenced fabric). The cache agent receives NextWaiter and
 	// LockGrant posts; the main goroutine consumes them — hence the
@@ -110,6 +117,7 @@ func (t *Thread) initCache() {
 	t.ho.acquireSeq = make(map[uint32]uint64)
 	t.ho.seenTags = make(map[proto.IntervalTag]bool)
 	t.tenureCold = make(map[layout.PageID]bool)
+	t.barEpoch = make(map[uint32]uint64)
 	depth := 0
 	if t.rt.cfg.Prefetch {
 		depth = t.rt.cfg.PrefetchDepth
@@ -147,7 +155,7 @@ func (t *Thread) Cache() *pagecache.Cache { return t.cache }
 // register announces the thread to the manager before the run starts.
 func (t *Thread) register() error {
 	var ack proto.Ack
-	at, err := t.ep.Call(managerNode, &proto.RegisterReq{Thread: t.writer, Node: t.node}, &ack, t.clock.Now())
+	at, err := t.mgrCall(&proto.RegisterReq{Thread: t.writer, Node: t.node}, &ack, t.clock.Now())
 	if err != nil {
 		return err
 	}
@@ -309,6 +317,25 @@ func (t *Thread) fail(op string, err error) {
 	panic(fmt.Errorf("samhita thread %d: %s: %w", t.id, op, err))
 }
 
+// mgrCall round-trips a request to the manager, following the address
+// book. When the leader is gone or answers as a deposed replica
+// (CodeNotLeader) and a replica group is configured, the failover
+// promotes the next replica and the call is re-issued against it — the
+// manager's dedup paths absorb a mutation the old leader already
+// replicated. With one manager the original error surfaces untouched.
+func (t *Thread) mgrCall(req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	for tries := 0; ; tries++ {
+		node := t.rt.managerNode()
+		doneAt, err := t.ep.Call(node, req, resp, at)
+		if err == nil || !isMgrFailure(err) || tries >= t.rt.cfg.ManagerReplicas {
+			return doneAt, err
+		}
+		if _, ferr := t.rt.managerFailover(node); ferr != nil {
+			return doneAt, err
+		}
+	}
+}
+
 // callHome round-trips a request to a home server, retrying once
 // against the promoted standby when the current home is gone.
 func (t *Thread) callHome(home int, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
@@ -435,7 +462,7 @@ func (t *Thread) GlobalAlloc(n int) vm.Addr {
 func (t *Thread) managerAlloc(size uint64, strategy uint8) vm.Addr {
 	start := t.clock.Now()
 	var resp proto.AllocResp
-	at, err := t.ep.Call(managerNode, &proto.AllocReq{
+	at, err := t.mgrCall(&proto.AllocReq{
 		Thread: t.writer, Size: size, Align: 16, Strategy: strategy,
 	}, &resp, t.clock.Now())
 	if err != nil {
@@ -456,7 +483,7 @@ func (t *Thread) Free(a vm.Addr) {
 		return
 	}
 	var ack proto.Ack
-	at, err := t.ep.Call(managerNode, &proto.FreeReq{Thread: t.writer, Addr: uint64(a)}, &ack, t.clock.Now())
+	at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a)}, &ack, t.clock.Now())
 	if err != nil {
 		t.fail("free", err)
 	}
@@ -483,7 +510,7 @@ func (t *Thread) startManagerCall(req proto.Msg, resp proto.Msg, at vtime.Time) 
 	t.st.MsgsSent++
 	t.rt.gate.Resume()
 	go func() {
-		doneAt, err := t.ep.Call(managerNode, req, resp, at)
+		doneAt, err := t.mgrCall(req, resp, at)
 		t.rt.gate.Resume() // wake credit for the joining thread
 		ch <- callResult{at: doneAt, err: err}
 		t.rt.gate.Pause() // helper exit
@@ -676,7 +703,7 @@ func (m *smhMutex) Lock(th vm.Thread) {
 	}()
 	t.clock.Advance(t.rt.cfg.CPU.LockTime)
 	var resp proto.LockResp
-	at, err := t.ep.Call(managerNode, &proto.LockReq{
+	at, err := t.mgrCall(&proto.LockReq{
 		Lock: m.id, Thread: t.writer, LastSeen: t.lastSeen,
 	}, &resp, t.clock.Now())
 	if err != nil {
@@ -787,10 +814,23 @@ func (m *smhMutex) Unlock(th vm.Thread) {
 		t.st.MsgsSent++
 		handedOff = head.Waiter
 	}
-	at, err := t.ep.Post(managerNode, &proto.UnlockReq{
+	ur := &proto.UnlockReq{
 		Lock: m.id, Thread: t.writer, Interval: rs.Tag.Interval,
 		Pages: rs.Pages, Records: rs.Records, HandedOff: handedOff,
-	}, t.clock.Now())
+	}
+	var at vtime.Time
+	var err error
+	if t.rt.cfg.ManagerReplicas > 1 {
+		// Replicated manager: the release must be an acknowledged call.
+		// A one-way post could die with the leader without any error
+		// surfacing, silently losing the interval; the ack proves the
+		// release was replicated, and a lost ack is recovered by
+		// re-issuing (the manager dedups by interval).
+		var ack proto.Ack
+		at, err = t.mgrCall(ur, &ack, t.clock.Now())
+	} else {
+		at, err = t.ep.Post(managerNode, ur, t.clock.Now())
+	}
 	if err != nil {
 		t.fail("unlock", err)
 	}
@@ -835,11 +875,16 @@ func (b *smhBarrier) Wait(th vm.Thread) {
 	if len(rs.Records) > 0 {
 		t.finishRelease(rs)
 	}
+	var epoch uint64
+	if t.rt.cfg.ManagerReplicas > 1 {
+		t.barEpoch[b.id]++
+		epoch = t.barEpoch[b.id]
+	}
 	var resp proto.BarrierResp
 	done := t.startManagerCall(&proto.BarrierReq{
 		Barrier: b.id, Count: b.n, Thread: t.writer,
 		LastSeen: t.lastSeen, Interval: rs.Tag.Interval,
-		Pages: rs.Pages, Records: rs.Records,
+		Pages: rs.Pages, Records: rs.Records, Epoch: epoch,
 	}, &resp, t.clock.Now())
 	if len(rs.Records) == 0 {
 		t.finishRelease(rs)
@@ -919,7 +964,7 @@ func (c *smhCond) signal(th vm.Thread, broadcast bool) {
 	t := th.(*Thread)
 	t.settleCompute()
 	var ack proto.Ack
-	at, err := t.ep.Call(managerNode, &proto.CondSignalReq{
+	at, err := t.mgrCall(&proto.CondSignalReq{
 		Cond: c.id, Thread: t.writer, Broadcast: broadcast,
 	}, &ack, t.clock.Now())
 	if err != nil {

@@ -78,6 +78,11 @@ type Kill struct {
 	// victim's own sends lets a test crash a thread at a known point in
 	// its protocol life (e.g. right after its Nth lock acquire).
 	FromNode bool
+	// Kind restricts which attempts advance the count (0 counts every
+	// message). A kind-filtered kill crashes the victim at a
+	// protocol-specific moment — e.g. the manager leader on the Nth
+	// KBarrierReq it is about to receive, mid-round.
+	Kind proto.Kind
 }
 
 // Config parameterizes an Injector. Probabilities are per message
@@ -117,6 +122,7 @@ type Injector struct {
 	sentFrom map[scl.NodeID]int // attempts per source (drives FromNode kills)
 	refused  []int              // refusals consumed per partition
 	fired    []bool             // scripted kills already triggered
+	kcount   []int              // matching attempts per kind-filtered kill
 	killed   map[scl.NodeID]bool
 	eps      map[scl.NodeID]scl.Endpoint // inner endpoints, for closing on kill
 }
@@ -134,6 +140,7 @@ func New(cfg Config) *Injector {
 		sentFrom: make(map[scl.NodeID]int),
 		refused:  make([]int, len(cfg.Partitions)),
 		fired:    make([]bool, len(cfg.Kills)),
+		kcount:   make([]int, len(cfg.Kills)),
 		killed:   make(map[scl.NodeID]bool),
 		eps:      make(map[scl.NodeID]scl.Endpoint),
 	}
@@ -202,7 +209,7 @@ type verdict struct {
 
 // before draws the fate of one attempt from src to dst, firing any
 // scripted kill whose attempt budget the counting has consumed.
-func (in *Injector) before(src, dst scl.NodeID) verdict {
+func (in *Injector) before(src, dst scl.NodeID, kind proto.Kind) verdict {
 	in.mu.Lock()
 	n := in.sent[dst]
 	in.sent[dst] = n + 1
@@ -212,9 +219,20 @@ func (in *Injector) before(src, dst scl.NodeID) verdict {
 		if in.fired[i] {
 			continue
 		}
-		count := in.sent[k.Node]
-		if k.FromNode {
+		var count int
+		switch {
+		case k.Kind != 0:
+			// Kind-filtered kills keep their own counter: only matching
+			// messages crossing the victim's boundary advance it.
+			if kind == k.Kind &&
+				((k.FromNode && src == k.Node) || (!k.FromNode && dst == k.Node)) {
+				in.kcount[i]++
+			}
+			count = in.kcount[i]
+		case k.FromNode:
 			count = in.sentFrom[k.Node]
+		default:
+			count = in.sent[k.Node]
 		}
 		if count > k.After {
 			in.fired[i] = true
@@ -297,8 +315,8 @@ func (e *endpoint) ID() scl.NodeID { return e.inner.ID() }
 
 // apply enforces the pre-send verdict; it reports whether the attempt
 // may proceed, or the injected error if not.
-func (e *endpoint) apply(dst scl.NodeID, at vtime.Time) error {
-	v := e.in.before(e.ID(), dst)
+func (e *endpoint) apply(dst scl.NodeID, kind proto.Kind, at vtime.Time) error {
+	v := e.in.before(e.ID(), dst, kind)
 	switch {
 	case v.deadDst:
 		// Transient: the retry layer exhausts its budget and surfaces a
@@ -332,7 +350,7 @@ func (e *endpoint) apply(dst scl.NodeID, at vtime.Time) error {
 
 // Call implements scl.Endpoint.
 func (e *endpoint) Call(dst scl.NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
-	if err := e.apply(dst, at); err != nil {
+	if err := e.apply(dst, req.Kind(), at); err != nil {
 		return at, err
 	}
 	doneAt, err := e.inner.Call(dst, req, resp, at)
@@ -351,7 +369,7 @@ func (e *endpoint) Call(dst scl.NodeID, req proto.Msg, resp proto.Msg, at vtime.
 // per-sender ordering; drops surface a transient error so a retry
 // layer above re-sends.
 func (e *endpoint) Post(dst scl.NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
-	if err := e.apply(dst, at); err != nil {
+	if err := e.apply(dst, m.Kind(), at); err != nil {
 		return at, err
 	}
 	return e.inner.Post(dst, m, at)

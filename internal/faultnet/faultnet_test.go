@@ -59,7 +59,7 @@ func schedule(seed int64, n int) []bool {
 	ep := in.Wrap(&echoEndpoint{}).(*endpoint)
 	out := make([]bool, n)
 	for i := range out {
-		v := ep.in.before(ep.ID(), 2)
+		v := ep.in.before(ep.ID(), 2, 0)
 		out[i] = v.drop
 	}
 	return out

@@ -43,14 +43,21 @@ type noticeBoard struct {
 
 	notices  []proto.Notice // filled intervals, sorted by Seq
 	lastSeen map[uint32]uint64
-	stats    *Stats
+	// lastInterval tracks each writer's highest filled interval number.
+	// Interval numbers are assigned client-side and monotonic per
+	// thread across all its releases, so a replicated manager can
+	// recognize a re-issued release (a reply lost to a leader failover)
+	// as a duplicate: its interval is already filled.
+	lastInterval map[uint32]uint64
+	stats        *Stats
 }
 
 func newBoard(st *Stats) *noticeBoard {
 	b := &noticeBoard{
-		pending:  make(map[uint64]struct{}),
-		lastSeen: make(map[uint32]uint64),
-		stats:    st,
+		pending:      make(map[uint64]struct{}),
+		lastSeen:     make(map[uint32]uint64),
+		lastInterval: make(map[uint32]uint64),
+		stats:        st,
 	}
 	b.cv = sync.NewCond(&b.mu)
 	return b
@@ -85,10 +92,22 @@ func (b *noticeBoard) horizon() uint64 {
 	return b.issued
 }
 
+// filled reports whether the writer's interval is already in the
+// directory (or was pruned after being delivered): the duplicate test
+// for re-issued releases after a manager failover.
+func (b *noticeBoard) filled(writer uint32, interval uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return interval != 0 && interval <= b.lastInterval[writer]
+}
+
 // fill stores the interval for a reserved ticket.
 func (b *noticeBoard) fill(seq uint64, tag proto.IntervalTag, pages []uint64, records []proto.StoreRecord) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if tag.Interval > b.lastInterval[tag.Writer] {
+		b.lastInterval[tag.Writer] = tag.Interval
+	}
 	n := proto.Notice{Seq: seq, Tag: tag, Pages: pages, Records: records}
 	i := len(b.notices)
 	for i > 0 && b.notices[i-1].Seq > seq {
@@ -185,7 +204,9 @@ func (b *noticeBoard) saw(thread uint32, seq uint64) {
 	b.prune()
 }
 
-// dropThread removes a departed thread from the pruning horizon.
+// dropThread removes a departed thread from the pruning horizon. Its
+// lastInterval entry stays: a late duplicate of the corpse's release
+// must still be recognized as one.
 func (b *noticeBoard) dropThread(tid uint32) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -118,6 +118,11 @@ type Manager struct {
 	deadNodes   map[uint32]bool // fence requests from declared-dead nodes
 	liveThreads atomic.Int64    // thread members not declared dead
 	dataNodes   []scl.NodeID    // memory servers + standbys, for WriterDead obituaries
+	obitGen     uint64          // monotonic generation stamped on WriterDead obituaries
+
+	// Replication (nil = single manager, bit-identical to the
+	// historical behavior). See repl.go.
+	repl *replState
 
 	stats Stats
 }
@@ -133,6 +138,7 @@ type member struct {
 	node     uint32
 	lastBeat time.Time
 	dead     bool
+	reapGen  uint64 // obituary generation, for the promotion re-broadcast
 }
 
 // New creates a manager serving the given endpoint.
@@ -182,9 +188,11 @@ func (m *Manager) setShards(n int) {
 func (m *Manager) SetSequenced(b bool) { m.sequenced = b }
 
 // inline reports whether shard state machines run on the dispatcher
-// goroutine (single home, or deterministic sequenced mode) instead of
+// goroutine (single home, deterministic sequenced mode, or a replicated
+// manager — applying a replicated log must be deterministic, and a
+// promotion must not have to quiesce worker goroutines) instead of
 // worker goroutines.
-func (m *Manager) inline() bool { return m.nshards == 1 || m.sequenced }
+func (m *Manager) inline() bool { return m.nshards == 1 || m.sequenced || m.repl != nil }
 
 // shardOf maps a synchronization object id to its home shard with a
 // splitmix64-style finalizer, mirroring layout.Geometry.ShardOf for
@@ -254,6 +262,14 @@ func (m *Manager) toShard(sh *shard, it mgrItem) {
 // directory; everything else is stamped with the arrival horizon its
 // acquires must wait for (see noticeBoard).
 func (m *Manager) dispatch(idx int, req *scl.Request, msg proto.Msg) {
+	m.dispatchAt(idx, req, msg, 0)
+}
+
+// dispatchAt is dispatch with an extra virtual-time floor: a replicated
+// leader's mutation is applied only after the slowest follower acked it,
+// so the shard clock (and the client's reply) carries the replication
+// round's latency.
+func (m *Manager) dispatchAt(idx int, req *scl.Request, msg proto.Msg, floor vtime.Time) {
 	var tick uint64
 	switch msg.(type) {
 	case *proto.UnlockReq, *proto.BarrierReq, *proto.CondWaitReq:
@@ -261,7 +277,7 @@ func (m *Manager) dispatch(idx int, req *scl.Request, msg proto.Msg) {
 	default:
 		tick = m.board.horizon()
 	}
-	m.toShard(m.shards[idx], mgrItem{kind: itemReq, req: req, msg: msg, tick: tick})
+	m.toShard(m.shards[idx], mgrItem{kind: itemReq, req: req, msg: msg, at: floor, tick: tick})
 }
 
 // routeErr charges and answers a request that failed to decode. Shard
@@ -270,10 +286,15 @@ func (m *Manager) routeErr(req *scl.Request, err error) {
 	m.toShard(m.shards[0], mgrItem{kind: itemErr, req: req, err: err})
 }
 
-// post sends a one-way message (NextWaiter, LockGrant) to a node. Send
-// failures mean the peer's port closed; the liveness layer, when
-// enabled, is the mechanism that unblocks anyone waiting on it.
+// post sends a one-way message (NextWaiter, LockGrant, WriterDead) to a
+// node. Send failures mean the peer's port closed; the liveness layer,
+// when enabled, is the mechanism that unblocks anyone waiting on it. A
+// follower replica applying the log suppresses posts entirely — the
+// leader already externalized them.
 func (m *Manager) post(node uint32, msg proto.Msg, at vtime.Time) {
+	if m.isFollower() {
+		return
+	}
 	_, _ = m.ep.Post(scl.NodeID(node), msg, at)
 }
 
@@ -306,6 +327,12 @@ func (m *Manager) Run() {
 	if !m.inline() {
 		m.startWorkers()
 	}
+	if r := m.repl; r != nil && r.leader {
+		r.mu.Lock()
+		m.startRenewal()
+		r.mu.Unlock()
+	}
+	defer m.stopRenewal()
 	for {
 		req, ok := m.ep.Recv()
 		if !ok {
@@ -315,110 +342,168 @@ func (m *Manager) Run() {
 			m.stopShards(proto.CodePeerDied, "manager endpoint closed")
 			return
 		}
-		// Heartbeats are wall-clock bookkeeping and carry zero virtual
-		// cost: handled before any clock moves so liveness does not
-		// perturb virtual-time determinism.
-		if req.Kind() == proto.KHeartbeat {
-			m.handleHeartbeat(req)
-			continue
-		}
-		// Fence requests from members the lease table has declared
-		// dead: their state was already reclaimed, so letting them back
-		// in would corrupt lock/barrier bookkeeping.
-		if m.live != nil && m.deadNodes[uint32(req.Src())] {
-			if !req.OneWay() {
-				req.ReplyErrorCode(proto.CodePeerDied,
-					fmt.Errorf("manager: request from dead node %d", req.Src()), m.Clock())
-			}
-			continue
-		}
-		switch req.Kind() {
-		case proto.KAllocReq:
-			var ar proto.AllocReq
-			if err := req.Decode(&ar); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			zi := 0
-			switch ar.Strategy {
-			case proto.AllocShared:
-				zi = 1
-			case proto.AllocStriped:
-				zi = 2
-			}
-			m.dispatch(m.zoneShard[zi], req, &ar)
-		case proto.KFreeReq:
-			var fr proto.FreeReq
-			if err := req.Decode(&fr); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.zoneShard[zoneIndexOf(layout.Addr(fr.Addr))], req, &fr)
-		case proto.KRegisterReq:
-			var rr proto.RegisterReq
-			if err := req.Decode(&rr); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.shardOf(rr.Thread), req, &rr)
-		case proto.KLockReq:
-			var lr proto.LockReq
-			if err := req.Decode(&lr); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.shardOf(lr.Lock), req, &lr)
-		case proto.KUnlockReq:
-			var ur proto.UnlockReq
-			if err := req.Decode(&ur); err != nil {
-				if req.OneWay() {
-					// Nobody to answer; an undecodable unlock is a
-					// protocol bug.
-					panic(fmt.Sprintf("manager: bad UnlockReq: %v", err))
-				}
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.shardOf(ur.Lock), req, &ur)
-		case proto.KBarrierReq:
-			var br proto.BarrierReq
-			if err := req.Decode(&br); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.shardOf(br.Barrier), req, &br)
-		case proto.KCondWaitReq:
-			var cw proto.CondWaitReq
-			if err := req.Decode(&cw); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			// A condition wait releases its lock, so it runs at the
-			// LOCK's home; parking at the condition's home is a
-			// cross-shard item from there.
-			m.dispatch(m.shardOf(cw.Lock), req, &cw)
-		case proto.KCondSignalReq:
-			var sr proto.CondSignalReq
-			if err := req.Decode(&sr); err != nil {
-				m.routeErr(req, err)
-				continue
-			}
-			m.dispatch(m.shardOf(sr.Cond), req, &sr)
-		case proto.KShutdown:
-			if m.inline() {
-				sh := m.shards[0]
-				sh.clock.AdvanceTo(req.Arrive())
-				sh.clock.Advance(req.Svc())
-				sh.mirror.Store(sh.clock.Now())
-			}
-			if !req.OneWay() {
-				req.Reply(&proto.Ack{}, m.Clock())
-			}
-			m.stopShards(proto.CodeShutdown, "manager shut down")
+		if m.handleOne(req) {
 			return
-		default:
-			m.routeErr(req, fmt.Errorf("manager: unexpected %v", req.Kind()))
 		}
+	}
+}
+
+// handleOne processes one incoming request; stop reports an orderly
+// shutdown. Replicated managers serialize everything (including the
+// lease-renewal goroutine's appends) under repl.mu.
+func (m *Manager) handleOne(req *scl.Request) (stop bool) {
+	if r := m.repl; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	// Heartbeats are wall-clock bookkeeping and carry zero virtual
+	// cost: handled before any clock moves so liveness does not
+	// perturb virtual-time determinism.
+	switch req.Kind() {
+	case proto.KHeartbeat:
+		m.handleHeartbeat(req)
+		return false
+	// Replication control plane (leader appends, snapshots, the
+	// failover controller's promotion).
+	case proto.KReplAppend:
+		m.handleReplAppend(req)
+		return false
+	case proto.KReplSnapshot:
+		m.handleReplSnapshot(req)
+		return false
+	case proto.KPromoteMgr:
+		m.handlePromote(req)
+		return false
+	}
+	// Fence requests from members the lease table has declared
+	// dead: their state was already reclaimed, so letting them back
+	// in would corrupt lock/barrier bookkeeping.
+	if m.live != nil && m.deadNodes[uint32(req.Src())] {
+		if !req.OneWay() {
+			req.ReplyErrorCode(proto.CodePeerDied,
+				fmt.Errorf("manager: request from dead node %d", req.Src()), m.Clock())
+		}
+		return false
+	}
+	// Shutdown is handled ahead of the leader fence: it must keep its
+	// terminal CodeShutdown/Ack meaning on every replica (the runtime
+	// shuts all of them down), and a deposed leader must never convert
+	// a client's orderly stop into a retryable NotLeader.
+	if req.Kind() == proto.KShutdown {
+		if m.inline() {
+			sh := m.shards[0]
+			sh.clock.AdvanceTo(req.Arrive())
+			sh.clock.Advance(req.Svc())
+			sh.mirror.Store(sh.clock.Now())
+		}
+		if !req.OneWay() {
+			req.Reply(&proto.Ack{}, m.Clock())
+		}
+		m.stopShards(proto.CodeShutdown, "manager shut down")
+		return true
+	}
+	// Standby (or deposed) replicas refuse the client plane with the
+	// retryable CodeNotLeader; the runtime's failover redirect is what
+	// turns that refusal into a promotion.
+	if r := m.repl; r != nil && !r.leader {
+		if !req.OneWay() {
+			req.ReplyErrorCode(proto.CodeNotLeader,
+				fmt.Errorf("manager: replica %d is not the leader", r.self), m.Clock())
+		}
+		return false
+	}
+	msg, idx, err := m.decodeReq(req)
+	if err != nil {
+		m.routeErr(req, err)
+		return false
+	}
+	var floor vtime.Time
+	if m.repl != nil {
+		var ok bool
+		if floor, ok = m.replicate(req); !ok {
+			// Deposed mid-round; demote already failed the parked
+			// waiters with the same code.
+			if !req.OneWay() {
+				req.ReplyErrorCode(proto.CodeNotLeader,
+					fmt.Errorf("manager: leader deposed"), m.Clock())
+			}
+			return false
+		}
+	}
+	m.dispatchAt(idx, req, msg, floor)
+	return false
+}
+
+// decodeReq decodes a client-plane request and resolves its home shard.
+// It is shared by the dispatcher and by followers replaying the
+// replicated log, so route decisions are identical on every replica.
+func (m *Manager) decodeReq(req *scl.Request) (proto.Msg, int, error) {
+	switch req.Kind() {
+	case proto.KAllocReq:
+		var ar proto.AllocReq
+		if err := req.Decode(&ar); err != nil {
+			return nil, 0, err
+		}
+		zi := 0
+		switch ar.Strategy {
+		case proto.AllocShared:
+			zi = 1
+		case proto.AllocStriped:
+			zi = 2
+		}
+		return &ar, m.zoneShard[zi], nil
+	case proto.KFreeReq:
+		var fr proto.FreeReq
+		if err := req.Decode(&fr); err != nil {
+			return nil, 0, err
+		}
+		return &fr, m.zoneShard[zoneIndexOf(layout.Addr(fr.Addr))], nil
+	case proto.KRegisterReq:
+		var rr proto.RegisterReq
+		if err := req.Decode(&rr); err != nil {
+			return nil, 0, err
+		}
+		return &rr, m.shardOf(rr.Thread), nil
+	case proto.KLockReq:
+		var lr proto.LockReq
+		if err := req.Decode(&lr); err != nil {
+			return nil, 0, err
+		}
+		return &lr, m.shardOf(lr.Lock), nil
+	case proto.KUnlockReq:
+		var ur proto.UnlockReq
+		if err := req.Decode(&ur); err != nil {
+			if req.OneWay() {
+				// Nobody to answer; an undecodable unlock is a
+				// protocol bug.
+				panic(fmt.Sprintf("manager: bad UnlockReq: %v", err))
+			}
+			return nil, 0, err
+		}
+		return &ur, m.shardOf(ur.Lock), nil
+	case proto.KBarrierReq:
+		var br proto.BarrierReq
+		if err := req.Decode(&br); err != nil {
+			return nil, 0, err
+		}
+		return &br, m.shardOf(br.Barrier), nil
+	case proto.KCondWaitReq:
+		var cw proto.CondWaitReq
+		if err := req.Decode(&cw); err != nil {
+			return nil, 0, err
+		}
+		// A condition wait releases its lock, so it runs at the
+		// LOCK's home; parking at the condition's home is a
+		// cross-shard item from there.
+		return &cw, m.shardOf(cw.Lock), nil
+	case proto.KCondSignalReq:
+		var sr proto.CondSignalReq
+		if err := req.Decode(&sr); err != nil {
+			return nil, 0, err
+		}
+		return &sr, m.shardOf(sr.Cond), nil
+	default:
+		return nil, 0, fmt.Errorf("manager: unexpected %v", req.Kind())
 	}
 }
 
@@ -507,6 +592,16 @@ func (m *Manager) reap(now time.Time) {
 		})
 		switch k.class {
 		case proto.MemberThread:
+			m.obitGen++
+			mem.reapGen = m.obitGen
+			// A replicated leader logs the reap BEFORE acting on it: a
+			// follower promoted later finds the member already dead and
+			// never re-reaps the same lease (no double barrier
+			// recomputation, no duplicate obituary generation).
+			if !m.replicateEvent(proto.KReclaimEvent,
+				&proto.ReclaimEvent{Thread: k.id, Node: mem.node, Gen: m.obitGen}) {
+				continue // deposed mid-reap: the new leader owns this decision
+			}
 			m.live.ThreadsDead.Add(1)
 			m.liveThreads.Add(-1)
 			m.reclaimThread(k.id, true)
@@ -514,9 +609,10 @@ func (m *Manager) reap(now time.Time) {
 			// announced a release whose DiffBatch it never shipped, and
 			// the servers must not park fetches on that tag forever.
 			// One-way at zero virtual cost, like the heartbeats that
-			// drive this path.
+			// drive this path. The generation lets servers deduplicate
+			// when a promoted manager re-broadcasts.
 			for _, node := range m.dataNodes {
-				_, _ = m.ep.Post(node, &proto.WriterDead{Writer: k.id}, 0)
+				m.post(uint32(node), &proto.WriterDead{Writer: k.id, Gen: mem.reapGen}, 0)
 			}
 		case proto.MemberServer:
 			m.live.ServersDead.Add(1)

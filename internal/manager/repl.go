@@ -1,0 +1,488 @@
+package manager
+
+// Kill-survivable manager: every client-plane mutation is driven through
+// a replicated log (internal/replog) before it is applied, so standby
+// manager replicas hold the same membership leases, lock/barrier/cond
+// tables, notice directory and allocation zones as the leader and can
+// take over when it dies.
+//
+// The flow is leader-based synchronous replication in the style of
+// Raft's append path, with elections externalized to the runtime (the
+// clients' retry exhaustion against a dead leader is the lease-expiry
+// signal; the failover controller promotes the next replica under a
+// strictly higher term):
+//
+//   - The leader decodes a mutation, appends it to its log and pushes
+//     the pending entries to every live follower with a blocking
+//     ReplAppend call. Only when every live follower has acknowledged
+//     does the mutation reach the shard state machines and its reply
+//     reach the client. Lost followers are dropped (they stop gating);
+//     a follower answering from a higher term — or the leader's own
+//     sends failing terminally, the self-death signal under a fault
+//     injector — deposes the leader, which fails every parked waiter
+//     with CodeNotLeader so clients re-issue against the successor.
+//   - Followers apply accepted entries through the SAME handlers the
+//     leader ran, as replayed requests whose replies go nowhere;
+//     outbound posts are suppressed while following. Replicated
+//     managers always run their shards inline, so applying the log is
+//     deterministic regardless of the shard count.
+//   - The log is truncated to what every live follower acked AND the
+//     leader applied; a follower whose next expected index was
+//     truncated away is caught up with a full state snapshot
+//     (manager/state.go) and resumes appends above it.
+//
+// With one replica the log layer is absent entirely (Manager.repl is
+// nil) and the manager is bit-identical to the unreplicated one.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/replog"
+	"repro/internal/scl"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// Replication configures a manager replica. Nodes lists every replica's
+// fabric node in promotion order: index 0 is the initial leader, and on
+// failover the runtime promotes the lowest-indexed survivor.
+type Replication struct {
+	Self  int          // this replica's index in Nodes
+	Nodes []scl.NodeID // all replica nodes, by index
+	Live  *stats.Liveness
+}
+
+// replState is a manager's replication role and log bookkeeping. All of
+// it is guarded by mu: the dispatcher takes mu around every message and
+// the lease-renewal goroutine takes it around each empty append.
+type replState struct {
+	mu sync.Mutex
+
+	self     int
+	replicas []scl.NodeID
+	live     *stats.Liveness
+
+	leader  bool
+	deposed bool
+	term    uint64
+
+	prop    *replog.Proposer // leader only
+	acc     replog.Acceptor
+	applied uint64 // entries externalized to the shard state machines
+
+	renewStop chan struct{} // closes to stop the lease-renewal goroutine
+}
+
+// SetReplication turns this manager into replica cfg.Self of a
+// replicated group. Must be called before Run. Replica 0 starts as the
+// leader under term 1; the others follow until promoted.
+func (m *Manager) SetReplication(cfg Replication) {
+	if len(cfg.Nodes) < 2 {
+		return // a group of one is just the plain manager
+	}
+	live := cfg.Live
+	if live == nil {
+		live = new(stats.Liveness)
+	}
+	r := &replState{
+		self:     cfg.Self,
+		replicas: append([]scl.NodeID(nil), cfg.Nodes...),
+		live:     live,
+		term:     1,
+	}
+	r.acc.Term = 1
+	if cfg.Self == 0 {
+		r.leader = true
+		var peers []int
+		for i := 1; i < len(cfg.Nodes); i++ {
+			peers = append(peers, i)
+		}
+		r.prop = replog.NewProposer(1, peers, 1)
+	}
+	m.repl = r
+}
+
+// replicated reports whether this manager is part of a replica group.
+func (m *Manager) replicated() bool { return m.repl != nil }
+
+// isFollower reports whether this manager currently applies the log
+// instead of serving clients (standby replica, or a deposed leader).
+func (m *Manager) isFollower() bool { return m.repl != nil && !m.repl.leader }
+
+// replicate appends one client mutation to the log and pushes it to
+// every live follower before the caller applies it. The returned floor
+// is the virtual time when the slowest follower's ack was in hand: the
+// shard clock advances to it so replication latency is on the
+// critical path it really occupies. ok=false means this leader was
+// deposed mid-round; the caller answers CodeNotLeader.
+func (m *Manager) replicate(req *scl.Request) (floor vtime.Time, ok bool) {
+	r := m.repl
+	body := append([]byte(nil), req.Body()...)
+	r.prop.Append(uint32(req.Src()), req.Kind(), body)
+	return m.pushToPeers(req.Arrive())
+}
+
+// replicateEvent logs a manager-internal decision (a lease reap) so a
+// promoted follower never re-makes it. Deposition is absorbed here: the
+// demoted manager has already failed its parked waiters, and the reap
+// it was about to act on is now the new leader's to make.
+func (m *Manager) replicateEvent(kind proto.Kind, msg proto.Msg) bool {
+	r := m.repl
+	if r == nil || !r.leader || r.deposed {
+		return r == nil // unreplicated managers act directly
+	}
+	r.prop.Append(0, kind, proto.Encode(msg))
+	_, ok := m.pushToPeers(m.Clock())
+	return ok
+}
+
+// pushToPeers ships every pending log entry (none = lease renewal) to
+// each live follower and truncates the acked+applied prefix.
+func (m *Manager) pushToPeers(at vtime.Time) (floor vtime.Time, ok bool) {
+	r := m.repl
+	floor = at
+	peers := r.prop.LivePeers()
+	sort.Ints(peers)
+	for _, pi := range peers {
+	peerLoop:
+		for {
+			ents, needSnap := r.prop.Batch(pi)
+			if needSnap {
+				dropped, deposed := m.sendSnapshot(pi, at)
+				if deposed {
+					return 0, false
+				}
+				if dropped {
+					break peerLoop
+				}
+				continue
+			}
+			var ack proto.ReplAck
+			doneAt, err := m.ep.Call(r.replicas[pi], &proto.ReplAppend{Term: r.term, Entries: ents}, &ack, at)
+			if err != nil {
+				if isPeerGone(err) {
+					r.prop.DropPeer(pi)
+					r.live.ReplFailures.Add(1)
+					break peerLoop
+				}
+				// Our own sends failing terminally means THIS node is
+				// gone (the fault injector killed it): stop
+				// externalizing state.
+				m.demote(fmt.Sprintf("replication to replica %d failed: %v", pi, err))
+				return 0, false
+			}
+			r.live.MgrReplAppends.Add(1)
+			r.live.MgrReplEntries.Add(int64(len(ents)))
+			if doneAt > floor {
+				floor = doneAt
+			}
+			if r.prop.Ack(pi, &ack) {
+				m.demote(fmt.Sprintf("deposed by replica %d (term %d)", pi, ack.Term))
+				return 0, false
+			}
+			if ack.OK {
+				break peerLoop
+			}
+			// Gap rejection: the follower told us its next expected
+			// index; the next Batch resends from there.
+		}
+	}
+	r.applied = r.prop.Last()
+	if n := r.prop.Truncate(r.applied); n > 0 {
+		r.live.MgrLogTruncated.Add(int64(n))
+	}
+	return floor, true
+}
+
+// sendSnapshot catches a lagging follower up with the full semantic
+// state, keyed to the applied index.
+func (m *Manager) sendSnapshot(pi int, at vtime.Time) (dropped, deposed bool) {
+	r := m.repl
+	snap := &proto.ReplSnapshot{Term: r.term, Index: r.applied, State: m.encodeState()}
+	var ack proto.ReplAck
+	if _, err := m.ep.Call(r.replicas[pi], snap, &ack, at); err != nil {
+		if isPeerGone(err) {
+			r.prop.DropPeer(pi)
+			r.live.ReplFailures.Add(1)
+			return true, false
+		}
+		m.demote(fmt.Sprintf("snapshot to replica %d failed: %v", pi, err))
+		return false, true
+	}
+	if !ack.OK {
+		if ack.Term > r.term {
+			m.demote(fmt.Sprintf("deposed by replica %d (term %d)", pi, ack.Term))
+			return false, true
+		}
+		r.prop.DropPeer(pi)
+		return true, false
+	}
+	r.prop.SnapshotInstalled(pi, snap.Index)
+	r.live.MgrSnapshots.Add(1)
+	return false, false
+}
+
+// isPeerGone classifies a replication-call failure as the PEER being
+// unreachable (transient transport failures and their retry-exhausted
+// form) rather than this node being dead (terminal failures).
+func isPeerGone(err error) bool {
+	if errors.Is(err, scl.ErrUnreachable) || errors.Is(err, proto.ErrPeerDied) {
+		return true
+	}
+	return scl.IsTransient(err)
+}
+
+// demote steps a deposed leader down: every parked waiter is answered
+// with CodeNotLeader (a retryable error — see scl.IsTransient — that
+// the runtime redirects to the promoted replica), and every subsequent
+// client-plane request is refused the same way. Client-initiated
+// shutdown keeps its terminal CodeShutdown meaning: a deposed leader
+// never answers with it.
+func (m *Manager) demote(why string) {
+	r := m.repl
+	if !r.leader || r.deposed {
+		return
+	}
+	r.leader = false
+	r.deposed = true
+	r.live.MgrDeposed.Add(1)
+	m.traceLive("manager-deposed", map[string]any{"replica": r.self, "term": r.term, "why": why})
+	// Replicated managers always run inline, so the shards are owned by
+	// the goroutine running this.
+	for _, sh := range m.shards {
+		sh.failParked(proto.CodeNotLeader, "manager leader deposed")
+	}
+}
+
+// handleReplAppend is the follower half of the append path.
+func (m *Manager) handleReplAppend(req *scl.Request) {
+	r := m.repl
+	if r == nil {
+		req.ReplyErrorCode(proto.CodeGeneric, fmt.Errorf("manager: not a replica"), m.Clock())
+		return
+	}
+	var ra proto.ReplAppend
+	if err := req.Decode(&ra); err != nil {
+		req.ReplyError(err, m.Clock())
+		return
+	}
+	if r.leader {
+		if ra.Term > r.term {
+			m.demote(fmt.Sprintf("append from term %d", ra.Term))
+		} else {
+			// A stale old leader appending to the new one: the higher
+			// term in the nack deposes it.
+			req.Reply(&proto.ReplAck{OK: false, Term: r.term, NextIndex: r.acc.Last + 1}, m.Clock())
+			return
+		}
+	}
+	apply, ack := r.acc.Offer(&ra)
+	if r.acc.Term > r.term {
+		r.term = r.acc.Term
+	}
+	for i := range apply {
+		m.applyEntry(apply[i])
+	}
+	req.Reply(&ack, m.Clock())
+}
+
+// handleReplSnapshot installs a full-state snapshot on a lagging
+// follower.
+func (m *Manager) handleReplSnapshot(req *scl.Request) {
+	r := m.repl
+	if r == nil {
+		req.ReplyErrorCode(proto.CodeGeneric, fmt.Errorf("manager: not a replica"), m.Clock())
+		return
+	}
+	var rs proto.ReplSnapshot
+	if err := req.DecodeAlias(&rs); err != nil {
+		req.ReplyError(err, m.Clock())
+		return
+	}
+	if r.leader && rs.Term <= r.term {
+		req.Reply(&proto.ReplAck{OK: false, Term: r.term, NextIndex: r.acc.Last + 1}, m.Clock())
+		return
+	}
+	if err := r.acc.InstallSnapshot(rs.Term, rs.Index); err != nil {
+		req.Reply(&proto.ReplAck{OK: false, Term: r.acc.Term, NextIndex: r.acc.Last + 1}, m.Clock())
+		return
+	}
+	if err := m.restoreState(rs.State); err != nil {
+		// A snapshot the leader just encoded failing to decode is a
+		// protocol bug, not a runtime condition.
+		panic(fmt.Sprintf("manager: bad replication snapshot: %v", err))
+	}
+	r.term = r.acc.Term
+	req.Reply(&proto.ReplAck{OK: true, Term: r.acc.Term, NextIndex: r.acc.Last + 1}, m.Clock())
+}
+
+// applyEntry runs one accepted log entry through the shard state
+// machines, as the leader did.
+func (m *Manager) applyEntry(e proto.ReplEntry) {
+	kind := proto.Kind(e.Kind)
+	if kind == proto.KReclaimEvent {
+		var re proto.ReclaimEvent
+		if err := proto.Decode(&re, e.Body); err != nil {
+			panic(fmt.Sprintf("manager: bad replicated reclaim event: %v", err))
+		}
+		m.applyReclaimEvent(&re)
+		return
+	}
+	req := scl.NewReplayRequest(scl.NodeID(e.Src), kind, e.Body, 0)
+	msg, idx, err := m.decodeReq(req)
+	if err != nil {
+		// Entries were decodable at the leader; a mismatch here means
+		// corruption, not client error.
+		panic(fmt.Sprintf("manager: bad replicated %v entry: %v", kind, err))
+	}
+	m.dispatch(idx, req, msg)
+}
+
+// applyReclaimEvent replays a lease reap the leader replicated before
+// acting on it. The member is marked dead so a later promotion of this
+// replica never re-reaps the same lease (and so the old and new leader
+// can never both recompute the same barriers); obituary generations are
+// remembered for the promotion-time re-broadcast.
+func (m *Manager) applyReclaimEvent(re *proto.ReclaimEvent) {
+	k := memberKey{class: proto.MemberThread, id: re.Thread}
+	mem, ok := m.members[k]
+	switch {
+	case !ok:
+		mem = &member{node: re.Node, dead: true}
+		m.members[k] = mem
+	case mem.dead:
+		return // duplicate (snapshot + log overlap)
+	default:
+		mem.dead = true
+		m.liveThreads.Add(-1)
+	}
+	mem.reapGen = re.Gen
+	if re.Gen > m.obitGen {
+		m.obitGen = re.Gen
+	}
+	m.deadNodes[re.Node] = true
+	m.reclaimThread(re.Thread, true)
+}
+
+// handlePromote makes this replica the leader under a strictly higher
+// term. Idempotent: a duplicate promotion (a client retry) at or below
+// the current term of an active leader just acks.
+func (m *Manager) handlePromote(req *scl.Request) {
+	r := m.repl
+	if r == nil {
+		req.ReplyErrorCode(proto.CodeGeneric, fmt.Errorf("manager: not a replica"), m.Clock())
+		return
+	}
+	var pm proto.PromoteMgr
+	if err := req.Decode(&pm); err != nil {
+		req.ReplyError(err, m.Clock())
+		return
+	}
+	if r.leader && !r.deposed && pm.Term <= r.term {
+		req.Reply(&proto.Ack{}, m.Clock())
+		return
+	}
+	if pm.Term <= r.term {
+		req.ReplyErrorCode(proto.CodeGeneric,
+			fmt.Errorf("manager: stale promotion to term %d (replica %d is at term %d)", pm.Term, r.self, r.term), m.Clock())
+		return
+	}
+	m.promote(pm.Term)
+	req.Reply(&proto.Ack{}, m.Clock())
+}
+
+// promote turns this follower into the leader.
+func (m *Manager) promote(term uint64) {
+	r := m.repl
+	r.term = term
+	r.acc.Term = term
+	r.leader = true
+	r.deposed = false
+	// The chain only ever promotes upward, so the replicas above this
+	// one are the new peer set; anything below is a deposed leader the
+	// higher term fences.
+	var peers []int
+	for i := r.self + 1; i < len(r.replicas); i++ {
+		peers = append(peers, i)
+	}
+	r.prop = replog.NewProposer(term, peers, r.acc.Last+1)
+	r.applied = r.acc.Last
+	// Every surviving member gets a fresh lease: none of them could
+	// heartbeat this replica before learning it leads, and a reap storm
+	// at promotion would undo the failover the replication paid for.
+	now := time.Now()
+	var live int64
+	for k, mem := range m.members {
+		if mem.dead {
+			continue
+		}
+		mem.lastBeat = now
+		if k.class == proto.MemberThread {
+			live++
+		}
+	}
+	m.liveThreads.Store(live)
+	r.live.MgrElections.Add(1)
+	m.traceLive("manager-promoted", map[string]any{"replica": r.self, "term": term})
+	// Re-broadcast obituaries for every thread reaped under earlier
+	// terms: the old leader may have died between replicating the reap
+	// and posting the WriterDead. The servers deduplicate by
+	// generation, so the overlap with the old leader's posts is safe.
+	for k, mem := range m.members {
+		if k.class != proto.MemberThread || !mem.dead {
+			continue
+		}
+		for _, node := range m.dataNodes {
+			m.post(uint32(node), &proto.WriterDead{Writer: k.id, Gen: mem.reapGen}, 0)
+		}
+	}
+	m.startRenewal()
+}
+
+// startRenewal launches the leader-lease loop: an empty append to the
+// followers every half lease. Its real job is detecting the leader's
+// OWN death while idle — a killed node's outbound calls fail terminally,
+// which demotes it so parked clients get their CodeNotLeader within a
+// bounded stall instead of hanging until the next mutation. Liveness
+// must be enabled (the loop is wall-clock driven, like heartbeats).
+func (m *Manager) startRenewal() {
+	r := m.repl
+	if r == nil || m.lease <= 0 || r.renewStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	r.renewStop = stop
+	every := m.lease / 2
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.mu.Lock()
+				if r.leader && !r.deposed {
+					m.pushToPeers(m.Clock())
+				}
+				r.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// stopRenewal stops the lease-renewal goroutine, if running.
+func (m *Manager) stopRenewal() {
+	if r := m.repl; r != nil && r.renewStop != nil {
+		close(r.renewStop)
+		r.renewStop = nil
+	}
+}

@@ -49,6 +49,15 @@ type barrierState struct {
 	count   uint32
 	arrived []waiter
 	dead    map[uint32]bool // threads declared dead (SPMD: all expected)
+
+	// Replicated-manager failover bookkeeping. Clients stamp each
+	// arrival with a 1-based round number (BarrierReq.Epoch); epoch
+	// counts the rounds this instance has released and counted remembers
+	// the highest round each thread's arrival was counted in, so a
+	// re-issued arrival (its release reply was lost to a failover) is
+	// answered or re-attached instead of double-counted.
+	epoch   uint64
+	counted map[uint32]uint64
 }
 
 // effective is the arrival count that completes a round: the declared
@@ -95,7 +104,7 @@ type mgrItem struct {
 	park     condEntry  // itemCondPark
 	lock     uint32     // itemLockWake: lock to re-acquire
 	wake     waiter     // itemLockWake
-	at       vtime.Time // itemLockWake: causal floor from the cond home
+	at       vtime.Time // causal floor: itemLockWake's cond home, itemReq's replication round
 	tid      uint32     // itemReclaim
 	markDead bool       // itemReclaim: also fence future grants
 	code     uint16     // itemStop
@@ -160,6 +169,10 @@ func (sh *shard) process(it mgrItem) (stop bool) {
 	switch it.kind {
 	case itemReq:
 		sh.clock.AdvanceTo(it.req.Arrive())
+		// A replicated mutation is applied only after the slowest
+		// follower acked it; the round's completion time floors the
+		// clock so replication latency is visible in the reply.
+		sh.clock.AdvanceTo(it.at)
 		sh.clock.Advance(it.req.Svc())
 		sh.handle(it.req, it.msg)
 	case itemErr:
@@ -283,6 +296,28 @@ func (sh *shard) handleLock(req *scl.Request, lr *proto.LockReq) {
 	m := sh.m
 	m.board.ensure(lr.Thread, lr.LastSeen)
 	ls := sh.lock(lr.Lock)
+	if m.replicated() && ls.held && ls.holder == lr.Thread {
+		// Duplicate of an acquire already granted — the grant reply was
+		// lost to a leader failover and the client re-issued. Re-answer
+		// from the recorded tenure without granting again, so grant
+		// conservation holds across the failover.
+		ns := m.board.rangeAfter(lr.LastSeen, ls.grantSeq)
+		req.Reply(&proto.LockResp{Seq: ls.grantSeq, Notices: ns}, sh.clock.Now())
+		return
+	}
+	if m.replicated() && ls.held {
+		// A re-issued acquire whose first copy is still queued (as a
+		// replayed waiter applied from the log): attach the live
+		// request to it, preserving its FIFO position.
+		for i := range ls.queue {
+			qw := &ls.queue[i]
+			if qw.thread == lr.Thread && qw.req != nil && qw.req.Replayed() {
+				qw.req = req
+				qw.lastSeen = lr.LastSeen
+				return
+			}
+		}
+	}
 	w := waiter{
 		req:      req,
 		thread:   lr.Thread,
@@ -423,6 +458,18 @@ func (sh *shard) composeTrain(ls *lockState) []proto.SuccAnn {
 func (sh *shard) handleUnlock(req *scl.Request, ur *proto.UnlockReq) {
 	m := sh.m
 	ls := sh.lock(ur.Lock)
+	if m.replicated() && m.board.filled(ur.Thread, ur.Interval) {
+		// Duplicate of a release already applied — the ack was lost to
+		// a leader failover and the client re-issued. The interval is
+		// in the directory and the lock has moved on; ack without
+		// re-filling or re-releasing. Checked before the holder test:
+		// the lock is usually held by someone else by now.
+		m.board.cancel(sh.tick)
+		if !req.OneWay() {
+			req.Reply(&proto.Ack{}, sh.clock.Now())
+		}
+		return
+	}
 	if !ls.held || ls.holder != ur.Thread {
 		// One-way: the lock was force-released after the sender was
 		// declared dead (or the sender is confused); dropping the
@@ -541,8 +588,9 @@ func (sh *shard) handleBarrier(req *scl.Request, br *proto.BarrierReq) {
 	bs, ok := sh.barriers[br.Barrier]
 	if !ok {
 		bs = &barrierState{
-			count: br.Count,
-			dead:  make(map[uint32]bool),
+			count:   br.Count,
+			dead:    make(map[uint32]bool),
+			counted: make(map[uint32]uint64),
 		}
 		// A barrier instance created after a death starts with the
 		// reduced membership: the dead can never arrive.
@@ -555,6 +603,32 @@ func (sh *shard) handleBarrier(req *scl.Request, br *proto.BarrierReq) {
 		m.board.cancel(sh.tick)
 		req.ReplyError(fmt.Errorf("manager: barrier %d count mismatch: %d vs %d", br.Barrier, br.Count, bs.count), sh.clock.Now())
 		return
+	}
+	if m.replicated() && br.Epoch != 0 {
+		if br.Epoch <= bs.epoch {
+			// This round already released — the release reply was lost
+			// to a leader failover and the client re-issued. Its
+			// interval was filled by the original arrival; answer with
+			// the directory frontier without re-counting.
+			m.board.cancel(sh.tick)
+			ns, seq := m.board.acquire(br.Thread, br.LastSeen, sh.tick)
+			req.Reply(&proto.BarrierResp{Seq: seq, Notices: ns}, sh.clock.Now())
+			return
+		}
+		if bs.counted[br.Thread] >= br.Epoch {
+			// Counted (as a replayed arrival applied from the log) but
+			// the round is still pending: attach the live request so
+			// the eventual release answers it.
+			m.board.cancel(sh.tick)
+			for i := range bs.arrived {
+				if bs.arrived[i].thread == br.Thread {
+					bs.arrived[i].req = req
+					bs.arrived[i].lastSeen = br.LastSeen
+				}
+			}
+			return
+		}
+		bs.counted[br.Thread] = br.Epoch
 	}
 	// Arrival is a release: fill this interval's reserved ticket
 	// immediately so every later acquire (including the other
@@ -584,6 +658,7 @@ func (sh *shard) releaseBarrier(bs *barrierState, svc vtime.Time) {
 	if m.live != nil && len(bs.dead) > 0 {
 		m.live.BarriersRecomputed.Add(1)
 	}
+	bs.epoch++
 	if m.nshards == 1 {
 		for _, w := range bs.arrived {
 			sh.clock.Advance(svc)
@@ -625,6 +700,12 @@ func (sh *shard) recheckBarrier(id uint32, bs *barrierState) {
 		return
 	}
 	if live := int(m.liveThreads.Load()); bs.effective() > live {
+		if m.isFollower() {
+			// A follower's liveThreads is not meaningful (heartbeats
+			// only reach the leader); the unsatisfiability decision is
+			// the leader's and arrives via the log or a promotion.
+			return
+		}
 		err := fmt.Errorf("manager: barrier %d unsatisfiable: needs %d live arrivals, %d live threads",
 			id, bs.effective(), live)
 		for _, w := range bs.arrived {
@@ -650,6 +731,38 @@ func (sh *shard) cond(id uint32) *condState {
 func (sh *shard) handleCondWait(req *scl.Request, cw *proto.CondWaitReq) {
 	m := sh.m
 	ls := sh.lock(cw.Lock)
+	if m.replicated() && m.board.filled(cw.Thread, cw.Interval) {
+		// Duplicate of a wait already applied (reply lost to a leader
+		// failover): the thread is parked on the condition, queued at
+		// the lock after a signal, or already re-granted. Re-attach the
+		// live request wherever the replayed one sits. Replicated
+		// managers run inline, so the condition's home (possibly
+		// another shard) is reachable from this goroutine.
+		m.board.cancel(sh.tick)
+		ch := m.shards[m.shardOf(cw.Cond)]
+		for i := range ch.cond(cw.Cond).waiters {
+			ce := &ch.cond(cw.Cond).waiters[i]
+			if ce.w.thread == cw.Thread && ce.w.req != nil && ce.w.req.Replayed() {
+				ce.w.req = req
+				return
+			}
+		}
+		if ls.held && ls.holder == cw.Thread {
+			ns := m.board.rangeAfter(cw.LastSeen, ls.grantSeq)
+			req.Reply(&proto.CondWaitResp{Seq: ls.grantSeq, Notices: ns}, sh.clock.Now())
+			return
+		}
+		for i := range ls.queue {
+			qw := &ls.queue[i]
+			if qw.thread == cw.Thread && qw.req != nil && qw.req.Replayed() {
+				qw.req = req
+				return
+			}
+		}
+		req.ReplyErrorCode(proto.CodeGeneric,
+			fmt.Errorf("manager: duplicate cond wait by thread %d has no parked original", cw.Thread), sh.clock.Now())
+		return
+	}
 	if !ls.held || ls.holder != cw.Thread {
 		m.board.cancel(sh.tick)
 		req.ReplyError(fmt.Errorf("manager: cond wait on lock %d by non-holder thread %d", cw.Lock, cw.Thread), sh.clock.Now())

@@ -138,6 +138,14 @@ type Server struct {
 	hasReplica bool
 	live       *stats.Liveness
 
+	// obitGen records the highest WriterDead generation applied per
+	// writer. A replicated manager's old and new leader may both reap
+	// the same dead lease; the generation (stamped by the leader that
+	// first reaped it, re-broadcast verbatim on promotion) makes the
+	// duplicate obituary a no-op instead of a second barrier-free
+	// unpark sweep. Touched only by the Recv dispatcher goroutine.
+	obitGen map[uint32]uint64
+
 	stats Stats
 }
 
@@ -349,6 +357,15 @@ func (s *Server) dispatchWriterDead(req *scl.Request) {
 	var m proto.WriterDead
 	if err := req.Decode(&m); err != nil {
 		panic(fmt.Sprintf("memserver: bad WriterDead: %v", err))
+	}
+	if m.Gen != 0 {
+		if s.obitGen == nil {
+			s.obitGen = make(map[uint32]uint64)
+		}
+		if m.Gen <= s.obitGen[m.Writer] {
+			return // duplicate obituary (old + new manager leader both reaped)
+		}
+		s.obitGen[m.Writer] = m.Gen
 	}
 	for _, sh := range s.shards {
 		s.enqueue(sh, shardItem{kind: itemWriterDead, writer: m.Writer})

@@ -88,6 +88,16 @@ const (
 	// Liveness: writer obituary, manager -> every memory server and
 	// standby when a thread's lease is reaped.
 	KWriterDead // one-way: the writer's unshipped diffs will never arrive
+
+	// Replicated manager (consensus log). The leader drives every
+	// mutation through an append/ack round with its follower replicas
+	// before applying it; a follower that falls below the truncated log
+	// prefix is caught up with a full-state snapshot.
+	KReplAppend   // leader -> follower: log entries (or an empty lease renewal)
+	KReplAck      // follower -> leader: accept/reject + expected next index
+	KPromoteMgr   // promote a follower manager replica to leader
+	KReplSnapshot // leader -> follower: full-state snapshot install
+	KReclaimEvent // log-entry only: a lease reap, replicated before it is acted on
 )
 
 var kindNames = map[Kind]string{
@@ -121,6 +131,11 @@ var kindNames = map[Kind]string{
 	KNextWaiter:     "next-waiter",
 	KLockGrant:      "lock-grant",
 	KWriterDead:     "writer-dead",
+	KReplAppend:     "repl-append",
+	KReplAck:        "repl-ack",
+	KPromoteMgr:     "promote-mgr",
+	KReplSnapshot:   "repl-snapshot",
+	KReclaimEvent:   "reclaim-event",
 }
 
 func (k Kind) String() string {

@@ -186,6 +186,14 @@ func unmarshalNotices(r *Reader) []Notice {
 	return ns
 }
 
+// MarshalNotices appends a notice list to w. Exported for the manager's
+// replication snapshot, which serializes the notice directory outside
+// any wire message.
+func MarshalNotices(w *Writer, ns []Notice) { marshalNotices(w, ns) }
+
+// UnmarshalNotices reads a notice list written by MarshalNotices.
+func UnmarshalNotices(r *Reader) []Notice { return unmarshalNotices(r) }
+
 // ---------------------------------------------------------------------
 // Memory-server messages.
 
@@ -609,6 +617,14 @@ type BarrierReq struct {
 	Interval uint64
 	Pages    []uint64
 	Records  []StoreRecord
+
+	// Epoch is the 1-based barrier round this arrival belongs to, quoted
+	// only when the manager is replicated: a client that re-issues an
+	// arrival after a leader failover lets the new leader distinguish a
+	// duplicate of an already-released round (answer immediately) from a
+	// fresh arrival of the next round (count it). Trailing and omitted
+	// when zero, so the classic encoding is unchanged.
+	Epoch uint64
 }
 
 func (m *BarrierReq) Kind() Kind { return KBarrierReq }
@@ -621,6 +637,9 @@ func (m *BarrierReq) Marshal(w *Writer) {
 	w.U64(m.Interval)
 	w.U64s(m.Pages)
 	marshalRecords(w, m.Records)
+	if m.Epoch != 0 {
+		w.U64(m.Epoch)
+	}
 }
 
 func (m *BarrierReq) Unmarshal(r *Reader) {
@@ -631,6 +650,9 @@ func (m *BarrierReq) Unmarshal(r *Reader) {
 	m.Interval = r.U64()
 	m.Pages = r.U64s()
 	m.Records = unmarshalRecords(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Epoch = r.U64()
+	}
 }
 
 // BarrierResp releases the thread from the barrier.
@@ -938,6 +960,10 @@ const (
 	// CodeNotPromoted: a request reached a warm-standby memory server
 	// that has not been promoted to primary.
 	CodeNotPromoted
+	// CodeNotLeader: a request reached a manager replica that is not
+	// (or is no longer) the leader. Retryable: the client re-discovers
+	// the leader and re-issues.
+	CodeNotLeader
 )
 
 // Sentinels matched by errors.Is against coded remote errors (the scl
@@ -951,6 +977,10 @@ var (
 	ErrPeerDied = errors.New("proto: peer died")
 	// ErrNotPromoted reports a request to an unpromoted standby.
 	ErrNotPromoted = errors.New("proto: standby not promoted")
+	// ErrNotLeader reports a request to a manager replica that is not
+	// the current leader (a follower, or a deposed ex-leader). Unlike
+	// ErrShutdown it is retryable: the caller redirects to the leader.
+	ErrNotLeader = errors.New("proto: manager replica is not the leader")
 )
 
 // CodeErr returns the sentinel for a code (nil for CodeGeneric and
@@ -963,6 +993,8 @@ func CodeErr(code uint16) error {
 		return ErrPeerDied
 	case CodeNotPromoted:
 		return ErrNotPromoted
+	case CodeNotLeader:
+		return ErrNotLeader
 	}
 	return nil
 }
@@ -1050,8 +1082,183 @@ func (m *Promote) Unmarshal(r *Reader) {}
 // bytes that did arrive instead of parking forever.
 type WriterDead struct {
 	Writer uint32
+
+	// Gen is the reap generation the obituary belongs to. With a
+	// replicated manager both a deposed leader and its successor can
+	// reap the same lease during a failover window; the memory servers
+	// deduplicate obituaries per (writer, generation) so the second
+	// broadcast is a no-op. Trailing and omitted when zero (classic
+	// single-manager encoding unchanged).
+	Gen uint64
 }
 
-func (m *WriterDead) Kind() Kind          { return KWriterDead }
-func (m *WriterDead) Marshal(w *Writer)   { w.U32(m.Writer) }
-func (m *WriterDead) Unmarshal(r *Reader) { m.Writer = r.U32() }
+func (m *WriterDead) Kind() Kind { return KWriterDead }
+
+func (m *WriterDead) Marshal(w *Writer) {
+	w.U32(m.Writer)
+	if m.Gen != 0 {
+		w.U64(m.Gen)
+	}
+}
+
+func (m *WriterDead) Unmarshal(r *Reader) {
+	m.Writer = r.U32()
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Gen = r.U64()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Replicated-manager messages (consensus log).
+
+// ReplEntry is one replicated log entry: a client mutation (or a
+// manager-internal event such as a lease reap) captured as its wire
+// encoding, stamped with the log index and the leader term that
+// appended it. Src is the fabric node the original request came from,
+// so a promoted follower can complete the operation toward the right
+// client.
+type ReplEntry struct {
+	Index uint64
+	Term  uint64
+	Src   uint32
+	Kind  uint16
+	Body  []byte
+}
+
+func (e *ReplEntry) marshal(w *Writer) {
+	w.U64(e.Index)
+	w.U64(e.Term)
+	w.U32(e.Src)
+	w.U32(uint32(e.Kind))
+	w.Bytes(e.Body)
+}
+
+func (e *ReplEntry) unmarshal(r *Reader) {
+	e.Index = r.U64()
+	e.Term = r.U64()
+	e.Src = r.U32()
+	e.Kind = uint16(r.U32())
+	e.Body = append([]byte(nil), r.Bytes()...)
+}
+
+// ReplAppend carries log entries from the manager leader to a follower
+// replica. An empty Entries slice is a lease renewal: it proves the
+// leader is alive (and still the leader — a follower that has adopted a
+// higher term rejects it, deposing the sender).
+type ReplAppend struct {
+	Term    uint64
+	Entries []ReplEntry
+}
+
+func (m *ReplAppend) Kind() Kind { return KReplAppend }
+
+func (m *ReplAppend) Marshal(w *Writer) {
+	w.U64(m.Term)
+	w.U64(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].marshal(w)
+	}
+}
+
+func (m *ReplAppend) Unmarshal(r *Reader) {
+	m.Term = r.U64()
+	n := r.U64()
+	if r.Err() != nil || n > uint64(r.Remaining()) {
+		r.fail()
+		return
+	}
+	m.Entries = make([]ReplEntry, n)
+	for i := range m.Entries {
+		m.Entries[i].unmarshal(r)
+	}
+}
+
+// ReplAck answers a ReplAppend. OK means every entry up to NextIndex-1
+// is accepted and applied; a rejection carries the follower's current
+// term (higher than the sender's when the sender has been deposed) and
+// the next index it expects (lower than the sender's first entry when
+// the follower lags and needs earlier entries or a snapshot).
+type ReplAck struct {
+	OK        bool
+	Term      uint64
+	NextIndex uint64
+}
+
+func (m *ReplAck) Kind() Kind { return KReplAck }
+
+func (m *ReplAck) Marshal(w *Writer) {
+	if m.OK {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.U64(m.Term)
+	w.U64(m.NextIndex)
+}
+
+func (m *ReplAck) Unmarshal(r *Reader) {
+	m.OK = r.U8() != 0
+	m.Term = r.U64()
+	m.NextIndex = r.U64()
+}
+
+// PromoteMgr turns a follower manager replica into the leader, under a
+// new (higher) term. Sent by the runtime's failover controller when
+// clients observe the current leader dead. Idempotent: an
+// already-promoted replica at the same or higher term acks again.
+type PromoteMgr struct {
+	Term uint64
+}
+
+func (m *PromoteMgr) Kind() Kind          { return KPromoteMgr }
+func (m *PromoteMgr) Marshal(w *Writer)   { w.U64(m.Term) }
+func (m *PromoteMgr) Unmarshal(r *Reader) { m.Term = r.U64() }
+
+// ReplSnapshot installs a full manager state snapshot on a follower
+// whose next expected index has been truncated out of the leader's log.
+// Index is the last log index the snapshot covers; appends resume at
+// Index+1.
+type ReplSnapshot struct {
+	Term  uint64
+	Index uint64
+	State []byte
+}
+
+func (m *ReplSnapshot) Kind() Kind { return KReplSnapshot }
+
+func (m *ReplSnapshot) Marshal(w *Writer) {
+	w.U64(m.Term)
+	w.U64(m.Index)
+	w.Bytes(m.State)
+}
+
+func (m *ReplSnapshot) Unmarshal(r *Reader) {
+	m.Term = r.U64()
+	m.Index = r.U64()
+	m.State = append([]byte(nil), r.Bytes()...)
+}
+
+// ReclaimEvent is a log-entry-only message (never sent on its own): the
+// leader replicates a membership lease reap before acting on it, so a
+// promoted follower knows the member is already dead and never reaps
+// (and recomputes barriers for) the same lease a second time. Gen is
+// the reap generation quoted in the resulting WriterDead obituaries.
+type ReclaimEvent struct {
+	Thread uint32
+	Node   uint32
+	Gen    uint64
+}
+
+func (m *ReclaimEvent) Kind() Kind { return KReclaimEvent }
+
+func (m *ReclaimEvent) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U32(m.Node)
+	w.U64(m.Gen)
+}
+
+func (m *ReclaimEvent) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Node = r.U32()
+	m.Gen = r.U64()
+}

@@ -1,0 +1,176 @@
+package replog
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func entry(t *testing.T, p *Proposer, body byte) proto.ReplEntry {
+	t.Helper()
+	return p.Append(7, proto.KLockReq, []byte{body})
+}
+
+func TestAppendAckApplyRoundTrip(t *testing.T) {
+	p := NewProposer(1, []int{1}, 1)
+	var a Acceptor
+
+	e1 := entry(t, p, 0xA)
+	e2 := entry(t, p, 0xB)
+	if e1.Index != 1 || e2.Index != 2 {
+		t.Fatalf("indices = %d, %d", e1.Index, e2.Index)
+	}
+	ents, snap := p.Batch(1)
+	if snap || len(ents) != 2 {
+		t.Fatalf("Batch = %d entries, snapshot=%v", len(ents), snap)
+	}
+	apply, ack := a.Offer(&proto.ReplAppend{Term: 1, Entries: ents})
+	if len(apply) != 2 || !ack.OK || ack.NextIndex != 3 {
+		t.Fatalf("apply=%d ack=%+v", len(apply), ack)
+	}
+	if deposed := p.Ack(1, &ack); deposed {
+		t.Fatal("healthy ack deposed the leader")
+	}
+	if ents, _ := p.Batch(1); len(ents) != 0 {
+		t.Fatalf("acked entries still pending: %d", len(ents))
+	}
+}
+
+func TestDuplicateEntriesSkipped(t *testing.T) {
+	p := NewProposer(1, []int{1}, 1)
+	var a Acceptor
+	e := entry(t, p, 1)
+	all := []proto.ReplEntry{e}
+	if apply, _ := a.Offer(&proto.ReplAppend{Term: 1, Entries: all}); len(apply) != 1 {
+		t.Fatal("first offer not applied")
+	}
+	// The same entry resent (an ack was lost) must not re-apply.
+	apply, ack := a.Offer(&proto.ReplAppend{Term: 1, Entries: all})
+	if len(apply) != 0 || !ack.OK || ack.NextIndex != 2 {
+		t.Fatalf("duplicate re-applied: apply=%d ack=%+v", len(apply), ack)
+	}
+}
+
+func TestStaleTermDeposesSender(t *testing.T) {
+	a := Acceptor{Term: 5, Last: 10}
+	apply, ack := a.Offer(&proto.ReplAppend{Term: 3})
+	if len(apply) != 0 || ack.OK || ack.Term != 5 {
+		t.Fatalf("stale append accepted: ack=%+v", ack)
+	}
+	p := NewProposer(3, []int{1}, 11)
+	if !p.Ack(1, &ack) {
+		t.Fatal("higher-term rejection did not depose the proposer")
+	}
+}
+
+func TestGapRejectionBacksUpAndResends(t *testing.T) {
+	p := NewProposer(2, []int{1}, 1)
+	var a Acceptor
+	e1 := entry(t, p, 1)
+	e2 := entry(t, p, 2)
+	_ = e1
+	// Follower only sees entry 2: gap, expects index 1.
+	apply, ack := a.Offer(&proto.ReplAppend{Term: 2, Entries: []proto.ReplEntry{e2}})
+	if len(apply) != 0 || ack.OK || ack.NextIndex != 1 {
+		t.Fatalf("gap not rejected: ack=%+v", ack)
+	}
+	if p.Ack(1, &ack) {
+		t.Fatal("gap rejection deposed the leader")
+	}
+	ents, snap := p.Batch(1)
+	if snap || len(ents) != 2 {
+		t.Fatalf("resend batch = %d entries", len(ents))
+	}
+	if apply, ack = a.Offer(&proto.ReplAppend{Term: 2, Entries: ents}); len(apply) != 2 || !ack.OK {
+		t.Fatalf("resend not applied: apply=%d ack=%+v", len(apply), ack)
+	}
+}
+
+func TestTruncateKeyedToAcksAndApplied(t *testing.T) {
+	p := NewProposer(1, []int{1, 2}, 1)
+	var a1, a2 Acceptor
+	for i := 0; i < 4; i++ {
+		entry(t, p, byte(i))
+	}
+	ents, _ := p.Batch(1)
+	_, ack1 := a1.Offer(&proto.ReplAppend{Term: 1, Entries: ents})
+	p.Ack(1, &ack1)
+	// Peer 2 only acked through index 2.
+	_, ack2 := a2.Offer(&proto.ReplAppend{Term: 1, Entries: ents[:2]})
+	p.Ack(2, &ack2)
+
+	// All four applied locally, but peer 2 gates truncation at 2.
+	if n := p.Truncate(4); n != 2 {
+		t.Fatalf("Truncate dropped %d, want 2", n)
+	}
+	if p.First() != 3 || p.Retained() != 2 {
+		t.Fatalf("first=%d retained=%d", p.First(), p.Retained())
+	}
+	// The applied floor gates too: nothing above it may drop even when
+	// every peer acked.
+	_, ack2 = a2.Offer(&proto.ReplAppend{Term: 1, Entries: ents[2:]})
+	p.Ack(2, &ack2)
+	if n := p.Truncate(3); n != 1 {
+		t.Fatalf("floor-gated Truncate dropped %d, want 1", n)
+	}
+	// A dead peer stops gating.
+	p2 := NewProposer(1, []int{1, 2}, 1)
+	entry(t, p2, 9)
+	ents2, _ := p2.Batch(1)
+	var b Acceptor
+	_, ackB := b.Offer(&proto.ReplAppend{Term: 1, Entries: ents2})
+	p2.Ack(1, &ackB)
+	if n := p2.Truncate(1); n != 0 {
+		t.Fatal("unacked peer did not gate truncation")
+	}
+	p2.DropPeer(2)
+	if n := p2.Truncate(1); n != 1 {
+		t.Fatalf("dead peer still gates truncation (dropped %d)", n)
+	}
+}
+
+func TestSnapshotCatchUp(t *testing.T) {
+	p := NewProposer(1, []int{1, 2}, 1)
+	var a1 Acceptor
+	for i := 0; i < 3; i++ {
+		entry(t, p, byte(i))
+	}
+	ents, _ := p.Batch(1)
+	_, ack := a1.Offer(&proto.ReplAppend{Term: 1, Entries: ents})
+	p.Ack(1, &ack)
+	p.DropPeer(2)
+	p.Truncate(3)
+
+	// Peer 2 rejoins conceptually: a new leader starts its log above the
+	// truncated prefix, and the peer's gap rejection (it expects index
+	// 1) backs its cursor below First, flagging it for a snapshot.
+	pr := NewProposer(1, []int{2}, 4)
+	pr.Append(1, proto.KLockReq, nil)
+	var lag Acceptor
+	ents4, _ := pr.Batch(2)
+	_, nack := lag.Offer(&proto.ReplAppend{Term: 1, Entries: ents4})
+	if nack.OK || nack.NextIndex != 1 {
+		t.Fatalf("lagging follower ack = %+v", nack)
+	}
+	pr.Ack(2, &nack)
+	if _, snap := pr.Batch(2); !snap {
+		t.Fatal("lagging peer not flagged for snapshot")
+	}
+	var a2 Acceptor
+	if err := a2.InstallSnapshot(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a2.Last != 3 {
+		t.Fatalf("snapshot Last = %d", a2.Last)
+	}
+	pr.SnapshotInstalled(2, 3)
+	// Appends resume above the snapshot: the pending index-4 entry now
+	// lands cleanly on the caught-up follower.
+	apply, ack2 := a2.Offer(&proto.ReplAppend{Term: 1, Entries: ents4})
+	if len(apply) != 1 || !ack2.OK || ack2.NextIndex != 5 {
+		t.Fatalf("post-snapshot append rejected: apply=%d ack=%+v", len(apply), ack2)
+	}
+	if err := a2.InstallSnapshot(0, 9); err == nil {
+		t.Fatal("stale-term snapshot accepted")
+	}
+}

@@ -83,12 +83,22 @@ func Transientf(format string, args ...any) error {
 // transients qualify, as do raw network/connection failures that escaped
 // wrapping. An exhausted retry (ErrUnreachable) is terminal — nesting
 // retry layers must not multiply attempts.
+//
+// A remote proto.ErrNotLeader is also transient: a manager replica that
+// answers "not the leader" is alive but mid-election, so backing off
+// and re-sending (the runtime redirects the re-send to the new leader)
+// is the correct reaction. A remote proto.ErrShutdown stays terminal —
+// a deposed leader must answer CodeNotLeader, not CodeShutdown, so that
+// client-initiated shutdown keeps its terminal meaning.
 func IsTransient(err error) bool {
 	if err == nil || errors.Is(err, ErrUnreachable) {
 		return false
 	}
 	var te *TransientError
 	if errors.As(err, &te) {
+		return true
+	}
+	if errors.Is(err, proto.ErrNotLeader) {
 		return true
 	}
 	var ne net.Error

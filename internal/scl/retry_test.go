@@ -275,3 +275,106 @@ func TestWithRetryAcceptsUnsequencedFabric(t *testing.T) {
 	defer ep.Close()
 	WithRetry(ep, DefaultRetryPolicy, nil)
 }
+
+// Replicated-manager error classification: a deposed leader answers
+// CodeNotLeader, which must be retryable — the caller backs off and the
+// runtime redirects the re-send to the promoted replica. An orderly
+// CodeShutdown keeps its terminal meaning: client-initiated shutdown
+// must not be retried into a dead endpoint.
+func TestNotLeaderRetryableShutdownTerminal(t *testing.T) {
+	if !IsTransient(&RemoteError{Code: proto.CodeNotLeader, Text: "deposed"}) {
+		t.Error("remote CodeNotLeader is not transient")
+	}
+	if IsTransient(&RemoteError{Code: proto.CodeShutdown, Text: "bye"}) {
+		t.Error("remote CodeShutdown treated as transient")
+	}
+
+	// A replica that answers "not the leader" a few times while the
+	// election settles is masked by the retry layer.
+	inner := &flakyEndpoint{failN: 3, err: &RemoteError{Code: proto.CodeNotLeader, Text: "deposed"}}
+	ep := WithRetry(inner, RetryPolicy{MaxAttempts: 6, Backoff: time.Microsecond}, nil)
+	var resp proto.AllocResp
+	if _, err := ep.Call(2, &proto.AllocReq{Size: 1}, &resp, 0); err != nil {
+		t.Fatalf("NotLeader responses not masked: %v", err)
+	}
+	if resp.Addr != 42 {
+		t.Errorf("resp.Addr = %d", resp.Addr)
+	}
+	if inner.calls != 4 {
+		t.Errorf("attempts = %d, want 4", inner.calls)
+	}
+
+	// Shutdown surfaces immediately, typed, after exactly one attempt.
+	down := &flakyEndpoint{failN: 1 << 30, err: &RemoteError{Code: proto.CodeShutdown, Text: "bye"}}
+	ep = WithRetry(down, RetryPolicy{MaxAttempts: 6, Backoff: time.Microsecond}, nil)
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, proto.ErrShutdown) {
+		t.Fatalf("err = %v, want ErrShutdown", err)
+	}
+	if down.calls != 1 {
+		t.Errorf("terminal shutdown retried %d times", down.calls)
+	}
+}
+
+// electionEndpoint models a manager mid-election: the first deposed
+// calls answer CodeNotLeader, then the (stale) address stops answering
+// entirely — the hang a client would see if it kept talking to a dead
+// leader the whole election.
+type electionEndpoint struct {
+	mu      sync.Mutex
+	deposed int
+	calls   int
+}
+
+func (f *electionEndpoint) ID() NodeID { return 1 }
+
+func (f *electionEndpoint) Call(dst NodeID, req proto.Msg, resp proto.Msg, at vtime.Time) (vtime.Time, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.deposed {
+		return at, &RemoteError{Code: proto.CodeNotLeader, Text: "election in progress"}
+	}
+	select {} // the stale leader address goes dark
+}
+
+func (f *electionEndpoint) Post(dst NodeID, m proto.Msg, at vtime.Time) (vtime.Time, error) {
+	return at, &RemoteError{Code: proto.CodeNotLeader, Text: "election in progress"}
+}
+func (f *electionEndpoint) Recv() (*Request, bool) { return nil, false }
+func (f *electionEndpoint) Close()                 {}
+
+// The election-stall regression: with no per-attempt Timeout, the
+// overall Deadline must still bound a Call whose later attempt is
+// accepted but never answered mid-election. The call retries the
+// NotLeader answers, then fails typed with ErrUnreachable at the
+// deadline instead of hanging on the dark leader.
+func TestDeadlineBoundsInFlightDuringElection(t *testing.T) {
+	inner := &electionEndpoint{deposed: 2}
+	nst := new(stats.Net)
+	ep := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 1 << 20,
+		Backoff:     time.Microsecond,
+		BackoffCap:  time.Millisecond,
+		Deadline:    50 * time.Millisecond,
+	}, nst)
+	start := time.Now()
+	var resp proto.AllocResp
+	_, err := ep.Call(2, &proto.AllocReq{}, &resp, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("deadline did not bound the in-flight election call: took %v", e)
+	}
+	inner.mu.Lock()
+	calls := inner.calls
+	inner.mu.Unlock()
+	if calls < 3 {
+		t.Errorf("NotLeader answers were not retried: %d attempts", calls)
+	}
+	if nst.Retries.Load() == 0 {
+		t.Error("no retries recorded for the deposed answers")
+	}
+}

@@ -46,14 +46,37 @@ type Endpoint interface {
 // later and from another goroutine (deferred replies implement lock
 // queues, barrier parking and fetch-after-diff waits).
 type Request struct {
-	src    NodeID
-	kind   proto.Kind
-	body   []byte
-	arrive vtime.Time
-	svc    vtime.Time
-	oneway bool
-	reply  func(kind uint16, body []byte, at vtime.Time)
+	src      NodeID
+	kind     proto.Kind
+	body     []byte
+	arrive   vtime.Time
+	svc      vtime.Time
+	oneway   bool
+	replayed bool
+	reply    func(kind uint16, body []byte, at vtime.Time)
 }
+
+// NewReplayRequest fabricates a request that was never received from
+// the fabric: a manager follower replica re-applies replicated log
+// entries through the same handlers the leader ran them through, and
+// the handlers park these requests in lock queues and barrier tables
+// exactly like live ones. Replies go nowhere (the live client is
+// answered by the leader, or re-issues after a failover), which
+// Replayed lets the handlers detect.
+func NewReplayRequest(src NodeID, kind proto.Kind, body []byte, at vtime.Time) *Request {
+	return &Request{
+		src:      src,
+		kind:     kind,
+		body:     body,
+		arrive:   at,
+		replayed: true,
+		reply:    func(uint16, []byte, vtime.Time) {},
+	}
+}
+
+// Replayed reports whether the request was fabricated by a log replay
+// (its Reply is a no-op).
+func (r *Request) Replayed() bool { return r.replayed }
 
 // Src reports the sending node.
 func (r *Request) Src() NodeID { return r.src }
@@ -72,6 +95,11 @@ func (r *Request) OneWay() bool { return r.oneway }
 
 // BodyLen reports the encoded body size in bytes.
 func (r *Request) BodyLen() int { return len(r.body) }
+
+// Body exposes the raw encoded body. The manager's replication layer
+// appends it to the log verbatim so followers re-decode exactly what the
+// leader received. Callers must not mutate it.
+func (r *Request) Body() []byte { return r.body }
 
 // Decode unmarshals the request body into m, which must match the
 // request's kind.

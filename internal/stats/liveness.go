@@ -27,6 +27,15 @@ type Liveness struct {
 	ReplFailures atomic.Int64 // replication posts that failed
 	Promotions   atomic.Int64 // standby servers promoted to primary
 	Failovers    atomic.Int64 // homes redirected to their promoted standby
+
+	// Replicated-manager (consensus log) events.
+	MgrElections    atomic.Int64 // manager replicas promoted to leader
+	MgrDeposed      atomic.Int64 // manager leaders that stepped down
+	MgrReplAppends  atomic.Int64 // append rounds the leader pushed to followers
+	MgrReplEntries  atomic.Int64 // log entries shipped in those rounds
+	MgrSnapshots    atomic.Int64 // full-state snapshots installed on lagging followers
+	MgrLogTruncated atomic.Int64 // log entries dropped by acked+applied truncation
+	MgrFailovers    atomic.Int64 // client redirects to a newly promoted manager
 }
 
 // Summary renders the non-zero liveness counters on one line (or
@@ -50,6 +59,13 @@ func (l *Liveness) Summary() string {
 		{"replFailures", l.ReplFailures.Load()},
 		{"promotions", l.Promotions.Load()},
 		{"failovers", l.Failovers.Load()},
+		{"mgrElections", l.MgrElections.Load()},
+		{"mgrDeposed", l.MgrDeposed.Load()},
+		{"mgrReplAppends", l.MgrReplAppends.Load()},
+		{"mgrReplEntries", l.MgrReplEntries.Load()},
+		{"mgrSnapshots", l.MgrSnapshots.Load()},
+		{"mgrLogTruncated", l.MgrLogTruncated.Load()},
+		{"mgrFailovers", l.MgrFailovers.Load()},
 	}
 	var parts []string
 	for _, it := range items {
