@@ -14,6 +14,7 @@
 //	samhita-bench -all -quick -standby  # with warm-standby replicated memory servers
 //	samhita-bench -json BENCH_micro.json            # machine-readable micro benchmark
 //	samhita-bench -json out.json -baseline BENCH_micro.json  # + CI regression gate
+//	samhita-bench -stream-span -server-shards 4 -manager-shards 4  # span data-plane smoke
 //
 // Reported times are virtual-model times (see DESIGN.md), so the output
 // is deterministic up to scheduling of symmetric lock acquisitions.
@@ -43,6 +44,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write CSV files into")
 
 		jsonOut      = flag.String("json", "", "measure the micro-benchmark suite and write it as JSON to this file")
+		streamSpan   = flag.Bool("stream-span", false, "smoke-check the span-recast stream kernel: element and span runs must produce identical checksums")
 		baseline     = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
 		depth        = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
 		serverShards = flag.Int("server-shards", 1, "split each memory server into this many independently scheduled page shards")
@@ -83,9 +85,17 @@ func main() {
 		opts.Net = new(samhita.NetStats)
 	}
 
-	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario && *jsonOut == "" {
+	if !*all && *figure == 0 && !*ablations && *ablation == "" && !*scenario && *jsonOut == "" && !*streamSpan {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *streamSpan {
+		line, err := bench.StreamSpanSmoke(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(line)
 	}
 
 	if *jsonOut != "" {

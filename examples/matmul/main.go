@@ -6,6 +6,12 @@
 // writers. C's row blocks have one writer each and are never shared at
 // all, so the releases during the multiply move almost no data.
 //
+// Rows move through the bulk span API (WriteSlice, ReadSlice, and the
+// checked-out Slice/Close view) instead of per-element At/Set: one
+// accessor round per row rather than one per element, and span-written
+// rows publish their exact extents at release so any falsely-sharing
+// peer invalidates only the touched bytes.
+//
 // Run with: go run ./examples/matmul [-n 128] [-p 8]
 package main
 
@@ -44,13 +50,19 @@ func main() {
 		B := samhita.F64{Base: b + samhita.Addr(8*elemsPerMat)}
 		C := samhita.F64{Base: b + samhita.Addr(16*elemsPerMat)}
 
-		// Initialize A and B by row blocks (owner-computes).
+		// Initialize A and B by row blocks (owner-computes): build each
+		// row locally, store it with one span write.
 		lo, hi := blockRange(dim, t.P(), t.ID())
+		row := make([]float64, dim)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < dim; j++ {
-				A.Set(t, i*dim+j, float64((i+j)%7)+1)
-				B.Set(t, i*dim+j, float64((i*j)%5)+1)
+				row[j] = float64((i+j)%7) + 1
 			}
+			A.WriteSlice(t, i*dim, row)
+			for j := 0; j < dim; j++ {
+				row[j] = float64((i*j)%5) + 1
+			}
+			B.WriteSlice(t, i*dim, row)
 		}
 		bar.Wait(t)
 		t.ResetMeasurement() // time the multiply, not the init
@@ -58,37 +70,38 @@ func main() {
 		// Multiply: each thread computes its block of C's rows, reading
 		// all of B (read sharing) and its rows of A.
 		rowA := make([]float64, dim)
+		rowB := make([]float64, dim)
 		colSums := make([]float64, dim)
 		for i := lo; i < hi; i++ {
-			for j := 0; j < dim; j++ {
-				rowA[j] = A.At(t, i*dim+j)
-			}
+			A.ReadSlice(t, i*dim, rowA)
 			for j := range colSums {
 				colSums[j] = 0
 			}
 			for k := 0; k < dim; k++ {
 				aik := rowA[k]
+				B.ReadSlice(t, k*dim, rowB)
 				for j := 0; j < dim; j++ {
-					colSums[j] += aik * B.At(t, k*dim+j)
+					colSums[j] += aik * rowB[j]
 				}
 			}
 			t.Compute(2 * dim * dim)
-			for j := 0; j < dim; j++ {
-				C.Set(t, i*dim+j, colSums[j])
-			}
+			C.WriteSlice(t, i*dim, colSums)
 		}
 		bar.Wait(t)
 		t.StopMeasurement()
 
-		// Verify a sample of C against a direct computation.
+		// Verify a sample of C against a direct computation, through a
+		// checked-out read-only span view of each row involved.
 		if t.ID() == 0 {
 			for trial := 0; trial < 16; trial++ {
 				i := (trial * 31) % dim
 				j := (trial * 17) % dim
+				ra := A.Slice(t, i*dim, (i+1)*dim)
 				var want float64
 				for k := 0; k < dim; k++ {
-					want += A.At(t, i*dim+k) * B.At(t, k*dim+j)
+					want += ra.V[k] * B.At(t, k*dim+j)
 				}
+				ra.Discard() // read-only: no write-back
 				if got := C.At(t, i*dim+j); got != want {
 					log.Fatalf("C[%d,%d] = %v, want %v", i, j, got, want)
 				}

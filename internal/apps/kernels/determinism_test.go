@@ -77,6 +77,62 @@ func TestMicroDeterministicOnSimFabric(t *testing.T) {
 	}
 }
 
+// The span-data-plane leg: the same strided kernel recast onto the
+// bulk span accessors must stay deterministic (the extent words ride
+// the same sequenced notices) AND compute the identical global sum as
+// the per-element plane — on every sharding, including the sh=4/mgr=4
+// configuration CI benches.
+func TestMicroSpanDeterministicAndMatchesElement(t *testing.T) {
+	for _, sh := range []struct{ srv, mgr int }{{1, 1}, {4, 4}} {
+		sh := sh
+		t.Run(fmt.Sprintf("srv=%d/mgr=%d", sh.srv, sh.mgr), func(t *testing.T) {
+			run := func(spans bool, wide int) (float64, *stats.Run) {
+				cfg := core.DefaultConfig()
+				cfg.CacheLines = 256
+				cfg.Geo.NumServers = 2
+				cfg.ServerShards = sh.srv
+				cfg.ManagerShards = sh.mgr
+				rt, err := core.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Close()
+				res, err := RunMicro(rt, 8, MicroParams{
+					N: 4, M: 4, S: 2, B: 64, Mode: AllocStrided,
+					UseSpans: spans, WideGsum: wide,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.GSum, res.Run
+			}
+			g1, r1 := run(true, 0)
+			g2, r2 := run(true, 0)
+			if g1 != g2 {
+				t.Errorf("span gsum differs between identical runs: %v vs %v", g1, g2)
+			}
+			for i := range r1.Threads {
+				if r1.Threads[i] != r2.Threads[i] {
+					t.Errorf("span thread %d stats differ:\n run1: %+v\n run2: %+v",
+						i, r1.Threads[i], r2.Threads[i])
+				}
+			}
+			if ge, _ := run(false, 0); ge != g1 {
+				t.Errorf("span gsum %v != element gsum %v", g1, ge)
+			}
+			// The wide accumulator folds the same sums in the same order
+			// into slot 0, so both record planes must agree with the
+			// single-slot run bit for bit.
+			if gw, _ := run(false, 8); gw != g1 {
+				t.Errorf("wide-element gsum %v != baseline %v", gw, g1)
+			}
+			if gw, _ := run(true, 8); gw != g1 {
+				t.Errorf("wide-span gsum %v != baseline %v", gw, g1)
+			}
+		})
+	}
+}
+
 // The faults-on leg. Fault injection is driven by real time (injected
 // delays, retry timeouts), so virtual times are NOT reproducible and
 // the fabric stays unsequenced; what must still hold per seed is the

@@ -20,6 +20,9 @@ type JacobiParams struct {
 	N int
 	// Iters is the number of Jacobi sweeps.
 	Iters int
+	// UseSpans streams grid rows through the bulk span accessors
+	// instead of per-element byte moves.
+	UseSpans bool
 }
 
 // DefaultJacobiParams is sized so runs finish quickly while still
@@ -73,8 +76,12 @@ func RunJacobi(v vm.VM, p int, prm JacobiParams) (*JacobiResult, error) {
 		rowAddr := func(g int, i int) vm.Addr { return grids[g] + vm.Addr(i*rows*8) }
 
 		lo, hi := blockRange(n, p, t.ID()) // interior rows [lo+1, hi+1)
-		bufs := [3]*rowBuf{newRowBuf(rows), newRowBuf(rows), newRowBuf(rows)}
-		outBuf := newRowBuf(rows)
+		newBuf := newRowBuf
+		if prm.UseSpans {
+			newBuf = newSpanRowBuf
+		}
+		bufs := [3]*rowBuf{newBuf(rows), newBuf(rows), newBuf(rows)}
+		outBuf := newBuf(rows)
 
 		// Initialize: thread 0 writes the boundary profile into both
 		// grids; every thread zeroes its own interior rows. The backing

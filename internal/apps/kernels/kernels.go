@@ -20,18 +20,34 @@ import (
 )
 
 // rowBuf is a scratch row used to move float64 rows through the byte
-// accessors.
+// accessors. The spans flag switches it onto the bulk span data plane:
+// rows then travel through ReadFloat64s/WriteFloat64s, which resolve
+// cache residency once per page and (on Samhita) publish the written
+// extents at the next release so falsely-sharing peers invalidate only
+// the bytes this thread actually wrote.
 type rowBuf struct {
-	vals []float64
-	raw  []byte
+	vals  []float64
+	raw   []byte
+	spans bool
 }
 
 func newRowBuf(n int) *rowBuf {
 	return &rowBuf{vals: make([]float64, n), raw: make([]byte, 8*n)}
 }
 
+// newSpanRowBuf returns a rowBuf moving rows through the span accessors.
+func newSpanRowBuf(n int) *rowBuf {
+	b := newRowBuf(n)
+	b.spans = true
+	return b
+}
+
 // load reads n float64s at addr into the buffer.
 func (b *rowBuf) load(t vm.Thread, addr vm.Addr, n int) []float64 {
+	if b.spans {
+		t.ReadFloat64s(addr, b.vals[:n])
+		return b.vals[:n]
+	}
 	t.ReadBytes(addr, b.raw[:8*n])
 	for i := 0; i < n; i++ {
 		b.vals[i] = vm.GetFloat64(b.raw[8*i:])
@@ -41,6 +57,10 @@ func (b *rowBuf) load(t vm.Thread, addr vm.Addr, n int) []float64 {
 
 // store writes vals to addr.
 func (b *rowBuf) store(t vm.Thread, addr vm.Addr, vals []float64) {
+	if b.spans {
+		t.WriteFloat64s(addr, vals)
+		return
+	}
 	for i, v := range vals {
 		vm.PutFloat64(b.raw[8*i:], v)
 	}

@@ -23,6 +23,9 @@ type MDParams struct {
 	Dt float64
 	// Mass is the particle mass.
 	Mass float64
+	// UseSpans moves the per-thread array slices through the bulk span
+	// accessors instead of per-element byte moves.
+	UseSpans bool
 }
 
 // DefaultMDParams sizes the simulation for quick runs.
@@ -86,9 +89,14 @@ func RunMD(v vm.VM, p int, prm MDParams) (*MDResult, error) {
 		own := hi - lo
 		coordAddr := func(arr vm.Addr, i int) vm.Addr { return arr + vm.Addr(i*mdDims*8) }
 
+		newBuf := newRowBuf
+		if prm.UseSpans {
+			newBuf = newSpanRowBuf
+		}
+
 		// Deterministic initial positions on a jittered lattice;
 		// velocities and accelerations start at zero.
-		initBuf := newRowBuf(mdDims)
+		initBuf := newBuf(mdDims)
 		coords := make([]float64, mdDims)
 		for i := lo; i < hi; i++ {
 			lcg := uint64(i)*6364136223846793005 + 1442695040888963407
@@ -101,7 +109,7 @@ func RunMD(v vm.VM, p int, prm MDParams) (*MDResult, error) {
 		// Touch the owned slices of the other arrays too, so the timed
 		// region starts warm (see the Jacobi kernel).
 		zero := make([]float64, own*mdDims)
-		warm := newRowBuf(own * mdDims)
+		warm := newBuf(own * mdDims)
 		for _, arr := range []vm.Addr{vel, acc, force} {
 			warm.store(t, coordAddr(arr, lo), zero)
 		}
@@ -109,11 +117,11 @@ func RunMD(v vm.VM, p int, prm MDParams) (*MDResult, error) {
 		t.ResetMeasurement()
 
 		// Scratch copies of whole arrays for the force pass.
-		allPos := newRowBuf(n * mdDims)
-		ownBuf := newRowBuf(own * mdDims)
-		velBuf := newRowBuf(own * mdDims)
-		accBuf := newRowBuf(own * mdDims)
-		forceBuf := newRowBuf(own * mdDims)
+		allPos := newBuf(n * mdDims)
+		ownBuf := newBuf(own * mdDims)
+		velBuf := newBuf(own * mdDims)
+		accBuf := newBuf(own * mdDims)
+		forceBuf := newBuf(own * mdDims)
 
 		for step := 0; step < prm.Steps; step++ {
 			if step > 0 {

@@ -65,6 +65,22 @@ type MicroParams struct {
 	B    int       // doubles per row
 	R    float64   // multiplier applied to each element
 	Mode AllocMode // allocation / distribution strategy
+
+	// UseSpans recasts the row loop onto the bulk span accessors
+	// (ReadFloat64s/WriteFloat64s): whole rows move through one cache
+	// access, and on Samhita each release publishes the rows' written
+	// extents so falsely-sharing peers invalidate partially instead of
+	// refetching whole pages. The arithmetic is identical; only the data
+	// plane changes.
+	UseSpans bool
+	// WideGsum widens the global accumulator to this many contiguous
+	// slots; under the mutex each thread folds its per-interval sum into
+	// EVERY slot, making the consistency region a W-element contiguous
+	// store burst (the record-plane stressor: element stores coalesce
+	// into one record per burst, spans log one record outright). 0 or 1
+	// is the legacy single-slot accumulator; slot 0 always carries the
+	// legacy GSum value.
+	WideGsum int
 }
 
 // DefaultMicroParams returns the paper's fixed parameters with the
@@ -140,8 +156,12 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 				sharedBase.Store(uint64(t.GlobalAlloc(p * prm.S * rowBytes)))
 			}
 		}
+		W := prm.WideGsum
+		if W < 1 {
+			W = 1
+		}
 		if t.ID() == 0 {
-			gsumBase.Store(uint64(t.GlobalAlloc(8)))
+			gsumBase.Store(uint64(t.GlobalAlloc(8 * W)))
 		}
 		bar.Wait(t)
 		base := vm.Addr(sharedBase.Load())
@@ -172,6 +192,13 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 		// chain changes real bytes every pass (a zero array would never
 		// produce diffs and would under-model the consistency traffic).
 		buf := newRowBuf(prm.B)
+		if prm.UseSpans {
+			buf = newSpanRowBuf(prm.B)
+		}
+		var wide []float64
+		if W > 1 && prm.UseSpans {
+			wide = make([]float64, W)
+		}
 		ones := make([]float64, prm.B)
 		for l := range ones {
 			ones[l] = 1.0
@@ -205,7 +232,24 @@ func RunMicro(v vm.VM, p int, prm MicroParams) (*MicroResult, error) {
 				}
 			}
 			mu.Lock(t)
-			gsum.Add(t, 0, sum)
+			switch {
+			case W == 1:
+				gsum.Add(t, 0, sum)
+			case prm.UseSpans:
+				// One span read + one span write: a single store record
+				// for the whole W-slot burst.
+				gsum.ReadSlice(t, 0, wide)
+				for w := range wide {
+					wide[w] += sum
+				}
+				gsum.WriteSlice(t, 0, wide)
+			default:
+				// W fused element adds: adjacent records, coalesced at
+				// append time into one (unless the ablation disables it).
+				for w := 0; w < W; w++ {
+					gsum.Add(t, w, sum)
+				}
+			}
 			mu.Unlock(t)
 			bar.Wait(t)
 		}

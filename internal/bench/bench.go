@@ -76,6 +76,9 @@ type Options struct {
 	ManagerReplicas int
 	// DisableFineGrain degrades RegC to page-grained LRC (ablation c).
 	DisableFineGrain bool
+	// NoRecordCoalesce turns off append-time coalescing of adjacent
+	// consistency-region store records (record-plane ablation).
+	NoRecordCoalesce bool
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
 	// endpoint of every Samhita runtime the experiments boot;
 	// FaultDrop/FaultDelay/FaultDup (seeded by FaultSeed) add a fresh
@@ -190,6 +193,7 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.ManagerShards = o.ManagerShards
 	cfg.ManagerReplicas = o.ManagerReplicas
 	cfg.DisableFineGrain = o.DisableFineGrain
+	cfg.NoRecordCoalesce = o.NoRecordCoalesce
 	o.applyRobustness(&cfg)
 	for _, f := range overrides {
 		f(&cfg)

@@ -38,6 +38,13 @@ type MicroPoint struct {
 	// ManagerReplicas is the consensus-replicated manager group size (0
 	// in documents written before replication existed, equivalent to 1).
 	ManagerReplicas int `json:"managerReplicas,omitempty"`
+	// Spans marks points whose kernel ran on the bulk span accessors.
+	Spans bool `json:"spans,omitempty"`
+	// WideGsum is the widened global-accumulator slot count (0/1 = the
+	// legacy single slot); see kernels.MicroParams.WideGsum.
+	WideGsum int `json:"wideGsum,omitempty"`
+	// NoCoalesce marks the record-coalescing ablation.
+	NoCoalesce bool `json:"noCoalesce,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -64,6 +71,12 @@ type MicroPoint struct {
 	MgrReplEntries int64 `json:"mgrReplEntries,omitempty"`
 	MgrSnapshots   int64 `json:"mgrSnapshots,omitempty"`
 	MgrElections   int64 `json:"mgrElections,omitempty"`
+
+	// Record-plane footprint: consistency-region store records logged
+	// and their wire footprint (payload plus the 16-byte per-record
+	// marshalling header). Omitted for runs that log no records.
+	RecordsLogged int64 `json:"recordsLogged,omitempty"`
+	RecordBytes   int64 `json:"recordBytes,omitempty"`
 }
 
 // key is the configuration identity used to pair baseline and current
@@ -82,7 +95,19 @@ func (p MicroPoint) key() string {
 	if rep == 0 {
 		rep = 1
 	}
-	return fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d-mgr%d-rep%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh, mgr, rep)
+	k := fmt.Sprintf("p%d-%s-N%d-M%d-S%d-B%d-d%d-sh%d-mgr%d-rep%d", p.P, p.Mode, p.N, p.M, p.S, p.B, p.PrefetchDepth, sh, mgr, rep)
+	// Span/record-plane variants only suffix the key when set, so legacy
+	// documents keep matching legacy points.
+	if p.Spans {
+		k += "-span"
+	}
+	if p.WideGsum > 1 {
+		k += fmt.Sprintf("-wide%d", p.WideGsum)
+	}
+	if p.NoCoalesce {
+		k += "-nocoal"
+	}
+	return k
 }
 
 // MicroBench is the document stored in BENCH_micro.json.
@@ -124,6 +149,12 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 		ServerShards:    shards,
 		ManagerShards:   mgrShards,
 		ManagerReplicas: replicas,
+		Spans:           prm.UseSpans,
+		WideGsum:        prm.WideGsum,
+		NoCoalesce:      o.NoRecordCoalesce,
+
+		RecordsLogged: tot.RecordsLogged,
+		RecordBytes:   tot.RecordBytes + 16*tot.RecordsLogged,
 
 		ComputeMaxNs: int64(res.Run.MaxComputeTime()),
 		SyncMaxNs:    int64(res.Run.MaxSyncTime()),
@@ -167,16 +198,19 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		shards    int
 		mgrShards int
 		replicas  int
+		spans     bool
+		wide      int
+		nocoal    bool
 	}
 	cfgs := []pointCfg{
-		{16, kernels.AllocStrided, 1, 1, 1},
-		{16, kernels.AllocLocal, 1, 1, 1},
-		{16, kernels.AllocRandom, 1, 1, 1},
+		{p: 16, mode: kernels.AllocStrided, shards: 1, mgrShards: 1, replicas: 1},
+		{p: 16, mode: kernels.AllocLocal, shards: 1, mgrShards: 1, replicas: 1},
+		{p: 16, mode: kernels.AllocRandom, shards: 1, mgrShards: 1, replicas: 1},
 	}
 	if o.ServerShards > 1 {
 		cfgs = append(cfgs,
-			pointCfg{16, kernels.AllocStrided, o.ServerShards, 1, 1},
-			pointCfg{16, kernels.AllocRandom, o.ServerShards, 1, 1},
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: o.ServerShards, mgrShards: 1, replicas: 1},
+			pointCfg{p: 16, mode: kernels.AllocRandom, shards: o.ServerShards, mgrShards: 1, replicas: 1},
 		)
 	}
 	if o.ManagerShards > 1 {
@@ -187,8 +221,8 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 			sh = 1
 		}
 		cfgs = append(cfgs,
-			pointCfg{16, kernels.AllocStrided, sh, o.ManagerShards, 1},
-			pointCfg{16, kernels.AllocRandom, sh, o.ManagerShards, 1},
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: sh, mgrShards: o.ManagerShards, replicas: 1},
+			pointCfg{p: 16, mode: kernels.AllocRandom, shards: sh, mgrShards: o.ManagerShards, replicas: 1},
 		)
 	}
 	if o.ManagerReplicas > 1 {
@@ -204,14 +238,36 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		if mgr < 1 {
 			mgr = 1
 		}
-		cfgs = append(cfgs, pointCfg{16, kernels.AllocStrided, sh, mgr, o.ManagerReplicas})
+		cfgs = append(cfgs, pointCfg{p: 16, mode: kernels.AllocStrided, shards: sh, mgrShards: mgr, replicas: o.ManagerReplicas})
+	}
+	if o.ServerShards > 1 && o.ManagerShards > 1 {
+		// Span-recast points on the combined sharded hot path: the same
+		// kernels with the row loop moved onto the bulk accessors. The
+		// strided/random compute times here against their element twins
+		// are the headline number of the span data plane (partial
+		// staleness suppressing false-sharing refetch faults).
+		cfgs = append(cfgs,
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: o.ServerShards, mgrShards: o.ManagerShards, replicas: 1, spans: true},
+			pointCfg{p: 16, mode: kernels.AllocRandom, shards: o.ServerShards, mgrShards: o.ManagerShards, replicas: 1, spans: true},
+		)
+		// Record-plane trio on a region-heavy point (64-slot accumulator
+		// burst under the lock): uncoalesced elements, coalesced elements
+		// and one span record, in that order, so the document shows what
+		// each half of the record plane buys.
+		const wideW = 64
+		cfgs = append(cfgs,
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: o.ServerShards, mgrShards: o.ManagerShards, replicas: 1, wide: wideW, nocoal: true},
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: o.ServerShards, mgrShards: o.ManagerShards, replicas: 1, wide: wideW},
+			pointCfg{p: 16, mode: kernels.AllocStrided, shards: o.ServerShards, mgrShards: o.ManagerShards, replicas: 1, wide: wideW, spans: true},
+		)
 	}
 	for _, c := range cfgs {
 		po := o
 		po.ServerShards = c.shards
 		po.ManagerShards = c.mgrShards
 		po.ManagerReplicas = c.replicas
-		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode}
+		po.NoRecordCoalesce = c.nocoal
+		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode, UseSpans: c.spans, WideGsum: c.wide}
 		pt, err := po.MeasureMicro(c.p, prm)
 		if err != nil {
 			return nil, err

@@ -141,6 +141,10 @@ type Config struct {
 	// plain page-grained lazy release consistency. Used by the ablation
 	// benchmarks to isolate what the fine-grained update path buys.
 	DisableFineGrain bool
+	// NoRecordCoalesce turns off append-time coalescing of adjacent
+	// consistency-region store records (ablation: measures what
+	// coalescing buys in record count and wire bytes).
+	NoRecordCoalesce bool
 	// Transport selects the communication substrate (nil = the
 	// simulated fabric priced by Link).
 	Transport Transport

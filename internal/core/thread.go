@@ -42,6 +42,10 @@ type Thread struct {
 	// instead of whatever accumulates afterwards.
 	frozen *stats.Thread
 
+	// spanBuf is the reusable byte scratch the float64 span accessors
+	// marshal through (grown on demand, never shrunk).
+	spanBuf []byte
+
 	// lockDepth tracks consistency-region nesting: stores while >0 are
 	// instrumented into the fine-grained log.
 	lockDepth int
@@ -126,13 +130,14 @@ func (t *Thread) initCache() {
 		}
 	}
 	t.cache = pagecache.New(pagecache.Config{
-		Geo:           t.rt.cfg.Geo,
-		CPU:           t.rt.cfg.CPU,
-		CapacityLines: t.rt.cfg.CacheLines,
-		PrefetchDepth: depth,
-		Writer:        t.writer,
-		NoLazyOwner:   t.rt.standbyEnabled(),
-		Gate:          t.rt.gate,
+		Geo:              t.rt.cfg.Geo,
+		CPU:              t.rt.cfg.CPU,
+		CapacityLines:    t.rt.cfg.CacheLines,
+		PrefetchDepth:    depth,
+		Writer:           t.writer,
+		NoRecordCoalesce: t.rt.cfg.NoRecordCoalesce,
+		NoLazyOwner:      t.rt.standbyEnabled(),
+		Gate:             t.rt.gate,
 	}, (*threadBackend)(t), t.clock, &t.st)
 }
 
@@ -414,6 +419,78 @@ func (t *Thread) WriteInt64(a vm.Addr, v int64) {
 	var b [8]byte
 	vm.PutInt64(b[:], v)
 	t.WriteBytes(a, b[:])
+}
+
+// span returns the reusable marshalling scratch, at least n bytes long.
+func (t *Thread) span(n int) []byte {
+	if cap(t.spanBuf) < n {
+		t.spanBuf = make([]byte, n)
+	}
+	return t.spanBuf[:n]
+}
+
+// ReadFloat64s implements vm.Thread: one bulk cache access for the
+// whole span (one residency walk per page, AccessTime once plus a
+// per-byte term) instead of one access per element.
+func (t *Thread) ReadFloat64s(a vm.Addr, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	b := t.span(8 * len(dst))
+	if err := t.cache.ReadSpan(a, b); err != nil {
+		t.fail("read-span", err)
+	}
+	for i := range dst {
+		dst[i] = vm.GetFloat64(b[8*i:])
+	}
+}
+
+// WriteFloat64s implements vm.Thread: the span-write fast path. Beyond
+// the bulk cost model, the cache tracks the written extents so the next
+// release can publish them and peers invalidate partially instead of
+// refetching whole falsely-shared pages; in consistency regions the
+// span logs one store record per contiguous page chunk.
+func (t *Thread) WriteFloat64s(a vm.Addr, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	b := t.span(8 * len(src))
+	for i, v := range src {
+		vm.PutFloat64(b[8*i:], v)
+	}
+	region := t.lockDepth > 0 && !t.rt.cfg.DisableFineGrain
+	if err := t.cache.WriteSpan(a, b, region); err != nil {
+		t.fail("write-span", err)
+	}
+}
+
+// AddFloat64 implements vm.Thread: a fused read-modify-write through
+// one cache access (and one store record in consistency regions).
+func (t *Thread) AddFloat64(a vm.Addr, v float64) float64 {
+	region := t.lockDepth > 0 && !t.rt.cfg.DisableFineGrain
+	var sum float64
+	err := t.cache.ReadModifyWrite8(a, region, func(b []byte) {
+		sum = vm.GetFloat64(b) + v
+		vm.PutFloat64(b, sum)
+	})
+	if err != nil {
+		t.fail("add", err)
+	}
+	return sum
+}
+
+// AddInt64 implements vm.Thread.
+func (t *Thread) AddInt64(a vm.Addr, v int64) int64 {
+	region := t.lockDepth > 0 && !t.rt.cfg.DisableFineGrain
+	var sum int64
+	err := t.cache.ReadModifyWrite8(a, region, func(b []byte) {
+		sum = vm.GetInt64(b) + v
+		vm.PutInt64(b, sum)
+	})
+	if err != nil {
+		t.fail("add", err)
+	}
+	return sum
 }
 
 // ---------------------------------------------------------------------

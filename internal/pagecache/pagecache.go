@@ -25,7 +25,9 @@
 package pagecache
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -137,6 +139,10 @@ type Config struct {
 	// Writer is the owning thread's id, used to tag intervals and skip
 	// self-notices.
 	Writer uint32
+	// NoRecordCoalesce disables append-time coalescing of adjacent
+	// consistency-region store records (used by ablations and property
+	// tests to measure what coalescing buys).
+	NoRecordCoalesce bool
 	// NoLazyOwner disables the lazy single-writer optimization: every
 	// dirty page ships an eager diff at release instead of retaining
 	// its diffs locally under an ownership claim. Used when homes are
@@ -155,12 +161,87 @@ type Config struct {
 // be tens of thousands of lines; tests and benchmarks size this down).
 const DefaultCapacityLines = 4096
 
+// byteRange is a half-open byte interval [lo, hi) within one page.
+type byteRange struct {
+	lo, hi int
+}
+
+// mergeRange inserts [lo, hi) into a sorted, disjoint range list,
+// coalescing overlapping and touching neighbours. The list stays sorted
+// and disjoint.
+func mergeRange(rs []byteRange, lo, hi int) []byteRange {
+	out := rs[:0]
+	inserted := false
+	for _, r := range rs {
+		switch {
+		case r.hi < lo: // strictly before, not touching
+			out = append(out, r)
+		case hi < r.lo: // strictly after, not touching
+			if !inserted {
+				out = append(out, byteRange{lo, hi})
+				inserted = true
+			}
+			out = append(out, r)
+		default: // overlaps or touches: absorb
+			if r.lo < lo {
+				lo = r.lo
+			}
+			if r.hi > hi {
+				hi = r.hi
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, byteRange{lo, hi})
+	}
+	return out
+}
+
+// overlapsRanges reports whether [lo, hi) intersects any range of a
+// sorted, disjoint list.
+func overlapsRanges(rs []byteRange, lo, hi int) bool {
+	for _, r := range rs {
+		if r.lo >= hi {
+			return false
+		}
+		if r.hi > lo {
+			return true
+		}
+	}
+	return false
+}
+
 // pageState tracks one page within a resident line.
 type pageState struct {
 	valid bool
 	dirty bool
 	twin  []byte // snapshot at first ordinary write; nil unless dirty
+
+	// stale lists byte ranges another writer's span release has made
+	// stale while the rest of the page stays valid (partial staleness).
+	// Accesses outside every stale range are served locally; an access
+	// overlapping one demotes the page to fully invalid and refetches.
+	// Always nil while valid is false.
+	stale []byteRange
+	// wext accumulates this interval's span-written extents while
+	// wtracked holds: the release publishes them as extent words so
+	// peers can invalidate partially. Reset whenever dirty is cleared.
+	wext []byteRange
+	// wtracked is true while every ordinary store of the current
+	// interval went through the span path (known extents). A legacy
+	// per-element store, or extent-list overflow, clears it and the
+	// release falls back to whole-page invalidation at the peers.
+	wtracked bool
 }
+
+// Caps keeping the partial-staleness metadata bounded: a page whose
+// stale-range list, span-extent list or pending-tag set would grow past
+// these falls back to whole-page invalidation.
+const (
+	maxStaleRanges = 32
+	maxWriteExts   = 8
+	maxStaleTags   = 64
+)
 
 // lineEntry is one resident cache line.
 type lineEntry struct {
@@ -261,11 +342,25 @@ func (c *Cache) Interval() uint64 { return c.interval }
 // needed.
 func (c *Cache) Read(addr layout.Addr, buf []byte) error {
 	c.clock.Advance(c.cfg.CPU.AccessTime)
+	return c.read(addr, buf)
+}
+
+// ReadSpan is the bulk-read entry point: one AccessTime for the whole
+// span plus a per-byte streamed-copy term, instead of AccessTime per
+// element. Lines are resolved once per page, and a page that is valid
+// except for stale ranges this span does not touch is served with no
+// fault at all (partial staleness).
+func (c *Cache) ReadSpan(addr layout.Addr, buf []byte) error {
+	c.clock.Advance(c.cfg.CPU.AccessTime + c.cfg.CPU.SpanTime(len(buf)))
+	return c.read(addr, buf)
+}
+
+func (c *Cache) read(addr layout.Addr, buf []byte) error {
 	for len(buf) > 0 {
 		page := c.geo.PageOf(addr)
 		off := c.geo.PageOffset(addr)
 		n := min(len(buf), c.geo.PageSize-off)
-		le, err := c.ensureValid(page)
+		le, err := c.ensureValidRange(page, off, n)
 		if err != nil {
 			return err
 		}
@@ -284,21 +379,31 @@ func (c *Cache) Read(addr layout.Addr, buf []byte) error {
 // propagated as page diffs at the next release.
 func (c *Cache) Write(addr layout.Addr, data []byte, region bool) error {
 	c.clock.Advance(c.cfg.CPU.AccessTime)
+	return c.write(addr, data, region, false)
+}
+
+// WriteSpan is the bulk-write entry point: one AccessTime plus a
+// per-byte term for the whole span. Beyond the charge, a span write (1)
+// logs ONE StoreRecord per contiguous page chunk in consistency regions
+// instead of one per element, and (2) tracks its written extents so the
+// closing release can publish extent words and peers can invalidate
+// partially instead of refetching whole falsely-shared pages.
+func (c *Cache) WriteSpan(addr layout.Addr, data []byte, region bool) error {
+	c.clock.Advance(c.cfg.CPU.AccessTime + c.cfg.CPU.SpanTime(len(data)))
+	return c.write(addr, data, region, true)
+}
+
+func (c *Cache) write(addr layout.Addr, data []byte, region, span bool) error {
 	for len(data) > 0 {
 		page := c.geo.PageOf(addr)
 		off := c.geo.PageOffset(addr)
 		n := min(len(data), c.geo.PageSize-off)
-		le, err := c.ensureValid(page)
+		le, err := c.ensureValidRange(page, off, n)
 		if err != nil {
 			return err
 		}
 		if region {
-			c.records = append(c.records, proto.StoreRecord{
-				Addr: uint64(addr),
-				Data: append([]byte(nil), data[:n]...),
-			})
-			c.st.RecordsLogged++
-			c.st.RecordBytes += int64(n)
+			c.logRecord(addr, data[:n], page)
 			// Consistency-region bytes travel ONLY as records. If the
 			// page is dirty from ordinary writes, patch the twin too, or
 			// the next ordinary diff would capture these bytes and ship
@@ -316,12 +421,100 @@ func (c *Cache) Write(addr layout.Addr, data []byte, region bool) error {
 				c.dirtyPages[page] = struct{}{}
 				c.clock.Advance(c.cfg.CPU.TwinTime)
 				c.st.Twins++
+				ps.wtracked = span
+				ps.wext = ps.wext[:0]
 			}
+			c.noteWriteExtent(ps, off, n, span)
 		}
 		base := c.pageBaseInLine(page)
 		copy(le.data[base+off:], data[:n])
 		data = data[n:]
 		addr += layout.Addr(n)
+	}
+	return nil
+}
+
+// logRecord appends one consistency-region store record, extending the
+// previous record in place when the store is strictly contiguous with
+// it on the same page — so even legacy per-element loops stop emitting
+// one record (and one wire header) per 8 bytes. Records never cross a
+// page boundary (the home applies them page-local).
+func (c *Cache) logRecord(addr layout.Addr, data []byte, page layout.PageID) {
+	c.st.RecordBytes += int64(len(data))
+	if !c.cfg.NoRecordCoalesce && len(c.records) > 0 {
+		last := &c.records[len(c.records)-1]
+		if last.Addr+uint64(len(last.Data)) == uint64(addr) &&
+			c.geo.PageOf(layout.Addr(last.Addr)) == page {
+			last.Data = append(last.Data, data...)
+			return
+		}
+	}
+	c.records = append(c.records, proto.StoreRecord{
+		Addr: uint64(addr),
+		Data: append([]byte(nil), data...),
+	})
+	c.st.RecordsLogged++
+}
+
+// noteWriteExtent folds one ordinary store into the page's
+// span-written-extent tracking. Span stores keep the extent list exact
+// (so the release can publish it); any legacy store, or overflow of the
+// list, downgrades the page to untracked — its release invalidates the
+// whole page at the peers, exactly as before spans existed.
+func (c *Cache) noteWriteExtent(ps *pageState, off, n int, span bool) {
+	if !ps.wtracked {
+		return
+	}
+	if !span {
+		ps.wtracked = false
+		ps.wext = ps.wext[:0]
+		return
+	}
+	ps.wext = mergeRange(ps.wext, off, off+n)
+	if len(ps.wext) > maxWriteExts {
+		ps.wtracked = false
+		ps.wext = ps.wext[:0]
+	}
+}
+
+// ReadModifyWrite8 applies f to the 8 bytes at addr through a single
+// cache access: one AccessTime, one residency walk, and in consistency
+// regions one store record — the fused path behind F64.Add/I64.Add,
+// which otherwise pay a full read plus a full write. The window must
+// not cross a page boundary (any 8-aligned address qualifies); the rare
+// straddling caller must use Read+Write.
+func (c *Cache) ReadModifyWrite8(addr layout.Addr, region bool, f func(b []byte)) error {
+	page := c.geo.PageOf(addr)
+	off := c.geo.PageOffset(addr)
+	if off+8 > c.geo.PageSize {
+		return fmt.Errorf("pagecache: fused access at %#x crosses a page boundary", uint64(addr))
+	}
+	c.clock.Advance(c.cfg.CPU.AccessTime)
+	le, err := c.ensureValidRange(page, off, 8)
+	if err != nil {
+		return err
+	}
+	ps := &le.pages[c.pageIndex(page)]
+	if !region && !ps.dirty {
+		base := c.pageBaseInLine(page)
+		ps.twin = append([]byte(nil), le.data[base:base+c.geo.PageSize]...)
+		ps.dirty = true
+		c.dirtyPages[page] = struct{}{}
+		c.clock.Advance(c.cfg.CPU.TwinTime)
+		c.st.Twins++
+		ps.wtracked = false
+		ps.wext = ps.wext[:0]
+	}
+	base := c.pageBaseInLine(page)
+	b := le.data[base+off : base+off+8]
+	f(b)
+	if region {
+		c.logRecord(addr, b, page)
+		if ps.dirty {
+			copy(ps.twin[off:], b)
+		}
+	} else {
+		c.noteWriteExtent(ps, off, 8, false)
 	}
 	return nil
 }
@@ -334,16 +527,29 @@ func (c *Cache) pageBaseInLine(p layout.PageID) int {
 	return c.pageIndex(p) * c.geo.PageSize
 }
 
-// ensureValid makes page p resident and valid, faulting and fetching as
-// required, and returns its line.
-func (c *Cache) ensureValid(p layout.PageID) (*lineEntry, error) {
+// ensureValidRange makes bytes [off, off+n) of page p resident and
+// usable, faulting and fetching as required, and returns its line. A
+// page that is valid apart from stale ranges (partial staleness) is a
+// hit as long as the access does not overlap any of them; an access
+// that does overlap demotes the page to fully invalid — flushing its
+// diff home first if it is dirty, so concurrent disjoint writers merge
+// — and refetches.
+func (c *Cache) ensureValidRange(p layout.PageID, off, n int) (*lineEntry, error) {
 	line := c.geo.LineOf(p)
 	le, ok := c.lines[line]
-	if ok && le.pages[c.pageIndex(p)].valid {
-		c.useTick++
-		le.lastUse = c.useTick
-		c.st.Hits++
-		return le, nil
+	if ok {
+		ps := &le.pages[c.pageIndex(p)]
+		if ps.valid {
+			if len(ps.stale) == 0 || !overlapsRanges(ps.stale, off, off+n) {
+				c.useTick++
+				le.lastUse = c.useTick
+				c.st.Hits++
+				return le, nil
+			}
+			if err := c.demoteStale(p, le, ps); err != nil {
+				return nil, err
+			}
+		}
 	}
 	le, err := c.fault(line)
 	if err != nil {
@@ -355,12 +561,48 @@ func (c *Cache) ensureValid(p layout.PageID) (*lineEntry, error) {
 	return le, nil
 }
 
+// demoteStale turns a partially-stale page fully invalid because an
+// access needs stale bytes. The invalidation cost was already charged
+// when the extent notice arrived; a dirty page pushes its diff home
+// first (the refetch must return the merge of our writes and the
+// peer's).
+func (c *Cache) demoteStale(p layout.PageID, le *lineEntry, ps *pageState) error {
+	if ps.dirty {
+		base := c.pageBaseInLine(p)
+		d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
+		c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+		c.st.DiffsCreated++
+		if prior := c.owned.Take(p); prior != nil {
+			d.Runs = append(prior, d.Runs...)
+		}
+		c.st.DiffBytes += int64(d.PayloadBytes())
+		at, err := c.be.FlushEvict([]proto.PageDiff{d}, c.clock.Now())
+		if err != nil {
+			return fmt.Errorf("pagecache: stale-demotion flush: %w", err)
+		}
+		c.clock.AdvanceTo(at)
+		c.st.MsgsSent++
+		c.st.InvalFlushes++
+		ps.dirty = false
+		ps.twin = nil
+		ps.wtracked = false
+		ps.wext = nil
+		delete(c.dirtyPages, p)
+		c.flushedDirty[p] = struct{}{}
+	}
+	ps.valid = false
+	ps.stale = nil
+	return nil
+}
+
 // fault brings a line in (or revalidates its invalid pages), combining
 // the fetch with other invalidated same-homed pages, and issues the
 // stride prefetch. A resident line's invalid pages are fetched at page
 // granularity — an acquire-driven invalidation of one 4 KiB page must
 // not move a whole multi-page line again.
 func (c *Cache) fault(line layout.LineID) (*lineEntry, error) {
+	faultStart := c.clock.Now()
+	defer func() { c.st.FaultStall += c.clock.Now() - faultStart }()
 	c.clock.Advance(c.cfg.CPU.FaultOverhead)
 	c.st.Misses++
 	stride := c.noteMiss(line)
@@ -569,7 +811,14 @@ func (c *Cache) install(line layout.LineID, data []byte) *lineEntry {
 	first := c.geo.FirstPage(line)
 	for i := range le.pages {
 		le.pages[i].valid = true
-		delete(c.pageNeeds, first+layout.PageID(i))
+		if !le.pages[i].dirty {
+			// Fetched bytes are fresh: any partial staleness is cured.
+			// (A dirty page kept its local contents above, so its stale
+			// ranges — if any — stay in force, and so do the interval
+			// tags a future refetch of it must quote.)
+			le.pages[i].stale = nil
+			delete(c.pageNeeds, first+layout.PageID(i))
+		}
 	}
 	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.LineSize()))
 	c.useTick++
@@ -590,6 +839,7 @@ func (c *Cache) installPage(p layout.PageID, data []byte) {
 	base := c.pageBaseInLine(p)
 	copy(le.data[base:base+c.geo.PageSize], data)
 	le.pages[c.pageIndex(p)].valid = true
+	le.pages[c.pageIndex(p)].stale = nil
 	delete(c.pageNeeds, p)
 	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
 	c.useTick++
@@ -753,6 +1003,8 @@ func (c *Cache) diffDirtyPages(le *lineEntry, flushed bool) []proto.PageDiff {
 		diffs = append(diffs, d)
 		ps.dirty = false
 		ps.twin = nil
+		ps.wtracked = false
+		ps.wext = nil
 		delete(c.dirtyPages, p)
 		if flushed {
 			c.flushedDirty[p] = struct{}{}
@@ -761,8 +1013,68 @@ func (c *Cache) diffDirtyPages(le *lineEntry, flushed bool) []proto.PageDiff {
 	return diffs
 }
 
-// diffPage builds maximal changed-byte runs of cur against twin.
+// Word-at-a-time byte-scan constants (the classic has-zero-byte trick:
+// (x-lo) &^ x & hi is nonzero iff some byte of x is zero, and — because
+// the subtraction only borrows PAST a zero byte — its least significant
+// set bit pins the first zero byte exactly).
+const (
+	lo64 = 0x0101010101010101
+	hi64 = 0x8080808080808080
+)
+
+// diffPage builds maximal changed-byte runs of cur against twin. The
+// scan is word-wide: equal regions are skipped eight bytes per compare,
+// and inside a run the first equal byte is found with one XOR plus a
+// zero-byte test per word — run edges stay byte-precise, so the output
+// is identical to the byte-wise diffPageGeneric (a property test holds
+// the two together).
 func diffPage(page uint64, cur, twin []byte) proto.PageDiff {
+	d := proto.PageDiff{Page: page}
+	n := len(cur)
+	i := 0
+	for i < n {
+		// Skip equal bytes: whole words first, then the byte tail (which
+		// also positions i on the exact first differing byte of an
+		// unequal word).
+		for i+8 <= n && binary.LittleEndian.Uint64(cur[i:]) == binary.LittleEndian.Uint64(twin[i:]) {
+			i += 8
+		}
+		for i < n && cur[i] == twin[i] {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Run body: extend while bytes differ; a zero byte in the XOR is
+		// the first equal byte and ends the run.
+		j := i + 1
+		for j < n {
+			if j+8 <= n {
+				x := binary.LittleEndian.Uint64(cur[j:]) ^ binary.LittleEndian.Uint64(twin[j:])
+				if z := (x - lo64) &^ x & hi64; z != 0 {
+					j += bits.TrailingZeros64(z) >> 3
+					break
+				}
+				j += 8
+				continue
+			}
+			if cur[j] == twin[j] {
+				break
+			}
+			j++
+		}
+		d.Runs = append(d.Runs, proto.DiffRun{
+			Off:  uint32(i),
+			Data: append([]byte(nil), cur[i:j]...),
+		})
+		i = j
+	}
+	return d
+}
+
+// diffPageGeneric is the reference byte-wise differ diffPage must match
+// bit for bit; kept for the property/fuzz tests and the benchmark.
+func diffPageGeneric(page uint64, cur, twin []byte) proto.PageDiff {
 	d := proto.PageDiff{Page: page}
 	i := 0
 	for i < len(cur) {
@@ -870,6 +1182,7 @@ func (c *Cache) BeginRelease() *ReleaseSet {
 			p := first + layout.PageID(i)
 			if _, isShared := c.shared[p]; isShared || c.cfg.NoLazyOwner {
 				rs.Pages = append(rs.Pages, uint64(p))
+				rs.Pages = appendExtentWords(rs.Pages, ps)
 				rs.deferred = append(rs.deferred, deferredDiff{le: le, idx: i, page: p, home: home})
 				continue // dirty state (and the twin) stays until FinishRelease
 			}
@@ -881,9 +1194,14 @@ func (c *Cache) BeginRelease() *ReleaseSet {
 			ps.twin = nil
 			delete(c.dirtyPages, p)
 			if len(d.Runs) == 0 {
+				ps.wtracked = false
+				ps.wext = nil
 				continue // silent stores: nothing changed, nothing to tell anyone
 			}
 			rs.Pages = append(rs.Pages, uint64(p))
+			rs.Pages = appendExtentWords(rs.Pages, ps)
+			ps.wtracked = false
+			ps.wext = nil
 			c.owned.Put(p, d.Runs)
 			c.st.OwnedClaims++
 			b := rs.batchFor(home, rs.Tag)
@@ -916,6 +1234,20 @@ func (c *Cache) BeginRelease() *ReleaseSet {
 	return rs
 }
 
+// appendExtentWords publishes a dirty page's span-written extents as
+// extent words immediately after its page word in a write-notice page
+// list. A page whose interval had any legacy (untracked) store publishes
+// nothing — its peers fall back to whole-page invalidation.
+func appendExtentWords(pages []uint64, ps *pageState) []uint64 {
+	if !ps.wtracked || len(ps.wext) == 0 {
+		return pages
+	}
+	for _, r := range ps.wext {
+		pages = append(pages, proto.PackSpanExtent(r.lo, r.hi-r.lo))
+	}
+	return pages
+}
+
 // FinishRelease computes the deferred shared-page diffs of a
 // BeginRelease and completes the per-home batches. A deferred page
 // whose stores turn out silent still ships a zero-run diff: the page
@@ -936,6 +1268,8 @@ func (c *Cache) FinishRelease(rs *ReleaseSet) {
 		b.Diffs = append(b.Diffs, d)
 		ps.dirty = false
 		ps.twin = nil
+		ps.wtracked = false
+		ps.wext = nil
 		delete(c.dirtyPages, dd.page)
 	}
 	rs.deferred = nil
@@ -968,8 +1302,21 @@ func (c *Cache) ApplyNotices(notices []proto.Notice) error {
 			continue // our own release
 		}
 		c.st.NoticesReceived++
-		for _, pu := range n.Pages {
-			if err := c.invalidate(layout.PageID(pu), n.Tag); err != nil {
+		// The page list carries plain page words, each optionally followed
+		// by the releasing writer's span extents for that page.
+		for k := 0; k < len(n.Pages); {
+			pu := n.Pages[k]
+			k++
+			if proto.IsSpanExtent(pu) {
+				continue // malformed leading extent word; skip defensively
+			}
+			var ext []byteRange
+			for k < len(n.Pages) && proto.IsSpanExtent(n.Pages[k]) {
+				off, ln := proto.SpanExtent(n.Pages[k])
+				ext = append(ext, byteRange{off, off + ln})
+				k++
+			}
+			if err := c.invalidate(layout.PageID(pu), n.Tag, ext); err != nil {
 				return err
 			}
 		}
@@ -982,7 +1329,17 @@ func (c *Cache) ApplyNotices(notices []proto.Notice) error {
 
 // invalidate marks a page as needing tag before next use. The page is
 // evidently shared from now on: another writer just touched it.
-func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag) error {
+//
+// When the notice carries the writer's span extents (ext non-empty) and
+// the local copy is valid, the page goes PARTIALLY stale instead of
+// fully invalid: only the extent bytes are marked stale, and accesses to
+// the rest keep hitting with no refetch — the false-sharing cure the
+// span data plane exists for. A dirty local copy qualifies only while
+// its own writes are span-tracked and disjoint from the incoming
+// extents (its release diff then provably cannot clobber the peer's
+// bytes: over the stale ranges cur == twin, so no run ships). Metadata
+// caps bound the state; overflow falls back to full invalidation.
+func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag, ext []byteRange) error {
 	c.shared[p] = struct{}{}
 	c.addNeed(p, tag)
 	line := c.geo.LineOf(p)
@@ -991,6 +1348,32 @@ func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag) error {
 		return nil
 	}
 	ps := &le.pages[c.pageIndex(p)]
+	if len(ext) > 0 && ps.valid && len(c.pageNeeds[p]) <= maxStaleTags {
+		okPartial := true
+		if ps.dirty {
+			okPartial = ps.wtracked
+			for _, r := range ext {
+				if !okPartial || overlapsRanges(ps.wext, r.lo, r.hi) {
+					okPartial = false
+					break
+				}
+			}
+		}
+		if okPartial {
+			st := ps.stale
+			for _, r := range ext {
+				st = mergeRange(st, r.lo, r.hi)
+			}
+			ps.stale = st
+			if len(st) <= maxStaleRanges {
+				c.clock.Advance(c.cfg.CPU.InvalidateTime)
+				c.st.Invalidations++
+				c.st.PartialInvals++
+				return nil
+			}
+			// Range-list overflow: demote to a full invalidation below.
+		}
+	}
 	if ps.dirty {
 		// Concurrent writers on one page: push our bytes home now so the
 		// refetch returns the merge. (True sharing without a lock is a
@@ -1012,11 +1395,14 @@ func (c *Cache) invalidate(p layout.PageID, tag proto.IntervalTag) error {
 		c.st.InvalFlushes++
 		ps.dirty = false
 		ps.twin = nil
+		ps.wtracked = false
+		ps.wext = nil
 		delete(c.dirtyPages, p)
 		c.flushedDirty[p] = struct{}{}
 	}
 	if ps.valid {
 		ps.valid = false
+		ps.stale = nil
 		c.clock.Advance(c.cfg.CPU.InvalidateTime)
 		c.st.Invalidations++
 	}
@@ -1049,10 +1435,11 @@ func (c *Cache) applyRecord(rec proto.StoreRecord, tag proto.IntervalTag) {
 
 // SnapshotPage copies the current bytes of a resident valid page, for
 // shipping with a peer-to-peer lock grant. Returns nil if the page is
-// not resident-and-valid (nothing trustworthy to ship).
+// not resident-and-valid, or is valid but carries stale ranges (a
+// partially-stale copy must not be handed to a peer as authoritative).
 func (c *Cache) SnapshotPage(p layout.PageID) []byte {
 	le, ok := c.lines[c.geo.LineOf(p)]
-	if !ok || !le.pages[c.pageIndex(p)].valid {
+	if !ok || !le.pages[c.pageIndex(p)].valid || len(le.pages[c.pageIndex(p)].stale) > 0 {
 		return nil
 	}
 	base := c.pageBaseInLine(p)

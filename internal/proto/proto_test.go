@@ -358,3 +358,39 @@ func TestFetchLinesTruncationRejectedProperty(t *testing.T) {
 		}
 	}
 }
+
+// Span-extent words: tagged (bit 63) values that ride a Notice's Pages
+// list after the page word they qualify. Pack/decode must round-trip
+// every in-range (off, n), the tag must never collide with a real page
+// id, and NoticePages must count only the plain words.
+func TestSpanExtentRoundTrip(t *testing.T) {
+	cases := []struct{ off, n int }{
+		{0, 1}, {0, 4096}, {4095, 1}, {16, 8}, {1<<31 - 1, 1 << 31},
+	}
+	for _, c := range cases {
+		w := PackSpanExtent(c.off, c.n)
+		if !IsSpanExtent(w) {
+			t.Fatalf("PackSpanExtent(%d,%d) not tagged", c.off, c.n)
+		}
+		off, n := SpanExtent(w)
+		if off != c.off || n != c.n {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", c.off, c.n, off, n)
+		}
+	}
+	// Page ids never look like extents (bit 63 is out of reach of any
+	// real address space the runtime configures).
+	for _, p := range []uint64{0, 1, 1 << 40, 1<<63 - 1} {
+		if IsSpanExtent(p) {
+			t.Fatalf("page id %#x misread as extent", p)
+		}
+	}
+	pages := []uint64{7, PackSpanExtent(0, 8), PackSpanExtent(100, 4), 9}
+	if got := NoticePages(pages); got != 2 {
+		t.Fatalf("NoticePages = %d, want 2", got)
+	}
+	// Extent words survive the wire inside a Notice untouched.
+	in := &BarrierResp{Notices: []Notice{{
+		Seq: 3, Tag: IntervalTag{Writer: 1, Interval: 2}, Pages: pages,
+	}}}
+	roundTrip(t, in, &BarrierResp{})
+}

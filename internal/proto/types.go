@@ -141,10 +141,53 @@ func RecordBytes(recs []StoreRecord) int {
 	return n
 }
 
+// Span-extent words. A release whose ordinary-region stores all went
+// through the span data plane knows exactly which byte ranges of each
+// dirtied page changed, and publishes them in the write notice so
+// acquirers can invalidate only those ranges (partial staleness)
+// instead of the whole page. The extents ride the existing Pages list
+// as tagged extra words — bit 63 set, which no real page id reaches —
+// immediately after the plain page word they qualify, so the wire
+// format, the manager (which stores Pages verbatim in its notice
+// directory), and every pre-span receiver are untouched: an old-style
+// release simply emits no extent words and an extent-unaware reader
+// must treat the page as fully invalid.
+const spanExtentBit = uint64(1) << 63
+
+// PackSpanExtent encodes a changed byte range [off, off+n) of the
+// preceding page word. off is limited to 31 bits and n to 32 (a page is
+// 4 KiB; the headroom is deliberate).
+func PackSpanExtent(off, n int) uint64 {
+	return spanExtentBit | uint64(off)<<32 | uint64(uint32(n))
+}
+
+// IsSpanExtent reports whether a Pages word is an extent word rather
+// than a page id.
+func IsSpanExtent(w uint64) bool { return w&spanExtentBit != 0 }
+
+// SpanExtent decodes an extent word.
+func SpanExtent(w uint64) (off, n int) {
+	return int((w &^ spanExtentBit) >> 32), int(uint32(w))
+}
+
+// NoticePages counts the plain page words of a Pages list, skipping
+// extent words (for display and bookkeeping, not protocol logic).
+func NoticePages(pages []uint64) int {
+	n := 0
+	for _, w := range pages {
+		if !IsSpanExtent(w) {
+			n++
+		}
+	}
+	return n
+}
+
 // Notice is a write notice distributed by the manager at acquire points.
 // Pages names pages dirtied in ordinary regions (the receiver must
 // invalidate any cached copy); Records carries consistency-region stores
 // (the receiver applies them in place — no invalidation, no refetch).
+// Pages may carry span-extent words (see PackSpanExtent) after a page
+// word, narrowing that page's invalidation to the listed byte ranges.
 type Notice struct {
 	Seq     uint64 // manager-issued global sequence number
 	Tag     IntervalTag

@@ -256,6 +256,50 @@ func (t *Thread) WriteFloat64(a vm.Addr, v float64) {
 	vm.PutFloat64(t.span(a, 8, "write"), v)
 }
 
+// ReadFloat64s implements vm.Thread. On coherent hardware a span is an
+// ordinary sequence of loads; the whole span costs one AccessTime, the
+// same streaming advantage the DSM backend's bulk path models.
+func (t *Thread) ReadFloat64s(a vm.Addr, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	b := t.span(a, 8*len(dst), "read")
+	for i := range dst {
+		dst[i] = vm.GetFloat64(b[8*i:])
+	}
+}
+
+// WriteFloat64s implements vm.Thread.
+func (t *Thread) WriteFloat64s(a vm.Addr, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	b := t.span(a, 8*len(src), "write")
+	for i, v := range src {
+		vm.PutFloat64(b[8*i:], v)
+	}
+}
+
+// AddFloat64 implements vm.Thread (one access, like a cached RMW).
+func (t *Thread) AddFloat64(a vm.Addr, v float64) float64 {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	b := t.span(a, 8, "add")
+	sum := vm.GetFloat64(b) + v
+	vm.PutFloat64(b, sum)
+	return sum
+}
+
+// AddInt64 implements vm.Thread.
+func (t *Thread) AddInt64(a vm.Addr, v int64) int64 {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	b := t.span(a, 8, "add")
+	sum := vm.GetInt64(b) + v
+	vm.PutInt64(b, sum)
+	return sum
+}
+
 // ReadInt64 implements vm.Thread.
 func (t *Thread) ReadInt64(a vm.Addr) int64 {
 	t.clock.Advance(t.vm.cfg.HW.AccessTime)

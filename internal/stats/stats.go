@@ -103,6 +103,11 @@ type Thread struct {
 	Evictions       int64 // lines evicted to make room
 	DirtyEvicts     int64 // evictions that had to flush a diff first
 	Twins           int64 // twin pages created (first write in an interval)
+	// FaultStall is the virtual time spent inside demand faults (from
+	// fault entry to data installed), the part of compute time that is
+	// really the memory system, not arithmetic. It explains where
+	// ComputeTime goes on false-sharing-heavy runs.
+	FaultStall vtime.Time
 
 	// Consistency traffic.
 	DiffsCreated    int64 // page diffs produced at releases/evictions
@@ -111,6 +116,7 @@ type Thread struct {
 	RecordsLogged   int64 // fine-grained store records (consistency regions)
 	RecordBytes     int64 // payload bytes of those records
 	Invalidations   int64 // pages invalidated by incoming write notices
+	PartialInvals   int64 // of those, pages only marked partially stale (span extents)
 	InvalFlushes    int64 // invalidations of dirty pages that flushed a diff home
 	UpdatesApplied  int64 // fine-grained updates applied in place
 	NoticesReceived int64 // write notices processed at acquires
@@ -212,12 +218,14 @@ func (r *Run) Totals() Thread {
 		sum.Evictions += t.Evictions
 		sum.DirtyEvicts += t.DirtyEvicts
 		sum.Twins += t.Twins
+		sum.FaultStall += t.FaultStall
 		sum.DiffsCreated += t.DiffsCreated
 		sum.DiffBytes += t.DiffBytes
 		sum.OwnedClaims += t.OwnedClaims
 		sum.RecordsLogged += t.RecordsLogged
 		sum.RecordBytes += t.RecordBytes
 		sum.Invalidations += t.Invalidations
+		sum.PartialInvals += t.PartialInvals
 		sum.InvalFlushes += t.InvalFlushes
 		sum.UpdatesApplied += t.UpdatesApplied
 		sum.NoticesReceived += t.NoticesReceived

@@ -72,6 +72,25 @@ type Thread interface {
 	ReadInt64(a Addr) int64
 	WriteInt64(a Addr, v int64)
 
+	// ReadFloat64s and WriteFloat64s move a whole span of float64s
+	// through one bulk access: the backend resolves residency once per
+	// page and charges one access overhead plus a per-byte streamed-copy
+	// term, instead of a full accessor round per element. On the Samhita
+	// backend span writes additionally publish their extents at the next
+	// release, letting peers invalidate only the written bytes of a
+	// falsely-shared page, and inside consistency regions they log one
+	// store record per contiguous page chunk.
+	ReadFloat64s(a Addr, dst []float64)
+	WriteFloat64s(a Addr, src []float64)
+
+	// AddFloat64 and AddInt64 are fused read-modify-write accessors:
+	// one cache access (and, in a consistency region, one store record)
+	// instead of a full read followed by a full write. The returned
+	// value is the stored sum. Not atomic across threads — guard with a
+	// Mutex when shared, exactly like a load/store pair.
+	AddFloat64(a Addr, v float64) float64
+	AddInt64(a Addr, v int64) int64
+
 	// Compute charges the cost of pure arithmetic (flops floating-point
 	// operations) to the thread's virtual clock.
 	Compute(flops int)
@@ -155,9 +174,10 @@ func (a F64) At(t Thread, i int) float64 { return t.ReadFloat64(a.Addr(i)) }
 // Set stores element i.
 func (a F64) Set(t Thread, i int, v float64) { t.WriteFloat64(a.Addr(i), v) }
 
-// Add adds v to element i (load + store; not atomic — guard with a
-// Mutex when shared).
-func (a F64) Add(t Thread, i int, v float64) { a.Set(t, i, a.At(t, i)+v) }
+// Add adds v to element i through the backend's fused read-modify-write
+// path: one cache access instead of a load plus a store (not atomic —
+// guard with a Mutex when shared).
+func (a F64) Add(t Thread, i int, v float64) { t.AddFloat64(a.Addr(i), v) }
 
 // I64 is a view of an int64 array at a base address.
 type I64 struct {
@@ -172,3 +192,7 @@ func (a I64) At(t Thread, i int) int64 { return t.ReadInt64(a.Addr(i)) }
 
 // Set stores element i.
 func (a I64) Set(t Thread, i int, v int64) { t.WriteInt64(a.Addr(i), v) }
+
+// Add adds v to element i through the fused read-modify-write path (not
+// atomic — guard with a Mutex when shared).
+func (a I64) Add(t Thread, i int, v int64) { t.AddInt64(a.Addr(i), v) }

@@ -90,6 +90,32 @@ func (f *fakeThread) WriteInt64(a Addr, v int64) {
 	f.mem[a] = b
 }
 
+func (f *fakeThread) ReadFloat64s(a Addr, dst []float64) {
+	for i := range dst {
+		dst[i] = f.ReadFloat64(a + Addr(8*i))
+	}
+}
+
+func (f *fakeThread) WriteFloat64s(a Addr, src []float64) {
+	for i, v := range src {
+		f.WriteFloat64(a+Addr(8*i), v)
+	}
+}
+
+func (f *fakeThread) AddFloat64(a Addr, v float64) float64 {
+	sum := f.ReadFloat64(a) + v
+	f.WriteFloat64(a, sum)
+	return sum
+}
+
+func (f *fakeThread) AddInt64(a Addr, v int64) int64 {
+	sum := f.ReadInt64(a) + v
+	f.WriteInt64(a, sum)
+	return sum
+}
+
+func (f *fakeThread) Compute(int) {}
+
 func TestViewsThroughThread(t *testing.T) {
 	ft := &fakeThread{mem: make(map[Addr][8]byte)}
 	arr := F64{Base: 0}
@@ -105,5 +131,61 @@ func TestViewsThroughThread(t *testing.T) {
 	iv.Set(ft, 1, -9)
 	if got := iv.At(ft, 1); got != -9 {
 		t.Errorf("I64 At = %v", got)
+	}
+	iv.Add(ft, 1, 4)
+	if got := iv.At(ft, 1); got != -5 {
+		t.Errorf("I64 Add = %v", got)
+	}
+}
+
+func TestSpanViewsThroughThread(t *testing.T) {
+	ft := &fakeThread{mem: make(map[Addr][8]byte)}
+	arr := F64{Base: 0}
+	for i := 0; i < 8; i++ {
+		arr.Set(ft, i, float64(i))
+	}
+
+	s := arr.Slice(ft, 2, 6)
+	for i := range s.V {
+		if s.V[i] != float64(i+2) {
+			t.Fatalf("span checkout [%d] = %v", i, s.V[i])
+		}
+		s.V[i] *= 2
+	}
+	s.Close()
+	for i := 0; i < 8; i++ {
+		want := float64(i)
+		if i >= 2 && i < 6 {
+			want *= 2
+		}
+		if got := arr.At(ft, i); got != want {
+			t.Errorf("after Close, [%d] = %v, want %v", i, got, want)
+		}
+	}
+
+	r := arr.Slice(ft, 0, 4)
+	r.Discard()
+	if r.V != nil {
+		t.Error("Discard left the view live")
+	}
+
+	arr.Fill(ft, 1, 7, 1.5)
+	for i := 1; i < 7; i++ {
+		if got := arr.At(ft, i); got != 1.5 {
+			t.Errorf("after Fill, [%d] = %v", i, got)
+		}
+	}
+
+	x := F64{Base: 4096}
+	for i := 0; i < 4; i++ {
+		x.Set(ft, i, float64(i+1))
+	}
+	y := F64{Base: 8192}
+	y.Fill(ft, 0, 4, 10)
+	y.Axpy(ft, 2, x, 0, 4)
+	for i := 0; i < 4; i++ {
+		if got, want := y.At(ft, i), 10+2*float64(i+1); got != want {
+			t.Errorf("after Axpy, [%d] = %v, want %v", i, got, want)
+		}
 	}
 }

@@ -77,6 +77,12 @@ type CPUModel struct {
 	// CopyBytesPerSec is the rate of bulk page copies (assembling and
 	// installing fetched cache lines).
 	CopyBytesPerSec float64
+	// SpanBytesPerSec is the rate at which bulk span accessors move
+	// bytes between the application's buffer and the cache (one streamed
+	// memcpy). 0 falls back to CopyBytesPerSec. Span accesses charge
+	// AccessTime once plus this per-byte term, instead of AccessTime per
+	// element.
+	SpanBytesPerSec float64
 	// InvalidateTime is the cost of invalidating one cached page when a
 	// write notice names it (page-table manipulation in the real
 	// system).
@@ -105,6 +111,14 @@ func (m CPUModel) ApplyTime(n int) Time { return rate(n, m.ApplyBytesPerSec) }
 
 // CopyTime is the cost of bulk-copying n bytes.
 func (m CPUModel) CopyTime(n int) Time { return rate(n, m.CopyBytesPerSec) }
+
+// SpanTime is the per-byte cost of a bulk span access.
+func (m CPUModel) SpanTime(n int) Time {
+	if m.SpanBytesPerSec > 0 {
+		return rate(n, m.SpanBytesPerSec)
+	}
+	return rate(n, m.CopyBytesPerSec)
+}
 
 // HWModel describes the cache-coherent shared-memory baseline used for
 // the Pthreads comparison: ordinary loads/stores plus hardware-speed

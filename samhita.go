@@ -68,6 +68,9 @@ type (
 	Addr = vm.Addr
 	// F64 is a typed float64 array view.
 	F64 = vm.F64
+	// F64Span is a checked-out span of an F64: a locally owned []float64
+	// filled by one bulk read and written back by Close.
+	F64Span = vm.F64Span
 	// I64 is a typed int64 array view.
 	I64 = vm.I64
 )
