@@ -1,0 +1,19 @@
+package pagecache
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeRangeProbe(t *testing.T) {
+	rs := []byteRange{}
+	rs = mergeRange(rs, 0, 8)
+	rs = mergeRange(rs, 100, 108)
+	rs = mergeRange(rs, 200, 208)
+	t.Logf("before: %v cap=%d", rs, cap(rs))
+	rs = mergeRange(rs, 50, 58)
+	want := []byteRange{{0, 8}, {50, 58}, {100, 108}, {200, 208}}
+	if !reflect.DeepEqual(rs, want) {
+		t.Fatalf("got %v, want %v", rs, want)
+	}
+}
