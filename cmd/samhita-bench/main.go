@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +45,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write CSV files into")
 
 		jsonOut      = flag.String("json", "", "measure the micro-benchmark suite and write it as JSON to this file")
+		sweep        = flag.String("sweep", "", "comma-separated population-sweep thread counts for -json (e.g. 256,1024)")
 		streamSpan   = flag.Bool("stream-span", false, "smoke-check the span-recast stream kernel: element and span runs must produce identical checksums")
 		baseline     = flag.String("baseline", "", "compare the -json measurement against this stored JSON; exit non-zero on >20% sync-time or message regression")
 		depth        = flag.Int("prefetch-depth", 0, "prefetch depth for every Samhita runtime (0 = one line ahead)")
@@ -69,6 +71,15 @@ func main() {
 	opts.ManagerShards = *mgrShards
 	opts.ManagerReplicas = *mgrReplicas
 	opts.Agg = new(stats.Run)
+	if *sweep != "" {
+		for _, s := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fatalf("bad -sweep entry %q", s)
+			}
+			opts.SweepPops = append(opts.SweepPops, n)
+		}
+	}
 	if *faults {
 		opts.FaultSeed = *faultSeed
 		opts.FaultDrop = *faultDrop

@@ -16,6 +16,13 @@
 //	                                   # crash the manager leader mid-run;
 //	                                   # a replica takes over from the
 //	                                   # replicated log, check must pass
+//	samhita-conform -runs 25 -kv -manager-replicas 3 -kill-manager
+//	                                   # serving-layer chaos: the KV service
+//	                                   # must lose no acked write and keep
+//	                                   # error responses bounded
+//	samhita-conform -runs 25 -kv -kill-server 0
+//	                                   # same, crashing a memory server
+//	                                   # (warm standby takes over)
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/apps/kv"
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/faultnet"
@@ -45,6 +53,9 @@ func main() {
 		killServer  = flag.Int("kill-server", -1, "crash this memory-server index mid-run; boots warm standbys so the check must still pass")
 		killAfter   = flag.Int("kill-after", 30, "send attempts to the victim before -kill-server fires")
 		killManager = flag.Bool("kill-manager", false, "crash the manager leader mid-run; requires -manager-replicas > 1 for the check to survive")
+
+		kvMode    = flag.Bool("kv", false, "check the DSM-backed KV service instead of random programs: no acked write may be lost and error responses must stay bounded")
+		kvErrFrac = flag.Float64("kv-max-errors", 0.10, "highest tolerated fraction of KV requests answered with an error response under -kv")
 
 		shardsOverride = flag.Int("server-shards", 0, "force this many page shards per memory server (0 = fuzzed per seed)")
 		mgrOverride    = flag.Int("manager-shards", 0, "force this many sync homes inside the manager (0 = fuzzed per seed)")
@@ -134,7 +145,21 @@ func main() {
 		if err != nil {
 			fatalf("seed %d: boot: %v", sd, err)
 		}
-		viols, err := conformance.Run(rt, prog)
+		var viols []conformance.Violation
+		if *kvMode {
+			// The serving-layer check: per-seed request stream against a
+			// fixed keyspace, with the same fault schedule as above. The
+			// error cap only binds when faults are injected; clean runs
+			// must not error at all.
+			frac := 0.0
+			if *faults || *killServer >= 0 || *killManager {
+				frac = *kvErrFrac
+			}
+			prm := kv.Params{Buckets: 32, Keys: 256, Ops: 32, Seed: uint64(sd) + 1}
+			viols, err = conformance.KVCheck(rt, prog.Threads, prm, frac)
+		} else {
+			viols, err = conformance.Run(rt, prog)
+		}
 		if nst := rt.NetStats(); nst != nil {
 			drops += nst.InjectedDrops.Load()
 			retries += nst.Retries.Load()

@@ -1,0 +1,83 @@
+package kv
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// p256Config is the population-sweep topology the determinism
+// regression pins down: 256 clients over 4 memory servers with 4 page
+// shards each and a 4-home manager, single replica, on the clean
+// sequenced fabric.
+func p256Config(cfg *core.Config) {
+	cfg.Geo.NumServers = 4
+	cfg.ServerShards = 4
+	cfg.ManagerShards = 4
+	cfg.ManagerReplicas = 1
+}
+
+// runP256 runs one P=256 KV burst and returns the result plus the
+// per-thread virtual-time fingerprint.
+func runP256(t *testing.T, spans bool) (*Result, []vtime.Time) {
+	t.Helper()
+	rt := newRT(t, p256Config)
+	defer rt.Close()
+	r, err := Run(rt, 256, Params{Buckets: 128, Keys: 2048, Ops: 8, UseSpans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := make([]vtime.Time, len(r.Run.Threads))
+	for i := range r.Run.Threads {
+		fp[i] = r.Run.Threads[i].TotalTime()
+	}
+	return r, fp
+}
+
+// TestKVDeterminismP256 reruns the P=256 sweep configuration and
+// demands bit-identical results: same per-thread virtual times, same
+// store checksum, same latency quantiles. The sequenced fabric makes
+// two clean runs of 256 clients through sharded servers and a sharded
+// manager indistinguishable — which is exactly what lets the sweep
+// points in BENCH_micro.json be gated strictly.
+func TestKVDeterminismP256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("P=256 run in -short mode")
+	}
+	r1, fp1 := runP256(t, false)
+	r2, fp2 := runP256(t, false)
+	for i := range fp1 {
+		if fp1[i] != fp2[i] {
+			t.Fatalf("thread %d virtual time differs between identical runs: %d vs %d", i, fp1[i], fp2[i])
+		}
+	}
+	if r1.Checksum != r2.Checksum || r1.SumVal != r2.SumVal || r1.SumVer != r2.SumVer {
+		t.Errorf("store state differs between identical runs: (%v,%v,%v) vs (%v,%v,%v)",
+			r1.Checksum, r1.SumVal, r1.SumVer, r2.Checksum, r2.SumVal, r2.SumVer)
+	}
+	if r1.P50 != r2.P50 || r1.P99 != r2.P99 || r1.P999 != r2.P999 {
+		t.Errorf("latency quantiles differ between identical runs: (%d,%d,%d) vs (%d,%d,%d)",
+			r1.P50, r1.P99, r1.P999, r2.P50, r2.P99, r2.P999)
+	}
+	checkConservation(t, r1)
+}
+
+// TestKVSpanElementChecksumP256 runs the same P=256 burst on the
+// element and span data planes. The service keeps every value an
+// integer-valued float64 and every mutation commutative, so the two
+// planes must agree on the final store bit for bit even at this
+// population — the span plane changes how bytes move, never what they
+// say.
+func TestKVSpanElementChecksumP256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("P=256 run in -short mode")
+	}
+	re, _ := runP256(t, false)
+	rs, _ := runP256(t, true)
+	if re.Checksum != rs.Checksum || re.SumVal != rs.SumVal || re.SumVer != rs.SumVer {
+		t.Errorf("span plane diverged from element plane at P=256: (%v,%v,%v) vs (%v,%v,%v)",
+			re.Checksum, re.SumVal, re.SumVer, rs.Checksum, rs.SumVal, rs.SumVer)
+	}
+	checkConservation(t, rs)
+}

@@ -1,0 +1,237 @@
+package kv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/pthreads"
+	"repro/internal/scl"
+)
+
+func newRT(t *testing.T, mutate ...func(*core.Config)) *core.Runtime {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CacheLines = 256
+	cfg.Geo.NumServers = 2
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	rt, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// checkConservation asserts the exact acked-write accounting every KV
+// run must satisfy: no acknowledged increment lost or doubled.
+func checkConservation(t *testing.T, r *Result) {
+	t.Helper()
+	if r.SumVal != r.ExpectedSeedSum+r.AckedDelta {
+		t.Errorf("value conservation: sum %v != seed %v + acked %v",
+			r.SumVal, r.ExpectedSeedSum, r.AckedDelta)
+	}
+	if r.SumVer != float64(r.Incrs) {
+		t.Errorf("version conservation: %v != %d incrs", r.SumVer, r.Incrs)
+	}
+}
+
+func TestKVBasicCorrectness(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Close()
+	p := 8
+	prm := Params{Buckets: 16, Keys: 128, Ops: 32, GapNs: 10000}
+	r, err := Run(rt, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != int64(p*prm.Ops) || r.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d, want %d/0", r.Ops, r.Errors, p*prm.Ops)
+	}
+	if r.Gets+r.Incrs != r.Ops {
+		t.Fatalf("gets %d + incrs %d != ops %d", r.Gets, r.Incrs, r.Ops)
+	}
+	checkConservation(t, r)
+	if r.Sketch.Count() != uint64(r.Ops) {
+		t.Fatalf("sketch count %d != ops %d", r.Sketch.Count(), r.Ops)
+	}
+	if !(r.P50 <= r.P99 && r.P99 <= r.P999 && r.P999 <= r.MaxLatency) {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v max=%v",
+			r.P50, r.P99, r.P999, r.MaxLatency)
+	}
+	if r.P50 <= 0 {
+		t.Fatal("p50 should be positive: every request pays at least a store access")
+	}
+	if r.IdleTime == 0 {
+		t.Fatal("open-loop generator never slept: gap too small for the service time?")
+	}
+}
+
+// The workload is backend-neutral: the pthreads baseline must land on
+// the identical final store state (the acked set is the same
+// deterministic stream and increments commute).
+func TestKVPthreadsMatchesSamhita(t *testing.T) {
+	prm := Params{Buckets: 8, Keys: 64, Ops: 16, GapNs: 5000}
+	rt := newRT(t)
+	defer rt.Close()
+	rs, err := Run(rt, 4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(pthreads.New(pthreads.Config{}), 4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Checksum != rp.Checksum || rs.SumVal != rp.SumVal || rs.SumVer != rp.SumVer {
+		t.Fatalf("backends disagree: samhita (%v,%v,%v) pthreads (%v,%v,%v)",
+			rs.Checksum, rs.SumVal, rs.SumVer, rp.Checksum, rp.SumVal, rp.SumVer)
+	}
+	checkConservation(t, rp)
+}
+
+// Span and element data planes must produce the bit-identical store:
+// same stream, same acked set, commutative increments.
+func TestKVSpanElementChecksumEqual(t *testing.T) {
+	run := func(spans bool) *Result {
+		rt := newRT(t, func(c *core.Config) { c.ServerShards = 4; c.ManagerShards = 4 })
+		defer rt.Close()
+		r, err := Run(rt, 8, Params{Buckets: 16, Keys: 128, Ops: 24, GapNs: 8000, UseSpans: spans})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	re, rs := run(false), run(true)
+	if re.Checksum != rs.Checksum || re.SumVal != rs.SumVal || re.SumVer != rs.SumVer {
+		t.Fatalf("planes disagree: element (%v,%v,%v) span (%v,%v,%v)",
+			re.Checksum, re.SumVal, re.SumVer, rs.Checksum, rs.SumVal, rs.SumVer)
+	}
+	if re.Ops != rs.Ops || re.Errors+rs.Errors != 0 {
+		t.Fatalf("ops/errors differ: %d/%d vs %d/%d", re.Ops, re.Errors, rs.Ops, rs.Errors)
+	}
+}
+
+// Clean runs on the sequenced fabric are bit-identical: same stats,
+// same quantiles, same checksum.
+func TestKVDeterministic(t *testing.T) {
+	run := func() *Result {
+		rt := newRT(t, func(c *core.Config) { c.ServerShards = 4; c.ManagerShards = 4 })
+		defer rt.Close()
+		r, err := Run(rt, 8, Params{Buckets: 16, Keys: 128, Ops: 24, GapNs: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Checksum != r2.Checksum {
+		t.Fatalf("checksum differs: %v vs %v", r1.Checksum, r2.Checksum)
+	}
+	if r1.P50 != r2.P50 || r1.P99 != r2.P99 || r1.P999 != r2.P999 {
+		t.Fatalf("quantiles differ: (%v,%v,%v) vs (%v,%v,%v)",
+			r1.P50, r1.P99, r1.P999, r2.P50, r2.P99, r2.P999)
+	}
+	for i := range r1.Run.Threads {
+		if r1.Run.Threads[i] != r2.Run.Threads[i] {
+			t.Errorf("thread %d stats differ:\n run1: %+v\n run2: %+v",
+				i, r1.Run.Threads[i], r2.Run.Threads[i])
+		}
+	}
+}
+
+// The open-loop generator must not coordinate with the service: making
+// every request 100x more expensive must leave the arrival schedule
+// (the offered load) bit-identical while the measured latency moves.
+// A closed-loop generator fails this by construction — its next arrival
+// waits for the previous completion.
+func TestKVOpenLoopNonCoordinating(t *testing.T) {
+	run := func(flops int) *Result {
+		rt := newRT(t)
+		defer rt.Close()
+		r, err := Run(rt, 4, Params{
+			Buckets: 8, Keys: 64, Ops: 24, GapNs: 5000,
+			ServiceFlops: flops, RecordArrivals: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	fast, slow := run(0), run(50000)
+	if fast.Ops != slow.Ops {
+		t.Fatalf("offered request count changed with service cost: %d vs %d", fast.Ops, slow.Ops)
+	}
+	for ti := range fast.Arrivals {
+		if len(fast.Arrivals[ti]) != len(slow.Arrivals[ti]) {
+			t.Fatalf("client %d arrival counts differ", ti)
+		}
+		for o := range fast.Arrivals[ti] {
+			if fast.Arrivals[ti][o] != slow.Arrivals[ti][o] {
+				t.Fatalf("client %d request %d arrival moved with service cost: %v vs %v",
+					ti, o, fast.Arrivals[ti][o], slow.Arrivals[ti][o])
+			}
+		}
+	}
+	if slow.P99 <= fast.P99 {
+		t.Fatalf("p99 did not grow with 100x service cost: fast %v, slow %v", fast.P99, slow.P99)
+	}
+	if slow.IdleTime >= fast.IdleTime {
+		t.Fatalf("idle slack should shrink as service time grows: fast %v, slow %v",
+			fast.IdleTime, slow.IdleTime)
+	}
+}
+
+// Per-key linearizability under transport chaos: with drops and
+// duplicated responses injected beneath the retry layer, every key's
+// final value and version must equal the analytic replay of its acked
+// increments — duplicates must not double-apply, drops must not lose
+// acked writes. Buckets serialize writers, increments commute, so the
+// per-key outcome is independent of interleaving; what this test pins
+// is exactly-once delivery through retry/dedup.
+func TestKVLinearizablePerKeyUnderFaults(t *testing.T) {
+	const p, keys, ops = 4, 64, 24
+	prm := Params{Buckets: 8, Keys: keys, Ops: ops, GapNs: 5000, DumpKeys: true}
+	rt := newRT(t, func(c *core.Config) {
+		c.Faults = faultnet.New(faultnet.Config{
+			Seed:      11,
+			DropProb:  0.05,
+			DelayProb: 0.02,
+			MaxDelay:  100 * time.Microsecond,
+			DupProb:   0.03,
+		})
+		pol := scl.DefaultRetryPolicy
+		c.Retry = &pol
+	})
+	defer rt.Close()
+	r, err := Run(rt, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("retries should mask drops/dups, got %d errors", r.Errors)
+	}
+	checkConservation(t, r)
+	// Replay the deterministic request stream per key.
+	wantVal := make([]float64, keys)
+	wantVer := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		wantVal[k] = seedVal(k)
+	}
+	for ti := 0; ti < p; ti++ {
+		for o := 0; o < ops; o++ {
+			key, isGet, delta := opSpec(prm.WithDefaults().Seed, ti, o, keys, 90)
+			if !isGet {
+				wantVal[key] += delta
+				wantVer[key]++
+			}
+		}
+	}
+	for k := 0; k < keys; k++ {
+		if r.Vals[k] != wantVal[k] || r.Vers[k] != wantVer[k] {
+			t.Errorf("key %d: got (%v, %v), want (%v, %v)",
+				k, r.Vals[k], r.Vers[k], wantVal[k], wantVer[k])
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package pagerank is the irregular-access graph workload: pull-based
+// PageRank over a synthetic power-law graph whose every array — CSR
+// structure, rank vectors, dangling-mass partials — lives in Samhita
+// global memory.
+//
+// The access pattern is deliberately hostile to the locality machinery
+// that serves the regular kernels so well. Each vertex's new rank pulls
+// rank[src] for its in-edges, and in a power-law graph those sources
+// are scattered across the whole striped rank array: consecutive reads
+// land on different cache lines, different memory servers and different
+// server shards, so the adjacent-line prefetcher fetches lines the
+// thread never touches while the reads it actually issues miss. That
+// interaction — striping spreading hot vertices, sharding spreading the
+// misses, prefetch amplifying the waste — is what the benchmark point
+// measures and the CI gate pins.
+//
+// Determinism: the graph is a pure function of the parameters (every
+// thread derives the identical CSR), each vertex is computed by exactly
+// one thread with its in-edge list walked in order, and the dangling
+// mass is combined from per-thread partials in thread-index order, so
+// every floating-point operation has a fixed order. Clean runs are
+// bit-identical, the element and span data planes agree bit for bit,
+// and the whole run equals a sequential replay (see Reference).
+package pagerank
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Params parameterizes one PageRank run.
+type Params struct {
+	Vertices int     // graph order (default 192)
+	AvgDeg   int     // mean out-degree of non-dangling vertices (default 6)
+	Iters    int     // power iterations (default 3)
+	Damping  float64 // damping factor d (default 0.85)
+	// UseSpans moves the sequential plane — CSR scans, next-rank write-
+	// back, partial combines — onto the bulk span accessors. The random
+	// rank[src] reads stay element accesses either way: they are the
+	// irregular part no span can batch.
+	UseSpans bool
+	Seed     uint64
+}
+
+func (p Params) WithDefaults() Params {
+	if p.Vertices == 0 {
+		p.Vertices = 192
+	}
+	if p.AvgDeg == 0 {
+		p.AvgDeg = 6
+	}
+	if p.Iters == 0 {
+		p.Iters = 3
+	}
+	if p.Damping == 0 {
+		p.Damping = 0.85
+	}
+	if p.Seed == 0 {
+		p.Seed = 0xB0BA
+	}
+	return p
+}
+
+// Result is the outcome of one PageRank run.
+type Result struct {
+	Run *stats.Run
+	// RankSum is the sum of all final ranks; PageRank conserves
+	// probability mass, so it stays 1 up to floating-point drift.
+	RankSum float64
+	// Checksum is sum over v of rank[v]*(v+1): an order-sensitive
+	// fingerprint of the full rank vector.
+	Checksum float64
+	Edges    int
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// graph is the synthetic power-law graph in pull (in-edge CSR) form: a
+// pure function of the parameters.
+type graph struct {
+	outdeg []int
+	inoff  []int // len V+1
+	insrc  []int // len E, in-edge sources of each vertex, ascending offsets
+}
+
+// buildGraph generates the graph: vertex v emits outdeg(v) edges, each
+// aimed at floor(V * u^3) for uniform u — a cubic skew that concentrates
+// in-edges on low-numbered hub vertices (a power-law-tailed in-degree).
+// Every 16th vertex is dangling (no out-edges), so the dangling-mass
+// path is always exercised.
+func buildGraph(prm Params) *graph {
+	V := prm.Vertices
+	g := &graph{outdeg: make([]int, V), inoff: make([]int, V+1)}
+	ins := make([][]int, V)
+	for v := 0; v < V; v++ {
+		if v%16 == 3 {
+			continue // dangling
+		}
+		d := 1 + int(mix64(prm.Seed^uint64(v))%uint64(2*prm.AvgDeg-1))
+		g.outdeg[v] = d
+		for e := 0; e < d; e++ {
+			u := float64(mix64(prm.Seed^uint64(v)<<20^uint64(e))%(1<<30)) / float64(1<<30)
+			dst := int(u * u * u * float64(V))
+			if dst >= V {
+				dst = V - 1
+			}
+			ins[dst] = append(ins[dst], v)
+		}
+	}
+	for v := 0; v < V; v++ {
+		g.inoff[v] = len(g.insrc)
+		g.insrc = append(g.insrc, ins[v]...)
+	}
+	g.inoff[V] = len(g.insrc)
+	return g
+}
+
+// vertexRange is thread t's owned block [lo, hi).
+func vertexRange(v, p, t int) (int, int) {
+	per := (v + p - 1) / p
+	lo := t * per
+	hi := lo + per
+	if lo > v {
+		lo = v
+	}
+	if hi > v {
+		hi = v
+	}
+	return lo, hi
+}
+
+type base struct{ v atomic.Uint64 }
+
+func (b *base) set(a vm.Addr) { b.v.Store(uint64(a)) }
+func (b *base) get() vm.Addr  { return vm.Addr(b.v.Load()) }
+
+// Run executes PageRank on p threads of the given backend.
+func Run(v vm.VM, p int, prm Params) (*Result, error) {
+	prm = prm.WithDefaults()
+	g := buildGraph(prm)
+	V, E := prm.Vertices, len(g.insrc)
+	bar := v.NewBarrier(p)
+	var b base
+	results := make([]float64, 2)
+
+	// One allocation, laid out as consecutive float64 arrays:
+	//   outdeg[V] | inoff[V+1] | insrc[E] | rank[2][V] | partial[p]
+	oOutdeg := 0
+	oInoff := oOutdeg + V
+	oInsrc := oInoff + V + 1
+	oRank0 := oInsrc + E
+	oRank1 := oRank0 + V
+	oPart := oRank1 + V
+	total := oPart + p
+
+	run, err := v.Run(p, func(t vm.Thread) {
+		if t.ID() == 0 {
+			b.set(t.GlobalAlloc(8 * total))
+		}
+		bar.Wait(t)
+		arr := vm.F64{Base: b.get()}
+		write := func(off int, vals []float64) {
+			if prm.UseSpans {
+				t.WriteFloat64s(arr.Addr(off), vals)
+			} else {
+				for i, x := range vals {
+					arr.Set(t, off+i, x)
+				}
+			}
+		}
+		read := func(off int, dst []float64) {
+			if prm.UseSpans {
+				t.ReadFloat64s(arr.Addr(off), dst)
+			} else {
+				for i := range dst {
+					dst[i] = arr.At(t, off+i)
+				}
+			}
+		}
+
+		// --- Seed phase: thread 0 publishes the CSR; everyone seeds the
+		// uniform initial rank over its own block.
+		if t.ID() == 0 {
+			fl := make([]float64, E+2*V+1)
+			for i, d := range g.outdeg {
+				fl[i] = float64(d)
+			}
+			for i, o := range g.inoff {
+				fl[V+i] = float64(o)
+			}
+			for i, s := range g.insrc {
+				fl[V+V+1+i] = float64(s)
+			}
+			write(oOutdeg, fl[:E+2*V+1])
+		}
+		lo, hi := vertexRange(V, p, t.ID())
+		init := make([]float64, hi-lo)
+		for i := range init {
+			init[i] = 1.0 / float64(V)
+		}
+		if hi > lo {
+			write(oRank0+lo, init)
+		}
+		bar.Wait(t)
+
+		// Cache the thread's slice of the CSR locally: structure is
+		// immutable during iteration, so each thread pulls it once
+		// (through the DSM, paying the fetches) and iterates from the
+		// local copy — the ranks are what stays shared and hot.
+		myOutdeg := make([]float64, V) // outdeg of every possible src
+		read(oOutdeg, myOutdeg)
+		myOff := make([]float64, hi-lo+1)
+		if hi > lo {
+			read(oInoff+lo, myOff)
+		}
+		var mySrc []float64
+		if hi > lo {
+			elo, ehi := int(myOff[0]), int(myOff[hi-lo])
+			mySrc = make([]float64, ehi-elo)
+			if ehi > elo {
+				read(oInsrc+elo, mySrc)
+			}
+		}
+		bar.Wait(t)
+		t.ResetMeasurement()
+
+		// --- The measured power iteration.
+		d := prm.Damping
+		next := make([]float64, hi-lo)
+		parts := make([]float64, p)
+		for it := 0; it < prm.Iters; it++ {
+			cur, nxt := oRank0, oRank1
+			if it%2 == 1 {
+				cur, nxt = oRank1, oRank0
+			}
+			// Dangling partial over the owned block.
+			var dang float64
+			for vtx := lo; vtx < hi; vtx++ {
+				if myOutdeg[vtx] == 0 {
+					dang += arr.At(t, cur+vtx)
+				}
+			}
+			if prm.UseSpans {
+				t.WriteFloat64s(arr.Addr(oPart+t.ID()), []float64{dang})
+			} else {
+				arr.Set(t, oPart+t.ID(), dang)
+			}
+			bar.Wait(t)
+			// Combine partials in index order: same FP order on every
+			// thread, and the same order Reference uses.
+			read(oPart, parts)
+			dang = 0
+			for _, x := range parts {
+				dang += x
+			}
+			t.Compute(p)
+			base := (1-d)/float64(V) + d*dang/float64(V)
+			// Pull phase: the irregular reads.
+			eoff := 0
+			for vtx := lo; vtx < hi; vtx++ {
+				sum := 0.0
+				ne := int(myOff[vtx-lo+1]) - int(myOff[vtx-lo])
+				for e := 0; e < ne; e++ {
+					src := int(mySrc[eoff+e])
+					sum += arr.At(t, cur+src) / myOutdeg[src]
+				}
+				eoff += ne
+				next[vtx-lo] = base + d*sum
+				t.Compute(2*ne + 3)
+			}
+			if hi > lo {
+				write(nxt+lo, next)
+			}
+			bar.Wait(t)
+		}
+		t.StopMeasurement()
+		if t.ID() == 0 {
+			final := oRank0
+			if prm.Iters%2 == 1 {
+				final = oRank1
+			}
+			ranks := make([]float64, V)
+			read(final, ranks)
+			var sum, cs float64
+			for i, r := range ranks {
+				sum += r
+				cs += r * float64(i+1)
+			}
+			results[0], results[1] = sum, cs
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Run: run, RankSum: results[0], Checksum: results[1], Edges: E}, nil
+}
+
+// Reference replays the identical computation sequentially in plain Go
+// memory — same graph, same block ownership, same floating-point
+// order — and returns the RankSum/Checksum the DSM run must reproduce
+// bit for bit.
+func Reference(p int, prm Params) (rankSum, checksum float64) {
+	prm = prm.WithDefaults()
+	g := buildGraph(prm)
+	V := prm.Vertices
+	d := prm.Damping
+	cur := make([]float64, V)
+	nxt := make([]float64, V)
+	for i := range cur {
+		cur[i] = 1.0 / float64(V)
+	}
+	for it := 0; it < prm.Iters; it++ {
+		parts := make([]float64, p)
+		for t := 0; t < p; t++ {
+			lo, hi := vertexRange(V, p, t)
+			for vtx := lo; vtx < hi; vtx++ {
+				if g.outdeg[vtx] == 0 {
+					parts[t] += cur[vtx]
+				}
+			}
+		}
+		var dang float64
+		for _, x := range parts {
+			dang += x
+		}
+		base := (1-d)/float64(V) + d*dang/float64(V)
+		for t := 0; t < p; t++ {
+			lo, hi := vertexRange(V, p, t)
+			for vtx := lo; vtx < hi; vtx++ {
+				sum := 0.0
+				for e := g.inoff[vtx]; e < g.inoff[vtx+1]; e++ {
+					src := g.insrc[e]
+					sum += cur[src] / float64(g.outdeg[src])
+				}
+				nxt[vtx] = base + d*sum
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	for i, r := range cur {
+		rankSum += r
+		checksum += r * float64(i+1)
+	}
+	return rankSum, checksum
+}

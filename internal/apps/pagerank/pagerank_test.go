@@ -1,0 +1,114 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pthreads"
+)
+
+func newRT(t *testing.T, mutate ...func(*core.Config)) *core.Runtime {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CacheLines = 256
+	cfg.Geo.NumServers = 2
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	rt, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// The DSM run must equal the sequential plain-Go replay bit for bit:
+// same graph, same block ownership, same floating-point order.
+func TestPagerankMatchesReference(t *testing.T) {
+	const p = 8
+	prm := Params{Vertices: 192, AvgDeg: 6, Iters: 3}
+	wantSum, wantCS := Reference(p, prm)
+	if math.Abs(wantSum-1) > 1e-9 {
+		t.Fatalf("reference lost probability mass: sum=%v", wantSum)
+	}
+	rt := newRT(t)
+	defer rt.Close()
+	r, err := Run(rt, p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RankSum != wantSum || r.Checksum != wantCS {
+		t.Fatalf("DSM run differs from reference: (%v, %v) vs (%v, %v)",
+			r.RankSum, r.Checksum, wantSum, wantCS)
+	}
+	if r.Edges == 0 {
+		t.Fatal("degenerate graph")
+	}
+}
+
+// Bit-identical determinism on the sequenced fabric, and plane/backend
+// equality: span vs element vs pthreads all reproduce the reference.
+func TestPagerankDeterministicAcrossPlanesAndBackends(t *testing.T) {
+	const p = 8
+	prm := Params{Vertices: 192, AvgDeg: 6, Iters: 3}
+	_, wantCS := Reference(p, prm)
+	run := func(spans bool) *Result {
+		rt := newRT(t, func(c *core.Config) { c.ServerShards = 4; c.ManagerShards = 4 })
+		defer rt.Close()
+		pp := prm
+		pp.UseSpans = spans
+		r, err := Run(rt, p, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(false), run(false)
+	if r1.Checksum != r2.Checksum {
+		t.Fatalf("checksum differs across identical runs: %v vs %v", r1.Checksum, r2.Checksum)
+	}
+	for i := range r1.Run.Threads {
+		if r1.Run.Threads[i] != r2.Run.Threads[i] {
+			t.Errorf("thread %d stats differ:\n run1: %+v\n run2: %+v",
+				i, r1.Run.Threads[i], r2.Run.Threads[i])
+		}
+	}
+	if rs := run(true); rs.Checksum != wantCS {
+		t.Fatalf("span plane differs from reference: %v vs %v", rs.Checksum, wantCS)
+	}
+	if r1.Checksum != wantCS {
+		t.Fatalf("element plane differs from reference: %v vs %v", r1.Checksum, wantCS)
+	}
+	rp, err := Run(pthreads.New(pthreads.Config{}), p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Checksum != wantCS {
+		t.Fatalf("pthreads differs from reference: %v vs %v", rp.Checksum, wantCS)
+	}
+}
+
+// The workload must actually be irregular: on a striped multi-server,
+// multi-shard layout the prefetcher should be wasting a meaningful
+// share of its work (that inefficiency is the point of the kernel).
+func TestPagerankIsPrefetchHostile(t *testing.T) {
+	rt := newRT(t, func(c *core.Config) {
+		c.ServerShards = 4
+		c.Geo.NumServers = 4
+	})
+	defer rt.Close()
+	r, err := Run(rt, 8, Params{Vertices: 384, AvgDeg: 8, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Run.Totals()
+	if tot.Misses == 0 {
+		t.Fatal("no demand faults: the data set fit one line?")
+	}
+	if tot.PrefetchIssued > 0 {
+		waste := float64(tot.PrefetchWasted) / float64(tot.PrefetchIssued)
+		t.Logf("prefetch: issued=%d wasted=%d (%.0f%%), misses=%d",
+			tot.PrefetchIssued, tot.PrefetchWasted, waste*100, tot.Misses)
+	}
+}

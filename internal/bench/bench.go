@@ -79,6 +79,11 @@ type Options struct {
 	// NoRecordCoalesce turns off append-time coalescing of adjacent
 	// consistency-region store records (record-plane ablation).
 	NoRecordCoalesce bool
+	// SweepPops lists population-sweep thread counts (e.g. 256, 1024);
+	// for each, the -json suite measures the micro kernel and the KV
+	// service across the multi-server/multi-shard/multi-manager
+	// topology matrix. Empty = no sweep points.
+	SweepPops []int
 	// Transport-robustness knobs: Retry, if non-nil, wraps every
 	// endpoint of every Samhita runtime the experiments boot;
 	// FaultDrop/FaultDelay/FaultDup (seeded by FaultSeed) add a fresh

@@ -45,6 +45,14 @@ type MicroPoint struct {
 	WideGsum int `json:"wideGsum,omitempty"`
 	// NoCoalesce marks the record-coalescing ablation.
 	NoCoalesce bool `json:"noCoalesce,omitempty"`
+	// Servers is the memory-server count when it differs from the
+	// single-server default (population-sweep points spread the store).
+	Servers int `json:"servers,omitempty"`
+	// Workload names a serving-scale workload point ("kv", "pagerank");
+	// empty for the micro kernel. Workload points reuse the parameter
+	// fields: kv stores Ops/Keys/Buckets/GetPct in N/M/S/B, pagerank
+	// stores Iters/Vertices/AvgDeg in N/M/S.
+	Workload string `json:"workload,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -77,6 +85,14 @@ type MicroPoint struct {
 	// marshalling header). Omitted for runs that log no records.
 	RecordsLogged int64 `json:"recordsLogged,omitempty"`
 	RecordBytes   int64 `json:"recordBytes,omitempty"`
+
+	// Open-loop service latency (workload points only): quantiles of
+	// scheduled-arrival-to-completion time in virtual nanoseconds, over
+	// Ops completed requests.
+	Ops    int64 `json:"ops,omitempty"`
+	P50Ns  int64 `json:"p50Ns,omitempty"`
+	P99Ns  int64 `json:"p99Ns,omitempty"`
+	P999Ns int64 `json:"p999Ns,omitempty"`
 }
 
 // key is the configuration identity used to pair baseline and current
@@ -106,6 +122,12 @@ func (p MicroPoint) key() string {
 	}
 	if p.NoCoalesce {
 		k += "-nocoal"
+	}
+	if p.Servers > 1 {
+		k += fmt.Sprintf("-srv%d", p.Servers)
+	}
+	if p.Workload != "" {
+		k += "-wl-" + p.Workload
 	}
 	return k
 }
@@ -142,6 +164,10 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 	if replicas == 0 {
 		replicas = 1
 	}
+	servers := 0
+	if o.NumServers > 1 {
+		servers = o.NumServers
+	}
 	pt := MicroPoint{
 		P: p, Mode: prm.Mode.String(),
 		N: prm.N, M: prm.M, S: prm.S, B: prm.B,
@@ -149,6 +175,7 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 		ServerShards:    shards,
 		ManagerShards:   mgrShards,
 		ManagerReplicas: replicas,
+		Servers:         servers,
 		Spans:           prm.UseSpans,
 		WideGsum:        prm.WideGsum,
 		NoCoalesce:      o.NoRecordCoalesce,
@@ -274,6 +301,21 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		}
 		mb.Points = append(mb.Points, pt)
 	}
+	// Serving-scale workloads: the open-loop KV service (p50/p99/p999
+	// become gated numbers) and the irregular PageRank kernel, each on
+	// the element and span data planes.
+	wl, err := workloadPoints(o)
+	if err != nil {
+		return nil, err
+	}
+	mb.Points = append(mb.Points, wl...)
+	// Population sweep (opt-in via SweepPops: these are the expensive
+	// points).
+	sw, err := sweepPoints(o)
+	if err != nil {
+		return nil, err
+	}
+	mb.Points = append(mb.Points, sw...)
 	return mb, nil
 }
 
@@ -301,8 +343,8 @@ func ReadMicroBench(path string) (*MicroBench, error) {
 
 // CheckRegression compares current against baseline point by point
 // (matched on configuration) and returns an error naming every point
-// whose sync time, fabric message count or fabric byte volume grew by
-// more than tol (e.g. 0.20 = 20%). Baseline points absent from current
+// whose sync time, fabric message count, fabric byte volume or p99
+// service latency grew by more than tol (e.g. 0.20 = 20%). Baseline points absent from current
 // are ignored; new current points pass (there is nothing to compare
 // them to).
 func CheckRegression(baseline, current *MicroBench, tol float64) error {
@@ -327,6 +369,10 @@ func CheckRegression(baseline, current *MicroBench, tol float64) error {
 		if b.FabricBytes > 0 && float64(cur.FabricBytes) > float64(b.FabricBytes)*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: fabric bytes %d > baseline %d by more than %.0f%%",
 				cur.key(), cur.FabricBytes, b.FabricBytes, tol*100))
+		}
+		if b.P99Ns > 0 && float64(cur.P99Ns) > float64(b.P99Ns)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: p99 latency %dns > baseline %dns by more than %.0f%%",
+				cur.key(), cur.P99Ns, b.P99Ns, tol*100))
 		}
 	}
 	if len(bad) > 0 {

@@ -89,3 +89,72 @@ func TestMeasureMicroDeterministic(t *testing.T) {
 		t.Fatalf("degenerate measurement: %+v", a)
 	}
 }
+
+// The p99 gate covers workload points: latency regressions in the KV
+// service fail CI like sync-time regressions in the kernels.
+func TestCheckRegressionP99(t *testing.T) {
+	base := &MicroBench{Points: []MicroPoint{{
+		Workload: "kv", P: 16, Mode: "open", N: 64, M: 512, S: 64, B: 90,
+		SyncMaxNs: 1_000_000, P99Ns: 10_000,
+	}}}
+	within := &MicroBench{Points: []MicroPoint{{
+		Workload: "kv", P: 16, Mode: "open", N: 64, M: 512, S: 64, B: 90,
+		SyncMaxNs: 1_000_000, P99Ns: 11_500,
+	}}}
+	if err := CheckRegression(base, within, 0.20); err != nil {
+		t.Errorf("15%% p99 growth tripped the 20%% gate: %v", err)
+	}
+	over := &MicroBench{Points: []MicroPoint{{
+		Workload: "kv", P: 16, Mode: "open", N: 64, M: 512, S: 64, B: 90,
+		SyncMaxNs: 1_000_000, P99Ns: 12_500,
+	}}}
+	err := CheckRegression(base, over, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("25%% p99 growth passed the 20%% gate: %v", err)
+	}
+}
+
+// Workload, sweep-server and span markers are part of the point
+// identity: a kv point must never be compared against the micro point
+// with coincidentally equal parameters, and the pre-workload baseline
+// keys must be unchanged so old documents keep gating.
+func TestMicroPointKeyIdentity(t *testing.T) {
+	micro := MicroPoint{P: 16, Mode: "strided", N: 10, M: 10, S: 2, B: 256}
+	if got, want := micro.key(), "p16-strided-N10-M10-S2-B256-d0-sh1-mgr1-rep1"; got != want {
+		t.Errorf("legacy key changed: %q, want %q", got, want)
+	}
+	kvPt := micro
+	kvPt.Workload = "kv"
+	if kvPt.key() == micro.key() {
+		t.Error("kv point key collides with micro point key")
+	}
+	srv := micro
+	srv.Servers = 4
+	if srv.key() == micro.key() {
+		t.Error("multi-server point key collides with single-server key")
+	}
+	if !strings.HasSuffix(kvPt.key(), "-wl-kv") {
+		t.Errorf("workload key missing suffix: %q", kvPt.key())
+	}
+}
+
+// MeasureKV on the sequenced fabric must be bit-stable like the micro
+// kernel, including its latency quantiles.
+func TestMeasureKVDeterministic(t *testing.T) {
+	o := Quick()
+	prm := kvQuickParams()
+	a, err := o.MeasureKV(4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.MeasureKV(4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("kv measurements differ:\n a: %+v\n b: %+v", a, b)
+	}
+	if a.Ops == 0 || a.P50Ns == 0 || a.P99Ns == 0 || a.P999Ns < a.P99Ns || a.P99Ns < a.P50Ns {
+		t.Fatalf("degenerate kv measurement: %+v", a)
+	}
+}

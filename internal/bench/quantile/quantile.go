@@ -1,0 +1,224 @@
+// Package quantile provides a deterministic, mergeable latency-quantile
+// sketch for the open-loop serving benchmarks.
+//
+// The sketch is a DDSketch-style logarithmic histogram: values land in
+// buckets whose boundaries grow geometrically by gamma = (1+alpha)/
+// (1-alpha), which guarantees every reported quantile is within a
+// relative error of alpha of the true order statistic. Two properties
+// matter for this repository and are load-bearing for the CI gate:
+//
+//   - Determinism. Bucket indices are a pure function of the value, the
+//     counts are integers, and quantile extraction walks the buckets in
+//     sorted index order — the same stream of virtual-time latencies
+//     always produces bit-identical p50/p99/p999, so BENCH_micro.json
+//     latency fields are stable enough to gate at a strict tolerance.
+//   - Exact mergeability. Merge adds bucket counts, and integer
+//     addition is associative and commutative, so merging the P
+//     per-thread sketches of a run yields the same sketch regardless of
+//     merge order or tree shape. The per-thread sketches live in plain
+//     Go memory (they are measurement apparatus, not workload state).
+//
+// Values are virtual-time latencies in nanoseconds: non-negative
+// int64s. Zero is tracked exactly in its own bucket.
+package quantile
+
+import "sort"
+
+// DefaultAlpha is the relative-accuracy target used by the benchmarks:
+// reported quantiles are within 1% of the true order statistic.
+const DefaultAlpha = 0.01
+
+// Sketch is a mergeable quantile sketch with bounded relative error.
+// The zero value is not usable; call New.
+type Sketch struct {
+	alpha float64
+	gamma float64
+	// counts maps bucket index i to the number of recorded values v
+	// with gamma^(i-1) < v <= gamma^i. Index 0 holds v in (1/gamma, 1],
+	// i.e. the value 1 for integer inputs.
+	counts map[int]uint64
+	zeros  uint64 // exact count of v == 0
+	n      uint64
+	min    int64
+	max    int64
+}
+
+// New creates a sketch with relative accuracy alpha (0 < alpha < 1).
+// Pass DefaultAlpha unless a test needs a different bound.
+func New(alpha float64) *Sketch {
+	if alpha <= 0 || alpha >= 1 {
+		panic("quantile: alpha must be in (0, 1)")
+	}
+	return &Sketch{
+		alpha:  alpha,
+		gamma:  (1 + alpha) / (1 - alpha),
+		counts: make(map[int]uint64),
+	}
+}
+
+// Alpha returns the sketch's relative-accuracy parameter.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// index returns the bucket index for v > 0: the smallest i with
+// v <= gamma^i, computed by repeated multiplication so the boundary
+// arithmetic is exactly reproducible (no platform-dependent log).
+// Bucket boundaries are cached per sketch via the bounds slice.
+func (s *Sketch) index(v int64) int {
+	fv := float64(v)
+	if fv <= 1 {
+		return 0
+	}
+	// Galloping search over gamma^i, then binary refine. For latency
+	// inputs (ns, up to ~1e12) this is at most ~40 doublings with
+	// alpha=0.01 handled in the refine step; cheap and allocation-free.
+	lo, hi := 0, 1
+	b := s.gamma
+	for b < fv {
+		lo = hi
+		hi *= 2
+		b = pow(s.gamma, hi)
+	}
+	// Invariant: gamma^lo < fv <= gamma^hi. Binary search the boundary.
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pow(s.gamma, mid) < fv {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// pow computes g^n for n >= 0 by square-and-multiply; deterministic
+// and exactly reproducible for a given g and n.
+func pow(g float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= g
+		}
+		g *= g
+		n >>= 1
+	}
+	return r
+}
+
+// Add records one value. Negative values panic: virtual-time latencies
+// cannot be negative, and a negative latency is a harness bug worth
+// crashing on.
+func (s *Sketch) Add(v int64) {
+	if v < 0 {
+		panic("quantile: negative value")
+	}
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	if v == 0 {
+		s.zeros++
+		return
+	}
+	s.counts[s.index(v)]++
+}
+
+// Count returns the number of recorded values.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// Min returns the exact minimum recorded value (0 if empty).
+func (s *Sketch) Min() int64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum recorded value (0 if empty).
+func (s *Sketch) Max() int64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Merge folds other into s. Both sketches must share the same alpha.
+// Merging is exact: the result is identical to having Added every value
+// of both streams into one sketch, in any order.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if other.alpha != s.alpha {
+		panic("quantile: merging sketches with different alpha")
+	}
+	if s.n == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if s.n == 0 || other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.zeros += other.zeros
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Sketch) Clone() *Sketch {
+	c := New(s.alpha)
+	c.n, c.zeros, c.min, c.max = s.n, s.zeros, s.min, s.max
+	for i, v := range s.counts {
+		c.counts[i] = v
+	}
+	return c
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1) with
+// relative error at most alpha: the value at (0-based) rank
+// floor(q*(n-1)) of the sorted stream. Returns 0 for an empty sketch.
+// Quantile(0) and Quantile(1) return the exact min and max.
+func (s *Sketch) Quantile(q float64) int64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := uint64(q * float64(s.n-1)) // 0-based target rank
+	if rank < s.zeros {
+		return 0
+	}
+	cum := s.zeros
+	// Deterministic extraction: walk buckets in ascending index order.
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		cum += s.counts[i]
+		if rank < cum {
+			// All values in bucket i lie in (gamma^(i-1), gamma^i]; the
+			// midpoint estimate 2*gamma^i/(gamma+1) is within alpha of
+			// every one of them. Clamp to the exact extremes so the
+			// estimate never leaves the observed range.
+			est := 2 * pow(s.gamma, i) / (s.gamma + 1)
+			v := int64(est + 0.5)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}

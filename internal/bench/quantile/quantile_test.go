@@ -1,0 +1,225 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the value at 0-based rank floor(q*(n-1)) of the
+// sorted stream: the order statistic the sketch estimates.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// checkRankError feeds the stream into a sketch and asserts every
+// checked quantile is within the alpha relative-error bound of the
+// exact order statistic (plus 1 for integer rounding of the midpoint
+// estimate, which matters only for single-digit values).
+func checkRankError(t *testing.T, name string, alpha float64, stream []int64) {
+	t.Helper()
+	s := New(alpha)
+	for _, v := range stream {
+		s.Add(v)
+	}
+	sorted := append([]int64(nil), stream...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		want := exactQuantile(sorted, q)
+		tol := alpha*float64(want) + 1
+		if math.Abs(float64(got-want)) > tol {
+			t.Errorf("%s: q=%v: sketch %d, exact %d (tol %.2f)", name, q, got, want, tol)
+		}
+	}
+	if s.Min() != sorted[0] || s.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: min/max %d/%d, want %d/%d", name, s.Min(), s.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	if s.Count() != uint64(len(stream)) {
+		t.Errorf("%s: count %d, want %d", name, s.Count(), len(stream))
+	}
+}
+
+// The rank-error property on random streams across distributions that
+// mimic latency shapes: uniform, exponential-ish (heavy tail), and
+// log-uniform across six orders of magnitude.
+func TestRankErrorRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alpha := range []float64{0.01, 0.05} {
+		uniform := make([]int64, 20000)
+		for i := range uniform {
+			uniform[i] = rng.Int63n(1_000_000)
+		}
+		checkRankError(t, "uniform", alpha, uniform)
+
+		tail := make([]int64, 20000)
+		for i := range tail {
+			tail[i] = int64(rng.ExpFloat64() * 50_000)
+		}
+		checkRankError(t, "exponential", alpha, tail)
+
+		logu := make([]int64, 20000)
+		for i := range logu {
+			logu[i] = int64(math.Pow(10, 1+5*rng.Float64()))
+		}
+		checkRankError(t, "log-uniform", alpha, logu)
+	}
+}
+
+// Adversarial streams: values hugging bucket boundaries, constant
+// streams, all-zero streams, single elements, two-point distributions
+// with extreme skew (one slow outlier in a sea of fast requests — the
+// exact shape p999 gating exists to catch).
+func TestRankErrorAdversarialStreams(t *testing.T) {
+	alpha := 0.01
+	gamma := (1 + alpha) / (1 - alpha)
+
+	boundary := make([]int64, 0, 4000)
+	b := 1.0
+	for len(boundary) < 4000 {
+		v := int64(b)
+		if v < 1 {
+			v = 1
+		}
+		boundary = append(boundary, v, v+1) // straddle every boundary
+		b *= gamma
+		if b > 1e12 {
+			b = 1
+		}
+	}
+	checkRankError(t, "boundary-straddle", alpha, boundary)
+
+	constant := make([]int64, 5000)
+	for i := range constant {
+		constant[i] = 777_777
+	}
+	checkRankError(t, "constant", alpha, constant)
+
+	checkRankError(t, "single", alpha, []int64{42})
+	checkRankError(t, "zeros", alpha, []int64{0, 0, 0, 0})
+
+	skew := make([]int64, 10000)
+	for i := range skew {
+		skew[i] = 1000
+	}
+	skew[9999] = 50_000_000 // one outlier: p999 must see it or its bucket
+	checkRankError(t, "outlier", alpha, skew)
+
+	s := New(alpha)
+	for _, v := range skew {
+		s.Add(v)
+	}
+	if got := s.Quantile(1); got != 50_000_000 {
+		t.Errorf("outlier max: got %d", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(float64(got)-1000) > alpha*1000+1 {
+		t.Errorf("outlier median: got %d", got)
+	}
+}
+
+// Merge must be exact: merging any partition of a stream, in any order
+// and any tree shape, must yield the identical sketch (and therefore
+// identical quantiles) as one sketch fed the whole stream.
+func TestMergeAssociativeAndExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]int64, 9000)
+	for i := range stream {
+		stream[i] = int64(rng.ExpFloat64() * 30_000)
+	}
+
+	whole := New(DefaultAlpha)
+	for _, v := range stream {
+		whole.Add(v)
+	}
+
+	// Partition into three unequal parts a, b, c.
+	parts := make([]*Sketch, 3)
+	bounds := []int{0, 1000, 4000, 9000}
+	for p := 0; p < 3; p++ {
+		parts[p] = New(DefaultAlpha)
+		for _, v := range stream[bounds[p]:bounds[p+1]] {
+			parts[p].Add(v)
+		}
+	}
+
+	// (a ⊔ b) ⊔ c
+	left := parts[0].Clone()
+	left.Merge(parts[1])
+	left.Merge(parts[2])
+	// a ⊔ (b ⊔ c)
+	bc := parts[1].Clone()
+	bc.Merge(parts[2])
+	right := parts[0].Clone()
+	right.Merge(bc)
+	// c ⊔ a ⊔ b (commutativity)
+	comm := parts[2].Clone()
+	comm.Merge(parts[0])
+	comm.Merge(parts[1])
+
+	for _, m := range []*Sketch{left, right, comm} {
+		if !reflect.DeepEqual(m.counts, whole.counts) || m.n != whole.n ||
+			m.zeros != whole.zeros || m.min != whole.min || m.max != whole.max {
+			t.Fatalf("merged sketch differs from whole-stream sketch")
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if left.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole %d", q, left.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// Merging empty sketches and self-consistency of Clone.
+func TestMergeEdgeCases(t *testing.T) {
+	a := New(DefaultAlpha)
+	b := New(DefaultAlpha)
+	a.Merge(b) // empty ⊔ empty
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("empty merge should stay empty")
+	}
+	b.Add(5)
+	b.Add(10)
+	a.Merge(b)
+	if a.Count() != 2 || a.Min() != 5 || a.Max() != 10 {
+		t.Fatalf("merge into empty: count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	c := b.Clone()
+	c.Add(20)
+	if b.Count() != 2 || c.Count() != 3 {
+		t.Fatal("Clone must be independent")
+	}
+	a.Merge(nil) // nil is a no-op
+	if a.Count() != 2 {
+		t.Fatal("nil merge changed the sketch")
+	}
+}
+
+// Determinism: the same stream always yields bit-identical quantiles
+// (this is what lets BENCH_micro.json gate p99 at a strict tolerance).
+func TestDeterministicExtraction(t *testing.T) {
+	build := func() *Sketch {
+		rng := rand.New(rand.NewSource(3))
+		s := New(DefaultAlpha)
+		for i := 0; i < 5000; i++ {
+			s.Add(int64(rng.ExpFloat64() * 10_000))
+		}
+		return s
+	}
+	s1, s2 := build(), build()
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if s1.Quantile(q) != s2.Quantile(q) {
+			t.Fatalf("q=%v differs across identical streams: %d vs %d", q, s1.Quantile(q), s2.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/kernels"
+	"repro/internal/apps/kv"
+	"repro/internal/apps/pagerank"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Serving-scale workload points for BENCH_micro.json: the DSM-backed
+// KV service under its open-loop load generator (latency quantiles
+// become gated numbers), the irregular PageRank kernel (striping and
+// prefetch meet a power-law access pattern), and population sweeps to
+// P=256/1024 across multi-server, multi-shard and multi-manager
+// topologies. All of them ride the same MicroPoint identity machinery,
+// so the existing 20% regression gate covers them with no extra code.
+
+// fillCommon copies the runtime-wide measurements every point shares.
+func (o Options) fillCommon(pt *MicroPoint, run *stats.Run, v vm.VM) {
+	o.aggregate(run)
+	tot := run.Totals()
+	pt.ComputeMaxNs = int64(run.MaxComputeTime())
+	pt.SyncMaxNs = int64(run.MaxSyncTime())
+	pt.TotalMaxNs = int64(run.MaxTotalTime())
+	pt.Releases = tot.Releases
+	pt.MsgsPerRelease = stats.Rate(tot.MsgsSent, tot.Releases)
+	pt.DiffBytesPerRelease = stats.Rate(tot.DiffBytes, tot.Releases)
+	pt.PrefetchIssued = tot.PrefetchIssued
+	pt.PrefetchHitRate = stats.Rate(tot.PrefetchHits+tot.PrefetchLate, tot.PrefetchIssued)
+	pt.PrefetchWasteRate = stats.Rate(tot.PrefetchWasted, tot.PrefetchIssued)
+	pt.RecordsLogged = tot.RecordsLogged
+	pt.RecordBytes = tot.RecordBytes + 16*tot.RecordsLogged
+	if rt, ok := v.(*core.Runtime); ok {
+		if rt.Fabric() != nil {
+			pt.FabricMsgs = rt.Fabric().Messages()
+			pt.FabricBytes = rt.Fabric().Bytes()
+		}
+		if live := rt.ReplLiveness(); live != nil {
+			pt.MgrReplEntries = live.MgrReplEntries.Load()
+			pt.MgrSnapshots = live.MgrSnapshots.Load()
+			pt.MgrElections = live.MgrElections.Load()
+		}
+	}
+}
+
+// topology returns the normalized shard/replica counts recorded in a
+// point's identity.
+func (o Options) topology() (servers, shards, mgrShards, replicas int) {
+	servers = 0
+	if o.NumServers > 1 {
+		servers = o.NumServers
+	}
+	shards = o.ServerShards
+	if shards == 0 {
+		shards = 1
+	}
+	mgrShards = o.ManagerShards
+	if mgrShards == 0 {
+		mgrShards = 1
+	}
+	replicas = o.ManagerReplicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	return
+}
+
+// MeasureKV boots a fresh Samhita runtime, drives the KV service with
+// its open-loop load generator and returns the measured point. KV
+// parameters ride in the micro fields: N=Ops, M=Keys, S=Buckets,
+// B=GetPct; Mode is "open" (open-loop).
+func (o Options) MeasureKV(p int, prm kv.Params) (MicroPoint, error) {
+	prm = prm.WithDefaults()
+	v, err := o.newSamhita()
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	defer v.Close()
+	res, err := kv.Run(v, p, prm)
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	servers, shards, mgrShards, replicas := o.topology()
+	pt := MicroPoint{
+		Workload: "kv", P: p, Mode: "open",
+		N: prm.Ops, M: prm.Keys, S: prm.Buckets, B: prm.GetPct,
+		PrefetchDepth:   o.PrefetchDepth,
+		Servers:         servers,
+		ServerShards:    shards,
+		ManagerShards:   mgrShards,
+		ManagerReplicas: replicas,
+		Spans:           prm.UseSpans,
+		NoCoalesce:      o.NoRecordCoalesce,
+
+		Ops:    res.Ops,
+		P50Ns:  int64(res.P50),
+		P99Ns:  int64(res.P99),
+		P999Ns: int64(res.P999),
+	}
+	o.fillCommon(&pt, res.Run, v)
+	return pt, nil
+}
+
+// MeasurePagerank boots a fresh Samhita runtime, runs the irregular
+// PageRank kernel and returns the measured point, after checking the
+// distributed result against the sequential reference bit for bit.
+// Parameters ride in the micro fields: N=Iters, M=Vertices, S=AvgDeg;
+// Mode is "pull".
+func (o Options) MeasurePagerank(p int, prm pagerank.Params) (MicroPoint, error) {
+	prm = prm.WithDefaults()
+	v, err := o.newSamhita()
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	defer v.Close()
+	res, err := pagerank.Run(v, p, prm)
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	if _, want := pagerank.Reference(p, prm); res.Checksum != want {
+		return MicroPoint{}, fmt.Errorf("pagerank checksum %v != sequential reference %v", res.Checksum, want)
+	}
+	servers, shards, mgrShards, replicas := o.topology()
+	pt := MicroPoint{
+		Workload: "pagerank", P: p, Mode: "pull",
+		N: prm.Iters, M: prm.Vertices, S: prm.AvgDeg,
+		PrefetchDepth:   o.PrefetchDepth,
+		Servers:         servers,
+		ServerShards:    shards,
+		ManagerShards:   mgrShards,
+		ManagerReplicas: replicas,
+		Spans:           prm.UseSpans,
+		NoCoalesce:      o.NoRecordCoalesce,
+	}
+	o.fillCommon(&pt, res.Run, v)
+	return pt, nil
+}
+
+// workloadPoints measures the serving-scale workloads at the options'
+// shard counts: the KV service on the element and span planes, and
+// PageRank on both planes.
+func workloadPoints(o Options) ([]MicroPoint, error) {
+	var pts []MicroPoint
+	_, sh, mgr, _ := o.topology()
+	po := o
+	po.ServerShards = sh
+	po.ManagerShards = mgr
+	po.ManagerReplicas = 1
+	for _, spans := range []bool{false, true} {
+		kvPt, err := po.MeasureKV(16, kv.Params{UseSpans: spans})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, kvPt)
+		prPt, err := po.MeasurePagerank(16, pagerank.Params{UseSpans: spans})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, prPt)
+	}
+	return pts, nil
+}
+
+// sweepPoints measures the population sweep: for each requested thread
+// count (256, 1024, ...) the micro kernel and the KV service run on a
+// multi-server topology, a server-sharded one, and a replicated-manager
+// one, so the document records how the sync and serving planes scale
+// with population across the paper's deployment shapes.
+func sweepPoints(o Options) ([]MicroPoint, error) {
+	type topo struct {
+		servers, shards, mgrShards, replicas int
+	}
+	topos := []topo{
+		{servers: 4, shards: 1, mgrShards: 4, replicas: 1}, // multi-server
+		{servers: 4, shards: 4, mgrShards: 4, replicas: 1}, // + server shards
+		{servers: 4, shards: 4, mgrShards: 4, replicas: 3}, // + replicated manager
+	}
+	var pts []MicroPoint
+	for _, p := range o.SweepPops {
+		for _, tp := range topos {
+			po := o
+			po.NumServers = tp.servers
+			po.ServerShards = tp.shards
+			po.ManagerShards = tp.mgrShards
+			po.ManagerReplicas = tp.replicas
+			// Small fixed kernel parameters: the sweep measures how the
+			// population scales the sync plane, not the compute plane.
+			mp, err := po.MeasureMicro(p, kernels.MicroParams{N: 3, M: 5, S: 1, B: 64, Mode: kernels.AllocStrided})
+			if err != nil {
+				return nil, fmt.Errorf("sweep micro p=%d: %w", p, err)
+			}
+			pts = append(pts, mp)
+			// The KV sweep holds the keyspace fixed while the client
+			// population grows, so contention per bucket rises with P.
+			kp, err := po.MeasureKV(p, kv.Params{Buckets: 128, Keys: 2048, Ops: 8, UseSpans: true})
+			if err != nil {
+				return nil, fmt.Errorf("sweep kv p=%d: %w", p, err)
+			}
+			pts = append(pts, kp)
+		}
+	}
+	return pts, nil
+}
+
+// kvQuickParams is the reduced KV configuration used by tests.
+func kvQuickParams() kv.Params {
+	return kv.Params{Buckets: 16, Keys: 128, Ops: 32}.WithDefaults()
+}

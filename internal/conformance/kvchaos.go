@@ -1,0 +1,46 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/apps/kv"
+	"repro/internal/vm"
+)
+
+// KVCheck drives the DSM-backed KV service on a booted runtime and
+// verifies the serving-layer chaos contract: the run completes, no
+// acknowledged write is lost or doubled (the final store's value sum
+// equals the seed sum plus every acked delta, and its version sum
+// equals the acked increment count — both exact, since the service
+// keeps every quantity an integer-valued float64), and error responses
+// stay bounded at maxErrorFrac of the offered load. The service runs
+// in Recover mode, so a request the retry/failover machinery could not
+// mask becomes a counted error response instead of killing the run —
+// that is the "bounded error responses" discipline being checked.
+//
+// It is shared by the kv chaos conformance tests and samhita-conform's
+// -kv mode.
+func KVCheck(v vm.VM, p int, prm kv.Params, maxErrorFrac float64) ([]Violation, error) {
+	prm.Recover = true
+	res, err := kv.Run(v, p, prm)
+	if err != nil {
+		return nil, err
+	}
+	var viols []Violation
+	if got, want := res.SumVal, res.ExpectedSeedSum+res.AckedDelta; got != want {
+		viols = append(viols, Violation{Thread: -1, What: fmt.Sprintf(
+			"acked-write conservation violated: store sum %v != seed %v + acked delta %v",
+			got, res.ExpectedSeedSum, res.AckedDelta)})
+	}
+	if got, want := res.SumVer, float64(res.Incrs); got != want {
+		viols = append(viols, Violation{Thread: -1, What: fmt.Sprintf(
+			"version conservation violated: store versions %v != %d acked increments",
+			got, res.Incrs)})
+	}
+	if offered := res.Ops + res.Errors; float64(res.Errors) > maxErrorFrac*float64(offered) {
+		viols = append(viols, Violation{Thread: -1, What: fmt.Sprintf(
+			"unbounded error responses: %d of %d requests failed (cap %.0f%%)",
+			res.Errors, offered, maxErrorFrac*100)})
+	}
+	return viols, nil
+}

@@ -66,6 +66,13 @@ type Thread struct {
 	arenaNext      layout.Addr
 	arenaRemaining int
 
+	// allocSeq numbers this thread's allocation-plane requests (alloc
+	// and free). A retry across manager failover re-sends the same Seq,
+	// and the manager's per-writer dedup answers it with the original
+	// outcome instead of allocating (or freeing) twice. Main-goroutine
+	// only; starts at 1 so 0 stays "no dedup".
+	allocSeq uint64
+
 	// barEpoch counts this thread's arrivals per barrier (1-based).
 	// Stamped into BarrierReq only when the manager is replicated, so a
 	// re-issued arrival after a leader failover is deduplicated against
@@ -298,6 +305,22 @@ func (t *Thread) StopMeasurement() {
 	t.settleCompute()
 	snap := t.st.Snapshot()
 	t.frozen = &snap
+}
+
+// SleepUntil implements vm.Thread: the open-loop idle wait. Work done
+// since the last settle is attributed to compute first, then the jump
+// to tm (if any) is attributed to idle time so deliberate slack never
+// inflates the service-time buckets. Advancing a thread's own clock
+// sends no messages, so the sequenced fabric stays deterministic.
+func (t *Thread) SleepUntil(tm vtime.Time) {
+	t.settleCompute()
+	now := t.clock.Now()
+	if tm <= now {
+		return
+	}
+	t.clock.AdvanceTo(tm)
+	t.st.IdleTime += t.clock.Now() - now
+	t.mark = t.clock.Now()
 }
 
 // settleCompute attributes [mark, now) to compute time.
@@ -538,9 +561,10 @@ func (t *Thread) GlobalAlloc(n int) vm.Addr {
 
 func (t *Thread) managerAlloc(size uint64, strategy uint8) vm.Addr {
 	start := t.clock.Now()
+	t.allocSeq++
 	var resp proto.AllocResp
 	at, err := t.mgrCall(&proto.AllocReq{
-		Thread: t.writer, Size: size, Align: 16, Strategy: strategy,
+		Thread: t.writer, Size: size, Align: 16, Strategy: strategy, Seq: t.allocSeq,
 	}, &resp, t.clock.Now())
 	if err != nil {
 		t.fail("alloc", err)
@@ -559,8 +583,9 @@ func (t *Thread) Free(a vm.Addr) {
 	if a < manager.SharedZoneBase {
 		return
 	}
+	t.allocSeq++
 	var ack proto.Ack
-	at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a)}, &ack, t.clock.Now())
+	at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a), Seq: t.allocSeq}, &ack, t.clock.Now())
 	if err != nil {
 		t.fail("free", err)
 	}

@@ -67,8 +67,13 @@ const (
 // Stats counts manager activity. Fields are atomics so that harnesses
 // and tests can observe progress while the manager runs.
 type Stats struct {
-	Allocs        atomic.Int64
-	Frees         atomic.Int64
+	Allocs atomic.Int64
+	Frees  atomic.Int64
+	// DedupAllocs / DedupFrees count allocation-plane requests answered
+	// from the per-writer idempotency records instead of mutating a
+	// zone: re-issues across manager failover.
+	DedupAllocs   atomic.Int64
+	DedupFrees    atomic.Int64
 	LockGrants    atomic.Int64
 	LockWaits     atomic.Int64 // grants that had to queue first
 	Unlocks       atomic.Int64
@@ -233,6 +238,13 @@ func (m *Manager) SetDataNodes(nodes []scl.NodeID) {
 
 // Stats exposes the manager's counters.
 func (m *Manager) Stats() *Stats { return &m.stats }
+
+// ZoneLive reports the outstanding allocation count of each zone
+// (arena, shared, striped) — the observable the alloc-leak regression
+// test watches across failover. Call only when the manager is idle.
+func (m *Manager) ZoneLive() (arena, shared, striped int) {
+	return m.arenaZone.Live(), m.sharedZone.Live(), m.stripedZone.Live()
+}
 
 // Clock reports the manager's virtual time: the maximum across its
 // homes' clocks.

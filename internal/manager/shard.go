@@ -228,7 +228,7 @@ func (sh *shard) handleAlloc(req *scl.Request, ar *proto.AllocReq) {
 		align = 16
 	}
 	var (
-		addr layout.Addr
+		zone *Zone
 		err  error
 	)
 	switch ar.Strategy {
@@ -236,12 +236,11 @@ func (sh *shard) handleAlloc(req *scl.Request, ar *proto.AllocReq) {
 		// Arena chunks are line-aligned so no two threads' arenas ever
 		// share a cache line — the paper's no-false-sharing guarantee
 		// for locally allocated data.
-		addr, err = m.arenaZone.Alloc(ar.Size, m.geo.LineSize())
+		zone, align = m.arenaZone, m.geo.LineSize()
 	case proto.AllocShared:
-		addr, err = m.sharedZone.Alloc(ar.Size, align)
+		zone = m.sharedZone
 	case proto.AllocStriped:
-		group := m.geo.LineSize() * m.geo.NumServers
-		addr, err = m.stripedZone.Alloc(ar.Size, group)
+		zone, align = m.stripedZone, m.geo.LineSize()*m.geo.NumServers
 	default:
 		err = fmt.Errorf("manager: unknown allocation strategy %d", ar.Strategy)
 	}
@@ -249,6 +248,21 @@ func (sh *shard) handleAlloc(req *scl.Request, ar *proto.AllocReq) {
 		req.ReplyError(err, sh.clock.Now())
 		return
 	}
+	// A request re-issued across a failover (same writer, same Seq) was
+	// already served — possibly by a dead leader whose reply was lost,
+	// with the allocation preserved through the replicated log. Answer
+	// with the original address instead of leaking a second block.
+	if addr, ok := zone.DedupAlloc(ar.Thread, ar.Seq); ok {
+		m.stats.DedupAllocs.Add(1)
+		req.Reply(&proto.AllocResp{Addr: uint64(addr)}, sh.clock.Now())
+		return
+	}
+	addr, err := zone.Alloc(ar.Size, align)
+	if err != nil {
+		req.ReplyError(err, sh.clock.Now())
+		return
+	}
+	zone.NoteAlloc(ar.Thread, ar.Seq, addr)
 	m.stats.Allocs.Add(1)
 	req.Reply(&proto.AllocResp{Addr: uint64(addr)}, sh.clock.Now())
 }
@@ -256,21 +270,30 @@ func (sh *shard) handleAlloc(req *scl.Request, ar *proto.AllocReq) {
 func (sh *shard) handleFree(req *scl.Request, fr *proto.FreeReq) {
 	m := sh.m
 	addr := layout.Addr(fr.Addr)
-	var err error
+	var zone *Zone
 	switch {
 	case m.arenaZone.Contains(addr):
-		err = m.arenaZone.Free(addr)
+		zone = m.arenaZone
 	case m.sharedZone.Contains(addr):
-		err = m.sharedZone.Free(addr)
+		zone = m.sharedZone
 	case m.stripedZone.Contains(addr):
-		err = m.stripedZone.Free(addr)
+		zone = m.stripedZone
 	default:
-		err = fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr)
+		req.ReplyError(fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr), sh.clock.Now())
+		return
 	}
-	if err != nil {
+	// A free re-issued across failover was already applied; ack it
+	// idempotently instead of double-freeing.
+	if zone.DedupFree(fr.Thread, fr.Seq) {
+		m.stats.DedupFrees.Add(1)
+		req.Reply(&proto.Ack{}, sh.clock.Now())
+		return
+	}
+	if err := zone.Free(addr); err != nil {
 		req.ReplyError(err, sh.clock.Now())
 		return
 	}
+	zone.NoteFree(fr.Thread, fr.Seq)
 	m.stats.Frees.Add(1)
 	req.Reply(&proto.Ack{}, sh.clock.Now())
 }

@@ -23,7 +23,9 @@ import (
 // group); it is versioned with a leading magic byte so a mismatch fails
 // loudly instead of misdecoding.
 
-const stateVersion = 1
+// Version 2 added the zones' per-writer allocation-plane idempotency
+// records (AllocReq/FreeReq dedup across failover).
+const stateVersion = 2
 
 // encodeState serializes the manager's semantic state.
 func (m *Manager) encodeState() []byte {
@@ -138,6 +140,20 @@ func encodeZone(w *proto.Writer, z *Zone) {
 		w.U64(a)
 		w.U64(z.allocs[layout.Addr(a)])
 	}
+	// Per-writer idempotency records, in writer order (byte-determinism).
+	writers := make([]uint32, 0, len(z.lastAlloc))
+	for wr := range z.lastAlloc {
+		writers = append(writers, wr)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	w.U64(uint64(len(writers)))
+	for _, wr := range writers {
+		r := z.lastAlloc[wr]
+		w.U32(wr)
+		w.U64(r.seq)
+		w.U64(uint64(r.addr))
+	}
+	encodeU32U64Map(w, z.lastFree)
 }
 
 func decodeZone(r *proto.Reader, name string, base, limit layout.Addr) *Zone {
@@ -152,6 +168,12 @@ func decodeZone(r *proto.Reader, name string, base, limit layout.Addr) *Zone {
 		a := layout.Addr(r.U64())
 		z.allocs[a] = r.U64()
 	}
+	nd := r.U64()
+	for i := uint64(0); i < nd && r.Err() == nil; i++ {
+		wr := r.U32()
+		z.lastAlloc[wr] = allocRecord{seq: r.U64(), addr: layout.Addr(r.U64())}
+	}
+	z.lastFree = decodeU32U64Map(r)
 	return z
 }
 

@@ -170,31 +170,35 @@ type byteRange struct {
 // coalescing overlapping and touching neighbours. The list stays sorted
 // and disjoint.
 func mergeRange(rs []byteRange, lo, hi int) []byteRange {
-	out := rs[:0]
-	inserted := false
-	for _, r := range rs {
-		switch {
-		case r.hi < lo: // strictly before, not touching
-			out = append(out, r)
-		case hi < r.lo: // strictly after, not touching
-			if !inserted {
-				out = append(out, byteRange{lo, hi})
-				inserted = true
-			}
-			out = append(out, r)
-		default: // overlaps or touches: absorb
-			if r.lo < lo {
-				lo = r.lo
-			}
-			if r.hi > hi {
-				hi = r.hi
-			}
+	// Window [i, j): ranges before i lie strictly before [lo, hi) without
+	// touching; ranges in [i, j) overlap or touch and are absorbed; ranges
+	// from j on lie strictly after. Rebuilding by index (rather than
+	// appending into rs[:0] while ranging over rs) avoids clobbering
+	// not-yet-read elements of the shared backing array when an insertion
+	// grows the list.
+	i := 0
+	for i < len(rs) && rs[i].hi < lo {
+		i++
+	}
+	j := i
+	for j < len(rs) && rs[j].lo <= hi {
+		if rs[j].lo < lo {
+			lo = rs[j].lo
 		}
+		if rs[j].hi > hi {
+			hi = rs[j].hi
+		}
+		j++
 	}
-	if !inserted {
-		out = append(out, byteRange{lo, hi})
+	if j > i { // absorbed at least one existing range: shrink in place
+		rs[i] = byteRange{lo, hi}
+		return append(rs[:i+1], rs[j:]...)
 	}
-	return out
+	// Pure insertion: grow by one and shift the tail right.
+	rs = append(rs, byteRange{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = byteRange{lo, hi}
+	return rs
 }
 
 // overlapsRanges reports whether [lo, hi) intersects any range of a

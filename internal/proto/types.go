@@ -472,12 +472,18 @@ const (
 	AllocStriped                 // striped across memory servers
 )
 
-// AllocReq asks the manager for global memory.
+// AllocReq asks the manager for global memory. Seq is the requesting
+// thread's monotonic allocation-plane sequence number: a re-issue of
+// the same logical request (a retry across manager failover) carries
+// the same Seq, which lets the manager deduplicate and answer with the
+// original address instead of allocating again — the fix for the
+// AllocReq re-issue leak. Seq 0 disables dedup (legacy senders).
 type AllocReq struct {
 	Thread   uint32
 	Size     uint64
 	Align    uint32
 	Strategy uint8
+	Seq      uint64
 }
 
 func (m *AllocReq) Kind() Kind { return KAllocReq }
@@ -487,6 +493,7 @@ func (m *AllocReq) Marshal(w *Writer) {
 	w.U64(m.Size)
 	w.U32(m.Align)
 	w.U8(m.Strategy)
+	w.U64(m.Seq)
 }
 
 func (m *AllocReq) Unmarshal(r *Reader) {
@@ -494,6 +501,7 @@ func (m *AllocReq) Unmarshal(r *Reader) {
 	m.Size = r.U64()
 	m.Align = r.U32()
 	m.Strategy = r.U8()
+	m.Seq = r.U64()
 }
 
 // AllocResp returns the base address of the allocation.
@@ -527,10 +535,14 @@ func (m *RegisterReq) Unmarshal(r *Reader) {
 	m.Node = r.U32()
 }
 
-// FreeReq releases an allocation made through the manager.
+// FreeReq releases an allocation made through the manager. Seq is the
+// same allocation-plane sequence number AllocReq carries: a free
+// re-issued across failover is acked idempotently instead of
+// double-freeing (Seq 0 disables dedup).
 type FreeReq struct {
 	Thread uint32
 	Addr   uint64
+	Seq    uint64
 }
 
 func (m *FreeReq) Kind() Kind { return KFreeReq }
@@ -538,11 +550,13 @@ func (m *FreeReq) Kind() Kind { return KFreeReq }
 func (m *FreeReq) Marshal(w *Writer) {
 	w.U32(m.Thread)
 	w.U64(m.Addr)
+	w.U64(m.Seq)
 }
 
 func (m *FreeReq) Unmarshal(r *Reader) {
 	m.Thread = r.U32()
 	m.Addr = r.U64()
+	m.Seq = r.U64()
 }
 
 // LockReq acquires a mutex. LastSeen is the highest notice sequence the

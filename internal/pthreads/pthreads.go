@@ -195,6 +195,20 @@ func (t *Thread) Compute(flops int) {
 	}
 }
 
+// SleepUntil implements vm.Thread: the open-loop idle wait (see the
+// interface comment). Prior work settles to compute, the jump to tm is
+// attributed to idle.
+func (t *Thread) SleepUntil(tm vtime.Time) {
+	t.settleCompute()
+	now := t.clock.Now()
+	if tm <= now {
+		return
+	}
+	t.clock.AdvanceTo(tm)
+	t.st.IdleTime += t.clock.Now() - now
+	t.mark = t.clock.Now()
+}
+
 // Malloc implements vm.Thread.
 func (t *Thread) Malloc(n int) vm.Addr {
 	a, err := t.vm.alloc(n)

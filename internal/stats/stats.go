@@ -90,6 +90,11 @@ type Thread struct {
 	// ComputeTime and SyncTime partition the thread's virtual run time.
 	ComputeTime vtime.Time
 	SyncTime    vtime.Time
+	// IdleTime is virtual time the thread spent deliberately idle in
+	// SleepUntil — an open-loop client waiting for its next scheduled
+	// arrival. It is excluded from ComputeTime/SyncTime (and TotalTime)
+	// so service metrics are not polluted by intentional slack.
+	IdleTime vtime.Time
 
 	// Cache behaviour.
 	Hits            int64 // accesses served by a resident, valid line
@@ -219,6 +224,7 @@ func (r *Run) Totals() Thread {
 		sum.DirtyEvicts += t.DirtyEvicts
 		sum.Twins += t.Twins
 		sum.FaultStall += t.FaultStall
+		sum.IdleTime += t.IdleTime
 		sum.DiffsCreated += t.DiffsCreated
 		sum.DiffBytes += t.DiffBytes
 		sum.OwnedClaims += t.OwnedClaims

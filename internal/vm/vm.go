@@ -95,6 +95,15 @@ type Thread interface {
 	// operations) to the thread's virtual clock.
 	Compute(flops int)
 
+	// SleepUntil idles the thread until virtual time tm: if the thread's
+	// clock is behind tm it jumps forward, attributing the gap to idle
+	// time (stats.Thread.IdleTime) rather than compute or sync. A clock
+	// already at or past tm is untouched. This is the open-loop load
+	// generator's primitive: a client whose next request is scheduled at
+	// tm sleeps to the schedule instead of issuing on completion, so the
+	// offered rate never coordinates with service latency.
+	SleepUntil(tm vtime.Time)
+
 	// Clock reports the thread's current virtual time.
 	Clock() vtime.Time
 	// Stats exposes the thread's measurement record.
