@@ -52,6 +52,9 @@ func main() {
 		serverShards = flag.Int("server-shards", 1, "split each memory server into this many independently scheduled page shards")
 		mgrShards    = flag.Int("manager-shards", 1, "split the manager into this many synchronization homes")
 		mgrReplicas  = flag.Int("manager-replicas", 1, "replicate the manager behind a consensus log across this many replicas (adds a replicated strided point to -json)")
+		hotBytes     = flag.Int64("hot-bytes", 0, "per-server hot-set budget in bytes; pages past it demote compressed to the cold tier (adds tiered points to -json; 0 = untiered)")
+		coldPreset   = flag.String("cold-preset", "", "cold-tier cost model: cold-nvme (default) or cold-remote")
+		forks        = flag.Int("forks", 0, "add a fork-storm point to -json: this many copy-on-write address-space forks off one sealed snapshot")
 
 		faults     = flag.Bool("faults", false, "inject transport faults (masked by retries) into every Samhita runtime")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -70,7 +73,13 @@ func main() {
 	opts.ServerShards = *serverShards
 	opts.ManagerShards = *mgrShards
 	opts.ManagerReplicas = *mgrReplicas
+	opts.HotBytes = *hotBytes
+	opts.ColdPreset = *coldPreset
+	opts.Forks = *forks
 	opts.Agg = new(stats.Run)
+	if *hotBytes > 0 || *forks > 0 {
+		opts.Tier = new(samhita.TierStats)
+	}
 	if *sweep != "" {
 		for _, s := range strings.Split(*sweep, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -122,6 +131,10 @@ func main() {
 			if pt.ManagerReplicas > 1 {
 				fmt.Printf("replicated manager (%d replicas, %s): %d log entries, %d snapshots, %d elections\n",
 					pt.ManagerReplicas, pt.Mode, pt.MgrReplEntries, pt.MgrSnapshots, pt.MgrElections)
+			}
+			if pt.Workload == "forkstorm" {
+				fmt.Printf("forkstorm (%d forks, %d B image): fork-to-first-op p50=%dns p99=%dns p999=%dns, eager-copy cold start %dns\n",
+					pt.Forks, pt.M, pt.ForkP50Ns, pt.ForkP99Ns, pt.ForkP999Ns, pt.ColdStartNs)
 			}
 		}
 		if *baseline != "" {
@@ -195,6 +208,9 @@ func main() {
 	}
 	if opts.Net != nil {
 		fmt.Println(opts.Net.Summary())
+	}
+	if opts.Tier != nil {
+		fmt.Println(opts.Tier.Summary())
 	}
 	if opts.Live != nil {
 		fmt.Println(opts.Live.Summary())

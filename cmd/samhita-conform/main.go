@@ -23,6 +23,13 @@
 //	samhita-conform -runs 25 -kv -kill-server 0
 //	                                   # same, crashing a memory server
 //	                                   # (warm standby takes over)
+//	samhita-conform -runs 25 -forkstorm -hot-bytes 32768
+//	                                   # snapshot/fork contract on tiered
+//	                                   # servers: bit-exact sealed reads,
+//	                                   # every fork accounted for
+//	samhita-conform -runs 10 -forkstorm -kill-server 0 -manager-replicas 3 -kill-manager
+//	                                   # fork-storm chaos: both kills
+//	                                   # mid-storm, bounded errors
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/apps/forkstorm"
 	"repro/internal/apps/kv"
 	"repro/internal/conformance"
 	"repro/internal/core"
@@ -56,6 +64,10 @@ func main() {
 
 		kvMode    = flag.Bool("kv", false, "check the DSM-backed KV service instead of random programs: no acked write may be lost and error responses must stay bounded")
 		kvErrFrac = flag.Float64("kv-max-errors", 0.10, "highest tolerated fraction of KV requests answered with an error response under -kv")
+
+		forkMode    = flag.Bool("forkstorm", false, "check the snapshot/fork contract instead of random programs: every fork accounted for, bit-exact sealed reads, bounded errors")
+		forkErrFrac = flag.Float64("fork-max-errors", 0.25, "highest tolerated fraction of forks surfacing a Recover error under -forkstorm with faults")
+		hotBytes    = flag.Int64("hot-bytes", 0, "per-server hot-set budget in bytes (0 = untiered); tiering must never change a checked value")
 
 		shardsOverride = flag.Int("server-shards", 0, "force this many page shards per memory server (0 = fuzzed per seed)")
 		mgrOverride    = flag.Int("manager-shards", 0, "force this many sync homes inside the manager (0 = fuzzed per seed)")
@@ -86,6 +98,13 @@ func main() {
 		}
 		if *mgrReplicas > 1 {
 			cfg.ManagerReplicas = *mgrReplicas
+		}
+		cfg.HotBytes = *hotBytes
+		if *forkMode {
+			// The storm allocates small images; stripe them anyway so the
+			// snapshot verbs (striped-zone only) accept them and the forks
+			// spread across every server.
+			cfg.StripeMin = 4096
 		}
 		if *faults || *killServer >= 0 || *killManager {
 			// No per-attempt timeout: protocol calls park legitimately on
@@ -146,7 +165,18 @@ func main() {
 			fatalf("seed %d: boot: %v", sd, err)
 		}
 		var viols []conformance.Violation
-		if *kvMode {
+		if *forkMode {
+			// The snapshot/fork check: a sealed image dirtied by its parent
+			// while forks read it bit-exactly, under the same fault schedule
+			// as above. The error cap only binds when faults are injected;
+			// clean runs must not error at all.
+			frac := 0.0
+			if *faults || *killServer >= 0 || *killManager {
+				frac = *forkErrFrac
+			}
+			prm := forkstorm.Params{ImageBytes: 64 << 10, Forks: 24, ReadsPerFork: 3, WritesPerFork: 1, Seed: uint64(sd) + 1}
+			viols, err = conformance.ForkStormCheck(rt, prog.Threads, prm, frac)
+		} else if *kvMode {
 			// The serving-layer check: per-seed request stream against a
 			// fixed keyspace, with the same fault schedule as above. The
 			// error cap only binds when faults are injected; clean runs

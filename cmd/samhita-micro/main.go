@@ -33,6 +33,8 @@ func main() {
 		shards    = flag.Int("server-shards", 1, "page shards per memory server (samhita)")
 		mgrShards = flag.Int("manager-shards", 1, "sync homes inside the manager (samhita)")
 		mgrReps   = flag.Int("manager-replicas", 1, "manager replicas behind the consensus log (samhita; 1 = unreplicated)")
+		hotBytes  = flag.Int64("hot-bytes", 0, "per-server hot-set budget in bytes; pages past it demote compressed to the cold tier (0 = untiered; samhita)")
+		coldTier  = flag.String("cold-preset", "", "cold-tier cost model: cold-nvme (default) or cold-remote (samhita)")
 		depth     = flag.Int("prefetch-depth", 0, "lines of anticipatory paging per miss (0 = one line ahead; samhita)")
 		link      = flag.String("link", "qdr-ib", "fabric: qdr-ib, pcie-scif, intra-node")
 		transport = flag.String("transport", "sim", "sim (virtual fabric) or tcp (real loopback sockets)")
@@ -66,6 +68,7 @@ func main() {
 
 	var collector *samhita.TraceCollector
 	var netStats func() *samhita.NetStats
+	var tierStats func() *samhita.TierStats
 	var liveStats, replStats func() *samhita.LivenessStats
 	var v samhita.VM
 	switch *backend {
@@ -76,6 +79,8 @@ func main() {
 		cfg.ServerShards = *shards
 		cfg.ManagerShards = *mgrShards
 		cfg.ManagerReplicas = *mgrReps
+		cfg.HotBytes = *hotBytes
+		cfg.ColdPreset = *coldTier
 		switch *link {
 		case "qdr-ib":
 			cfg.Link = samhita.QDRInfiniBand
@@ -130,6 +135,9 @@ func main() {
 		}
 		defer rt.Close()
 		netStats = rt.NetStats
+		if *hotBytes > 0 {
+			tierStats = rt.TierStats
+		}
 		liveStats = rt.Liveness
 		replStats = rt.ReplLiveness
 		v = rt
@@ -154,6 +162,11 @@ func main() {
 	if netStats != nil {
 		if nst := netStats(); nst != nil {
 			fmt.Println(nst.Summary())
+		}
+	}
+	if tierStats != nil {
+		if ts := tierStats(); ts != nil {
+			fmt.Println(ts.Summary())
 		}
 	}
 	if liveStats != nil {

@@ -1,0 +1,265 @@
+// Package forkstorm is the copy-on-write serving workload: one warmed
+// striped image is sealed into an address-space snapshot, then every
+// client thread materializes thousands of short-lived forks of it and
+// touches each one — the "many cheap clones of one warm state" pattern
+// (think per-request forks of a loaded model or a seeded database).
+//
+// The measured quantity per fork is fork-to-first-op latency: from just
+// before ForkAS to the completion of the first verified read through
+// the fork. The baseline it is judged against is the unforked cold
+// start — what a client would do WITHOUT copy-on-write forks: allocate
+// a fresh range, stream the whole image through the DSM into it, and
+// perform the same first op. A fork never moves the image's bytes
+// (sealed frames are served in place, private pages materialize only on
+// first write), so its latency should sit well under the eager copy.
+//
+// Correctness contract, checked on every fork:
+//   - every read through a fork sees the SEALED image values, even
+//     though the parent keeps mutating the original image during the
+//     storm (parent writes after the snapshot must never leak in);
+//   - a fork's own writes are visible to its reader (copy-on-write
+//     privacy), and never visible through any other fork.
+package forkstorm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bench/quantile"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/vtime"
+)
+
+// Params parameterizes one fork-storm run.
+type Params struct {
+	// ImageBytes is the warmed image's size (default 1 MiB — at the
+	// striping threshold, so the image spreads across the servers).
+	ImageBytes int
+	// Forks is the total number of forks across all threads (default 64).
+	Forks int
+	// ReadsPerFork is the number of verified reads through each fork;
+	// the first one closes the fork-to-first-op latency (default 4).
+	ReadsPerFork int
+	// WritesPerFork is the number of private writes each fork performs
+	// after its reads, exercising the copy-on-write break (default 1).
+	WritesPerFork int
+	// Alpha is the latency sketch's relative accuracy.
+	Alpha float64
+	// Recover converts a panicking fork iteration (faults the retry and
+	// failover machinery could not mask) into a counted error instead of
+	// killing the run — the chaos smoke's bounded-error discipline.
+	Recover bool
+	Seed    uint64
+}
+
+func (p Params) WithDefaults() Params {
+	if p.ImageBytes == 0 {
+		p.ImageBytes = 1 << 20
+	}
+	if p.Forks == 0 {
+		p.Forks = 64
+	}
+	if p.ReadsPerFork == 0 {
+		p.ReadsPerFork = 4
+	}
+	if p.WritesPerFork == 0 {
+		p.WritesPerFork = 1
+	}
+	if p.Alpha == 0 {
+		p.Alpha = quantile.DefaultAlpha
+	}
+	if p.Seed == 0 {
+		p.Seed = 0xF04C5
+	}
+	return p
+}
+
+// Result is the outcome of one fork-storm run.
+type Result struct {
+	Run *stats.Run
+
+	Forks  int64 // forks completed with all checks passing
+	Errors int64 // fork iterations turned into errors (Recover mode)
+
+	// Fork-to-first-op latency quantiles across all completed forks.
+	Sketch         *quantile.Sketch
+	P50, P99, P999 vtime.Time
+	MaxLatency     vtime.Time
+
+	// ColdStartNs is the unforked baseline: allocate a fresh range,
+	// stream the whole image into it through the DSM, perform the same
+	// first op. Measured once, by the last thread (cold cache).
+	ColdStartNs vtime.Time
+}
+
+// mix64 is splitmix64's finalizer (same stream generator the KV
+// workload uses).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// sealedVal is image element j's value at seal time: a deterministic
+// exact integer, so sealed-vs-dirtied reads are distinguishable bit for
+// bit.
+func sealedVal(seed uint64, j int) float64 {
+	return float64(mix64(seed+uint64(j)) % (1 << 40))
+}
+
+type shared struct{ v atomic.Uint64 }
+
+func (b *shared) set(x uint64) { b.v.Store(x) }
+func (b *shared) get() uint64  { return b.v.Load() }
+
+// Run executes the fork storm on p client threads.
+func Run(v vm.VM, p int, prm Params) (*Result, error) {
+	prm = prm.WithDefaults()
+	elems := prm.ImageBytes / 8
+	bar := v.NewBarrier(p)
+
+	var imageBase, snapID shared
+	var coldStart shared
+	sketches := make([]*quantile.Sketch, p)
+	counts := make([]struct{ forks, errs int64 }, p)
+
+	chunk := 4096 // elements per span transfer
+	run, err := v.Run(p, func(t vm.Thread) {
+		buf := make([]float64, chunk)
+
+		// --- Warm phase: thread 0 builds and publishes the image.
+		if t.ID() == 0 {
+			base := t.GlobalAlloc(prm.ImageBytes)
+			for j := 0; j < elems; j += chunk {
+				n := min(chunk, elems-j)
+				for i := 0; i < n; i++ {
+					buf[i] = sealedVal(prm.Seed, j+i)
+				}
+				t.WriteFloat64s(base+vm.Addr(8*j), buf[:n])
+			}
+			imageBase.set(uint64(base))
+		}
+		bar.Wait(t)
+		img := vm.F64{Base: vm.Addr(imageBase.get())}
+
+		// --- Seal: thread 0 snapshots the image.
+		if t.ID() == 0 {
+			snapID.set(t.SnapshotAS(img.Base, prm.ImageBytes))
+		}
+		bar.Wait(t)
+		snap := snapID.get()
+
+		// --- Cold-start baseline: the last thread (cold cache on the
+		// image) does what a client without ForkAS would do — allocate,
+		// stream the image across, first op.
+		if t.ID() == p-1 {
+			t0 := t.Clock()
+			eager := t.GlobalAlloc(prm.ImageBytes)
+			for j := 0; j < elems; j += chunk {
+				n := min(chunk, elems-j)
+				t.ReadFloat64s(img.Addr(j), buf[:n])
+				t.WriteFloat64s(eager+vm.Addr(8*j), buf[:n])
+			}
+			probe := int(mix64(prm.Seed^0xC01d) % uint64(elems))
+			got := vm.F64{Base: eager}.At(t, probe)
+			if want := sealedVal(prm.Seed, probe); got != want {
+				panic(fmt.Sprintf("forkstorm: cold-start copy element %d = %v, want %v", probe, got, want))
+			}
+			coldStart.set(uint64(t.Clock() - t0))
+			// The eager copy is deliberately never freed: this workload
+			// relies on striped addresses not being recycled under the
+			// registered fork ranges.
+		}
+		bar.Wait(t)
+
+		// --- Dirty phase: the parent keeps mutating the original image
+		// AFTER the seal. Every fork read below must still see the sealed
+		// values — a leak shows up as a bit-exact mismatch.
+		if t.ID() == 0 {
+			for j := 0; j < elems; j += chunk {
+				n := min(chunk, elems-j)
+				for i := 0; i < n; i++ {
+					buf[i] = sealedVal(prm.Seed, j+i) + 1
+				}
+				t.WriteFloat64s(img.Addr(j), buf[:n])
+			}
+		}
+		bar.Wait(t)
+		t.ResetMeasurement()
+
+		// --- The storm: forks round-robin across threads.
+		sk := quantile.New(prm.Alpha)
+		me := &counts[t.ID()]
+		myForks := prm.Forks / p
+		if t.ID() < prm.Forks%p {
+			myForks++
+		}
+		oneFork := func(f int) {
+			seq := mix64(prm.Seed ^ uint64(t.ID())<<32 ^ uint64(f))
+			t0 := t.Clock()
+			fork := vm.F64{Base: t.ForkAS(snap)}
+			var lat vtime.Time
+			for r := 0; r < prm.ReadsPerFork; r++ {
+				j := int(mix64(seq+uint64(r)) % uint64(elems))
+				got := fork.At(t, j)
+				if r == 0 {
+					lat = t.Clock() - t0
+				}
+				if want := sealedVal(prm.Seed, j); got != want {
+					panic(fmt.Sprintf("forkstorm: thread %d fork %d read element %d = %v, want sealed %v",
+						t.ID(), f, j, got, want))
+				}
+			}
+			for w := 0; w < prm.WritesPerFork; w++ {
+				j := int(mix64(seq+0x77+uint64(w)) % uint64(elems))
+				priv := float64(mix64(seq+uint64(w)) % (1 << 40))
+				fork.Set(t, j, priv)
+				if got := fork.At(t, j); got != priv {
+					panic(fmt.Sprintf("forkstorm: thread %d fork %d lost its own write to element %d", t.ID(), f, j))
+				}
+			}
+			sk.Add(int64(lat))
+			me.forks++
+		}
+		for f := 0; f < myForks; f++ {
+			if prm.Recover {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							me.errs++
+						}
+					}()
+					oneFork(f)
+				}()
+			} else {
+				oneFork(f)
+			}
+		}
+		t.StopMeasurement()
+		sketches[t.ID()] = sk
+		bar.Wait(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Run: run, ColdStartNs: vtime.Time(coldStart.get())}
+	merged := quantile.New(prm.Alpha)
+	for i := 0; i < p; i++ {
+		if sketches[i] != nil {
+			merged.Merge(sketches[i])
+		}
+		res.Forks += counts[i].forks
+		res.Errors += counts[i].errs
+	}
+	res.Sketch = merged
+	if merged.Count() > 0 {
+		res.P50 = vtime.Time(merged.Quantile(0.50))
+		res.P99 = vtime.Time(merged.Quantile(0.99))
+		res.P999 = vtime.Time(merged.Quantile(0.999))
+		res.MaxLatency = vtime.Time(merged.Max())
+	}
+	return res, nil
+}

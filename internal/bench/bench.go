@@ -79,6 +79,22 @@ type Options struct {
 	// NoRecordCoalesce turns off append-time coalescing of adjacent
 	// consistency-region store records (record-plane ablation).
 	NoRecordCoalesce bool
+	// HotBytes, when positive, tiers every memory server the
+	// experiments boot: at most HotBytes of uncompressed pages per
+	// server stay hot, the rest is demoted word-run-compressed to a
+	// cold tier priced by ColdPreset. The -json suite adds tiered
+	// strided points (and tiered sweep points) when it is > 0 so the
+	// out-of-core penalty is measured and gated.
+	HotBytes int64
+	// ColdPreset names the cold tier's cost model ("cold-nvme" or
+	// "cold-remote"); empty = the runtime default. Only consulted when
+	// HotBytes > 0.
+	ColdPreset string
+	// Forks, when positive, adds a fork-storm workload point to the
+	// -json suite: Forks O(1) copy-on-write address-space forks off one
+	// sealed snapshot, reporting fork-to-first-op latency quantiles
+	// against the eager-copy cold-start baseline.
+	Forks int
 	// SweepPops lists population-sweep thread counts (e.g. 256, 1024);
 	// for each, the -json suite measures the micro kernel and the KV
 	// service across the multi-server/multi-shard/multi-manager
@@ -103,6 +119,10 @@ type Options struct {
 	// Samhita run an experiment boots, so samhita-bench can report one
 	// release-path/prefetch efficiency summary at the end.
 	Agg *stats.Run
+	// Tier, when non-nil, accumulates the tiered-page-store counters
+	// (hot hits, tier moves, seals, CoW breaks) across every runtime an
+	// experiment boots.
+	Tier *stats.Tier
 }
 
 // WithDefaults fills unset fields with the paper's parameters.
@@ -199,6 +219,10 @@ func (o Options) newSamhita(overrides ...func(*core.Config)) (vm.VM, error) {
 	cfg.ManagerReplicas = o.ManagerReplicas
 	cfg.DisableFineGrain = o.DisableFineGrain
 	cfg.NoRecordCoalesce = o.NoRecordCoalesce
+	cfg.HotBytes = o.HotBytes
+	if o.ColdPreset != "" {
+		cfg.ColdPreset = o.ColdPreset
+	}
 	o.applyRobustness(&cfg)
 	for _, f := range overrides {
 		f(&cfg)
@@ -236,6 +260,9 @@ func (o Options) applyRobustness(cfg *core.Config) {
 	}
 	if o.Net != nil {
 		cfg.Net = o.Net
+	}
+	if o.Tier != nil {
+		cfg.Tier = o.Tier
 	}
 }
 

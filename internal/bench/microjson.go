@@ -9,6 +9,7 @@ import (
 	"repro/internal/apps/kernels"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/vm"
 )
 
 // This file is the machine-readable face of the micro-benchmark: one
@@ -48,11 +49,18 @@ type MicroPoint struct {
 	// Servers is the memory-server count when it differs from the
 	// single-server default (population-sweep points spread the store).
 	Servers int `json:"servers,omitempty"`
-	// Workload names a serving-scale workload point ("kv", "pagerank");
-	// empty for the micro kernel. Workload points reuse the parameter
-	// fields: kv stores Ops/Keys/Buckets/GetPct in N/M/S/B, pagerank
-	// stores Iters/Vertices/AvgDeg in N/M/S.
+	// Workload names a serving-scale workload point ("kv", "pagerank",
+	// "forkstorm"); empty for the micro kernel. Workload points reuse
+	// the parameter fields: kv stores Ops/Keys/Buckets/GetPct in
+	// N/M/S/B, pagerank stores Iters/Vertices/AvgDeg in N/M/S,
+	// forkstorm stores Forks/ImageBytes/ReadsPerFork/WritesPerFork in
+	// N/M/S/B.
 	Workload string `json:"workload,omitempty"`
+	// HotBytes is the per-server hot-set budget of a tiered point (0 =
+	// untiered; untiered points keep their legacy keys).
+	HotBytes int64 `json:"hotBytes,omitempty"`
+	// ColdPreset names the tiered point's cold-tier cost model.
+	ColdPreset string `json:"coldPreset,omitempty"`
 
 	// Virtual times of the slowest thread, in nanoseconds.
 	ComputeMaxNs int64 `json:"computeMaxNs"`
@@ -93,6 +101,23 @@ type MicroPoint struct {
 	P50Ns  int64 `json:"p50Ns,omitempty"`
 	P99Ns  int64 `json:"p99Ns,omitempty"`
 	P999Ns int64 `json:"p999Ns,omitempty"`
+
+	// Tiered-store counters (tiered points only). HotHitRate is the
+	// fraction of server page touches served from the hot set —
+	// CheckRegression gates it from below (a lower rate is a thrash
+	// regression).
+	HotHitRate float64 `json:"hotHitRate,omitempty"`
+	Promotions int64   `json:"promotions,omitempty"`
+	Demotions  int64   `json:"demotions,omitempty"`
+
+	// Fork-storm results (forkstorm points only): fork-to-first-op
+	// latency quantiles over Forks copy-on-write forks, and the
+	// eager-copy cold-start baseline the O(1) fork is judged against.
+	Forks       int64 `json:"forks,omitempty"`
+	ForkP50Ns   int64 `json:"forkP50Ns,omitempty"`
+	ForkP99Ns   int64 `json:"forkP99Ns,omitempty"`
+	ForkP999Ns  int64 `json:"forkP999Ns,omitempty"`
+	ColdStartNs int64 `json:"coldStartNs,omitempty"`
 }
 
 // key is the configuration identity used to pair baseline and current
@@ -129,6 +154,9 @@ func (p MicroPoint) key() string {
 	if p.Workload != "" {
 		k += "-wl-" + p.Workload
 	}
+	if p.HotBytes > 0 {
+		k += fmt.Sprintf("-hot%d", p.HotBytes)
+	}
 	return k
 }
 
@@ -146,6 +174,7 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 		return MicroPoint{}, err
 	}
 	defer v.Close()
+	base := tierBaseline(v)
 	res, err := kernels.RunMicro(v, p, prm)
 	if err != nil {
 		return MicroPoint{}, err
@@ -205,8 +234,40 @@ func (o Options) MeasureMicro(p int, prm kernels.MicroParams) (MicroPoint, error
 			pt.MgrSnapshots = live.MgrSnapshots.Load()
 			pt.MgrElections = live.MgrElections.Load()
 		}
+		o.fillTier(&pt, rt, base)
 	}
 	return pt, nil
+}
+
+// tierBase is a pre-run snapshot of the tier counters, so per-point
+// numbers stay correct even when Options.Tier shares one accumulator
+// across a whole suite.
+type tierBase struct{ hits, promotions, demotions int64 }
+
+func tierBaseline(v vm.VM) tierBase {
+	rt, ok := v.(*core.Runtime)
+	if !ok {
+		return tierBase{}
+	}
+	ts := rt.TierStats()
+	return tierBase{ts.HotHits.Load(), ts.Promotions.Load(), ts.Demotions.Load()}
+}
+
+// fillTier stamps a tiered point's identity and counters. Untiered runs
+// (HotBytes 0) leave every field zero, so legacy keys and documents are
+// untouched.
+func (o Options) fillTier(pt *MicroPoint, rt *core.Runtime, base tierBase) {
+	if o.HotBytes <= 0 {
+		return
+	}
+	pt.HotBytes = o.HotBytes
+	pt.ColdPreset = o.ColdPreset
+	ts := rt.TierStats()
+	hits := ts.HotHits.Load() - base.hits
+	promotions := ts.Promotions.Load() - base.promotions
+	pt.HotHitRate = stats.Rate(hits, hits+promotions)
+	pt.Promotions = promotions
+	pt.Demotions = ts.Demotions.Load() - base.demotions
 }
 
 // MicroBenchSuite measures the standard point set: the paper's Figure
@@ -294,6 +355,10 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		po.ManagerShards = c.mgrShards
 		po.ManagerReplicas = c.replicas
 		po.NoRecordCoalesce = c.nocoal
+		// The standard points always run untiered, so their keys and
+		// numbers are stable whatever tier knobs the invocation carries;
+		// tierForkPoints adds the tiered twins.
+		po.HotBytes, po.ColdPreset = 0, ""
 		prm := kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: c.mode, UseSpans: c.spans, WideGsum: c.wide}
 		pt, err := po.MeasureMicro(c.p, prm)
 		if err != nil {
@@ -309,6 +374,12 @@ func MicroBenchSuite(o Options) (*MicroBench, error) {
 		return nil, err
 	}
 	mb.Points = append(mb.Points, wl...)
+	// Tiered-store and fork-storm points (opt-in via HotBytes / Forks).
+	tf, err := tierForkPoints(o)
+	if err != nil {
+		return nil, err
+	}
+	mb.Points = append(mb.Points, tf...)
 	// Population sweep (opt-in via SweepPops: these are the expensive
 	// points).
 	sw, err := sweepPoints(o)
@@ -373,6 +444,19 @@ func CheckRegression(baseline, current *MicroBench, tol float64) error {
 		if b.P99Ns > 0 && float64(cur.P99Ns) > float64(b.P99Ns)*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: p99 latency %dns > baseline %dns by more than %.0f%%",
 				cur.key(), cur.P99Ns, b.P99Ns, tol*100))
+		}
+		// Tiered points: the hot-hit rate is gated from BELOW — a drop
+		// means the hot set started thrashing (more promotions per touch),
+		// which is a regression even if virtual time squeaks through.
+		if b.HotHitRate > 0 && cur.HotHitRate < b.HotHitRate*(1-tol) {
+			bad = append(bad, fmt.Sprintf("%s: hot-hit rate %.4f < baseline %.4f by more than %.0f%%",
+				cur.key(), cur.HotHitRate, b.HotHitRate, tol*100))
+		}
+		// Fork-storm points: fork-to-first-op p99 is the workload's
+		// headline number.
+		if b.ForkP99Ns > 0 && float64(cur.ForkP99Ns) > float64(b.ForkP99Ns)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: fork p99 %dns > baseline %dns by more than %.0f%%",
+				cur.key(), cur.ForkP99Ns, b.ForkP99Ns, tol*100))
 		}
 	}
 	if len(bad) > 0 {

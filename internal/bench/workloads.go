@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/apps/forkstorm"
 	"repro/internal/apps/kernels"
 	"repro/internal/apps/kv"
 	"repro/internal/apps/pagerank"
@@ -20,7 +21,7 @@ import (
 // so the existing 20% regression gate covers them with no extra code.
 
 // fillCommon copies the runtime-wide measurements every point shares.
-func (o Options) fillCommon(pt *MicroPoint, run *stats.Run, v vm.VM) {
+func (o Options) fillCommon(pt *MicroPoint, run *stats.Run, v vm.VM, base tierBase) {
 	o.aggregate(run)
 	tot := run.Totals()
 	pt.ComputeMaxNs = int64(run.MaxComputeTime())
@@ -44,6 +45,7 @@ func (o Options) fillCommon(pt *MicroPoint, run *stats.Run, v vm.VM) {
 			pt.MgrSnapshots = live.MgrSnapshots.Load()
 			pt.MgrElections = live.MgrElections.Load()
 		}
+		o.fillTier(pt, rt, base)
 	}
 }
 
@@ -80,6 +82,7 @@ func (o Options) MeasureKV(p int, prm kv.Params) (MicroPoint, error) {
 		return MicroPoint{}, err
 	}
 	defer v.Close()
+	base := tierBaseline(v)
 	res, err := kv.Run(v, p, prm)
 	if err != nil {
 		return MicroPoint{}, err
@@ -101,7 +104,7 @@ func (o Options) MeasureKV(p int, prm kv.Params) (MicroPoint, error) {
 		P99Ns:  int64(res.P99),
 		P999Ns: int64(res.P999),
 	}
-	o.fillCommon(&pt, res.Run, v)
+	o.fillCommon(&pt, res.Run, v, base)
 	return pt, nil
 }
 
@@ -117,6 +120,7 @@ func (o Options) MeasurePagerank(p int, prm pagerank.Params) (MicroPoint, error)
 		return MicroPoint{}, err
 	}
 	defer v.Close()
+	base := tierBaseline(v)
 	res, err := pagerank.Run(v, p, prm)
 	if err != nil {
 		return MicroPoint{}, err
@@ -136,7 +140,50 @@ func (o Options) MeasurePagerank(p int, prm pagerank.Params) (MicroPoint, error)
 		Spans:           prm.UseSpans,
 		NoCoalesce:      o.NoRecordCoalesce,
 	}
-	o.fillCommon(&pt, res.Run, v)
+	o.fillCommon(&pt, res.Run, v, base)
+	return pt, nil
+}
+
+// MeasureForkStorm boots a fresh Samhita runtime, runs the fork-storm
+// workload (copy-on-write address-space forks off one sealed snapshot,
+// each verified through sealed reads and a private CoW write) and
+// returns the measured point. Parameters ride in the micro fields:
+// N=Forks, M=ImageBytes, S=ReadsPerFork, B=WritesPerFork; Mode is
+// "storm". The headline numbers are the fork-to-first-op quantiles
+// (ForkP50/99/999Ns) against the eager-copy ColdStartNs baseline.
+func (o Options) MeasureForkStorm(p int, prm forkstorm.Params) (MicroPoint, error) {
+	prm = prm.WithDefaults()
+	v, err := o.newSamhita()
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	defer v.Close()
+	base := tierBaseline(v)
+	res, err := forkstorm.Run(v, p, prm)
+	if err != nil {
+		return MicroPoint{}, err
+	}
+	if res.Errors > 0 {
+		return MicroPoint{}, fmt.Errorf("forkstorm: %d fork iterations errored", res.Errors)
+	}
+	servers, shards, mgrShards, replicas := o.topology()
+	pt := MicroPoint{
+		Workload: "forkstorm", P: p, Mode: "storm",
+		N: prm.Forks, M: prm.ImageBytes, S: prm.ReadsPerFork, B: prm.WritesPerFork,
+		PrefetchDepth:   o.PrefetchDepth,
+		Servers:         servers,
+		ServerShards:    shards,
+		ManagerShards:   mgrShards,
+		ManagerReplicas: replicas,
+		NoCoalesce:      o.NoRecordCoalesce,
+
+		Forks:       res.Forks,
+		ForkP50Ns:   int64(res.P50),
+		ForkP99Ns:   int64(res.P99),
+		ForkP999Ns:  int64(res.P999),
+		ColdStartNs: int64(res.ColdStartNs),
+	}
+	o.fillCommon(&pt, res.Run, v, base)
 	return pt, nil
 }
 
@@ -150,6 +197,9 @@ func workloadPoints(o Options) ([]MicroPoint, error) {
 	po.ServerShards = sh
 	po.ManagerShards = mgr
 	po.ManagerReplicas = 1
+	// The legacy workload points always run untiered so their keys and
+	// numbers stay stable; the tiered twins are separate points.
+	po.HotBytes, po.ColdPreset = 0, ""
 	for _, spans := range []bool{false, true} {
 		kvPt, err := po.MeasureKV(16, kv.Params{UseSpans: spans})
 		if err != nil {
@@ -161,6 +211,37 @@ func workloadPoints(o Options) ([]MicroPoint, error) {
 			return nil, err
 		}
 		pts = append(pts, prPt)
+	}
+	return pts, nil
+}
+
+// tierForkPoints measures the tiered-store and fork-storm additions
+// when the options enable them: a tiered twin of the strided micro
+// point (the out-of-core penalty under ~HotBytes of hot budget, gated
+// like every other point plus the hot-hit-rate floor), and the
+// fork-storm workload (o.Forks copy-on-write forks; tiered too when a
+// hot budget is set, so the storm reads sealed frames out of the cold
+// tier).
+func tierForkPoints(o Options) ([]MicroPoint, error) {
+	var pts []MicroPoint
+	_, sh, mgr, _ := o.topology()
+	po := o
+	po.ServerShards = sh
+	po.ManagerShards = mgr
+	po.ManagerReplicas = 1
+	if o.HotBytes > 0 {
+		mp, err := po.MeasureMicro(16, kernels.MicroParams{N: o.N, M: o.MidM, S: o.MidS, B: o.B, Mode: kernels.AllocStrided})
+		if err != nil {
+			return nil, fmt.Errorf("tiered micro: %w", err)
+		}
+		pts = append(pts, mp)
+	}
+	if o.Forks > 0 {
+		fp, err := po.MeasureForkStorm(16, forkstorm.Params{Forks: o.Forks})
+		if err != nil {
+			return nil, fmt.Errorf("forkstorm: %w", err)
+		}
+		pts = append(pts, fp)
 	}
 	return pts, nil
 }
@@ -187,6 +268,9 @@ func sweepPoints(o Options) ([]MicroPoint, error) {
 			po.ServerShards = tp.shards
 			po.ManagerShards = tp.mgrShards
 			po.ManagerReplicas = tp.replicas
+			// The sweep's legacy points run untiered (stable keys); the
+			// tiered sweep point below is separate.
+			po.HotBytes, po.ColdPreset = 0, ""
 			// Small fixed kernel parameters: the sweep measures how the
 			// population scales the sync plane, not the compute plane.
 			mp, err := po.MeasureMicro(p, kernels.MicroParams{N: 3, M: 5, S: 1, B: 64, Mode: kernels.AllocStrided})
@@ -201,6 +285,22 @@ func sweepPoints(o Options) ([]MicroPoint, error) {
 				return nil, fmt.Errorf("sweep kv p=%d: %w", p, err)
 			}
 			pts = append(pts, kp)
+		}
+		if o.HotBytes > 0 {
+			// Tiered sweep point: the same micro kernel on the sharded
+			// multi-server topology with the stores under the hot budget,
+			// so the document records the out-of-core penalty at
+			// population scale, not just at P=16.
+			po := o
+			po.NumServers = 4
+			po.ServerShards = 4
+			po.ManagerShards = 4
+			po.ManagerReplicas = 1
+			mp, err := po.MeasureMicro(p, kernels.MicroParams{N: 3, M: 5, S: 1, B: 64, Mode: kernels.AllocStrided})
+			if err != nil {
+				return nil, fmt.Errorf("sweep tiered micro p=%d: %w", p, err)
+			}
+			pts = append(pts, mp)
 		}
 	}
 	return pts, nil

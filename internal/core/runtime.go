@@ -114,6 +114,18 @@ type Config struct {
 	// requests and joins the replies. Per-page interval-tag semantics
 	// and sequenced-run determinism are preserved.
 	ServerShards int
+	// HotBytes, when positive, puts each memory server's page store
+	// behind a tiered layout: at most HotBytes of uncompressed pages per
+	// server stay resident (an LRU hot set, split across its shards),
+	// and pages past the budget are demoted — word-run compressed — to
+	// a cold tier whose promotion/demotion costs follow ColdPreset.
+	// 0 disables tiering: every page stays hot and the data path is
+	// byte-identical to the untiered server.
+	HotBytes int64
+	// ColdPreset names the cold tier's cost model ("cold-nvme"/"nvme",
+	// the default, or "cold-remote"/"remote" — a far-memory frame table
+	// over the fabric). Only consulted when HotBytes > 0.
+	ColdPreset string
 	// ManagerShards splits the manager's synchronization state into this
 	// many homes (0 or 1 = the historical single event loop, preserved
 	// bit-identically). Locks, barriers and condition variables map to
@@ -165,6 +177,10 @@ type Config struct {
 	// timeouts, injected faults). Allocated automatically when Retry
 	// or Faults is set; supply one to share it with other collectors.
 	Net *stats.Net
+	// Tier receives the tiered-page-store counters (hot hits, tier
+	// moves, snapshot seals, CoW breaks). Allocated automatically;
+	// supply one to accumulate across several runtimes.
+	Tier *stats.Tier
 	// Trace, if non-nil, records protocol events (faults, fetches,
 	// lock/barrier spans) in virtual time for Chrome-trace export.
 	Trace *trace.Collector
@@ -323,6 +339,10 @@ type Runtime struct {
 	failMu   sync.Mutex
 	failCtl  scl.Endpoint // promotion endpoint (nil unless Standby or ManagerReplicas > 1)
 
+	// tier collects the tiered-page-store and snapshot/fork counters
+	// across every memory server (and standby).
+	tier *stats.Tier
+
 	// hbStop stops the memory servers' heartbeat goroutines at Close.
 	hbStop chan struct{}
 	hbWG   sync.WaitGroup
@@ -384,7 +404,14 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.Geo.Validate(); err != nil {
 		return nil, err
 	}
-	rt := &Runtime{cfg: cfg, transport: cfg.Transport}
+	tierModel, ok := vtime.TierPreset(cfg.ColdPreset)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown cold-tier preset %q", cfg.ColdPreset)
+	}
+	rt := &Runtime{cfg: cfg, transport: cfg.Transport, tier: cfg.Tier}
+	if rt.tier == nil {
+		rt.tier = new(stats.Tier)
+	}
 	if rt.transport == nil {
 		rt.fabric = simnet.NewFabric(cfg.Link)
 		if cfg.ManagerLink != nil || cfg.ManagerReplicas > 1 {
@@ -499,6 +526,7 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		srv := memserver.New(srvEP, i, cfg.Geo, cfg.CPU, agentAddr)
 		srv.SetShards(cfg.ServerShards)
+		srv.SetTier(cfg.HotBytes, tierModel, rt.tier)
 		// On the sequenced fabric the server processes shard items
 		// inline — worker goroutines would deadlock the runnable-token
 		// ledger (see the memserver package doc) and could not overlap
@@ -540,6 +568,9 @@ func New(cfg Config) (*Runtime, error) {
 			// sub-batch wholly to the matching shard, preserving
 			// per-page apply order. (Standby runs are never sequenced.)
 			sb.SetShards(cfg.ServerShards)
+			// Same budget as the primary: after a promotion the survivor
+			// must fit the same memory envelope.
+			sb.SetTier(cfg.HotBytes, tierModel, rt.tier)
 			sb.SetStandby(true)
 			sb.SetLiveness(cfg.Liveness.Live)
 			rt.standbys = append(rt.standbys, sb)
@@ -667,6 +698,10 @@ func (rt *Runtime) Managers() []*manager.Manager { return rt.mgrs }
 
 // Servers exposes the memory servers for stats inspection.
 func (rt *Runtime) Servers() []*memserver.Server { return rt.servers }
+
+// TierStats exposes the tiered-page-store and snapshot/fork counters,
+// aggregated across every memory server and standby.
+func (rt *Runtime) TierStats() *stats.Tier { return rt.tier }
 
 // Fabric exposes the simulated fabric for traffic accounting; it is
 // nil when the runtime uses a custom transport.

@@ -594,6 +594,128 @@ func (t *Thread) Free(a vm.Addr) {
 }
 
 // ---------------------------------------------------------------------
+// Address-space snapshots and copy-on-write forks (vm.Thread).
+
+// homesForRange lists the servers homing any page of [first,
+// first+npages), ascending. Bounded by the server count, not the range:
+// striping visits every home within one stripe group.
+func (t *Thread) homesForRange(first layout.PageID, npages uint64) []int {
+	geo := t.rt.cfg.Geo
+	set := make(map[int]struct{})
+	for i := uint64(0); i < npages; i++ {
+		set[geo.HomeOf(first+layout.PageID(i))] = struct{}{}
+		if len(set) == geo.NumServers {
+			break
+		}
+	}
+	return sortedHomes(set)
+}
+
+// SnapshotAS implements vm.Thread: seal the n bytes at base into an
+// immutable snapshot. The thread first flushes its own dirty pages in
+// the range home (eviction-style — no interval is consumed) so the seal
+// captures its unreleased writes, then asks the manager for a snapshot
+// id, then tells every home in the range to freeze its share — quoting
+// the same interval tags a fetch would, so no page seals before the
+// released intervals this thread knows about have been applied. The
+// seal fan-out is acked: when SnapshotAS returns, every sealed frame
+// exists and a ForkAS handed to any thread is safe to use.
+func (t *Thread) SnapshotAS(base vm.Addr, n int) uint64 {
+	if n <= 0 {
+		t.fail("snapshot", fmt.Errorf("non-positive size %d", n))
+	}
+	t.settleCompute()
+	start := t.clock.Now()
+	geo := t.rt.cfg.Geo
+	if geo.PageOffset(layout.Addr(base)) != 0 {
+		t.fail("snapshot", fmt.Errorf("base %#x is not page-aligned", uint64(base)))
+	}
+	first := geo.PageOf(layout.Addr(base))
+	npages := uint64((n + geo.PageSize - 1) / geo.PageSize)
+	if err := t.cache.FlushRange(first, npages); err != nil {
+		t.fail("snapshot", err)
+	}
+	needs := t.cache.RangeNeeds(first, npages)
+
+	t.allocSeq++
+	var resp proto.SnapshotASResp
+	at, err := t.mgrCall(&proto.SnapshotASReq{
+		Thread: t.writer, Base: uint64(base), NPages: npages, Seq: t.allocSeq,
+	}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("snapshot", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+
+	needsByHome := make(map[int][]proto.PageNeed)
+	for i := range needs {
+		home := geo.HomeOf(layout.PageID(needs[i].Page))
+		needsByHome[home] = append(needsByHome[home], needs[i])
+	}
+	for _, home := range t.homesForRange(first, npages) {
+		var ack proto.Ack
+		at, err := t.callHome(home, &proto.SealAS{
+			Snap: resp.Snap, Base: uint64(base), NPages: npages, Needs: needsByHome[home],
+		}, &ack, t.clock.Now())
+		if err != nil {
+			t.fail("snapshot", err)
+		}
+		t.clock.AdvanceTo(at)
+		t.st.MsgsSent++
+	}
+	// Lines fetched from here on belong to the new epoch; tests tell a
+	// fork's post-snapshot fetches from stale pre-snapshot residency.
+	t.cache.BumpSnapshotEpoch()
+	t.rt.cfg.Trace.Span(t.actor, trace.CatAlloc, "snapshot", start, t.clock.Now(),
+		map[string]any{"pages": npages, "snap": resp.Snap})
+	t.settleSync()
+	return resp.Snap
+}
+
+// ForkAS implements vm.Thread: materialize a copy-on-write image of a
+// sealed snapshot. O(1) in the image size — one manager allocation plus
+// one acked ForkMap per home server; no page bytes move until first
+// use. The manager allocates the fork range stripe-group aligned, so
+// every fork page is homed by the server holding the congruent sealed
+// frame.
+func (t *Thread) ForkAS(snap uint64) vm.Addr {
+	t.settleCompute()
+	start := t.clock.Now()
+	t.allocSeq++
+	var resp proto.ForkASResp
+	at, err := t.mgrCall(&proto.ForkASReq{Thread: t.writer, Snap: snap, Seq: t.allocSeq}, &resp, t.clock.Now())
+	if err != nil {
+		t.fail("fork", err)
+	}
+	t.clock.AdvanceTo(at)
+	t.st.MsgsSent++
+	t.st.SharedAllocs++
+	first := t.rt.cfg.Geo.PageOf(layout.Addr(resp.Base))
+	// A stream through a neighbouring buffer may have prefetched the
+	// just-allocated range as zero lines; they would shadow the sealed
+	// frames.
+	t.cache.DropRange(first, resp.NPages)
+	// Acked registration at every home in the range: a read through the
+	// fork issued after ForkAS returns must find the mapping.
+	for _, home := range t.homesForRange(first, resp.NPages) {
+		var ack proto.Ack
+		at, err := t.callHome(home, &proto.ForkMap{
+			Snap: snap, Base: resp.Base, OrigBase: resp.OrigBase, NPages: resp.NPages,
+		}, &ack, t.clock.Now())
+		if err != nil {
+			t.fail("fork", err)
+		}
+		t.clock.AdvanceTo(at)
+		t.st.MsgsSent++
+	}
+	t.rt.cfg.Trace.Span(t.actor, trace.CatAlloc, "fork", start, t.clock.Now(),
+		map[string]any{"pages": resp.NPages, "snap": snap})
+	t.settleSync()
+	return layout.Addr(resp.Base)
+}
+
+// ---------------------------------------------------------------------
 // Release/acquire plumbing shared by the synchronization objects.
 
 // callResult carries the completion of a manager round trip started
@@ -1193,6 +1315,28 @@ func (b *threadBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime
 		if err != nil {
 			return at, err
 		}
+		t.st.MsgsSent++
+	}
+	return at, nil
+}
+
+// FlushSync implements pagecache.Backend: the acknowledged flush the
+// snapshot path uses so a SealAS sent afterwards cannot overtake the
+// flushed bytes on the fabric.
+func (b *threadBackend) FlushSync(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error) {
+	t := b.thread()
+	byHome := make(map[int][]proto.PageDiff)
+	for _, d := range diffs {
+		home := t.rt.cfg.Geo.HomeOf(layout.PageID(d.Page))
+		byHome[home] = append(byHome[home], d)
+	}
+	for _, home := range sortedHomes(byHome) {
+		var ack proto.Ack
+		replyAt, err := t.callHome(home, &proto.EvictFlush{Writer: t.writer, Diffs: byHome[home]}, &ack, at)
+		if err != nil {
+			return at, err
+		}
+		at = replyAt
 		t.st.MsgsSent++
 	}
 	return at, nil

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps/pagerank"
+)
+
+// Tier transparency, end to end: the same workload must produce
+// bit-identical results whether the memory servers run untiered
+// (HotBytes 0), comfortably all-hot, or under a budget tight enough to
+// force constant demotion and recompression. Virtual time is allowed to
+// differ — tier moves cost time — but never a single result bit.
+func TestTieredResultsBitIdentical(t *testing.T) {
+	prm := pagerank.Params{Vertices: 2048, AvgDeg: 8, Iters: 3}
+	run := func(hotBytes int64) *pagerank.Result {
+		cfg := DefaultConfig()
+		cfg.CacheLines = 64
+		cfg.Geo.NumServers = 4
+		cfg.ServerShards = 2
+		cfg.HotBytes = hotBytes
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		res, err := pagerank.Run(rt, 4, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hotBytes > 0 && hotBytes < 1<<20 {
+			if rt.TierStats().Demotions.Load() == 0 {
+				t.Fatalf("hot budget %d forced no demotions — the tight run exercised nothing", hotBytes)
+			}
+		}
+		return res
+	}
+	base := run(0)
+	for _, hotBytes := range []int64{1 << 30, 64 << 10, 16 << 10} {
+		got := run(hotBytes)
+		if got.Checksum != base.Checksum || got.RankSum != base.RankSum {
+			t.Fatalf("hot budget %d: checksum %v ranksum %v, untiered %v %v — the tier leaked into the data plane",
+				hotBytes, got.Checksum, got.RankSum, base.Checksum, base.RankSum)
+		}
+		if got.Edges != base.Edges {
+			t.Fatalf("hot budget %d: edges %d != %d", hotBytes, got.Edges, base.Edges)
+		}
+	}
+}

@@ -109,6 +109,9 @@ type Manager struct {
 	arenaZone   *Zone
 	sharedZone  *Zone
 	stripedZone *Zone
+	// snaps is the snapshot/fork table; owned by the striped zone's home
+	// shard, replicated with the rest of the state (stateVersion 3).
+	snaps *snapState
 
 	board *noticeBoard
 
@@ -154,6 +157,7 @@ func New(ep scl.Endpoint, geo layout.Geometry) *Manager {
 		arenaZone:   NewZone("arena", ArenaZoneBase, arenaZoneEnd),
 		sharedZone:  NewZone("shared", SharedZoneBase, sharedZoneEnd),
 		stripedZone: NewZone("striped", StripedZoneBase, stripedZoneEnd),
+		snaps:       newSnapState(),
 		members:     make(map[memberKey]*member),
 		deadNodes:   make(map[uint32]bool),
 	}
@@ -514,6 +518,19 @@ func (m *Manager) decodeReq(req *scl.Request) (proto.Msg, int, error) {
 			return nil, 0, err
 		}
 		return &sr, m.shardOf(sr.Cond), nil
+	case proto.KSnapshotASReq:
+		var sr proto.SnapshotASReq
+		if err := req.Decode(&sr); err != nil {
+			return nil, 0, err
+		}
+		// Snapshot/fork state lives with the striped zone it describes.
+		return &sr, m.zoneShard[2], nil
+	case proto.KForkASReq:
+		var fr proto.ForkASReq
+		if err := req.Decode(&fr); err != nil {
+			return nil, 0, err
+		}
+		return &fr, m.zoneShard[2], nil
 	default:
 		return nil, 0, fmt.Errorf("manager: unexpected %v", req.Kind())
 	}

@@ -215,6 +215,10 @@ func (sh *shard) handle(req *scl.Request, msg proto.Msg) {
 		sh.handleCondWait(req, mm)
 	case *proto.CondSignalReq:
 		sh.handleCondSignal(req, mm)
+	case *proto.SnapshotASReq:
+		sh.handleSnapshotAS(req, mm)
+	case *proto.ForkASReq:
+		sh.handleForkAS(req, mm)
 	}
 }
 
@@ -294,6 +298,10 @@ func (sh *shard) handleFree(req *scl.Request, fr *proto.FreeReq) {
 		return
 	}
 	zone.NoteFree(fr.Thread, fr.Seq)
+	if zone == m.stripedZone {
+		// Freeing a forked range drops its snapshot reference.
+		m.snaps.forkFreed(fr.Addr)
+	}
 	m.stats.Frees.Add(1)
 	req.Reply(&proto.Ack{}, sh.clock.Now())
 }

@@ -1,0 +1,223 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/proto"
+	"repro/internal/scl"
+)
+
+// snapState is the manager's address-space snapshot/fork table, owned —
+// like the striped zone it describes — by the striped zone's home shard
+// (decodeReq routes SnapshotAS/ForkAS there), so it needs no locking.
+// It is part of the replicated state snapshot (stateVersion 3): forks
+// survive leader kills exactly like allocations do.
+type snapState struct {
+	nextSnap uint64
+	snaps    map[uint64]*snapInfo // snapshot id -> geometry + refcount
+	forks    map[uint64]uint64    // fork base address -> snapshot id
+
+	// Per-writer idempotency records, mirroring Zone.lastAlloc: a
+	// SnapshotAS/ForkAS re-issued across a manager failover is answered
+	// with the original id/base instead of sealing or allocating twice.
+	lastSnap map[uint32]snapRecord
+	lastFork map[uint32]forkRecord
+}
+
+// snapInfo records one sealed snapshot: the original striped range and
+// how many live forks reference it. Refs starts at 1 for the snapshot
+// handle itself and rises with each fork; freeing a fork's range drops
+// one ref, and the record is released when the forks are all gone (the
+// handle's ref is the floor — snapshot handles have no explicit drop
+// verb yet, so a handle pins its record for the run).
+type snapInfo struct {
+	origBase uint64
+	npages   uint64
+	refs     int64
+}
+
+type snapRecord struct{ seq, snap uint64 }
+
+type forkRecord struct {
+	seq  uint64
+	resp proto.ForkASResp
+}
+
+func newSnapState() *snapState {
+	return &snapState{
+		snaps:    make(map[uint64]*snapInfo),
+		forks:    make(map[uint64]uint64),
+		lastSnap: make(map[uint32]snapRecord),
+		lastFork: make(map[uint32]forkRecord),
+	}
+}
+
+func (sh *shard) handleSnapshotAS(req *scl.Request, sr *proto.SnapshotASReq) {
+	m := sh.m
+	ss := m.snaps
+	if sr.Seq != 0 {
+		if rec, ok := ss.lastSnap[sr.Thread]; ok && rec.seq == sr.Seq {
+			m.stats.DedupAllocs.Add(1)
+			req.Reply(&proto.SnapshotASResp{Snap: rec.snap}, sh.clock.Now())
+			return
+		}
+	}
+	base := layout.Addr(sr.Base)
+	if sr.NPages == 0 || !m.stripedZone.Contains(base) {
+		req.ReplyError(fmt.Errorf("manager: snapshot of %#x (+%d pages) outside the striped zone", sr.Base, sr.NPages), sh.clock.Now())
+		return
+	}
+	// Fork pages must be homed by the server holding the congruent sealed
+	// frame, which requires the original image to sit on a stripe-group
+	// boundary — the alignment every striped allocation gets. Reject a
+	// mid-buffer snapshot that breaks the congruence.
+	if align := uint64(m.geo.LineSize() * m.geo.NumServers); sr.Base%align != 0 {
+		req.ReplyError(fmt.Errorf("manager: snapshot base %#x not stripe-group aligned (%d)", sr.Base, align), sh.clock.Now())
+		return
+	}
+	ss.nextSnap++
+	id := ss.nextSnap
+	ss.snaps[id] = &snapInfo{origBase: sr.Base, npages: sr.NPages, refs: 1}
+	if sr.Seq != 0 {
+		ss.lastSnap[sr.Thread] = snapRecord{seq: sr.Seq, snap: id}
+	}
+	req.Reply(&proto.SnapshotASResp{Snap: id}, sh.clock.Now())
+}
+
+func (sh *shard) handleForkAS(req *scl.Request, fr *proto.ForkASReq) {
+	m := sh.m
+	ss := m.snaps
+	if fr.Seq != 0 {
+		if rec, ok := ss.lastFork[fr.Thread]; ok && rec.seq == fr.Seq {
+			m.stats.DedupAllocs.Add(1)
+			resp := rec.resp
+			req.Reply(&resp, sh.clock.Now())
+			return
+		}
+	}
+	si, ok := ss.snaps[fr.Snap]
+	if !ok {
+		req.ReplyError(fmt.Errorf("manager: fork of unknown snapshot %d", fr.Snap), sh.clock.Now())
+		return
+	}
+	// The fork's base gets the striped zone's stripe-group alignment —
+	// the same alignment the original image was allocated with — so
+	// every page offset keeps its home server and the sealed frames can
+	// be served without any cross-server indirection.
+	align := m.geo.LineSize() * m.geo.NumServers
+	addr, err := m.stripedZone.Alloc(si.npages*uint64(m.geo.PageSize), align)
+	if err != nil {
+		req.ReplyError(err, sh.clock.Now())
+		return
+	}
+	si.refs++
+	ss.forks[uint64(addr)] = fr.Snap
+	m.stats.Allocs.Add(1)
+	resp := proto.ForkASResp{Base: uint64(addr), OrigBase: si.origBase, NPages: si.npages}
+	if fr.Seq != 0 {
+		ss.lastFork[fr.Thread] = forkRecord{seq: fr.Seq, resp: resp}
+	}
+	req.Reply(&resp, sh.clock.Now())
+}
+
+// forkFreed drops the fork bookkeeping of a freed striped range, if it
+// was one: one snapshot ref goes away, and a snapshot whose forks (and
+// handle) are all gone is released.
+func (ss *snapState) forkFreed(addr uint64) {
+	snap, ok := ss.forks[addr]
+	if !ok {
+		return
+	}
+	delete(ss.forks, addr)
+	if si, ok := ss.snaps[snap]; ok {
+		si.refs--
+		if si.refs <= 0 {
+			delete(ss.snaps, snap)
+		}
+	}
+}
+
+// encode/decode follow the state.go conventions: sorted iteration for
+// byte-determinism, varint fields throughout.
+func (ss *snapState) encode(w *proto.Writer) {
+	w.U64(ss.nextSnap)
+	ids := make([]uint64, 0, len(ss.snaps))
+	for id := range ss.snaps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U64(uint64(len(ids)))
+	for _, id := range ids {
+		si := ss.snaps[id]
+		w.U64(id)
+		w.U64(si.origBase)
+		w.U64(si.npages)
+		w.I64(si.refs)
+	}
+	bases := make([]uint64, 0, len(ss.forks))
+	for b := range ss.forks {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	w.U64(uint64(len(bases)))
+	for _, b := range bases {
+		w.U64(b)
+		w.U64(ss.forks[b])
+	}
+	writers := make([]uint32, 0, len(ss.lastSnap))
+	for wr := range ss.lastSnap {
+		writers = append(writers, wr)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	w.U64(uint64(len(writers)))
+	for _, wr := range writers {
+		r := ss.lastSnap[wr]
+		w.U32(wr)
+		w.U64(r.seq)
+		w.U64(r.snap)
+	}
+	writers = writers[:0]
+	for wr := range ss.lastFork {
+		writers = append(writers, wr)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	w.U64(uint64(len(writers)))
+	for _, wr := range writers {
+		r := ss.lastFork[wr]
+		w.U32(wr)
+		w.U64(r.seq)
+		w.U64(r.resp.Base)
+		w.U64(r.resp.OrigBase)
+		w.U64(r.resp.NPages)
+	}
+}
+
+func (ss *snapState) decode(r *proto.Reader) {
+	ss.nextSnap = r.U64()
+	ns := r.U64()
+	for i := uint64(0); i < ns && r.Err() == nil; i++ {
+		id := r.U64()
+		ss.snaps[id] = &snapInfo{origBase: r.U64(), npages: r.U64(), refs: r.I64()}
+	}
+	nf := r.U64()
+	for i := uint64(0); i < nf && r.Err() == nil; i++ {
+		b := r.U64()
+		ss.forks[b] = r.U64()
+	}
+	nl := r.U64()
+	for i := uint64(0); i < nl && r.Err() == nil; i++ {
+		wr := r.U32()
+		ss.lastSnap[wr] = snapRecord{seq: r.U64(), snap: r.U64()}
+	}
+	nk := r.U64()
+	for i := uint64(0); i < nk && r.Err() == nil; i++ {
+		wr := r.U32()
+		rec := forkRecord{seq: r.U64()}
+		rec.resp.Base = r.U64()
+		rec.resp.OrigBase = r.U64()
+		rec.resp.NPages = r.U64()
+		ss.lastFork[wr] = rec
+	}
+}

@@ -24,8 +24,9 @@ import (
 // loudly instead of misdecoding.
 
 // Version 2 added the zones' per-writer allocation-plane idempotency
-// records (AllocReq/FreeReq dedup across failover).
-const stateVersion = 2
+// records (AllocReq/FreeReq dedup across failover). Version 3 added the
+// address-space snapshot/fork table, so forks survive leader kills.
+const stateVersion = 3
 
 // encodeState serializes the manager's semantic state.
 func (m *Manager) encodeState() []byte {
@@ -65,6 +66,7 @@ func (m *Manager) encodeState() []byte {
 	for _, sh := range m.shards {
 		sh.encode(w)
 	}
+	m.snaps.encode(w)
 	return w.B
 }
 
@@ -103,10 +105,13 @@ func (m *Manager) restoreState(data []byte) error {
 		shards[i] = newShard(m, i)
 		shards[i].decode(r)
 	}
+	snaps := newSnapState()
+	snaps.decode(r)
 	if r.Err() != nil {
 		return fmt.Errorf("manager: snapshot decode: %w", r.Err())
 	}
 	m.arenaZone, m.sharedZone, m.stripedZone = arena, shared, striped
+	m.snaps = snaps
 	m.board = board
 	m.members = members
 	m.deadNodes = deadNodes

@@ -138,6 +138,14 @@ type Server struct {
 	hasReplica bool
 	live       *stats.Liveness
 
+	// Tiered page store and snapshot/fork state. tierStats is shared
+	// across servers (set even with tiering off, for seal/fork
+	// counters); snaps holds sealed snapshot frames and fork range
+	// mappings at server level because ShardOf is not congruent between
+	// an original page and its image in a fork range.
+	tierStats *stats.Tier
+	snaps     *snapStore
+
 	// obitGen records the highest WriterDead generation applied per
 	// writer. A replicated manager's old and new leader may both reap
 	// the same dead lease; the generation (stamped by the leader that
@@ -158,9 +166,32 @@ func New(ep scl.Endpoint, index int, geo layout.Geometry, cpu vtime.CPUModel, ag
 		geo:       geo,
 		cpu:       cpu,
 		agentAddr: agentAddr,
+		snaps:     newSnapStore(),
 	}
 	s.setShards(1)
 	return s
+}
+
+// SetTier configures the tiered page store: a hot set of at most
+// hotBytes of uncompressed pages per server (split evenly across
+// shards, floored at one page each) over a word-run-compressed cold
+// tier whose demotion/promotion costs follow the given TierModel.
+// hotBytes <= 0 disables tiering — every page stays hot and the data
+// path is byte-identical to the untiered server. st collects tier and
+// snapshot counters and is attached either way. Must be called after
+// SetShards and before Run.
+func (s *Server) SetTier(hotBytes int64, model vtime.TierModel, st *stats.Tier) {
+	s.tierStats = st
+	if hotBytes <= 0 {
+		return
+	}
+	per := hotBytes / int64(s.nshards)
+	if per < int64(s.geo.PageSize) {
+		per = int64(s.geo.PageSize)
+	}
+	for _, sh := range s.shards {
+		sh.tier = newTierStore(per, model, st)
+	}
 }
 
 // Stats exposes the server's counters.
@@ -257,6 +288,10 @@ func (s *Server) Run() {
 			s.dispatchEvictFlush(req)
 		case proto.KPing:
 			s.handlePing(req)
+		case proto.KSealAS:
+			s.dispatchSealAS(req)
+		case proto.KForkMap:
+			s.handleForkMap(req)
 		case proto.KWriterDead:
 			s.dispatchWriterDead(req)
 		case proto.KPromote:

@@ -64,6 +64,12 @@ type subFetch struct {
 	join     *fetchJoin
 	lineOffs []int // parallel to lines: offsets into join.data
 	pageOffs []int // parallel to pages: offsets into join.data
+	// seal, when set, turns this sub-fetch into a snapshot seal: instead
+	// of returning the pages' bytes it freezes them as sealed frames
+	// (see seal.go). It rides the fetch machinery because it has the
+	// same happens-before needs — a seal quoting interval tags must wait
+	// for those diffs exactly like a read would.
+	seal *sealInfo
 }
 
 // fetchJoin reassembles a fetch split across shards. The shards fill
@@ -163,6 +169,17 @@ type shard struct {
 	// but unshipped interval tags will never be applied, so fetches must
 	// not wait on them (see proto.WriterDead).
 	deadWriters map[uint32]struct{}
+
+	// tier, when non-nil, layers a byte-budgeted LRU hot set over a
+	// compressed cold tier under the pages map (see tier.go). pending
+	// accrues the virtual time of tier moves and sealed-frame
+	// decompression during an operation; the operation drains it into
+	// its work term via drainPending. scratch is the reusable
+	// decompression target for sealed-frame reads, which serve forked
+	// pages without materializing private copies.
+	tier    *tierStore
+	pending vtime.Time
+	scratch []byte
 }
 
 // run is the shard worker loop (unsequenced multi-shard mode): drain
@@ -238,6 +255,10 @@ func (sh *shard) serveFetch(sub *subFetch) {
 // protocol error back to the fetcher — ownership is retained so a later
 // fetch can retry — instead of wedging or killing the server.
 func (sh *shard) replyFetch(sub *subFetch, tags []proto.IntervalTag) {
+	if sub.seal != nil {
+		sh.sealPages(sub, tags)
+		return
+	}
 	s := sh.srv
 	ready := sub.req.Arrive()
 	if sub.join != nil {
@@ -271,13 +292,13 @@ func (sh *shard) replyFetch(sub *subFetch, tags []proto.IntervalTag) {
 		for _, line := range sub.lines {
 			first := s.geo.FirstPage(line)
 			for i := 0; i < s.geo.LinePages; i++ {
-				data = append(data, sh.page(first+layout.PageID(i))...)
+				data = append(data, sh.readPage(first+layout.PageID(i))...)
 			}
 		}
 		for _, p := range sub.pages {
-			data = append(data, sh.page(p)...)
+			data = append(data, sh.readPage(p)...)
 		}
-		work := sub.req.Svc() + s.cpu.CopyTime(len(data))
+		work := sub.req.Svc() + s.cpu.CopyTime(len(data)) + sh.drainPending()
 		done := sh.book(ready, work) + work
 		s.stats.BytesServed.Add(int64(len(data)))
 		if sub.multi {
@@ -294,13 +315,13 @@ func (sh *shard) replyFetch(sub *subFetch, tags []proto.IntervalTag) {
 		off := sub.lineOffs[i]
 		first := s.geo.FirstPage(line)
 		for k := 0; k < s.geo.LinePages; k++ {
-			copy(sub.join.data[off+k*s.geo.PageSize:], sh.page(first+layout.PageID(k)))
+			copy(sub.join.data[off+k*s.geo.PageSize:], sh.readPage(first+layout.PageID(k)))
 		}
 	}
 	for i, p := range sub.pages {
-		copy(sub.join.data[sub.pageOffs[i]:], sh.page(p))
+		copy(sub.join.data[sub.pageOffs[i]:], sh.readPage(p))
 	}
-	work := s.cpu.CopyTime(n)
+	work := s.cpu.CopyTime(n) + sh.drainPending()
 	done := sh.book(ready, work) + work
 	s.stats.BytesServed.Add(int64(n))
 	sub.join.complete(s, sh.id, done, nil, 0)
@@ -346,7 +367,7 @@ func (sh *shard) applyBatch(req *scl.Request, m *proto.DiffBatch, join *ackJoin,
 		sh.owner[p] = m.Tag.Writer
 		s.stats.OwnedClaims.Add(1)
 	}
-	work := s.cpu.ApplyTime(bytes)
+	work := s.cpu.ApplyTime(bytes) + sh.drainPending()
 	if !split {
 		work += req.Svc()
 	}
@@ -373,7 +394,7 @@ func (sh *shard) applyFlush(req *scl.Request, m *proto.EvictFlush, join *ackJoin
 	// One-way, like DiffBatch: a failed owner pull is counted and the
 	// retained ownership record lets a later fetch retry it.
 	bytes, _ := sh.applyDiffs(m.Writer, m.Diffs, &ready)
-	work := s.cpu.ApplyTime(bytes)
+	work := s.cpu.ApplyTime(bytes) + sh.drainPending()
 	if !split {
 		work += req.Svc()
 	}
@@ -644,15 +665,91 @@ func (sh *shard) replicate(m proto.Msg) {
 	}
 }
 
-// page returns the backing bytes of p, materializing it zero-filled.
+// page returns the backing bytes of p for mutation, materializing it if
+// absent: promoted from the cold tier, copied out of a sealed snapshot
+// frame (the copy-on-write break — the fork's private page diverges from
+// the shared frame here), or zero-filled. The returned page is always
+// installed in the hot set.
 func (sh *shard) page(p layout.PageID) []byte {
 	if b, ok := sh.pages[p]; ok {
+		if sh.tier != nil {
+			sh.tier.touch(p)
+			sh.tier.st.HotHits.Add(1)
+		}
 		return b
 	}
+	if sh.tier != nil {
+		if b := sh.tier.promote(sh, p); b != nil {
+			return b
+		}
+	}
 	b := make([]byte, sh.srv.geo.PageSize)
+	if blob, ok := sh.srv.snaps.lookup(p); ok {
+		decompressPage(b, blob)
+		sh.pending += sh.srv.cpu.ApplyTime(len(b))
+		if ts := sh.srv.tierStats; ts != nil {
+			ts.CoWBreaks.Add(1)
+		}
+	}
 	sh.pages[p] = b
 	sh.srv.stats.PagesHosted.Add(1)
+	if sh.tier != nil {
+		sh.tier.noteHot(sh, p)
+	}
 	return b
+}
+
+// readPage returns the bytes of p for reading only. Unlike page it
+// serves forked pages straight out of their shared sealed frame —
+// decompressed into a per-shard scratch buffer, never installed — so a
+// storm of forks reading one image costs no per-fork page copies. The
+// caller must copy the result out before the next readPage call.
+func (sh *shard) readPage(p layout.PageID) []byte {
+	if b, ok := sh.pages[p]; ok {
+		if sh.tier != nil {
+			sh.tier.touch(p)
+			sh.tier.st.HotHits.Add(1)
+		}
+		return b
+	}
+	if sh.tier != nil {
+		if b := sh.tier.promote(sh, p); b != nil {
+			return b
+		}
+	}
+	if blob, ok := sh.srv.snaps.lookup(p); ok {
+		if sh.scratch == nil {
+			sh.scratch = make([]byte, sh.srv.geo.PageSize)
+		}
+		decompressPage(sh.scratch, blob)
+		sh.pending += sh.srv.cpu.ApplyTime(len(sh.scratch))
+		return sh.scratch
+	}
+	// Never-materialized page: serve zeros WITHOUT hosting it. A pure
+	// read must not install — a speculative fetch past the end of a live
+	// buffer (the prefetcher runs one line ahead of a stream) would
+	// otherwise pin a zero page over the sealed frames a later fork
+	// registration maps at this address.
+	if sh.scratch == nil {
+		sh.scratch = make([]byte, sh.srv.geo.PageSize)
+	} else {
+		clear(sh.scratch)
+	}
+	return sh.scratch
+}
+
+// drainPending settles the tier at the end of a shard operation: the
+// hot set is trimmed back to budget (demotions accrue their move time)
+// and the accumulated tier/frame virtual time is returned for the
+// operation's work term. Deferring eviction to operation end means a
+// page can never be demoted out from under a multi-phase apply.
+func (sh *shard) drainPending() vtime.Time {
+	if sh.tier != nil {
+		sh.tier.enforce(sh)
+	}
+	p := sh.pending
+	sh.pending = 0
+	return p
 }
 
 // failParked answers every parked fetch on this shard with a typed
@@ -662,6 +759,10 @@ func (sh *shard) page(p layout.PageID) []byte {
 func (sh *shard) failParked(code uint16, why string) {
 	for pf := range sh.parked {
 		err := fmt.Errorf("memserver: %s with fetch pending", why)
+		if pf.sub.seal != nil {
+			pf.sub.seal.join.complete(sh.id, sh.cal.maxEnd, err, code)
+			continue
+		}
 		if pf.sub.join != nil {
 			pf.sub.join.complete(sh.srv, sh.id, sh.cal.maxEnd, err, code)
 			continue

@@ -1,0 +1,302 @@
+package memserver
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"repro/internal/layout"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// ---------------------------------------------------------------------------
+// Word-run page codec.
+//
+// Pages in the cold tier (and sealed snapshot frames) are stored under a
+// word-run encoding that reuses the diffPage observation: DSM pages are
+// dominated by long runs of zero words. The stream is a sequence of
+// varint-headed runs over 8-byte words — header h encodes kind = h&1 and
+// length n = h>>1 words; kind 0 is a zero run (no payload), kind 1 is a
+// literal run followed by n*8 raw bytes. Any non-word tail of the page is
+// appended raw. An all-zero page encodes to ~2 bytes.
+// ---------------------------------------------------------------------------
+
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// compressPage encodes page into the word-run format, appending to dst
+// (which may be nil) and returning the result.
+func compressPage(dst, page []byte) []byte {
+	words := len(page) / 8
+	i := 0
+	for i < words {
+		if binary.LittleEndian.Uint64(page[i*8:]) == 0 {
+			j := i + 1
+			for j < words && binary.LittleEndian.Uint64(page[j*8:]) == 0 {
+				j++
+			}
+			dst = putUvarint(dst, uint64(j-i)<<1)
+			i = j
+			continue
+		}
+		j := i + 1
+		for j < words && binary.LittleEndian.Uint64(page[j*8:]) != 0 {
+			j++
+		}
+		dst = putUvarint(dst, uint64(j-i)<<1|1)
+		dst = append(dst, page[i*8:j*8]...)
+		i = j
+	}
+	dst = append(dst, page[words*8:]...)
+	return dst
+}
+
+// decompressPage decodes a word-run stream into page, which must be the
+// original page length. A nil blob is the implicit all-zero frame. The
+// destination is fully overwritten (zero runs clear it), so a dirty
+// scratch buffer is fine.
+func decompressPage(page, blob []byte) {
+	words := len(page) / 8
+	w := 0
+	off := 0
+	for w < words {
+		h, n := binary.Uvarint(blob[off:])
+		if n <= 0 {
+			break // truncated — treat the rest as zero
+		}
+		off += n
+		run := int(h >> 1)
+		if run > words-w {
+			run = words - w
+		}
+		if h&1 == 0 {
+			clear(page[w*8 : (w+run)*8])
+		} else {
+			copy(page[w*8:], blob[off:off+run*8])
+			off += run * 8
+		}
+		w += run
+	}
+	clear(page[w*8 : words*8])
+	tail := page[words*8:]
+	n := copy(tail, blob[off:])
+	clear(tail[n:])
+}
+
+// ---------------------------------------------------------------------------
+// tierStore: per-shard two-tier page store.
+//
+// The hot set is the shard's ordinary pages map, tracked here by an
+// intrusive LRU list with a byte budget; pages past the budget are
+// demoted — word-run compressed into the cold map and removed from the
+// pages map. Demotion is deferred: operations run against the hot set
+// unconstrained and enforce() trims back to budget when the operation
+// completes, so a page can never be demoted out from under a two-phase
+// apply. Every tier move accrues virtual time into sh.pending (the
+// configured TierModel's latency + bandwidth), which the enclosing
+// operation drains into its work term.
+// ---------------------------------------------------------------------------
+
+type tierStore struct {
+	budget   int64
+	model    vtime.TierModel
+	st       *stats.Tier
+	hotBytes int64
+	cold     map[layout.PageID][]byte
+	nodes    map[layout.PageID]*tierNode
+	head     *tierNode // least recently used
+	tail     *tierNode // most recently used
+}
+
+type tierNode struct {
+	p          layout.PageID
+	prev, next *tierNode
+}
+
+func newTierStore(budget int64, model vtime.TierModel, st *stats.Tier) *tierStore {
+	return &tierStore{
+		budget: budget,
+		model:  model,
+		st:     st,
+		cold:   make(map[layout.PageID][]byte),
+		nodes:  make(map[layout.PageID]*tierNode),
+	}
+}
+
+func (t *tierStore) unlink(n *tierNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *tierStore) pushMRU(n *tierNode) {
+	n.prev = t.tail
+	if t.tail != nil {
+		t.tail.next = n
+	} else {
+		t.head = n
+	}
+	t.tail = n
+}
+
+// touch marks an already-hot page most recently used.
+func (t *tierStore) touch(p layout.PageID) {
+	n, ok := t.nodes[p]
+	if !ok {
+		return
+	}
+	if t.tail != n {
+		t.unlink(n)
+		t.pushMRU(n)
+	}
+}
+
+// noteHot registers a newly materialized hot page.
+func (t *tierStore) noteHot(sh *shard, p layout.PageID) {
+	if _, ok := t.nodes[p]; ok {
+		return
+	}
+	n := &tierNode{p: p}
+	t.nodes[p] = n
+	t.pushMRU(n)
+	t.hotBytes += int64(sh.srv.geo.PageSize)
+}
+
+// promote moves a cold page back into the hot set, returning it, or nil
+// if the page is not in the cold tier.
+func (t *tierStore) promote(sh *shard, p layout.PageID) []byte {
+	blob, ok := t.cold[p]
+	if !ok {
+		return nil
+	}
+	delete(t.cold, p)
+	b := make([]byte, sh.srv.geo.PageSize)
+	decompressPage(b, blob)
+	sh.pages[p] = b
+	t.noteHot(sh, p)
+	sh.pending += t.model.MoveTime(len(blob))
+	t.st.Promotions.Add(1)
+	t.st.ColdBytes.Add(-int64(len(b)))
+	t.st.CompressedBytes.Add(-int64(len(blob)))
+	return b
+}
+
+// enforce demotes least-recently-used pages until the hot set fits the
+// budget again. Called at the end of each shard operation.
+func (t *tierStore) enforce(sh *shard) {
+	for t.hotBytes > t.budget && t.head != nil {
+		n := t.head
+		t.unlink(n)
+		delete(t.nodes, n.p)
+		b := sh.pages[n.p]
+		delete(sh.pages, n.p)
+		t.hotBytes -= int64(sh.srv.geo.PageSize)
+		blob := compressPage(nil, b)
+		t.cold[n.p] = blob
+		sh.pending += t.model.MoveTime(len(blob))
+		t.st.Demotions.Add(1)
+		t.st.ColdBytes.Add(int64(len(b)))
+		t.st.CompressedBytes.Add(int64(len(blob)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// snapStore: server-level sealed snapshot frames and fork mappings.
+//
+// Sealed frames are keyed by the original page id and shared by every
+// fork of the snapshot; a fork costs one range entry here plus a manager
+// allocation — no page copies. Frames live at server (not shard) level
+// because ShardOf is not congruent between an original page and its
+// image in a fork range, so a shard serving a forked page may need a
+// frame another shard sealed. The mutex covers the rare writes (seal,
+// fork registration); reads take the read lock on the page-miss path
+// only.
+// ---------------------------------------------------------------------------
+
+type snapStore struct {
+	mu    sync.RWMutex
+	snaps map[uint64]map[layout.PageID][]byte // snap id -> orig page -> frame
+	forks []forkRange                         // sorted by base page
+}
+
+type forkRange struct {
+	base   layout.PageID // first page of the fork's range
+	orig   layout.PageID // first page of the snapshotted range
+	npages uint64
+	snap   uint64
+}
+
+func newSnapStore() *snapStore {
+	return &snapStore{snaps: make(map[uint64]map[layout.PageID][]byte)}
+}
+
+// ensure creates the frame map for a snapshot so that "sealed with zero
+// frames" is distinguishable from "never sealed here".
+func (ss *snapStore) ensure(snap uint64) map[layout.PageID][]byte {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	m := ss.snaps[snap]
+	if m == nil {
+		m = make(map[layout.PageID][]byte)
+		ss.snaps[snap] = m
+	}
+	return m
+}
+
+// store records one sealed frame (blob nil means explicit zero; zero
+// pages are normally just omitted).
+func (ss *snapStore) store(snap uint64, p layout.PageID, blob []byte) {
+	ss.mu.Lock()
+	ss.snaps[snap][p] = blob
+	ss.mu.Unlock()
+}
+
+// register adds (or idempotently re-adds) a fork range mapping. Returns
+// true when the range is new.
+func (ss *snapStore) register(fr forkRange) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	i := sort.Search(len(ss.forks), func(i int) bool { return ss.forks[i].base >= fr.base })
+	if i < len(ss.forks) && ss.forks[i].base == fr.base {
+		ss.forks[i] = fr
+		return false
+	}
+	ss.forks = append(ss.forks, forkRange{})
+	copy(ss.forks[i+1:], ss.forks[i:])
+	ss.forks[i] = fr
+	return true
+}
+
+// lookup resolves page p through the fork table: if p falls inside a
+// registered fork range it returns the sealed frame for the congruent
+// original page (nil frame = zero page) and ok=true.
+func (ss *snapStore) lookup(p layout.PageID) (blob []byte, ok bool) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	i := sort.Search(len(ss.forks), func(i int) bool { return ss.forks[i].base > p })
+	if i == 0 {
+		return nil, false
+	}
+	fr := ss.forks[i-1]
+	off := uint64(p - fr.base)
+	if off >= fr.npages {
+		return nil, false
+	}
+	frames, sealed := ss.snaps[fr.snap]
+	if !sealed {
+		return nil, false
+	}
+	return frames[fr.orig+layout.PageID(off)], true
+}

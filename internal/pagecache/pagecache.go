@@ -61,6 +61,12 @@ type Backend interface {
 	// their home. It is asynchronous; the returned time is the sender's
 	// clock after the send overhead.
 	FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error)
+	// FlushSync is FlushEvict's acknowledged form: it returns only once
+	// every home has applied the diffs. The snapshot path needs this —
+	// transfer time grows with payload size, so a later small message
+	// (the SealAS) could otherwise arrive before a large posted flush
+	// and freeze pre-flush bytes.
+	FlushSync(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error)
 }
 
 // PrefetchResult is the completion of an asynchronous line fetch.
@@ -253,6 +259,11 @@ type lineEntry struct {
 	data    []byte // LineSize bytes
 	pages   []pageState
 	lastUse uint64
+	// epoch is the cache's snapshot epoch when the line was (last)
+	// installed: lines fetched before an address-space snapshot are
+	// distinguishable from lines fetched after it (tests assert a fork's
+	// reads never come from pre-snapshot residency).
+	epoch uint64
 }
 
 // prefetchEntry tracks an in-flight asynchronous line fetch.
@@ -305,6 +316,10 @@ type Cache struct {
 	// private working sets.
 	shared map[layout.PageID]struct{}
 	owned  *OwnedStore
+
+	// snapEpoch counts address-space snapshots taken through this
+	// thread; installed lines are tagged with it (see lineEntry.epoch).
+	snapEpoch uint64
 }
 
 // New creates a cache. The clock and stats belong to the owning thread.
@@ -827,6 +842,7 @@ func (c *Cache) install(line layout.LineID, data []byte) *lineEntry {
 	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.LineSize()))
 	c.useTick++
 	le.lastUse = c.useTick
+	le.epoch = c.snapEpoch
 	return le
 }
 
@@ -848,6 +864,7 @@ func (c *Cache) installPage(p layout.PageID, data []byte) {
 	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
 	c.useTick++
 	le.lastUse = c.useTick
+	le.epoch = c.snapEpoch
 }
 
 // needsFor collects the outstanding interval tags for each page of a
@@ -1487,6 +1504,7 @@ func (c *Cache) InstallGrantPage(p layout.PageID, data []byte) bool {
 	c.clock.Advance(c.cfg.CPU.CopyTime(c.geo.PageSize))
 	c.useTick++
 	le.lastUse = c.useTick
+	le.epoch = c.snapEpoch
 	return true
 }
 
@@ -1516,6 +1534,139 @@ func (c *Cache) DrainPrefetches() {
 		delete(c.pending, line)
 		c.st.PrefetchWasted++
 	}
+}
+
+// ---------------------------------------------------------------------
+// Address-space snapshot support.
+
+// FlushRange pushes home the current bytes of every ordinary-dirty page
+// in [first, first+npages): the same eager mid-interval flush an
+// eviction does, except the pages stay valid. Flushed pages are
+// remembered in flushedDirty, so this thread's next release still names
+// them in its write notice and peers invalidate then — eviction
+// semantics, no interval is consumed here. SnapshotAS uses this so the
+// seal captures the caller's own unreleased writes; consistency-region
+// store records are NOT flushed (they only travel with a release), so
+// snapshots must be taken outside critical sections to capture region
+// stores.
+func (c *Cache) FlushRange(first layout.PageID, npages uint64) error {
+	var pages []layout.PageID
+	for p := range c.dirtyPages {
+		if p >= first && uint64(p-first) < npages {
+			pages = append(pages, p)
+		}
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	// Page order: the diff-time clock advances and the per-home batch
+	// contents must not depend on map iteration.
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	diffs := make([]proto.PageDiff, 0, len(pages))
+	for _, p := range pages {
+		le := c.lines[c.geo.LineOf(p)]
+		ps := &le.pages[c.pageIndex(p)]
+		base := c.pageBaseInLine(p)
+		d := diffPage(uint64(p), le.data[base:base+c.geo.PageSize], ps.twin)
+		c.clock.Advance(c.cfg.CPU.DiffTime(c.geo.PageSize))
+		c.st.DiffsCreated++
+		if prior := c.owned.Take(p); prior != nil {
+			d.Runs = append(prior, d.Runs...)
+		}
+		c.st.DiffBytes += int64(d.PayloadBytes())
+		diffs = append(diffs, d)
+		ps.dirty = false
+		ps.twin = nil
+		ps.wtracked = false
+		ps.wext = nil
+		delete(c.dirtyPages, p)
+		c.flushedDirty[p] = struct{}{}
+	}
+	at, err := c.be.FlushSync(diffs, c.clock.Now())
+	if err != nil {
+		return fmt.Errorf("pagecache: snapshot flush: %w", err)
+	}
+	c.clock.AdvanceTo(at)
+	c.st.MsgsSent++
+	return nil
+}
+
+// DropRange discards every resident line overlapping [first,
+// first+npages), waiting out (and wasting) in-flight prefetches of
+// those lines first. ForkAS calls this on the freshly allocated fork
+// range: the prefetcher runs one line ahead of a stream, so a stream
+// through a neighbouring buffer may already have installed the fork's
+// addresses as zero-filled lines, which would shadow the sealed frames.
+// Dropped lines go through the ordinary eviction path, so dirty pages
+// outside the range (a partially overlapped line) are flushed home, not
+// lost; pages inside it cannot be dirty — the range was just allocated.
+func (c *Cache) DropRange(first layout.PageID, npages uint64) {
+	if npages == 0 {
+		return
+	}
+	firstLine := c.geo.LineOf(first)
+	lastLine := c.geo.LineOf(first + layout.PageID(npages-1))
+	var lines []layout.LineID
+	for line := range c.pending {
+		if line >= firstLine && line <= lastLine {
+			lines = append(lines, line)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		pe := c.pending[line]
+		pe.h.beginWait() // park only if the helper has not delivered yet
+		<-pe.ch
+		delete(c.pending, line)
+		c.st.PrefetchWasted++
+	}
+	lines = lines[:0]
+	for line := range c.lines {
+		if line >= firstLine && line <= lastLine {
+			lines = append(lines, line)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		c.evict(c.lines[line])
+	}
+}
+
+// RangeNeeds collects the outstanding interval tags of every page in
+// [first, first+npages), in page order — the happens-before set a
+// SealAS quotes so no page is frozen before the released intervals this
+// thread has already been told about are applied at its home.
+func (c *Cache) RangeNeeds(first layout.PageID, npages uint64) []proto.PageNeed {
+	var needs []proto.PageNeed
+	for p, tags := range c.pageNeeds {
+		if p < first || uint64(p-first) >= npages || len(tags) == 0 {
+			continue
+		}
+		needs = append(needs, proto.PageNeed{Page: uint64(p), Tags: sortedTags(tags)})
+	}
+	sort.Slice(needs, func(i, j int) bool { return needs[i].Page < needs[j].Page })
+	return needs
+}
+
+// BumpSnapshotEpoch starts a new snapshot epoch and returns it. Lines
+// installed from now on are tagged with the new epoch; lines already
+// resident keep the epoch they were fetched under.
+func (c *Cache) BumpSnapshotEpoch() uint64 {
+	c.snapEpoch++
+	return c.snapEpoch
+}
+
+// SnapshotEpoch reports the current snapshot epoch.
+func (c *Cache) SnapshotEpoch() uint64 { return c.snapEpoch }
+
+// LineEpoch reports the snapshot epoch a resident line was installed
+// under (false if the line is not resident).
+func (c *Cache) LineEpoch(line layout.LineID) (uint64, bool) {
+	le, ok := c.lines[line]
+	if !ok {
+		return 0, false
+	}
+	return le.epoch, true
 }
 
 // SharedPages reports how many pages are known to be shared.

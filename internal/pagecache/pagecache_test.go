@@ -102,6 +102,10 @@ func (f *fakeBackend) FlushEvict(diffs []proto.PageDiff, at vtime.Time) (vtime.T
 	return at + 100, nil
 }
 
+func (f *fakeBackend) FlushSync(diffs []proto.PageDiff, at vtime.Time) (vtime.Time, error) {
+	return f.FlushEvict(diffs, at)
+}
+
 func newCache(t *testing.T, geo layout.Geometry, be Backend, opts ...func(*Config)) (*Cache, *vtime.Clock, *stats.Thread) {
 	t.Helper()
 	clk := vtime.NewClock(0)

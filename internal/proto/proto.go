@@ -98,6 +98,17 @@ const (
 	KPromoteMgr   // promote a follower manager replica to leader
 	KReplSnapshot // leader -> follower: full-state snapshot install
 	KReclaimEvent // log-entry only: a lease reap, replicated before it is acted on
+
+	// Snapshot/fork of a global address space. SnapshotAS seals the
+	// current page versions of a striped range behind a refcounted
+	// snapshot id; ForkAS allocates a congruent range served from the
+	// sealed frames until first write (copy-on-write).
+	KSnapshotASReq
+	KSnapshotASResp
+	KForkASReq
+	KForkASResp
+	KSealAS // thread -> memory server: capture current frames for a snapshot
+	KForkMap // thread -> memory server: map a forked range onto sealed frames
 )
 
 var kindNames = map[Kind]string{
@@ -136,6 +147,12 @@ var kindNames = map[Kind]string{
 	KPromoteMgr:     "promote-mgr",
 	KReplSnapshot:   "repl-snapshot",
 	KReclaimEvent:   "reclaim-event",
+	KSnapshotASReq:  "snapshot-as-req",
+	KSnapshotASResp: "snapshot-as-resp",
+	KForkASReq:      "fork-as-req",
+	KForkASResp:     "fork-as-resp",
+	KSealAS:         "seal-as",
+	KForkMap:        "fork-map",
 }
 
 func (k Kind) String() string {

@@ -1319,3 +1319,163 @@ func (m *ReclaimEvent) Unmarshal(r *Reader) {
 	m.Node = r.U32()
 	m.Gen = r.U64()
 }
+
+// ---------------------------------------------------------------------
+// Address-space snapshot/fork messages.
+
+// SnapshotASReq asks the manager to seal the striped range
+// [Base, Base+NPages*PageSize) behind a fresh refcounted snapshot id.
+// The manager only records the id and geometry; the caller captures the
+// frames at the homes with SealAS before handing the id to anyone. Seq
+// is the allocation-plane sequence number (same dedup discipline as
+// AllocReq: a retry across manager failover re-quotes it and gets the
+// original id back; Seq 0 disables dedup).
+type SnapshotASReq struct {
+	Thread uint32
+	Base   uint64
+	NPages uint64
+	Seq    uint64
+}
+
+func (m *SnapshotASReq) Kind() Kind { return KSnapshotASReq }
+
+func (m *SnapshotASReq) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U64(m.Base)
+	w.U64(m.NPages)
+	w.U64(m.Seq)
+}
+
+func (m *SnapshotASReq) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Base = r.U64()
+	m.NPages = r.U64()
+	m.Seq = r.U64()
+}
+
+// SnapshotASResp returns the snapshot id (never 0).
+type SnapshotASResp struct {
+	Snap uint64
+}
+
+func (m *SnapshotASResp) Kind() Kind          { return KSnapshotASResp }
+func (m *SnapshotASResp) Marshal(w *Writer)   { w.U64(m.Snap) }
+func (m *SnapshotASResp) Unmarshal(r *Reader) { m.Snap = r.U64() }
+
+// ForkASReq asks the manager for a copy-on-write fork of a sealed
+// snapshot: a fresh striped range, aligned exactly like the original so
+// every page offset keeps its home server, whose reads are served from
+// the sealed frames until first write. O(1) in the image size — the
+// manager bumps the snapshot's refcount and runs one striped-zone
+// allocation; no page bytes move. Seq follows the AllocReq dedup
+// discipline.
+type ForkASReq struct {
+	Thread uint32
+	Snap   uint64
+	Seq    uint64
+}
+
+func (m *ForkASReq) Kind() Kind { return KForkASReq }
+
+func (m *ForkASReq) Marshal(w *Writer) {
+	w.U32(m.Thread)
+	w.U64(m.Snap)
+	w.U64(m.Seq)
+}
+
+func (m *ForkASReq) Unmarshal(r *Reader) {
+	m.Thread = r.U32()
+	m.Snap = r.U64()
+	m.Seq = r.U64()
+}
+
+// ForkASResp returns the forked range's base plus the snapshot geometry
+// the client needs to register ForkMaps at the homes.
+type ForkASResp struct {
+	Base     uint64
+	OrigBase uint64
+	NPages   uint64
+}
+
+func (m *ForkASResp) Kind() Kind { return KForkASResp }
+
+func (m *ForkASResp) Marshal(w *Writer) {
+	w.U64(m.Base)
+	w.U64(m.OrigBase)
+	w.U64(m.NPages)
+}
+
+func (m *ForkASResp) Unmarshal(r *Reader) {
+	m.Base = r.U64()
+	m.OrigBase = r.U64()
+	m.NPages = r.U64()
+}
+
+// SealAS asks a home server to capture the current contents of the
+// in-range pages it hosts as the sealed frames of snapshot Snap. Needs
+// quotes outstanding interval tags exactly like a fetch, so the seal
+// parks until every release the sealer has observed is applied; the
+// server also pulls lazily-owned diffs before sealing. Answered with an
+// Ack once the frames are stored (word-run compressed).
+type SealAS struct {
+	Snap   uint64
+	Base   uint64
+	NPages uint64
+	Needs  []PageNeed
+	// Pages, when set, names the exact pages to seal instead of "every
+	// in-range page homed here" — used by a primary shard forwarding its
+	// sealed share to the warm standby (trailing field; absent on the
+	// client form).
+	Pages []uint64
+}
+
+func (m *SealAS) Kind() Kind { return KSealAS }
+
+func (m *SealAS) Marshal(w *Writer) {
+	w.U64(m.Snap)
+	w.U64(m.Base)
+	w.U64(m.NPages)
+	marshalNeeds(w, m.Needs)
+	if len(m.Pages) > 0 {
+		w.U64s(m.Pages)
+	}
+}
+
+func (m *SealAS) Unmarshal(r *Reader) {
+	m.Snap = r.U64()
+	m.Base = r.U64()
+	m.NPages = r.U64()
+	m.Needs = unmarshalNeeds(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.Pages = r.U64s()
+	}
+}
+
+// ForkMap tells a home server that the forked range starting at Base
+// mirrors the sealed frames of snapshot Snap (original base OrigBase,
+// NPages pages). Reads of an unmaterialized fork page decode the sealed
+// frame; the first write copies it into a private page (copy-on-write).
+// Answered with an Ack so the forker knows every home can serve the
+// range before it touches a byte.
+type ForkMap struct {
+	Snap     uint64
+	Base     uint64
+	OrigBase uint64
+	NPages   uint64
+}
+
+func (m *ForkMap) Kind() Kind { return KForkMap }
+
+func (m *ForkMap) Marshal(w *Writer) {
+	w.U64(m.Snap)
+	w.U64(m.Base)
+	w.U64(m.OrigBase)
+	w.U64(m.NPages)
+}
+
+func (m *ForkMap) Unmarshal(r *Reader) {
+	m.Snap = r.U64()
+	m.Base = r.U64()
+	m.OrigBase = r.U64()
+	m.NPages = r.U64()
+}

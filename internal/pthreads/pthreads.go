@@ -46,6 +46,10 @@ type VM struct {
 	allocMu   sync.Mutex
 	allocNext layout.Addr
 	allocs    map[layout.Addr]int
+
+	snapMu   sync.Mutex
+	snapNext uint64
+	snaps    map[uint64][]byte
 }
 
 var _ vm.VM = (*VM)(nil)
@@ -66,6 +70,7 @@ func New(cfg Config) *VM {
 		mem:       make([]byte, cfg.MemBytes),
 		allocNext: 64, // keep address 0 unused, as a poor man's nil guard
 		allocs:    make(map[layout.Addr]int),
+		snaps:     make(map[uint64][]byte),
 	}
 }
 
@@ -236,6 +241,41 @@ func (t *Thread) Free(a vm.Addr) {
 	t.vm.allocMu.Lock()
 	delete(t.vm.allocs, a)
 	t.vm.allocMu.Unlock()
+}
+
+// SnapshotAS implements vm.Thread: on coherent hardware the snapshot is
+// an eager copy of the range (the moral equivalent of fork(2) without
+// the page-table tricks). Like the bulk span accessors, the streamed
+// copy costs one access overhead.
+func (t *Thread) SnapshotAS(base vm.Addr, n int) uint64 {
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	src := t.span(base, n, "snapshot")
+	img := append([]byte(nil), src...)
+	t.vm.snapMu.Lock()
+	t.vm.snapNext++
+	id := t.vm.snapNext
+	t.vm.snaps[id] = img
+	t.vm.snapMu.Unlock()
+	return id
+}
+
+// ForkAS implements vm.Thread: allocate a fresh range and copy the
+// snapshot image in.
+func (t *Thread) ForkAS(snap uint64) vm.Addr {
+	t.vm.snapMu.Lock()
+	img, ok := t.vm.snaps[snap]
+	t.vm.snapMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("pthreads thread %d: fork of unknown snapshot %d", t.id, snap))
+	}
+	a, err := t.vm.alloc(len(img))
+	if err != nil {
+		panic(err)
+	}
+	t.clock.Advance(t.vm.cfg.HW.AccessTime)
+	copy(t.vm.mem[a:int(a)+len(img)], img)
+	t.st.SharedAllocs++
+	return a
 }
 
 func (t *Thread) span(a vm.Addr, n int, op string) []byte {

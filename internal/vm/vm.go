@@ -91,6 +91,24 @@ type Thread interface {
 	AddFloat64(a Addr, v float64) float64
 	AddInt64(a Addr, v int64) int64
 
+	// SnapshotAS seals the n bytes at base (rounded up to whole pages)
+	// into an immutable address-space snapshot and returns its handle.
+	// The snapshot captures this thread's own writes and everything any
+	// thread has released before the call; writes still unreleased at
+	// OTHER threads are not ordered before the snapshot and are not
+	// captured. Take snapshots outside consistency regions. On the
+	// Samhita backend the base must come from a striped GlobalAlloc
+	// (size >= StripeMin), so snapshot and fork pages stripe across the
+	// servers congruently.
+	SnapshotAS(base Addr, n int) uint64
+	// ForkAS materializes a copy-on-write image of a sealed snapshot at
+	// a fresh address and returns its base. On the Samhita backend this
+	// is O(1) in the image size: forked pages are served from the
+	// snapshot's shared sealed frames until first write, when the home
+	// installs a private copy. Free releases the image; the snapshot's
+	// frames are reclaimed when every fork referencing it is freed.
+	ForkAS(snap uint64) Addr
+
 	// Compute charges the cost of pure arithmetic (flops floating-point
 	// operations) to the thread's virtual clock.
 	Compute(flops int)

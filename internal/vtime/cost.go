@@ -120,6 +120,60 @@ func (m CPUModel) SpanTime(n int) Time {
 	return rate(n, m.CopyBytesPerSec)
 }
 
+// TierModel describes the backing tier behind a memory server's hot
+// set: the latency and bandwidth of moving a (compressed) frame group
+// between uncompressed hot pages and the cold store. Demotions and
+// promotions charge MoveTime against the owning shard's clock, so an
+// out-of-core working set shows up directly in virtual time.
+type TierModel struct {
+	// Name identifies the preset ("cold-remote", "cold-nvme", ...).
+	Name string
+	// Latency is the fixed per-move cost (request setup, seek,
+	// round-trip to the backing store).
+	Latency Time
+	// BytesPerSec is the sustained move bandwidth for frame payloads.
+	BytesPerSec float64
+}
+
+// MoveTime reports the virtual time one promotion or demotion of the
+// given payload size costs.
+func (m TierModel) MoveTime(bytes int) Time {
+	if m.BytesPerSec <= 0 {
+		panic(fmt.Sprintf("vtime: tier %q has non-positive bandwidth", m.Name))
+	}
+	return m.Latency + rate(bytes, m.BytesPerSec)
+}
+
+// Cold-tier presets. ColdRemote matches the frame-table numbers the
+// e2b-style designs assume for a network-attached backing store (LRU
+// over ~30% of the data, 20 ms access latency, 200 MB/s streaming);
+// ColdNVMe models a local NVMe device and is the default when a hot
+// budget is set without naming a preset.
+var (
+	ColdRemote = TierModel{
+		Name:        "cold-remote",
+		Latency:     20 * Millisecond,
+		BytesPerSec: 200e6,
+	}
+	ColdNVMe = TierModel{
+		Name:        "cold-nvme",
+		Latency:     20 * Microsecond,
+		BytesPerSec: 2.0e9,
+	}
+)
+
+// TierPreset resolves a cold-tier preset by name; it returns false for
+// names it does not know.
+func TierPreset(name string) (TierModel, bool) {
+	switch name {
+	case "", ColdNVMe.Name, "nvme":
+		return ColdNVMe, true
+	case ColdRemote.Name, "remote":
+		return ColdRemote, true
+	}
+	return TierModel{}, false
+}
+
 // HWModel describes the cache-coherent shared-memory baseline used for
 // the Pthreads comparison: ordinary loads/stores plus hardware-speed
 // synchronization.

@@ -118,6 +118,11 @@ type (
 	// timeouts, dead connections, injected faults). Read it from
 	// Runtime.NetStats after a run.
 	NetStats = stats.Net
+	// TierStats counts tiered-page-store events (hot hits, tier moves,
+	// compressed cold bytes, snapshot seals, CoW breaks). Read it from
+	// Runtime.TierStats after a run on a tiered instance
+	// (Config.HotBytes > 0).
+	TierStats = stats.Tier
 	// FaultConfig parameterizes a fault injector.
 	FaultConfig = faultnet.Config
 	// FaultPartition scripts one unreachability window inside a
