@@ -168,9 +168,11 @@ func Run(v vm.VM, p int, prm Params) (*Result, error) {
 				panic(fmt.Sprintf("forkstorm: cold-start copy element %d = %v, want %v", probe, got, want))
 			}
 			coldStart.set(uint64(t.Clock() - t0))
-			// The eager copy is deliberately never freed: this workload
-			// relies on striped addresses not being recycled under the
-			// registered fork ranges.
+			// The eager copy is deliberately never freed: keeping the
+			// measured phase free of teardown traffic pins the recorded
+			// benchmark points. (Freeing forked ranges is safe — the
+			// two-phase free unmaps them at the homes before the striped
+			// space is recycled; see TestForkFreeReuse.)
 		}
 		bar.Wait(t)
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/pthreads"
 	"repro/internal/vm"
 )
@@ -114,6 +115,154 @@ func TestForkStormPthreads(t *testing.T) {
 	}
 	if res.Forks != int64(quick.Forks) || res.Errors != 0 {
 		t.Fatalf("pthreads storm: forks=%d errors=%d", res.Forks, res.Errors)
+	}
+}
+
+// Freeing a fork must unmap it at the homes before the striped space
+// is recycled: a later allocation reusing the range reads zeros — not
+// the dead fork's CoW pages, not the sealed snapshot frames — and the
+// snapshot itself survives for further forks. The full teardown then
+// reclaims every sealed frame and range registration.
+func TestForkFreeReuse(t *testing.T) {
+	runForkFreeReuse(t, newRT(t))
+}
+
+// The same lifecycle on an unsequenced fabric: shard workers run as real
+// goroutines there, so the unmap purge goes through the shard queues and
+// the ack join instead of inline dispatch.
+func TestForkFreeReuseUnsequenced(t *testing.T) {
+	runForkFreeReuse(t, newRT(t, func(c *core.Config) {
+		c.Faults = faultnet.New(faultnet.Config{Seed: 11}) // no kills: just an unsequenced fabric
+	}))
+}
+
+func runForkFreeReuse(t *testing.T, rt *core.Runtime) {
+	defer rt.Close()
+	const n = 32 << 10
+	elems := n / 8
+	_, err := rt.Run(1, func(th vm.Thread) {
+		base := th.GlobalAlloc(n)
+		img := vm.F64{Base: base}
+		for j := 0; j < elems; j++ {
+			img.Set(th, j, sealedVal(3, j))
+		}
+		snap := th.SnapshotAS(base, n)
+
+		forkA := th.ForkAS(snap)
+		a := vm.F64{Base: forkA}
+		if got := a.At(th, 5); got != sealedVal(3, 5) {
+			t.Errorf("fork A element 5 = %v, want sealed %v", got, sealedVal(3, 5))
+		}
+		// CoW-break a few pages so the homes hold private fork pages too.
+		for j := 0; j < elems; j += 512 {
+			a.Set(th, j, 424242)
+		}
+		th.Free(forkA)
+
+		// First-fit reuse of the freed striped range: every byte must read
+		// as zero — neither fork A's private writes nor the sealed frames
+		// may bleed through the recycled addresses.
+		reuse := th.GlobalAlloc(n)
+		if reuse != forkA {
+			t.Errorf("allocator did not reuse the freed fork range (%#x vs %#x); reuse check weakened", uint64(reuse), uint64(forkA))
+		}
+		r := vm.F64{Base: reuse}
+		for j := 0; j < elems; j++ {
+			if got := r.At(th, j); got != 0 {
+				t.Errorf("recycled element %d = %v, want 0", j, got)
+				break
+			}
+		}
+
+		// The snapshot is still forkable after one fork died.
+		forkB := th.ForkAS(snap)
+		b := vm.F64{Base: forkB}
+		for j := 0; j < elems; j += 97 {
+			if got := b.At(th, j); got != sealedVal(3, j) {
+				t.Errorf("post-free fork B element %d = %v, want sealed %v", j, got, sealedVal(3, j))
+				break
+			}
+		}
+
+		// Full teardown: the last fork and the original image go away,
+		// releasing the snapshot record and its sealed frames everywhere.
+		th.Free(forkB)
+		th.Free(base)
+		th.Free(reuse)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rt.TierStats()
+	if got := ts.SealedPages.Load(); got != 0 {
+		t.Errorf("SealedPages = %d after full teardown, want 0 (server-side frame leak)", got)
+	}
+	if got := ts.SnapshotRefs.Load(); got != 0 {
+		t.Errorf("SnapshotRefs = %d after full teardown, want 0 (fork range leak)", got)
+	}
+}
+
+// Snapshotting a fork whose pages were never CoW-broken must seal the
+// inherited parent image, not implicit zeros: forks of the nested
+// snapshot read the original sealed values, and writes through them
+// stay private.
+func TestSnapshotOfUnbrokenFork(t *testing.T) {
+	rt := newRT(t)
+	defer rt.Close()
+	const n = 32 << 10
+	elems := n / 8
+	_, err := rt.Run(1, func(th vm.Thread) {
+		base := th.GlobalAlloc(n)
+		img := vm.F64{Base: base}
+		for j := 0; j < elems; j++ {
+			img.Set(th, j, sealedVal(5, j))
+		}
+		snap1 := th.SnapshotAS(base, n)
+		// Fork F is snapshotted untouched: no read, no write, so not one
+		// of its pages exists on the homes when the seal runs.
+		forkF := th.ForkAS(snap1)
+		snap2 := th.SnapshotAS(forkF, n)
+		// Dirty F completely AFTER the nested seal; G must not see it.
+		f := vm.F64{Base: forkF}
+		for j := 0; j < elems; j++ {
+			f.Set(th, j, -7)
+		}
+		forkG := th.ForkAS(snap2)
+		g := vm.F64{Base: forkG}
+		for j := 0; j < elems; j++ {
+			if got := g.At(th, j); got != sealedVal(5, j) {
+				t.Errorf("nested fork G element %d = %v, want inherited sealed %v", j, got, sealedVal(5, j))
+				break
+			}
+		}
+		// Writes through G stay private to G: a sibling fork of snap2
+		// still reads the inherited image.
+		for j := 0; j < elems; j += 256 {
+			g.Set(th, j, 999)
+		}
+		forkH := th.ForkAS(snap2)
+		h := vm.F64{Base: forkH}
+		for j := 0; j < elems; j += 128 {
+			if got := h.At(th, j); got != sealedVal(5, j) {
+				t.Errorf("sibling fork H element %d = %v, want inherited sealed %v", j, got, sealedVal(5, j))
+				break
+			}
+		}
+		// Teardown in dependency order; every record and frame must go.
+		th.Free(forkG)
+		th.Free(forkH)
+		th.Free(forkF)
+		th.Free(base)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rt.TierStats()
+	if got := ts.SealedPages.Load(); got != 0 {
+		t.Errorf("SealedPages = %d after teardown, want 0", got)
+	}
+	if got := ts.SnapshotRefs.Load(); got != 0 {
+		t.Errorf("SnapshotRefs = %d after teardown, want 0", got)
 	}
 }
 

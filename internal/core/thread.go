@@ -579,18 +579,69 @@ func (t *Thread) managerAlloc(size uint64, strategy uint8) vm.Addr {
 // the arena chunk itself is released, so arena frees are no-ops (the
 // paper's arenas behave the same way); manager-served allocations are
 // returned to their zone.
+//
+// Freeing a forked range is two-phase (see proto.FreeReq): the manager
+// withholds the zone space while this thread unmaps the range at every
+// home, then a second, Unmapped free commits it. Without the barrier,
+// first-fit reuse of the striped space would race the homes' stale
+// fork mappings and resolve fresh allocations to dead snapshot frames.
+// Either flavour of free may also release snapshots whose refcount hit
+// zero; the homes are told to drop their sealed frames.
 func (t *Thread) Free(a vm.Addr) {
 	if a < manager.SharedZoneBase {
 		return
 	}
 	t.allocSeq++
-	var ack proto.Ack
-	at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a), Seq: t.allocSeq}, &ack, t.clock.Now())
+	var resp proto.FreeResp
+	at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a), Seq: t.allocSeq}, &resp, t.clock.Now())
 	if err != nil {
 		t.fail("free", err)
 	}
 	t.clock.AdvanceTo(at)
 	t.st.MsgsSent++
+	for resp.Fork || len(resp.Release) > 0 {
+		t.unmapAtHomes(a, &resp)
+		if !resp.Fork {
+			return
+		}
+		// Commit: every home acked the unmap, so the manager may return
+		// the range to the zone. The commit itself can release snapshots
+		// that were sealed FROM the dying fork, which loops us back for
+		// one more (release-only) fan-out.
+		t.allocSeq++
+		var next proto.FreeResp
+		at, err := t.mgrCall(&proto.FreeReq{Thread: t.writer, Addr: uint64(a), Seq: t.allocSeq, Unmapped: true}, &next, t.clock.Now())
+		if err != nil {
+			t.fail("free", err)
+		}
+		t.clock.AdvanceTo(at)
+		t.st.MsgsSent++
+		resp = next
+	}
+}
+
+// unmapAtHomes fans one acked ForkUnmap round out to every home of the
+// freed range: dropping the fork mapping and its materialized pages
+// (when resp.Fork) and/or the sealed frames of released snapshots.
+func (t *Thread) unmapAtHomes(a vm.Addr, resp *proto.FreeResp) {
+	first := t.rt.cfg.Geo.PageOf(layout.Addr(a))
+	m := &proto.ForkUnmap{Release: resp.Release}
+	if resp.Fork {
+		m.Base = uint64(a)
+		m.NPages = resp.NPages
+		// Lines this thread cached through the dying fork would shadow
+		// whatever the striped zone reuses the range for.
+		t.cache.DropRange(first, resp.NPages)
+	}
+	for _, home := range t.homesForRange(first, resp.NPages) {
+		var ack proto.Ack
+		at, err := t.callHome(home, m, &ack, t.clock.Now())
+		if err != nil {
+			t.fail("free", err)
+		}
+		t.clock.AdvanceTo(at)
+		t.st.MsgsSent++
+	}
 }
 
 // ---------------------------------------------------------------------

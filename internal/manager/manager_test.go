@@ -73,8 +73,8 @@ func (c *client) alloc(size uint64, strategy uint8) (layout.Addr, error) {
 }
 
 func (c *client) free(addr layout.Addr) error {
-	var ack proto.Ack
-	at, err := c.ep.Call(mgrNode, &proto.FreeReq{Thread: c.id, Addr: uint64(addr)}, &ack, c.at)
+	var resp proto.FreeResp
+	at, err := c.ep.Call(mgrNode, &proto.FreeReq{Thread: c.id, Addr: uint64(addr)}, &resp, c.at)
 	if err != nil {
 		return err
 	}

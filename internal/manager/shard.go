@@ -286,11 +286,34 @@ func (sh *shard) handleFree(req *scl.Request, fr *proto.FreeReq) {
 		req.ReplyError(fmt.Errorf("manager: free of address %#x outside all zones", fr.Addr), sh.clock.Now())
 		return
 	}
+	ss := m.snaps
+	if zone == m.stripedZone && !fr.Unmapped {
+		if snap, ok := ss.forks[fr.Addr]; ok {
+			// Phase one of freeing a forked range: drop the manager's fork
+			// bookkeeping and tell the caller the geometry to unmap at the
+			// homes, but withhold the zone space — first-fit would reissue
+			// it while the homes still resolve reads through the stale
+			// fork mapping. The caller commits with a second, Unmapped
+			// FreeReq once every home acked its ForkUnmap.
+			if rec, ok := ss.lastFreeFork[fr.Thread]; ok && fr.Seq != 0 && rec.seq == fr.Seq {
+				m.stats.DedupFrees.Add(1)
+				resp := rec.resp
+				req.Reply(&resp, sh.clock.Now())
+				return
+			}
+			resp := ss.forkFree(fr.Addr, snap)
+			if fr.Seq != 0 {
+				ss.lastFreeFork[fr.Thread] = freeForkRecord{seq: fr.Seq, resp: resp}
+			}
+			req.Reply(&resp, sh.clock.Now())
+			return
+		}
+	}
 	// A free re-issued across failover was already applied; ack it
 	// idempotently instead of double-freeing.
 	if zone.DedupFree(fr.Thread, fr.Seq) {
 		m.stats.DedupFrees.Add(1)
-		req.Reply(&proto.Ack{}, sh.clock.Now())
+		req.Reply(&proto.FreeResp{}, sh.clock.Now())
 		return
 	}
 	if err := zone.Free(addr); err != nil {
@@ -298,12 +321,17 @@ func (sh *shard) handleFree(req *scl.Request, fr *proto.FreeReq) {
 		return
 	}
 	zone.NoteFree(fr.Thread, fr.Seq)
+	resp := &proto.FreeResp{}
 	if zone == m.stripedZone {
-		// Freeing a forked range drops its snapshot reference.
-		m.snaps.forkFreed(fr.Addr)
+		// Freeing a striped range (a snapshotted image, or the Unmapped
+		// commit of a dead fork that was itself re-snapshotted) drops the
+		// handle reference of every snapshot sealed from it; snapshots
+		// with no remaining forks are released, and the caller relays the
+		// release to the homes holding the sealed frames.
+		resp.Release, resp.NPages = ss.originFreed(fr.Addr)
 	}
 	m.stats.Frees.Add(1)
-	req.Reply(&proto.Ack{}, sh.clock.Now())
+	req.Reply(resp, sh.clock.Now())
 }
 
 func (sh *shard) handleRegister(req *scl.Request, rr *proto.RegisterReq) {

@@ -20,22 +20,27 @@ type snapState struct {
 	forks    map[uint64]uint64    // fork base address -> snapshot id
 
 	// Per-writer idempotency records, mirroring Zone.lastAlloc: a
-	// SnapshotAS/ForkAS re-issued across a manager failover is answered
-	// with the original id/base instead of sealing or allocating twice.
-	lastSnap map[uint32]snapRecord
-	lastFork map[uint32]forkRecord
+	// SnapshotAS/ForkAS/fork-FreeReq re-issued across a manager failover
+	// is answered with the original id/base/geometry instead of sealing,
+	// allocating or decrementing twice.
+	lastSnap     map[uint32]snapRecord
+	lastFork     map[uint32]forkRecord
+	lastFreeFork map[uint32]freeForkRecord
 }
 
 // snapInfo records one sealed snapshot: the original striped range and
 // how many live forks reference it. Refs starts at 1 for the snapshot
 // handle itself and rises with each fork; freeing a fork's range drops
-// one ref, and the record is released when the forks are all gone (the
-// handle's ref is the floor — snapshot handles have no explicit drop
-// verb yet, so a handle pins its record for the run).
+// one ref, freeing the original image drops the handle's ref
+// (handleGone keeps a later allocation that reuses origBase from
+// dropping it twice), and a record whose refs reach zero is released —
+// the reply names it so the caller can tell the homes to drop its
+// sealed frames.
 type snapInfo struct {
-	origBase uint64
-	npages   uint64
-	refs     int64
+	origBase   uint64
+	npages     uint64
+	refs       int64
+	handleGone bool
 }
 
 type snapRecord struct{ seq, snap uint64 }
@@ -45,12 +50,18 @@ type forkRecord struct {
 	resp proto.ForkASResp
 }
 
+type freeForkRecord struct {
+	seq  uint64
+	resp proto.FreeResp
+}
+
 func newSnapState() *snapState {
 	return &snapState{
-		snaps:    make(map[uint64]*snapInfo),
-		forks:    make(map[uint64]uint64),
-		lastSnap: make(map[uint32]snapRecord),
-		lastFork: make(map[uint32]forkRecord),
+		snaps:        make(map[uint64]*snapInfo),
+		forks:        make(map[uint64]uint64),
+		lastSnap:     make(map[uint32]snapRecord),
+		lastFork:     make(map[uint32]forkRecord),
+		lastFreeFork: make(map[uint32]freeForkRecord),
 	}
 }
 
@@ -122,21 +133,54 @@ func (sh *shard) handleForkAS(req *scl.Request, fr *proto.ForkASReq) {
 	req.Reply(&resp, sh.clock.Now())
 }
 
-// forkFreed drops the fork bookkeeping of a freed striped range, if it
-// was one: one snapshot ref goes away, and a snapshot whose forks (and
-// handle) are all gone is released.
-func (ss *snapState) forkFreed(addr uint64) {
-	snap, ok := ss.forks[addr]
-	if !ok {
-		return
-	}
+// forkFree runs phase one of freeing a forked range: the fork's table
+// entry and snapshot reference go away immediately (so a racing ForkAS
+// between the two free phases cannot revive state the caller was told
+// to tear down), but the zone space is NOT freed — the reply tells the
+// caller the geometry to unmap at the homes, and a second, Unmapped
+// FreeReq commits the space once every home has acked. A parent
+// snapshot whose refs reach zero is released and named in the reply.
+func (ss *snapState) forkFree(addr, snap uint64) proto.FreeResp {
 	delete(ss.forks, addr)
+	resp := proto.FreeResp{Fork: true, Snap: snap}
 	if si, ok := ss.snaps[snap]; ok {
+		resp.NPages = si.npages
 		si.refs--
 		if si.refs <= 0 {
 			delete(ss.snaps, snap)
+			resp.Release = append(resp.Release, snap)
 		}
 	}
+	return resp
+}
+
+// originFreed drops the handle reference of every snapshot sealed from
+// the freed range: the source allocation pins its snapshots, so a
+// snapshot with no remaining forks is released with it. Returns the
+// released ids (sorted, for replay determinism) and the largest
+// released page count, which sizes the homes' frame-release fanout.
+func (ss *snapState) originFreed(addr uint64) (release []uint64, npages uint64) {
+	ids := make([]uint64, 0, len(ss.snaps))
+	for id := range ss.snaps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		si := ss.snaps[id]
+		if si.origBase != addr || si.handleGone {
+			continue
+		}
+		si.handleGone = true
+		si.refs--
+		if si.refs <= 0 {
+			delete(ss.snaps, id)
+			release = append(release, id)
+			if si.npages > npages {
+				npages = si.npages
+			}
+		}
+	}
+	return release, npages
 }
 
 // encode/decode follow the state.go conventions: sorted iteration for
@@ -155,6 +199,11 @@ func (ss *snapState) encode(w *proto.Writer) {
 		w.U64(si.origBase)
 		w.U64(si.npages)
 		w.I64(si.refs)
+		if si.handleGone {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
 	}
 	bases := make([]uint64, 0, len(ss.forks))
 	for b := range ss.forks {
@@ -192,6 +241,25 @@ func (ss *snapState) encode(w *proto.Writer) {
 		w.U64(r.resp.OrigBase)
 		w.U64(r.resp.NPages)
 	}
+	writers = writers[:0]
+	for wr := range ss.lastFreeFork {
+		writers = append(writers, wr)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	w.U64(uint64(len(writers)))
+	for _, wr := range writers {
+		r := ss.lastFreeFork[wr]
+		w.U32(wr)
+		w.U64(r.seq)
+		if r.resp.Fork {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+		w.U64(r.resp.Snap)
+		w.U64(r.resp.NPages)
+		w.U64s(r.resp.Release)
+	}
 }
 
 func (ss *snapState) decode(r *proto.Reader) {
@@ -199,7 +267,9 @@ func (ss *snapState) decode(r *proto.Reader) {
 	ns := r.U64()
 	for i := uint64(0); i < ns && r.Err() == nil; i++ {
 		id := r.U64()
-		ss.snaps[id] = &snapInfo{origBase: r.U64(), npages: r.U64(), refs: r.I64()}
+		si := &snapInfo{origBase: r.U64(), npages: r.U64(), refs: r.I64()}
+		si.handleGone = r.U8() != 0
+		ss.snaps[id] = si
 	}
 	nf := r.U64()
 	for i := uint64(0); i < nf && r.Err() == nil; i++ {
@@ -219,5 +289,15 @@ func (ss *snapState) decode(r *proto.Reader) {
 		rec.resp.OrigBase = r.U64()
 		rec.resp.NPages = r.U64()
 		ss.lastFork[wr] = rec
+	}
+	nff := r.U64()
+	for i := uint64(0); i < nff && r.Err() == nil; i++ {
+		wr := r.U32()
+		rec := freeForkRecord{seq: r.U64()}
+		rec.resp.Fork = r.U8() != 0
+		rec.resp.Snap = r.U64()
+		rec.resp.NPages = r.U64()
+		rec.resp.Release = r.U64s()
+		ss.lastFreeFork[wr] = rec
 	}
 }

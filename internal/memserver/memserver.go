@@ -292,6 +292,8 @@ func (s *Server) Run() {
 			s.dispatchSealAS(req)
 		case proto.KForkMap:
 			s.handleForkMap(req)
+		case proto.KForkUnmap:
+			s.handleForkUnmap(req)
 		case proto.KWriterDead:
 			s.dispatchWriterDead(req)
 		case proto.KPromote:

@@ -156,15 +156,22 @@ func (sh *shard) sealPages(sub *subFetch, tags []proto.IntervalTag) {
 		if b, ok := sh.pages[p]; ok {
 			blob = compressPage(nil, b)
 			bytes += len(b)
-		} else if sh.tier != nil {
-			cb, ok := sh.tier.cold[p]
-			if !ok {
-				continue // never materialized: implicit zero frame
+		} else if sh.tier != nil && sh.tier.cold[p] != nil {
+			blob = append([]byte(nil), sh.tier.cold[p]...)
+			bytes += s.geo.PageSize
+		} else if fb, ok := s.snaps.lookup(p); ok {
+			// Snapshotting a fork range: a page the fork never CoW-broke
+			// still reads as its parent snapshot's sealed frame, so the new
+			// snapshot must seal those inherited bytes — not implicit zeros.
+			// The blob is copied so the new frame survives the parent
+			// snapshot's release.
+			if fb == nil {
+				continue // parent frame is an explicit zero page
 			}
-			blob = append([]byte(nil), cb...)
+			blob = append([]byte(nil), fb...)
 			bytes += s.geo.PageSize
 		} else {
-			continue
+			continue // never materialized: implicit zero frame
 		}
 		s.snaps.store(sub.seal.snap, p, blob)
 		sealed = append(sealed, uint64(p))
@@ -205,9 +212,9 @@ func (s *Server) handleForkMap(req *scl.Request) {
 		npages: m.NPages,
 		snap:   m.Snap,
 	}
-	if s.snaps.register(fr) {
+	if n := s.snaps.register(fr); n != 0 {
 		if ts := s.tierStats; ts != nil {
-			ts.SnapshotRefs.Add(1)
+			ts.SnapshotRefs.Add(int64(n))
 		}
 	}
 	if s.hasReplica {
@@ -222,5 +229,81 @@ func (s *Server) handleForkMap(req *scl.Request) {
 	}
 	if !req.OneWay() {
 		req.Reply(&proto.Ack{}, req.Arrive()+req.Svc())
+	}
+}
+
+// handleForkUnmap undoes a ForkMap: the fork-range entry is removed
+// from the snap store (so no page can resolve through the dead range
+// again), released snapshots drop their sealed frames, and each shard
+// purges the private pages the fork materialized in the range. The ack
+// is withheld until every shard has purged — the caller's Unmapped
+// FreeReq, which lets the manager reuse the striped space, must not
+// race a shard still holding the old bytes. Replicated to the standby
+// like ForkMap so a promoted standby does not resurrect the range.
+func (s *Server) handleForkUnmap(req *scl.Request) {
+	var m proto.ForkUnmap
+	if err := req.Decode(&m); err != nil {
+		if !req.OneWay() {
+			req.ReplyError(err, s.Clock())
+		}
+		return
+	}
+	base := s.geo.PageOf(layout.Addr(m.Base))
+	if m.NPages > 0 {
+		if s.snaps.unregister(base) {
+			if ts := s.tierStats; ts != nil {
+				ts.SnapshotRefs.Add(-1)
+			}
+		}
+	}
+	for _, snap := range m.Release {
+		if n := s.snaps.release(snap); n > 0 {
+			if ts := s.tierStats; ts != nil {
+				ts.SealedPages.Add(-int64(n))
+			}
+		}
+	}
+	if s.hasReplica {
+		var ack proto.Ack
+		if _, err := s.ep.Call(s.replica, &m, &ack, req.Arrive()); err != nil {
+			if s.live != nil {
+				s.live.ReplFailures.Add(1)
+			}
+		} else if s.live != nil {
+			s.live.ReplBatches.Add(1)
+		}
+	}
+	// Purge the fork's private pages shard by shard. Like writerDead this
+	// is teardown bookkeeping with no virtual-time cost, but unlike it the
+	// purge must be acknowledged: it goes through the shard queues (the
+	// workers own sh.pages) and the reply joins every shard's completion.
+	subs := make([][]layout.PageID, s.nshards)
+	for i := uint64(0); i < m.NPages; i++ {
+		p := base + layout.PageID(i)
+		if s.geo.HomeOf(p) != s.index {
+			continue
+		}
+		id := s.geo.ShardOf(p, s.nshards)
+		subs[id] = append(subs[id], p)
+	}
+	count := 0
+	for _, pages := range subs {
+		if pages != nil {
+			count++
+		}
+	}
+	at := req.Arrive() + req.Svc()
+	if count == 0 {
+		if !req.OneWay() {
+			req.Reply(&proto.Ack{}, at)
+		}
+		return
+	}
+	j := s.ackFor(req, count)
+	for id, pages := range subs {
+		if pages == nil {
+			continue
+		}
+		s.enqueue(s.shards[id], shardItem{kind: itemUnmap, unpages: pages, ack: j, at: at})
 	}
 }

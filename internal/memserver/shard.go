@@ -33,6 +33,7 @@ const (
 	itemFlush
 	itemPing
 	itemWriterDead
+	itemUnmap
 	itemStop
 )
 
@@ -44,11 +45,13 @@ type shardItem struct {
 	sub    *subFetch         // itemFetch
 	batch  *proto.DiffBatch  // itemBatch: this shard's sub-batch
 	flush  *proto.EvictFlush // itemFlush: this shard's sub-flush
-	ack    *ackJoin          // itemBatch/itemFlush/itemPing: reply join (nil for one-way)
-	split  bool              // itemBatch/itemFlush: one share of a multi-shard request
-	writer uint32            // itemWriterDead
-	code   uint16            // itemStop
-	why    string            // itemStop
+	ack     *ackJoin          // itemBatch/itemFlush/itemPing/itemUnmap: reply join (nil for one-way)
+	split   bool              // itemBatch/itemFlush: one share of a multi-shard request
+	writer  uint32            // itemWriterDead
+	unpages []layout.PageID   // itemUnmap: this shard's pages of a dead fork range
+	at      vtime.Time        // itemUnmap: completion time for the ack join
+	code    uint16            // itemStop
+	why     string            // itemStop
 }
 
 // subFetch is one shard's share of a fetch: the lines, pages and
@@ -209,6 +212,11 @@ func (sh *shard) process(it shardItem) {
 		it.ack.complete(sh.cal.maxEnd)
 	case itemWriterDead:
 		sh.writerDead(it.writer)
+	case itemUnmap:
+		sh.dropPages(it.unpages)
+		if it.ack != nil {
+			it.ack.complete(it.at)
+		}
 	default:
 		panic(fmt.Sprintf("memserver: unexpected shard item kind %d", it.kind))
 	}
@@ -736,6 +744,27 @@ func (sh *shard) readPage(p layout.PageID) []byte {
 		clear(sh.scratch)
 	}
 	return sh.scratch
+}
+
+// dropPages discards the private pages a dead fork materialized on this
+// shard — hot copies, cold blobs and lazy ownership claims — so the
+// striped space can be reused without the old bytes bleeding into a
+// later allocation. Pure bookkeeping, no virtual-time cost: teardown
+// happens off the data path, like writerDead.
+func (sh *shard) dropPages(pages []layout.PageID) {
+	for _, p := range pages {
+		delete(sh.owner, p)
+		if _, ok := sh.pages[p]; ok {
+			delete(sh.pages, p)
+			if sh.tier != nil {
+				sh.tier.forget(sh, p)
+			}
+			continue
+		}
+		if sh.tier != nil {
+			sh.tier.dropCold(sh, p)
+		}
+	}
 }
 
 // drainPending settles the tier at the end of a shard operation: the

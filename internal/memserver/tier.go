@@ -76,8 +76,18 @@ func decompressPage(page, blob []byte) {
 		if h&1 == 0 {
 			clear(page[w*8 : (w+run)*8])
 		} else {
-			copy(page[w*8:], blob[off:off+run*8])
-			off += run * 8
+			// Bound the literal payload by what the blob actually holds so
+			// a truncated or corrupt stream degrades to zero fill (like the
+			// truncated-header case) instead of panicking.
+			end := off + run*8
+			if end > len(blob) {
+				end = len(blob)
+			}
+			n := copy(page[w*8:(w+run)*8], blob[off:end])
+			off = end
+			if n < run*8 {
+				clear(page[w*8+n : (w+run)*8])
+			}
 		}
 		w += run
 	}
@@ -193,6 +203,30 @@ func (t *tierStore) promote(sh *shard, p layout.PageID) []byte {
 	return b
 }
 
+// forget removes a hot page's LRU bookkeeping (the caller deletes the
+// page itself from sh.pages). Used when a dead fork's private pages are
+// discarded rather than demoted.
+func (t *tierStore) forget(sh *shard, p layout.PageID) {
+	n, ok := t.nodes[p]
+	if !ok {
+		return
+	}
+	t.unlink(n)
+	delete(t.nodes, p)
+	t.hotBytes -= int64(sh.srv.geo.PageSize)
+}
+
+// dropCold discards a cold-tier blob without promoting it.
+func (t *tierStore) dropCold(sh *shard, p layout.PageID) {
+	blob, ok := t.cold[p]
+	if !ok {
+		return
+	}
+	delete(t.cold, p)
+	t.st.ColdBytes.Add(-int64(sh.srv.geo.PageSize))
+	t.st.CompressedBytes.Add(-int64(len(blob)))
+}
+
 // enforce demotes least-recently-used pages until the hot set fits the
 // budget again. Called at the end of each shard operation.
 func (t *tierStore) enforce(sh *shard) {
@@ -263,20 +297,68 @@ func (ss *snapStore) store(snap uint64, p layout.PageID, blob []byte) {
 	ss.mu.Unlock()
 }
 
-// register adds (or idempotently re-adds) a fork range mapping. Returns
-// true when the range is new.
-func (ss *snapStore) register(fr forkRange) bool {
+// register adds (or idempotently re-adds) a fork range mapping and
+// returns the net change in registered ranges. Any existing range
+// overlapping the new one is stale — the manager only reissues striped
+// space after the old fork was unmapped here, so a survivor means a
+// lost unmap — and is dropped so a dead fork can never shadow the new
+// range's pages (lookup resolves through the single greatest-base
+// entry and relies on ranges being disjoint).
+func (ss *snapStore) register(fr forkRange) int {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	i := sort.Search(len(ss.forks), func(i int) bool { return ss.forks[i].base >= fr.base })
-	if i < len(ss.forks) && ss.forks[i].base == fr.base {
-		ss.forks[i] = fr
-		return false
+	end := fr.base + layout.PageID(fr.npages)
+	kept := ss.forks[:0]
+	removed := 0
+	for _, old := range ss.forks {
+		if old.base < end && fr.base < old.base+layout.PageID(old.npages) {
+			removed++
+			continue
+		}
+		kept = append(kept, old)
 	}
+	ss.forks = kept
+	i := sort.Search(len(ss.forks), func(i int) bool { return ss.forks[i].base >= fr.base })
 	ss.forks = append(ss.forks, forkRange{})
 	copy(ss.forks[i+1:], ss.forks[i:])
 	ss.forks[i] = fr
+	return 1 - removed
+}
+
+// unregister removes the fork range rooted at base, reporting whether
+// one was registered.
+func (ss *snapStore) unregister(base layout.PageID) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	i := sort.Search(len(ss.forks), func(i int) bool { return ss.forks[i].base >= base })
+	if i >= len(ss.forks) || ss.forks[i].base != base {
+		return false
+	}
+	ss.forks = append(ss.forks[:i], ss.forks[i+1:]...)
 	return true
+}
+
+// release drops a snapshot's sealed frames once the manager's refcount
+// reaches zero, returning how many frames were held. Fork ranges still
+// pointing at the snapshot (none should exist — the manager releases
+// only after every fork is gone) are dropped defensively so lookup can
+// never resolve through a released snapshot.
+func (ss *snapStore) release(snap uint64) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	frames, ok := ss.snaps[snap]
+	if !ok {
+		return 0
+	}
+	delete(ss.snaps, snap)
+	kept := ss.forks[:0]
+	for _, fr := range ss.forks {
+		if fr.snap != snap {
+			kept = append(kept, fr)
+		}
+	}
+	ss.forks = kept
+	return len(frames)
 }
 
 // lookup resolves page p through the fork table: if p falls inside a

@@ -80,12 +80,21 @@ func TestPageCodecDegenerateBlobs(t *testing.T) {
 		for i := range got {
 			got[i] = 0x55
 		}
-		decompressPage(got, full[:cut])
+		// Copy to exact capacity: a reslice of the full blob would let an
+		// out-of-bounds literal read silently succeed within capacity.
+		trunc := make([]byte, cut)
+		copy(trunc, full)
+		decompressPage(got, trunc)
 		// The decoded prefix must agree with the original wherever the
 		// truncated stream still covered it; we only assert no panic and
 		// full-overwrite here, plus exactness at the full length.
 		if cut == len(full) && !bytes.Equal(got, orig) {
 			t.Fatal("full blob did not round trip")
+		}
+		for i := range got {
+			if got[i] == 0x55 && orig[i] != 0x55 {
+				t.Fatalf("cut %d: byte %d left unwritten (scratch leak)", cut, i)
+			}
 		}
 	}
 }
@@ -160,11 +169,11 @@ func TestSnapStoreForkLookup(t *testing.T) {
 	ss := newSnapStore()
 	ss.ensure(1)
 	ss.store(1, 100, []byte{0x03, 1, 2, 3, 4, 5, 6, 7, 8}) // one literal word
-	if isNew := ss.register(forkRange{base: 500, orig: 100, npages: 4, snap: 1}); !isNew {
-		t.Fatal("first registration not new")
+	if net := ss.register(forkRange{base: 500, orig: 100, npages: 4, snap: 1}); net != 1 {
+		t.Fatalf("first registration net = %d, want 1", net)
 	}
-	if isNew := ss.register(forkRange{base: 500, orig: 100, npages: 4, snap: 1}); isNew {
-		t.Fatal("re-registration reported new")
+	if net := ss.register(forkRange{base: 500, orig: 100, npages: 4, snap: 1}); net != 0 {
+		t.Fatalf("re-registration net = %d, want 0", net)
 	}
 	if blob, ok := ss.lookup(500); !ok || blob == nil {
 		t.Fatal("fork page 500 did not resolve to the sealed frame of page 100")
@@ -182,5 +191,70 @@ func TestSnapStoreForkLookup(t *testing.T) {
 	ss.register(forkRange{base: 600, orig: 100, npages: 4, snap: 9})
 	if _, ok := ss.lookup(600); ok {
 		t.Fatal("range of a never-sealed snapshot resolved")
+	}
+}
+
+// Unmapping a fork range stops its pages from resolving, without
+// disturbing neighbouring ranges; releasing a snapshot drops its frames
+// and any stragglers in the fork table.
+func TestSnapStoreUnregisterAndRelease(t *testing.T) {
+	ss := newSnapStore()
+	ss.ensure(1)
+	ss.store(1, 100, []byte{0x03, 1, 2, 3, 4, 5, 6, 7, 8})
+	ss.register(forkRange{base: 500, orig: 100, npages: 4, snap: 1})
+	ss.register(forkRange{base: 600, orig: 100, npages: 4, snap: 1})
+	if !ss.unregister(500) {
+		t.Fatal("unregister of a registered range reported nothing removed")
+	}
+	if ss.unregister(500) {
+		t.Fatal("double unregister removed something")
+	}
+	if _, ok := ss.lookup(500); ok {
+		t.Fatal("unmapped fork page 500 still resolves")
+	}
+	if blob, ok := ss.lookup(600); !ok || blob == nil {
+		t.Fatal("neighbouring range at 600 stopped resolving")
+	}
+	if n := ss.release(1); n != 1 {
+		t.Fatalf("release(1) dropped %d frames, want 1", n)
+	}
+	if n := ss.release(1); n != 0 {
+		t.Fatalf("double release dropped %d frames, want 0", n)
+	}
+	if _, ok := ss.lookup(600); ok {
+		t.Fatal("range of a released snapshot still resolves")
+	}
+}
+
+// Registering a range over a stale overlapping entry (a lost unmap)
+// drops the stale entry, so the new range's pages resolve through the
+// new snapshot — never shadowed by the dead fork.
+func TestSnapStoreRegisterDropsStaleOverlap(t *testing.T) {
+	ss := newSnapStore()
+	ss.ensure(1)
+	ss.store(1, 100, []byte{0x03, 9, 9, 9, 9, 9, 9, 9, 9})
+	ss.ensure(2)
+	ss.store(2, 200, []byte{0x03, 5, 5, 5, 5, 5, 5, 5, 5})
+	ss.register(forkRange{base: 500, orig: 100, npages: 8, snap: 1}) // stale
+	// New range starts below the stale base and overlaps it: without the
+	// cleanup, lookup(502) would find the stale greatest-base entry.
+	if net := ss.register(forkRange{base: 498, orig: 200, npages: 8, snap: 2}); net != 0 {
+		t.Fatalf("overlapping registration net = %d, want 0 (1 added - 1 stale dropped)", net)
+	}
+	blob, ok := ss.lookup(500)
+	if !ok {
+		t.Fatal("page 500 does not resolve through the new range")
+	}
+	if blob != nil {
+		t.Fatal("page 500 resolved to a frame, want the new snapshot's zero page (orig 202 unsealed)")
+	}
+	if blob, ok := ss.lookup(498); !ok || blob == nil {
+		t.Fatal("new range's base page did not resolve to snap 2's frame")
+	}
+	if _, ok := ss.lookup(505); !ok {
+		t.Fatal("tail of the new range does not resolve")
+	}
+	if _, ok := ss.lookup(506); ok {
+		t.Fatal("page past the new range resolved (stale entry survived)")
 	}
 }

@@ -109,6 +109,15 @@ const (
 	KForkASResp
 	KSealAS // thread -> memory server: capture current frames for a snapshot
 	KForkMap // thread -> memory server: map a forked range onto sealed frames
+
+	// Snapshot/fork teardown. FreeResp (the FreeReq answer) reports when
+	// the freed address was a fork range — the zone space is withheld
+	// until the caller unmaps the range at the homes and commits with a
+	// second, Unmapped FreeReq — and names the snapshots whose refcount
+	// reached zero; ForkUnmap removes a fork range's mapping (and the
+	// named snapshots' sealed frames) from a home server.
+	KFreeResp
+	KForkUnmap // thread -> memory server: drop a fork mapping / sealed frames
 )
 
 var kindNames = map[Kind]string{
@@ -153,6 +162,8 @@ var kindNames = map[Kind]string{
 	KForkASResp:     "fork-as-resp",
 	KSealAS:         "seal-as",
 	KForkMap:        "fork-map",
+	KFreeResp:       "free-resp",
+	KForkUnmap:      "fork-unmap",
 }
 
 func (k Kind) String() string {

@@ -66,6 +66,11 @@ func TestRoundTripAllMessages(t *testing.T) {
 		{&AllocReq{Thread: 2, Size: 1 << 20, Align: 64, Strategy: AllocStriped}, &AllocReq{}},
 		{&AllocResp{Addr: 1 << 33}, &AllocResp{}},
 		{&FreeReq{Thread: 1, Addr: 12345}, &FreeReq{}},
+		{&FreeReq{Thread: 1, Addr: 12345, Seq: 7, Unmapped: true}, &FreeReq{}},
+		{&FreeResp{Fork: true, Snap: 3, NPages: 16, Release: []uint64{3, 9}}, &FreeResp{}},
+		{&FreeResp{}, &FreeResp{}},
+		{&ForkUnmap{Base: 1 << 20, NPages: 16, Release: []uint64{4}}, &ForkUnmap{}},
+		{&ForkUnmap{Release: []uint64{5}}, &ForkUnmap{}},
 		{&RegisterReq{Thread: 6, Node: 2}, &RegisterReq{}},
 		{&LockReq{Lock: 9, Thread: 4, LastSeen: 77}, &LockReq{}},
 		{

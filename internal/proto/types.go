@@ -539,10 +539,18 @@ func (m *RegisterReq) Unmarshal(r *Reader) {
 // same allocation-plane sequence number AllocReq carries: a free
 // re-issued across failover is acked idempotently instead of
 // double-freeing (Seq 0 disables dedup).
+//
+// Freeing a forked range is two-phase: the first FreeReq drops the
+// manager's fork bookkeeping but withholds the zone space (the reply
+// carries the range geometry), the caller unmaps the range at every
+// home with ForkUnmap, and a second FreeReq with Unmapped set commits
+// the space back to the zone. Without the barrier, first-fit reuse of
+// the range would race the homes' stale fork mappings.
 type FreeReq struct {
-	Thread uint32
-	Addr   uint64
-	Seq    uint64
+	Thread   uint32
+	Addr     uint64
+	Seq      uint64
+	Unmapped bool
 }
 
 func (m *FreeReq) Kind() Kind { return KFreeReq }
@@ -551,12 +559,53 @@ func (m *FreeReq) Marshal(w *Writer) {
 	w.U32(m.Thread)
 	w.U64(m.Addr)
 	w.U64(m.Seq)
+	if m.Unmapped {
+		w.U8(1)
+	}
 }
 
 func (m *FreeReq) Unmarshal(r *Reader) {
 	m.Thread = r.U32()
 	m.Addr = r.U64()
 	m.Seq = r.U64()
+	m.Unmapped = r.Err() == nil && r.Remaining() > 0 && r.U8() != 0
+}
+
+// FreeResp answers a FreeReq. For an ordinary free every field is
+// zero. Fork set marks phase one of freeing a fork range: Snap and
+// NPages describe the mapping the caller must remove from the homes
+// (ForkUnmap) before committing with an Unmapped FreeReq. Release
+// names snapshots whose refcount reached zero — either the freed
+// fork's parent losing its last fork, or (on an ordinary free of a
+// snapshotted image, which drops each snapshot's handle reference)
+// snapshots with no remaining forks; the caller tells the homes to
+// drop their sealed frames. NPages then sizes the released frames'
+// home range.
+type FreeResp struct {
+	Fork    bool
+	Snap    uint64
+	NPages  uint64
+	Release []uint64
+}
+
+func (m *FreeResp) Kind() Kind { return KFreeResp }
+
+func (m *FreeResp) Marshal(w *Writer) {
+	if m.Fork {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.U64(m.Snap)
+	w.U64(m.NPages)
+	w.U64s(m.Release)
+}
+
+func (m *FreeResp) Unmarshal(r *Reader) {
+	m.Fork = r.U8() != 0
+	m.Snap = r.U64()
+	m.NPages = r.U64()
+	m.Release = r.U64s()
 }
 
 // LockReq acquires a mutex. LastSeen is the highest notice sequence the
@@ -1478,4 +1527,32 @@ func (m *ForkMap) Unmarshal(r *Reader) {
 	m.Base = r.U64()
 	m.OrigBase = r.U64()
 	m.NPages = r.U64()
+}
+
+// ForkUnmap undoes a ForkMap on a home server: the fork-range entry
+// rooted at Base is removed (NPages 0 means no range — a release-only
+// message) and the private pages the fork materialized in [Base,
+// Base+NPages) are discarded. Release names snapshots whose manager
+// refcount reached zero; their sealed frames are dropped too. Acked
+// only after every shard has purged its share, so the caller knows the
+// homes can no longer resolve the dead range before it lets the
+// manager reuse the space.
+type ForkUnmap struct {
+	Base    uint64
+	NPages  uint64
+	Release []uint64
+}
+
+func (m *ForkUnmap) Kind() Kind { return KForkUnmap }
+
+func (m *ForkUnmap) Marshal(w *Writer) {
+	w.U64(m.Base)
+	w.U64(m.NPages)
+	w.U64s(m.Release)
+}
+
+func (m *ForkUnmap) Unmarshal(r *Reader) {
+	m.Base = r.U64()
+	m.NPages = r.U64()
+	m.Release = r.U64s()
 }
